@@ -1,0 +1,44 @@
+//! Ablation — BSP vs SSP under stragglers (the consistency model of Petuum
+//! [28] and the heterogeneity-aware PS the paper cites [16]).
+//!
+//! One of 8 workers is slowed by an extra 40 ms of compute per iteration.
+//! BSP (staleness 0) paces the whole fleet at the straggler's speed; with a
+//! staleness bound the healthy workers run ahead and overall progress per
+//! wall-clock improves, at a (usually small) statistical cost.
+
+use std::io::Write;
+
+use ps2_bench::{banner, csv, paper_says};
+use ps2_data::SparseDatasetGen;
+use ps2_ml::ssp::{run_lr_ssp, SspConfig};
+use ps2_simnet::SimTime;
+
+fn main() {
+    banner("Ablation", "BSP vs SSP staleness under a straggler");
+    paper_says("Petuum's SSP [28] and heterogeneity-aware PS [16] motivate");
+    paper_says("bounded staleness when workers are uneven");
+
+    let mut f = csv("ablation_ssp.csv");
+    writeln!(f, "staleness,mean_iter_time_s,final_loss").unwrap();
+    println!(
+        "\n  8 workers, worker 0 slowed 40ms/iter, 25 iterations\n  {:>10} {:>16} {:>12}",
+        "staleness", "mean iter time", "final loss"
+    );
+    for staleness in [0u32, 1, 2, 4, 8] {
+        let mut cfg = SspConfig::new(SparseDatasetGen::new(8_000, 20_000, 15, 8, 7), 8, 8);
+        cfg.staleness = staleness;
+        cfg.iterations = 25;
+        cfg.straggler_slowdown = SimTime::from_millis(40);
+        let (trace, _) = run_lr_ssp(&cfg);
+        let mean_iter = trace.total_time() / trace.points.len().max(1) as f64;
+        println!(
+            "  {:>10} {:>15.4}s {:>12.5}",
+            staleness,
+            mean_iter,
+            trace.final_loss()
+        );
+        writeln!(f, "{staleness},{mean_iter:.6},{:.6}", trace.final_loss()).unwrap();
+    }
+    println!("\n  staleness lets healthy workers proceed; losses stay comparable");
+    println!("  because stale gradients at these bounds barely hurt SGD.");
+}

@@ -1,0 +1,34 @@
+//! Table 3 — algorithms supported by the compared systems.
+
+use std::io::Write;
+
+use ps2_bench::{banner, csv};
+use ps2_ml::capabilities::{supports, Algorithm, System};
+
+fn main() {
+    banner("Table 3", "algorithms supported by each system");
+    let mut f = csv("table3.csv");
+    write!(f, "system").unwrap();
+    for a in Algorithm::all() {
+        write!(f, ",{}", a.name()).unwrap();
+    }
+    writeln!(f).unwrap();
+
+    print!("\n  {:<12}", "system");
+    for a in Algorithm::all() {
+        print!(" {:>9}", a.name());
+    }
+    println!();
+    for s in System::all() {
+        print!("  {:<12}", s.name());
+        write!(f, "{}", s.name()).unwrap();
+        for a in Algorithm::all() {
+            let mark = if supports(s, a) { "yes" } else { "-" };
+            print!(" {mark:>9}");
+            write!(f, ",{mark}").unwrap();
+        }
+        println!();
+        writeln!(f).unwrap();
+    }
+    println!("\n  PS2 is the only system covering all four workloads.");
+}

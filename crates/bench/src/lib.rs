@@ -1,0 +1,100 @@
+//! # ps2-bench — regenerating the paper's evaluation
+//!
+//! Each bench target in `benches/` reproduces one table or figure of the
+//! paper's §6 on the simulated cluster and prints the same rows/series the
+//! paper reports (plus the paper's headline numbers for side-by-side
+//! comparison). `cargo bench` runs all of them; results are also appended
+//! under `target/ps2-results/`.
+//!
+//! Absolute times differ from the paper (its testbed was a 2700-machine
+//! production cluster; ours is a deterministic simulator driving scaled
+//! datasets) — the claims under reproduction are the *shapes*: who wins, by
+//! roughly what factor, and where the crossovers sit.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::PathBuf;
+
+use ps2_ml::TrainingTrace;
+
+/// Standard cluster width used by most figures (paper: "the number of
+/// executors/servers are 20").
+pub const WORKERS: usize = 20;
+pub const SERVERS: usize = 20;
+
+/// Where bench targets append their machine-readable output.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/ps2-results");
+    fs::create_dir_all(&dir).expect("cannot create results dir");
+    dir
+}
+
+/// Open (truncate) a named CSV in the results dir.
+pub fn csv(name: &str) -> File {
+    File::create(results_dir().join(name)).expect("cannot create results file")
+}
+
+/// Print a figure banner.
+pub fn banner(fig: &str, caption: &str) {
+    println!();
+    println!("================================================================");
+    println!("{fig} — {caption}");
+    println!("================================================================");
+}
+
+/// Print (and persist) a set of loss-versus-time traces as one series table.
+pub fn print_traces(fig: &str, traces: &[&TrainingTrace]) {
+    let mut f = csv(&format!("{fig}.csv"));
+    writeln!(f, "system,iteration,seconds,loss").unwrap();
+    for t in traces {
+        println!("\n  {} — {} iterations, {:.1}s total, final loss {:.4}",
+            t.label,
+            t.points.len(),
+            t.total_time(),
+            t.final_loss()
+        );
+        println!("    {:>6} {:>12} {:>12}", "iter", "seconds", "loss");
+        let stride = (t.points.len() / 10).max(1);
+        for (i, &(secs, loss)) in t.points.iter().enumerate() {
+            if i % stride == 0 || i + 1 == t.points.len() {
+                println!("    {i:>6} {secs:>12.3} {loss:>12.5}");
+            }
+        }
+        for (i, &(secs, loss)) in t.points.iter().enumerate() {
+            writeln!(f, "{},{},{:.6},{:.6}", t.label, i, secs, loss).unwrap();
+        }
+    }
+}
+
+/// Report the time each trace takes to first reach `target` loss, plus
+/// speedups relative to the first trace.
+pub fn print_time_to_loss(traces: &[&TrainingTrace], target: f64) {
+    println!("\n  time to reach loss {target:.3}:");
+    let base = traces[0].time_to_loss(target);
+    for t in traces {
+        match (t.time_to_loss(target), base) {
+            (Some(tt), Some(b)) if tt > 0.0 => {
+                println!("    {:<16} {:>10.2}s   ({:.2}x vs {})", t.label, tt, tt / b, traces[0].label)
+            }
+            (Some(tt), _) => println!("    {:<16} {:>10.2}s", t.label, tt),
+            (None, _) => println!("    {:<16}   not reached (final {:.4})", t.label, t.final_loss()),
+        }
+    }
+}
+
+/// A loss target all traces reached: 5% above the worst of the best losses,
+/// so every system has a crossing time.
+pub fn common_target(traces: &[&TrainingTrace]) -> f64 {
+    traces
+        .iter()
+        .map(|t| t.points.iter().map(|&(_, l)| l).fold(f64::INFINITY, f64::min))
+        .fold(f64::NEG_INFINITY, f64::max)
+        * 1.02
+        + 1e-9
+}
+
+/// Print a paper-reference line (the number the original reports).
+pub fn paper_says(s: &str) {
+    println!("  [paper] {s}");
+}

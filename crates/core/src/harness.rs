@@ -1,0 +1,38 @@
+//! One-call harness: deploy a cluster, run a driver closure, return its
+//! result plus the simulation report.
+
+use ps2_simnet::{SimBuilder, SimCtx, SimReport};
+
+use crate::context::{deploy, ClusterSpec, Ps2Context};
+
+/// Deploy `spec`, run `f` as the coordinator, and return `(f's result,
+/// simulation report)`. The entire cluster is simulated deterministically
+/// under `seed`.
+///
+/// This is the entry point used by the examples and the benchmark harness;
+/// library users composing multiple drivers or custom topologies can call
+/// [`crate::context::deploy`] and `SimRuntime` directly instead.
+pub fn run_ps2<T, F>(spec: ClusterSpec, seed: u64, f: F) -> (T, SimReport)
+where
+    T: Send + 'static,
+    F: FnOnce(&mut SimCtx, &mut Ps2Context) -> T + Send + 'static,
+{
+    run_ps2_with(SimBuilder::new().seed(seed), spec, f)
+}
+
+/// [`run_ps2`] with a custom simulator configuration (network, compute
+/// model).
+pub fn run_ps2_with<T, F>(builder: SimBuilder, spec: ClusterSpec, f: F) -> (T, SimReport)
+where
+    T: Send + 'static,
+    F: FnOnce(&mut SimCtx, &mut Ps2Context) -> T + Send + 'static,
+{
+    let mut sim = builder.build();
+    let deployment = deploy(&mut sim, &spec);
+    let out = sim.spawn_collect("coordinator", move |ctx| {
+        let mut ps2 = Ps2Context::new(deployment);
+        f(ctx, &mut ps2)
+    });
+    let report = sim.run().expect("simulation failed");
+    (out.take(), report)
+}

@@ -1,0 +1,110 @@
+//! libsvm interchange format: `label idx:val idx:val ...` (1-based indices
+//! in files, 0-based in memory), the format KDDB/KDD12 ship in.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::sync::Arc;
+
+use crate::sparse::Example;
+
+/// Parse one libsvm line. Returns `None` for blank/comment lines.
+pub fn parse_line(line: &str) -> Option<Result<Example, String>> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let mut parts = line.split_ascii_whitespace();
+    let label_tok = parts.next()?;
+    let label: f64 = match label_tok.parse() {
+        Ok(v) => v,
+        Err(e) => return Some(Err(format!("bad label '{label_tok}': {e}"))),
+    };
+    let label = if label > 0.0 { 1.0 } else { -1.0 };
+    let mut features = Vec::new();
+    for tok in parts {
+        let Some((idx, val)) = tok.split_once(':') else {
+            return Some(Err(format!("bad feature token '{tok}'")));
+        };
+        let idx: u64 = match idx.parse::<u64>() {
+            Ok(0) => return Some(Err("libsvm indices are 1-based; got 0".into())),
+            Ok(v) => v - 1,
+            Err(e) => return Some(Err(format!("bad index '{idx}': {e}"))),
+        };
+        let val: f64 = match val.parse() {
+            Ok(v) => v,
+            Err(e) => return Some(Err(format!("bad value '{val}': {e}"))),
+        };
+        features.push((idx, val));
+    }
+    features.sort_unstable_by_key(|&(j, _)| j);
+    features.dedup_by_key(|&mut (j, _)| j);
+    Some(Ok(Example {
+        label,
+        features: Arc::new(features),
+    }))
+}
+
+/// Read a whole libsvm stream.
+pub fn read<R: BufRead>(reader: R) -> Result<Vec<Example>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("io error at line {}: {e}", lineno + 1))?;
+        if let Some(parsed) = parse_line(&line) {
+            out.push(parsed.map_err(|e| format!("line {}: {e}", lineno + 1))?);
+        }
+    }
+    Ok(out)
+}
+
+/// Write examples in libsvm format.
+pub fn write<W: Write>(writer: W, examples: &[Example]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for ex in examples {
+        write!(w, "{}", if ex.label > 0.0 { 1 } else { -1 })?;
+        for &(j, v) in ex.features.iter() {
+            write!(w, " {}:{}", j + 1, v)?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let text = "1 1:0.5 7:2\n-1 3:1\n\n# comment\n+1 2:4 2:9\n";
+        let examples = read(text.as_bytes()).unwrap();
+        assert_eq!(examples.len(), 3);
+        assert_eq!(examples[0].label, 1.0);
+        assert_eq!(*examples[0].features, vec![(0, 0.5), (6, 2.0)]);
+        assert_eq!(examples[1].label, -1.0);
+        // duplicate index deduped
+        assert_eq!(examples[2].features.len(), 1);
+
+        let mut buf = Vec::new();
+        write(&mut buf, &examples).unwrap();
+        let again = read(buf.as_slice()).unwrap();
+        assert_eq!(again.len(), 3);
+        assert_eq!(*again[0].features, *examples[0].features);
+    }
+
+    #[test]
+    fn errors_are_reported_with_line_numbers() {
+        assert!(read("1 x:1\n".as_bytes()).unwrap_err().contains("line 1"));
+        assert!(read("1 0:1\n".as_bytes())
+            .unwrap_err()
+            .contains("1-based"));
+        assert!(read("abc 1:1\n".as_bytes())
+            .unwrap_err()
+            .contains("bad label"));
+    }
+
+    #[test]
+    fn labels_are_normalized_to_plus_minus_one() {
+        let examples = read("0 1:1\n2 1:1\n".as_bytes()).unwrap();
+        assert_eq!(examples[0].label, -1.0);
+        assert_eq!(examples[1].label, 1.0);
+    }
+}

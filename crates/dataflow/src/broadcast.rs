@@ -1,0 +1,53 @@
+//! Driver-to-executor broadcast variables.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// The erased value shipped to executors.
+#[derive(Clone)]
+pub(crate) struct BroadcastValue {
+    pub id: u64,
+    pub value: Arc<dyn Any + Send + Sync>,
+    pub bytes: u64,
+}
+
+/// A relay subtree for torrent-style broadcast: the receiver stores the
+/// value, forwards a ship to each child subtree, and acknowledges the
+/// driver with its token.
+#[derive(Clone)]
+pub(crate) struct BroadcastTree {
+    pub node: ps2_simnet::ProcId,
+    pub ack_token: u64,
+    pub children: Vec<BroadcastTree>,
+}
+
+/// The message that travels along the relay tree.
+#[derive(Clone)]
+pub(crate) struct BroadcastShip {
+    pub value: BroadcastValue,
+    pub ack_to: ps2_simnet::ProcId,
+    pub ack_token: u64,
+    pub children: Vec<BroadcastTree>,
+}
+
+/// A typed handle to a broadcast variable, usable inside task closures via
+/// [`crate::WorkCtx::broadcast`].
+///
+/// In Spark MLlib's training loop the *model* is broadcast every iteration;
+/// the transfer serializes on the driver's out-NIC, which is half of the
+/// "single-node bottleneck" the paper measures in Figure 1.
+pub struct Broadcast<T> {
+    pub(crate) id: u64,
+    pub(crate) _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast {
+            id: self.id,
+            _marker: PhantomData,
+        }
+    }
+}
+impl<T> Copy for Broadcast<T> {}

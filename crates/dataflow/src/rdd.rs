@@ -1,0 +1,240 @@
+//! Resilient distributed datasets: lineage graphs of narrow transformations.
+//!
+//! An [`Rdd<T>`] is a driver-side *description* of a partitioned dataset.
+//! Nothing is computed until an action runs tasks on executors; a task
+//! materializes its partition by walking the lineage, consulting the
+//! executor's block cache at `cache()` boundaries. Sources are deterministic
+//! functions of `(partition, seed)`, which is exactly what makes lineage
+//! recomputation a correct recovery strategy after executor loss.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ps2_simnet::SimTime;
+
+use crate::executor::WorkCtx;
+
+/// Unique id of an RDD within the process (cache key component).
+pub(crate) type RddId = u64;
+
+static NEXT_RDD_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_id() -> RddId {
+    NEXT_RDD_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Per-element scan overhead charged by built-in transformations, so that
+/// even "free" pipelines cost something on the simulated CPU.
+const SCAN_NS_PER_ELEM: u64 = 2;
+
+/// Type-erased lineage node.
+pub(crate) trait AnyRdd: Send + Sync {
+    fn id(&self) -> RddId;
+    fn is_cached(&self) -> bool;
+    /// Compute this node's partition (not consulting this node's own cache —
+    /// that is [`materialize_any`]'s job).
+    fn compute_any(&self, part: usize, w: &mut WorkCtx<'_, '_>) -> Arc<dyn Any + Send + Sync>;
+}
+
+/// Materialize a node's partition with cache lookups.
+pub(crate) fn materialize_any(
+    node: &Arc<dyn AnyRdd>,
+    part: usize,
+    w: &mut WorkCtx<'_, '_>,
+) -> Arc<dyn Any + Send + Sync> {
+    if node.is_cached() {
+        if let Some(hit) = w.cache_get(node.id(), part) {
+            return hit;
+        }
+    }
+    let data = node.compute_any(part, w);
+    if node.is_cached() {
+        w.cache_put(node.id(), part, Arc::clone(&data));
+    }
+    data
+}
+
+type XformFn<T> =
+    dyn Fn(&(dyn Any + Send + Sync), usize, &mut WorkCtx<'_, '_>) -> Vec<T> + Send + Sync;
+
+enum Kind<T> {
+    /// Deterministic per-partition generator.
+    Source(Arc<dyn Fn(usize, &mut WorkCtx<'_, '_>) -> Vec<T> + Send + Sync>),
+    /// Narrow transformation of a parent partition.
+    Derived {
+        parent: Arc<dyn AnyRdd>,
+        xform: Arc<XformFn<T>>,
+    },
+}
+
+pub(crate) struct Node<T> {
+    id: RddId,
+    partitions: usize,
+    cached: bool,
+    kind: Kind<T>,
+}
+
+impl<T: Send + Sync + 'static> AnyRdd for Node<T> {
+    fn id(&self) -> RddId {
+        self.id
+    }
+
+    fn is_cached(&self) -> bool {
+        self.cached
+    }
+
+    fn compute_any(&self, part: usize, w: &mut WorkCtx<'_, '_>) -> Arc<dyn Any + Send + Sync> {
+        let data: Vec<T> = match &self.kind {
+            Kind::Source(gen) => gen(part, w),
+            Kind::Derived { parent, xform } => {
+                let parent_data = materialize_any(parent, part, w);
+                xform(&*parent_data, part, w)
+            }
+        };
+        Arc::new(data)
+    }
+}
+
+/// A partitioned, lineage-tracked distributed dataset.
+///
+/// Cloning is cheap (it clones the lineage handle, not data).
+pub struct Rdd<T> {
+    pub(crate) node: Arc<Node<T>>,
+}
+
+impl<T> Clone for Rdd<T> {
+    fn clone(&self) -> Self {
+        Rdd {
+            node: Arc::clone(&self.node),
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> Rdd<T> {
+    pub(crate) fn from_source<F>(partitions: usize, gen: F) -> Rdd<T>
+    where
+        F: Fn(usize, &mut WorkCtx<'_, '_>) -> Vec<T> + Send + Sync + 'static,
+    {
+        assert!(partitions > 0, "an RDD needs at least one partition");
+        Rdd {
+            node: Arc::new(Node {
+                id: fresh_id(),
+                partitions,
+                cached: false,
+                kind: Kind::Source(Arc::new(gen)),
+            }),
+        }
+    }
+
+    fn derived<U: Send + Sync + 'static>(
+        &self,
+        xform: impl Fn(&[T], usize, &mut WorkCtx<'_, '_>) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        let parent: Arc<dyn AnyRdd> = self.node.clone();
+        Rdd {
+            node: Arc::new(Node {
+                id: fresh_id(),
+                partitions: self.node.partitions,
+                cached: false,
+                kind: Kind::Derived {
+                    parent,
+                    xform: Arc::new(move |any, part, w| {
+                        let data = any
+                            .downcast_ref::<Vec<T>>()
+                            .expect("lineage type mismatch");
+                        xform(data, part, w)
+                    }),
+                },
+            }),
+        }
+    }
+
+    /// Number of partitions (constant across narrow transformations).
+    pub fn partitions(&self) -> usize {
+        self.node.partitions
+    }
+
+    pub(crate) fn erased(&self) -> Arc<dyn AnyRdd> {
+        self.node.clone()
+    }
+
+    /// Mark this dataset to be kept in executor memory after its first
+    /// materialization. Lost cache blocks are recomputed from lineage.
+    pub fn cache(&self) -> Rdd<T> {
+        Rdd {
+            node: Arc::new(Node {
+                id: self.node.id,
+                partitions: self.node.partitions,
+                cached: true,
+                kind: Kind::Derived {
+                    parent: self.node.clone() as Arc<dyn AnyRdd>,
+                    xform: Arc::new(|any: &(dyn Any + Send + Sync), _part, _w| {
+                        any.downcast_ref::<Vec<T>>()
+                            .expect("lineage type mismatch")
+                            .clone()
+                    }),
+                },
+            }),
+        }
+    }
+
+    /// Element-wise transformation.
+    pub fn map<U: Clone + Send + Sync + 'static>(
+        &self,
+        f: impl Fn(&T) -> U + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        self.derived(move |data, _part, w| {
+            w.charge_scan(data.len());
+            data.iter().map(&f).collect()
+        })
+    }
+
+    /// Keep elements satisfying the predicate.
+    pub fn filter(&self, pred: impl Fn(&T) -> bool + Send + Sync + 'static) -> Rdd<T> {
+        self.derived(move |data, _part, w| {
+            w.charge_scan(data.len());
+            data.iter().filter(|x| pred(x)).cloned().collect()
+        })
+    }
+
+    /// Whole-partition transformation with simulator access (for custom
+    /// compute charging or parameter-server calls).
+    pub fn map_partitions<U: Clone + Send + Sync + 'static>(
+        &self,
+        f: impl Fn(&[T], &mut WorkCtx<'_, '_>) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        self.derived(move |data, _part, w| f(data, w))
+    }
+
+    /// Bernoulli sample of roughly `fraction` of each partition. `salt`
+    /// distinguishes per-iteration samples (the paper's mini-batch idiom);
+    /// the sample is a deterministic function of `(salt, partition)`.
+    pub fn sample(&self, fraction: f64, salt: u64) -> Rdd<T> {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "sample fraction must be in [0, 1], got {fraction}"
+        );
+        self.derived(move |data, part, w| {
+            w.charge_scan(data.len());
+            let seed = salt
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(part as u64);
+            let mut rng = StdRng::seed_from_u64(seed);
+            data.iter()
+                .filter(|_| rng.gen::<f64>() < fraction)
+                .cloned()
+                .collect()
+        })
+    }
+}
+
+impl<'a, 'b> WorkCtx<'a, 'b> {
+    /// Charge the per-element pipeline scan cost.
+    pub fn charge_scan(&mut self, elems: usize) {
+        self.sim.advance(SimTime(SCAN_NS_PER_ELEM * elems as u64));
+    }
+}

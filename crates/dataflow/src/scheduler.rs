@@ -1,0 +1,464 @@
+//! The driver-side scheduler: job execution, retries, executor recovery.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use ps2_simnet::{ProcId, SimCtx, SimTime, WireSize};
+
+use crate::broadcast::{Broadcast, BroadcastValue};
+use crate::executor::{executor_main, tags, TaskSpec, TaskResult, WorkCtx};
+use crate::rdd::{materialize_any, Rdd};
+
+/// Failure-injection and recovery policy.
+///
+/// Retry semantics follow the paper (§5.3): a side-effecting operation —
+/// a PS push, a shuffle write — should be a task's *final* operation, so a
+/// task that failed before it can be re-run safely. The shuffle service
+/// additionally keys writes by map partition (idempotent re-puts). PS
+/// *gradient pushes* retain the paper's caveat: an executor dying in the
+/// narrow window between a successful push and the task reply causes that
+/// partition's gradient to be applied twice on retry — statistically
+/// harmless for SGD, and inherent to the protocol being reproduced.
+#[derive(Clone, Debug)]
+pub struct FailureConfig {
+    /// Probability that a task attempt fails (Figure 13(c) sweeps this).
+    pub task_failure_prob: f64,
+    /// Virtual time a failed attempt wastes before reporting.
+    pub failure_waste: SimTime,
+    /// Attempts per task before the job aborts.
+    pub max_task_attempts: u32,
+    /// How long the driver waits on task replies before polling executor
+    /// liveness (executor-loss detection).
+    pub liveness_poll: SimTime,
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        FailureConfig {
+            task_failure_prob: 0.0,
+            failure_waste: SimTime::from_millis(50),
+            max_task_attempts: 4,
+            liveness_poll: SimTime::from_secs_f64(30.0),
+        }
+    }
+}
+
+/// A job failed permanently.
+#[derive(Debug, Clone)]
+pub enum JobError {
+    /// Some task exhausted its retry budget.
+    TaskRetriesExhausted { partition: usize, attempts: u32 },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::TaskRetriesExhausted { partition, attempts } => write!(
+                f,
+                "task for partition {partition} failed {attempts} times; aborting job"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Driver-side entry point to the dataflow engine. Lives inside the driver
+/// process; every method that talks to the cluster takes the driver's
+/// [`SimCtx`].
+pub struct SparkContext {
+    executors: Vec<ProcId>,
+    next_broadcast: u64,
+    /// Broadcast registry kept for re-seeding replacement executors.
+    broadcasts: Vec<BroadcastValue>,
+    pub failure: FailureConfig,
+    /// Declared wire size of a serialized task closure.
+    pub task_bytes: u64,
+    /// Count of executors replaced after being detected dead.
+    pub executors_replaced: u64,
+    /// Count of task attempts that failed and were retried.
+    pub task_retries: u64,
+    respawn_counter: u64,
+}
+
+impl SparkContext {
+    pub fn new(executors: Vec<ProcId>) -> SparkContext {
+        assert!(!executors.is_empty(), "need at least one executor");
+        SparkContext {
+            executors,
+            next_broadcast: 1,
+            broadcasts: Vec::new(),
+            failure: FailureConfig::default(),
+            task_bytes: 2048,
+            executors_replaced: 0,
+            task_retries: 0,
+            respawn_counter: 0,
+        }
+    }
+
+    pub fn num_executors(&self) -> usize {
+        self.executors.len()
+    }
+
+    pub fn executors(&self) -> &[ProcId] {
+        &self.executors
+    }
+
+    // ---- dataset creation --------------------------------------------------
+
+    /// Distribute an in-memory collection (the data is *shipped* to the
+    /// executors lazily as lineage; the driver pays no transfer here because
+    /// each partition generator captures its slice).
+    pub fn parallelize<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        _ctx: &mut SimCtx,
+        data: Vec<T>,
+        partitions: usize,
+    ) -> Rdd<T> {
+        let data = Arc::new(data);
+        let n = data.len();
+        Rdd::from_source(partitions, move |part, _w| {
+            let lo = part * n / partitions;
+            let hi = (part + 1) * n / partitions;
+            data[lo..hi].to_vec()
+        })
+    }
+
+    /// Create a dataset from a deterministic per-partition generator — the
+    /// stand-in for reading HDFS splits. Regeneration after executor loss is
+    /// exactly a re-read.
+    pub fn source<T, F>(&mut self, partitions: usize, gen: F) -> Rdd<T>
+    where
+        T: Clone + Send + Sync + 'static,
+        F: Fn(usize, &mut WorkCtx<'_, '_>) -> Vec<T> + Send + Sync + 'static,
+    {
+        Rdd::from_source(partitions, gen)
+    }
+
+    // ---- broadcast ----------------------------------------------------------
+
+    /// Broadcast a value to every executor, torrent-style (like Spark's
+    /// TorrentBroadcast): the value travels down a binary relay tree among
+    /// the executors, so the driver sends only one copy and the makespan is
+    /// `O(log executors)` transfer times rather than `O(executors)`.
+    pub fn broadcast<T: Send + Sync + 'static>(
+        &mut self,
+        ctx: &mut SimCtx,
+        value: T,
+        bytes: u64,
+    ) -> Broadcast<T> {
+        let id = self.next_broadcast;
+        self.next_broadcast += 1;
+        let bv = BroadcastValue {
+            id,
+            value: Arc::new(value),
+            bytes,
+        };
+        self.broadcasts.push(bv.clone());
+
+        // Binary relay tree over executor indices; one ack token per node.
+        let me = ctx.id();
+        let mut tokens = Vec::with_capacity(self.executors.len());
+        for _ in 0..self.executors.len() {
+            tokens.push(ctx.alloc_reply_token());
+        }
+        fn subtree(
+            executors: &[ProcId],
+            tokens: &[u64],
+            i: usize,
+        ) -> crate::broadcast::BroadcastTree {
+            let mut children = Vec::new();
+            for c in [2 * i + 1, 2 * i + 2] {
+                if c < executors.len() {
+                    children.push(subtree(executors, tokens, c));
+                }
+            }
+            crate::broadcast::BroadcastTree {
+                node: executors[i],
+                ack_token: tokens[i],
+                children,
+            }
+        }
+        let root = subtree(&self.executors, &tokens, 0);
+        let ship = crate::broadcast::BroadcastShip {
+            value: bv,
+            ack_to: me,
+            ack_token: root.ack_token,
+            children: root.children,
+        };
+        ctx.send(self.executors[0], tags::BROADCAST_RELAY, ship, bytes);
+        let mut pending = tokens;
+        while !pending.is_empty() {
+            let env = ctx
+                .recv_reply(&pending, None)
+                .expect("broadcast ack wait failed");
+            pending.retain(|&t| t != env.corr);
+        }
+        Broadcast {
+            id,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Release a broadcast variable on the driver and every executor.
+    /// Iterative drivers that broadcast a fresh model each round (the MLlib
+    /// loop) must drop the previous one or executor memory grows without
+    /// bound.
+    pub fn drop_broadcast<T>(&mut self, ctx: &mut SimCtx, b: Broadcast<T>) {
+        self.broadcasts.retain(|bv| bv.id != b.id);
+        let reqs = self
+            .executors
+            .iter()
+            .map(|&e| {
+                (
+                    e,
+                    tags::DROP_BROADCAST,
+                    Box::new(b.id) as Box<dyn Any + Send>,
+                    16u64,
+                )
+            })
+            .collect();
+        let _ = ctx.call_many(reqs);
+    }
+
+    /// Broadcast with automatic wire sizing.
+    pub fn broadcast_t<T: Send + Sync + WireSize + 'static>(
+        &mut self,
+        ctx: &mut SimCtx,
+        value: T,
+    ) -> Broadcast<T> {
+        let bytes = value.wire_size();
+        self.broadcast(ctx, value, bytes)
+    }
+
+    // ---- job execution -------------------------------------------------------
+
+    /// Run one task per partition of `rdd`; each task materializes its
+    /// partition and applies `f`. Returns per-partition results in
+    /// partition order. This is the engine's only stage primitive — every
+    /// action is sugar over it.
+    pub fn run_job<T, R>(
+        &mut self,
+        ctx: &mut SimCtx,
+        rdd: &Rdd<T>,
+        f: impl Fn(&[T], &mut WorkCtx<'_, '_>) -> R + Send + Sync + 'static,
+        result_bytes: impl Fn(&R) -> u64 + Send + Sync + 'static,
+    ) -> Result<Vec<R>, JobError>
+    where
+        T: Clone + Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        let node = rdd.erased();
+        let f = Arc::new(f);
+        let result_bytes = Arc::new(result_bytes);
+        let jobs: Vec<Arc<dyn Fn(&mut WorkCtx<'_, '_>) -> (Box<dyn Any + Send>, u64) + Send + Sync>> =
+            (0..rdd.partitions())
+                .map(|part| {
+                    let node = Arc::clone(&node);
+                    let f = Arc::clone(&f);
+                    let result_bytes = Arc::clone(&result_bytes);
+                    Arc::new(move |w: &mut WorkCtx<'_, '_>| {
+                        let data = materialize_any(&node, part, w);
+                        let typed = data
+                            .downcast_ref::<Vec<T>>()
+                            .expect("job input type mismatch");
+                        let r = f(typed, w);
+                        let bytes = result_bytes(&r);
+                        (Box::new(r) as Box<dyn Any + Send>, bytes)
+                    })
+                        as Arc<dyn Fn(&mut WorkCtx<'_, '_>) -> (Box<dyn Any + Send>, u64) + Send + Sync>
+                })
+                .collect();
+
+        let raw = self.run_tasks(ctx, jobs)?;
+        Ok(raw
+            .into_iter()
+            .map(|b| *b.downcast::<R>().expect("job result type mismatch"))
+            .collect())
+    }
+
+    /// Scatter the erased tasks across executors (partition `p` prefers
+    /// executor `p % E`), gather replies, retry failures, replace dead
+    /// executors.
+    fn run_tasks(
+        &mut self,
+        ctx: &mut SimCtx,
+        jobs: Vec<Arc<dyn Fn(&mut WorkCtx<'_, '_>) -> (Box<dyn Any + Send>, u64) + Send + Sync>>,
+    ) -> Result<Vec<Box<dyn Any + Send>>, JobError> {
+        let n = jobs.len();
+        let mut results: Vec<Option<Box<dyn Any + Send>>> = (0..n).map(|_| None).collect();
+        let mut attempts = vec![0u32; n];
+        // corr -> (partition, executor index)
+        let mut pending: HashMap<u64, (usize, usize)> = HashMap::new();
+
+        let dispatch = |sc: &mut SparkContext,
+                            ctx: &mut SimCtx,
+                            part: usize,
+                            pending: &mut HashMap<u64, (usize, usize)>| {
+            let exec_idx = part % sc.executors.len();
+            sc.ensure_alive(ctx, exec_idx);
+            let spec = Arc::new(TaskSpec {
+                job: Arc::clone(&jobs[part]),
+                partition: part,
+                failure_prob: sc.failure.task_failure_prob,
+                failure_waste: sc.failure.failure_waste,
+            });
+            let corr =
+                ctx.send_request(sc.executors[exec_idx], tags::TASK, spec, sc.task_bytes);
+            pending.insert(corr, (part, exec_idx));
+        };
+
+        for part in 0..n {
+            dispatch(self, ctx, part, &mut pending);
+        }
+
+        while !pending.is_empty() {
+            let corrs: Vec<u64> = pending.keys().copied().collect();
+            let deadline = ctx.now() + self.failure.liveness_poll;
+            match ctx.recv_reply(&corrs, Some(deadline)) {
+                Some(env) => {
+                    let (part, _exec_idx) = pending
+                        .remove(&env.corr)
+                        .expect("reply for unknown correlation id");
+                    match env.downcast::<TaskResult>() {
+                        TaskResult::Ok(value) => results[part] = Some(value),
+                        TaskResult::Failed => {
+                            attempts[part] += 1;
+                            self.task_retries += 1;
+                            if attempts[part] >= self.failure.max_task_attempts {
+                                return Err(JobError::TaskRetriesExhausted {
+                                    partition: part,
+                                    attempts: attempts[part],
+                                });
+                            }
+                            dispatch(self, ctx, part, &mut pending);
+                        }
+                    }
+                }
+                None => {
+                    // Timed out: find tasks whose executor died and resend.
+                    let stale: Vec<(u64, usize)> = pending
+                        .iter()
+                        .filter(|(_, (_, e))| !ctx.is_alive(self.executors[*e]))
+                        .map(|(&corr, &(part, _))| (corr, part))
+                        .collect();
+                    for (corr, part) in stale {
+                        pending.remove(&corr);
+                        dispatch(self, ctx, part, &mut pending);
+                    }
+                }
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("missing task result"))
+            .collect())
+    }
+
+    /// Replace a dead executor with a fresh one (lost cache is rebuilt from
+    /// lineage on demand) and re-seed broadcast variables.
+    fn ensure_alive(&mut self, ctx: &mut SimCtx, exec_idx: usize) {
+        if ctx.is_alive(self.executors[exec_idx]) {
+            return;
+        }
+        self.respawn_counter += 1;
+        self.executors_replaced += 1;
+        let name = format!("executor-{exec_idx}r{}", self.respawn_counter);
+        let id = ctx.spawn_daemon(&name, executor_main);
+        self.executors[exec_idx] = id;
+        for bv in &self.broadcasts {
+            let _: ps2_simnet::Envelope = ctx.call(id, tags::BROADCAST, bv.clone(), bv.bytes);
+        }
+    }
+
+    // ---- actions ------------------------------------------------------------
+
+    /// Gather all elements at the driver (each partition's wire size is the
+    /// sum of its elements').
+    pub fn collect<T>(&mut self, ctx: &mut SimCtx, rdd: &Rdd<T>) -> Vec<T>
+    where
+        T: Clone + Send + Sync + WireSize + 'static,
+    {
+        let parts = self
+            .run_job(
+                ctx,
+                rdd,
+                |data, _w| data.to_vec(),
+                |r: &Vec<T>| r.wire_size(),
+            )
+            .expect("collect failed");
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Count elements.
+    pub fn count<T>(&mut self, ctx: &mut SimCtx, rdd: &Rdd<T>) -> u64
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        self.run_job(ctx, rdd, |data, _w| data.len() as u64, |_| 8)
+            .expect("count failed")
+            .into_iter()
+            .sum()
+    }
+
+    /// Map each partition to a partial result, then combine the partials at
+    /// the driver — the MLlib gradient-aggregation pattern. The driver's
+    /// in-NIC serializes the incoming partials.
+    pub fn reduce_partitions<T, R>(
+        &mut self,
+        ctx: &mut SimCtx,
+        rdd: &Rdd<T>,
+        map: impl Fn(&[T], &mut WorkCtx<'_, '_>) -> R + Send + Sync + 'static,
+        combine: impl Fn(R, R) -> R,
+    ) -> Option<R>
+    where
+        T: Clone + Send + Sync + 'static,
+        R: Send + WireSize + 'static,
+    {
+        let parts = self
+            .run_job(ctx, rdd, map, |r: &R| r.wire_size())
+            .expect("reduce failed");
+        parts.into_iter().reduce(combine)
+    }
+
+    /// Run `f` over every partition for its side effects and block until all
+    /// tasks finish — PS2's global barrier idiom (paper Figure 3, line 19).
+    pub fn for_each_partition<T>(
+        &mut self,
+        ctx: &mut SimCtx,
+        rdd: &Rdd<T>,
+        f: impl Fn(&[T], &mut WorkCtx<'_, '_>) + Send + Sync + 'static,
+    ) -> Result<(), JobError>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        self.run_job(
+            ctx,
+            rdd,
+            move |data, w| {
+                f(data, w);
+            },
+            |_| 8,
+        )
+        .map(|_| ())
+    }
+
+    /// Drop all cached blocks on every executor.
+    pub fn clear_caches(&mut self, ctx: &mut SimCtx) {
+        let reqs = self
+            .executors
+            .iter()
+            .map(|&e| {
+                (
+                    e,
+                    tags::CLEAR_CACHE,
+                    Box::new(()) as Box<dyn Any + Send>,
+                    8u64,
+                )
+            })
+            .collect();
+        let _ = ctx.call_many(reqs);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the dataflow engine.
+
+use proptest::prelude::*;
+use ps2_dataflow::{deploy_executors, deploy_shuffle_services, SparkContext};
+use ps2_simnet::SimBuilder;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// collect() returns exactly the input, in order, for any partitioning
+    /// and executor count.
+    #[test]
+    fn collect_is_identity(
+        data in prop::collection::vec(any::<u32>(), 0..300),
+        execs in 1usize..6,
+        parts in 1usize..9
+    ) {
+        let mut sim = SimBuilder::new().seed(1).build();
+        let executors = deploy_executors(&mut sim, execs);
+        let expected = data.clone();
+        let out = sim.spawn_collect("driver", move |ctx| {
+            let mut sc = SparkContext::new(executors);
+            if data.is_empty() {
+                return Vec::new();
+            }
+            let rdd = sc.parallelize(ctx, data, parts);
+            sc.collect(ctx, &rdd)
+        });
+        sim.run().unwrap();
+        prop_assert_eq!(out.take(), expected);
+    }
+
+    /// map then filter commutes with the local equivalent.
+    #[test]
+    fn map_filter_matches_local(
+        data in prop::collection::vec(0u64..10_000, 1..200),
+        mul in 1u64..50,
+        modulo in 1u64..20
+    ) {
+        let mut sim = SimBuilder::new().seed(2).build();
+        let executors = deploy_executors(&mut sim, 3);
+        let input = data.clone();
+        let out = sim.spawn_collect("driver", move |ctx| {
+            let mut sc = SparkContext::new(executors);
+            let rdd = sc.parallelize(ctx, data, 5);
+            let t = rdd.map(move |x| x * mul).filter(move |x| x % modulo == 0);
+            sc.collect(ctx, &t)
+        });
+        sim.run().unwrap();
+        let expected: Vec<u64> = input
+            .iter()
+            .map(|x| x * mul)
+            .filter(|x| x % modulo == 0)
+            .collect();
+        prop_assert_eq!(out.take(), expected);
+    }
+
+    /// reduce_partitions with addition equals the plain sum, no matter how
+    /// elements land in partitions.
+    #[test]
+    fn reduce_is_partition_invariant(
+        data in prop::collection::vec(0u64..1_000_000, 1..300),
+        parts in 1usize..12
+    ) {
+        let mut sim = SimBuilder::new().seed(3).build();
+        let executors = deploy_executors(&mut sim, 4);
+        let expected: u64 = data.iter().sum();
+        let out = sim.spawn_collect("driver", move |ctx| {
+            let mut sc = SparkContext::new(executors);
+            let rdd = sc.parallelize(ctx, data, parts);
+            sc.reduce_partitions(ctx, &rdd, |p, _| p.iter().sum::<u64>(), |a, b| a + b)
+        });
+        sim.run().unwrap();
+        prop_assert_eq!(out.take().unwrap_or(0), expected);
+    }
+
+    /// reduce_by_key equals a local HashMap fold for arbitrary key/value
+    /// multisets.
+    #[test]
+    fn shuffle_reduce_matches_local_fold(
+        pairs in prop::collection::vec((0u64..40, 0u64..1_000), 1..250),
+        execs in 1usize..5
+    ) {
+        let mut sim = SimBuilder::new().seed(4).build();
+        let executors = deploy_executors(&mut sim, execs);
+        let services = deploy_shuffle_services(&mut sim, execs);
+        let input = pairs.clone();
+        let out = sim.spawn_collect("driver", move |ctx| {
+            let mut sc = SparkContext::new(executors);
+            let rdd = sc.parallelize(ctx, pairs, 6);
+            let reduced = sc
+                .reduce_by_key(ctx, &services, &rdd, |a, b| a + b)
+                .unwrap();
+            let mut all = sc.collect(ctx, &reduced);
+            all.sort();
+            all
+        });
+        sim.run().unwrap();
+        let mut expected: std::collections::BTreeMap<u64, u64> = Default::default();
+        for (k, v) in input {
+            *expected.entry(k).or_insert(0) += v;
+        }
+        let expected: Vec<(u64, u64)> = expected.into_iter().collect();
+        prop_assert_eq!(out.take(), expected);
+    }
+
+    /// Task failures never change results, only timing.
+    #[test]
+    fn failures_are_result_transparent(
+        data in prop::collection::vec(0u64..100_000, 1..150),
+        fail_prob in 0.0f64..0.4
+    ) {
+        let run = |p: f64, data: Vec<u64>| {
+            let mut sim = SimBuilder::new().seed(7).build();
+            let executors = deploy_executors(&mut sim, 3);
+            let out = sim.spawn_collect("driver", move |ctx| {
+                let mut sc = SparkContext::new(executors);
+                sc.failure.task_failure_prob = p;
+                sc.failure.max_task_attempts = 1000;
+                let rdd = sc.parallelize(ctx, data, 7);
+                sc.collect(ctx, &rdd)
+            });
+            sim.run().unwrap();
+            out.take()
+        };
+        let clean = run(0.0, data.clone());
+        let faulty = run(fail_prob, data);
+        prop_assert_eq!(clean, faulty);
+    }
+}

@@ -1,0 +1,134 @@
+//! Tests for the shuffle layer (`reduce_by_key` / `group_by_key`).
+
+use ps2_dataflow::{deploy_executors, deploy_shuffle_services, SparkContext};
+use ps2_simnet::{ProcId, SimBuilder};
+
+fn cluster(
+    execs: usize,
+) -> (
+    ps2_simnet::SimRuntime,
+    Vec<ProcId>,
+    Vec<ProcId>,
+) {
+    let mut sim = SimBuilder::new().seed(1).build();
+    let executors = deploy_executors(&mut sim, execs);
+    let services = deploy_shuffle_services(&mut sim, execs);
+    (sim, executors, services)
+}
+
+#[test]
+fn reduce_by_key_counts_words() {
+    let (mut sim, executors, services) = cluster(4);
+    let out = sim.spawn_collect("driver", move |ctx| {
+        let mut sc = SparkContext::new(executors);
+        let words: Vec<(String, u64)> = "the quick brown fox jumps over the lazy dog the end"
+            .split(' ')
+            .map(|w| (w.to_string(), 1u64))
+            .collect();
+        let rdd = sc.parallelize(ctx, words, 4);
+        let counts = sc
+            .reduce_by_key(ctx, &services, &rdd, |a, b| a + b)
+            .unwrap();
+        let mut all = sc.collect(ctx, &counts);
+        all.sort();
+        all
+    });
+    sim.run().unwrap();
+    let counts = out.take();
+    assert!(counts.contains(&("the".to_string(), 3)));
+    assert!(counts.contains(&("fox".to_string(), 1)));
+    assert_eq!(counts.iter().map(|(_, c)| c).sum::<u64>(), 11);
+    // Every key appears exactly once after the reduce.
+    let mut keys: Vec<&String> = counts.iter().map(|(k, _)| k).collect();
+    keys.dedup();
+    assert_eq!(keys.len(), counts.len());
+}
+
+#[test]
+fn reduce_by_key_handles_heavy_duplication_and_many_partitions() {
+    let (mut sim, executors, services) = cluster(6);
+    let out = sim.spawn_collect("driver", move |ctx| {
+        let mut sc = SparkContext::new(executors);
+        let pairs: Vec<(u64, u64)> = (0..6_000u64).map(|i| (i % 17, i)).collect();
+        let rdd = sc.parallelize(ctx, pairs, 12);
+        let sums = sc.reduce_by_key(ctx, &services, &rdd, |a, b| a + b).unwrap();
+        let mut all = sc.collect(ctx, &sums);
+        all.sort();
+        all
+    });
+    sim.run().unwrap();
+    let sums = out.take();
+    assert_eq!(sums.len(), 17);
+    let total: u64 = sums.iter().map(|(_, s)| s).sum();
+    assert_eq!(total, (0..6_000u64).sum::<u64>());
+}
+
+#[test]
+fn group_by_key_collects_all_values() {
+    let (mut sim, executors, services) = cluster(3);
+    let out = sim.spawn_collect("driver", move |ctx| {
+        let mut sc = SparkContext::new(executors);
+        let pairs: Vec<(u32, u32)> = vec![(1, 10), (2, 20), (1, 11), (3, 30), (2, 21), (1, 12)];
+        let rdd = sc.parallelize(ctx, pairs, 3);
+        let grouped = sc.group_by_key(ctx, &services, &rdd).unwrap();
+        let mut all = sc.collect(ctx, &grouped);
+        all.sort();
+        for (_, vs) in all.iter_mut() {
+            vs.sort();
+        }
+        all
+    });
+    sim.run().unwrap();
+    assert_eq!(
+        out.take(),
+        vec![(1, vec![10, 11, 12]), (2, vec![20, 21]), (3, vec![30])]
+    );
+}
+
+#[test]
+fn shuffle_moves_bytes_through_the_network_model() {
+    // The same reduce with 10x the data should move ~10x the bytes.
+    let bytes_for = |n: u64| {
+        let (mut sim, executors, services) = cluster(4);
+        let out = sim.spawn_collect("driver", move |ctx| {
+            let mut sc = SparkContext::new(executors);
+            let pairs: Vec<(u64, u64)> = (0..n).map(|i| (i, 1u64)).collect();
+            let rdd = sc.parallelize(ctx, pairs, 4);
+            let r = sc.reduce_by_key(ctx, &services, &rdd, |a, b| a + b).unwrap();
+            sc.count(ctx, &r)
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(out.take(), n);
+        report.total_bytes
+    };
+    let b1 = bytes_for(1_000);
+    let b10 = bytes_for(10_000);
+    assert!(
+        b10 > 5 * b1,
+        "shuffle bytes must scale with data: {b1} vs {b10}"
+    );
+}
+
+#[test]
+fn shuffled_rdd_composes_with_narrow_ops_and_is_deterministic() {
+    let run = || {
+        let (mut sim, executors, services) = cluster(4);
+        let out = sim.spawn_collect("driver", move |ctx| {
+            let mut sc = SparkContext::new(executors);
+            let pairs: Vec<(u64, u64)> = (0..500u64).map(|i| (i % 7, i * i)).collect();
+            let rdd = sc.parallelize(ctx, pairs, 8);
+            let sums = sc.reduce_by_key(ctx, &services, &rdd, |a, b| a + b).unwrap();
+            let big = sums.filter(|(_, s)| *s > 1_000).map(|(k, s)| (*k, s / 2));
+            let mut all = sc.collect(ctx, &big);
+            all.sort();
+            all
+        });
+        let report = sim.run().unwrap();
+        (out.take(), report.total_bytes)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert!(!a.0.is_empty());
+}

@@ -1,0 +1,123 @@
+//! The paper's Table 3: which systems support which algorithms.
+
+/// The systems compared in §6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum System {
+    SparkMllib,
+    DistMl,
+    Glint,
+    Petuum,
+    Xgboost,
+    Ps2,
+}
+
+impl System {
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::SparkMllib => "Spark MLlib",
+            System::DistMl => "DistML",
+            System::Glint => "Glint",
+            System::Petuum => "Petuum",
+            System::Xgboost => "XGBoost",
+            System::Ps2 => "PS2",
+        }
+    }
+
+    pub fn all() -> [System; 6] {
+        [
+            System::SparkMllib,
+            System::DistMl,
+            System::Glint,
+            System::Petuum,
+            System::Xgboost,
+            System::Ps2,
+        ]
+    }
+}
+
+/// The workloads of Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    Lr,
+    DeepWalk,
+    Gbdt,
+    Lda,
+}
+
+impl Algorithm {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Lr => "LR",
+            Algorithm::DeepWalk => "DeepWalk",
+            Algorithm::Gbdt => "GBDT",
+            Algorithm::Lda => "LDA",
+        }
+    }
+
+    pub fn all() -> [Algorithm; 4] {
+        [
+            Algorithm::Lr,
+            Algorithm::DeepWalk,
+            Algorithm::Gbdt,
+            Algorithm::Lda,
+        ]
+    }
+}
+
+/// Table 3 verbatim.
+pub fn supports(system: System, algo: Algorithm) -> bool {
+    use Algorithm::*;
+    use System::*;
+    match (system, algo) {
+        (SparkMllib, Lr) | (SparkMllib, Gbdt) | (SparkMllib, Lda) => true,
+        (SparkMllib, DeepWalk) => false,
+        (DistMl, Lr) | (DistMl, Lda) => true,
+        (DistMl, _) => false,
+        (Glint, Lda) => true,
+        (Glint, _) => false,
+        (Petuum, Lr) | (Petuum, Lda) => true,
+        (Petuum, _) => false,
+        (Xgboost, Gbdt) => true,
+        (Xgboost, _) => false,
+        (Ps2, _) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_3_spot_checks() {
+        assert!(supports(System::Ps2, Algorithm::DeepWalk));
+        assert!(!supports(System::SparkMllib, Algorithm::DeepWalk));
+        assert!(supports(System::SparkMllib, Algorithm::Gbdt));
+        assert!(!supports(System::Glint, Algorithm::Lr));
+        assert!(supports(System::Xgboost, Algorithm::Gbdt));
+        assert!(!supports(System::Xgboost, Algorithm::Lda));
+        assert!(!supports(System::Petuum, Algorithm::Gbdt));
+    }
+
+    #[test]
+    fn ps2_supports_everything() {
+        for a in Algorithm::all() {
+            assert!(supports(System::Ps2, a));
+        }
+    }
+
+    #[test]
+    fn support_counts_match_paper() {
+        let count = |s: System| {
+            Algorithm::all()
+                .into_iter()
+                .filter(|&a| supports(s, a))
+                .count()
+        };
+        assert_eq!(count(System::SparkMllib), 3);
+        assert_eq!(count(System::DistMl), 2);
+        assert_eq!(count(System::Glint), 1);
+        assert_eq!(count(System::Petuum), 2);
+        assert_eq!(count(System::Xgboost), 1);
+        assert_eq!(count(System::Ps2), 4);
+    }
+}

@@ -1,0 +1,548 @@
+//! Logistic regression with mini-batch gradient descent, implemented
+//! against five execution backends that reproduce the communication
+//! structure of the systems compared in the paper (Figures 1, 9, 10, 13).
+
+
+use ps2_core::{Dcv, Ps2Context, Rdd, WorkCtx};
+use ps2_data::{Example, SparseDatasetGen};
+use ps2_simnet::{SimCtx, SimTime};
+
+use crate::hyper::LrHyper;
+use crate::metrics::{StepBreakdown, TrainingTrace};
+use crate::optim::Optimizer;
+use crate::sort_merge_pairs;
+
+/// Which system's communication structure to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LrBackend {
+    /// Spark MLlib: driver broadcasts the dense model, workers return dense
+    /// gradients, the driver aggregates and updates — the "single-node
+    /// bottleneck" of §2.
+    SparkDriver,
+    /// "PS-": parameter servers with pull/push only. Gradients go to the
+    /// servers, but the optimizer update is done by workers that pull dense
+    /// model slices and push them back (no server-side computation).
+    PsPullPush,
+    /// "PS2-": the full system — sparse pulls, gradient push, and the
+    /// optimizer as a server-side DCV `zip`.
+    Ps2Dcv,
+    /// Petuum-style: parameter servers without sparse communication —
+    /// workers pull the whole dense model and push dense updates (§6.3.1:
+    /// "Petuum has to pull all of the model").
+    PetuumStyle,
+    /// DistML-style: dense pulls, sparse pushes, and an extra per-iteration
+    /// monitor synchronization round.
+    DistmlStyle,
+}
+
+impl LrBackend {
+    pub fn label(&self, opt: &Optimizer) -> String {
+        let prefix = match self {
+            LrBackend::SparkDriver => "Spark",
+            LrBackend::PsPullPush => "PS",
+            LrBackend::Ps2Dcv => "PS2",
+            LrBackend::PetuumStyle => "Petuum",
+            LrBackend::DistmlStyle => "DistML",
+        };
+        format!("{prefix}-{}", opt.name())
+    }
+}
+
+/// A complete LR training configuration.
+#[derive(Clone, Debug)]
+pub struct LrConfig {
+    pub dataset: SparseDatasetGen,
+    pub optimizer: Optimizer,
+    pub hyper: LrHyper,
+    pub iterations: usize,
+}
+
+impl LrConfig {
+    pub fn new(dataset: SparseDatasetGen, optimizer: Optimizer, iterations: usize) -> LrConfig {
+        LrConfig {
+            dataset,
+            optimizer,
+            hyper: LrHyper::default(),
+            iterations,
+        }
+    }
+}
+
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Numerically stable `ln(1 + exp(-m))` (logistic loss at margin `m`).
+#[inline]
+pub fn log_loss(margin: f64) -> f64 {
+    if margin > 0.0 {
+        (-margin).exp().ln_1p()
+    } else {
+        -margin + margin.exp().ln_1p()
+    }
+}
+
+/// Sorted distinct feature columns of a batch — the sparse-pull working set.
+pub fn distinct_cols(batch: &[Example]) -> Vec<u64> {
+    let mut cols: Vec<u64> = batch
+        .iter()
+        .flat_map(|ex| ex.features.iter().map(|&(j, _)| j))
+        .collect();
+    cols.sort_unstable();
+    cols.dedup();
+    cols
+}
+
+/// Gradient of the logistic loss over `batch`, aligned with `cols` (which
+/// must contain every feature of the batch). Returns `(gradient, loss sum)`.
+pub fn grad_aligned(batch: &[Example], cols: &[u64], w: &[f64]) -> (Vec<f64>, f64) {
+    debug_assert_eq!(cols.len(), w.len());
+    let mut grad = vec![0.0; cols.len()];
+    let mut loss = 0.0;
+    for ex in batch {
+        let mut margin = 0.0;
+        for &(j, v) in ex.features.iter() {
+            let pos = cols.binary_search(&j).expect("col missing from working set");
+            margin += w[pos] * v;
+        }
+        let ym = ex.label * margin;
+        loss += log_loss(ym);
+        let coef = -ex.label * sigmoid(-ym);
+        for &(j, v) in ex.features.iter() {
+            let pos = cols.binary_search(&j).expect("col missing from working set");
+            grad[pos] += coef * v;
+        }
+    }
+    (grad, loss)
+}
+
+/// Same gradient against a full dense weight vector (the broadcast path).
+pub fn grad_dense(batch: &[Example], w: &[f64]) -> (Vec<(u64, f64)>, f64) {
+    let mut pairs = Vec::new();
+    let mut loss = 0.0;
+    for ex in batch {
+        let margin = ex.dot_dense(w);
+        let ym = ex.label * margin;
+        loss += log_loss(ym);
+        let coef = -ex.label * sigmoid(-ym);
+        for &(j, v) in ex.features.iter() {
+            pairs.push((j, coef * v));
+        }
+    }
+    (sort_merge_pairs(pairs), loss)
+}
+
+fn batch_nnz(batch: &[Example]) -> u64 {
+    batch.iter().map(|e| e.features.len() as u64).sum()
+}
+
+/// Train LR and return the loss-versus-time trace.
+pub fn train_lr(
+    ctx: &mut SimCtx,
+    ps2: &mut Ps2Context,
+    cfg: &LrConfig,
+    backend: LrBackend,
+) -> TrainingTrace {
+    let gen = cfg.dataset.clone();
+    let parts = gen.partitions;
+    let gen2 = gen.clone();
+    let data = ps2
+        .spark
+        .source(parts, move |p, w| {
+            let rows = gen2.partition(p);
+            w.sim.charge_mem(16 * batch_nnz(&rows));
+            rows
+        })
+        .cache();
+    // Materialize the cache before the timed loop (data loading is not part
+    // of the figures' training time).
+    let _ = ps2.spark.count(ctx, &data);
+
+    match backend {
+        LrBackend::SparkDriver => train_spark_driver(ctx, ps2, cfg, &data),
+        LrBackend::Ps2Dcv => train_ps_family(ctx, ps2, cfg, &data, PsMode::Ps2),
+        LrBackend::PsPullPush => train_ps_family(ctx, ps2, cfg, &data, PsMode::PullPush),
+        LrBackend::PetuumStyle => train_ps_family(ctx, ps2, cfg, &data, PsMode::Petuum),
+        LrBackend::DistmlStyle => train_ps_family(ctx, ps2, cfg, &data, PsMode::Distml),
+    }
+}
+
+// ---- Spark MLlib emulation ---------------------------------------------------
+
+fn train_spark_driver(
+    ctx: &mut SimCtx,
+    ps2: &mut Ps2Context,
+    cfg: &LrConfig,
+    data: &Rdd<Example>,
+) -> TrainingTrace {
+    let dim = cfg.dataset.dim as usize;
+    let lr = cfg.hyper.learning_rate;
+    let expected_batch =
+        (cfg.dataset.rows as f64 * cfg.hyper.mini_batch_fraction).max(1.0);
+    let opt = cfg.optimizer;
+
+    let mut trace = TrainingTrace::new(LrBackend::SparkDriver.label(&opt));
+    let mut breakdown = StepBreakdown::default();
+
+    let mut w = vec![0.0; dim];
+    let mut aux: Vec<Vec<f64>> = (0..opt.aux_rows()).map(|_| vec![0.0; dim]).collect();
+
+    let start = ctx.now();
+    for t in 1..=cfg.iterations {
+        let t0 = ctx.now();
+        // (1) Model broadcast: the driver ships the dense model to every
+        // executor, serializing on its out-NIC.
+        let b = ps2.spark.broadcast(ctx, w.clone(), 8 * dim as u64);
+        let t1 = ctx.now();
+
+        // (2)+(3) Gradient calculation and aggregation. Workers *compute*
+        // sparsely but MLlib aggregates dense gradient vectors, so each
+        // task result declares the dense wire size.
+        let batch = data.sample(cfg.hyper.mini_batch_fraction, t as u64);
+        let results = ps2
+            .spark
+            .run_job(
+                ctx,
+                &batch,
+                move |examples, wk: &mut WorkCtx<'_, '_>| {
+                    let c0 = wk.sim.now();
+                    let wv = wk.broadcast(&b);
+                    let (pairs, loss) = grad_dense(examples, &wv);
+                    wk.sim.charge_flops(6 * batch_nnz(examples));
+                    let compute = (wk.sim.now() - c0).as_secs_f64();
+                    (pairs, loss, examples.len() as u64, compute)
+                },
+                move |_r| 24 + 8 * dim as u64, // dense aggregation on the wire
+            )
+            .expect("gradient job failed");
+        let t2 = ctx.now();
+
+        // (4) Model update at the driver.
+        let mut g = vec![0.0; dim];
+        let mut loss_sum = 0.0;
+        let mut n = 0u64;
+        let mut max_compute: f64 = 0.0;
+        for (pairs, loss, cnt, compute) in results {
+            for (j, v) in pairs {
+                g[j as usize] += v;
+            }
+            loss_sum += loss;
+            n += cnt;
+            max_compute = max_compute.max(compute);
+        }
+        for gi in &mut g {
+            *gi /= expected_batch;
+        }
+        ctx.charge_flops(dim as u64 * (2 + opt.flops_per_elem()));
+        {
+            let mut aux_refs: Vec<&mut [f64]> =
+                aux.iter_mut().map(|v| v.as_mut_slice()).collect();
+            opt.apply(lr, t as i32, &mut w, &mut aux_refs, &g);
+        }
+        ps2.spark.drop_broadcast(ctx, b);
+        let t3 = ctx.now();
+
+        breakdown.broadcast += (t1 - t0).as_secs_f64();
+        breakdown.gradient_calc += max_compute;
+        breakdown.aggregation += ((t2 - t1).as_secs_f64() - max_compute).max(0.0);
+        breakdown.model_update += (t3 - t2).as_secs_f64();
+        trace.record(start, ctx.now(), loss_sum / (n.max(1) as f64));
+    }
+    let iters = cfg.iterations.max(1) as f64;
+    breakdown.broadcast /= iters;
+    breakdown.gradient_calc /= iters;
+    breakdown.aggregation /= iters;
+    breakdown.model_update /= iters;
+    trace.breakdown = Some(breakdown);
+    trace
+}
+
+// ---- parameter-server family -------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PsMode {
+    /// Sparse pulls, gradient push, server-side zip update.
+    Ps2,
+    /// Sparse pulls, gradient push, worker-side pull/push update.
+    PullPush,
+    /// Dense pulls, dense pushes (no sparse communication).
+    Petuum,
+    /// Dense pulls, sparse pushes, extra coordination round.
+    Distml,
+}
+
+fn train_ps_family(
+    ctx: &mut SimCtx,
+    ps2: &mut Ps2Context,
+    cfg: &LrConfig,
+    data: &Rdd<Example>,
+    mode: PsMode,
+) -> TrainingTrace {
+    let dim = cfg.dataset.dim;
+    let lr = cfg.hyper.learning_rate;
+    let expected_batch =
+        (cfg.dataset.rows as f64 * cfg.hyper.mini_batch_fraction).max(1.0);
+    let opt = cfg.optimizer;
+    let backend = match mode {
+        PsMode::Ps2 => LrBackend::Ps2Dcv,
+        PsMode::PullPush => LrBackend::PsPullPush,
+        PsMode::Petuum => LrBackend::PetuumStyle,
+        PsMode::Distml => LrBackend::DistmlStyle,
+    };
+    let mut trace = TrainingTrace::new(backend.label(&opt));
+
+    // SGD with direct scaled pushes needs only `w`; stateful optimizers
+    // need the aux vectors and a gradient accumulator.
+    let direct_sgd = matches!(opt, Optimizer::Sgd) && mode != PsMode::PullPush;
+    let k = if direct_sgd { 1 } else { 2 + opt.aux_rows() };
+    let w = ps2.dense_dcv(ctx, dim, k);
+    let aux: Vec<Dcv> = (0..opt.aux_rows()).map(|_| w.derive(ctx)).collect();
+    let g = if direct_sgd { None } else { Some(w.derive(ctx)) };
+
+    // The worker-slice update job for pull/push mode.
+    let workers = ps2.spark.num_executors();
+    let slices = ps2.spark.source(workers, |p, _w| vec![p as u64]);
+
+    let start = ctx.now();
+    for t in 1..=cfg.iterations {
+        let batch = data.sample(cfg.hyper.mini_batch_fraction, t as u64);
+        let wd = w.clone();
+        let gd = g.clone();
+        let scale = 1.0 / expected_batch;
+        let dense_pull = matches!(mode, PsMode::Petuum | PsMode::Distml);
+        let dense_push = mode == PsMode::Petuum;
+
+        // Gradient phase (workers).
+        let results = ps2
+            .spark
+            .run_job(
+                ctx,
+                &batch,
+                move |examples, wk: &mut WorkCtx<'_, '_>| {
+                    if examples.is_empty() {
+                        return (0.0, 0u64);
+                    }
+                    let (pairs, loss) = if dense_pull {
+                        let wv = wd.pull(wk.sim);
+                        grad_dense(examples, &wv)
+                    } else {
+                        let cols = distinct_cols(examples);
+                        let wv = wd.pull_indices(wk.sim, &cols);
+                        let (grad, loss) = grad_aligned(examples, &cols, &wv);
+                        (
+                            cols.into_iter().zip(grad).collect::<Vec<_>>(),
+                            loss,
+                        )
+                    };
+                    wk.sim.charge_flops(6 * batch_nnz(examples));
+                    let target = gd.as_ref().unwrap_or(&wd);
+                    let factor = if gd.is_some() { scale } else { -lr * scale };
+                    if dense_push {
+                        let mut dense = vec![0.0; wd.dim() as usize];
+                        for (j, v) in &pairs {
+                            dense[*j as usize] = v * factor;
+                        }
+                        target.add_dense(wk.sim, &dense);
+                    } else {
+                        let scaled: Vec<(u64, f64)> =
+                            pairs.into_iter().map(|(j, v)| (j, v * factor)).collect();
+                        target.add_sparse(wk.sim, &scaled);
+                    }
+                    (loss, examples.len() as u64)
+                },
+                |_r| 24,
+            )
+            .expect("gradient job failed");
+        // The action return is the paper's global barrier (Figure 3 line 19).
+
+        // Model update phase.
+        if let Some(gdcv) = &g {
+            match mode {
+                PsMode::Ps2 => {
+                    // Server-side zip over [w, aux.., g]; no model bytes move.
+                    let rows: Vec<&Dcv> = aux.iter().chain(std::iter::once(gdcv)).collect();
+                    w.zip(&rows)
+                        .map_partitions(ctx, opt.zip_fn(lr, t as i32), opt.flops_per_elem());
+                    gdcv.zero(ctx);
+                }
+                PsMode::PullPush | PsMode::Petuum | PsMode::Distml => {
+                    // Without server-side computation the update runs on the
+                    // workers. The pull/push interface is *row-granular*
+                    // (the §4.1 limitation DCV exists to fix), so every
+                    // worker pulls the full model rows, updates its 1/W
+                    // slice locally, and pushes that slice's deltas back as
+                    // a sparse row update.
+                    let wd = w.clone();
+                    let auxd = aux.clone();
+                    let gdcv = gdcv.clone();
+                    let nw = workers as u64;
+                    let dim_ = dim;
+                    let t_ = t as i32;
+                    ps2.spark
+                        .for_each_partition(ctx, &slices, move |ids, wk| {
+                            let r = ids[0];
+                            let lo = (r * dim_ / nw) as usize;
+                            let hi = ((r + 1) * dim_ / nw) as usize;
+                            if lo == hi {
+                                return;
+                            }
+                            // Row-granular pulls: the whole of every vector.
+                            let wv_full = wd.pull(wk.sim);
+                            let auxv_full: Vec<Vec<f64>> =
+                                auxd.iter().map(|a| a.pull(wk.sim)).collect();
+                            let gv_full = gdcv.pull(wk.sim);
+                            let mut wv = wv_full[lo..hi].to_vec();
+                            let w_old = wv.clone();
+                            let mut auxv: Vec<Vec<f64>> =
+                                auxv_full.iter().map(|a| a[lo..hi].to_vec()).collect();
+                            let aux_old = auxv.clone();
+                            let gv = &gv_full[lo..hi];
+                            let mut aux_refs: Vec<&mut [f64]> =
+                                auxv.iter_mut().map(|v| v.as_mut_slice()).collect();
+                            opt.apply(lr, t_, &mut wv, &mut aux_refs, gv);
+                            wk.sim
+                                .charge_flops((hi - lo) as u64 * opt.flops_per_elem());
+                            // Sparse row updates for the owned slice.
+                            let delta_pairs = |new: &[f64], old: &[f64]| -> Vec<(u64, f64)> {
+                                new.iter()
+                                    .zip(old)
+                                    .enumerate()
+                                    .filter(|(_, (n, o))| *n != *o)
+                                    .map(|(i, (n, o))| ((lo + i) as u64, n - o))
+                                    .collect()
+                            };
+                            wd.add_sparse(wk.sim, &delta_pairs(&wv, &w_old));
+                            for (a, (new_a, old_a)) in
+                                auxd.iter().zip(auxv.iter().zip(&aux_old))
+                            {
+                                a.add_sparse(wk.sim, &delta_pairs(new_a, old_a));
+                            }
+                            let neg_g: Vec<(u64, f64)> = gv
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, v)| **v != 0.0)
+                                .map(|(i, v)| ((lo + i) as u64, -v))
+                                .collect();
+                            gdcv.add_sparse(wk.sim, &neg_g);
+                        })
+                        .expect("update job failed");
+                }
+            }
+        }
+
+        if mode == PsMode::Distml {
+            // DistML's monitor: an extra coordination round per iteration.
+            let dummy = ps2.spark.count(ctx, &slices);
+            let _ = dummy;
+        }
+
+        let mut loss_sum = 0.0;
+        let mut n = 0u64;
+        for (loss, cnt) in results {
+            loss_sum += loss;
+            n += cnt;
+        }
+        trace.record(start, ctx.now(), loss_sum / (n.max(1) as f64));
+    }
+    trace
+}
+
+/// MLlib\* (the paper's reference [34]): Spark MLlib improved with local
+/// model replicas and ring-AllReduce model averaging instead of driver
+/// aggregation. No parameter servers at all; requires one partition per
+/// worker. Included as the strongest driver-free baseline.
+pub fn train_lr_mllib_star(
+    ctx: &mut SimCtx,
+    ps2: &mut Ps2Context,
+    cfg: &LrConfig,
+) -> TrainingTrace {
+    assert!(
+        matches!(cfg.optimizer, Optimizer::Sgd),
+        "MLlib* emulation implements SGD with model averaging"
+    );
+    let gen = cfg.dataset.clone();
+    let workers = ps2.spark.num_executors();
+    assert_eq!(
+        gen.partitions, workers,
+        "MLlib* needs one partition per worker (AllReduce ranks)"
+    );
+    let dim = gen.dim as usize;
+    let lr = cfg.hyper.learning_rate;
+    let fraction = cfg.hyper.mini_batch_fraction;
+    let expected_batch = (gen.rows as f64 * fraction / workers as f64).max(1.0);
+    let gen2 = gen.clone();
+    let data = ps2
+        .spark
+        .source(workers, move |p, w| {
+            let rows = gen2.partition(p);
+            w.sim.charge_mem(16 * batch_nnz(&rows));
+            rows
+        })
+        .cache();
+    let _ = ps2.spark.count(ctx, &data);
+
+    let peers: Vec<ps2_simnet::ProcId> = ps2.spark.executors().to_vec();
+    let mut trace = TrainingTrace::new("MLlib*-SGD");
+    const KEY_MODEL: u64 = 0x57;
+    let start = ctx.now();
+    for t in 1..=cfg.iterations {
+        let batch = data.sample(fraction, t as u64);
+        let peers_c = peers.clone();
+        let nw = workers as f64;
+        let results = ps2
+            .spark
+            .run_job(
+                ctx,
+                &batch,
+                move |examples, wk: &mut WorkCtx<'_, '_>| {
+                    let mut w: Vec<f64> =
+                        wk.take_state(KEY_MODEL).unwrap_or_else(|| vec![0.0; dim]);
+                    // Local SGD step on the replica.
+                    let (pairs, loss) = grad_dense(examples, &w);
+                    for (j, g) in &pairs {
+                        w[*j as usize] -= lr * g / expected_batch;
+                    }
+                    wk.sim.charge_flops(6 * batch_nnz(examples));
+                    // Model averaging via ring AllReduce.
+                    ps2_dataflow::ring_allreduce_sum(wk, &peers_c, wk.partition, &mut w, 8);
+                    for wi in w.iter_mut() {
+                        *wi /= nw;
+                    }
+                    wk.sim.charge_flops(dim as u64);
+                    wk.put_state(KEY_MODEL, w);
+                    (loss, examples.len() as u64)
+                },
+                |_| 24,
+            )
+            .expect("mllib* iteration failed");
+        let (loss_sum, n): (f64, u64) = results
+            .into_iter()
+            .fold((0.0, 0), |(l, c), (li, ci)| (l + li, c + ci));
+        trace.record(start, ctx.now(), loss_sum / n.max(1) as f64);
+    }
+    trace
+}
+
+/// Per-iteration virtual time of one backend at a given dimension — the
+/// Figure 1(a)/13(b) metric.
+pub fn time_per_iteration(trace: &TrainingTrace) -> f64 {
+    trace.time_per_iteration()
+}
+
+/// Convenience: evaluate mean logistic loss of a dense weight vector over a
+/// sample of the dataset, locally (used by tests).
+pub fn eval_loss_local(gen: &SparseDatasetGen, w: &[f64], rows: u64) -> f64 {
+    let mut loss = 0.0;
+    let n = rows.min(gen.rows);
+    for r in 0..n {
+        let ex = gen.example(r);
+        loss += log_loss(ex.label * ex.dot_dense(w));
+    }
+    loss / n.max(1) as f64
+}
+
+/// A tiny virtual-time helper for tests.
+pub fn elapsed(start: SimTime, end: SimTime) -> f64 {
+    (end - start).as_secs_f64()
+}

@@ -1,0 +1,156 @@
+//! Training traces: the `(virtual time, loss)` series behind the paper's
+//! figures.
+
+use ps2_simnet::SimTime;
+
+/// Per-iteration time breakdown of the four MLlib steps (paper Figure 1(b)).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepBreakdown {
+    pub broadcast: f64,
+    pub gradient_calc: f64,
+    pub aggregation: f64,
+    pub model_update: f64,
+}
+
+impl StepBreakdown {
+    pub fn total(&self) -> f64 {
+        self.broadcast + self.gradient_calc + self.aggregation + self.model_update
+    }
+}
+
+/// A loss-versus-virtual-time curve plus optional per-step timing.
+#[derive(Clone, Debug, Default)]
+pub struct TrainingTrace {
+    /// System/backend label (e.g. "PS2-Adam").
+    pub label: String,
+    /// `(virtual seconds since training start, loss)` per iteration.
+    pub points: Vec<(f64, f64)>,
+    /// Mean per-iteration step breakdown, when the backend records it.
+    pub breakdown: Option<StepBreakdown>,
+}
+
+impl TrainingTrace {
+    pub fn new(label: impl Into<String>) -> TrainingTrace {
+        TrainingTrace {
+            label: label.into(),
+            ..TrainingTrace::default()
+        }
+    }
+
+    pub fn record(&mut self, start: SimTime, now: SimTime, loss: f64) {
+        self.points.push(((now - start).as_secs_f64(), loss));
+    }
+
+    /// Final loss, or `+inf` when no point was recorded.
+    pub fn final_loss(&self) -> f64 {
+        self.points.last().map_or(f64::INFINITY, |p| p.1)
+    }
+
+    /// Total virtual training time.
+    pub fn total_time(&self) -> f64 {
+        self.points.last().map_or(0.0, |p| p.0)
+    }
+
+    /// First virtual time at which the loss reached `target`, if ever — the
+    /// "time to reach 0.3 training loss" metric of §6.2.
+    pub fn time_to_loss(&self, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|&&(_, l)| l <= target)
+            .map(|&(t, _)| t)
+    }
+
+    /// Mean per-iteration time.
+    pub fn time_per_iteration(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.total_time() / self.points.len() as f64
+    }
+
+    /// Losses must be finite and the series non-empty — a guard used by
+    /// tests and the bench harness.
+    pub fn is_sane(&self) -> bool {
+        !self.points.is_empty() && self.points.iter().all(|&(t, l)| t.is_finite() && l.is_finite())
+    }
+}
+
+/// Area under the ROC curve from `(score, label ∈ {−1, +1})` pairs —
+/// the CTR evaluation metric. Ties share credit; returns 0.5 when one class
+/// is absent.
+pub fn auc(scored: &[(f64, f64)]) -> f64 {
+    let pos = scored.iter().filter(|&&(_, y)| y > 0.0).count() as f64;
+    let neg = scored.len() as f64 - pos;
+    if pos == 0.0 || neg == 0.0 {
+        return 0.5;
+    }
+    // Rank-sum (Mann-Whitney) formulation with average ranks for ties.
+    let mut sorted: Vec<(f64, f64)> = scored.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN score"));
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1].0 == sorted[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for item in &sorted[i..=j] {
+            if item.1 > 0.0 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    (rank_sum_pos - pos * (pos + 1.0) / 2.0) / (pos * neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_random_and_inverted() {
+        let perfect: Vec<(f64, f64)> = vec![(0.9, 1.0), (0.8, 1.0), (0.2, -1.0), (0.1, -1.0)];
+        assert_eq!(auc(&perfect), 1.0);
+        let inverted: Vec<(f64, f64)> = vec![(0.1, 1.0), (0.2, 1.0), (0.8, -1.0), (0.9, -1.0)];
+        assert_eq!(auc(&inverted), 0.0);
+        let ties: Vec<(f64, f64)> = vec![(0.5, 1.0), (0.5, -1.0)];
+        assert_eq!(auc(&ties), 0.5);
+        let one_class: Vec<(f64, f64)> = vec![(0.5, 1.0), (0.7, 1.0)];
+        assert_eq!(auc(&one_class), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_partial_separation() {
+        let scored: Vec<(f64, f64)> =
+            vec![(0.9, 1.0), (0.6, -1.0), (0.7, 1.0), (0.2, -1.0)];
+        // Pairs: (0.9 beats both), (0.7 beats 0.2, loses to... 0.6<0.7 ok
+        // beats both) → 4/4 minus (0.7 vs 0.6 win) … compute: wins = 4 of 4.
+        assert_eq!(auc(&scored), 1.0);
+        let scored2: Vec<(f64, f64)> =
+            vec![(0.9, 1.0), (0.6, -1.0), (0.5, 1.0), (0.2, -1.0)];
+        // (0.9 beats 0.6, 0.2), (0.5 beats 0.2, loses to 0.6) → 3/4.
+        assert_eq!(auc(&scored2), 0.75);
+    }
+
+    #[test]
+    fn trace_metrics() {
+        let mut t = TrainingTrace::new("x");
+        let s = SimTime::ZERO;
+        t.record(s, SimTime::from_millis(100), 1.0);
+        t.record(s, SimTime::from_millis(250), 0.5);
+        t.record(s, SimTime::from_millis(400), 0.2);
+        assert_eq!(t.final_loss(), 0.2);
+        assert_eq!(t.time_to_loss(0.5), Some(0.25));
+        assert_eq!(t.time_to_loss(0.1), None);
+        assert!((t.total_time() - 0.4).abs() < 1e-12);
+        assert!(t.is_sane());
+    }
+
+    #[test]
+    fn empty_trace_is_not_sane() {
+        assert!(!TrainingTrace::new("e").is_sane());
+        assert_eq!(TrainingTrace::new("e").final_loss(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,997 @@
+//! The PS-client: typed, routed operations on a distributed matrix.
+//!
+//! A [`MatrixHandle`] is held by workers (inside RDD tasks) and by the
+//! coordinator; all its methods scatter requests to the owning servers
+//! through the caller's `SimCtx` and gather the replies. Row-access
+//! operators parallelize across servers under column partitioning — the
+//! paper's fix for the single-point problem — while column-access operators
+//! run server-side over co-located segments.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use ps2_simnet::{ProcId, SimCtx};
+
+use crate::plan::{MatrixId, PartitionPlan, PlanKind, RouteTable};
+use crate::protocol::{
+    tags, AggKind, AggReq, AxpyReq, ColsSel, CrossDotReq, CrossElemReq, DotReq, ElemOp, ElemReq,
+    FillReq, PullBlockReq, PullReq, PushBlockReq, PushData, PushReq, ScaleReq, ZipMapFn,
+    ZipMapReq, ZipMutFn, ZipReq,
+};
+
+/// A handle to one distributed `rows × dim` matrix. Cheap to clone; safe to
+/// capture in task closures.
+#[derive(Clone)]
+pub struct MatrixHandle {
+    pub id: MatrixId,
+    pub plan: Arc<PartitionPlan>,
+    /// Slot → live server process mapping, shared with the master (which
+    /// updates it when replacing failed servers).
+    pub route: Arc<RouteTable>,
+    /// Bytes per parameter on the wire: 8 for raw `f64`, 4 with the paper's
+    /// message compression (§6.3.3).
+    pub value_bytes: u64,
+}
+
+/// Request-header wire cost for PS ops.
+const HDR: u64 = 48;
+
+impl MatrixHandle {
+    pub fn dim(&self) -> u64 {
+        self.plan.dim
+    }
+
+    pub fn rows(&self) -> u32 {
+        self.plan.rows
+    }
+
+    fn is_column(&self) -> bool {
+        matches!(self.plan.kind, PlanKind::Column { .. })
+    }
+
+    /// Whether element-wise server-side ops between `self` and `other` need
+    /// no cross-server traffic.
+    pub fn colocated_with(&self, other: &MatrixHandle) -> bool {
+        self.plan.colocated_with(&other.plan)
+    }
+
+    // ---- row access: pull -------------------------------------------------
+
+    /// Pull a full dense row, gathering segments from every server in
+    /// parallel.
+    pub fn pull_row(&self, ctx: &mut SimCtx, row: u32) -> Vec<f64> {
+        assert!(row < self.rows());
+        match &self.plan.kind {
+            PlanKind::Column { .. } => {
+                let ranges = self.plan.column_ranges();
+                let reqs = ranges
+                    .iter()
+                    .map(|&(slot, _, _)| {
+                        let srv = self.route.resolve(slot);
+                        let req = PullReq {
+                            id: self.id,
+                            row,
+                            cols: ColsSel::All,
+                            value_bytes: self.value_bytes,
+                        };
+                        (srv, tags::PULL, Box::new(req) as Box<dyn Any + Send>, HDR)
+                    })
+                    .collect();
+                let replies = ctx.call_many(reqs);
+                let mut out = Vec::with_capacity(self.dim() as usize);
+                for env in replies {
+                    let segs = env.downcast::<Vec<Vec<f64>>>();
+                    for seg in segs {
+                        out.extend(seg);
+                    }
+                }
+                debug_assert_eq!(out.len() as u64, self.dim());
+                out
+            }
+            PlanKind::Row { .. } => {
+                let owner = self.route.resolve(self.plan.row_owner(row));
+                let req = PullReq {
+                    id: self.id,
+                    row,
+                    cols: ColsSel::All,
+                    value_bytes: self.value_bytes,
+                };
+                let segs: Vec<Vec<f64>> = ctx.call(owner, tags::PULL, req, HDR).downcast();
+                segs.into_iter().flatten().collect()
+            }
+        }
+    }
+
+    /// Sparse pull: only the requested columns travel — the mechanism behind
+    /// PS2's advantage over Petuum's full-model pulls (§6.3.1). `cols` must
+    /// be sorted ascending; values return in the same order.
+    pub fn pull_cols(&self, ctx: &mut SimCtx, row: u32, cols: &[u64]) -> Vec<f64> {
+        if cols.is_empty() {
+            return Vec::new();
+        }
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "cols must be sorted");
+        if !self.is_column() {
+            let owner = self.route.resolve(self.plan.row_owner(row));
+            let req = PullReq {
+                id: self.id,
+                row,
+                cols: ColsSel::List(Arc::new(cols.to_vec())),
+                value_bytes: self.value_bytes,
+            };
+            let bytes = HDR + 4 * cols.len() as u64;
+            return ctx.call(owner, tags::PULL, req, bytes).downcast();
+        }
+        // Split by server range; cols are sorted so each chunk is contiguous.
+        let mut reqs = Vec::new();
+        let mut spans: Vec<(usize, usize)> = Vec::new(); // [start, end) into cols
+        let ranges = self.plan.column_ranges();
+        let mut i = 0usize;
+        for &(slot, _lo, hi) in &ranges {
+            let srv = self.route.resolve(slot);
+            let start = i;
+            while i < cols.len() && cols[i] < hi {
+                i += 1;
+            }
+            if i > start {
+                let chunk: Vec<u64> = cols[start..i].to_vec();
+                let bytes = HDR + 4 * chunk.len() as u64;
+                let req = PullReq {
+                    id: self.id,
+                    row,
+                    cols: ColsSel::List(Arc::new(chunk)),
+                    value_bytes: self.value_bytes,
+                };
+                reqs.push((srv, tags::PULL, Box::new(req) as Box<dyn Any + Send>, bytes));
+                spans.push((start, i));
+            }
+        }
+        let replies = ctx.call_many(reqs);
+        let mut out = vec![0.0; cols.len()];
+        for (env, (start, end)) in replies.into_iter().zip(spans) {
+            let values = env.downcast::<Vec<f64>>();
+            out[start..end].copy_from_slice(&values);
+        }
+        out
+    }
+
+    /// Ranged pull: the contiguous columns `[lo, hi)` of a row — the dense
+    /// worker-slice access the pull/push-only model-update path uses.
+    pub fn pull_range(&self, ctx: &mut SimCtx, row: u32, lo: u64, hi: u64) -> Vec<f64> {
+        assert!(lo <= hi && hi <= self.dim());
+        if lo == hi {
+            return Vec::new();
+        }
+        if !self.is_column() {
+            let owner = self.route.resolve(self.plan.row_owner(row));
+            let req = PullReq {
+                id: self.id,
+                row,
+                cols: ColsSel::Range(lo, hi),
+                value_bytes: self.value_bytes,
+            };
+            return ctx.call(owner, tags::PULL, req, HDR + 16).downcast();
+        }
+        let pieces = self.plan.locate_range(lo, hi);
+        let reqs = pieces
+            .iter()
+            .map(|&(plo, phi, slot)| {
+                let srv = self.route.resolve(slot);
+                let req = PullReq {
+                    id: self.id,
+                    row,
+                    cols: ColsSel::Range(plo, phi),
+                    value_bytes: self.value_bytes,
+                };
+                (
+                    srv,
+                    tags::PULL,
+                    Box::new(req) as Box<dyn Any + Send>,
+                    HDR + 16,
+                )
+            })
+            .collect();
+        let replies = ctx.call_many(reqs);
+        let mut out = Vec::with_capacity((hi - lo) as usize);
+        for env in replies {
+            out.extend(env.downcast::<Vec<f64>>());
+        }
+        debug_assert_eq!(out.len() as u64, hi - lo);
+        out
+    }
+
+    // ---- row access: push (add) --------------------------------------------
+
+    /// Dense additive push of a full row, split across servers.
+    pub fn push_dense(&self, ctx: &mut SimCtx, row: u32, values: &[f64]) {
+        assert_eq!(values.len() as u64, self.dim());
+        match &self.plan.kind {
+            PlanKind::Column { .. } => {
+                let reqs = self
+                    .plan
+                    .column_ranges()
+                    .into_iter()
+                    .map(|(slot, lo, hi)| {
+                        let srv = self.route.resolve(slot);
+                        let seg: Vec<f64> = values[lo as usize..hi as usize].to_vec();
+                        let bytes = HDR + self.value_bytes * seg.len() as u64;
+                        let req = PushReq {
+                            id: self.id,
+                            row,
+                            data: PushData::DenseSeg {
+                                lo,
+                                values: Arc::new(seg),
+                            },
+                        };
+                        (srv, tags::PUSH, Box::new(req) as Box<dyn Any + Send>, bytes)
+                    })
+                    .collect();
+                let _ = ctx.call_many(reqs);
+            }
+            PlanKind::Row { .. } => {
+                let owner = self.route.resolve(self.plan.row_owner(row));
+                let bytes = HDR + self.value_bytes * values.len() as u64;
+                let req = PushReq {
+                    id: self.id,
+                    row,
+                    data: PushData::DenseSeg {
+                        lo: 0,
+                        values: Arc::new(values.to_vec()),
+                    },
+                };
+                let _ = ctx.call(owner, tags::PUSH, req, bytes);
+            }
+        }
+    }
+
+    /// Dense additive push of the contiguous columns `[lo, lo+values.len())`
+    /// of a row, split across the owning servers.
+    pub fn push_dense_range(&self, ctx: &mut SimCtx, row: u32, lo: u64, values: &[f64]) {
+        let hi = lo + values.len() as u64;
+        assert!(hi <= self.dim());
+        if values.is_empty() {
+            return;
+        }
+        if !self.is_column() {
+            let owner = self.route.resolve(self.plan.row_owner(row));
+            let bytes = HDR + self.value_bytes * values.len() as u64;
+            let req = PushReq {
+                id: self.id,
+                row,
+                data: PushData::DenseSeg {
+                    lo,
+                    values: Arc::new(values.to_vec()),
+                },
+            };
+            let _ = ctx.call(owner, tags::PUSH, req, bytes);
+            return;
+        }
+        let reqs = self
+            .plan
+            .locate_range(lo, hi)
+            .into_iter()
+            .map(|(plo, phi, slot)| {
+                let srv = self.route.resolve(slot);
+                let seg: Vec<f64> =
+                    values[(plo - lo) as usize..(phi - lo) as usize].to_vec();
+                let bytes = HDR + self.value_bytes * seg.len() as u64;
+                let req = PushReq {
+                    id: self.id,
+                    row,
+                    data: PushData::DenseSeg {
+                        lo: plo,
+                        values: Arc::new(seg),
+                    },
+                };
+                (srv, tags::PUSH, Box::new(req) as Box<dyn Any + Send>, bytes)
+            })
+            .collect();
+        let _ = ctx.call_many(reqs);
+    }
+
+    /// Sparse additive push (`(column, delta)` pairs, sorted by column).
+    pub fn push_sparse(&self, ctx: &mut SimCtx, row: u32, pairs: &[(u64, f64)]) {
+        if pairs.is_empty() {
+            return;
+        }
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        let per_pair = 4 + self.value_bytes;
+        if !self.is_column() {
+            let owner = self.route.resolve(self.plan.row_owner(row));
+            let bytes = HDR + per_pair * pairs.len() as u64;
+            let req = PushReq {
+                id: self.id,
+                row,
+                data: PushData::Sparse(Arc::new(pairs.to_vec())),
+            };
+            let _ = ctx.call(owner, tags::PUSH, req, bytes);
+            return;
+        }
+        let ranges = self.plan.column_ranges();
+        let mut reqs = Vec::new();
+        let mut i = 0usize;
+        for &(slot, _lo, hi) in &ranges {
+            let srv = self.route.resolve(slot);
+            let start = i;
+            while i < pairs.len() && pairs[i].0 < hi {
+                i += 1;
+            }
+            if i > start {
+                let chunk: Vec<(u64, f64)> = pairs[start..i].to_vec();
+                let bytes = HDR + per_pair * chunk.len() as u64;
+                let req = PushReq {
+                    id: self.id,
+                    row,
+                    data: PushData::Sparse(Arc::new(chunk)),
+                };
+                reqs.push((srv, tags::PUSH, Box::new(req) as Box<dyn Any + Send>, bytes));
+            }
+        }
+        let _ = ctx.call_many(reqs);
+    }
+
+    // ---- row access: aggregations -------------------------------------------
+
+    /// Row aggregation (`sum`, `nnz`, `norm2`, `max`) computed server-side;
+    /// only one scalar per server crosses the network.
+    pub fn agg(&self, ctx: &mut SimCtx, row: u32, kind: AggKind) -> f64 {
+        let servers = self.row_servers(row);
+        let reqs = servers
+            .iter()
+            .map(|&srv| {
+                let req = AggReq {
+                    id: self.id,
+                    row,
+                    kind,
+                };
+                (srv, tags::AGG, Box::new(req) as Box<dyn Any + Send>, HDR)
+            })
+            .collect();
+        let partials: Vec<f64> = ctx
+            .call_many(reqs)
+            .into_iter()
+            .map(|env| env.downcast::<f64>())
+            .collect();
+        match kind {
+            AggKind::Max => partials.into_iter().fold(f64::NEG_INFINITY, f64::max),
+            _ => partials.into_iter().sum(),
+        }
+    }
+
+    pub fn sum(&self, ctx: &mut SimCtx, row: u32) -> f64 {
+        self.agg(ctx, row, AggKind::Sum)
+    }
+
+    pub fn nnz(&self, ctx: &mut SimCtx, row: u32) -> u64 {
+        self.agg(ctx, row, AggKind::Nnz) as u64
+    }
+
+    pub fn norm2(&self, ctx: &mut SimCtx, row: u32) -> f64 {
+        self.agg(ctx, row, AggKind::Norm2Sq).sqrt()
+    }
+
+    // ---- column access: server-side computation --------------------------------
+
+    /// Dot product of two rows of this matrix, computed server-side over
+    /// co-located segments; only partial scalars travel.
+    pub fn dot(&self, ctx: &mut SimCtx, row_a: u32, row_b: u32) -> f64 {
+        let servers = self.col_op_servers(&[row_a, row_b]);
+        let reqs = servers
+            .iter()
+            .map(|&srv| {
+                let req = DotReq {
+                    id: self.id,
+                    row_a,
+                    row_b,
+                };
+                (srv, tags::DOT, Box::new(req) as Box<dyn Any + Send>, HDR)
+            })
+            .collect();
+        ctx.call_many(reqs)
+            .into_iter()
+            .map(|env| env.downcast::<f64>())
+            .sum()
+    }
+
+    /// `dst += alpha * src`, server-side.
+    pub fn axpy(&self, ctx: &mut SimCtx, dst_row: u32, src_row: u32, alpha: f64) {
+        let servers = self.col_op_servers(&[dst_row, src_row]);
+        let reqs = servers
+            .iter()
+            .map(|&srv| {
+                let req = AxpyReq {
+                    id: self.id,
+                    dst_row,
+                    src_row,
+                    alpha,
+                };
+                (srv, tags::AXPY, Box::new(req) as Box<dyn Any + Send>, HDR)
+            })
+            .collect();
+        let _ = ctx.call_many(reqs);
+    }
+
+    /// `dst = a op b`, element-wise, server-side.
+    pub fn elem(&self, ctx: &mut SimCtx, dst_row: u32, a_row: u32, b_row: u32, op: ElemOp) {
+        let servers = self.col_op_servers(&[dst_row, a_row, b_row]);
+        let reqs = servers
+            .iter()
+            .map(|&srv| {
+                let req = ElemReq {
+                    id: self.id,
+                    dst_row,
+                    a_row,
+                    b_row,
+                    op,
+                };
+                (srv, tags::ELEM, Box::new(req) as Box<dyn Any + Send>, HDR)
+            })
+            .collect();
+        let _ = ctx.call_many(reqs);
+    }
+
+    /// Server-side multi-row update: on every server, `f` receives mutable
+    /// co-located segments of `rows` (paper Figure 3's `zip(..).mapPartition`).
+    /// `flops_per_elem` drives the simulated compute charge.
+    pub fn zip(&self, ctx: &mut SimCtx, rows: &[u32], f: ZipMutFn, flops_per_elem: u64) {
+        let servers = self.col_op_servers(rows);
+        let reqs = servers
+            .iter()
+            .map(|&srv| {
+                let req = ZipReq {
+                    id: self.id,
+                    rows: rows.to_vec(),
+                    f: Arc::clone(&f),
+                    flops_per_elem,
+                };
+                let bytes = HDR + 64; // UDF handle + row list
+                (srv, tags::ZIP, Box::new(req) as Box<dyn Any + Send>, bytes)
+            })
+            .collect();
+        let _ = ctx.call_many(reqs);
+    }
+
+    /// Server-side read-only fold over co-located segments: returns `f`'s
+    /// per-range partials combined with `combine` (e.g. `f64::max` for GBDT
+    /// split finding, `+` for losses).
+    pub fn zip_map(
+        &self,
+        ctx: &mut SimCtx,
+        rows: &[u32],
+        f: ZipMapFn,
+        flops_per_elem: u64,
+        init: f64,
+        combine: impl Fn(f64, f64) -> f64,
+    ) -> f64 {
+        let servers = self.col_op_servers(rows);
+        let reqs = servers
+            .iter()
+            .map(|&srv| {
+                let req = ZipMapReq {
+                    id: self.id,
+                    rows: rows.to_vec(),
+                    f: Arc::clone(&f),
+                    flops_per_elem,
+                };
+                let bytes = HDR + 64;
+                (srv, tags::ZIP_MAP, Box::new(req) as Box<dyn Any + Send>, bytes)
+            })
+            .collect();
+        let mut acc = init;
+        for env in ctx.call_many(reqs) {
+            for p in env.downcast::<Vec<f64>>() {
+                acc = combine(acc, p);
+            }
+        }
+        acc
+    }
+
+    /// Server-side argmax scan: `f` maps each server's co-located segments
+    /// to its best `(score, global index)`; the overall best (max score,
+    /// ties to the smaller index) is returned. GBDT split finding runs this
+    /// over the gradient/hessian histograms (paper §5.2.3).
+    pub fn zip_argmax(
+        &self,
+        ctx: &mut SimCtx,
+        rows: &[u32],
+        f: crate::protocol::ZipArgmaxFn,
+        flops_per_elem: u64,
+    ) -> (f64, u64) {
+        let servers = self.col_op_servers(rows);
+        let reqs = servers
+            .iter()
+            .map(|&srv| {
+                let req = crate::protocol::ZipArgmaxReq {
+                    id: self.id,
+                    rows: rows.to_vec(),
+                    f: Arc::clone(&f),
+                    flops_per_elem,
+                };
+                let bytes = HDR + 64;
+                (
+                    srv,
+                    tags::ZIP_ARGMAX,
+                    Box::new(req) as Box<dyn Any + Send>,
+                    bytes,
+                )
+            })
+            .collect();
+        let mut best = (f64::NEG_INFINITY, u64::MAX);
+        for env in ctx.call_many(reqs) {
+            for (score, idx) in env.downcast::<Vec<(f64, u64)>>() {
+                if score > best.0 || (score == best.0 && idx < best.1) {
+                    best = (score, idx);
+                }
+            }
+        }
+        best
+    }
+
+    /// Set every element of a row to `value`.
+    pub fn fill(&self, ctx: &mut SimCtx, row: u32, value: f64) {
+        let servers = self.row_servers(row);
+        let reqs = servers
+            .iter()
+            .map(|&srv| {
+                let req = FillReq {
+                    id: self.id,
+                    row,
+                    value,
+                };
+                (srv, tags::FILL, Box::new(req) as Box<dyn Any + Send>, HDR)
+            })
+            .collect();
+        let _ = ctx.call_many(reqs);
+    }
+
+    pub fn zero(&self, ctx: &mut SimCtx, row: u32) {
+        self.fill(ctx, row, 0.0);
+    }
+
+    /// `row *= alpha`, server-side.
+    pub fn scale(&self, ctx: &mut SimCtx, row: u32, alpha: f64) {
+        let servers = self.row_servers(row);
+        let reqs = servers
+            .iter()
+            .map(|&srv| {
+                let req = ScaleReq {
+                    id: self.id,
+                    row,
+                    alpha,
+                };
+                (srv, tags::SCALE, Box::new(req) as Box<dyn Any + Send>, HDR)
+            })
+            .collect();
+        let _ = ctx.call_many(reqs);
+    }
+
+    // ---- batched ops (DeepWalk's per-pair pattern, amortized) -------------------
+
+    /// Many server-side dot products in **one request per server** (the
+    /// Angel-style batched psFunc: DeepWalk issues one per mini-batch).
+    /// Result `i` is the dot of `pairs[i]`.
+    pub fn dot_many(&self, ctx: &mut SimCtx, pairs: &[(u32, u32)]) -> Vec<f64> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let servers = self.col_op_servers(&[pairs[0].0]);
+        let pairs_arc = Arc::new(pairs.to_vec());
+        let req_bytes = HDR + 8 * pairs.len() as u64;
+        let reqs = servers
+            .iter()
+            .map(|&srv| {
+                let req = crate::protocol::DotBatchReq {
+                    id: self.id,
+                    pairs: Arc::clone(&pairs_arc),
+                };
+                (
+                    srv,
+                    tags::DOT_BATCH,
+                    Box::new(req) as Box<dyn Any + Send>,
+                    req_bytes,
+                )
+            })
+            .collect();
+        let replies = ctx.call_many(reqs);
+        let mut out = vec![0.0; pairs.len()];
+        for env in replies {
+            for (acc, p) in out.iter_mut().zip(env.downcast::<Vec<f64>>()) {
+                *acc += p;
+            }
+        }
+        out
+    }
+
+    /// Many independent server-side zips in one request per server. Each
+    /// job's closure typically captures one scalar coefficient, accounted
+    /// at 16 bytes per job on the wire.
+    pub fn zip_many(
+        &self,
+        ctx: &mut SimCtx,
+        jobs: Vec<(Vec<u32>, ZipMutFn)>,
+        flops_per_elem: u64,
+    ) {
+        if jobs.is_empty() {
+            return;
+        }
+        let servers = self.col_op_servers(&[jobs[0].0[0]]);
+        let rows_total: u64 = jobs.iter().map(|(r, _)| r.len() as u64).sum();
+        let req_bytes = HDR + 16 * jobs.len() as u64 + 4 * rows_total;
+        let jobs_arc = Arc::new(jobs);
+        let reqs = servers
+            .iter()
+            .map(|&srv| {
+                let req = crate::protocol::ZipBatchReq {
+                    id: self.id,
+                    jobs: Arc::clone(&jobs_arc),
+                    flops_per_elem,
+                };
+                (
+                    srv,
+                    tags::ZIP_BATCH,
+                    Box::new(req) as Box<dyn Any + Send>,
+                    req_bytes,
+                )
+            })
+            .collect();
+        let _ = ctx.call_many(reqs);
+    }
+
+    /// Pull many full dense rows in one request per server. Result `i` is
+    /// `rows[i]`'s values.
+    pub fn pull_rows(&self, ctx: &mut SimCtx, rows: &[u32]) -> Vec<Vec<f64>> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        assert!(self.is_column(), "pull_rows requires column partitioning");
+        let mut slots: Vec<usize> = self
+            .plan
+            .column_ranges()
+            .iter()
+            .map(|&(s, _, _)| s)
+            .collect();
+        slots.sort_unstable();
+        slots.dedup();
+        let rows_arc = Arc::new(rows.to_vec());
+        let req_bytes = HDR + 4 * rows.len() as u64;
+        let reqs = slots
+            .iter()
+            .map(|&slot| {
+                let srv = self.route.resolve(slot);
+                let req = crate::protocol::PullRowsReq {
+                    id: self.id,
+                    rows: Arc::clone(&rows_arc),
+                    value_bytes: self.value_bytes,
+                };
+                (
+                    srv,
+                    tags::PULL_ROWS,
+                    Box::new(req) as Box<dyn Any + Send>,
+                    req_bytes,
+                )
+            })
+            .collect();
+        let replies = ctx.call_many(reqs);
+        let mut out: Vec<Vec<f64>> = vec![vec![0.0; self.dim() as usize]; rows.len()];
+        for (&slot, env) in slots.iter().zip(replies) {
+            let per_row = env.downcast::<Vec<Vec<Vec<f64>>>>();
+            let slot_ranges = self.plan.ranges_of(slot);
+            for (row_out, segs) in out.iter_mut().zip(per_row) {
+                for (&(lo, hi), seg) in slot_ranges.iter().zip(segs) {
+                    row_out[lo as usize..hi as usize].copy_from_slice(&seg);
+                    debug_assert_eq!(seg.len() as u64, hi - lo);
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense additive push of many full rows in one request per server.
+    pub fn push_dense_many(&self, ctx: &mut SimCtx, updates: &[(u32, Vec<f64>)]) {
+        if updates.is_empty() {
+            return;
+        }
+        assert!(self.is_column(), "push_dense_many requires column partitioning");
+        let ranges = self.plan.column_ranges();
+        let rows_arc = Arc::new(updates.iter().map(|(r, _)| *r).collect::<Vec<u32>>());
+        let reqs = ranges
+            .iter()
+            .map(|&(slot, lo, hi)| {
+                let srv = self.route.resolve(slot);
+                let segs: Vec<Vec<f64>> = updates
+                    .iter()
+                    .map(|(_, values)| values[lo as usize..hi as usize].to_vec())
+                    .collect();
+                let cells: u64 = segs.iter().map(|s| s.len() as u64).sum();
+                let bytes = HDR + 4 * segs.len() as u64 + self.value_bytes * cells;
+                let req = crate::protocol::PushRowsReq {
+                    id: self.id,
+                    rows: Arc::clone(&rows_arc),
+                    lo,
+                    segs: Arc::new(segs),
+                };
+                (
+                    srv,
+                    tags::PUSH_ROWS,
+                    Box::new(req) as Box<dyn Any + Send>,
+                    bytes,
+                )
+            })
+            .collect();
+        let _ = ctx.call_many(reqs);
+    }
+
+    // ---- block access (LDA's by-column pattern) --------------------------------
+
+    /// Pull the `rows × cols` block, `[col][row]`-ordered. Under column
+    /// partitioning all rows of one column are co-located, so each column
+    /// costs exactly one server's reply.
+    pub fn pull_block(&self, ctx: &mut SimCtx, rows: &[u32], cols: &[u64]) -> Vec<Vec<f64>> {
+        assert!(self.is_column(), "pull_block requires column partitioning");
+        if cols.is_empty() {
+            return Vec::new();
+        }
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        let rows_arc = Arc::new(rows.to_vec());
+        let ranges = self.plan.column_ranges();
+        let mut reqs = Vec::new();
+        let mut spans = Vec::new();
+        let mut i = 0usize;
+        for &(slot, _lo, hi) in &ranges {
+            let srv = self.route.resolve(slot);
+            let start = i;
+            while i < cols.len() && cols[i] < hi {
+                i += 1;
+            }
+            if i > start {
+                let chunk: Vec<u64> = cols[start..i].to_vec();
+                let bytes = HDR + 4 * chunk.len() as u64 + 4 * rows.len() as u64;
+                let req = PullBlockReq {
+                    id: self.id,
+                    rows: Arc::clone(&rows_arc),
+                    cols: Arc::new(chunk),
+                    value_bytes: self.value_bytes,
+                };
+                reqs.push((srv, tags::PULL_BLOCK, Box::new(req) as Box<dyn Any + Send>, bytes));
+                spans.push((start, i));
+            }
+        }
+        let replies = ctx.call_many(reqs);
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); cols.len()];
+        for (env, (start, end)) in replies.into_iter().zip(spans) {
+            let block = env.downcast::<Vec<Vec<f64>>>();
+            for (slot, col_vals) in out[start..end].iter_mut().zip(block) {
+                *slot = col_vals;
+            }
+        }
+        out
+    }
+
+    /// Additive block push: `updates[(col, deltas aligned with rows)]`,
+    /// sorted by column.
+    pub fn push_block(&self, ctx: &mut SimCtx, rows: &[u32], updates: &[(u64, Vec<f64>)]) {
+        assert!(self.is_column(), "push_block requires column partitioning");
+        if updates.is_empty() {
+            return;
+        }
+        debug_assert!(updates.windows(2).all(|w| w[0].0 < w[1].0));
+        let rows_arc = Arc::new(rows.to_vec());
+        let ranges = self.plan.column_ranges();
+        let mut reqs = Vec::new();
+        let mut i = 0usize;
+        let per_cell = self.value_bytes;
+        for &(slot, _lo, hi) in &ranges {
+            let srv = self.route.resolve(slot);
+            let start = i;
+            while i < updates.len() && updates[i].0 < hi {
+                i += 1;
+            }
+            if i > start {
+                let chunk: Vec<(u64, Vec<f64>)> = updates[start..i].to_vec();
+                let cells: u64 = chunk.iter().map(|(_, d)| d.len() as u64).sum();
+                let bytes = HDR + 4 * chunk.len() as u64 + per_cell * cells;
+                let req = PushBlockReq {
+                    id: self.id,
+                    rows: Arc::clone(&rows_arc),
+                    updates: Arc::new(chunk),
+                };
+                reqs.push((srv, tags::PUSH_BLOCK, Box::new(req) as Box<dyn Any + Send>, bytes));
+            }
+        }
+        let _ = ctx.call_many(reqs);
+    }
+
+    /// Per-key block pulls: one request per column, all concurrently in
+    /// flight (an *asynchronous* pull/push store's access pattern — no
+    /// batched block protocol). Same result as [`MatrixHandle::pull_block`],
+    /// different cost: per-request headers for every key.
+    pub fn pull_cols_per_key(
+        &self,
+        ctx: &mut SimCtx,
+        rows: &[u32],
+        cols: &[u64],
+    ) -> Vec<Vec<f64>> {
+        assert!(self.is_column(), "pull_cols_per_key requires column partitioning");
+        if cols.is_empty() {
+            return Vec::new();
+        }
+        let rows_arc = Arc::new(rows.to_vec());
+        let reqs = cols
+            .iter()
+            .map(|&c| {
+                let srv = self.route.resolve(self.plan.col_owner(c));
+                let req = PullBlockReq {
+                    id: self.id,
+                    rows: Arc::clone(&rows_arc),
+                    cols: Arc::new(vec![c]),
+                    value_bytes: self.value_bytes,
+                };
+                (
+                    srv,
+                    tags::PULL_BLOCK,
+                    Box::new(req) as Box<dyn Any + Send>,
+                    HDR + 4 + 4 * rows.len() as u64,
+                )
+            })
+            .collect();
+        ctx.call_many(reqs)
+            .into_iter()
+            .map(|env| {
+                env.downcast::<Vec<Vec<f64>>>()
+                    .into_iter()
+                    .next()
+                    .expect("one column per reply")
+            })
+            .collect()
+    }
+
+    /// Per-key additive pushes, dual of [`MatrixHandle::pull_cols_per_key`]:
+    /// one request per updated column, all concurrently in flight.
+    pub fn push_cols_per_key(
+        &self,
+        ctx: &mut SimCtx,
+        rows: &[u32],
+        updates: &[(u64, Vec<f64>)],
+    ) {
+        assert!(self.is_column(), "push_cols_per_key requires column partitioning");
+        if updates.is_empty() {
+            return;
+        }
+        let rows_arc = Arc::new(rows.to_vec());
+        let per_cell = self.value_bytes;
+        let reqs = updates
+            .iter()
+            .map(|(c, deltas)| {
+                let srv = self.route.resolve(self.plan.col_owner(*c));
+                let bytes = HDR + 4 + per_cell * deltas.len() as u64;
+                let req = PushBlockReq {
+                    id: self.id,
+                    rows: Arc::clone(&rows_arc),
+                    updates: Arc::new(vec![(*c, deltas.clone())]),
+                };
+                (
+                    srv,
+                    tags::PUSH_BLOCK,
+                    Box::new(req) as Box<dyn Any + Send>,
+                    bytes,
+                )
+            })
+            .collect();
+        let _ = ctx.call_many(reqs);
+    }
+
+    // ---- cross-matrix ops (the Figure 4 story) -----------------------------------
+
+    /// Dot between `self[row_self]` and `other[row_other]`.
+    ///
+    /// Co-located: runs like [`MatrixHandle::dot`] — no server↔server bytes.
+    /// Misaligned: each of `self`'s servers fetches the matching remote
+    /// segments before multiplying, paying the shuffle the paper's Figure 4
+    /// warns about. Requests are issued sequentially to keep server↔server
+    /// fetches acyclic.
+    pub fn cross_dot(
+        &self,
+        ctx: &mut SimCtx,
+        other: &MatrixHandle,
+        row_self: u32,
+        row_other: u32,
+    ) -> f64 {
+        assert_eq!(self.dim(), other.dim());
+        assert!(self.is_column() && other.is_column());
+        let mut acc = 0.0;
+        for (slot, lo, hi) in self.plan.column_ranges() {
+            let srv = self.route.resolve(slot);
+            let pieces = if self.colocated_with(other) {
+                vec![(lo, hi, srv)]
+            } else {
+                other
+                    .plan
+                    .locate_range(lo, hi)
+                    .into_iter()
+                    .map(|(a, b, s)| (a, b, other.route.resolve(s)))
+                    .collect()
+            };
+            let req = CrossDotReq {
+                local_id: self.id,
+                local_row: row_self,
+                remote_id: other.id,
+                remote_row: row_other,
+                pieces,
+                value_bytes: other.value_bytes,
+            };
+            let partial: f64 = ctx.call(srv, tags::CROSS_DOT, req, HDR + 24).downcast();
+            acc += partial;
+        }
+        acc
+    }
+
+    /// `self[dst_row] = self[dst_row] op other[src_row]`, handling
+    /// misaligned layouts by server↔server fetches (sequential, see
+    /// [`MatrixHandle::cross_dot`]).
+    pub fn cross_elem(
+        &self,
+        ctx: &mut SimCtx,
+        other: &MatrixHandle,
+        dst_row: u32,
+        src_row: u32,
+        op: ElemOp,
+    ) {
+        assert_eq!(self.dim(), other.dim());
+        assert!(self.is_column() && other.is_column());
+        for (slot, lo, hi) in self.plan.column_ranges() {
+            let srv = self.route.resolve(slot);
+            let pieces = if self.colocated_with(other) {
+                vec![(lo, hi, srv)]
+            } else {
+                other
+                    .plan
+                    .locate_range(lo, hi)
+                    .into_iter()
+                    .map(|(a, b, s)| (a, b, other.route.resolve(s)))
+                    .collect()
+            };
+            let req = CrossElemReq {
+                dst_id: self.id,
+                dst_row,
+                src_id: other.id,
+                src_row,
+                op,
+                pieces,
+                value_bytes: other.value_bytes,
+            };
+            let _ = ctx.call(srv, tags::CROSS_ELEM, req, HDR + 24);
+        }
+    }
+
+    // ---- routing helpers -----------------------------------------------------
+
+    /// Servers that hold any part of `row`.
+    fn row_servers(&self, row: u32) -> Vec<ProcId> {
+        match &self.plan.kind {
+            PlanKind::Column { .. } => {
+                let mut slots: Vec<usize> =
+                    self.plan.column_ranges().iter().map(|&(s, _, _)| s).collect();
+                slots.dedup();
+                slots.into_iter().map(|s| self.route.resolve(s)).collect()
+            }
+            PlanKind::Row { .. } => vec![self.route.resolve(self.plan.row_owner(row))],
+        }
+    }
+
+    /// Servers participating in a column op over `rows`; for row plans this
+    /// only works when all rows share one owner.
+    fn col_op_servers(&self, rows: &[u32]) -> Vec<ProcId> {
+        match &self.plan.kind {
+            PlanKind::Column { .. } => self.row_servers(rows[0]),
+            PlanKind::Row { .. } => {
+                let owners: Vec<usize> =
+                    rows.iter().map(|&r| self.plan.row_owner(r)).collect();
+                assert!(
+                    owners.windows(2).all(|w| w[0] == w[1]),
+                    "row-partitioned matrices only support column ops on co-owned rows \
+                     (the single-point limitation of row partitioning, paper §4.3)"
+                );
+                vec![self.route.resolve(owners[0])]
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The PS-master: matrix lifecycle, routing, checkpoints and server
+//! recovery. Lives inside the coordinator (driver) process, per §5.1.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use ps2_simnet::{ProcId, SimCtx};
+
+use crate::client::MatrixHandle;
+use crate::plan::{MatrixId, PartitionPlan, Partitioning, RouteTable};
+use crate::protocol::{tags, CheckpointReq, CreateReq, FreeReq, InitKind, RestoreReq};
+use crate::server::ps_server_main;
+
+/// Master-level configuration.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct PsConfig {
+    /// Ship parameters as 4-byte floats (the paper's message-compression
+    /// engineering, §6.3.3) instead of 8-byte doubles.
+    pub compress: bool,
+}
+
+
+/// Coordinator-side manager of the parameter-server fleet.
+pub struct PsMaster {
+    route: Arc<RouteTable>,
+    storage: ProcId,
+    next_id: u64,
+    /// Metadata replayed into replacement servers on recovery.
+    matrices: Vec<(MatrixId, Arc<PartitionPlan>, InitKind)>,
+    pub config: PsConfig,
+    /// Servers replaced after failures.
+    pub recoveries: u64,
+    respawn_counter: u64,
+}
+
+impl PsMaster {
+    pub fn new(servers: Vec<ProcId>, storage: ProcId, config: PsConfig) -> PsMaster {
+        assert!(!servers.is_empty(), "need at least one PS-server");
+        PsMaster {
+            route: RouteTable::new(servers),
+            storage,
+            next_id: 1,
+            matrices: Vec::new(),
+            config,
+            recoveries: 0,
+            respawn_counter: 0,
+        }
+    }
+
+    pub fn n_servers(&self) -> usize {
+        self.route.n_slots()
+    }
+
+    pub fn route(&self) -> Arc<RouteTable> {
+        Arc::clone(&self.route)
+    }
+
+    fn value_bytes(&self) -> u64 {
+        if self.config.compress {
+            4
+        } else {
+            8
+        }
+    }
+
+    /// Allocate a `rows × dim` matrix across the servers.
+    pub fn create_matrix(
+        &mut self,
+        ctx: &mut SimCtx,
+        dim: u64,
+        rows: u32,
+        partitioning: Partitioning,
+        init: InitKind,
+    ) -> MatrixHandle {
+        let id = MatrixId(self.next_id);
+        self.next_id += 1;
+        let plan = Arc::new(PartitionPlan::new(
+            dim,
+            rows,
+            self.route.n_slots(),
+            partitioning,
+        ));
+        self.matrices.push((id, Arc::clone(&plan), init.clone()));
+        self.create_on_servers(ctx, id, &plan, &init, None);
+        MatrixHandle {
+            id,
+            plan,
+            route: Arc::clone(&self.route),
+            value_bytes: self.value_bytes(),
+        }
+    }
+
+    fn create_on_servers(
+        &self,
+        ctx: &mut SimCtx,
+        id: MatrixId,
+        plan: &Arc<PartitionPlan>,
+        init: &InitKind,
+        only_slot: Option<usize>,
+    ) {
+        let reqs: Vec<_> = (0..self.route.n_slots())
+            .filter(|s| only_slot.is_none_or(|o| o == *s))
+            .map(|slot| {
+                let req = CreateReq {
+                    id,
+                    plan: Arc::clone(plan),
+                    init: init.clone(),
+                    slot,
+                };
+                (
+                    self.route.resolve(slot),
+                    tags::CREATE,
+                    Box::new(req) as Box<dyn Any + Send>,
+                    96,
+                )
+            })
+            .collect();
+        let _ = ctx.call_many(reqs);
+    }
+
+    /// Release a matrix on all servers.
+    pub fn free_matrix(&mut self, ctx: &mut SimCtx, handle: &MatrixHandle) {
+        self.matrices.retain(|(id, _, _)| *id != handle.id);
+        let reqs = (0..self.route.n_slots())
+            .map(|slot| {
+                let req = FreeReq { id: handle.id };
+                (
+                    self.route.resolve(slot),
+                    tags::FREE,
+                    Box::new(req) as Box<dyn Any + Send>,
+                    32u64,
+                )
+            })
+            .collect();
+        let _ = ctx.call_many(reqs);
+    }
+
+    /// Checkpoint every server's shards to the reliable external storage
+    /// (paper §5.3 "periodically checkpoints the model parameters").
+    pub fn checkpoint_all(&mut self, ctx: &mut SimCtx) {
+        let reqs = (0..self.route.n_slots())
+            .map(|slot| {
+                let req = CheckpointReq {
+                    storage: self.storage,
+                    key: slot as u64,
+                };
+                (
+                    self.route.resolve(slot),
+                    tags::CHECKPOINT,
+                    Box::new(req) as Box<dyn Any + Send>,
+                    48u64,
+                )
+            })
+            .collect();
+        let _ = ctx.call_many(reqs);
+    }
+
+    /// Detect dead servers and replace each with a fresh process whose state
+    /// is rebuilt from matrix metadata plus the latest checkpoint. Updates
+    /// the shared route table so existing handles keep working. Returns the
+    /// slots recovered.
+    pub fn recover_dead_servers(&mut self, ctx: &mut SimCtx) -> Vec<usize> {
+        let mut recovered = Vec::new();
+        for slot in 0..self.route.n_slots() {
+            if ctx.is_alive(self.route.resolve(slot)) {
+                continue;
+            }
+            self.respawn_counter += 1;
+            self.recoveries += 1;
+            let name = format!("ps-server-{slot}r{}", self.respawn_counter);
+            let fresh = ctx.spawn_daemon(&name, ps_server_main);
+            self.route.set(slot, fresh);
+            // Replay metadata, then load checkpointed values.
+            let metas: Vec<_> = self.matrices.clone();
+            for (id, plan, init) in &metas {
+                self.create_on_servers(ctx, *id, plan, init, Some(slot));
+            }
+            let req = RestoreReq {
+                storage: self.storage,
+                key: slot as u64,
+            };
+            let _restored: bool = ctx.call(fresh, tags::RESTORE, req, 48).downcast();
+            recovered.push(slot);
+        }
+        recovered
+    }
+}

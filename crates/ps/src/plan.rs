@@ -1,0 +1,272 @@
+//! Partition plans and routing: how a matrix's parameters are laid out
+//! across logical server slots, and how slots resolve to live processes.
+//!
+//! Plans reference *slots* (`0..n_servers`), not process ids: when the
+//! master replaces a failed server, it updates the shared [`RouteTable`] and
+//! every outstanding [`crate::MatrixHandle`] transparently reaches the
+//! replacement — the PS-master's "routing tables for PS-clients" of §5.1.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use ps2_simnet::ProcId;
+
+/// Identifier of a matrix (a `k × dim` block of parameters) on the servers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct MatrixId(pub u64);
+
+/// Requested layout when creating a matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Contiguous column ranges, range `i` on slot `i` — the PS2/DCV
+    /// layout. All rows of one matrix share the plan, so same-matrix rows
+    /// are dimension co-located by construction.
+    Column,
+    /// Column ranges with the slot assignment rotated by `r`. Two matrices
+    /// created with different rotations are *misaligned*: element-wise ops
+    /// between them need server↔server traffic — the "inefficient writing"
+    /// of the paper's Figure 4.
+    ColumnRotated(usize),
+    /// Whole rows hashed to slots (`row % servers`) — the Petuum-style
+    /// layout. Row access hits a single server (the "single-point problem"
+    /// of §4.3); server-side column ops across rows on different servers
+    /// are unsupported.
+    Row,
+}
+
+/// Concrete layout of one matrix over logical server slots.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionPlan {
+    /// Number of columns (feature dimension).
+    pub dim: u64,
+    /// Number of rows in the raw matrix (`k` in the paper's `dense(dim, k)`).
+    pub rows: u32,
+    pub kind: PlanKind,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanKind {
+    Column {
+        /// `n_slots + 1` boundaries; range `i` is
+        /// `[boundaries[i], boundaries[i+1])`.
+        boundaries: Vec<u64>,
+        /// Range `i` lives on slot `assign[i]`.
+        assign: Vec<usize>,
+    },
+    Row {
+        n_slots: usize,
+    },
+}
+
+impl PartitionPlan {
+    pub fn new(dim: u64, rows: u32, n_slots: usize, p: Partitioning) -> PartitionPlan {
+        assert!(dim > 0 && rows > 0 && n_slots > 0);
+        let kind = match p {
+            Partitioning::Column | Partitioning::ColumnRotated(_) => {
+                let s = n_slots as u64;
+                // Ranges may be empty when dim < n_slots; they are skipped
+                // at routing time so `assign` stays aligned with slots.
+                let boundaries: Vec<u64> = (0..=s).map(|i| i * dim / s).collect();
+                let rot = match p {
+                    Partitioning::ColumnRotated(r) => r % n_slots,
+                    _ => 0,
+                };
+                let assign = (0..n_slots).map(|i| (i + rot) % n_slots).collect();
+                PlanKind::Column { boundaries, assign }
+            }
+            Partitioning::Row => PlanKind::Row { n_slots },
+        };
+        PartitionPlan { dim, rows, kind }
+    }
+
+    pub fn n_slots(&self) -> usize {
+        match &self.kind {
+            PlanKind::Column { assign, .. } => assign.len(),
+            PlanKind::Row { n_slots } => *n_slots,
+        }
+    }
+
+    /// Two plans are *co-located* when every column lives on the same slot
+    /// in both. Element-wise ops between co-located matrices need no
+    /// server↔server communication.
+    pub fn colocated_with(&self, other: &PartitionPlan) -> bool {
+        self.dim == other.dim && self.kind == other.kind
+    }
+
+    /// For column plans: `(slot, lo, hi)` for every non-empty range, in
+    /// column order.
+    pub fn column_ranges(&self) -> Vec<(usize, u64, u64)> {
+        match &self.kind {
+            PlanKind::Column { boundaries, assign } => (0..assign.len())
+                .filter(|&i| boundaries[i] < boundaries[i + 1])
+                .map(|i| (assign[i], boundaries[i], boundaries[i + 1]))
+                .collect(),
+            PlanKind::Row { .. } => panic!("column_ranges on a row-partitioned plan"),
+        }
+    }
+
+    /// The column ranges owned by `slot`, in column order.
+    pub fn ranges_of(&self, slot: usize) -> Vec<(u64, u64)> {
+        self.column_ranges()
+            .into_iter()
+            .filter(|&(s, _, _)| s == slot)
+            .map(|(_, lo, hi)| (lo, hi))
+            .collect()
+    }
+
+    /// For row plans: the slot owning `row`.
+    pub fn row_owner(&self, row: u32) -> usize {
+        match &self.kind {
+            PlanKind::Row { n_slots } => row as usize % n_slots,
+            PlanKind::Column { .. } => panic!("row_owner on a column-partitioned plan"),
+        }
+    }
+
+    /// The slot owning column `col` (column plans only).
+    pub fn col_owner(&self, col: u64) -> usize {
+        assert!(col < self.dim, "column {col} out of range {}", self.dim);
+        match &self.kind {
+            PlanKind::Column { boundaries, assign } => {
+                let i = match boundaries.binary_search(&col) {
+                    Ok(mut i) => {
+                        // `col` equals a boundary; find the non-empty range
+                        // starting here.
+                        while boundaries[i + 1] == boundaries[i] {
+                            i += 1;
+                        }
+                        i
+                    }
+                    Err(i) => i - 1,
+                };
+                assign[i]
+            }
+            PlanKind::Row { .. } => panic!("col_owner on a row-partitioned plan"),
+        }
+    }
+
+    /// Cover `[lo, hi)` with this plan's owning slots: `(sub_lo, sub_hi,
+    /// slot)` pieces in column order. Used when orchestrating ops between
+    /// misaligned matrices.
+    pub fn locate_range(&self, lo: u64, hi: u64) -> Vec<(u64, u64, usize)> {
+        let mut out = Vec::new();
+        for (slot, rlo, rhi) in self.column_ranges() {
+            let s = lo.max(rlo);
+            let e = hi.min(rhi);
+            if s < e {
+                out.push((s, e, slot));
+            }
+        }
+        out
+    }
+
+    /// Total parameters in the matrix.
+    pub fn total_params(&self) -> u64 {
+        self.dim * self.rows as u64
+    }
+}
+
+/// Shared slot → process routing, updated by the master on recovery.
+pub struct RouteTable {
+    slots: RwLock<Vec<ProcId>>,
+}
+
+impl RouteTable {
+    pub fn new(servers: Vec<ProcId>) -> Arc<RouteTable> {
+        Arc::new(RouteTable {
+            slots: RwLock::new(servers),
+        })
+    }
+
+    pub fn resolve(&self, slot: usize) -> ProcId {
+        self.slots.read()[slot]
+    }
+
+    pub fn set(&self, slot: usize, id: ProcId) {
+        self.slots.write()[slot] = id;
+    }
+
+    pub fn n_slots(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    pub fn all(&self) -> Vec<ProcId> {
+        self.slots.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_plan_covers_dim_exactly() {
+        let plan = PartitionPlan::new(103, 4, 4, Partitioning::Column);
+        let ranges = plan.column_ranges();
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0].1, 0);
+        assert_eq!(ranges.last().unwrap().2, 103);
+        let covered: u64 = ranges.iter().map(|&(_, lo, hi)| hi - lo).sum();
+        assert_eq!(covered, 103);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].2, w[1].1, "ranges must be contiguous");
+        }
+    }
+
+    #[test]
+    fn rotated_plan_is_not_colocated() {
+        let a = PartitionPlan::new(100, 2, 4, Partitioning::Column);
+        let b = PartitionPlan::new(100, 2, 4, Partitioning::ColumnRotated(1));
+        let c = PartitionPlan::new(100, 2, 4, Partitioning::Column);
+        assert!(a.colocated_with(&c));
+        assert!(!a.colocated_with(&b));
+        // Same boundaries, shifted slots.
+        assert_eq!(a.column_ranges()[0].1, b.column_ranges()[0].1);
+        assert_ne!(a.column_ranges()[0].0, b.column_ranges()[0].0);
+    }
+
+    #[test]
+    fn col_owner_matches_ranges() {
+        let plan = PartitionPlan::new(97, 1, 5, Partitioning::ColumnRotated(2));
+        for (slot, lo, hi) in plan.column_ranges() {
+            for c in lo..hi {
+                assert_eq!(plan.col_owner(c), slot, "col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_plan_routes_by_modulo() {
+        let plan = PartitionPlan::new(10, 7, 3, Partitioning::Row);
+        assert_eq!(plan.row_owner(0), 0);
+        assert_eq!(plan.row_owner(4), 1);
+        assert_eq!(plan.row_owner(5), 2);
+    }
+
+    #[test]
+    fn locate_range_splits_across_slots() {
+        let plan = PartitionPlan::new(100, 1, 4, Partitioning::Column);
+        // ranges: [0,25) [25,50) [50,75) [75,100)
+        let pieces = plan.locate_range(20, 60);
+        assert_eq!(pieces, vec![(20, 25, 0), (25, 50, 1), (50, 60, 2)]);
+    }
+
+    #[test]
+    fn dim_smaller_than_slots_leaves_empty_ranges_out() {
+        let plan = PartitionPlan::new(2, 1, 4, Partitioning::Column);
+        let ranges = plan.column_ranges();
+        let covered: u64 = ranges.iter().map(|&(_, lo, hi)| hi - lo).sum();
+        assert_eq!(covered, 2);
+        for &(_, lo, hi) in &ranges {
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn route_table_updates_are_visible() {
+        let rt = RouteTable::new(vec![ProcId(1), ProcId(2)]);
+        assert_eq!(rt.resolve(1), ProcId(2));
+        rt.set(1, ProcId(9));
+        assert_eq!(rt.resolve(1), ProcId(9));
+        assert_eq!(rt.n_slots(), 2);
+    }
+}

@@ -1,0 +1,318 @@
+//! Wire protocol between PS-clients, PS-servers, the master and storage.
+
+use std::sync::Arc;
+
+use ps2_simnet::ProcId;
+
+use crate::plan::{MatrixId, PartitionPlan};
+
+/// Message tags on the PS port space (dataflow uses 1..10).
+pub(crate) mod tags {
+    pub const CREATE: u32 = 10;
+    pub const FREE: u32 = 11;
+    pub const PULL: u32 = 12;
+    pub const PUSH: u32 = 13;
+    pub const AGG: u32 = 14;
+    pub const DOT: u32 = 15;
+    pub const AXPY: u32 = 16;
+    pub const ELEM: u32 = 17;
+    pub const ZIP: u32 = 18;
+    pub const ZIP_MAP: u32 = 19;
+    pub const FILL: u32 = 20;
+    pub const SCALE: u32 = 21;
+    pub const PULL_BLOCK: u32 = 22;
+    pub const PUSH_BLOCK: u32 = 23;
+    pub const FETCH_SEG: u32 = 24;
+    pub const CROSS_DOT: u32 = 25;
+    pub const CROSS_ELEM: u32 = 26;
+    pub const CHECKPOINT: u32 = 27;
+    pub const RESTORE: u32 = 28;
+    pub const ZIP_ARGMAX: u32 = 29;
+    pub const DOT_BATCH: u32 = 30;
+    pub const ZIP_BATCH: u32 = 31;
+    pub const PULL_ROWS: u32 = 32;
+    pub const PUSH_ROWS: u32 = 33;
+    pub const STORE_PUT: u32 = 40;
+    pub const STORE_GET: u32 = 41;
+}
+
+/// How to initialize a fresh matrix.
+#[derive(Clone, Debug)]
+pub enum InitKind {
+    Zero,
+    Const(f64),
+    /// Uniform in `[lo, hi)`, deterministic in `(seed, row, column)`.
+    Uniform { lo: f64, hi: f64, seed: u64 },
+}
+
+/// Row-access aggregations (paper Table 1: `sum`, `nnz`, `norm2`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggKind {
+    Sum,
+    Nnz,
+    /// Sum of squares; the client takes the square root.
+    Norm2Sq,
+    Max,
+}
+
+/// Binary element-wise column ops (paper Table 1: `add`, `sub`, `mul`,
+/// `div`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ElemOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl ElemOp {
+    #[inline]
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ElemOp::Add => a + b,
+            ElemOp::Sub => a - b,
+            ElemOp::Mul => a * b,
+            ElemOp::Div => a / b,
+        }
+    }
+}
+
+/// Mutable segments of the zipped rows, all covering the same column range
+/// of one server — the argument of a server-side `zip` update.
+pub struct ZipSegs<'a> {
+    /// One mutable segment per zipped row, in request order.
+    pub segs: Vec<&'a mut [f64]>,
+    /// First global column of the segments.
+    pub lo: u64,
+}
+
+/// Server-side multi-vector update (paper Figure 3, lines 21-26).
+pub type ZipMutFn = Arc<dyn Fn(&mut ZipSegs<'_>) + Send + Sync>;
+
+/// Server-side read-only fold over co-located segments, returning one
+/// scalar per server (e.g. loss sums, embedding dot products).
+pub type ZipMapFn = Arc<dyn Fn(&[&[f64]], u64) -> f64 + Send + Sync>;
+
+/// Server-side read-only scan returning `(score, global index)` — the GBDT
+/// split-finding shape (paper §5.2.3's `max` operator). The second argument
+/// is the first global column of the segments.
+pub type ZipArgmaxFn = Arc<dyn Fn(&[&[f64]], u64) -> (f64, u64) + Send + Sync>;
+
+// ---- request payloads -------------------------------------------------------
+
+pub(crate) struct CreateReq {
+    pub id: MatrixId,
+    pub plan: Arc<PartitionPlan>,
+    pub init: InitKind,
+    /// Which logical slot the receiving server occupies.
+    pub slot: usize,
+}
+
+pub(crate) struct FreeReq {
+    pub id: MatrixId,
+}
+
+/// Column selector for pulls, pre-filtered to the receiving server.
+pub(crate) enum ColsSel {
+    /// All columns this server owns.
+    All,
+    /// A contiguous range (dense worker-slice access).
+    Range(u64, u64),
+    /// An explicit sorted list (sparse access).
+    List(Arc<Vec<u64>>),
+}
+
+pub(crate) struct PullReq {
+    pub id: MatrixId,
+    pub row: u32,
+    pub cols: ColsSel,
+    /// Bytes per value on the wire (8, or 4 with message compression).
+    pub value_bytes: u64,
+}
+
+pub(crate) enum PushData {
+    /// Dense values for `[lo, lo + values.len())`.
+    DenseSeg { lo: u64, values: Arc<Vec<f64>> },
+    /// Sparse `(column, delta)` pairs.
+    Sparse(Arc<Vec<(u64, f64)>>),
+}
+
+pub(crate) struct PushReq {
+    pub id: MatrixId,
+    pub row: u32,
+    pub data: PushData,
+}
+
+pub(crate) struct AggReq {
+    pub id: MatrixId,
+    pub row: u32,
+    pub kind: AggKind,
+}
+
+pub(crate) struct DotReq {
+    pub id: MatrixId,
+    pub row_a: u32,
+    pub row_b: u32,
+}
+
+pub(crate) struct AxpyReq {
+    pub id: MatrixId,
+    pub dst_row: u32,
+    pub src_row: u32,
+    pub alpha: f64,
+}
+
+pub(crate) struct ElemReq {
+    pub id: MatrixId,
+    pub dst_row: u32,
+    pub a_row: u32,
+    pub b_row: u32,
+    pub op: ElemOp,
+}
+
+pub(crate) struct ZipReq {
+    pub id: MatrixId,
+    pub rows: Vec<u32>,
+    pub f: ZipMutFn,
+    /// Cost model: flops charged per column element touched.
+    pub flops_per_elem: u64,
+}
+
+pub(crate) struct ZipMapReq {
+    pub id: MatrixId,
+    pub rows: Vec<u32>,
+    pub f: ZipMapFn,
+    pub flops_per_elem: u64,
+}
+
+pub(crate) struct ZipArgmaxReq {
+    pub id: MatrixId,
+    pub rows: Vec<u32>,
+    pub f: ZipArgmaxFn,
+    pub flops_per_elem: u64,
+}
+
+/// A batch of row-pair dot products in one request (the Angel-style batched
+/// psFunc: DeepWalk issues one of these per server per mini-batch).
+pub(crate) struct DotBatchReq {
+    pub id: MatrixId,
+    pub pairs: Arc<Vec<(u32, u32)>>,
+}
+
+/// A batch of independent zips in one request.
+pub(crate) struct ZipBatchReq {
+    pub id: MatrixId,
+    pub jobs: Arc<Vec<(Vec<u32>, ZipMutFn)>>,
+    pub flops_per_elem: u64,
+}
+
+/// Pull many full rows (this server's segments) in one request.
+pub(crate) struct PullRowsReq {
+    pub id: MatrixId,
+    pub rows: Arc<Vec<u32>>,
+    pub value_bytes: u64,
+}
+
+/// Dense additive push of many rows' segments in one request.
+/// `segs[i]` covers `[lo, hi)` of `rows[i]` on this server.
+pub(crate) struct PushRowsReq {
+    pub id: MatrixId,
+    pub rows: Arc<Vec<u32>>,
+    pub lo: u64,
+    pub segs: Arc<Vec<Vec<f64>>>,
+}
+
+pub(crate) struct FillReq {
+    pub id: MatrixId,
+    pub row: u32,
+    pub value: f64,
+}
+
+pub(crate) struct ScaleReq {
+    pub id: MatrixId,
+    pub row: u32,
+    pub alpha: f64,
+}
+
+/// Pull a `rows × cols` block (LDA's by-word access pattern: all topic rows
+/// of a set of word columns, served by one server thanks to co-location).
+pub(crate) struct PullBlockReq {
+    pub id: MatrixId,
+    pub rows: Arc<Vec<u32>>,
+    pub cols: Arc<Vec<u64>>,
+    pub value_bytes: u64,
+}
+
+pub(crate) struct PushBlockReq {
+    pub id: MatrixId,
+    pub rows: Arc<Vec<u32>>,
+    /// `(column, deltas-per-row)` — deltas aligned with `rows`.
+    pub updates: Arc<Vec<(u64, Vec<f64>)>>,
+}
+
+/// Server-to-server segment fetch (cross-matrix ops on misaligned plans).
+pub(crate) struct FetchSegReq {
+    pub id: MatrixId,
+    pub row: u32,
+    pub lo: u64,
+    pub hi: u64,
+    pub value_bytes: u64,
+}
+
+/// Dot between a local row and a remote (misaligned) matrix's row. The
+/// client pre-computed where each local piece lives remotely.
+pub(crate) struct CrossDotReq {
+    pub local_id: MatrixId,
+    pub local_row: u32,
+    pub remote_id: MatrixId,
+    pub remote_row: u32,
+    /// `(lo, hi, remote server)` pieces covering this server's ranges.
+    pub pieces: Vec<(u64, u64, ProcId)>,
+    pub value_bytes: u64,
+}
+
+/// `dst = dst op remote_src` for misaligned matrices; the local server
+/// fetches the remote pieces.
+pub(crate) struct CrossElemReq {
+    pub dst_id: MatrixId,
+    pub dst_row: u32,
+    pub src_id: MatrixId,
+    pub src_row: u32,
+    pub op: ElemOp,
+    pub pieces: Vec<(u64, u64, ProcId)>,
+    pub value_bytes: u64,
+}
+
+pub(crate) struct CheckpointReq {
+    pub storage: ProcId,
+    /// Stable logical key of this server slot (survives respawns).
+    pub key: u64,
+}
+
+pub(crate) struct RestoreReq {
+    pub storage: ProcId,
+    pub key: u64,
+}
+
+// ---- storage process payloads ----------------------------------------------
+
+/// A server's snapshot: every shard's segments. Stored by the storage
+/// process as an opaque value.
+pub(crate) struct Snapshot {
+    pub shards: Vec<(MatrixId, Vec<Vec<Vec<f64>>>)>,
+    pub bytes: u64,
+}
+
+pub(crate) struct StorePutReq {
+    pub key: u64,
+    pub snapshot: Arc<Snapshot>,
+}
+
+pub(crate) struct StoreGetReq {
+    pub key: u64,
+}
+
+pub(crate) enum StoreGetResp {
+    Found(Arc<Snapshot>),
+    Missing,
+}

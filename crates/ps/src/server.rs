@@ -1,0 +1,696 @@
+//! PS-server and checkpoint-storage processes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ps2_simnet::{Envelope, ProcId, SimCtx, SimRuntime, SimTime};
+
+use crate::plan::{MatrixId, PartitionPlan, PlanKind};
+use crate::protocol::{
+    tags, AggKind, AggReq, CheckpointReq, CreateReq, CrossDotReq, CrossElemReq, DotReq, ElemReq,
+    FetchSegReq, FillReq, FreeReq, InitKind, PullBlockReq, PullReq, PushBlockReq, PushData,
+    PushReq, RestoreReq, ScaleReq, Snapshot, StoreGetReq, StoreGetResp, StorePutReq, ZipMapReq,
+    ZipReq, ZipSegs,
+};
+
+/// splitmix64: the deterministic per-element hash behind `InitKind::Uniform`,
+/// so initialization is identical no matter which server materializes a cell.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn init_value(init: &InitKind, row: u32, col: u64) -> f64 {
+    match init {
+        InitKind::Zero => 0.0,
+        InitKind::Const(c) => *c,
+        InitKind::Uniform { lo, hi, seed } => {
+            let h = mix64(seed ^ mix64((row as u64) << 40 ^ col));
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+            lo + unit * (hi - lo)
+        }
+    }
+}
+
+/// One matrix's data on one server.
+struct Shard {
+    plan: Arc<PartitionPlan>,
+    /// Column plans: the ranges this server owns, column order.
+    /// Row plans: one pseudo-range `(0, dim)` per owned row.
+    ranges: Vec<(u64, u64)>,
+    /// Row plans only: which rows the pseudo-ranges belong to.
+    owned_rows: Vec<u32>,
+    /// `data[row_slot][range_idx]` → dense segment.
+    /// Column plans: `row_slot` is the row index (all rows present).
+    /// Row plans: `row_slot` indexes `owned_rows`, with one range.
+    data: Vec<Vec<Vec<f64>>>,
+}
+
+impl Shard {
+    fn build(slot: usize, plan: Arc<PartitionPlan>, init: &InitKind) -> Shard {
+        match &plan.kind {
+            PlanKind::Column { .. } => {
+                let ranges = plan.ranges_of(slot);
+                let data = (0..plan.rows)
+                    .map(|row| {
+                        ranges
+                            .iter()
+                            .map(|&(lo, hi)| {
+                                (lo..hi).map(|c| init_value(init, row, c)).collect()
+                            })
+                            .collect()
+                    })
+                    .collect();
+                Shard {
+                    plan,
+                    ranges,
+                    owned_rows: Vec::new(),
+                    data,
+                }
+            }
+            PlanKind::Row { .. } => {
+                let owned_rows: Vec<u32> = (0..plan.rows)
+                    .filter(|&r| plan.row_owner(r) == slot)
+                    .collect();
+                let data = owned_rows
+                    .iter()
+                    .map(|&row| {
+                        vec![(0..plan.dim).map(|c| init_value(init, row, c)).collect()]
+                    })
+                    .collect();
+                let dim = plan.dim;
+                Shard {
+                    plan,
+                    ranges: vec![(0, dim)],
+                    owned_rows,
+                    data,
+                }
+            }
+        }
+    }
+
+    fn is_column(&self) -> bool {
+        matches!(self.plan.kind, PlanKind::Column { .. })
+    }
+
+    /// Resolve a row to its slot in `data`; panics if a row plan does not
+    /// own the row (a routing bug).
+    fn slot(&self, row: u32) -> usize {
+        if self.is_column() {
+            row as usize
+        } else {
+            self.owned_rows
+                .iter()
+                .position(|&r| r == row)
+                .unwrap_or_else(|| panic!("row {row} not owned by this server"))
+        }
+    }
+
+    /// Index of the range containing `col`.
+    fn range_of(&self, col: u64) -> (usize, usize) {
+        for (i, &(lo, hi)) in self.ranges.iter().enumerate() {
+            if col >= lo && col < hi {
+                return (i, (col - lo) as usize);
+            }
+        }
+        panic!("column {col} not owned by this server");
+    }
+
+    fn get(&self, row: u32, col: u64) -> f64 {
+        let slot = self.slot(row);
+        let (ri, off) = self.range_of(col);
+        self.data[slot][ri][off]
+    }
+
+    fn add(&mut self, row: u32, col: u64, delta: f64) {
+        let slot = self.slot(row);
+        let (ri, off) = self.range_of(col);
+        self.data[slot][ri][off] += delta;
+    }
+
+    fn owned_cols(&self) -> u64 {
+        let per_row: u64 = self.ranges.iter().map(|&(lo, hi)| hi - lo).sum();
+        per_row
+    }
+}
+
+/// The PS-server loop: stores shards, executes row- and column-access ops.
+pub fn ps_server_main(ctx: &mut SimCtx) {
+    let mut shards: HashMap<MatrixId, Shard> = HashMap::new();
+    loop {
+        let env = ctx.recv();
+        handle(ctx, &mut shards, env);
+    }
+}
+
+fn handle(ctx: &mut SimCtx, shards: &mut HashMap<MatrixId, Shard>, env: Envelope) {
+    let me = ctx.id();
+    match env.tag {
+        tags::CREATE => {
+            let req: &CreateReq = env.downcast_ref();
+            let shard = Shard::build(req.slot, Arc::clone(&req.plan), &req.init);
+            // Materializing the shard touches every owned element.
+            ctx.charge_mem(shard.owned_cols() * shard.data.len() as u64 * 8);
+            shards.insert(req.id, shard);
+            ctx.reply(&env, (), 8);
+        }
+        tags::FREE => {
+            let req: &FreeReq = env.downcast_ref();
+            shards.remove(&req.id);
+            ctx.reply(&env, (), 8);
+        }
+        tags::PULL => {
+            let req: &PullReq = env.downcast_ref();
+            let shard = shard_of(shards, req.id);
+            match &req.cols {
+                crate::protocol::ColsSel::All => {
+                    let slot = shard.slot(req.row);
+                    let segs: Vec<Vec<f64>> = shard.data[slot].clone();
+                    let n: u64 = segs.iter().map(|s| s.len() as u64).sum();
+                    ctx.charge_mem(n * 8);
+                    ctx.reply(&env, segs, 16 + n * req.value_bytes);
+                }
+                crate::protocol::ColsSel::Range(lo, hi) => {
+                    let values: Vec<f64> = (*lo..*hi).map(|c| shard.get(req.row, c)).collect();
+                    let n = values.len() as u64;
+                    ctx.charge_mem(n * 8);
+                    ctx.reply(&env, values, 16 + n * req.value_bytes);
+                }
+                crate::protocol::ColsSel::List(cols) => {
+                    let values: Vec<f64> = cols.iter().map(|&c| shard.get(req.row, c)).collect();
+                    let n = values.len() as u64;
+                    ctx.charge_mem(n * 16);
+                    ctx.reply(&env, values, 16 + n * req.value_bytes);
+                }
+            }
+        }
+        tags::PUSH => {
+            let req: &PushReq = env.downcast_ref();
+            let id = req.id;
+            let row = req.row;
+            match &req.data {
+                PushData::DenseSeg { lo, values } => {
+                    let values = Arc::clone(values);
+                    let shard = shard_mut(shards, id);
+                    for (i, v) in values.iter().enumerate() {
+                        shard.add(row, lo + i as u64, *v);
+                    }
+                    ctx.charge_flops(values.len() as u64);
+                }
+                PushData::Sparse(pairs) => {
+                    let pairs = Arc::clone(pairs);
+                    let shard = shard_mut(shards, id);
+                    for &(c, v) in pairs.iter() {
+                        shard.add(row, c, v);
+                    }
+                    ctx.charge_flops(2 * pairs.len() as u64);
+                }
+            }
+            ctx.reply(&env, (), 8);
+        }
+        tags::AGG => {
+            let req: &AggReq = env.downcast_ref();
+            let shard = shard_of(shards, req.id);
+            let slot = shard.slot(req.row);
+            let mut acc = match req.kind {
+                AggKind::Max => f64::NEG_INFINITY,
+                _ => 0.0,
+            };
+            let mut n = 0u64;
+            for seg in &shard.data[slot] {
+                n += seg.len() as u64;
+                for &v in seg {
+                    match req.kind {
+                        AggKind::Sum => acc += v,
+                        AggKind::Nnz => acc += if v != 0.0 { 1.0 } else { 0.0 },
+                        AggKind::Norm2Sq => acc += v * v,
+                        AggKind::Max => acc = acc.max(v),
+                    }
+                }
+            }
+            ctx.charge_flops(n);
+            ctx.reply(&env, acc, 16);
+        }
+        tags::DOT => {
+            let req: &DotReq = env.downcast_ref();
+            let shard = shard_of(shards, req.id);
+            let sa = shard.slot(req.row_a);
+            let sb = shard.slot(req.row_b);
+            let mut acc = 0.0;
+            let mut n = 0u64;
+            for (a, b) in shard.data[sa].iter().zip(&shard.data[sb]) {
+                n += a.len() as u64;
+                acc += a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+            }
+            ctx.charge_flops(2 * n);
+            ctx.reply(&env, acc, 16);
+        }
+        tags::AXPY => {
+            let req: &AxpyReqLocal = cast_axpy(&env);
+            let (alpha, id, dst, src) = (req.alpha, req.id, req.dst_row, req.src_row);
+            let shard = shard_mut(shards, id);
+            let n = apply_axpy(shard, dst, src, alpha);
+            ctx.charge_flops(2 * n);
+            ctx.reply(&env, (), 8);
+        }
+        tags::ELEM => {
+            let req: &ElemReq = env.downcast_ref();
+            let (id, dst, a, b, op) = (req.id, req.dst_row, req.a_row, req.b_row, req.op);
+            let shard = shard_mut(shards, id);
+            let sa = shard.slot(a);
+            let sb = shard.slot(b);
+            let sd = shard.slot(dst);
+            let mut n = 0u64;
+            for ri in 0..shard.ranges.len() {
+                let av = shard.data[sa][ri].clone();
+                let bv = shard.data[sb][ri].clone();
+                let dv = &mut shard.data[sd][ri];
+                n += dv.len() as u64;
+                for i in 0..dv.len() {
+                    dv[i] = op.apply(av[i], bv[i]);
+                }
+            }
+            ctx.charge_flops(n);
+            ctx.reply(&env, (), 8);
+        }
+        tags::ZIP => {
+            let req: &ZipReq = env.downcast_ref();
+            let f = Arc::clone(&req.f);
+            let rows = req.rows.clone();
+            let flops_per_elem = req.flops_per_elem;
+            let id = req.id;
+            let shard = shard_mut(shards, id);
+            let slots: Vec<usize> = rows.iter().map(|&r| shard.slot(r)).collect();
+            assert_unique(&slots);
+            let mut taken: Vec<Vec<Vec<f64>>> = slots
+                .iter()
+                .map(|&s| std::mem::take(&mut shard.data[s]))
+                .collect();
+            let mut n = 0u64;
+            for ri in 0..shard.ranges.len() {
+                let lo = shard.ranges[ri].0;
+                let mut segs: Vec<&mut [f64]> = taken
+                    .iter_mut()
+                    .map(|rowsegs| rowsegs[ri].as_mut_slice())
+                    .collect();
+                n += segs.first().map_or(0, |s| s.len() as u64);
+                let mut zs = ZipSegs {
+                    segs: std::mem::take(&mut segs),
+                    lo,
+                };
+                f(&mut zs);
+            }
+            for (s, rowsegs) in slots.iter().zip(taken) {
+                shard.data[*s] = rowsegs;
+            }
+            ctx.charge_flops(flops_per_elem * n);
+            ctx.reply(&env, (), 8);
+        }
+        tags::ZIP_MAP => {
+            let req: &ZipMapReq = env.downcast_ref();
+            let shard = shard_of(shards, req.id);
+            let slots: Vec<usize> = req.rows.iter().map(|&r| shard.slot(r)).collect();
+            let mut partials = Vec::with_capacity(shard.ranges.len());
+            let mut n = 0u64;
+            for ri in 0..shard.ranges.len() {
+                let lo = shard.ranges[ri].0;
+                let segs: Vec<&[f64]> = slots
+                    .iter()
+                    .map(|&s| shard.data[s][ri].as_slice())
+                    .collect();
+                n += segs.first().map_or(0, |s| s.len() as u64);
+                partials.push((req.f)(&segs, lo));
+            }
+            ctx.charge_flops(req.flops_per_elem * n);
+            let bytes = 16 + 8 * partials.len() as u64;
+            ctx.reply(&env, partials, bytes);
+        }
+        tags::ZIP_ARGMAX => {
+            let req: &crate::protocol::ZipArgmaxReq = env.downcast_ref();
+            let shard = shard_of(shards, req.id);
+            let slots: Vec<usize> = req.rows.iter().map(|&r| shard.slot(r)).collect();
+            let mut partials = Vec::with_capacity(shard.ranges.len());
+            let mut n = 0u64;
+            for ri in 0..shard.ranges.len() {
+                let lo = shard.ranges[ri].0;
+                let segs: Vec<&[f64]> = slots
+                    .iter()
+                    .map(|&s| shard.data[s][ri].as_slice())
+                    .collect();
+                n += segs.first().map_or(0, |s| s.len() as u64);
+                partials.push((req.f)(&segs, lo));
+            }
+            ctx.charge_flops(req.flops_per_elem * n);
+            let bytes = 16 + 16 * partials.len() as u64;
+            ctx.reply(&env, partials, bytes);
+        }
+        tags::DOT_BATCH => {
+            let req: &crate::protocol::DotBatchReq = env.downcast_ref();
+            let shard = shard_of(shards, req.id);
+            let mut partials = Vec::with_capacity(req.pairs.len());
+            let mut n = 0u64;
+            for &(row_a, row_b) in req.pairs.iter() {
+                let sa = shard.slot(row_a);
+                let sb = shard.slot(row_b);
+                let mut acc = 0.0;
+                for (a, b) in shard.data[sa].iter().zip(&shard.data[sb]) {
+                    n += a.len() as u64;
+                    acc += a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+                }
+                partials.push(acc);
+            }
+            ctx.charge_flops(2 * n);
+            ctx.reply(&env, partials, 16 + 8 * req.pairs.len() as u64);
+        }
+        tags::ZIP_BATCH => {
+            let req: &crate::protocol::ZipBatchReq = env.downcast_ref();
+            let jobs = Arc::clone(&req.jobs);
+            let flops_per_elem = req.flops_per_elem;
+            let id = req.id;
+            let mut n = 0u64;
+            for (rows, f) in jobs.iter() {
+                let shard = shard_mut(shards, id);
+                let slots: Vec<usize> = rows.iter().map(|&r| shard.slot(r)).collect();
+                assert_unique(&slots);
+                let mut taken: Vec<Vec<Vec<f64>>> = slots
+                    .iter()
+                    .map(|&s| std::mem::take(&mut shard.data[s]))
+                    .collect();
+                for ri in 0..shard.ranges.len() {
+                    let lo = shard.ranges[ri].0;
+                    let segs: Vec<&mut [f64]> = taken
+                        .iter_mut()
+                        .map(|rowsegs| rowsegs[ri].as_mut_slice())
+                        .collect();
+                    n += segs.first().map_or(0, |s| s.len() as u64);
+                    let mut zs = ZipSegs { segs, lo };
+                    f(&mut zs);
+                }
+                for (s, rowsegs) in slots.iter().zip(taken) {
+                    shard.data[*s] = rowsegs;
+                }
+            }
+            ctx.charge_flops(flops_per_elem * n);
+            ctx.reply(&env, (), 8);
+        }
+        tags::PULL_ROWS => {
+            let req: &crate::protocol::PullRowsReq = env.downcast_ref();
+            let shard = shard_of(shards, req.id);
+            let mut out: Vec<Vec<Vec<f64>>> = Vec::with_capacity(req.rows.len());
+            let mut n = 0u64;
+            for &row in req.rows.iter() {
+                let slot = shard.slot(row);
+                let segs = shard.data[slot].clone();
+                n += segs.iter().map(|s| s.len() as u64).sum::<u64>();
+                out.push(segs);
+            }
+            ctx.charge_mem(n * 8);
+            ctx.reply(&env, out, 16 + 4 * req.rows.len() as u64 + n * req.value_bytes);
+        }
+        tags::PUSH_ROWS => {
+            let req: &crate::protocol::PushRowsReq = env.downcast_ref();
+            let rows = Arc::clone(&req.rows);
+            let segs = Arc::clone(&req.segs);
+            let lo = req.lo;
+            let id = req.id;
+            let shard = shard_mut(shards, id);
+            let mut n = 0u64;
+            for (&row, seg) in rows.iter().zip(segs.iter()) {
+                for (i, v) in seg.iter().enumerate() {
+                    shard.add(row, lo + i as u64, *v);
+                }
+                n += seg.len() as u64;
+            }
+            ctx.charge_flops(n);
+            ctx.reply(&env, (), 8);
+        }
+        tags::FILL => {
+            let req: &FillReq = env.downcast_ref();
+            let (id, row, value) = (req.id, req.row, req.value);
+            let shard = shard_mut(shards, id);
+            let slot = shard.slot(row);
+            let mut n = 0u64;
+            for seg in &mut shard.data[slot] {
+                n += seg.len() as u64;
+                seg.fill(value);
+            }
+            ctx.charge_mem(n * 8);
+            ctx.reply(&env, (), 8);
+        }
+        tags::SCALE => {
+            let req: &ScaleReq = env.downcast_ref();
+            let (id, row, alpha) = (req.id, req.row, req.alpha);
+            let shard = shard_mut(shards, id);
+            let slot = shard.slot(row);
+            let mut n = 0u64;
+            for seg in &mut shard.data[slot] {
+                n += seg.len() as u64;
+                for v in seg.iter_mut() {
+                    *v *= alpha;
+                }
+            }
+            ctx.charge_flops(n);
+            ctx.reply(&env, (), 8);
+        }
+        tags::PULL_BLOCK => {
+            let req: &PullBlockReq = env.downcast_ref();
+            let shard = shard_of(shards, req.id);
+            // [col_idx][row_idx] layout.
+            let block: Vec<Vec<f64>> = req
+                .cols
+                .iter()
+                .map(|&c| req.rows.iter().map(|&r| shard.get(r, c)).collect())
+                .collect();
+            let n = (req.cols.len() * req.rows.len()) as u64;
+            ctx.charge_mem(n * 16);
+            ctx.reply(&env, block, 16 + n * req.value_bytes + 4 * req.cols.len() as u64);
+        }
+        tags::PUSH_BLOCK => {
+            let req: &PushBlockReq = env.downcast_ref();
+            let rows = Arc::clone(&req.rows);
+            let updates = Arc::clone(&req.updates);
+            let shard = shard_mut(shards, req.id);
+            let mut n = 0u64;
+            for (c, deltas) in updates.iter() {
+                for (&r, &d) in rows.iter().zip(deltas) {
+                    shard.add(r, *c, d);
+                    n += 1;
+                }
+            }
+            ctx.charge_flops(2 * n);
+            ctx.reply(&env, (), 8);
+        }
+        tags::FETCH_SEG => {
+            let req: &FetchSegReq = env.downcast_ref();
+            let shard = shard_of(shards, req.id);
+            let values: Vec<f64> = (req.lo..req.hi).map(|c| shard.get(req.row, c)).collect();
+            let n = values.len() as u64;
+            ctx.charge_mem(n * 8);
+            ctx.reply(&env, values, 16 + n * req.value_bytes);
+        }
+        tags::CROSS_DOT => {
+            let req: &CrossDotReq = env.downcast_ref();
+            let pieces = req.pieces.clone();
+            let (local_id, local_row, remote_id, remote_row, vb) = (
+                req.local_id,
+                req.local_row,
+                req.remote_id,
+                req.remote_row,
+                req.value_bytes,
+            );
+            let mut acc = 0.0;
+            for (lo, hi, remote) in pieces {
+                let remote_vals: Vec<f64> = if remote == me {
+                    (lo..hi)
+                        .map(|c| shard_of(shards, remote_id).get(remote_row, c))
+                        .collect()
+                } else {
+                    let fetch = FetchSegReq {
+                        id: remote_id,
+                        row: remote_row,
+                        lo,
+                        hi,
+                        value_bytes: vb,
+                    };
+                    ctx.call(remote, tags::FETCH_SEG, fetch, 48).downcast()
+                };
+                let shard = shard_of(shards, local_id);
+                let mut partial = 0.0;
+                for (i, rv) in remote_vals.iter().enumerate() {
+                    partial += shard.get(local_row, lo + i as u64) * rv;
+                }
+                ctx.charge_flops(2 * (hi - lo));
+                acc += partial;
+            }
+            ctx.reply(&env, acc, 16);
+        }
+        tags::CROSS_ELEM => {
+            let req: &CrossElemReq = env.downcast_ref();
+            let pieces = req.pieces.clone();
+            let (dst_id, dst_row, src_id, src_row, op, vb) = (
+                req.dst_id,
+                req.dst_row,
+                req.src_id,
+                req.src_row,
+                req.op,
+                req.value_bytes,
+            );
+            for (lo, hi, remote) in pieces {
+                let src_vals: Vec<f64> = if remote == me {
+                    (lo..hi)
+                        .map(|c| shard_of(shards, src_id).get(src_row, c))
+                        .collect()
+                } else {
+                    let fetch = FetchSegReq {
+                        id: src_id,
+                        row: src_row,
+                        lo,
+                        hi,
+                        value_bytes: vb,
+                    };
+                    ctx.call(remote, tags::FETCH_SEG, fetch, 48).downcast()
+                };
+                let shard = shard_mut(shards, dst_id);
+                for (i, sv) in src_vals.iter().enumerate() {
+                    let c = lo + i as u64;
+                    let cur = shard.get(dst_row, c);
+                    let new = op.apply(cur, *sv);
+                    shard.add(dst_row, c, new - cur);
+                }
+                ctx.charge_flops(2 * (hi - lo));
+            }
+            ctx.reply(&env, (), 8);
+        }
+        tags::CHECKPOINT => {
+            let req: &CheckpointReq = env.downcast_ref();
+            let (storage, key) = (req.storage, req.key);
+            let mut total = 0u64;
+            let shard_data: Vec<(MatrixId, Vec<Vec<Vec<f64>>>)> = shards
+                .iter()
+                .map(|(&id, sh)| {
+                    for row in &sh.data {
+                        for seg in row {
+                            total += seg.len() as u64;
+                        }
+                    }
+                    (id, sh.data.clone())
+                })
+                .collect();
+            let bytes = 32 + total * 8;
+            ctx.charge_mem(total * 8);
+            let snapshot = Arc::new(Snapshot {
+                shards: shard_data,
+                bytes,
+            });
+            let _ = ctx.call(storage, tags::STORE_PUT, StorePutReq { key, snapshot }, bytes);
+            ctx.reply(&env, (), 8);
+        }
+        tags::RESTORE => {
+            let req: &RestoreReq = env.downcast_ref();
+            let (storage, key) = (req.storage, req.key);
+            let resp: StoreGetResp = ctx.call(storage, tags::STORE_GET, StoreGetReq { key }, 16).downcast();
+            let restored = match resp {
+                StoreGetResp::Found(snapshot) => {
+                    for (id, data) in &snapshot.shards {
+                        if let Some(shard) = shards.get_mut(id) {
+                            shard.data = data.clone();
+                        }
+                    }
+                    true
+                }
+                StoreGetResp::Missing => false,
+            };
+            ctx.reply(&env, restored, 8);
+        }
+        other => panic!("ps-server: unknown tag {other}"),
+    }
+}
+
+/// A trivial alias so the AXPY arm reads uniformly (the request type lives
+/// in `protocol`).
+type AxpyReqLocal = crate::protocol::AxpyReq;
+
+fn cast_axpy(env: &Envelope) -> &AxpyReqLocal {
+    env.downcast_ref()
+}
+
+fn apply_axpy(shard: &mut Shard, dst: u32, src: u32, alpha: f64) -> u64 {
+    let sd = shard.slot(dst);
+    let ss = shard.slot(src);
+    let mut n = 0u64;
+    for ri in 0..shard.ranges.len() {
+        let src_seg = shard.data[ss][ri].clone();
+        let dst_seg = &mut shard.data[sd][ri];
+        n += dst_seg.len() as u64;
+        for (d, s) in dst_seg.iter_mut().zip(&src_seg) {
+            *d += alpha * s;
+        }
+    }
+    n
+}
+
+fn assert_unique(slots: &[usize]) {
+    for (i, a) in slots.iter().enumerate() {
+        for b in &slots[i + 1..] {
+            assert_ne!(a, b, "zip rows must be distinct");
+        }
+    }
+}
+
+fn shard_of(shards: &HashMap<MatrixId, Shard>, id: MatrixId) -> &Shard {
+    shards
+        .get(&id)
+        .unwrap_or_else(|| panic!("matrix {id:?} not present on this server"))
+}
+
+fn shard_mut(shards: &mut HashMap<MatrixId, Shard>, id: MatrixId) -> &mut Shard {
+    shards
+        .get_mut(&id)
+        .unwrap_or_else(|| panic!("matrix {id:?} not present on this server"))
+}
+
+/// The checkpoint storage process ("reliable external storage", e.g. HDFS).
+/// Charges a disk-bandwidth cost per operation on top of the network cost of
+/// getting bytes to it.
+pub fn storage_main(disk_bytes_per_sec: f64) -> impl FnOnce(&mut SimCtx) {
+    move |ctx: &mut SimCtx| {
+        let mut store: HashMap<u64, Arc<Snapshot>> = HashMap::new();
+        loop {
+            let env = ctx.recv();
+            match env.tag {
+                tags::STORE_PUT => {
+                    let req: &StorePutReq = env.downcast_ref();
+                    let secs = req.snapshot.bytes as f64 / disk_bytes_per_sec;
+                    ctx.advance(SimTime::from_secs_f64(secs));
+                    store.insert(req.key, Arc::clone(&req.snapshot));
+                    ctx.reply(&env, (), 8);
+                }
+                tags::STORE_GET => {
+                    let req: &StoreGetReq = env.downcast_ref();
+                    match store.get(&req.key) {
+                        Some(snap) => {
+                            let secs = snap.bytes as f64 / disk_bytes_per_sec;
+                            ctx.advance(SimTime::from_secs_f64(secs));
+                            let bytes = snap.bytes;
+                            ctx.reply(&env, StoreGetResp::Found(Arc::clone(snap)), bytes);
+                        }
+                        None => ctx.reply(&env, StoreGetResp::Missing, 8),
+                    }
+                }
+                other => panic!("storage: unknown tag {other}"),
+            }
+        }
+    }
+}
+
+/// Spawn `n` PS-servers plus one storage process.
+pub fn deploy_ps(sim: &mut SimRuntime, n: usize, disk_bytes_per_sec: f64) -> (Vec<ProcId>, ProcId) {
+    let servers = (0..n)
+        .map(|i| sim.spawn_daemon(&format!("ps-server-{i}"), ps_server_main))
+        .collect();
+    let storage = sim.spawn_daemon("ps-storage", storage_main(disk_bytes_per_sec));
+    (servers, storage)
+}

@@ -1,0 +1,117 @@
+//! Simulation configuration: network and compute cost models.
+
+use crate::time::SimTime;
+
+/// Network model parameters.
+///
+/// Every process owns one full-duplex NIC. A `B`-byte transfer from `a` to
+/// `b` costs:
+///
+/// ```text
+/// out_start = max(now_a, nic_out_free[a])
+/// out_done  = out_start + per_msg_overhead + B / bandwidth
+/// arrival   = max(out_done + latency, nic_in_free[b]) + B / bandwidth
+/// ```
+///
+/// Both NIC queues are updated, so concurrent transfers sharing an endpoint
+/// serialize — this reproduces the driver in-cast bottleneck of Spark MLlib
+/// (paper §2) and the per-server fan-in relief of the parameter server.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// NIC bandwidth in bits per second (paper cluster: 10 Gbps Ethernet).
+    pub bandwidth_bps: f64,
+    /// One-way link latency.
+    pub latency: SimTime,
+    /// Fixed per-message software/framing overhead charged on the sender.
+    pub per_msg_overhead: SimTime,
+    /// Latency of a self-send (loopback), applied instead of the NIC path.
+    pub loopback: SimTime,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            bandwidth_bps: 10e9,
+            latency: SimTime::from_micros(100),
+            per_msg_overhead: SimTime::from_micros(2),
+            loopback: SimTime::from_micros(5),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Time to push `bytes` through one NIC direction.
+    pub fn wire_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+}
+
+/// Compute cost model: converts work units into virtual time.
+///
+/// The rates model one executor/server JVM on a 2.2 GHz core as in the
+/// paper's cluster; they are deliberately conservative (effective, not peak)
+/// so the compute/communication ratio resembles a production deployment.
+#[derive(Clone, Debug)]
+pub struct ComputeConfig {
+    /// Effective floating-point ops per second for numeric kernels.
+    pub flops_per_sec: f64,
+    /// Effective bytes per second for memory-bound scans.
+    pub mem_bytes_per_sec: f64,
+    /// Per-task scheduling overhead (task serialization, dispatch, JVM-ish).
+    pub task_overhead: SimTime,
+}
+
+impl Default for ComputeConfig {
+    fn default() -> Self {
+        ComputeConfig {
+            flops_per_sec: 2.0e9,
+            mem_bytes_per_sec: 8.0e9,
+            // Scaled with the workloads: production Spark pays 5-10 ms per
+            // task, but the scaled datasets carry ~1000x less data per
+            // task; a proportionally smaller dispatch cost keeps the
+            // compute/communication/overhead ratios representative.
+            task_overhead: SimTime::from_millis(1),
+        }
+    }
+}
+
+impl ComputeConfig {
+    pub fn flops_time(&self, flops: u64) -> SimTime {
+        SimTime::from_secs_f64(flops as f64 / self.flops_per_sec)
+    }
+
+    pub fn mem_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 / self.mem_bytes_per_sec)
+    }
+}
+
+/// Complete simulation configuration.
+#[derive(Clone, Debug, Default)]
+pub struct SimConfig {
+    pub net: NetConfig,
+    pub compute: ComputeConfig,
+    /// Root seed; each process derives its RNG from `(seed, proc id)`.
+    pub seed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_scales_linearly() {
+        let net = NetConfig::default();
+        let t1 = net.wire_time(1_000_000);
+        let t2 = net.wire_time(2_000_000);
+        assert_eq!(t2.as_nanos(), 2 * t1.as_nanos());
+        // 1 MB over 10 Gbps = 0.8 ms
+        assert_eq!(t1, SimTime::from_micros(800));
+    }
+
+    #[test]
+    fn compute_times() {
+        let c = ComputeConfig::default();
+        assert_eq!(c.flops_time(2_000_000_000), SimTime::from_secs_f64(1.0));
+        assert_eq!(c.mem_time(8_000_000_000), SimTime::from_secs_f64(1.0));
+    }
+}

@@ -1,0 +1,269 @@
+//! The handle through which process code talks to the simulator.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::SimConfig;
+use crate::message::{Envelope, WireSize};
+use crate::runtime::{MatchSpec, ProcId, Shared};
+use crate::time::SimTime;
+
+/// Per-process simulator handle: messaging, virtual time, RNG, spawning.
+///
+/// Obtained as the argument of the closure passed to
+/// [`crate::SimRuntime::spawn`]. All methods are *yield points*: the
+/// scheduler may run other processes before the call returns.
+pub struct SimCtx {
+    shared: Arc<Shared>,
+    me: ProcId,
+    rng: StdRng,
+}
+
+impl SimCtx {
+    pub(crate) fn new(shared: Arc<Shared>, me: ProcId) -> SimCtx {
+        let seed = shared
+            .cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(me.0 as u64 + 1);
+        SimCtx {
+            shared,
+            me,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcId {
+        self.me
+    }
+
+    /// Current virtual time of this process.
+    pub fn now(&self) -> SimTime {
+        self.shared.now(self.me.0)
+    }
+
+    /// The simulation configuration (network and compute cost models).
+    pub fn config(&self) -> &SimConfig {
+        &self.shared.cfg
+    }
+
+    /// Deterministic per-process random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    // ---- virtual time ----------------------------------------------------
+
+    /// Advance this process's clock by `dt` of busy (compute) time.
+    pub fn advance(&mut self, dt: SimTime) {
+        self.shared.advance(self.me.0, dt);
+    }
+
+    /// Charge `flops` floating-point operations of compute time.
+    pub fn charge_flops(&mut self, flops: u64) {
+        let dt = self.shared.cfg.compute.flops_time(flops);
+        self.advance(dt);
+    }
+
+    /// Charge a memory-bound scan over `bytes` bytes.
+    pub fn charge_mem(&mut self, bytes: u64) {
+        let dt = self.shared.cfg.compute.mem_time(bytes);
+        self.advance(dt);
+    }
+
+    /// Charge one task-dispatch overhead (scheduling, task deserialization).
+    pub fn charge_task_overhead(&mut self) {
+        let dt = self.shared.cfg.compute.task_overhead;
+        self.advance(dt);
+    }
+
+    // ---- plain messaging ---------------------------------------------------
+
+    /// Send a one-way message of declared wire size `bytes`.
+    pub fn send<P: Any + Send>(&mut self, dst: ProcId, tag: u32, payload: P, bytes: u64) {
+        self.shared
+            .send_env(self.me.0, dst, tag, 0, false, Box::new(payload), bytes);
+    }
+
+    /// Send a one-way message whose wire size is computed from the payload.
+    pub fn send_t<P: Any + Send + WireSize>(&mut self, dst: ProcId, tag: u32, payload: P) {
+        let bytes = payload.wire_size();
+        self.send(dst, tag, payload, bytes);
+    }
+
+    /// Receive the next message (any kind), blocking in virtual time.
+    pub fn recv(&mut self) -> Envelope {
+        self.shared
+            .block_recv(self.me.0, MatchSpec::Any, None)
+            .expect("recv without deadline returned None")
+    }
+
+    /// Receive the next message, or `None` once the virtual clock reaches
+    /// `deadline` with nothing delivered.
+    pub fn recv_deadline(&mut self, deadline: SimTime) -> Option<Envelope> {
+        self.shared
+            .block_recv(self.me.0, MatchSpec::Any, Some(deadline))
+    }
+
+    /// Receive the next message, waiting at most `dt` of virtual time.
+    pub fn recv_timeout(&mut self, dt: SimTime) -> Option<Envelope> {
+        let deadline = self.now() + dt;
+        self.recv_deadline(deadline)
+    }
+
+    // ---- RPC ----------------------------------------------------------------
+
+    /// Synchronous call: send a request, block for the matching reply.
+    /// Unrelated messages arriving meanwhile stay queued.
+    pub fn call<P: Any + Send>(&mut self, dst: ProcId, tag: u32, payload: P, bytes: u64) -> Envelope {
+        let corr = self.shared.next_corr();
+        self.shared
+            .send_env(self.me.0, dst, tag, corr, false, Box::new(payload), bytes);
+        self.shared
+            .block_recv(self.me.0, MatchSpec::Replies(vec![corr]), None)
+            .expect("reply wait returned None")
+    }
+
+    /// Typed synchronous call with automatic wire sizing of the request.
+    pub fn call_t<Req, Resp>(&mut self, dst: ProcId, tag: u32, req: Req) -> Resp
+    where
+        Req: Any + Send + WireSize,
+        Resp: 'static,
+    {
+        let bytes = req.wire_size();
+        self.call(dst, tag, req, bytes).downcast::<Resp>()
+    }
+
+    /// Scatter-gather: issue all requests (transfers overlap in the network
+    /// model), then gather the replies. The result is ordered like the
+    /// request list regardless of arrival order.
+    pub fn call_many(
+        &mut self,
+        requests: Vec<(ProcId, u32, Box<dyn Any + Send>, u64)>,
+    ) -> Vec<Envelope> {
+        let n = requests.len();
+        let mut corr_order = Vec::with_capacity(n);
+        for (dst, tag, payload, bytes) in requests {
+            let corr = self.shared.next_corr();
+            corr_order.push(corr);
+            self.shared
+                .send_env(self.me.0, dst, tag, corr, false, payload, bytes);
+        }
+        let mut pending = corr_order.clone();
+        let mut replies: Vec<Option<Envelope>> = (0..n).map(|_| None).collect();
+        while !pending.is_empty() {
+            let env = self
+                .shared
+                .block_recv(self.me.0, MatchSpec::Replies(pending.clone()), None)
+                .expect("gather wait returned None");
+            let idx = corr_order
+                .iter()
+                .position(|&c| c == env.corr)
+                .expect("unknown correlation id");
+            pending.retain(|&c| c != env.corr);
+            replies[idx] = Some(env);
+        }
+        replies.into_iter().map(|e| e.expect("missing reply")).collect()
+    }
+
+    /// Low-level request send: like [`SimCtx::call`] but non-blocking;
+    /// returns the correlation id to pass to [`SimCtx::recv_reply`].
+    pub fn send_request<P: Any + Send>(
+        &mut self,
+        dst: ProcId,
+        tag: u32,
+        payload: P,
+        bytes: u64,
+    ) -> u64 {
+        let corr = self.shared.next_corr();
+        self.shared
+            .send_env(self.me.0, dst, tag, corr, false, Box::new(payload), bytes);
+        corr
+    }
+
+    /// Wait for a reply to any of the given correlation ids, optionally up
+    /// to a virtual-time deadline. Unrelated messages stay queued. Used by
+    /// schedulers that must detect dead peers via timeouts.
+    pub fn recv_reply(&mut self, corrs: &[u64], deadline: Option<SimTime>) -> Option<Envelope> {
+        self.shared
+            .block_recv(self.me.0, MatchSpec::Replies(corrs.to_vec()), deadline)
+    }
+
+    /// Allocate a correlation token that a *different* process can later
+    /// answer with [`SimCtx::send_token_reply`]; wait for it with
+    /// [`SimCtx::recv_reply`]. Used for acknowledgement fan-ins that are
+    /// not direct request/response pairs (e.g. relayed broadcasts).
+    pub fn alloc_reply_token(&mut self) -> u64 {
+        self.shared.next_corr()
+    }
+
+    /// Complete a token allocated by `dst` via
+    /// [`SimCtx::alloc_reply_token`].
+    pub fn send_token_reply<P: Any + Send>(
+        &mut self,
+        dst: ProcId,
+        tag: u32,
+        token: u64,
+        payload: P,
+        bytes: u64,
+    ) {
+        self.shared
+            .send_env(self.me.0, dst, tag, token, true, Box::new(payload), bytes);
+    }
+
+    /// Reply to a request received via [`SimCtx::recv`].
+    pub fn reply<P: Any + Send>(&mut self, request: &Envelope, payload: P, bytes: u64) {
+        assert_ne!(request.corr, 0, "reply target was not sent with call()");
+        self.shared.send_env(
+            self.me.0,
+            request.src,
+            request.tag,
+            request.corr,
+            true,
+            Box::new(payload),
+            bytes,
+        );
+    }
+
+    /// Typed reply with automatic wire sizing.
+    pub fn reply_t<P: Any + Send + WireSize>(&mut self, request: &Envelope, payload: P) {
+        let bytes = payload.wire_size();
+        self.reply(request, payload, bytes);
+    }
+
+    // ---- topology management -------------------------------------------------
+
+    /// Spawn a new non-daemon process at this process's current clock.
+    pub fn spawn<F>(&mut self, name: &str, f: F) -> ProcId
+    where
+        F: FnOnce(&mut SimCtx) + Send + 'static,
+    {
+        let now = self.now();
+        self.shared.spawn_impl(name, false, now, Box::new(f))
+    }
+
+    /// Spawn a new daemon process at this process's current clock.
+    pub fn spawn_daemon<F>(&mut self, name: &str, f: F) -> ProcId
+    where
+        F: FnOnce(&mut SimCtx) + Send + 'static,
+    {
+        let now = self.now();
+        self.shared.spawn_impl(name, true, now, Box::new(f))
+    }
+
+    /// Forcibly terminate another process (models machine failure). The
+    /// victim unwinds at its next scheduling point; in-flight mail to it is
+    /// dropped.
+    pub fn kill(&mut self, target: ProcId) {
+        self.shared.kill(self.me.0, target);
+    }
+
+    /// Whether `target` has neither finished nor been killed.
+    pub fn is_alive(&self, target: ProcId) -> bool {
+        self.shared.is_alive(target)
+    }
+}

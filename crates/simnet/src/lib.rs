@@ -1,0 +1,66 @@
+//! # ps2-simnet — a deterministic discrete-event cluster simulator
+//!
+//! This crate is the substrate every other `ps2` crate runs on. It stands in
+//! for the Tencent Yarn cluster used in the PS2 paper (2700 machines, 12-core
+//! 2.2 GHz CPUs, 10 Gbps Ethernet): logical processes model machines, a NIC
+//! model serializes transfers per endpoint, and a virtual clock measures time.
+//!
+//! ## Execution model
+//!
+//! Every logical process is an OS thread, but **exactly one process runs at a
+//! time**. At each simulator call (`send`, `recv`, `charge`, …) the running
+//! process yields and the scheduler resumes the *ready process with the
+//! smallest virtual clock* (ties broken by process id). Sends therefore occur
+//! in non-decreasing virtual time, which keeps NIC-queue accounting causal
+//! and makes every simulation **bit-for-bit deterministic** — the property
+//! that lets the benchmark harness regenerate the paper's figures exactly.
+//!
+//! Processes are written in direct style (plain loops), not as event
+//! handlers:
+//!
+//! ```
+//! use ps2_simnet::{SimBuilder, WireSize};
+//!
+//! let mut sim = SimBuilder::new().seed(7).build();
+//! let pong = sim.spawn_daemon("pong", |ctx| loop {
+//!     let env = ctx.recv();
+//!     let n: &u64 = env.downcast_ref();
+//!     ctx.reply(&env, n + 1, 8);
+//! });
+//! let out = sim.spawn_collect("ping", move |ctx| {
+//!     let r = ctx.call(pong, 0, 41u64, 8);
+//!     *r.downcast_ref::<u64>()
+//! });
+//! let report = sim.run().unwrap();
+//! assert_eq!(out.take(), 42);
+//! assert!(report.virtual_time.as_secs_f64() > 0.0);
+//! ```
+//!
+//! ## Time model
+//!
+//! *Communication.* A message of `B` bytes from `a` to `b` queues on `a`'s
+//! out-NIC (`start = max(now_a, nic_out_free_a)`), transmits at the NIC
+//! bandwidth, crosses the link latency, then queues on `b`'s in-NIC. Many
+//! senders converging on one receiver — the Spark-driver "single-node
+//! bottleneck" of the paper's §2 — serialize on the receiver's in-NIC with no
+//! special-casing.
+//!
+//! *Computation.* Process code calls [`SimCtx::charge_flops`] /
+//! [`SimCtx::charge_mem`] / [`SimCtx::charge_task_overhead`] with the work it
+//! actually performed; the cost model converts work to virtual nanoseconds.
+//! The arithmetic itself runs for real, so losses and models are genuine —
+//! only the clock is simulated.
+
+mod config;
+mod ctx;
+mod message;
+mod report;
+mod runtime;
+mod time;
+
+pub use config::{ComputeConfig, NetConfig, SimConfig};
+pub use ctx::SimCtx;
+pub use message::{Envelope, WireSize};
+pub use report::{ProcStats, SimReport, TraceEvent};
+pub use runtime::{OutputSlot, ProcId, SimBuilder, SimError, SimRuntime};
+pub use time::SimTime;

@@ -1,0 +1,103 @@
+//! Post-run statistics and the optional event trace.
+
+use std::time::Duration;
+
+use crate::runtime::ProcId;
+use crate::time::SimTime;
+
+/// One recorded simulation event (when tracing is enabled via
+/// [`crate::SimBuilder::trace`]).
+#[derive(Clone, Debug)]
+pub enum TraceEvent {
+    /// `src` sent `bytes` with `tag`, arriving at `dst` at `arrival`.
+    Send {
+        at: SimTime,
+        src: ProcId,
+        dst: ProcId,
+        tag: u32,
+        bytes: u64,
+        arrival: SimTime,
+    },
+    /// `proc` consumed a message sent by `src` with `tag`.
+    Recv {
+        at: SimTime,
+        proc: ProcId,
+        src: ProcId,
+        tag: u32,
+    },
+    /// `proc` charged `dt` of compute.
+    Compute {
+        at: SimTime,
+        proc: ProcId,
+        dt: SimTime,
+    },
+    /// `proc` finished (or was interrupted).
+    Finish { at: SimTime, proc: ProcId },
+}
+
+impl TraceEvent {
+    /// Virtual time of the event.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Send { at, .. }
+            | TraceEvent::Recv { at, .. }
+            | TraceEvent::Compute { at, .. }
+            | TraceEvent::Finish { at, .. } => *at,
+        }
+    }
+}
+
+/// Per-process counters, collected into the final [`SimReport`].
+#[derive(Clone, Debug)]
+pub struct ProcStats {
+    pub name: String,
+    pub daemon: bool,
+    /// Virtual clock when the process finished (or was interrupted).
+    pub finished_at: SimTime,
+    /// Total compute time charged via `charge_*`/`advance`.
+    pub busy: SimTime,
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub msgs_recv: u64,
+    pub bytes_recv: u64,
+}
+
+impl ProcStats {
+    pub(crate) fn new(name: String, daemon: bool) -> ProcStats {
+        ProcStats {
+            name,
+            daemon,
+            finished_at: SimTime::ZERO,
+            busy: SimTime::ZERO,
+            msgs_sent: 0,
+            bytes_sent: 0,
+            msgs_recv: 0,
+            bytes_recv: 0,
+        }
+    }
+}
+
+/// Result of a completed simulation.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Latest virtual clock among non-daemon processes — "how long the job
+    /// took on the simulated cluster".
+    pub virtual_time: SimTime,
+    /// Real time the simulation took to execute.
+    pub wall_time: Duration,
+    pub total_msgs: u64,
+    pub total_bytes: u64,
+    /// Messages dropped because the destination was dead.
+    pub dropped_msgs: u64,
+    pub procs: Vec<ProcStats>,
+    /// Recorded events, in virtual-time order (empty unless tracing was
+    /// enabled on the builder).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimReport {
+    /// Look up a process's stats by name (first match).
+    pub fn proc(&self, name: &str) -> Option<&ProcStats> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+}

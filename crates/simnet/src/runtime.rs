@@ -1,0 +1,750 @@
+//! The sequential deterministic scheduler.
+//!
+//! Every logical process is an OS thread, but only one runs at a time. At
+//! each simulator call the running process re-evaluates which process is
+//! *ready* with the smallest virtual clock and hands execution over. A
+//! blocked process is ready when matching mail is in its mailbox (at the
+//! mail's arrival time) or its receive deadline has passed.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use crate::config::SimConfig;
+use crate::ctx::SimCtx;
+use crate::message::Envelope;
+use crate::report::{ProcStats, SimReport};
+use crate::time::SimTime;
+
+/// Identifier of a logical process (one process == one machine/NIC).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub usize);
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc#{}", self.0)
+    }
+}
+
+/// Why a simulation failed.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// No process can make progress but non-daemon processes remain.
+    Deadlock(String),
+    /// A process panicked with a real (non-interrupt) panic.
+    ProcPanic { name: String, message: String },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock(d) => write!(f, "simulation deadlock: {d}"),
+            SimError::ProcPanic { name, message } => {
+                write!(f, "process '{name}' panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Panic payload used to unwind a process on shutdown or kill. Never leaks
+/// out of the crate: process wrappers catch it.
+pub(crate) struct Interrupt;
+
+/// What a blocked process is waiting for.
+#[derive(Clone)]
+pub(crate) enum MatchSpec {
+    /// Any message.
+    Any,
+    /// A reply whose correlation id is one of these.
+    Replies(Vec<u64>),
+}
+
+impl MatchSpec {
+    fn matches(&self, env: &Envelope) -> bool {
+        match self {
+            MatchSpec::Any => true,
+            MatchSpec::Replies(ids) => env.is_reply && ids.contains(&env.corr),
+        }
+    }
+}
+
+enum Status {
+    Runnable,
+    Blocked {
+        spec: MatchSpec,
+        deadline: Option<SimTime>,
+    },
+    Finished,
+}
+
+struct Proc {
+    name: String,
+    daemon: bool,
+    killed: bool,
+    clock: SimTime,
+    status: Status,
+    /// Pending mail ordered by (arrival ns, global sequence).
+    mailbox: BTreeMap<(u64, u64), Envelope>,
+    stats: ProcStats,
+}
+
+impl Proc {
+    fn new(name: String, daemon: bool, clock: SimTime) -> Proc {
+        Proc {
+            stats: ProcStats::new(name.clone(), daemon),
+            name,
+            daemon,
+            killed: false,
+            clock,
+            status: Status::Runnable,
+            mailbox: BTreeMap::new(),
+        }
+    }
+
+    /// Virtual time at which this process could next run, or `None` if it
+    /// cannot run at all right now.
+    fn ready_key(&self) -> Option<SimTime> {
+        if matches!(self.status, Status::Finished) {
+            return None;
+        }
+        if self.killed {
+            // Schedulable so it gets a turn in which to unwind.
+            return Some(self.clock);
+        }
+        match &self.status {
+            Status::Runnable => Some(self.clock),
+            Status::Blocked { spec, deadline } => {
+                let mail = self
+                    .mailbox
+                    .iter()
+                    .find(|(_, env)| spec.matches(env))
+                    .map(|((arrival, _), _)| self.clock.max(SimTime(*arrival)));
+                match (mail, deadline) {
+                    // Ready at whichever comes first: the matching mail's
+                    // effective time or the deadline's effective time.
+                    (Some(m), Some(d)) => Some(m.min(self.clock.max(*d))),
+                    (Some(m), None) => Some(m),
+                    (None, Some(d)) => Some(self.clock.max(*d)),
+                    (None, None) => None,
+                }
+            }
+            Status::Finished => None,
+        }
+    }
+}
+
+pub(crate) struct State {
+    procs: Vec<Proc>,
+    nic_out_free: Vec<SimTime>,
+    nic_in_free: Vec<SimTime>,
+    running: Option<usize>,
+    /// Unfinished non-daemon processes.
+    live: usize,
+    shutdown: bool,
+    error: Option<SimError>,
+    seq: u64,
+    corr: u64,
+    total_msgs: u64,
+    total_bytes: u64,
+    dropped_msgs: u64,
+    handles: Vec<JoinHandle<()>>,
+    tracing: bool,
+    trace: Vec<crate::report::TraceEvent>,
+}
+
+fn pick(st: &State) -> Option<usize> {
+    let mut best: Option<(SimTime, usize)> = None;
+    for (i, p) in st.procs.iter().enumerate() {
+        if let Some(key) = p.ready_key() {
+            if best.is_none_or(|(bk, _)| key < bk) {
+                best = Some((key, i));
+            }
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+fn describe_blocked(st: &State) -> String {
+    let mut parts = Vec::new();
+    for p in &st.procs {
+        if let Status::Blocked { .. } = p.status {
+            parts.push(format!("'{}'@{} (mailbox {})", p.name, p.clock, p.mailbox.len()));
+        }
+    }
+    if parts.is_empty() {
+        "no blocked processes".to_string()
+    } else {
+        format!("blocked: {}", parts.join(", "))
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) cfg: SimConfig,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Shared {
+    fn interrupt_check(&self, st: &State, me: usize) {
+        if st.shutdown || st.procs[me].killed {
+            panic::panic_any(Interrupt);
+        }
+    }
+
+    /// Park until it is `me`'s turn (or shutdown/kill unwinds us).
+    fn wait_for_turn(&self, st: &mut MutexGuard<'_, State>, me: usize) {
+        loop {
+            if st.shutdown || st.procs[me].killed {
+                panic::panic_any(Interrupt);
+            }
+            if st.running == Some(me) {
+                return;
+            }
+            self.cv.wait(st);
+        }
+    }
+
+    /// After any operation that may have advanced `me`'s clock: hand off to
+    /// the globally minimal-clock ready process (possibly still `me`).
+    fn reschedule(&self, st: &mut MutexGuard<'_, State>, me: usize) {
+        let next = match pick(st) {
+            Some(n) => n,
+            None => {
+                // `me` is running, hence ready — pick can only fail if we
+                // just blocked, which this path never does.
+                unreachable!("reschedule with no ready process")
+            }
+        };
+        if next == me {
+            return;
+        }
+        st.running = Some(next);
+        self.cv.notify_all();
+        self.wait_for_turn(st, me);
+    }
+
+    fn fail(&self, st: &mut MutexGuard<'_, State>, err: SimError) {
+        if st.error.is_none() {
+            st.error = Some(err);
+        }
+        st.shutdown = true;
+        st.running = None;
+        self.cv.notify_all();
+    }
+
+    // ---- operations invoked through SimCtx ------------------------------
+
+    pub(crate) fn now(&self, me: usize) -> SimTime {
+        self.state.lock().procs[me].clock
+    }
+
+    pub(crate) fn advance(&self, me: usize, dt: SimTime) {
+        let mut st = self.state.lock();
+        self.interrupt_check(&st, me);
+        if st.tracing && dt > SimTime::ZERO {
+            let at = st.procs[me].clock;
+            st.trace.push(crate::report::TraceEvent::Compute {
+                at,
+                proc: ProcId(me),
+                dt,
+            });
+        }
+        let p = &mut st.procs[me];
+        p.clock += dt;
+        p.stats.busy += dt;
+        self.reschedule(&mut st, me);
+    }
+
+    pub(crate) fn next_corr(&self) -> u64 {
+        let mut st = self.state.lock();
+        st.corr += 1;
+        st.corr
+    }
+
+    pub(crate) fn send_env(
+        &self,
+        me: usize,
+        dst: ProcId,
+        tag: u32,
+        corr: u64,
+        is_reply: bool,
+        payload: Box<dyn Any + Send>,
+        bytes: u64,
+    ) {
+        let mut st = self.state.lock();
+        self.interrupt_check(&st, me);
+        let net = &self.cfg.net;
+        st.procs[me].clock += net.per_msg_overhead;
+        let now = st.procs[me].clock;
+        let arrival = if dst.0 == me {
+            now + net.loopback
+        } else {
+            // Pipelined store-and-forward: receiving can begin once the first
+            // bytes have crossed the link and the in-NIC is free.
+            let wire = net.wire_time(bytes);
+            let out_start = now.max(st.nic_out_free[me]);
+            st.nic_out_free[me] = out_start + wire;
+            let in_start = (out_start + net.latency).max(st.nic_in_free[dst.0]);
+            let in_done = in_start + wire;
+            st.nic_in_free[dst.0] = in_done;
+            in_done
+        };
+        if st.tracing {
+            st.trace.push(crate::report::TraceEvent::Send {
+                at: now,
+                src: ProcId(me),
+                dst,
+                tag,
+                bytes,
+                arrival,
+            });
+        }
+        st.procs[me].stats.msgs_sent += 1;
+        st.procs[me].stats.bytes_sent += bytes;
+        st.total_msgs += 1;
+        st.total_bytes += bytes;
+        let dead = st.procs[dst.0].killed || matches!(st.procs[dst.0].status, Status::Finished);
+        if dead {
+            st.dropped_msgs += 1;
+        } else {
+            st.seq += 1;
+            let key = (arrival.as_nanos(), st.seq);
+            st.procs[dst.0].mailbox.insert(
+                key,
+                Envelope {
+                    src: ProcId(me),
+                    dst,
+                    tag,
+                    corr,
+                    is_reply,
+                    payload,
+                    bytes,
+                    sent_at: now,
+                    arrival,
+                },
+            );
+        }
+        self.reschedule(&mut st, me);
+    }
+
+    pub(crate) fn block_recv(
+        &self,
+        me: usize,
+        spec: MatchSpec,
+        deadline: Option<SimTime>,
+    ) -> Option<Envelope> {
+        let mut st = self.state.lock();
+        loop {
+            self.interrupt_check(&st, me);
+            let found = st.procs[me]
+                .mailbox
+                .iter()
+                .find(|(_, env)| spec.matches(env))
+                .map(|(k, _)| *k);
+            if let Some(key) = found {
+                let env = st.procs[me].mailbox.remove(&key).expect("mail vanished");
+                let p = &mut st.procs[me];
+                p.clock = p.clock.max(env.arrival);
+                p.status = Status::Runnable;
+                p.stats.msgs_recv += 1;
+                p.stats.bytes_recv += env.bytes;
+                if st.tracing {
+                    let at = st.procs[me].clock;
+                    st.trace.push(crate::report::TraceEvent::Recv {
+                        at,
+                        proc: ProcId(me),
+                        src: env.src,
+                        tag: env.tag,
+                    });
+                }
+                self.reschedule(&mut st, me);
+                return Some(env);
+            }
+            if let Some(d) = deadline {
+                if st.procs[me].clock >= d {
+                    st.procs[me].status = Status::Runnable;
+                    self.reschedule(&mut st, me);
+                    return None;
+                }
+            }
+            st.procs[me].status = Status::Blocked {
+                spec: spec.clone(),
+                deadline,
+            };
+            match pick(&st) {
+                Some(next) if next == me => {
+                    // Ready by deadline only (matching mail would have been
+                    // consumed above).
+                    let d = deadline.expect("self-ready without mail or deadline");
+                    let p = &mut st.procs[me];
+                    p.clock = p.clock.max(d);
+                    p.status = Status::Runnable;
+                    self.reschedule(&mut st, me);
+                    return None;
+                }
+                Some(next) => {
+                    st.running = Some(next);
+                    self.cv.notify_all();
+                    self.wait_for_turn(&mut st, me);
+                    // Loop re-checks the mailbox.
+                }
+                None => {
+                    if st.live == 0 {
+                        // Only daemons remain and all are blocked: the
+                        // simulation is simply over.
+                        st.shutdown = true;
+                        st.running = None;
+                        self.cv.notify_all();
+                    } else {
+                        let live = st.live;
+                        let desc =
+                            format!("{} live non-daemons; {}", live, describe_blocked(&st));
+                        self.fail(&mut st, SimError::Deadlock(desc));
+                    }
+                    panic::panic_any(Interrupt);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn kill(&self, me: usize, target: ProcId) {
+        assert_ne!(me, target.0, "a process cannot kill itself; just return");
+        let mut st = self.state.lock();
+        self.interrupt_check(&st, me);
+        if !matches!(st.procs[target.0].status, Status::Finished) {
+            st.procs[target.0].killed = true;
+        }
+        // The victim gets reaped when the scheduler next selects it; parked
+        // victims wake on this notify, see `killed`, and unwind.
+        self.cv.notify_all();
+        self.reschedule(&mut st, me);
+    }
+
+    pub(crate) fn is_alive(&self, target: ProcId) -> bool {
+        let st = self.state.lock();
+        let p = &st.procs[target.0];
+        !p.killed && !matches!(p.status, Status::Finished)
+    }
+
+    pub(crate) fn spawn_impl(
+        self: &Arc<Self>,
+        name: &str,
+        daemon: bool,
+        start_clock: SimTime,
+        f: Box<dyn FnOnce(&mut SimCtx) + Send>,
+    ) -> ProcId {
+        let mut st = self.state.lock();
+        let id = st.procs.len();
+        st.procs.push(Proc::new(name.to_string(), daemon, start_clock));
+        st.nic_out_free.push(SimTime::ZERO);
+        st.nic_in_free.push(SimTime::ZERO);
+        if !daemon {
+            st.live += 1;
+        }
+        let shared = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("sim-{name}"))
+            .spawn(move || proc_main(shared, id, f))
+            .expect("failed to spawn simulation thread");
+        st.handles.push(handle);
+        ProcId(id)
+    }
+
+    fn on_proc_exit(&self, me: usize, result: Result<(), Box<dyn Any + Send>>) {
+        let mut st = self.state.lock();
+        if let Err(payload) = result {
+            if !payload.is::<Interrupt>() && st.error.is_none() {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                let name = st.procs[me].name.clone();
+                st.error = Some(SimError::ProcPanic { name, message });
+                st.shutdown = true;
+            }
+        }
+        let daemon = st.procs[me].daemon;
+        let already_finished = matches!(st.procs[me].status, Status::Finished);
+        st.procs[me].status = Status::Finished;
+        st.procs[me].stats.finished_at = st.procs[me].clock;
+        if st.tracing && !already_finished {
+            let at = st.procs[me].clock;
+            st.trace.push(crate::report::TraceEvent::Finish {
+                at,
+                proc: ProcId(me),
+            });
+        }
+        if !daemon && !already_finished {
+            st.live -= 1;
+        }
+        if st.live == 0 {
+            st.shutdown = true;
+        }
+        if st.shutdown {
+            st.running = None;
+            self.cv.notify_all();
+            return;
+        }
+        if st.running == Some(me) {
+            match pick(&st) {
+                Some(next) => {
+                    st.running = Some(next);
+                    self.cv.notify_all();
+                }
+                None => {
+                    let desc = describe_blocked(&st);
+                    self.fail(&mut st, SimError::Deadlock(desc));
+                }
+            }
+        }
+    }
+}
+
+/// Suppress the default panic-hook noise for our internal `Interrupt`
+/// unwinds while keeping real panics loud.
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<Interrupt>() {
+                return;
+            }
+            default(info);
+        }));
+    });
+}
+
+fn proc_main(shared: Arc<Shared>, me: usize, f: Box<dyn FnOnce(&mut SimCtx) + Send>) {
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        {
+            let mut st = shared.state.lock();
+            shared.wait_for_turn(&mut st, me);
+        }
+        let mut ctx = SimCtx::new(Arc::clone(&shared), ProcId(me));
+        f(&mut ctx);
+    }));
+    shared.on_proc_exit(me, result);
+}
+
+/// A write-once slot used to carry a process's return value out of the
+/// simulation.
+pub struct OutputSlot<T> {
+    inner: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> Clone for OutputSlot<T> {
+    fn clone(&self) -> Self {
+        OutputSlot {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> OutputSlot<T> {
+    fn new() -> Self {
+        OutputSlot {
+            inner: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    fn put(&self, value: T) {
+        *self.inner.lock() = Some(value);
+    }
+
+    /// Take the value. Panics if the producing process never finished.
+    pub fn take(&self) -> T {
+        self.inner
+            .lock()
+            .take()
+            .expect("OutputSlot: producing process did not complete")
+    }
+
+    /// Non-panicking variant of [`OutputSlot::take`].
+    pub fn try_take(&self) -> Option<T> {
+        self.inner.lock().take()
+    }
+}
+
+/// Builder for a [`SimRuntime`].
+#[derive(Default)]
+pub struct SimBuilder {
+    cfg: SimConfig,
+    tracing: bool,
+}
+
+impl SimBuilder {
+    pub fn new() -> SimBuilder {
+        SimBuilder::default()
+    }
+
+    pub fn seed(mut self, seed: u64) -> SimBuilder {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn network(mut self, net: crate::config::NetConfig) -> SimBuilder {
+        self.cfg.net = net;
+        self
+    }
+
+    pub fn compute(mut self, compute: crate::config::ComputeConfig) -> SimBuilder {
+        self.cfg.compute = compute;
+        self
+    }
+
+    pub fn config(mut self, cfg: SimConfig) -> SimBuilder {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Record an event trace (sends, receives, compute, finishes) into the
+    /// final report. Costs memory proportional to event count; intended for
+    /// debugging and visualization, not for the large benches.
+    pub fn trace(mut self, on: bool) -> SimBuilder {
+        self.tracing = on;
+        self
+    }
+
+    pub fn build(self) -> SimRuntime {
+        install_quiet_hook();
+        SimRuntime {
+            shared: Arc::new(Shared {
+                cfg: self.cfg,
+                state: Mutex::new(State {
+                    procs: Vec::new(),
+                    nic_out_free: Vec::new(),
+                    nic_in_free: Vec::new(),
+                    running: None,
+                    live: 0,
+                    shutdown: false,
+                    error: None,
+                    seq: 0,
+                    corr: 0,
+                    total_msgs: 0,
+                    total_bytes: 0,
+                    dropped_msgs: 0,
+                    handles: Vec::new(),
+                    tracing: self.tracing,
+                    trace: Vec::new(),
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+}
+
+/// A configured simulation: spawn processes, then [`SimRuntime::run`].
+pub struct SimRuntime {
+    shared: Arc<Shared>,
+}
+
+impl SimRuntime {
+    /// Spawn a non-daemon process. The simulation ends when all non-daemon
+    /// processes finish.
+    pub fn spawn<F>(&mut self, name: &str, f: F) -> ProcId
+    where
+        F: FnOnce(&mut SimCtx) + Send + 'static,
+    {
+        self.shared
+            .spawn_impl(name, false, SimTime::ZERO, Box::new(f))
+    }
+
+    /// Spawn a daemon process (e.g. a server loop). Daemons are interrupted
+    /// when every non-daemon process has finished.
+    pub fn spawn_daemon<F>(&mut self, name: &str, f: F) -> ProcId
+    where
+        F: FnOnce(&mut SimCtx) + Send + 'static,
+    {
+        self.shared
+            .spawn_impl(name, true, SimTime::ZERO, Box::new(f))
+    }
+
+    /// Spawn a non-daemon process whose return value is captured in an
+    /// [`OutputSlot`], readable after [`SimRuntime::run`].
+    pub fn spawn_collect<T, F>(&mut self, name: &str, f: F) -> OutputSlot<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut SimCtx) -> T + Send + 'static,
+    {
+        let slot = OutputSlot::new();
+        let out = slot.clone();
+        self.spawn(name, move |ctx| {
+            let v = f(ctx);
+            out.put(v);
+        });
+        slot
+    }
+
+    /// Run the simulation to completion.
+    pub fn run(self) -> Result<SimReport, SimError> {
+        let wall_start = Instant::now();
+        {
+            let mut st = self.shared.state.lock();
+            match pick(&st) {
+                Some(next) => {
+                    st.running = Some(next);
+                    self.shared.cv.notify_all();
+                }
+                None => {
+                    if st.live > 0 {
+                        let desc = describe_blocked(&st);
+                        st.error = Some(SimError::Deadlock(desc));
+                    }
+                    st.shutdown = true;
+                    self.shared.cv.notify_all();
+                }
+            }
+            while !st.shutdown {
+                self.shared.cv.wait(&mut st);
+            }
+            st.running = None;
+            self.shared.cv.notify_all();
+        }
+        // All threads unwind on shutdown; join them before reading stats.
+        loop {
+            let handles: Vec<JoinHandle<()>> = {
+                let mut st = self.shared.state.lock();
+                std::mem::take(&mut st.handles)
+            };
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        let st = self.shared.state.lock();
+        if let Some(err) = st.error.clone() {
+            return Err(err);
+        }
+        let virtual_time = st
+            .procs
+            .iter()
+            .filter(|p| !p.daemon)
+            .map(|p| p.clock)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let mut trace = st.trace.clone();
+        trace.sort_by_key(|e| e.at());
+        Ok(SimReport {
+            virtual_time,
+            wall_time: wall_start.elapsed(),
+            total_msgs: st.total_msgs,
+            total_bytes: st.total_bytes,
+            dropped_msgs: st.dropped_msgs,
+            procs: st.procs.iter().map(|p| p.stats.clone()).collect(),
+            trace,
+        })
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the simulator's invariants.
+
+use proptest::prelude::*;
+use ps2_simnet::{NetConfig, ProcId, SimBuilder, SimTime};
+
+fn quiet_net() -> NetConfig {
+    NetConfig {
+        bandwidth_bps: 1e9,
+        latency: SimTime::from_micros(100),
+        per_msg_overhead: SimTime::ZERO,
+        loopback: SimTime::from_micros(1),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arrival time is monotone in message size: a bigger message from the
+    /// same idle sender never arrives earlier.
+    #[test]
+    fn arrival_monotone_in_bytes(b1 in 1u64..10_000_000, b2 in 1u64..10_000_000) {
+        let (small, big) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        let arr = |bytes: u64| {
+            let mut sim = SimBuilder::new().network(quiet_net()).build();
+            let rx = sim.spawn_collect("rx", |ctx| ctx.recv().arrival);
+            sim.spawn("tx", move |ctx| ctx.send(ProcId(0), 0, (), bytes));
+            sim.run().unwrap();
+            rx.take()
+        };
+        prop_assert!(arr(small) <= arr(big));
+    }
+
+    /// Virtual clocks never decrease: each process's finish time is at
+    /// least its total charged busy time.
+    #[test]
+    fn finish_time_bounds_busy_time(
+        charges in prop::collection::vec(1u64..5_000_000, 1..20)
+    ) {
+        let mut sim = SimBuilder::new().build();
+        let cs = charges.clone();
+        sim.spawn("busy", move |ctx| {
+            for c in &cs {
+                ctx.advance(SimTime(*c));
+            }
+        });
+        let report = sim.run().unwrap();
+        let p = report.proc("busy").unwrap();
+        let total: u64 = charges.iter().sum();
+        prop_assert_eq!(p.busy, SimTime(total));
+        prop_assert!(p.finished_at >= p.busy);
+    }
+
+    /// With N parallel one-shot senders to one sink, the sink's last arrival
+    /// is at least N * wire-time (in-NIC serialization) and the whole run is
+    /// deterministic across repetitions.
+    #[test]
+    fn incast_lower_bound_holds(n in 1usize..10, kb in 1u64..512) {
+        let bytes = kb * 1024;
+        let run = || {
+            let mut sim = SimBuilder::new().network(quiet_net()).build();
+            let nn = n;
+            let sink = sim.spawn_collect("sink", move |ctx| {
+                let mut last = SimTime::ZERO;
+                for _ in 0..nn {
+                    last = last.max(ctx.recv().arrival);
+                }
+                last
+            });
+            for i in 0..n {
+                sim.spawn(&format!("tx{i}"), move |ctx| ctx.send(ProcId(0), 0, (), bytes));
+            }
+            sim.run().unwrap();
+            sink.take()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b);
+        let wire_ns = (bytes as f64 * 8.0 / 1e9 * 1e9).round() as u64;
+        prop_assert!(a.as_nanos() >= wire_ns * n as u64);
+    }
+
+    /// RPC replies always match their requests even under interleaving.
+    #[test]
+    fn rpc_replies_match_under_interleaving(rounds in 1usize..20, clients in 1usize..6) {
+        let mut sim = SimBuilder::new().build();
+        let server = sim.spawn_daemon("server", |ctx| loop {
+            let env = ctx.recv();
+            let v: u64 = *env.downcast_ref::<u64>();
+            ctx.reply(&env, v + 1, 8);
+        });
+        let mut slots = Vec::new();
+        for c in 0..clients {
+            let slot = sim.spawn_collect(&format!("c{c}"), move |ctx| {
+                let mut ok = true;
+                for r in 0..rounds {
+                    let x = (c * 1000 + r) as u64;
+                    let y: u64 = ctx.call(server, 0, x, 8).downcast();
+                    ok &= y == x + 1;
+                }
+                ok
+            });
+            slots.push(slot);
+        }
+        sim.run().unwrap();
+        for s in slots {
+            prop_assert!(s.take());
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Tests for the optional event trace.
+
+use ps2_simnet::{ProcId, SimBuilder, SimTime, TraceEvent};
+
+#[test]
+fn trace_records_sends_recvs_compute_and_finishes() {
+    let mut sim = SimBuilder::new().trace(true).build();
+    let rx = sim.spawn_collect("rx", |ctx| {
+        let env = ctx.recv();
+        ctx.advance(SimTime::from_millis(2));
+        *env.downcast_ref::<u64>()
+    });
+    sim.spawn("tx", |ctx| {
+        ctx.advance(SimTime::from_millis(1));
+        ctx.send(ProcId(0), 7, 99u64, 64);
+    });
+    let report = sim.run().unwrap();
+    assert_eq!(rx.take(), 99);
+
+    let sends: Vec<_> = report
+        .trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Send { .. }))
+        .collect();
+    assert_eq!(sends.len(), 1);
+    if let TraceEvent::Send { src, dst, tag, bytes, .. } = sends[0] {
+        assert_eq!((*src, *dst, *tag, *bytes), (ProcId(1), ProcId(0), 7, 64));
+    }
+    assert!(report
+        .trace
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Recv { proc: ProcId(0), tag: 7, .. })));
+    assert!(report
+        .trace
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Compute { proc: ProcId(0), .. })));
+    let finishes = report
+        .trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Finish { .. }))
+        .count();
+    assert_eq!(finishes, 2);
+
+    // Events come back in virtual-time order.
+    let times: Vec<u64> = report.trace.iter().map(|e| e.at().as_nanos()).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn tracing_is_off_by_default_and_costs_nothing() {
+    let mut sim = SimBuilder::new().build();
+    sim.spawn("p", |ctx| {
+        let me = ctx.id();
+        ctx.send(me, 0, (), 8);
+        let _ = ctx.recv();
+        ctx.advance(SimTime::from_millis(1));
+    });
+    let report = sim.run().unwrap();
+    assert!(report.trace.is_empty());
+}
+
+#[test]
+fn traced_and_untraced_runs_have_identical_timing() {
+    let run = |trace: bool| {
+        let mut sim = SimBuilder::new().seed(9).trace(trace).build();
+        let server = sim.spawn_daemon("s", |ctx| loop {
+            let env = ctx.recv();
+            ctx.reply(&env, (), 8);
+        });
+        sim.spawn("c", move |ctx| {
+            for _ in 0..20 {
+                let _ = ctx.call(server, 0, (), 128);
+                ctx.advance(SimTime::from_micros(10));
+            }
+        });
+        sim.run().unwrap().virtual_time
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -1,0 +1,312 @@
+//! `ps2-run` — run any PS2 workload from the command line.
+//!
+//! ```text
+//! ps2-run <workload> [flags]
+//!
+//! workloads: lr | deepwalk | gbdt | lda | svm | lbfgs | fm
+//!
+//! common flags:
+//!   --workers N        executors (default 20)
+//!   --servers N        PS-servers (default 20)
+//!   --seed N           simulation seed (default 42)
+//!   --iters N          training iterations (default 30)
+//!   --backend NAME     ps2 | ps | spark | petuum | distml | xgboost |
+//!                      glint | mllib-star      (default ps2)
+//!   --csv PATH         also write the (seconds, loss) trace as CSV
+//!
+//! dataset flags (lr/svm/lbfgs/fm):
+//!   --rows N --dim N --nnz N   (defaults 20000 / 100000 / 20)
+//! lr flags:
+//!   --optimizer NAME   sgd | adam | adagrad | rmsprop | ftrl (default sgd)
+//!   --lr X             learning rate (default 1.0)
+//!   --fraction X       mini-batch fraction (default 0.01)
+//! deepwalk flags:
+//!   --vertices N --walks N --embedding-dim N
+//! gbdt flags:
+//!   --trees N --depth N --bins N
+//! lda flags:
+//!   --docs N --vocab N --topics N
+//! ```
+//!
+//! Example:
+//! ```text
+//! ps2-run lr --backend petuum --dim 500000 --iters 50 --csv /tmp/petuum.csv
+//! ```
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::exit;
+
+use ps2::ml::deepwalk::{train_deepwalk, DeepWalkBackend, DeepWalkConfig};
+use ps2::ml::fm::{train_fm, FmConfig};
+use ps2::ml::gbdt::{train_gbdt, GbdtBackend, GbdtConfig};
+use ps2::ml::hyper::{DeepWalkHyper, GbdtHyper, LdaHyper};
+use ps2::ml::lbfgs::{train_lbfgs, LbfgsConfig};
+use ps2::ml::lda::{train_lda, LdaBackend, LdaConfig};
+use ps2::ml::lr::{train_lr, train_lr_mllib_star, LrBackend, LrConfig};
+use ps2::ml::optim::Optimizer;
+use ps2::ml::svm::{train_svm, SvmConfig};
+use ps2::ml::TrainingTrace;
+use ps2::{run_ps2, ClusterSpec};
+use ps2_data::{CorpusGen, GraphGen, RandomWalks, SparseDatasetGen};
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let value = argv.get(i + 1).cloned().unwrap_or_else(|| {
+                    die(&format!("flag --{name} needs a value"));
+                });
+                flags.insert(name.to_string(), value);
+                i += 2;
+            } else {
+                die(&format!("unexpected argument '{a}'"));
+            }
+        }
+        Args { flags }
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.flags.get(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| die(&format!("bad value for --{name}: '{v}'"))),
+        }
+    }
+
+    fn get_str(&self, name: &str, default: &str) -> String {
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("ps2-run: {msg}\nrun with no arguments for usage");
+    exit(2)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: ps2-run <lr|deepwalk|gbdt|lda|svm|lbfgs|fm> [flags]");
+    eprintln!("see the crate docs (src/bin/ps2-run.rs) for the flag list");
+    exit(2)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((workload, rest)) = argv.split_first() else {
+        usage();
+    };
+    let args = Args::parse(rest);
+
+    let spec = ClusterSpec {
+        workers: args.get("workers", 20usize),
+        servers: args.get("servers", 20usize),
+        ..ClusterSpec::default()
+    };
+    let seed: u64 = args.get("seed", 42u64);
+    let iters: usize = args.get("iters", 30usize);
+    let backend = args.get_str("backend", "ps2");
+
+    let sparse_gen = |parts: usize| {
+        SparseDatasetGen::new(
+            args.get("rows", 20_000u64),
+            args.get("dim", 100_000u64),
+            args.get("nnz", 20u32),
+            parts,
+            seed,
+        )
+    };
+
+    let workers = spec.workers;
+    let (trace, report) = match workload.as_str() {
+        "lr" => {
+            let optimizer = match args.get_str("optimizer", "sgd").as_str() {
+                "sgd" => Optimizer::Sgd,
+                "adam" => Optimizer::Adam {
+                    beta1: 0.9,
+                    beta2: 0.999,
+                    epsilon: 1e-8,
+                },
+                "adagrad" => Optimizer::Adagrad { epsilon: 1e-8 },
+                "rmsprop" => Optimizer::RmsProp {
+                    decay: 0.9,
+                    epsilon: 1e-8,
+                },
+                "ftrl" => Optimizer::Ftrl {
+                    alpha: 0.3,
+                    beta: 1.0,
+                    l1: 1e-3,
+                    l2: 1e-4,
+                },
+                other => die(&format!("unknown optimizer '{other}'")),
+            };
+            let lr_backend = match backend.as_str() {
+                "ps2" => Some(LrBackend::Ps2Dcv),
+                "ps" => Some(LrBackend::PsPullPush),
+                "spark" => Some(LrBackend::SparkDriver),
+                "petuum" => Some(LrBackend::PetuumStyle),
+                "distml" => Some(LrBackend::DistmlStyle),
+                "mllib-star" => None,
+                other => die(&format!("unknown LR backend '{other}'")),
+            };
+            let gen = sparse_gen(workers);
+            let lrate: f64 = args.get("lr", 1.0f64);
+            let fraction: f64 = args.get("fraction", 0.01f64);
+            run_ps2(spec, seed, move |ctx, ps2| {
+                let mut cfg = LrConfig::new(gen, optimizer, iters);
+                cfg.hyper.learning_rate = lrate;
+                cfg.hyper.mini_batch_fraction = fraction;
+                match lr_backend {
+                    Some(b) => train_lr(ctx, ps2, &cfg, b),
+                    None => train_lr_mllib_star(ctx, ps2, &cfg),
+                }
+            })
+        }
+        "deepwalk" => {
+            let dw_backend = match backend.as_str() {
+                "ps2" => DeepWalkBackend::Ps2Dcv,
+                "ps" => DeepWalkBackend::PsPullPush,
+                other => die(&format!("unknown DeepWalk backend '{other}'")),
+            };
+            let vertices: u32 = args.get("vertices", 2_000u32);
+            let walks_n: usize = args.get("walks", 4_000usize);
+            let dim: u64 = args.get("embedding-dim", 100u64);
+            run_ps2(spec, seed, move |ctx, ps2| {
+                let g = GraphGen {
+                    vertices,
+                    edges_per_vertex: 4,
+                    seed,
+                }
+                .generate();
+                let walks = RandomWalks::sample(&g, walks_n, 8, seed ^ 1);
+                let cfg = DeepWalkConfig {
+                    vertices,
+                    hyper: DeepWalkHyper {
+                        embedding_dim: dim,
+                        ..DeepWalkHyper::default()
+                    },
+                    batch_per_worker: 128,
+                    iterations: iters,
+                    seed,
+                };
+                train_deepwalk(ctx, ps2, &cfg, &walks, dw_backend)
+            })
+        }
+        "gbdt" => {
+            let gb_backend = match backend.as_str() {
+                "ps2" => GbdtBackend::Ps2Dcv,
+                "xgboost" => GbdtBackend::XgboostStyle,
+                other => die(&format!("unknown GBDT backend '{other}'")),
+            };
+            let gen = SparseDatasetGen::new(
+                args.get("rows", 10_000u64),
+                args.get("dim", 500u64),
+                args.get("nnz", 20u32),
+                workers,
+                seed,
+            )
+            .continuous();
+            let hyper = GbdtHyper {
+                num_trees: args.get("trees", 10usize),
+                max_depth: args.get("depth", 5usize),
+                histogram_bins: args.get("bins", 50usize),
+                ..GbdtHyper::default()
+            };
+            run_ps2(spec, seed, move |ctx, ps2| {
+                let cfg = GbdtConfig { dataset: gen, hyper };
+                train_gbdt(ctx, ps2, &cfg, gb_backend).0
+            })
+        }
+        "lda" => {
+            let lda_backend = match backend.as_str() {
+                "ps2" => LdaBackend::Ps2Dcv,
+                "petuum" => LdaBackend::PetuumStyle,
+                "glint" => LdaBackend::GlintStyle,
+                "spark" => LdaBackend::SparkDriver,
+                other => die(&format!("unknown LDA backend '{other}'")),
+            };
+            let corpus = CorpusGen::new(
+                args.get("docs", 4_000u64),
+                args.get("vocab", 8_000u32),
+                16,
+                60,
+                workers,
+                seed,
+            );
+            let topics: u32 = args.get("topics", 50u32);
+            run_ps2(spec, seed, move |ctx, ps2| {
+                let cfg = LdaConfig {
+                    corpus,
+                    hyper: LdaHyper {
+                        topics,
+                        ..LdaHyper::default()
+                    },
+                    iterations: iters,
+                };
+                train_lda(ctx, ps2, &cfg, lda_backend)
+            })
+        }
+        "svm" => {
+            let gen = sparse_gen(workers);
+            run_ps2(spec, seed, move |ctx, ps2| {
+                let mut cfg = SvmConfig::new(gen, iters);
+                cfg.learning_rate = 1.0;
+                train_svm(ctx, ps2, &cfg)
+            })
+        }
+        "lbfgs" => {
+            let gen = sparse_gen(workers);
+            run_ps2(spec, seed, move |ctx, ps2| {
+                train_lbfgs(ctx, ps2, &LbfgsConfig::new(gen, iters))
+            })
+        }
+        "fm" => {
+            let gen = sparse_gen(workers);
+            let factors: u32 = args.get("factors", 8u32);
+            run_ps2(spec, seed, move |ctx, ps2| {
+                let mut cfg = FmConfig::new(gen, factors, iters);
+                cfg.learning_rate = 1.0;
+                train_fm(ctx, ps2, &cfg)
+            })
+        }
+        other => die(&format!("unknown workload '{other}'")),
+    };
+
+    print_trace(&trace);
+    println!(
+        "\ncluster time {}   wall {:?}   {} msgs   {:.1} MB",
+        report.virtual_time,
+        report.wall_time,
+        report.total_msgs,
+        report.total_bytes as f64 / 1e6
+    );
+    if let Some(path) = args.flags.get("csv") {
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
+        writeln!(f, "iteration,seconds,loss").unwrap();
+        for (i, (s, l)) in trace.points.iter().enumerate() {
+            writeln!(f, "{i},{s:.6},{l:.6}").unwrap();
+        }
+        println!("trace written to {path}");
+    }
+}
+
+fn print_trace(trace: &TrainingTrace) {
+    println!("{} — {} iterations", trace.label, trace.points.len());
+    let stride = (trace.points.len() / 15).max(1);
+    for (i, (secs, loss)) in trace.points.iter().enumerate() {
+        if i % stride == 0 || i + 1 == trace.points.len() {
+            println!("  iter {i:>4}: loss {loss:.5}   {secs:>9.3}s");
+        }
+    }
+}

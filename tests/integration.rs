@@ -1,0 +1,143 @@
+//! Cross-crate integration tests against the facade: full training
+//! pipelines exercising dataflow + PS + DCV + ML together, end to end.
+
+use ps2::ml::lr::{train_lr, LrBackend, LrConfig};
+use ps2::ml::optim::Optimizer;
+use ps2::{run_ps2, ClusterSpec, ElemOp, SimTime};
+use ps2_data::{presets, SparseDatasetGen};
+
+fn spec(w: usize, s: usize) -> ClusterSpec {
+    ClusterSpec {
+        workers: w,
+        servers: s,
+        ..ClusterSpec::default()
+    }
+}
+
+#[test]
+fn facade_quickstart_shape() {
+    let (out, report) = run_ps2(spec(4, 4), 42, |ctx, ps2| {
+        let w = ps2.dense_dcv(ctx, 10_000, 4);
+        let g = w.derive(ctx);
+        g.add_sparse(ctx, &[(1, 1.0), (9_999, -2.0)]);
+        w.iaxpy(ctx, &g, -0.5);
+        (w.nnz(ctx), w.sum(ctx), w.norm2(ctx))
+    });
+    assert_eq!(out.0, 2);
+    assert!((out.1 - 0.5).abs() < 1e-12); // -0.5*1 + -0.5*-2
+    assert!(out.2 > 0.0);
+    assert!(report.total_msgs > 0);
+}
+
+#[test]
+fn full_lr_pipeline_learns_on_a_preset() {
+    let (trace, report) = run_ps2(spec(8, 8), 5, |ctx, ps2| {
+        let mut preset = presets::kddb(8, 3);
+        preset.gen.rows = 4_000; // trim for test speed
+        preset.gen.dim = 50_000;
+        let mut cfg = LrConfig::new(preset.gen, Optimizer::Sgd, 40);
+        cfg.hyper.learning_rate = 5.0;
+        cfg.hyper.mini_batch_fraction = 0.05;
+        train_lr(ctx, ps2, &cfg, LrBackend::Ps2Dcv)
+    });
+    assert!(trace.is_sane());
+    assert!(
+        trace.final_loss() < 0.95 * trace.points[0].1,
+        "{:?} -> {:?}",
+        trace.points.first(),
+        trace.points.last()
+    );
+    assert!(report.virtual_time > SimTime::ZERO);
+    assert_eq!(report.dropped_msgs, 0);
+}
+
+#[test]
+fn end_to_end_run_is_deterministic_across_processes_of_the_harness() {
+    let run = || {
+        let (trace, report) = run_ps2(spec(5, 3), 7, |ctx, ps2| {
+            let gen = SparseDatasetGen::new(2_000, 5_000, 10, 5, 7);
+            let cfg = LrConfig::new(gen, Optimizer::Sgd, 10);
+            train_lr(ctx, ps2, &cfg, LrBackend::Ps2Dcv)
+        });
+        (
+            trace.points.clone(),
+            report.virtual_time,
+            report.total_bytes,
+            report.total_msgs,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "loss curves must be bit-identical");
+    assert_eq!((a.1, a.2, a.3), (b.1, b.2, b.3));
+}
+
+#[test]
+fn training_survives_chaos() {
+    // Task failures + an executor loss + a server loss mid-training.
+    let (final_loss, _) = run_ps2(spec(6, 4), 13, |ctx, ps2| {
+        ps2.spark.failure.task_failure_prob = 0.05;
+        ps2.spark.failure.max_task_attempts = 100;
+        ps2.spark.failure.liveness_poll = SimTime::from_secs_f64(1.0);
+        let gen = SparseDatasetGen::new(3_000, 4_000, 12, 6, 3);
+        let mut cfg = LrConfig::new(gen, Optimizer::Sgd, 8);
+        cfg.hyper.learning_rate = 3.0;
+        cfg.hyper.mini_batch_fraction = 0.05;
+        let t1 = train_lr(ctx, ps2, &cfg, LrBackend::Ps2Dcv);
+
+        // Checkpoint, then kill one server and one executor.
+        ps2.ps.checkpoint_all(ctx);
+        let server = ps2.ps.route().resolve(0);
+        ctx.kill(server);
+        let exec = ps2.spark.executors()[1];
+        ctx.kill(exec);
+        ctx.advance(SimTime::from_millis(1));
+        let recovered = ps2.ps.recover_dead_servers(ctx);
+        assert_eq!(recovered, vec![0]);
+
+        // Keep training after recovery.
+        let t2 = train_lr(ctx, ps2, &cfg, LrBackend::Ps2Dcv);
+        assert!(ps2.spark.task_retries > 0, "chaos must have caused retries");
+        (t1.final_loss(), t2.final_loss())
+    });
+    assert!(final_loss.0.is_finite() && final_loss.1.is_finite());
+}
+
+#[test]
+fn dcv_operator_table_is_complete() {
+    // Every operator from the paper's Table 1 is callable on the facade.
+    let ((), _) = run_ps2(spec(2, 3), 1, |ctx, ps2| {
+        let v = ps2.dense_dcv(ctx, 100, 6);
+        let u = v.derive(ctx); // creation: derive
+        let x = v.derive(ctx).filled(ctx, 1.0);
+        // row access
+        v.add_dense(ctx, &vec![1.0; 100]); // push
+        v.add_sparse(ctx, &[(5, 1.0)]);
+        let _ = v.pull(ctx); // pull
+        let _ = v.pull_indices(ctx, &[1, 5]);
+        let _ = v.sum(ctx);
+        let _ = v.nnz(ctx);
+        let _ = v.norm2(ctx);
+        // column access
+        let _ = v.dot(ctx, &u);
+        v.iaxpy(ctx, &u, 0.5); // axpy
+        u.copy_from(ctx, &v); // copy
+        let d = v.derive(ctx);
+        d.assign_elem(ctx, &v, &x, ElemOp::Sub); // sub
+        d.assign_elem(ctx, &v, &x, ElemOp::Add); // add
+        d.assign_elem(ctx, &v, &x, ElemOp::Mul); // mul
+        d.assign_elem(ctx, &v, &x, ElemOp::Div); // div
+    });
+}
+
+#[test]
+fn mllib_backend_runs_through_the_facade_too() {
+    let (trace, _) = run_ps2(spec(4, 1), 3, |ctx, ps2| {
+        let gen = SparseDatasetGen::new(1_000, 2_000, 8, 4, 1);
+        let mut cfg = LrConfig::new(gen, Optimizer::Sgd, 5);
+        cfg.hyper.mini_batch_fraction = 0.1;
+        train_lr(ctx, ps2, &cfg, LrBackend::SparkDriver)
+    });
+    assert!(trace.is_sane());
+    assert!(trace.breakdown.is_some());
+}
