@@ -12,7 +12,10 @@ use ps2_ml::lr::{train_lr, train_lr_mllib_star, LrBackend, LrConfig};
 use ps2_ml::optim::Optimizer;
 
 fn main() {
-    banner("Ablation", "MLlib* (AllReduce model averaging) vs MLlib vs PS2");
+    banner(
+        "Ablation",
+        "MLlib* (AllReduce model averaging) vs MLlib vs PS2",
+    );
     paper_says("related work [34]: \"MLlib* further optimizes MLlib by integrating");
     paper_says("model averaging and AllReduce\"");
 

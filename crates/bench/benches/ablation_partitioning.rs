@@ -16,9 +16,7 @@ use ps2_simnet::{ProcId, SimBuilder, SimTime};
 fn makespan(partitioning: Partitioning, servers: usize, workers: usize, dim: u64) -> f64 {
     let mut sim = SimBuilder::new().seed(2).build();
     let (srv, storage) = deploy_ps(&mut sim, servers, 500e6);
-    let worker_ids: Vec<ProcId> = (0..workers)
-        .map(|w| ProcId(servers + 2 + w))
-        .collect();
+    let worker_ids: Vec<ProcId> = (0..workers).map(|w| ProcId(servers + 2 + w)).collect();
     sim.spawn("coordinator", move |ctx| {
         let mut m = PsMaster::new(srv, storage, PsConfig::default());
         let h = m.create_matrix(ctx, dim, 1, partitioning, InitKind::Zero);

@@ -42,13 +42,7 @@ fn main() {
             },
         );
         let (sp, de) = times;
-        println!(
-            "  {:>12} {:>13.4}s {:>13.4}s {:>9.1}x",
-            ws,
-            sp,
-            de,
-            de / sp
-        );
+        println!("  {:>12} {:>13.4}s {:>13.4}s {:>9.1}x", ws, sp, de, de / sp);
         writeln!(f, "{ws},{sp:.6},{de:.6},{:.2}", de / sp).unwrap();
     }
     println!("\n  the advantage decays as the working set approaches the model size —");

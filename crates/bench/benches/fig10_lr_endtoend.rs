@@ -6,7 +6,9 @@
 //! sparse pulls move only the mini-batch's working set; Petuum pulls the
 //! whole model; MLlib funnels everything through the driver.
 
-use ps2_bench::{banner, common_target, paper_says, print_time_to_loss, print_traces, SERVERS, WORKERS};
+use ps2_bench::{
+    banner, common_target, paper_says, print_time_to_loss, print_traces, SERVERS, WORKERS,
+};
 use ps2_core::{run_ps2, ClusterSpec};
 use ps2_data::presets;
 use ps2_ml::lr::{train_lr, LrBackend, LrConfig};
@@ -48,7 +50,10 @@ fn panel(fig: &str, preset: presets::SparsePreset, iterations: usize) {
 }
 
 fn main() {
-    banner("Figure 10(a)", "LR-SGD on KDDB: PS2 vs Petuum vs DistML vs MLlib");
+    banner(
+        "Figure 10(a)",
+        "LR-SGD on KDDB: PS2 vs Petuum vs DistML vs MLlib",
+    );
     paper_says("PS2 fastest (1.6x over Petuum); MLlib slowest; DistML not robust");
     panel("fig10a", presets::kddb(WORKERS, 1), 150);
 

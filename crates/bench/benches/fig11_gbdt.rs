@@ -43,7 +43,10 @@ fn main() {
             },
             21,
             move |ctx, ps2| {
-                let cfg = GbdtConfig { dataset: gen, hyper };
+                let cfg = GbdtConfig {
+                    dataset: gen,
+                    hyper,
+                };
                 train_gbdt(ctx, ps2, &cfg, backend)
             },
         );
@@ -58,7 +61,10 @@ fn main() {
 
     let mut f = csv("fig11_summary.csv");
     writeln!(f, "system,sec_per_tree,sec_100_trees").unwrap();
-    println!("\n  {:>12} {:>14} {:>18}", "system", "s/tree", "s for 100 trees");
+    println!(
+        "\n  {:>12} {:>14} {:>18}",
+        "system", "s/tree", "s for 100 trees"
+    );
     for (t, &pt) in traces.iter().zip(&per_tree) {
         println!("  {:>12} {:>14.1} {:>18.0}", t.label, pt, pt * 100.0);
         writeln!(f, "{},{:.3},{:.1}", t.label, pt, pt * 100.0).unwrap();

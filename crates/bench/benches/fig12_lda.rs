@@ -6,7 +6,9 @@
 //! (b) PubMED, K=100 (scaled to 20): PS2 vs Spark MLlib. Paper: 17×.
 //! (c) App (the corpus only PS2 can handle): PS2 alone.
 
-use ps2_bench::{banner, common_target, paper_says, print_time_to_loss, print_traces, SERVERS, WORKERS};
+use ps2_bench::{
+    banner, common_target, paper_says, print_time_to_loss, print_traces, SERVERS, WORKERS,
+};
 use ps2_core::{run_ps2, ClusterSpec};
 use ps2_data::presets;
 use ps2_ml::hyper::LdaHyper;
@@ -42,7 +44,10 @@ fn run_backend(
 }
 
 fn main() {
-    banner("Figure 12(a)", "LDA on PubMED (large K): PS2 vs Petuum vs Glint");
+    banner(
+        "Figure 12(a)",
+        "LDA on PubMED (large K): PS2 vs Petuum vs Glint",
+    );
     paper_says("converge: PS2 386s, Petuum 1440s (3.7x), Glint 3500s (9x)");
     let pubmed = presets::pubmed(WORKERS, 1);
     let traces: Vec<TrainingTrace> = [
@@ -57,7 +62,10 @@ fn main() {
     print_traces("fig12a", &refs);
     print_time_to_loss(&refs, common_target(&refs));
 
-    banner("Figure 12(b)", "LDA on PubMED (small K): PS2 vs Spark MLlib");
+    banner(
+        "Figure 12(b)",
+        "LDA on PubMED (small K): PS2 vs Spark MLlib",
+    );
     paper_says("MLlib needs 6894s to converge; PS2 is 17x faster");
     let traces: Vec<TrainingTrace> = [LdaBackend::Ps2Dcv, LdaBackend::SparkDriver]
         .into_iter()

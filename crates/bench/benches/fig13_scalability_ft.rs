@@ -83,7 +83,10 @@ fn part_a() {
 }
 
 fn part_b() {
-    banner("Figure 13(b)", "time per iteration vs model size: PS2 vs MLlib");
+    banner(
+        "Figure 13(b)",
+        "time per iteration vs model size: PS2 vs MLlib",
+    );
     paper_says("40K->60,000K features: MLlib 168x slower; PS2 only 8.5x (0.2s->1.7s)");
     let dims: [u64; 4] = [4_000, 300_000, 3_000_000, 6_000_000];
     let mut f = csv("fig13b.csv");

@@ -6,7 +6,9 @@
 //! (c) DeepWalk on Graph1, 20 servers→paper used few: PS2 5× vs PS.
 //! (d) DeepWalk on Graph2 with 30 servers: speedup shrinks to 1.4×.
 
-use ps2_bench::{banner, common_target, paper_says, print_time_to_loss, print_traces, SERVERS, WORKERS};
+use ps2_bench::{
+    banner, common_target, paper_says, print_time_to_loss, print_traces, SERVERS, WORKERS,
+};
 use ps2_core::{run_ps2, ClusterSpec};
 use ps2_data::presets;
 use ps2_ml::deepwalk::{train_deepwalk, DeepWalkBackend, DeepWalkConfig};

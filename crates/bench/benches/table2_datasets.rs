@@ -7,7 +7,10 @@ use ps2_bench::{banner, csv};
 use ps2_data::presets;
 
 fn main() {
-    banner("Table 2", "dataset statistics (original vs scaled synthetic)");
+    banner(
+        "Table 2",
+        "dataset statistics (original vs scaled synthetic)",
+    );
     let mut f = csv("table2.csv");
     writeln!(
         f,
@@ -41,7 +44,15 @@ fn main() {
         writeln!(
             f,
             "{},{},{},{},{},{},{},{},{}",
-            p.model, p.name, o.rows, o.cols, o.nnz, o.size, p.gen.rows, p.gen.dim, p.gen.total_nnz()
+            p.model,
+            p.name,
+            o.rows,
+            o.cols,
+            o.nnz,
+            o.size,
+            p.gen.rows,
+            p.gen.dim,
+            p.gen.total_nnz()
         )
         .unwrap();
     }
@@ -62,7 +73,14 @@ fn main() {
         writeln!(
             f,
             "LDA,{},{},{},{},{},{},{},{}",
-            p.name, o.rows, o.cols, o.nnz, o.size, p.gen.docs, p.gen.vocab, p.gen.total_tokens()
+            p.name,
+            o.rows,
+            o.cols,
+            o.nnz,
+            o.size,
+            p.gen.docs,
+            p.gen.vocab,
+            p.gen.total_tokens()
         )
         .unwrap();
     }
@@ -82,7 +100,12 @@ fn main() {
         writeln!(
             f,
             "DeepWalk,{},{},-,{},{},{},-,{}",
-            p.name, p.original_vertices, p.original_walks, p.original_size, p.gen.vertices, p.num_walks
+            p.name,
+            p.original_vertices,
+            p.original_walks,
+            p.original_size,
+            p.gen.vertices,
+            p.num_walks
         )
         .unwrap();
     }

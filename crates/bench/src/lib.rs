@@ -24,8 +24,7 @@ pub const SERVERS: usize = 20;
 
 /// Where bench targets append their machine-readable output.
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/ps2-results");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/ps2-results");
     fs::create_dir_all(&dir).expect("cannot create results dir");
     dir
 }
@@ -48,7 +47,8 @@ pub fn print_traces(fig: &str, traces: &[&TrainingTrace]) {
     let mut f = csv(&format!("{fig}.csv"));
     writeln!(f, "system,iteration,seconds,loss").unwrap();
     for t in traces {
-        println!("\n  {} — {} iterations, {:.1}s total, final loss {:.4}",
+        println!(
+            "\n  {} — {} iterations, {:.1}s total, final loss {:.4}",
             t.label,
             t.points.len(),
             t.total_time(),
@@ -75,10 +75,20 @@ pub fn print_time_to_loss(traces: &[&TrainingTrace], target: f64) {
     for t in traces {
         match (t.time_to_loss(target), base) {
             (Some(tt), Some(b)) if tt > 0.0 => {
-                println!("    {:<16} {:>10.2}s   ({:.2}x vs {})", t.label, tt, tt / b, traces[0].label)
+                println!(
+                    "    {:<16} {:>10.2}s   ({:.2}x vs {})",
+                    t.label,
+                    tt,
+                    tt / b,
+                    traces[0].label
+                )
             }
             (Some(tt), _) => println!("    {:<16} {:>10.2}s", t.label, tt),
-            (None, _) => println!("    {:<16}   not reached (final {:.4})", t.label, t.final_loss()),
+            (None, _) => println!(
+                "    {:<16}   not reached (final {:.4})",
+                t.label,
+                t.final_loss()
+            ),
         }
     }
 }
@@ -88,7 +98,12 @@ pub fn print_time_to_loss(traces: &[&TrainingTrace], target: f64) {
 pub fn common_target(traces: &[&TrainingTrace]) -> f64 {
     traces
         .iter()
-        .map(|t| t.points.iter().map(|&(_, l)| l).fold(f64::INFINITY, f64::min))
+        .map(|t| {
+            t.points
+                .iter()
+                .map(|&(_, l)| l)
+                .fold(f64::INFINITY, f64::min)
+        })
         .fold(f64::NEG_INFINITY, f64::max)
         * 1.02
         + 1e-9

@@ -53,6 +53,5 @@ pub use ps2_ps::{
     ZipMapFn, ZipMutFn, ZipSegs,
 };
 pub use ps2_simnet::{
-    ComputeConfig, NetConfig, ProcId, SimBuilder, SimConfig, SimCtx, SimReport, SimRuntime,
-    SimTime,
+    ComputeConfig, NetConfig, ProcId, SimBuilder, SimConfig, SimCtx, SimReport, SimRuntime, SimTime,
 };

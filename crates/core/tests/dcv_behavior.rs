@@ -33,7 +33,9 @@ fn row_ops_pull_push_and_aggregate() {
     let (got, _) = run_ps2(spec(2, 4), 1, |ctx, ps2| {
         let v = ps2.dense_dcv(ctx, 200, 1);
         v.add_sparse(ctx, &[(0, 3.0), (100, 4.0)]);
-        let dense: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let dense: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
         v.add_dense(ctx, &dense);
         (
             v.sum(ctx),

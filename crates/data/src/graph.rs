@@ -47,7 +47,7 @@ impl GraphGen {
     pub fn generate(&self) -> Graph {
         assert!(self.vertices >= 2);
         let m = self.edges_per_vertex.max(1) as usize;
-        let mut rng = StdRng::seed_from_u64(mix64(self.seed ^ 0x6772_6170_68)); // "graph"
+        let mut rng = StdRng::seed_from_u64(mix64(self.seed ^ 0x0067_7261_7068)); // "graph"
         let n = self.vertices as usize;
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         // Endpoint pool: vertices appear once per incident edge — sampling
@@ -117,7 +117,10 @@ impl RandomWalks {
                 let hi = (i + window).min(walk.len() - 1);
                 for (j, &v) in walk.iter().enumerate().take(hi + 1).skip(lo) {
                     if i != j && u != v {
-                        pairs.push(SkipGramPair { center: u, context: v });
+                        pairs.push(SkipGramPair {
+                            center: u,
+                            context: v,
+                        });
                     }
                 }
             }
@@ -203,7 +206,10 @@ mod tests {
         let pairs = walks.skip_gram_pairs(1);
         // Each interior vertex pairs with both neighbours; ends with one.
         assert_eq!(pairs.len(), 2 * 4);
-        assert!(pairs.contains(&SkipGramPair { center: 2, context: 3 }));
+        assert!(pairs.contains(&SkipGramPair {
+            center: 2,
+            context: 3
+        }));
         assert!(!pairs.iter().any(|p| p.center == 1 && p.context == 3));
     }
 }

@@ -93,9 +93,7 @@ mod tests {
     #[test]
     fn errors_are_reported_with_line_numbers() {
         assert!(read("1 x:1\n".as_bytes()).unwrap_err().contains("line 1"));
-        assert!(read("1 0:1\n".as_bytes())
-            .unwrap_err()
-            .contains("1-based"));
+        assert!(read("1 0:1\n".as_bytes()).unwrap_err().contains("1-based"));
         assert!(read("abc 1:1\n".as_bytes())
             .unwrap_err()
             .contains("bad label"));

@@ -184,10 +184,7 @@ mod tests {
         let g = gen();
         for ex in g.partition(0) {
             assert!(!ex.features.is_empty());
-            assert!(ex
-                .features
-                .windows(2)
-                .all(|w| w[0].0 < w[1].0));
+            assert!(ex.features.windows(2).all(|w| w[0].0 < w[1].0));
             assert!(ex.features.iter().all(|&(j, _)| j < g.dim));
             assert!(ex.label == 1.0 || ex.label == -1.0);
         }
@@ -211,11 +208,7 @@ mod tests {
         let mut n = 0usize;
         for part in 0..g.partitions {
             for ex in g.partition(part) {
-                let margin: f64 = ex
-                    .features
-                    .iter()
-                    .map(|&(j, v)| g.true_weight(j) * v)
-                    .sum();
+                let margin: f64 = ex.features.iter().map(|&(j, v)| g.true_weight(j) * v).sum();
                 let pred = if margin >= 0.0 { 1.0 } else { -1.0 };
                 if pred == ex.label {
                     correct += 1;

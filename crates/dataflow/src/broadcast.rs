@@ -44,10 +44,7 @@ pub struct Broadcast<T> {
 
 impl<T> Clone for Broadcast<T> {
     fn clone(&self) -> Self {
-        Broadcast {
-            id: self.id,
-            _marker: PhantomData,
-        }
+        *self
     }
 }
 impl<T> Copy for Broadcast<T> {}

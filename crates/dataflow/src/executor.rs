@@ -20,10 +20,15 @@ pub(crate) mod tags {
     pub const BROADCAST_RELAY: u32 = 5;
 }
 
+/// Type-erased task body: runs on an executor, returns the boxed result and
+/// its wire size.
+pub(crate) type TaskJob =
+    Arc<dyn Fn(&mut WorkCtx<'_, '_>) -> (Box<dyn Any + Send>, u64) + Send + Sync>;
+
 /// A fully type-erased unit of work shipped to an executor.
 pub(crate) struct TaskSpec {
     /// Executes the task, returning the boxed result and its wire size.
-    pub job: Arc<dyn Fn(&mut WorkCtx<'_, '_>) -> (Box<dyn Any + Send>, u64) + Send + Sync>,
+    pub job: TaskJob,
     pub partition: usize,
     /// Probability that this attempt fails before doing any side-effecting
     /// work (the paper's task-failure model: the PS push is a task's final
@@ -106,6 +111,13 @@ pub fn executor_main(ctx: &mut SimCtx) {
     let mut user_state: HashMap<(u64, usize), Box<dyn Any + Send>> = HashMap::new();
     loop {
         let env = ctx.recv();
+        // A task that timed out a PS request and retried can still receive
+        // the original reply later (the server was slow, not dead). By then
+        // the task has moved on, so the reply lands here, between tasks —
+        // drop it rather than mis-parse it as a driver request.
+        if env.is_reply() {
+            continue;
+        }
         match env.tag {
             tags::TASK => {
                 let spec: &Arc<TaskSpec> = env.downcast_ref();

@@ -61,9 +61,11 @@ pub(crate) fn materialize_any(
 type XformFn<T> =
     dyn Fn(&(dyn Any + Send + Sync), usize, &mut WorkCtx<'_, '_>) -> Vec<T> + Send + Sync;
 
+type SourceFn<T> = dyn Fn(usize, &mut WorkCtx<'_, '_>) -> Vec<T> + Send + Sync;
+
 enum Kind<T> {
     /// Deterministic per-partition generator.
-    Source(Arc<dyn Fn(usize, &mut WorkCtx<'_, '_>) -> Vec<T> + Send + Sync>),
+    Source(Arc<SourceFn<T>>),
     /// Narrow transformation of a parent partition.
     Derived {
         parent: Arc<dyn AnyRdd>,
@@ -143,9 +145,7 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
                 kind: Kind::Derived {
                     parent,
                     xform: Arc::new(move |any, part, w| {
-                        let data = any
-                            .downcast_ref::<Vec<T>>()
-                            .expect("lineage type mismatch");
+                        let data = any.downcast_ref::<Vec<T>>().expect("lineage type mismatch");
                         xform(data, part, w)
                     }),
                 },

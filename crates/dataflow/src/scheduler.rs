@@ -5,10 +5,10 @@ use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use ps2_simnet::{ProcId, SimCtx, SimTime, WireSize};
+use ps2_simnet::{LivenessProbe, ProcId, SimCtx, SimTime, WireSize};
 
 use crate::broadcast::{Broadcast, BroadcastValue};
-use crate::executor::{executor_main, tags, TaskSpec, TaskResult, WorkCtx};
+use crate::executor::{executor_main, tags, TaskJob, TaskResult, TaskSpec, WorkCtx};
 use crate::rdd::{materialize_any, Rdd};
 
 /// Failure-injection and recovery policy.
@@ -32,6 +32,13 @@ pub struct FailureConfig {
     /// How long the driver waits on task replies before polling executor
     /// liveness (executor-loss detection).
     pub liveness_poll: SimTime,
+    /// Consecutive liveness polls that find nothing to fix (no reply, no
+    /// dead executor, no probe recovery) before the job aborts. Tasks can
+    /// be stuck on a *non-executor* dependency — a dead process none of the
+    /// registered probes owns — and without this bound the timeout branch
+    /// would re-poll forever (a driver livelock rather than a simulator
+    /// deadlock, since the deadline keeps the driver runnable).
+    pub max_fruitless_polls: u32,
 }
 
 impl Default for FailureConfig {
@@ -41,6 +48,7 @@ impl Default for FailureConfig {
             failure_waste: SimTime::from_millis(50),
             max_task_attempts: 4,
             liveness_poll: SimTime::from_secs_f64(30.0),
+            max_fruitless_polls: 32,
         }
     }
 }
@@ -50,14 +58,34 @@ impl Default for FailureConfig {
 pub enum JobError {
     /// Some task exhausted its retry budget.
     TaskRetriesExhausted { partition: usize, attempts: u32 },
+    /// Outstanding tasks made no progress across the configured number of
+    /// liveness polls: every tracked executor is alive and no registered
+    /// probe found anything to recover, yet no reply arrives. The tasks are
+    /// stuck on an unrecoverable dependency.
+    LivenessTimeout {
+        outstanding: usize,
+        fruitless_polls: u32,
+    },
 }
 
 impl std::fmt::Display for JobError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            JobError::TaskRetriesExhausted { partition, attempts } => write!(
+            JobError::TaskRetriesExhausted {
+                partition,
+                attempts,
+            } => write!(
                 f,
                 "task for partition {partition} failed {attempts} times; aborting job"
+            ),
+            JobError::LivenessTimeout {
+                outstanding,
+                fruitless_polls,
+            } => write!(
+                f,
+                "{outstanding} task(s) made no progress across {fruitless_polls} liveness \
+                 polls with all executors alive and nothing for probes to recover; \
+                 aborting job instead of polling forever"
             ),
         }
     }
@@ -81,6 +109,11 @@ pub struct SparkContext {
     /// Count of task attempts that failed and were retried.
     pub task_retries: u64,
     respawn_counter: u64,
+    /// Liveness probes consulted by the scheduler's timeout branch: each
+    /// checks one non-executor dependency (e.g. the PS-server fleet) and
+    /// recovers it when dead, so a job stuck on it resumes *mid-run*
+    /// instead of waiting for the driver code between jobs to notice.
+    probes: Vec<Arc<dyn LivenessProbe>>,
 }
 
 impl SparkContext {
@@ -95,7 +128,14 @@ impl SparkContext {
             executors_replaced: 0,
             task_retries: 0,
             respawn_counter: 0,
+            probes: Vec::new(),
         }
+    }
+
+    /// Register a [`LivenessProbe`] the scheduler runs whenever a liveness
+    /// poll times out — in addition to its own executor checks.
+    pub fn register_probe(&mut self, probe: Arc<dyn LivenessProbe>) {
+        self.probes.push(probe);
     }
 
     pub fn num_executors(&self) -> usize {
@@ -253,24 +293,22 @@ impl SparkContext {
         let node = rdd.erased();
         let f = Arc::new(f);
         let result_bytes = Arc::new(result_bytes);
-        let jobs: Vec<Arc<dyn Fn(&mut WorkCtx<'_, '_>) -> (Box<dyn Any + Send>, u64) + Send + Sync>> =
-            (0..rdd.partitions())
-                .map(|part| {
-                    let node = Arc::clone(&node);
-                    let f = Arc::clone(&f);
-                    let result_bytes = Arc::clone(&result_bytes);
-                    Arc::new(move |w: &mut WorkCtx<'_, '_>| {
-                        let data = materialize_any(&node, part, w);
-                        let typed = data
-                            .downcast_ref::<Vec<T>>()
-                            .expect("job input type mismatch");
-                        let r = f(typed, w);
-                        let bytes = result_bytes(&r);
-                        (Box::new(r) as Box<dyn Any + Send>, bytes)
-                    })
-                        as Arc<dyn Fn(&mut WorkCtx<'_, '_>) -> (Box<dyn Any + Send>, u64) + Send + Sync>
-                })
-                .collect();
+        let jobs: Vec<TaskJob> = (0..rdd.partitions())
+            .map(|part| {
+                let node = Arc::clone(&node);
+                let f = Arc::clone(&f);
+                let result_bytes = Arc::clone(&result_bytes);
+                Arc::new(move |w: &mut WorkCtx<'_, '_>| {
+                    let data = materialize_any(&node, part, w);
+                    let typed = data
+                        .downcast_ref::<Vec<T>>()
+                        .expect("job input type mismatch");
+                    let r = f(typed, w);
+                    let bytes = result_bytes(&r);
+                    (Box::new(r) as Box<dyn Any + Send>, bytes)
+                }) as TaskJob
+            })
+            .collect();
 
         let raw = self.run_tasks(ctx, jobs)?;
         Ok(raw
@@ -285,7 +323,7 @@ impl SparkContext {
     fn run_tasks(
         &mut self,
         ctx: &mut SimCtx,
-        jobs: Vec<Arc<dyn Fn(&mut WorkCtx<'_, '_>) -> (Box<dyn Any + Send>, u64) + Send + Sync>>,
+        jobs: Vec<TaskJob>,
     ) -> Result<Vec<Box<dyn Any + Send>>, JobError> {
         let n = jobs.len();
         let mut results: Vec<Option<Box<dyn Any + Send>>> = (0..n).map(|_| None).collect();
@@ -294,9 +332,9 @@ impl SparkContext {
         let mut pending: HashMap<u64, (usize, usize)> = HashMap::new();
 
         let dispatch = |sc: &mut SparkContext,
-                            ctx: &mut SimCtx,
-                            part: usize,
-                            pending: &mut HashMap<u64, (usize, usize)>| {
+                        ctx: &mut SimCtx,
+                        part: usize,
+                        pending: &mut HashMap<u64, (usize, usize)>| {
             let exec_idx = part % sc.executors.len();
             sc.ensure_alive(ctx, exec_idx);
             let spec = Arc::new(TaskSpec {
@@ -305,8 +343,7 @@ impl SparkContext {
                 failure_prob: sc.failure.task_failure_prob,
                 failure_waste: sc.failure.failure_waste,
             });
-            let corr =
-                ctx.send_request(sc.executors[exec_idx], tags::TASK, spec, sc.task_bytes);
+            let corr = ctx.send_request(sc.executors[exec_idx], tags::TASK, spec, sc.task_bytes);
             pending.insert(corr, (part, exec_idx));
         };
 
@@ -314,11 +351,13 @@ impl SparkContext {
             dispatch(self, ctx, part, &mut pending);
         }
 
+        let mut fruitless_polls = 0u32;
         while !pending.is_empty() {
             let corrs: Vec<u64> = pending.keys().copied().collect();
             let deadline = ctx.now() + self.failure.liveness_poll;
             match ctx.recv_reply(&corrs, Some(deadline)) {
                 Some(env) => {
+                    fruitless_polls = 0;
                     let (part, _exec_idx) = pending
                         .remove(&env.corr)
                         .expect("reply for unknown correlation id");
@@ -338,15 +377,39 @@ impl SparkContext {
                     }
                 }
                 None => {
-                    // Timed out: find tasks whose executor died and resend.
+                    // Timed out. Tasks can be stuck on the executor itself
+                    // *or* on a dependency the executor is blocked against
+                    // (a worker mid-PS-request never replies to the driver),
+                    // so run the registered dependency probes first — they
+                    // recover what they own and report whether they did.
+                    let mut recovered = 0u64;
+                    for probe in &self.probes {
+                        recovered += probe.probe(ctx);
+                    }
+                    // Then find tasks whose executor died and resend.
                     let stale: Vec<(u64, usize)> = pending
                         .iter()
                         .filter(|(_, (_, e))| !ctx.is_alive(self.executors[*e]))
                         .map(|(&corr, &(part, _))| (corr, part))
                         .collect();
+                    let redispatched = !stale.is_empty();
                     for (corr, part) in stale {
                         pending.remove(&corr);
                         dispatch(self, ctx, part, &mut pending);
+                    }
+                    // A poll that fixed nothing is fruitless; too many in a
+                    // row means the stuck dependency is outside anything we
+                    // can recover, and re-polling forever would livelock.
+                    if recovered > 0 || redispatched {
+                        fruitless_polls = 0;
+                    } else {
+                        fruitless_polls += 1;
+                        if fruitless_polls >= self.failure.max_fruitless_polls {
+                            return Err(JobError::LivenessTimeout {
+                                outstanding: pending.len(),
+                                fruitless_polls,
+                            });
+                        }
                     }
                 }
             }

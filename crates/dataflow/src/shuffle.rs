@@ -58,9 +58,7 @@ pub fn shuffle_service_main(ctx: &mut SimCtx) {
         match env.tag {
             tags::PUT_BUCKETS => {
                 let put: &PutBuckets = env.downcast_ref();
-                for (r, (block, bytes)) in
-                    put.buckets.iter().zip(&put.bucket_bytes).enumerate()
-                {
+                for (r, (block, bytes)) in put.buckets.iter().zip(&put.bucket_bytes).enumerate() {
                     store
                         .entry((put.shuffle, r))
                         .or_default()
@@ -186,7 +184,12 @@ impl SparkContext {
                         shuffle,
                         reduce: reduce_part,
                     };
-                    (s, tags::FETCH_BUCKET, Box::new(fetch) as Box<dyn Any + Send>, 64)
+                    (
+                        s,
+                        tags::FETCH_BUCKET,
+                        Box::new(fetch) as Box<dyn Any + Send>,
+                        64,
+                    )
                 })
                 .collect();
             let replies = w.sim.call_many(reqs);

@@ -72,7 +72,10 @@ fn sample_is_deterministic_per_salt_and_roughly_fractional() {
     assert_eq!(got.0, got.1, "same salt must give the same sample");
     assert_ne!(got.0, got.2, "different salts should differ");
     let frac = got.0.len() as f64 / 10_000.0;
-    assert!((0.07..=0.13).contains(&frac), "fraction {frac} out of range");
+    assert!(
+        (0.07..=0.13).contains(&frac),
+        "fraction {frac} out of range"
+    );
 }
 
 #[test]
@@ -170,7 +173,10 @@ fn injected_task_failures_are_retried_and_job_completes() {
         (sum, sc.task_retries)
     });
     assert_eq!(got.0, Some(5050), "result must be exact despite failures");
-    assert!(got.1 > 0, "with p=0.3 over 20 tasks some retries must happen");
+    assert!(
+        got.1 > 0,
+        "with p=0.3 over 20 tasks some retries must happen"
+    );
 }
 
 #[test]
@@ -233,7 +239,11 @@ fn executor_loss_recovers_by_respawn_and_lineage_recompute() {
     sim.run().unwrap();
     let (before, after, replaced) = out.take();
     assert_eq!(before, Some(2100));
-    assert_eq!(after, Some(2100), "lineage recompute must restore lost data");
+    assert_eq!(
+        after,
+        Some(2100),
+        "lineage recompute must restore lost data"
+    );
     assert_eq!(replaced, 1);
 }
 
@@ -259,6 +269,42 @@ fn executor_loss_mid_job_is_detected_by_liveness_poll() {
     });
     sim.run().unwrap();
     assert_eq!(out.take(), Some(1 + 2 + 3));
+}
+
+#[test]
+fn stuck_non_executor_dependency_aborts_instead_of_livelocking() {
+    // A task blocks against a process that is alive but never answers — not
+    // an executor, so the timeout branch's executor checks find nothing to
+    // redispatch, and no probe owns the dependency. The scheduler used to
+    // re-poll that state forever (driver livelock); now it errors out after
+    // `max_fruitless_polls`.
+    use ps2_dataflow::JobError;
+    let mut sim = SimBuilder::new().seed(17).build();
+    let executors = deploy_executors(&mut sim, 2);
+    let blackhole = sim.spawn_daemon("blackhole", |ctx| loop {
+        let _ = ctx.recv(); // swallow every request, reply to none
+    });
+    let out = sim.spawn_collect("driver", move |ctx| {
+        let mut sc = SparkContext::new(executors);
+        sc.failure.liveness_poll = SimTime::from_secs_f64(1.0);
+        sc.failure.max_fruitless_polls = 3;
+        let rdd = sc.source(1, move |_p, w| {
+            let _ = w.sim.call(blackhole, 7, (), 8);
+            vec![0u64]
+        });
+        sc.run_job(ctx, &rdd, |p, _| p.len(), |_| 8).err()
+    });
+    sim.run().unwrap();
+    match out.take() {
+        Some(JobError::LivenessTimeout {
+            outstanding,
+            fruitless_polls,
+        }) => {
+            assert_eq!(outstanding, 1);
+            assert_eq!(fruitless_polls, 3);
+        }
+        other => panic!("expected LivenessTimeout, got {other:?}"),
+    }
 }
 
 #[test]

@@ -3,13 +3,7 @@
 use ps2_dataflow::{deploy_executors, deploy_shuffle_services, SparkContext};
 use ps2_simnet::{ProcId, SimBuilder};
 
-fn cluster(
-    execs: usize,
-) -> (
-    ps2_simnet::SimRuntime,
-    Vec<ProcId>,
-    Vec<ProcId>,
-) {
+fn cluster(execs: usize) -> (ps2_simnet::SimRuntime, Vec<ProcId>, Vec<ProcId>) {
     let mut sim = SimBuilder::new().seed(1).build();
     let executors = deploy_executors(&mut sim, execs);
     let services = deploy_shuffle_services(&mut sim, execs);
@@ -51,7 +45,9 @@ fn reduce_by_key_handles_heavy_duplication_and_many_partitions() {
         let mut sc = SparkContext::new(executors);
         let pairs: Vec<(u64, u64)> = (0..6_000u64).map(|i| (i % 17, i)).collect();
         let rdd = sc.parallelize(ctx, pairs, 12);
-        let sums = sc.reduce_by_key(ctx, &services, &rdd, |a, b| a + b).unwrap();
+        let sums = sc
+            .reduce_by_key(ctx, &services, &rdd, |a, b| a + b)
+            .unwrap();
         let mut all = sc.collect(ctx, &sums);
         all.sort();
         all
@@ -94,7 +90,9 @@ fn shuffle_moves_bytes_through_the_network_model() {
             let mut sc = SparkContext::new(executors);
             let pairs: Vec<(u64, u64)> = (0..n).map(|i| (i, 1u64)).collect();
             let rdd = sc.parallelize(ctx, pairs, 4);
-            let r = sc.reduce_by_key(ctx, &services, &rdd, |a, b| a + b).unwrap();
+            let r = sc
+                .reduce_by_key(ctx, &services, &rdd, |a, b| a + b)
+                .unwrap();
             sc.count(ctx, &r)
         });
         let report = sim.run().unwrap();
@@ -117,7 +115,9 @@ fn shuffled_rdd_composes_with_narrow_ops_and_is_deterministic() {
             let mut sc = SparkContext::new(executors);
             let pairs: Vec<(u64, u64)> = (0..500u64).map(|i| (i % 7, i * i)).collect();
             let rdd = sc.parallelize(ctx, pairs, 8);
-            let sums = sc.reduce_by_key(ctx, &services, &rdd, |a, b| a + b).unwrap();
+            let sums = sc
+                .reduce_by_key(ctx, &services, &rdd, |a, b| a + b)
+                .unwrap();
             let big = sums.filter(|(_, s)| *s > 1_000).map(|(k, s)| (*k, s / 2));
             let mut all = sc.collect(ctx, &big);
             all.sort();

@@ -18,26 +18,18 @@ fn double_put_from_a_rerun_map_stage_is_idempotent() {
         let mut sc = SparkContext::new(executors);
         let pairs: Vec<(u64, u64)> = (0..300u64).map(|i| (i % 5, 1)).collect();
         let rdd = sc.parallelize(ctx, pairs, 6);
-        let reduced = sc.reduce_by_key(ctx, &services, &rdd, |a, b| a + b).unwrap();
-        let first: u64 = sc
-            .collect(ctx, &reduced)
-            .into_iter()
-            .map(|(_, c)| c)
-            .sum();
+        let reduced = sc
+            .reduce_by_key(ctx, &services, &rdd, |a, b| a + b)
+            .unwrap();
+        let first: u64 = sc.collect(ctx, &reduced).into_iter().map(|(_, c)| c).sum();
         // Second shuffle over the same input: its map stage re-puts under a
         // fresh shuffle id, while the first shuffle's blocks are untouched.
-        let reduced2 = sc.reduce_by_key(ctx, &services, &rdd, |a, b| a + b).unwrap();
-        let second: u64 = sc
-            .collect(ctx, &reduced2)
-            .into_iter()
-            .map(|(_, c)| c)
-            .sum();
+        let reduced2 = sc
+            .reduce_by_key(ctx, &services, &rdd, |a, b| a + b)
+            .unwrap();
+        let second: u64 = sc.collect(ctx, &reduced2).into_iter().map(|(_, c)| c).sum();
         // And re-collect the first shuffle's output (re-fetches buckets).
-        let first_again: u64 = sc
-            .collect(ctx, &reduced)
-            .into_iter()
-            .map(|(_, c)| c)
-            .sum();
+        let first_again: u64 = sc.collect(ctx, &reduced).into_iter().map(|(_, c)| c).sum();
         (first, second, first_again)
     });
     sim.run().unwrap();
@@ -58,12 +50,10 @@ fn shuffle_survives_task_failures_with_exact_results() {
         sc.failure.max_task_attempts = 200;
         let pairs: Vec<(u64, u64)> = (0..1_000u64).map(|i| (i % 13, i)).collect();
         let rdd = sc.parallelize(ctx, pairs, 10);
-        let reduced = sc.reduce_by_key(ctx, &services, &rdd, |a, b| a + b).unwrap();
-        let total: u64 = sc
-            .collect(ctx, &reduced)
-            .into_iter()
-            .map(|(_, s)| s)
-            .sum();
+        let reduced = sc
+            .reduce_by_key(ctx, &services, &rdd, |a, b| a + b)
+            .unwrap();
+        let total: u64 = sc.collect(ctx, &reduced).into_iter().map(|(_, s)| s).sum();
         (total, sc.task_retries)
     });
     sim.run().unwrap();

@@ -160,8 +160,7 @@ pub fn train_fm(ctx: &mut SimCtx, ps2: &mut Ps2Context, cfg: &FmConfig) -> Train
                                 .zip(vf)
                                 .map(|(&(_, x), &vv)| vv * x)
                                 .sum();
-                            for ((slot, &(_, x)), &vv) in
-                                idx.iter().zip(ex.features.iter()).zip(vf)
+                            for ((slot, &(_, x)), &vv) in idx.iter().zip(ex.features.iter()).zip(vf)
                             {
                                 grad[*slot][f + 1] += coef * (x * s - vv * x * x);
                             }
@@ -177,8 +176,7 @@ pub fn train_fm(ctx: &mut SimCtx, ps2: &mut Ps2Context, cfg: &FmConfig) -> Train
                             let mut delta = vec![0.0; kk + 1];
                             delta[0] = -scale * grad[c][0];
                             for f in 0..kk {
-                                delta[f + 1] =
-                                    -scale * grad[c][f + 1] - lr * reg * block[c][f + 1];
+                                delta[f + 1] = -scale * grad[c][f + 1] - lr * reg * block[c][f + 1];
                             }
                             (j, delta)
                         })

@@ -56,8 +56,13 @@ pub struct GbdtConfig {
 pub enum TreeNode {
     /// Internal: instances with `feature` present and `bin(value) <= bin`
     /// go left; others (including absent) go right.
-    Split { feature: u32, bin: u32 },
-    Leaf { weight: f64 },
+    Split {
+        feature: u32,
+        bin: u32,
+    },
+    Leaf {
+        weight: f64,
+    },
     /// Not expanded (child indices beyond the frontier).
     Empty,
 }
@@ -164,6 +169,7 @@ fn gain(gl: f64, hl: f64, g: f64, h: f64, lambda: f64) -> f64 {
 
 /// Scan one histogram pair for the best split among the features whose bins
 /// lie entirely in `[lo, lo + seg_len)`. Returns `(gain, global cell idx)`.
+#[allow(clippy::too_many_arguments)]
 fn best_split_in_segment(
     grad: &[f64],
     hess: &[f64],
@@ -244,92 +250,6 @@ fn build_local_histograms(
         }
     }
     (gh, hh, ng, nh, count)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::Arc;
-
-    fn ex(features: Vec<(u64, f64)>, label: f64) -> Example {
-        Example {
-            label,
-            features: Arc::new(features),
-        }
-    }
-
-    fn stump(bins: u32) -> Tree {
-        // Split on feature 2 at bin <= 4; left leaf +1.5, right leaf -0.5.
-        let mut t = Tree::new(1, bins);
-        t.nodes[0] = TreeNode::Split { feature: 2, bin: 4 };
-        t.nodes[1] = TreeNode::Leaf { weight: 1.5 };
-        t.nodes[2] = TreeNode::Leaf { weight: -0.5 };
-        t
-    }
-
-    #[test]
-    fn tree_routes_present_absent_and_boundary_values() {
-        let t = stump(10);
-        // bin(0.3 * 10) = 3 <= 4 → left.
-        assert_eq!(t.predict(&ex(vec![(2, 0.3)], 1.0)), 1.5);
-        // bin(0.9 * 10) = 9 > 4 → right.
-        assert_eq!(t.predict(&ex(vec![(2, 0.9)], 1.0)), -0.5);
-        // Absent feature → default right.
-        assert_eq!(t.predict(&ex(vec![(5, 0.3)], 1.0)), -0.5);
-        // Exact bin boundary 0.4*10 = 4 → left (<=).
-        assert_eq!(t.predict(&ex(vec![(2, 0.4)], 1.0)), 1.5);
-    }
-
-    #[test]
-    fn gain_reflects_split_quality() {
-        // Unregularized, splitting identical halves gains nothing.
-        let g = gain(5.0, 5.0, 10.0, 10.0, 0.0);
-        assert!(g.abs() < 1e-9, "{g}");
-        // With L2, the same split is *penalized* (two regularized children).
-        assert!(gain(5.0, 5.0, 10.0, 10.0, 1.0) < 0.0);
-        // Separating opposite-signed gradients gains a lot.
-        let g2 = gain(5.0, 5.0, 0.0, 10.0, 1.0);
-        assert!(g2 > 1.0);
-    }
-
-    #[test]
-    fn best_split_scans_only_complete_features() {
-        let bins = 4u32;
-        // Two features × 4 bins; a clear split inside feature 1.
-        let grad = vec![0.0, 0.0, 0.0, 0.0, 5.0, 5.0, -5.0, -5.0];
-        let hess = vec![1.0; 8];
-        let (g_full, cell) =
-            best_split_in_segment(&grad, &hess, 0, bins, 0.0, 8.0, 1.0, 0.5);
-        assert!(g_full > 0.0);
-        assert_eq!(cell / bins as u64, 1, "split must be inside feature 1");
-        // A segment starting mid-feature must skip the partial feature.
-        let (_, cell2) =
-            best_split_in_segment(&grad[2..], &hess[2..], 2, bins, 0.0, 8.0, 1.0, 0.5);
-        assert!(cell2 == u64::MAX || cell2 / bins as u64 >= 1);
-    }
-
-    #[test]
-    fn model_api_predicts_and_ranks_features() {
-        let model = GbdtModel::new(vec![stump(10), stump(10)]);
-        let e = ex(vec![(2, 0.1)], 1.0);
-        assert_eq!(model.predict_margin(&e), 3.0);
-        assert_eq!(model.predict_label(&e), 1.0);
-        let imp = model.feature_importance(5);
-        assert_eq!(imp[2], 2);
-        assert_eq!(imp.iter().sum::<u64>(), 2);
-        assert_eq!(model.accuracy(&[e]), 1.0);
-    }
-
-    #[test]
-    fn straddlers_are_detected() {
-        // bins = 10; ranges split at 25 (not a multiple of 10) → feature 2
-        // straddles.
-        let ranges = vec![(0u64, 25u64), (25, 50)];
-        assert_eq!(straddling_features(&ranges, 10, 5), vec![2]);
-        // Aligned boundary → no straddlers.
-        let ranges = vec![(0u64, 30u64), (30, 50)];
-        assert!(straddling_features(&ranges, 10, 5).is_empty());
-    }
 }
 
 // Known limitation: the per-partition assignment/gradient state lives in
@@ -449,7 +369,10 @@ pub fn train_gbdt(
                                     examples, &assign, &grads, node_u, bins, cells,
                                 );
                                 w.sim.charge_flops(
-                                    4 * examples.iter().map(|e| e.features.len() as u64).sum::<u64>(),
+                                    4 * examples
+                                        .iter()
+                                        .map(|e| e.features.len() as u64)
+                                        .sum::<u64>(),
                                 );
                                 ghc.add_dense(w.sim, &lg);
                                 hhc.add_dense(w.sim, &lh);
@@ -518,7 +441,10 @@ pub fn train_gbdt(
                                     examples, &assign, &grads, node_u, bins, cells,
                                 );
                                 w.sim.charge_flops(
-                                    4 * examples.iter().map(|e| e.features.len() as u64).sum::<u64>(),
+                                    4 * examples
+                                        .iter()
+                                        .map(|e| e.features.len() as u64)
+                                        .sum::<u64>(),
                                 );
                                 w.put_state(KEY_ASSIGN, assign);
                                 w.put_state(KEY_GRADS, grads);
@@ -545,10 +471,8 @@ pub fn train_gbdt(
 
             // B3: decide split vs leaf.
             let (best_gain, best_cell) = split;
-            let make_leaf = depth >= max_depth
-                || count < 2
-                || best_gain <= 1e-9
-                || best_cell == u64::MAX;
+            let make_leaf =
+                depth >= max_depth || count < 2 || best_gain <= 1e-9 || best_cell == u64::MAX;
             if make_leaf {
                 tree.nodes[node] = TreeNode::Leaf {
                     weight: -eta * node_g / (node_h + lambda),
@@ -576,11 +500,7 @@ pub fn train_gbdt(
                             .binary_search_by_key(&(feature as u64), |&(j, _)| j)
                             .map(|pos| value_bin(ex.features[pos].1, bins) <= bin)
                             .unwrap_or(false);
-                        assign[i] = if left {
-                            2 * node_u + 1
-                        } else {
-                            2 * node_u + 2
-                        };
+                        assign[i] = if left { 2 * node_u + 1 } else { 2 * node_u + 2 };
                     }
                     w.sim.charge_flops(examples.len() as u64);
                     w.put_state(KEY_ASSIGN, assign);
@@ -589,7 +509,9 @@ pub fn train_gbdt(
         }
 
         // Phase C: apply the tree to the margins and measure the loss.
-        let tree_b = ps2.spark.broadcast(ctx, tree.clone(), 16 * tree.nodes.len() as u64);
+        let tree_b = ps2
+            .spark
+            .broadcast(ctx, tree.clone(), 16 * tree.nodes.len() as u64);
         let results = ps2
             .spark
             .run_job(
@@ -597,8 +519,7 @@ pub fn train_gbdt(
                 &data,
                 move |examples, w| {
                     let t = w.broadcast(&tree_b);
-                    let mut margins: Vec<f64> =
-                        w.take_state(KEY_MARGIN).expect("margins missing");
+                    let mut margins: Vec<f64> = w.take_state(KEY_MARGIN).expect("margins missing");
                     let mut loss = 0.0;
                     for (i, ex) in examples.iter().enumerate() {
                         margins[i] += t.predict(ex);
@@ -619,4 +540,88 @@ pub fn train_gbdt(
         trees.push(tree);
     }
     (trace, trees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn ex(features: Vec<(u64, f64)>, label: f64) -> Example {
+        Example {
+            label,
+            features: Arc::new(features),
+        }
+    }
+
+    fn stump(bins: u32) -> Tree {
+        // Split on feature 2 at bin <= 4; left leaf +1.5, right leaf -0.5.
+        let mut t = Tree::new(1, bins);
+        t.nodes[0] = TreeNode::Split { feature: 2, bin: 4 };
+        t.nodes[1] = TreeNode::Leaf { weight: 1.5 };
+        t.nodes[2] = TreeNode::Leaf { weight: -0.5 };
+        t
+    }
+
+    #[test]
+    fn tree_routes_present_absent_and_boundary_values() {
+        let t = stump(10);
+        // bin(0.3 * 10) = 3 <= 4 → left.
+        assert_eq!(t.predict(&ex(vec![(2, 0.3)], 1.0)), 1.5);
+        // bin(0.9 * 10) = 9 > 4 → right.
+        assert_eq!(t.predict(&ex(vec![(2, 0.9)], 1.0)), -0.5);
+        // Absent feature → default right.
+        assert_eq!(t.predict(&ex(vec![(5, 0.3)], 1.0)), -0.5);
+        // Exact bin boundary 0.4*10 = 4 → left (<=).
+        assert_eq!(t.predict(&ex(vec![(2, 0.4)], 1.0)), 1.5);
+    }
+
+    #[test]
+    fn gain_reflects_split_quality() {
+        // Unregularized, splitting identical halves gains nothing.
+        let g = gain(5.0, 5.0, 10.0, 10.0, 0.0);
+        assert!(g.abs() < 1e-9, "{g}");
+        // With L2, the same split is *penalized* (two regularized children).
+        assert!(gain(5.0, 5.0, 10.0, 10.0, 1.0) < 0.0);
+        // Separating opposite-signed gradients gains a lot.
+        let g2 = gain(5.0, 5.0, 0.0, 10.0, 1.0);
+        assert!(g2 > 1.0);
+    }
+
+    #[test]
+    fn best_split_scans_only_complete_features() {
+        let bins = 4u32;
+        // Two features × 4 bins; a clear split inside feature 1.
+        let grad = vec![0.0, 0.0, 0.0, 0.0, 5.0, 5.0, -5.0, -5.0];
+        let hess = vec![1.0; 8];
+        let (g_full, cell) = best_split_in_segment(&grad, &hess, 0, bins, 0.0, 8.0, 1.0, 0.5);
+        assert!(g_full > 0.0);
+        assert_eq!(cell / bins as u64, 1, "split must be inside feature 1");
+        // A segment starting mid-feature must skip the partial feature.
+        let (_, cell2) = best_split_in_segment(&grad[2..], &hess[2..], 2, bins, 0.0, 8.0, 1.0, 0.5);
+        assert!(cell2 == u64::MAX || cell2 / bins as u64 >= 1);
+    }
+
+    #[test]
+    fn model_api_predicts_and_ranks_features() {
+        let model = GbdtModel::new(vec![stump(10), stump(10)]);
+        let e = ex(vec![(2, 0.1)], 1.0);
+        assert_eq!(model.predict_margin(&e), 3.0);
+        assert_eq!(model.predict_label(&e), 1.0);
+        let imp = model.feature_importance(5);
+        assert_eq!(imp[2], 2);
+        assert_eq!(imp.iter().sum::<u64>(), 2);
+        assert_eq!(model.accuracy(&[e]), 1.0);
+    }
+
+    #[test]
+    fn straddlers_are_detected() {
+        // bins = 10; ranges split at 25 (not a multiple of 10) → feature 2
+        // straddles.
+        let ranges = vec![(0u64, 25u64), (25, 50)];
+        assert_eq!(straddling_features(&ranges, 10, 5), vec![2]);
+        // Aligned boundary → no straddlers.
+        let ranges = vec![(0u64, 30u64), (30, 50)];
+        assert!(straddling_features(&ranges, 10, 5).is_empty());
+    }
 }

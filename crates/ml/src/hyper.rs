@@ -106,7 +106,12 @@ mod tests {
         assert_eq!((lr.beta1, lr.beta2, lr.epsilon), (0.9, 0.999, 1e-8));
         let dw = DeepWalkHyper::default();
         assert_eq!(
-            (dw.walk_len, dw.batch_size, dw.window_size, dw.negative_samples),
+            (
+                dw.walk_len,
+                dw.batch_size,
+                dw.window_size,
+                dw.negative_samples
+            ),
             (8, 512, 4, 5)
         );
         assert_eq!(dw.learning_rate, 0.01);

@@ -95,7 +95,10 @@ pub fn train_lbfgs(ctx: &mut SimCtx, ps2: &mut Ps2Context, cfg: &LbfgsConfig) ->
                     let nnz: u64 = examples.iter().map(|e| e.features.len() as u64).sum();
                     wk.sim.charge_flops(6 * nnz);
                     let pairs: Vec<(u64, f64)> = sort_merge_pairs(
-                        cols.iter().zip(&grad).map(|(&j, &gv)| (j, gv * scale)).collect(),
+                        cols.iter()
+                            .zip(&grad)
+                            .map(|(&j, &gv)| (j, gv * scale))
+                            .collect(),
                     );
                     gd.add_sparse(wk.sim, &pairs);
                     (loss, examples.len() as u64)
@@ -119,9 +122,7 @@ pub fn train_lbfgs(ctx: &mut SimCtx, ps2: &mut Ps2Context, cfg: &LbfgsConfig) ->
         // Two-loop recursion, entirely server-side.
         q.copy_from(ctx, &g);
         let mut alpha = vec![0.0; m];
-        let order: Vec<usize> = (0..filled)
-            .map(|i| (cursor + m - 1 - i) % m)
-            .collect(); // most recent first
+        let order: Vec<usize> = (0..filled).map(|i| (cursor + m - 1 - i) % m).collect(); // most recent first
         for &i in &order {
             if rho[i] == 0.0 {
                 continue;

@@ -17,7 +17,6 @@
 //! * **Spark MLlib** — no parameter servers: the driver broadcasts the full
 //!   model and collects dense per-worker count matrices (driver in-cast).
 
-
 use ps2_core::{Dcv, Ps2Context, WorkCtx};
 use ps2_data::{CorpusGen, Document};
 use ps2_simnet::SimCtx;
@@ -78,8 +77,16 @@ fn expand_tokens(doc: &Document) -> Vec<u32> {
     toks
 }
 
+/// Per-word topic-count deltas, keyed by global word id.
+type WordDeltas = Vec<(u64, Vec<f64>)>;
+
 /// Initialize assignments and return the partition's initial count deltas.
-fn init_state(docs: &[Document], k: u32, seed: u64, part: usize) -> (GibbsState, Vec<(u64, Vec<f64>)>, Vec<f64>) {
+fn init_state(
+    docs: &[Document],
+    k: u32,
+    seed: u64,
+    part: usize,
+) -> (GibbsState, WordDeltas, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed ^ (part as u64) << 17);
     let mut z = Vec::with_capacity(docs.len());
     let mut nd = Vec::with_capacity(docs.len());
@@ -94,8 +101,9 @@ fn init_state(docs: &[Document], k: u32, seed: u64, part: usize) -> (GibbsState,
             let topic = rng.gen_range(0..k);
             zd.push(topic);
             ndd[topic as usize] += 1;
-            word_deltas.entry(w as u64).or_insert_with(|| vec![0.0; k as usize])
-                [topic as usize] += 1.0;
+            word_deltas
+                .entry(w as u64)
+                .or_insert_with(|| vec![0.0; k as usize])[topic as usize] += 1.0;
             totals[topic as usize] += 1.0;
         }
         for &(w, _) in &doc.words {
@@ -123,7 +131,7 @@ fn sweep(
     alpha: f64,
     beta: f64,
     vocab: f64,
-) -> (f64, u64, Vec<(u64, Vec<f64>)>, Vec<f64>) {
+) -> (f64, u64, WordDeltas, Vec<f64>) {
     let kk = k as usize;
     let mut deltas: std::collections::BTreeMap<u64, Vec<f64>> = Default::default();
     let mut tot_delta = vec![0.0; kk];
@@ -161,9 +169,7 @@ fn sweep(
             state.nd[d][new] += 1;
             nw[wi][new] += 1.0;
             nk[new] += 1.0;
-            let dv = deltas
-                .entry(w as u64)
-                .or_insert_with(|| vec![0.0; kk]);
+            let dv = deltas.entry(w as u64).or_insert_with(|| vec![0.0; kk]);
             dv[old] -= 1.0;
             dv[new] += 1.0;
             tot_delta[old] -= 1.0;
@@ -172,7 +178,7 @@ fn sweep(
             tokens += 1;
         }
     }
-    let deltas: Vec<(u64, Vec<f64>)> = deltas
+    let deltas: WordDeltas = deltas
         .into_iter()
         .filter(|(_, d)| d.iter().any(|&x| x != 0.0))
         .collect();
@@ -267,8 +273,7 @@ pub fn train_lda(
                             // is an async PS): all per-word requests are in
                             // flight at once, paying per-request headers
                             // instead of batched blocks.
-                            let block =
-                                wtc.pull_cols_per_key(w.sim, &rows, &state.words);
+                            let block = wtc.pull_cols_per_key(w.sim, &rows, &state.words);
                             (block, state.words.clone())
                         }
                         _ => {

@@ -2,7 +2,6 @@
 //! against five execution backends that reproduce the communication
 //! structure of the systems compared in the paper (Figures 1, 9, 10, 13).
 
-
 use ps2_core::{Dcv, Ps2Context, Rdd, WorkCtx};
 use ps2_data::{Example, SparseDatasetGen};
 use ps2_simnet::{SimCtx, SimTime};
@@ -103,14 +102,18 @@ pub fn grad_aligned(batch: &[Example], cols: &[u64], w: &[f64]) -> (Vec<f64>, f6
     for ex in batch {
         let mut margin = 0.0;
         for &(j, v) in ex.features.iter() {
-            let pos = cols.binary_search(&j).expect("col missing from working set");
+            let pos = cols
+                .binary_search(&j)
+                .expect("col missing from working set");
             margin += w[pos] * v;
         }
         let ym = ex.label * margin;
         loss += log_loss(ym);
         let coef = -ex.label * sigmoid(-ym);
         for &(j, v) in ex.features.iter() {
-            let pos = cols.binary_search(&j).expect("col missing from working set");
+            let pos = cols
+                .binary_search(&j)
+                .expect("col missing from working set");
             grad[pos] += coef * v;
         }
     }
@@ -178,8 +181,7 @@ fn train_spark_driver(
 ) -> TrainingTrace {
     let dim = cfg.dataset.dim as usize;
     let lr = cfg.hyper.learning_rate;
-    let expected_batch =
-        (cfg.dataset.rows as f64 * cfg.hyper.mini_batch_fraction).max(1.0);
+    let expected_batch = (cfg.dataset.rows as f64 * cfg.hyper.mini_batch_fraction).max(1.0);
     let opt = cfg.optimizer;
 
     let mut trace = TrainingTrace::new(LrBackend::SparkDriver.label(&opt));
@@ -236,8 +238,7 @@ fn train_spark_driver(
         }
         ctx.charge_flops(dim as u64 * (2 + opt.flops_per_elem()));
         {
-            let mut aux_refs: Vec<&mut [f64]> =
-                aux.iter_mut().map(|v| v.as_mut_slice()).collect();
+            let mut aux_refs: Vec<&mut [f64]> = aux.iter_mut().map(|v| v.as_mut_slice()).collect();
             opt.apply(lr, t as i32, &mut w, &mut aux_refs, &g);
         }
         ps2.spark.drop_broadcast(ctx, b);
@@ -281,8 +282,7 @@ fn train_ps_family(
 ) -> TrainingTrace {
     let dim = cfg.dataset.dim;
     let lr = cfg.hyper.learning_rate;
-    let expected_batch =
-        (cfg.dataset.rows as f64 * cfg.hyper.mini_batch_fraction).max(1.0);
+    let expected_batch = (cfg.dataset.rows as f64 * cfg.hyper.mini_batch_fraction).max(1.0);
     let opt = cfg.optimizer;
     let backend = match mode {
         PsMode::Ps2 => LrBackend::Ps2Dcv,
@@ -298,7 +298,11 @@ fn train_ps_family(
     let k = if direct_sgd { 1 } else { 2 + opt.aux_rows() };
     let w = ps2.dense_dcv(ctx, dim, k);
     let aux: Vec<Dcv> = (0..opt.aux_rows()).map(|_| w.derive(ctx)).collect();
-    let g = if direct_sgd { None } else { Some(w.derive(ctx)) };
+    let g = if direct_sgd {
+        None
+    } else {
+        Some(w.derive(ctx))
+    };
 
     // The worker-slice update job for pull/push mode.
     let workers = ps2.spark.num_executors();
@@ -330,10 +334,7 @@ fn train_ps_family(
                         let cols = distinct_cols(examples);
                         let wv = wd.pull_indices(wk.sim, &cols);
                         let (grad, loss) = grad_aligned(examples, &cols, &wv);
-                        (
-                            cols.into_iter().zip(grad).collect::<Vec<_>>(),
-                            loss,
-                        )
+                        (cols.into_iter().zip(grad).collect::<Vec<_>>(), loss)
                     };
                     wk.sim.charge_flops(6 * batch_nnz(examples));
                     let target = gd.as_ref().unwrap_or(&wd);
@@ -362,8 +363,11 @@ fn train_ps_family(
                 PsMode::Ps2 => {
                     // Server-side zip over [w, aux.., g]; no model bytes move.
                     let rows: Vec<&Dcv> = aux.iter().chain(std::iter::once(gdcv)).collect();
-                    w.zip(&rows)
-                        .map_partitions(ctx, opt.zip_fn(lr, t as i32), opt.flops_per_elem());
+                    w.zip(&rows).map_partitions(
+                        ctx,
+                        opt.zip_fn(lr, t as i32),
+                        opt.flops_per_elem(),
+                    );
                     gdcv.zero(ctx);
                 }
                 PsMode::PullPush | PsMode::Petuum | PsMode::Distml => {
@@ -401,8 +405,7 @@ fn train_ps_family(
                             let mut aux_refs: Vec<&mut [f64]> =
                                 auxv.iter_mut().map(|v| v.as_mut_slice()).collect();
                             opt.apply(lr, t_, &mut wv, &mut aux_refs, gv);
-                            wk.sim
-                                .charge_flops((hi - lo) as u64 * opt.flops_per_elem());
+                            wk.sim.charge_flops((hi - lo) as u64 * opt.flops_per_elem());
                             // Sparse row updates for the owned slice.
                             let delta_pairs = |new: &[f64], old: &[f64]| -> Vec<(u64, f64)> {
                                 new.iter()
@@ -413,9 +416,7 @@ fn train_ps_family(
                                     .collect()
                             };
                             wd.add_sparse(wk.sim, &delta_pairs(&wv, &w_old));
-                            for (a, (new_a, old_a)) in
-                                auxd.iter().zip(auxv.iter().zip(&aux_old))
-                            {
+                            for (a, (new_a, old_a)) in auxd.iter().zip(auxv.iter().zip(&aux_old)) {
                                 a.add_sparse(wk.sim, &delta_pairs(new_a, old_a));
                             }
                             let neg_g: Vec<(u64, f64)> = gv

@@ -71,7 +71,11 @@ impl TrainingTrace {
     /// Losses must be finite and the series non-empty — a guard used by
     /// tests and the bench harness.
     pub fn is_sane(&self) -> bool {
-        !self.points.is_empty() && self.points.iter().all(|&(t, l)| t.is_finite() && l.is_finite())
+        !self.points.is_empty()
+            && self
+                .points
+                .iter()
+                .all(|&(t, l)| t.is_finite() && l.is_finite())
     }
 }
 
@@ -123,13 +127,11 @@ mod tests {
 
     #[test]
     fn auc_handles_partial_separation() {
-        let scored: Vec<(f64, f64)> =
-            vec![(0.9, 1.0), (0.6, -1.0), (0.7, 1.0), (0.2, -1.0)];
+        let scored: Vec<(f64, f64)> = vec![(0.9, 1.0), (0.6, -1.0), (0.7, 1.0), (0.2, -1.0)];
         // Pairs: (0.9 beats both), (0.7 beats 0.2, loses to... 0.6<0.7 ok
         // beats both) → 4/4 minus (0.7 vs 0.6 win) … compute: wins = 4 of 4.
         assert_eq!(auc(&scored), 1.0);
-        let scored2: Vec<(f64, f64)> =
-            vec![(0.9, 1.0), (0.6, -1.0), (0.5, 1.0), (0.2, -1.0)];
+        let scored2: Vec<(f64, f64)> = vec![(0.9, 1.0), (0.6, -1.0), (0.5, 1.0), (0.2, -1.0)];
         // (0.9 beats 0.6, 0.2), (0.5 beats 0.2, loses to 0.6) → 3/4.
         assert_eq!(auc(&scored2), 0.75);
     }

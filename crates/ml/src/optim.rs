@@ -16,7 +16,11 @@ pub enum Optimizer {
     /// pull/push systems can do with a scaled push.
     Sgd,
     /// Adam (paper Equation 1).
-    Adam { beta1: f64, beta2: f64, epsilon: f64 },
+    Adam {
+        beta1: f64,
+        beta2: f64,
+        epsilon: f64,
+    },
     /// Adagrad: accumulate squared gradients.
     Adagrad { epsilon: f64 },
     /// RMSProp: exponentially decayed squared gradients.
@@ -78,7 +82,9 @@ impl Optimizer {
                 beta2,
                 epsilon,
             } => {
-                let [s, v] = aux else { panic!("Adam needs 2 aux vectors") };
+                let [s, v] = aux else {
+                    panic!("Adam needs 2 aux vectors")
+                };
                 let bc1 = 1.0 - beta1.powi(t);
                 let bc2 = 1.0 - beta2.powi(t);
                 for i in 0..w.len() {
@@ -90,23 +96,34 @@ impl Optimizer {
                 }
             }
             Optimizer::Adagrad { epsilon } => {
-                let [acc] = aux else { panic!("Adagrad needs 1 aux vector") };
+                let [acc] = aux else {
+                    panic!("Adagrad needs 1 aux vector")
+                };
                 for i in 0..w.len() {
                     acc[i] += g[i] * g[i];
                     w[i] -= lr * g[i] / (acc[i].sqrt() + epsilon);
                 }
             }
             Optimizer::RmsProp { decay, epsilon } => {
-                let [acc] = aux else { panic!("RMSProp needs 1 aux vector") };
+                let [acc] = aux else {
+                    panic!("RMSProp needs 1 aux vector")
+                };
                 for i in 0..w.len() {
                     acc[i] = decay * acc[i] + (1.0 - decay) * g[i] * g[i];
                     w[i] -= lr * g[i] / (acc[i].sqrt() + epsilon);
                 }
             }
-            Optimizer::Ftrl { alpha, beta, l1, l2 } => {
+            Optimizer::Ftrl {
+                alpha,
+                beta,
+                l1,
+                l2,
+            } => {
                 // `lr` scales the gradient (usually 1.0 for FTRL; `alpha`
                 // is the per-coordinate rate).
-                let [z, n] = aux else { panic!("FTRL needs 2 aux vectors") };
+                let [z, n] = aux else {
+                    panic!("FTRL needs 2 aux vectors")
+                };
                 for i in 0..w.len() {
                     let gi = lr * g[i];
                     let sigma = ((n[i] + gi * gi).sqrt() - n[i].sqrt()) / alpha;
@@ -146,8 +163,7 @@ mod tests {
         let mut aux_store: Vec<Vec<f64>> = (0..opt.aux_rows()).map(|_| vec![0.0; 3]).collect();
         let g = vec![0.5, -1.0, 0.0];
         for t in 1..=steps {
-            let mut aux: Vec<&mut [f64]> =
-                aux_store.iter_mut().map(|v| v.as_mut_slice()).collect();
+            let mut aux: Vec<&mut [f64]> = aux_store.iter_mut().map(|v| v.as_mut_slice()).collect();
             opt.apply(0.1, t as i32, &mut w, &mut aux, &g);
         }
         w
@@ -216,7 +232,11 @@ mod tests {
             let mut aux: Vec<&mut [f64]> = vec![&mut z, &mut n];
             opt.apply(1.0, 1, &mut w, &mut aux, &g);
         }
-        assert!(w[0] < -0.1, "persistent gradient moves the weight: {}", w[0]);
+        assert!(
+            w[0] < -0.1,
+            "persistent gradient moves the weight: {}",
+            w[0]
+        );
         assert_eq!(w[1], 0.0, "L1 zeroes out the noise coordinate");
         assert_eq!(w[2], 0.0, "untouched coordinate stays zero");
     }

@@ -115,6 +115,9 @@ fn clock_daemon(workers: usize, staleness: u32) -> impl FnOnce(&mut SimCtx) {
 
 /// Run SSP LR training on a dedicated (Spark-free) topology. Returns the
 /// merged loss trace (mean loss per iteration index, stamped with the last
+/// One `(worker, iter, virtual secs, loss)` measurement.
+type LossSample = (usize, u32, f64, f64);
+
 /// worker's arrival at that iteration) and the simulation report.
 pub fn run_lr_ssp(cfg: &SspConfig) -> (TrainingTrace, SimReport) {
     let mut sim = SimBuilder::new().seed(cfg.seed).build();
@@ -122,7 +125,7 @@ pub fn run_lr_ssp(cfg: &SspConfig) -> (TrainingTrace, SimReport) {
     let clock = sim.spawn_daemon("ssp-clock", clock_daemon(cfg.workers, cfg.staleness));
 
     // Shared collection of (worker, iter, virtual secs, loss) samples.
-    let samples: Arc<Mutex<Vec<(usize, u32, f64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let samples: Arc<Mutex<Vec<LossSample>>> = Arc::new(Mutex::new(Vec::new()));
 
     // The coordinator allocates the model, then hands the handle to the
     // workers. Spawn order fixes the ids: servers (0..S), storage (S),
@@ -197,8 +200,7 @@ pub fn run_lr_ssp(cfg: &SspConfig) -> (TrainingTrace, SimReport) {
     let samples = samples.lock();
     let mut trace = TrainingTrace::new(format!("SSP(s={})", cfg.staleness));
     for t in 1..=cfg.iterations {
-        let iter: Vec<&(usize, u32, f64, f64)> =
-            samples.iter().filter(|s| s.1 == t).collect();
+        let iter: Vec<&LossSample> = samples.iter().filter(|s| s.1 == t).collect();
         if iter.is_empty() {
             continue;
         }

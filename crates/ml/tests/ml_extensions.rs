@@ -99,11 +99,7 @@ fn mllib_star_converges_and_beats_plain_mllib() {
         t
     };
     assert!(star.is_sane());
-    assert!(
-        star.final_loss() < star.points[0].1,
-        "{:?}",
-        star.points
-    );
+    assert!(star.final_loss() < star.points[0].1, "{:?}", star.points);
     assert!(
         star.total_time() < plain.total_time(),
         "AllReduce averaging must beat driver aggregation: {:.3} vs {:.3}",

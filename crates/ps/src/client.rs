@@ -6,17 +6,31 @@
 //! operators parallelize across servers under column partitioning — the
 //! paper's fix for the single-point problem — while column-access operators
 //! run server-side over co-located segments.
+//!
+//! ## Fault tolerance
+//!
+//! Every request is addressed by *slot* and issued through
+//! [`MatrixHandle::ps_gather`] / [`MatrixHandle::ps_call`], which bound each
+//! attempt with a virtual-time deadline. On a timeout the client compares
+//! [`RouteTable`] recovery epochs to tell a *slow* server (epoch unchanged)
+//! from a *replaced* one (epoch advanced), re-resolves the slot, and resends
+//! the identical payload. Mutating requests carry a per-request `op_id` that
+//! servers deduplicate, so a resend racing a slow-but-alive server is
+//! applied once. A handle created by the master also carries the shared
+//! [`PsFleet`], letting the timed-out client *trigger* dead-server recovery
+//! itself instead of waiting for the driver to notice.
 
 use std::any::Any;
 use std::sync::Arc;
 
-use ps2_simnet::{ProcId, SimCtx};
+use ps2_simnet::{Envelope, ProcId, SimCtx, SimTime};
 
+use crate::master::PsFleet;
 use crate::plan::{MatrixId, PartitionPlan, PlanKind, RouteTable};
 use crate::protocol::{
     tags, AggKind, AggReq, AxpyReq, ColsSel, CrossDotReq, CrossElemReq, DotReq, ElemOp, ElemReq,
-    FillReq, PullBlockReq, PullReq, PushBlockReq, PushData, PushReq, ScaleReq, ZipMapFn,
-    ZipMapReq, ZipMutFn, ZipReq,
+    FillReq, PullBlockReq, PullReq, PushBlockReq, PushData, PushReq, ScaleReq, ZipMapFn, ZipMapReq,
+    ZipMutFn, ZipReq,
 };
 
 /// A handle to one distributed `rows × dim` matrix. Cheap to clone; safe to
@@ -31,10 +45,28 @@ pub struct MatrixHandle {
     /// Bytes per parameter on the wire: 8 for raw `f64`, 4 with the paper's
     /// message compression (§6.3.3).
     pub value_bytes: u64,
+    /// The shared fleet view, when this handle came from a [`crate::PsMaster`]:
+    /// lets a client whose request timed out run dead-server recovery
+    /// directly. `None` for hand-assembled handles (tests), which then rely
+    /// on someone else updating the route table.
+    pub(crate) fleet: Option<Arc<PsFleet>>,
 }
 
 /// Request-header wire cost for PS ops.
 const HDR: u64 = 48;
+
+/// Straight timeouts tolerated without any route change before a PS op gives
+/// up. Each timed-out attempt resends (safe: servers deduplicate mutating
+/// ops), so this only trips when a server is unreachable *and* recovery
+/// cannot replace it.
+const MAX_STALE_ATTEMPTS: u32 = 5;
+
+/// Virtual-time budget for one request attempt before the client suspects
+/// the server and re-resolves the route. Generous against ordinary op
+/// latency (micro- to milliseconds) so healthy runs never pay it.
+fn attempt_timeout() -> SimTime {
+    SimTime::from_secs_f64(10.0)
+}
 
 impl MatrixHandle {
     pub fn dim(&self) -> u64 {
@@ -55,6 +87,98 @@ impl MatrixHandle {
         self.plan.colocated_with(&other.plan)
     }
 
+    // ---- fault-tolerant request layer ---------------------------------------
+
+    /// Scatter `reqs` (slot-addressed, one shared tag) and gather every
+    /// reply, surviving server replacement: attempts are deadline-bounded,
+    /// timed-out requests re-resolve their slot through the route table and
+    /// resend the identical payload. See the module docs for the protocol.
+    fn ps_gather<P: Any + Send + Clone>(
+        &self,
+        ctx: &mut SimCtx,
+        tag: u32,
+        reqs: Vec<(usize, P, u64)>,
+    ) -> Vec<Envelope> {
+        let n = reqs.len();
+        let mut replies: Vec<Option<Envelope>> = (0..n).map(|_| None).collect();
+        let mut epoch = self.route.epoch();
+        let mut stale_attempts = 0u32;
+        loop {
+            let outstanding: Vec<usize> = (0..n).filter(|&i| replies[i].is_none()).collect();
+            if outstanding.is_empty() {
+                return replies
+                    .into_iter()
+                    .map(|e| e.expect("gathered reply"))
+                    .collect();
+            }
+            let batch: Vec<(ProcId, u32, Box<dyn Any + Send>, u64)> = outstanding
+                .iter()
+                .map(|&i| {
+                    let (slot, payload, bytes) = &reqs[i];
+                    (
+                        self.route.resolve(*slot),
+                        tag,
+                        Box::new(payload.clone()) as Box<dyn Any + Send>,
+                        *bytes,
+                    )
+                })
+                .collect();
+            let deadline = ctx.now() + attempt_timeout();
+            let got = ctx.call_many_deadline(batch, deadline);
+            let mut timed_out = false;
+            for (&i, env) in outstanding.iter().zip(got) {
+                match env {
+                    Some(e) => replies[i] = Some(e),
+                    None => timed_out = true,
+                }
+            }
+            if !timed_out {
+                continue;
+            }
+            // At least one slot missed the deadline: its server is slow,
+            // dead, or already replaced. If nobody has flipped the route
+            // yet, try to run recovery from right here — any handle holder
+            // may; the fleet single-flights it.
+            if self.route.epoch() == epoch {
+                if let Some(fleet) = &self.fleet {
+                    fleet.recover_dead_servers(ctx);
+                }
+            }
+            let now_epoch = self.route.epoch();
+            if now_epoch == epoch {
+                // Same epoch: merely slow (resend is deduplicated
+                // server-side) — or unreachable and unrecoverable, which
+                // must fail loudly rather than spin forever.
+                stale_attempts += 1;
+                assert!(
+                    stale_attempts < MAX_STALE_ATTEMPTS,
+                    "PS op tag {tag} on matrix {:?}: {stale_attempts} straight timeouts \
+                     with no route change; a server is unreachable and recovery could \
+                     not replace it",
+                    self.id,
+                );
+            } else {
+                // Replaced: the retry targets a fresh server.
+                stale_attempts = 0;
+                epoch = now_epoch;
+            }
+        }
+    }
+
+    /// Single-request form of [`MatrixHandle::ps_gather`].
+    fn ps_call<P: Any + Send + Clone>(
+        &self,
+        ctx: &mut SimCtx,
+        slot: usize,
+        tag: u32,
+        payload: P,
+        bytes: u64,
+    ) -> Envelope {
+        self.ps_gather(ctx, tag, vec![(slot, payload, bytes)])
+            .pop()
+            .expect("one reply for one request")
+    }
+
     // ---- row access: pull -------------------------------------------------
 
     /// Pull a full dense row, gathering segments from every server in
@@ -63,21 +187,21 @@ impl MatrixHandle {
         assert!(row < self.rows());
         match &self.plan.kind {
             PlanKind::Column { .. } => {
-                let ranges = self.plan.column_ranges();
-                let reqs = ranges
+                let reqs = self
+                    .plan
+                    .column_ranges()
                     .iter()
                     .map(|&(slot, _, _)| {
-                        let srv = self.route.resolve(slot);
                         let req = PullReq {
                             id: self.id,
                             row,
                             cols: ColsSel::All,
                             value_bytes: self.value_bytes,
                         };
-                        (srv, tags::PULL, Box::new(req) as Box<dyn Any + Send>, HDR)
+                        (slot, req, HDR)
                     })
                     .collect();
-                let replies = ctx.call_many(reqs);
+                let replies = self.ps_gather(ctx, tags::PULL, reqs);
                 let mut out = Vec::with_capacity(self.dim() as usize);
                 for env in replies {
                     let segs = env.downcast::<Vec<Vec<f64>>>();
@@ -89,14 +213,15 @@ impl MatrixHandle {
                 out
             }
             PlanKind::Row { .. } => {
-                let owner = self.route.resolve(self.plan.row_owner(row));
                 let req = PullReq {
                     id: self.id,
                     row,
                     cols: ColsSel::All,
                     value_bytes: self.value_bytes,
                 };
-                let segs: Vec<Vec<f64>> = ctx.call(owner, tags::PULL, req, HDR).downcast();
+                let segs: Vec<Vec<f64>> = self
+                    .ps_call(ctx, self.plan.row_owner(row), tags::PULL, req, HDR)
+                    .downcast();
                 segs.into_iter().flatten().collect()
             }
         }
@@ -111,7 +236,6 @@ impl MatrixHandle {
         }
         debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "cols must be sorted");
         if !self.is_column() {
-            let owner = self.route.resolve(self.plan.row_owner(row));
             let req = PullReq {
                 id: self.id,
                 row,
@@ -119,7 +243,9 @@ impl MatrixHandle {
                 value_bytes: self.value_bytes,
             };
             let bytes = HDR + 4 * cols.len() as u64;
-            return ctx.call(owner, tags::PULL, req, bytes).downcast();
+            return self
+                .ps_call(ctx, self.plan.row_owner(row), tags::PULL, req, bytes)
+                .downcast();
         }
         // Split by server range; cols are sorted so each chunk is contiguous.
         let mut reqs = Vec::new();
@@ -127,7 +253,6 @@ impl MatrixHandle {
         let ranges = self.plan.column_ranges();
         let mut i = 0usize;
         for &(slot, _lo, hi) in &ranges {
-            let srv = self.route.resolve(slot);
             let start = i;
             while i < cols.len() && cols[i] < hi {
                 i += 1;
@@ -141,11 +266,11 @@ impl MatrixHandle {
                     cols: ColsSel::List(Arc::new(chunk)),
                     value_bytes: self.value_bytes,
                 };
-                reqs.push((srv, tags::PULL, Box::new(req) as Box<dyn Any + Send>, bytes));
+                reqs.push((slot, req, bytes));
                 spans.push((start, i));
             }
         }
-        let replies = ctx.call_many(reqs);
+        let replies = self.ps_gather(ctx, tags::PULL, reqs);
         let mut out = vec![0.0; cols.len()];
         for (env, (start, end)) in replies.into_iter().zip(spans) {
             let values = env.downcast::<Vec<f64>>();
@@ -162,35 +287,31 @@ impl MatrixHandle {
             return Vec::new();
         }
         if !self.is_column() {
-            let owner = self.route.resolve(self.plan.row_owner(row));
             let req = PullReq {
                 id: self.id,
                 row,
                 cols: ColsSel::Range(lo, hi),
                 value_bytes: self.value_bytes,
             };
-            return ctx.call(owner, tags::PULL, req, HDR + 16).downcast();
+            return self
+                .ps_call(ctx, self.plan.row_owner(row), tags::PULL, req, HDR + 16)
+                .downcast();
         }
-        let pieces = self.plan.locate_range(lo, hi);
-        let reqs = pieces
-            .iter()
-            .map(|&(plo, phi, slot)| {
-                let srv = self.route.resolve(slot);
+        let reqs = self
+            .plan
+            .locate_range(lo, hi)
+            .into_iter()
+            .map(|(plo, phi, slot)| {
                 let req = PullReq {
                     id: self.id,
                     row,
                     cols: ColsSel::Range(plo, phi),
                     value_bytes: self.value_bytes,
                 };
-                (
-                    srv,
-                    tags::PULL,
-                    Box::new(req) as Box<dyn Any + Send>,
-                    HDR + 16,
-                )
+                (slot, req, HDR + 16)
             })
             .collect();
-        let replies = ctx.call_many(reqs);
+        let replies = self.ps_gather(ctx, tags::PULL, reqs);
         let mut out = Vec::with_capacity((hi - lo) as usize);
         for env in replies {
             out.extend(env.downcast::<Vec<f64>>());
@@ -211,7 +332,6 @@ impl MatrixHandle {
                     .column_ranges()
                     .into_iter()
                     .map(|(slot, lo, hi)| {
-                        let srv = self.route.resolve(slot);
                         let seg: Vec<f64> = values[lo as usize..hi as usize].to_vec();
                         let bytes = HDR + self.value_bytes * seg.len() as u64;
                         let req = PushReq {
@@ -221,14 +341,14 @@ impl MatrixHandle {
                                 lo,
                                 values: Arc::new(seg),
                             },
+                            op_id: ctx.alloc_reply_token(),
                         };
-                        (srv, tags::PUSH, Box::new(req) as Box<dyn Any + Send>, bytes)
+                        (slot, req, bytes)
                     })
                     .collect();
-                let _ = ctx.call_many(reqs);
+                let _ = self.ps_gather(ctx, tags::PUSH, reqs);
             }
             PlanKind::Row { .. } => {
-                let owner = self.route.resolve(self.plan.row_owner(row));
                 let bytes = HDR + self.value_bytes * values.len() as u64;
                 let req = PushReq {
                     id: self.id,
@@ -237,8 +357,9 @@ impl MatrixHandle {
                         lo: 0,
                         values: Arc::new(values.to_vec()),
                     },
+                    op_id: ctx.alloc_reply_token(),
                 };
-                let _ = ctx.call(owner, tags::PUSH, req, bytes);
+                let _ = self.ps_call(ctx, self.plan.row_owner(row), tags::PUSH, req, bytes);
             }
         }
     }
@@ -252,7 +373,6 @@ impl MatrixHandle {
             return;
         }
         if !self.is_column() {
-            let owner = self.route.resolve(self.plan.row_owner(row));
             let bytes = HDR + self.value_bytes * values.len() as u64;
             let req = PushReq {
                 id: self.id,
@@ -261,8 +381,9 @@ impl MatrixHandle {
                     lo,
                     values: Arc::new(values.to_vec()),
                 },
+                op_id: ctx.alloc_reply_token(),
             };
-            let _ = ctx.call(owner, tags::PUSH, req, bytes);
+            let _ = self.ps_call(ctx, self.plan.row_owner(row), tags::PUSH, req, bytes);
             return;
         }
         let reqs = self
@@ -270,9 +391,7 @@ impl MatrixHandle {
             .locate_range(lo, hi)
             .into_iter()
             .map(|(plo, phi, slot)| {
-                let srv = self.route.resolve(slot);
-                let seg: Vec<f64> =
-                    values[(plo - lo) as usize..(phi - lo) as usize].to_vec();
+                let seg: Vec<f64> = values[(plo - lo) as usize..(phi - lo) as usize].to_vec();
                 let bytes = HDR + self.value_bytes * seg.len() as u64;
                 let req = PushReq {
                     id: self.id,
@@ -281,11 +400,12 @@ impl MatrixHandle {
                         lo: plo,
                         values: Arc::new(seg),
                     },
+                    op_id: ctx.alloc_reply_token(),
                 };
-                (srv, tags::PUSH, Box::new(req) as Box<dyn Any + Send>, bytes)
+                (slot, req, bytes)
             })
             .collect();
-        let _ = ctx.call_many(reqs);
+        let _ = self.ps_gather(ctx, tags::PUSH, reqs);
     }
 
     /// Sparse additive push (`(column, delta)` pairs, sorted by column).
@@ -296,21 +416,20 @@ impl MatrixHandle {
         debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
         let per_pair = 4 + self.value_bytes;
         if !self.is_column() {
-            let owner = self.route.resolve(self.plan.row_owner(row));
             let bytes = HDR + per_pair * pairs.len() as u64;
             let req = PushReq {
                 id: self.id,
                 row,
                 data: PushData::Sparse(Arc::new(pairs.to_vec())),
+                op_id: ctx.alloc_reply_token(),
             };
-            let _ = ctx.call(owner, tags::PUSH, req, bytes);
+            let _ = self.ps_call(ctx, self.plan.row_owner(row), tags::PUSH, req, bytes);
             return;
         }
         let ranges = self.plan.column_ranges();
         let mut reqs = Vec::new();
         let mut i = 0usize;
         for &(slot, _lo, hi) in &ranges {
-            let srv = self.route.resolve(slot);
             let start = i;
             while i < pairs.len() && pairs[i].0 < hi {
                 i += 1;
@@ -322,11 +441,12 @@ impl MatrixHandle {
                     id: self.id,
                     row,
                     data: PushData::Sparse(Arc::new(chunk)),
+                    op_id: ctx.alloc_reply_token(),
                 };
-                reqs.push((srv, tags::PUSH, Box::new(req) as Box<dyn Any + Send>, bytes));
+                reqs.push((slot, req, bytes));
             }
         }
-        let _ = ctx.call_many(reqs);
+        let _ = self.ps_gather(ctx, tags::PUSH, reqs);
     }
 
     // ---- row access: aggregations -------------------------------------------
@@ -334,20 +454,20 @@ impl MatrixHandle {
     /// Row aggregation (`sum`, `nnz`, `norm2`, `max`) computed server-side;
     /// only one scalar per server crosses the network.
     pub fn agg(&self, ctx: &mut SimCtx, row: u32, kind: AggKind) -> f64 {
-        let servers = self.row_servers(row);
-        let reqs = servers
-            .iter()
-            .map(|&srv| {
+        let reqs = self
+            .row_slots(row)
+            .into_iter()
+            .map(|slot| {
                 let req = AggReq {
                     id: self.id,
                     row,
                     kind,
                 };
-                (srv, tags::AGG, Box::new(req) as Box<dyn Any + Send>, HDR)
+                (slot, req, HDR)
             })
             .collect();
-        let partials: Vec<f64> = ctx
-            .call_many(reqs)
+        let partials: Vec<f64> = self
+            .ps_gather(ctx, tags::AGG, reqs)
             .into_iter()
             .map(|env| env.downcast::<f64>())
             .collect();
@@ -374,19 +494,19 @@ impl MatrixHandle {
     /// Dot product of two rows of this matrix, computed server-side over
     /// co-located segments; only partial scalars travel.
     pub fn dot(&self, ctx: &mut SimCtx, row_a: u32, row_b: u32) -> f64 {
-        let servers = self.col_op_servers(&[row_a, row_b]);
-        let reqs = servers
-            .iter()
-            .map(|&srv| {
+        let reqs = self
+            .col_op_slots(&[row_a, row_b])
+            .into_iter()
+            .map(|slot| {
                 let req = DotReq {
                     id: self.id,
                     row_a,
                     row_b,
                 };
-                (srv, tags::DOT, Box::new(req) as Box<dyn Any + Send>, HDR)
+                (slot, req, HDR)
             })
             .collect();
-        ctx.call_many(reqs)
+        self.ps_gather(ctx, tags::DOT, reqs)
             .into_iter()
             .map(|env| env.downcast::<f64>())
             .sum()
@@ -394,60 +514,63 @@ impl MatrixHandle {
 
     /// `dst += alpha * src`, server-side.
     pub fn axpy(&self, ctx: &mut SimCtx, dst_row: u32, src_row: u32, alpha: f64) {
-        let servers = self.col_op_servers(&[dst_row, src_row]);
-        let reqs = servers
-            .iter()
-            .map(|&srv| {
+        let reqs = self
+            .col_op_slots(&[dst_row, src_row])
+            .into_iter()
+            .map(|slot| {
                 let req = AxpyReq {
                     id: self.id,
                     dst_row,
                     src_row,
                     alpha,
+                    op_id: ctx.alloc_reply_token(),
                 };
-                (srv, tags::AXPY, Box::new(req) as Box<dyn Any + Send>, HDR)
+                (slot, req, HDR)
             })
             .collect();
-        let _ = ctx.call_many(reqs);
+        let _ = self.ps_gather(ctx, tags::AXPY, reqs);
     }
 
     /// `dst = a op b`, element-wise, server-side.
     pub fn elem(&self, ctx: &mut SimCtx, dst_row: u32, a_row: u32, b_row: u32, op: ElemOp) {
-        let servers = self.col_op_servers(&[dst_row, a_row, b_row]);
-        let reqs = servers
-            .iter()
-            .map(|&srv| {
+        let reqs = self
+            .col_op_slots(&[dst_row, a_row, b_row])
+            .into_iter()
+            .map(|slot| {
                 let req = ElemReq {
                     id: self.id,
                     dst_row,
                     a_row,
                     b_row,
                     op,
+                    op_id: ctx.alloc_reply_token(),
                 };
-                (srv, tags::ELEM, Box::new(req) as Box<dyn Any + Send>, HDR)
+                (slot, req, HDR)
             })
             .collect();
-        let _ = ctx.call_many(reqs);
+        let _ = self.ps_gather(ctx, tags::ELEM, reqs);
     }
 
     /// Server-side multi-row update: on every server, `f` receives mutable
     /// co-located segments of `rows` (paper Figure 3's `zip(..).mapPartition`).
     /// `flops_per_elem` drives the simulated compute charge.
     pub fn zip(&self, ctx: &mut SimCtx, rows: &[u32], f: ZipMutFn, flops_per_elem: u64) {
-        let servers = self.col_op_servers(rows);
-        let reqs = servers
-            .iter()
-            .map(|&srv| {
+        let reqs = self
+            .col_op_slots(rows)
+            .into_iter()
+            .map(|slot| {
                 let req = ZipReq {
                     id: self.id,
                     rows: rows.to_vec(),
                     f: Arc::clone(&f),
                     flops_per_elem,
+                    op_id: ctx.alloc_reply_token(),
                 };
                 let bytes = HDR + 64; // UDF handle + row list
-                (srv, tags::ZIP, Box::new(req) as Box<dyn Any + Send>, bytes)
+                (slot, req, bytes)
             })
             .collect();
-        let _ = ctx.call_many(reqs);
+        let _ = self.ps_gather(ctx, tags::ZIP, reqs);
     }
 
     /// Server-side read-only fold over co-located segments: returns `f`'s
@@ -462,22 +585,21 @@ impl MatrixHandle {
         init: f64,
         combine: impl Fn(f64, f64) -> f64,
     ) -> f64 {
-        let servers = self.col_op_servers(rows);
-        let reqs = servers
-            .iter()
-            .map(|&srv| {
+        let reqs = self
+            .col_op_slots(rows)
+            .into_iter()
+            .map(|slot| {
                 let req = ZipMapReq {
                     id: self.id,
                     rows: rows.to_vec(),
                     f: Arc::clone(&f),
                     flops_per_elem,
                 };
-                let bytes = HDR + 64;
-                (srv, tags::ZIP_MAP, Box::new(req) as Box<dyn Any + Send>, bytes)
+                (slot, req, HDR + 64)
             })
             .collect();
         let mut acc = init;
-        for env in ctx.call_many(reqs) {
+        for env in self.ps_gather(ctx, tags::ZIP_MAP, reqs) {
             for p in env.downcast::<Vec<f64>>() {
                 acc = combine(acc, p);
             }
@@ -489,6 +611,10 @@ impl MatrixHandle {
     /// to its best `(score, global index)`; the overall best (max score,
     /// ties to the smaller index) is returned. GBDT split finding runs this
     /// over the gradient/hessian histograms (paper §5.2.3).
+    ///
+    /// Panics when every server returns an empty partial scan: there is no
+    /// argmax to pick, and silently returning a sentinel would let a bogus
+    /// split index flow into training.
     pub fn zip_argmax(
         &self,
         ctx: &mut SimCtx,
@@ -496,51 +622,54 @@ impl MatrixHandle {
         f: crate::protocol::ZipArgmaxFn,
         flops_per_elem: u64,
     ) -> (f64, u64) {
-        let servers = self.col_op_servers(rows);
-        let reqs = servers
-            .iter()
-            .map(|&srv| {
+        let reqs = self
+            .col_op_slots(rows)
+            .into_iter()
+            .map(|slot| {
                 let req = crate::protocol::ZipArgmaxReq {
                     id: self.id,
                     rows: rows.to_vec(),
                     f: Arc::clone(&f),
                     flops_per_elem,
                 };
-                let bytes = HDR + 64;
-                (
-                    srv,
-                    tags::ZIP_ARGMAX,
-                    Box::new(req) as Box<dyn Any + Send>,
-                    bytes,
-                )
+                (slot, req, HDR + 64)
             })
             .collect();
-        let mut best = (f64::NEG_INFINITY, u64::MAX);
-        for env in ctx.call_many(reqs) {
+        let mut best: Option<(f64, u64)> = None;
+        for env in self.ps_gather(ctx, tags::ZIP_ARGMAX, reqs) {
             for (score, idx) in env.downcast::<Vec<(f64, u64)>>() {
-                if score > best.0 || (score == best.0 && idx < best.1) {
-                    best = (score, idx);
-                }
+                best = match best {
+                    Some((bs, bi)) if !(score > bs || (score == bs && idx < bi)) => Some((bs, bi)),
+                    _ => Some((score, idx)),
+                };
             }
         }
-        best
+        best.unwrap_or_else(|| {
+            panic!(
+                "zip_argmax on matrix {:?}: every server returned an empty partial \
+                 scan, so there is no candidate to pick (empty matrix or broken scan \
+                 function?)",
+                self.id
+            )
+        })
     }
 
     /// Set every element of a row to `value`.
     pub fn fill(&self, ctx: &mut SimCtx, row: u32, value: f64) {
-        let servers = self.row_servers(row);
-        let reqs = servers
-            .iter()
-            .map(|&srv| {
+        let reqs = self
+            .row_slots(row)
+            .into_iter()
+            .map(|slot| {
                 let req = FillReq {
                     id: self.id,
                     row,
                     value,
+                    op_id: ctx.alloc_reply_token(),
                 };
-                (srv, tags::FILL, Box::new(req) as Box<dyn Any + Send>, HDR)
+                (slot, req, HDR)
             })
             .collect();
-        let _ = ctx.call_many(reqs);
+        let _ = self.ps_gather(ctx, tags::FILL, reqs);
     }
 
     pub fn zero(&self, ctx: &mut SimCtx, row: u32) {
@@ -549,19 +678,20 @@ impl MatrixHandle {
 
     /// `row *= alpha`, server-side.
     pub fn scale(&self, ctx: &mut SimCtx, row: u32, alpha: f64) {
-        let servers = self.row_servers(row);
-        let reqs = servers
-            .iter()
-            .map(|&srv| {
+        let reqs = self
+            .row_slots(row)
+            .into_iter()
+            .map(|slot| {
                 let req = ScaleReq {
                     id: self.id,
                     row,
                     alpha,
+                    op_id: ctx.alloc_reply_token(),
                 };
-                (srv, tags::SCALE, Box::new(req) as Box<dyn Any + Send>, HDR)
+                (slot, req, HDR)
             })
             .collect();
-        let _ = ctx.call_many(reqs);
+        let _ = self.ps_gather(ctx, tags::SCALE, reqs);
     }
 
     // ---- batched ops (DeepWalk's per-pair pattern, amortized) -------------------
@@ -573,25 +703,20 @@ impl MatrixHandle {
         if pairs.is_empty() {
             return Vec::new();
         }
-        let servers = self.col_op_servers(&[pairs[0].0]);
         let pairs_arc = Arc::new(pairs.to_vec());
         let req_bytes = HDR + 8 * pairs.len() as u64;
-        let reqs = servers
-            .iter()
-            .map(|&srv| {
+        let reqs = self
+            .col_op_slots(&[pairs[0].0])
+            .into_iter()
+            .map(|slot| {
                 let req = crate::protocol::DotBatchReq {
                     id: self.id,
                     pairs: Arc::clone(&pairs_arc),
                 };
-                (
-                    srv,
-                    tags::DOT_BATCH,
-                    Box::new(req) as Box<dyn Any + Send>,
-                    req_bytes,
-                )
+                (slot, req, req_bytes)
             })
             .collect();
-        let replies = ctx.call_many(reqs);
+        let replies = self.ps_gather(ctx, tags::DOT_BATCH, reqs);
         let mut out = vec![0.0; pairs.len()];
         for env in replies {
             for (acc, p) in out.iter_mut().zip(env.downcast::<Vec<f64>>()) {
@@ -604,36 +729,28 @@ impl MatrixHandle {
     /// Many independent server-side zips in one request per server. Each
     /// job's closure typically captures one scalar coefficient, accounted
     /// at 16 bytes per job on the wire.
-    pub fn zip_many(
-        &self,
-        ctx: &mut SimCtx,
-        jobs: Vec<(Vec<u32>, ZipMutFn)>,
-        flops_per_elem: u64,
-    ) {
+    pub fn zip_many(&self, ctx: &mut SimCtx, jobs: Vec<(Vec<u32>, ZipMutFn)>, flops_per_elem: u64) {
         if jobs.is_empty() {
             return;
         }
-        let servers = self.col_op_servers(&[jobs[0].0[0]]);
+        let first_row = jobs[0].0[0];
         let rows_total: u64 = jobs.iter().map(|(r, _)| r.len() as u64).sum();
         let req_bytes = HDR + 16 * jobs.len() as u64 + 4 * rows_total;
         let jobs_arc = Arc::new(jobs);
-        let reqs = servers
-            .iter()
-            .map(|&srv| {
+        let reqs = self
+            .col_op_slots(&[first_row])
+            .into_iter()
+            .map(|slot| {
                 let req = crate::protocol::ZipBatchReq {
                     id: self.id,
                     jobs: Arc::clone(&jobs_arc),
                     flops_per_elem,
+                    op_id: ctx.alloc_reply_token(),
                 };
-                (
-                    srv,
-                    tags::ZIP_BATCH,
-                    Box::new(req) as Box<dyn Any + Send>,
-                    req_bytes,
-                )
+                (slot, req, req_bytes)
             })
             .collect();
-        let _ = ctx.call_many(reqs);
+        let _ = self.ps_gather(ctx, tags::ZIP_BATCH, reqs);
     }
 
     /// Pull many full dense rows in one request per server. Result `i` is
@@ -643,34 +760,21 @@ impl MatrixHandle {
             return Vec::new();
         }
         assert!(self.is_column(), "pull_rows requires column partitioning");
-        let mut slots: Vec<usize> = self
-            .plan
-            .column_ranges()
-            .iter()
-            .map(|&(s, _, _)| s)
-            .collect();
-        slots.sort_unstable();
-        slots.dedup();
+        let slots = self.column_slots();
         let rows_arc = Arc::new(rows.to_vec());
         let req_bytes = HDR + 4 * rows.len() as u64;
         let reqs = slots
             .iter()
             .map(|&slot| {
-                let srv = self.route.resolve(slot);
                 let req = crate::protocol::PullRowsReq {
                     id: self.id,
                     rows: Arc::clone(&rows_arc),
                     value_bytes: self.value_bytes,
                 };
-                (
-                    srv,
-                    tags::PULL_ROWS,
-                    Box::new(req) as Box<dyn Any + Send>,
-                    req_bytes,
-                )
+                (slot, req, req_bytes)
             })
             .collect();
-        let replies = ctx.call_many(reqs);
+        let replies = self.ps_gather(ctx, tags::PULL_ROWS, reqs);
         let mut out: Vec<Vec<f64>> = vec![vec![0.0; self.dim() as usize]; rows.len()];
         for (&slot, env) in slots.iter().zip(replies) {
             let per_row = env.downcast::<Vec<Vec<Vec<f64>>>>();
@@ -690,13 +794,16 @@ impl MatrixHandle {
         if updates.is_empty() {
             return;
         }
-        assert!(self.is_column(), "push_dense_many requires column partitioning");
-        let ranges = self.plan.column_ranges();
+        assert!(
+            self.is_column(),
+            "push_dense_many requires column partitioning"
+        );
         let rows_arc = Arc::new(updates.iter().map(|(r, _)| *r).collect::<Vec<u32>>());
-        let reqs = ranges
+        let reqs = self
+            .plan
+            .column_ranges()
             .iter()
             .map(|&(slot, lo, hi)| {
-                let srv = self.route.resolve(slot);
                 let segs: Vec<Vec<f64>> = updates
                     .iter()
                     .map(|(_, values)| values[lo as usize..hi as usize].to_vec())
@@ -708,16 +815,12 @@ impl MatrixHandle {
                     rows: Arc::clone(&rows_arc),
                     lo,
                     segs: Arc::new(segs),
+                    op_id: ctx.alloc_reply_token(),
                 };
-                (
-                    srv,
-                    tags::PUSH_ROWS,
-                    Box::new(req) as Box<dyn Any + Send>,
-                    bytes,
-                )
+                (slot, req, bytes)
             })
             .collect();
-        let _ = ctx.call_many(reqs);
+        let _ = self.ps_gather(ctx, tags::PUSH_ROWS, reqs);
     }
 
     // ---- block access (LDA's by-column pattern) --------------------------------
@@ -737,7 +840,6 @@ impl MatrixHandle {
         let mut spans = Vec::new();
         let mut i = 0usize;
         for &(slot, _lo, hi) in &ranges {
-            let srv = self.route.resolve(slot);
             let start = i;
             while i < cols.len() && cols[i] < hi {
                 i += 1;
@@ -751,11 +853,11 @@ impl MatrixHandle {
                     cols: Arc::new(chunk),
                     value_bytes: self.value_bytes,
                 };
-                reqs.push((srv, tags::PULL_BLOCK, Box::new(req) as Box<dyn Any + Send>, bytes));
+                reqs.push((slot, req, bytes));
                 spans.push((start, i));
             }
         }
-        let replies = ctx.call_many(reqs);
+        let replies = self.ps_gather(ctx, tags::PULL_BLOCK, reqs);
         let mut out: Vec<Vec<f64>> = vec![Vec::new(); cols.len()];
         for (env, (start, end)) in replies.into_iter().zip(spans) {
             let block = env.downcast::<Vec<Vec<f64>>>();
@@ -780,7 +882,6 @@ impl MatrixHandle {
         let mut i = 0usize;
         let per_cell = self.value_bytes;
         for &(slot, _lo, hi) in &ranges {
-            let srv = self.route.resolve(slot);
             let start = i;
             while i < updates.len() && updates[i].0 < hi {
                 i += 1;
@@ -793,24 +894,23 @@ impl MatrixHandle {
                     id: self.id,
                     rows: Arc::clone(&rows_arc),
                     updates: Arc::new(chunk),
+                    op_id: ctx.alloc_reply_token(),
                 };
-                reqs.push((srv, tags::PUSH_BLOCK, Box::new(req) as Box<dyn Any + Send>, bytes));
+                reqs.push((slot, req, bytes));
             }
         }
-        let _ = ctx.call_many(reqs);
+        let _ = self.ps_gather(ctx, tags::PUSH_BLOCK, reqs);
     }
 
     /// Per-key block pulls: one request per column, all concurrently in
     /// flight (an *asynchronous* pull/push store's access pattern — no
     /// batched block protocol). Same result as [`MatrixHandle::pull_block`],
     /// different cost: per-request headers for every key.
-    pub fn pull_cols_per_key(
-        &self,
-        ctx: &mut SimCtx,
-        rows: &[u32],
-        cols: &[u64],
-    ) -> Vec<Vec<f64>> {
-        assert!(self.is_column(), "pull_cols_per_key requires column partitioning");
+    pub fn pull_cols_per_key(&self, ctx: &mut SimCtx, rows: &[u32], cols: &[u64]) -> Vec<Vec<f64>> {
+        assert!(
+            self.is_column(),
+            "pull_cols_per_key requires column partitioning"
+        );
         if cols.is_empty() {
             return Vec::new();
         }
@@ -818,22 +918,16 @@ impl MatrixHandle {
         let reqs = cols
             .iter()
             .map(|&c| {
-                let srv = self.route.resolve(self.plan.col_owner(c));
                 let req = PullBlockReq {
                     id: self.id,
                     rows: Arc::clone(&rows_arc),
                     cols: Arc::new(vec![c]),
                     value_bytes: self.value_bytes,
                 };
-                (
-                    srv,
-                    tags::PULL_BLOCK,
-                    Box::new(req) as Box<dyn Any + Send>,
-                    HDR + 4 + 4 * rows.len() as u64,
-                )
+                (self.plan.col_owner(c), req, HDR + 4 + 4 * rows.len() as u64)
             })
             .collect();
-        ctx.call_many(reqs)
+        self.ps_gather(ctx, tags::PULL_BLOCK, reqs)
             .into_iter()
             .map(|env| {
                 env.downcast::<Vec<Vec<f64>>>()
@@ -846,13 +940,11 @@ impl MatrixHandle {
 
     /// Per-key additive pushes, dual of [`MatrixHandle::pull_cols_per_key`]:
     /// one request per updated column, all concurrently in flight.
-    pub fn push_cols_per_key(
-        &self,
-        ctx: &mut SimCtx,
-        rows: &[u32],
-        updates: &[(u64, Vec<f64>)],
-    ) {
-        assert!(self.is_column(), "push_cols_per_key requires column partitioning");
+    pub fn push_cols_per_key(&self, ctx: &mut SimCtx, rows: &[u32], updates: &[(u64, Vec<f64>)]) {
+        assert!(
+            self.is_column(),
+            "push_cols_per_key requires column partitioning"
+        );
         if updates.is_empty() {
             return;
         }
@@ -861,22 +953,17 @@ impl MatrixHandle {
         let reqs = updates
             .iter()
             .map(|(c, deltas)| {
-                let srv = self.route.resolve(self.plan.col_owner(*c));
                 let bytes = HDR + 4 + per_cell * deltas.len() as u64;
                 let req = PushBlockReq {
                     id: self.id,
                     rows: Arc::clone(&rows_arc),
                     updates: Arc::new(vec![(*c, deltas.clone())]),
+                    op_id: ctx.alloc_reply_token(),
                 };
-                (
-                    srv,
-                    tags::PUSH_BLOCK,
-                    Box::new(req) as Box<dyn Any + Send>,
-                    bytes,
-                )
+                (self.plan.col_owner(*c), req, bytes)
             })
             .collect();
-        let _ = ctx.call_many(reqs);
+        let _ = self.ps_gather(ctx, tags::PUSH_BLOCK, reqs);
     }
 
     // ---- cross-matrix ops (the Figure 4 story) -----------------------------------
@@ -887,7 +974,9 @@ impl MatrixHandle {
     /// Misaligned: each of `self`'s servers fetches the matching remote
     /// segments before multiplying, paying the shuffle the paper's Figure 4
     /// warns about. Requests are issued sequentially to keep server↔server
-    /// fetches acyclic.
+    /// fetches acyclic. Retries re-resolve the *local* slot; a remote server
+    /// dying mid-fetch is out of scope for client-side recovery (the local
+    /// server blocks on it without a deadline).
     pub fn cross_dot(
         &self,
         ctx: &mut SimCtx,
@@ -899,9 +988,8 @@ impl MatrixHandle {
         assert!(self.is_column() && other.is_column());
         let mut acc = 0.0;
         for (slot, lo, hi) in self.plan.column_ranges() {
-            let srv = self.route.resolve(slot);
             let pieces = if self.colocated_with(other) {
-                vec![(lo, hi, srv)]
+                vec![(lo, hi, self.route.resolve(slot))]
             } else {
                 other
                     .plan
@@ -918,7 +1006,9 @@ impl MatrixHandle {
                 pieces,
                 value_bytes: other.value_bytes,
             };
-            let partial: f64 = ctx.call(srv, tags::CROSS_DOT, req, HDR + 24).downcast();
+            let partial: f64 = self
+                .ps_call(ctx, slot, tags::CROSS_DOT, req, HDR + 24)
+                .downcast();
             acc += partial;
         }
         acc
@@ -938,9 +1028,8 @@ impl MatrixHandle {
         assert_eq!(self.dim(), other.dim());
         assert!(self.is_column() && other.is_column());
         for (slot, lo, hi) in self.plan.column_ranges() {
-            let srv = self.route.resolve(slot);
             let pieces = if self.colocated_with(other) {
-                vec![(lo, hi, srv)]
+                vec![(lo, hi, self.route.resolve(slot))]
             } else {
                 other
                     .plan
@@ -957,41 +1046,124 @@ impl MatrixHandle {
                 op,
                 pieces,
                 value_bytes: other.value_bytes,
+                op_id: ctx.alloc_reply_token(),
             };
-            let _ = ctx.call(srv, tags::CROSS_ELEM, req, HDR + 24);
+            let _ = self.ps_call(ctx, slot, tags::CROSS_ELEM, req, HDR + 24);
         }
     }
 
     // ---- routing helpers -----------------------------------------------------
 
-    /// Servers that hold any part of `row`.
-    fn row_servers(&self, row: u32) -> Vec<ProcId> {
+    /// Slots owning any part of a column-partitioned matrix, sorted and
+    /// de-duplicated. `column_ranges()` is *column*-ordered — for rotated or
+    /// hand-built plans that is not slot-ordered, so a bare `dedup()` (which
+    /// only merges adjacent repeats) would leave duplicate slots and fan the
+    /// same request out twice.
+    fn column_slots(&self) -> Vec<usize> {
+        let mut slots: Vec<usize> = self
+            .plan
+            .column_ranges()
+            .iter()
+            .map(|&(s, _, _)| s)
+            .collect();
+        slots.sort_unstable();
+        slots.dedup();
+        slots
+    }
+
+    /// Slots that hold any part of `row`.
+    fn row_slots(&self, row: u32) -> Vec<usize> {
         match &self.plan.kind {
-            PlanKind::Column { .. } => {
-                let mut slots: Vec<usize> =
-                    self.plan.column_ranges().iter().map(|&(s, _, _)| s).collect();
-                slots.dedup();
-                slots.into_iter().map(|s| self.route.resolve(s)).collect()
-            }
-            PlanKind::Row { .. } => vec![self.route.resolve(self.plan.row_owner(row))],
+            PlanKind::Column { .. } => self.column_slots(),
+            PlanKind::Row { .. } => vec![self.plan.row_owner(row)],
         }
     }
 
-    /// Servers participating in a column op over `rows`; for row plans this
+    /// Slots participating in a column op over `rows`; for row plans this
     /// only works when all rows share one owner.
-    fn col_op_servers(&self, rows: &[u32]) -> Vec<ProcId> {
+    fn col_op_slots(&self, rows: &[u32]) -> Vec<usize> {
         match &self.plan.kind {
-            PlanKind::Column { .. } => self.row_servers(rows[0]),
+            PlanKind::Column { .. } => self.row_slots(rows[0]),
             PlanKind::Row { .. } => {
-                let owners: Vec<usize> =
-                    rows.iter().map(|&r| self.plan.row_owner(r)).collect();
+                let owners: Vec<usize> = rows.iter().map(|&r| self.plan.row_owner(r)).collect();
                 assert!(
                     owners.windows(2).all(|w| w[0] == w[1]),
                     "row-partitioned matrices only support column ops on co-owned rows \
                      (the single-point limitation of row partitioning, paper §4.3)"
                 );
-                vec![self.route.resolve(owners[0])]
+                vec![owners[0]]
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Partitioning;
+    use ps2_simnet::{SimBuilder, SimError};
+
+    fn bare_handle(plan: PartitionPlan, route: Arc<RouteTable>) -> MatrixHandle {
+        MatrixHandle {
+            id: MatrixId(1),
+            plan: Arc::new(plan),
+            route,
+            value_bytes: 8,
+            fleet: None,
+        }
+    }
+
+    #[test]
+    fn row_slots_are_sorted_and_unique_for_multi_range_plans() {
+        // Hand-built plan interleaving two slots over four ranges:
+        // column_ranges() yields slots [0, 1, 0, 1] in column order. A bare
+        // dedup() (no sort) used to keep all four, fanning each row op out
+        // to the same server twice.
+        let plan = PartitionPlan {
+            dim: 100,
+            rows: 1,
+            kind: PlanKind::Column {
+                boundaries: vec![0, 25, 50, 75, 100],
+                assign: vec![0, 1, 0, 1],
+            },
+        };
+        let h = bare_handle(plan, RouteTable::new(vec![ProcId(1), ProcId(2)]));
+        assert_eq!(h.row_slots(0), vec![0, 1]);
+        assert_eq!(h.col_op_slots(&[0]), vec![0, 1]);
+    }
+
+    #[test]
+    fn row_slots_on_rotated_plans_stay_sorted() {
+        let plan = PartitionPlan::new(90, 1, 3, Partitioning::ColumnRotated(1));
+        // column order visits slots [1, 2, 0]; the helper must not depend
+        // on visiting order.
+        let h = bare_handle(plan, RouteTable::new(vec![ProcId(1), ProcId(2), ProcId(3)]));
+        assert_eq!(h.row_slots(0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zip_argmax_with_no_candidates_panics_with_diagnosis() {
+        let mut sim = SimBuilder::new().seed(5).build();
+        // A "server" answering every scan with zero candidates — the shape
+        // that used to produce a silent (NEG_INFINITY, u64::MAX) sentinel.
+        let empty = sim.spawn_daemon("empty-server", |ctx| loop {
+            let env = ctx.recv();
+            ctx.reply(&env, Vec::<(f64, u64)>::new(), 16);
+        });
+        sim.spawn("driver", move |ctx| {
+            let plan = PartitionPlan::new(10, 1, 1, Partitioning::Column);
+            let h = bare_handle(plan, RouteTable::new(vec![empty]));
+            let f: crate::protocol::ZipArgmaxFn = Arc::new(|_, lo| (0.0, lo));
+            let _ = h.zip_argmax(ctx, &[0], f, 1);
+        });
+        match sim.run() {
+            Err(SimError::ProcPanic { message, .. }) => {
+                assert!(
+                    message.contains("zip_argmax"),
+                    "diagnostic must name the op, got: {message}"
+                );
+            }
+            other => panic!("expected a diagnosed panic, got {other:?}"),
         }
     }
 }

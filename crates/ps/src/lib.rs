@@ -30,7 +30,7 @@ mod protocol;
 mod server;
 
 pub use client::MatrixHandle;
-pub use master::{PsConfig, PsMaster};
+pub use master::{PsConfig, PsFleet, PsMaster};
 pub use plan::{MatrixId, PartitionPlan, Partitioning, PlanKind, RouteTable};
 pub use protocol::{AggKind, ElemOp, InitKind, ZipArgmaxFn, ZipMapFn, ZipMutFn, ZipSegs};
 pub use server::{deploy_ps, ps_server_main, storage_main};

@@ -4,7 +4,8 @@
 use std::any::Any;
 use std::sync::Arc;
 
-use ps2_simnet::{ProcId, SimCtx};
+use parking_lot::Mutex;
+use ps2_simnet::{LivenessProbe, ProcId, SimCtx, SimTime};
 
 use crate::client::MatrixHandle;
 use crate::plan::{MatrixId, PartitionPlan, Partitioning, RouteTable};
@@ -12,48 +13,200 @@ use crate::protocol::{tags, CheckpointReq, CreateReq, FreeReq, InitKind, Restore
 use crate::server::ps_server_main;
 
 /// Master-level configuration.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct PsConfig {
     /// Ship parameters as 4-byte floats (the paper's message-compression
     /// engineering, §6.3.3) instead of 8-byte doubles.
     pub compress: bool,
 }
 
+/// How long a liveness ping waits before a server is suspected dead.
+fn ping_timeout() -> SimTime {
+    SimTime::from_secs_f64(5.0)
+}
+
+#[derive(Clone, Copy, Default)]
+struct FleetStats {
+    recoveries: u64,
+    silent_reinits: u64,
+    respawns: u64,
+}
+
+/// Shared, recovery-capable view of the PS-server fleet.
+///
+/// Extracted from [`PsMaster`] so that *any* process noticing a dead server
+/// can replace it: the driver (from the scheduler's timeout branch, via
+/// [`LivenessProbe`]) and every PS-client holding a [`MatrixHandle`] (from a
+/// timed-out request). Recovery is single-flight: whoever wins the
+/// `in_recovery` try-lock performs it; everyone else backs off and retries
+/// their request once the [`RouteTable`] epoch advances.
+///
+/// Lock discipline: `matrices` and `stats` are held only for non-yielding
+/// metadata reads/writes. `in_recovery` *is* held across simulator yield
+/// points, which is safe only because it is exclusively `try_lock`ed —
+/// blocking on it from another simulated process would wedge the scheduler.
+pub struct PsFleet {
+    route: Arc<RouteTable>,
+    storage: ProcId,
+    /// Metadata replayed into replacement servers on recovery.
+    matrices: Mutex<Vec<(MatrixId, Arc<PartitionPlan>, InitKind)>>,
+    stats: Mutex<FleetStats>,
+    in_recovery: Mutex<()>,
+}
+
+impl PsFleet {
+    fn new(servers: Vec<ProcId>, storage: ProcId) -> PsFleet {
+        PsFleet {
+            route: RouteTable::new(servers),
+            storage,
+            matrices: Mutex::new(Vec::new()),
+            stats: Mutex::new(FleetStats::default()),
+            in_recovery: Mutex::new(()),
+        }
+    }
+
+    pub fn route(&self) -> Arc<RouteTable> {
+        Arc::clone(&self.route)
+    }
+
+    /// Servers replaced after failures.
+    pub fn recoveries(&self) -> u64 {
+        self.stats.lock().recoveries
+    }
+
+    /// Recoveries that found no checkpoint and fell back to re-initialized
+    /// parameters — the failure mode `recover_dead_servers` used to swallow.
+    pub fn silent_reinits(&self) -> u64 {
+        self.stats.lock().silent_reinits
+    }
+
+    /// Heartbeat every slot (protocol tag `PING`) and return the slots that
+    /// did not answer within the ping timeout: dead servers, or servers
+    /// stuck long enough to deserve a closer look.
+    pub fn ping_all(&self, ctx: &mut SimCtx) -> Vec<usize> {
+        let slots: Vec<usize> = (0..self.route.n_slots()).collect();
+        let reqs: Vec<_> = slots
+            .iter()
+            .map(|&slot| {
+                (
+                    self.route.resolve(slot),
+                    tags::PING,
+                    Box::new(()) as Box<dyn Any + Send>,
+                    8u64,
+                )
+            })
+            .collect();
+        let deadline = ctx.now() + ping_timeout();
+        let replies = ctx.call_many_deadline(reqs, deadline);
+        slots
+            .into_iter()
+            .zip(replies)
+            .filter(|(_, r)| r.is_none())
+            .map(|(slot, _)| slot)
+            .collect()
+    }
+
+    /// Detect dead servers and replace each with a fresh process whose state
+    /// is rebuilt from matrix metadata plus the latest checkpoint. The route
+    /// table flips to the replacement (bumping the recovery epoch) only
+    /// after it is fully initialized, so a concurrent client never reaches a
+    /// half-built server. Returns the slots recovered; empty when nothing is
+    /// dead *or* when another process is already mid-recovery.
+    pub fn recover_dead_servers(&self, ctx: &mut SimCtx) -> Vec<usize> {
+        let Some(_guard) = self.in_recovery.try_lock() else {
+            return Vec::new();
+        };
+        let mut recovered = Vec::new();
+        for slot in 0..self.route.n_slots() {
+            if ctx.is_alive(self.route.resolve(slot)) {
+                continue;
+            }
+            let respawn = {
+                let mut stats = self.stats.lock();
+                stats.respawns += 1;
+                stats.respawns
+            };
+            let name = format!("ps-server-{slot}r{respawn}");
+            let fresh = ctx.spawn_daemon(&name, ps_server_main);
+            // Replay metadata, then load checkpointed values.
+            let metas: Vec<_> = self.matrices.lock().clone();
+            for (id, plan, init) in &metas {
+                let req = CreateReq {
+                    id: *id,
+                    plan: Arc::clone(plan),
+                    init: init.clone(),
+                    slot,
+                };
+                let _: () = ctx.call(fresh, tags::CREATE, req, 96).downcast();
+            }
+            let req = RestoreReq {
+                storage: self.storage,
+                key: slot as u64,
+            };
+            let restored: bool = ctx.call(fresh, tags::RESTORE, req, 48).downcast();
+            {
+                let mut stats = self.stats.lock();
+                stats.recoveries += 1;
+                if !restored {
+                    stats.silent_reinits += 1;
+                }
+            }
+            self.route.set(slot, fresh);
+            recovered.push(slot);
+        }
+        recovered
+    }
+}
+
+impl LivenessProbe for PsFleet {
+    /// Scheduler hook: heartbeat the fleet, and when any slot misses the
+    /// ping deadline, run dead-server recovery. Counts replaced servers.
+    fn probe(&self, ctx: &mut SimCtx) -> u64 {
+        if self.ping_all(ctx).is_empty() {
+            return 0;
+        }
+        self.recover_dead_servers(ctx).len() as u64
+    }
+}
 
 /// Coordinator-side manager of the parameter-server fleet.
 pub struct PsMaster {
-    route: Arc<RouteTable>,
-    storage: ProcId,
+    fleet: Arc<PsFleet>,
     next_id: u64,
-    /// Metadata replayed into replacement servers on recovery.
-    matrices: Vec<(MatrixId, Arc<PartitionPlan>, InitKind)>,
     pub config: PsConfig,
-    /// Servers replaced after failures.
-    pub recoveries: u64,
-    respawn_counter: u64,
 }
 
 impl PsMaster {
     pub fn new(servers: Vec<ProcId>, storage: ProcId, config: PsConfig) -> PsMaster {
         assert!(!servers.is_empty(), "need at least one PS-server");
         PsMaster {
-            route: RouteTable::new(servers),
-            storage,
+            fleet: Arc::new(PsFleet::new(servers, storage)),
             next_id: 1,
-            matrices: Vec::new(),
             config,
-            recoveries: 0,
-            respawn_counter: 0,
         }
     }
 
     pub fn n_servers(&self) -> usize {
-        self.route.n_slots()
+        self.fleet.route.n_slots()
     }
 
     pub fn route(&self) -> Arc<RouteTable> {
-        Arc::clone(&self.route)
+        self.fleet.route()
+    }
+
+    /// The shared fleet view (register it as a scheduler liveness probe).
+    pub fn fleet(&self) -> Arc<PsFleet> {
+        Arc::clone(&self.fleet)
+    }
+
+    /// Servers replaced after failures.
+    pub fn recoveries(&self) -> u64 {
+        self.fleet.recoveries()
+    }
+
+    /// Recoveries that found no checkpoint to restore from.
+    pub fn silent_reinits(&self) -> u64 {
+        self.fleet.silent_reinits()
     }
 
     fn value_bytes(&self) -> u64 {
@@ -75,41 +228,22 @@ impl PsMaster {
     ) -> MatrixHandle {
         let id = MatrixId(self.next_id);
         self.next_id += 1;
-        let plan = Arc::new(PartitionPlan::new(
-            dim,
-            rows,
-            self.route.n_slots(),
-            partitioning,
-        ));
-        self.matrices.push((id, Arc::clone(&plan), init.clone()));
-        self.create_on_servers(ctx, id, &plan, &init, None);
-        MatrixHandle {
-            id,
-            plan,
-            route: Arc::clone(&self.route),
-            value_bytes: self.value_bytes(),
-        }
-    }
-
-    fn create_on_servers(
-        &self,
-        ctx: &mut SimCtx,
-        id: MatrixId,
-        plan: &Arc<PartitionPlan>,
-        init: &InitKind,
-        only_slot: Option<usize>,
-    ) {
-        let reqs: Vec<_> = (0..self.route.n_slots())
-            .filter(|s| only_slot.is_none_or(|o| o == *s))
+        let route = self.fleet.route();
+        let plan = Arc::new(PartitionPlan::new(dim, rows, route.n_slots(), partitioning));
+        self.fleet
+            .matrices
+            .lock()
+            .push((id, Arc::clone(&plan), init.clone()));
+        let reqs: Vec<_> = (0..route.n_slots())
             .map(|slot| {
                 let req = CreateReq {
                     id,
-                    plan: Arc::clone(plan),
+                    plan: Arc::clone(&plan),
                     init: init.clone(),
                     slot,
                 };
                 (
-                    self.route.resolve(slot),
+                    route.resolve(slot),
                     tags::CREATE,
                     Box::new(req) as Box<dyn Any + Send>,
                     96,
@@ -117,16 +251,27 @@ impl PsMaster {
             })
             .collect();
         let _ = ctx.call_many(reqs);
+        MatrixHandle {
+            id,
+            plan,
+            route,
+            value_bytes: self.value_bytes(),
+            fleet: Some(Arc::clone(&self.fleet)),
+        }
     }
 
     /// Release a matrix on all servers.
     pub fn free_matrix(&mut self, ctx: &mut SimCtx, handle: &MatrixHandle) {
-        self.matrices.retain(|(id, _, _)| *id != handle.id);
-        let reqs = (0..self.route.n_slots())
+        self.fleet
+            .matrices
+            .lock()
+            .retain(|(id, _, _)| *id != handle.id);
+        let route = self.fleet.route();
+        let reqs = (0..route.n_slots())
             .map(|slot| {
                 let req = FreeReq { id: handle.id };
                 (
-                    self.route.resolve(slot),
+                    route.resolve(slot),
                     tags::FREE,
                     Box::new(req) as Box<dyn Any + Send>,
                     32u64,
@@ -139,14 +284,15 @@ impl PsMaster {
     /// Checkpoint every server's shards to the reliable external storage
     /// (paper §5.3 "periodically checkpoints the model parameters").
     pub fn checkpoint_all(&mut self, ctx: &mut SimCtx) {
-        let reqs = (0..self.route.n_slots())
+        let route = self.fleet.route();
+        let reqs = (0..route.n_slots())
             .map(|slot| {
                 let req = CheckpointReq {
-                    storage: self.storage,
+                    storage: self.fleet.storage,
                     key: slot as u64,
                 };
                 (
-                    self.route.resolve(slot),
+                    route.resolve(slot),
                     tags::CHECKPOINT,
                     Box::new(req) as Box<dyn Any + Send>,
                     48u64,
@@ -161,28 +307,6 @@ impl PsMaster {
     /// the shared route table so existing handles keep working. Returns the
     /// slots recovered.
     pub fn recover_dead_servers(&mut self, ctx: &mut SimCtx) -> Vec<usize> {
-        let mut recovered = Vec::new();
-        for slot in 0..self.route.n_slots() {
-            if ctx.is_alive(self.route.resolve(slot)) {
-                continue;
-            }
-            self.respawn_counter += 1;
-            self.recoveries += 1;
-            let name = format!("ps-server-{slot}r{}", self.respawn_counter);
-            let fresh = ctx.spawn_daemon(&name, ps_server_main);
-            self.route.set(slot, fresh);
-            // Replay metadata, then load checkpointed values.
-            let metas: Vec<_> = self.matrices.clone();
-            for (id, plan, init) in &metas {
-                self.create_on_servers(ctx, *id, plan, init, Some(slot));
-            }
-            let req = RestoreReq {
-                storage: self.storage,
-                key: slot as u64,
-            };
-            let _restored: bool = ctx.call(fresh, tags::RESTORE, req, 48).downcast();
-            recovered.push(slot);
-        }
-        recovered
+        self.fleet.recover_dead_servers(ctx)
     }
 }

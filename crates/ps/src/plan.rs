@@ -6,6 +6,7 @@
 //! every outstanding [`crate::MatrixHandle`] transparently reaches the
 //! replacement — the PS-master's "routing tables for PS-clients" of §5.1.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -168,12 +169,19 @@ impl PartitionPlan {
 /// Shared slot → process routing, updated by the master on recovery.
 pub struct RouteTable {
     slots: RwLock<Vec<ProcId>>,
+    /// Recovery epoch: bumped on every [`RouteTable::set`]. A client whose
+    /// request timed out compares epochs to tell a *slow* server (epoch
+    /// unchanged — keep waiting / resend to the same process) from a
+    /// *replaced* one (epoch advanced — re-resolve and retry the new
+    /// process).
+    epoch: AtomicU64,
 }
 
 impl RouteTable {
     pub fn new(servers: Vec<ProcId>) -> Arc<RouteTable> {
         Arc::new(RouteTable {
             slots: RwLock::new(servers),
+            epoch: AtomicU64::new(0),
         })
     }
 
@@ -182,7 +190,14 @@ impl RouteTable {
     }
 
     pub fn set(&self, slot: usize, id: ProcId) {
-        self.slots.write()[slot] = id;
+        let mut slots = self.slots.write();
+        slots[slot] = id;
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Current recovery epoch (see the field docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
     }
 
     pub fn n_slots(&self) -> usize {
@@ -268,5 +283,16 @@ mod tests {
         rt.set(1, ProcId(9));
         assert_eq!(rt.resolve(1), ProcId(9));
         assert_eq!(rt.n_slots(), 2);
+    }
+
+    #[test]
+    fn route_table_epoch_advances_on_every_replacement() {
+        let rt = RouteTable::new(vec![ProcId(1), ProcId(2)]);
+        assert_eq!(rt.epoch(), 0);
+        rt.set(0, ProcId(7));
+        assert_eq!(rt.epoch(), 1);
+        rt.set(0, ProcId(8));
+        rt.set(1, ProcId(9));
+        assert_eq!(rt.epoch(), 3);
     }
 }

@@ -32,6 +32,8 @@ pub(crate) mod tags {
     pub const ZIP_BATCH: u32 = 31;
     pub const PULL_ROWS: u32 = 32;
     pub const PUSH_ROWS: u32 = 33;
+    /// Liveness heartbeat: servers answer immediately with `()`.
+    pub const PING: u32 = 34;
     pub const STORE_PUT: u32 = 40;
     pub const STORE_GET: u32 = 41;
 }
@@ -42,7 +44,11 @@ pub enum InitKind {
     Zero,
     Const(f64),
     /// Uniform in `[lo, hi)`, deterministic in `(seed, row, column)`.
-    Uniform { lo: f64, hi: f64, seed: u64 },
+    Uniform {
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    },
 }
 
 /// Row-access aggregations (paper Table 1: `sum`, `nnz`, `norm2`).
@@ -113,6 +119,7 @@ pub(crate) struct FreeReq {
 }
 
 /// Column selector for pulls, pre-filtered to the receiving server.
+#[derive(Clone)]
 pub(crate) enum ColsSel {
     /// All columns this server owns.
     All,
@@ -122,6 +129,7 @@ pub(crate) enum ColsSel {
     List(Arc<Vec<u64>>),
 }
 
+#[derive(Clone)]
 pub(crate) struct PullReq {
     pub id: MatrixId,
     pub row: u32,
@@ -130,6 +138,7 @@ pub(crate) struct PullReq {
     pub value_bytes: u64,
 }
 
+#[derive(Clone)]
 pub(crate) enum PushData {
     /// Dense values for `[lo, lo + values.len())`.
     DenseSeg { lo: u64, values: Arc<Vec<f64>> },
@@ -137,47 +146,66 @@ pub(crate) enum PushData {
     Sparse(Arc<Vec<(u64, f64)>>),
 }
 
+#[derive(Clone)]
 pub(crate) struct PushReq {
     pub id: MatrixId,
     pub row: u32,
     pub data: PushData,
+    /// Attempt id of the logical update, allocated once per client op and
+    /// reused verbatim on timeout retries. Servers remember recently applied
+    /// `(matrix, op_id)` pairs and skip duplicates, so a retry that races a
+    /// slow-but-alive server does not double-apply the delta. Every mutating
+    /// request carries one.
+    pub op_id: u64,
 }
 
+#[derive(Clone)]
 pub(crate) struct AggReq {
     pub id: MatrixId,
     pub row: u32,
     pub kind: AggKind,
 }
 
+#[derive(Clone)]
 pub(crate) struct DotReq {
     pub id: MatrixId,
     pub row_a: u32,
     pub row_b: u32,
 }
 
+#[derive(Clone)]
 pub(crate) struct AxpyReq {
     pub id: MatrixId,
     pub dst_row: u32,
     pub src_row: u32,
     pub alpha: f64,
+    /// See [`PushReq::op_id`].
+    pub op_id: u64,
 }
 
+#[derive(Clone)]
 pub(crate) struct ElemReq {
     pub id: MatrixId,
     pub dst_row: u32,
     pub a_row: u32,
     pub b_row: u32,
     pub op: ElemOp,
+    /// See [`PushReq::op_id`].
+    pub op_id: u64,
 }
 
+#[derive(Clone)]
 pub(crate) struct ZipReq {
     pub id: MatrixId,
     pub rows: Vec<u32>,
     pub f: ZipMutFn,
     /// Cost model: flops charged per column element touched.
     pub flops_per_elem: u64,
+    /// See [`PushReq::op_id`].
+    pub op_id: u64,
 }
 
+#[derive(Clone)]
 pub(crate) struct ZipMapReq {
     pub id: MatrixId,
     pub rows: Vec<u32>,
@@ -185,6 +213,7 @@ pub(crate) struct ZipMapReq {
     pub flops_per_elem: u64,
 }
 
+#[derive(Clone)]
 pub(crate) struct ZipArgmaxReq {
     pub id: MatrixId,
     pub rows: Vec<u32>,
@@ -194,19 +223,24 @@ pub(crate) struct ZipArgmaxReq {
 
 /// A batch of row-pair dot products in one request (the Angel-style batched
 /// psFunc: DeepWalk issues one of these per server per mini-batch).
+#[derive(Clone)]
 pub(crate) struct DotBatchReq {
     pub id: MatrixId,
     pub pairs: Arc<Vec<(u32, u32)>>,
 }
 
 /// A batch of independent zips in one request.
+#[derive(Clone)]
 pub(crate) struct ZipBatchReq {
     pub id: MatrixId,
     pub jobs: Arc<Vec<(Vec<u32>, ZipMutFn)>>,
     pub flops_per_elem: u64,
+    /// See [`PushReq::op_id`].
+    pub op_id: u64,
 }
 
 /// Pull many full rows (this server's segments) in one request.
+#[derive(Clone)]
 pub(crate) struct PullRowsReq {
     pub id: MatrixId,
     pub rows: Arc<Vec<u32>>,
@@ -215,27 +249,37 @@ pub(crate) struct PullRowsReq {
 
 /// Dense additive push of many rows' segments in one request.
 /// `segs[i]` covers `[lo, hi)` of `rows[i]` on this server.
+#[derive(Clone)]
 pub(crate) struct PushRowsReq {
     pub id: MatrixId,
     pub rows: Arc<Vec<u32>>,
     pub lo: u64,
     pub segs: Arc<Vec<Vec<f64>>>,
+    /// See [`PushReq::op_id`].
+    pub op_id: u64,
 }
 
+#[derive(Clone)]
 pub(crate) struct FillReq {
     pub id: MatrixId,
     pub row: u32,
     pub value: f64,
+    /// See [`PushReq::op_id`].
+    pub op_id: u64,
 }
 
+#[derive(Clone)]
 pub(crate) struct ScaleReq {
     pub id: MatrixId,
     pub row: u32,
     pub alpha: f64,
+    /// See [`PushReq::op_id`].
+    pub op_id: u64,
 }
 
 /// Pull a `rows × cols` block (LDA's by-word access pattern: all topic rows
 /// of a set of word columns, served by one server thanks to co-location).
+#[derive(Clone)]
 pub(crate) struct PullBlockReq {
     pub id: MatrixId,
     pub rows: Arc<Vec<u32>>,
@@ -243,11 +287,14 @@ pub(crate) struct PullBlockReq {
     pub value_bytes: u64,
 }
 
+#[derive(Clone)]
 pub(crate) struct PushBlockReq {
     pub id: MatrixId,
     pub rows: Arc<Vec<u32>>,
     /// `(column, deltas-per-row)` — deltas aligned with `rows`.
     pub updates: Arc<Vec<(u64, Vec<f64>)>>,
+    /// See [`PushReq::op_id`].
+    pub op_id: u64,
 }
 
 /// Server-to-server segment fetch (cross-matrix ops on misaligned plans).
@@ -261,6 +308,7 @@ pub(crate) struct FetchSegReq {
 
 /// Dot between a local row and a remote (misaligned) matrix's row. The
 /// client pre-computed where each local piece lives remotely.
+#[derive(Clone)]
 pub(crate) struct CrossDotReq {
     pub local_id: MatrixId,
     pub local_row: u32,
@@ -273,6 +321,7 @@ pub(crate) struct CrossDotReq {
 
 /// `dst = dst op remote_src` for misaligned matrices; the local server
 /// fetches the remote pieces.
+#[derive(Clone)]
 pub(crate) struct CrossElemReq {
     pub dst_id: MatrixId,
     pub dst_row: u32,
@@ -281,6 +330,8 @@ pub(crate) struct CrossElemReq {
     pub op: ElemOp,
     pub pieces: Vec<(u64, u64, ProcId)>,
     pub value_bytes: u64,
+    /// See [`PushReq::op_id`].
+    pub op_id: u64,
 }
 
 pub(crate) struct CheckpointReq {

@@ -1,6 +1,6 @@
 //! PS-server and checkpoint-storage processes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use ps2_simnet::{Envelope, ProcId, SimCtx, SimRuntime, SimTime};
@@ -58,9 +58,7 @@ impl Shard {
                     .map(|row| {
                         ranges
                             .iter()
-                            .map(|&(lo, hi)| {
-                                (lo..hi).map(|c| init_value(init, row, c)).collect()
-                            })
+                            .map(|&(lo, hi)| (lo..hi).map(|c| init_value(init, row, c)).collect())
                             .collect()
                     })
                     .collect();
@@ -77,9 +75,7 @@ impl Shard {
                     .collect();
                 let data = owned_rows
                     .iter()
-                    .map(|&row| {
-                        vec![(0..plan.dim).map(|c| init_value(init, row, c)).collect()]
-                    })
+                    .map(|&row| vec![(0..plan.dim).map(|c| init_value(init, row, c)).collect()])
                     .collect();
                 let dim = plan.dim;
                 Shard {
@@ -137,17 +133,121 @@ impl Shard {
     }
 }
 
-/// The PS-server loop: stores shards, executes row- and column-access ops.
-pub fn ps_server_main(ctx: &mut SimCtx) {
-    let mut shards: HashMap<MatrixId, Shard> = HashMap::new();
-    loop {
-        let env = ctx.recv();
-        handle(ctx, &mut shards, env);
+/// Bounded memory of recently applied mutating op ids.
+///
+/// A client whose push timed out resends it with the same op id; if the
+/// original was in fact applied (the server was slow, not dead), the server
+/// recognizes the duplicate here, skips the re-apply, and still acknowledges
+/// success. The memory is bounded (FIFO eviction), which is safe because a
+/// retry of op `k` can only race the handful of ops in flight around `k` —
+/// never something [`OP_LOG_CAP`] mutations in the past. A *replacement*
+/// server starts with an empty log, so an update that was applied by the
+/// dead server *and* retried against the replacement lands twice; that
+/// bounded double-push window is the documented recovery tolerance.
+struct OpLog {
+    seen: HashSet<(MatrixId, u64)>,
+    order: VecDeque<(MatrixId, u64)>,
+}
+
+const OP_LOG_CAP: usize = 4096;
+
+impl OpLog {
+    fn new() -> OpLog {
+        OpLog {
+            seen: HashSet::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// True when `(id, op_id)` was already applied; records it otherwise.
+    fn check_and_record(&mut self, id: MatrixId, op_id: u64) -> bool {
+        let key = (id, op_id);
+        if self.seen.contains(&key) {
+            return true;
+        }
+        if self.order.len() == OP_LOG_CAP {
+            let oldest = self.order.pop_front().expect("cap > 0");
+            self.seen.remove(&oldest);
+        }
+        self.order.push_back(key);
+        self.seen.insert(key);
+        false
     }
 }
 
-fn handle(ctx: &mut SimCtx, shards: &mut HashMap<MatrixId, Shard>, env: Envelope) {
+/// The `(matrix, op_id)` dedup key of a mutating request; `None` for
+/// read-only requests, which are harmless to re-execute.
+fn mutation_key(env: &Envelope) -> Option<(MatrixId, u64)> {
+    match env.tag {
+        tags::PUSH => {
+            let r: &PushReq = env.downcast_ref();
+            Some((r.id, r.op_id))
+        }
+        tags::AXPY => {
+            let r: &crate::protocol::AxpyReq = env.downcast_ref();
+            Some((r.id, r.op_id))
+        }
+        tags::ELEM => {
+            let r: &ElemReq = env.downcast_ref();
+            Some((r.id, r.op_id))
+        }
+        tags::ZIP => {
+            let r: &ZipReq = env.downcast_ref();
+            Some((r.id, r.op_id))
+        }
+        tags::ZIP_BATCH => {
+            let r: &crate::protocol::ZipBatchReq = env.downcast_ref();
+            Some((r.id, r.op_id))
+        }
+        tags::PUSH_ROWS => {
+            let r: &crate::protocol::PushRowsReq = env.downcast_ref();
+            Some((r.id, r.op_id))
+        }
+        tags::FILL => {
+            let r: &FillReq = env.downcast_ref();
+            Some((r.id, r.op_id))
+        }
+        tags::SCALE => {
+            let r: &ScaleReq = env.downcast_ref();
+            Some((r.id, r.op_id))
+        }
+        tags::PUSH_BLOCK => {
+            let r: &PushBlockReq = env.downcast_ref();
+            Some((r.id, r.op_id))
+        }
+        tags::CROSS_ELEM => {
+            let r: &CrossElemReq = env.downcast_ref();
+            Some((r.dst_id, r.op_id))
+        }
+        _ => None,
+    }
+}
+
+/// The PS-server loop: stores shards, executes row- and column-access ops.
+pub fn ps_server_main(ctx: &mut SimCtx) {
+    let mut shards: HashMap<MatrixId, Shard> = HashMap::new();
+    let mut oplog = OpLog::new();
+    loop {
+        let env = ctx.recv();
+        handle(ctx, &mut shards, &mut oplog, env);
+    }
+}
+
+fn handle(
+    ctx: &mut SimCtx,
+    shards: &mut HashMap<MatrixId, Shard>,
+    oplog: &mut OpLog,
+    env: Envelope,
+) {
     let me = ctx.id();
+    if let Some((id, op_id)) = mutation_key(&env) {
+        if oplog.check_and_record(id, op_id) {
+            // Duplicate of an update this server already applied (the client
+            // timed out and resent): acknowledge without re-applying.
+            ctx.reply(&env, (), 8);
+            return;
+        }
+    }
     match env.tag {
         tags::CREATE => {
             let req: &CreateReq = env.downcast_ref();
@@ -408,7 +508,11 @@ fn handle(ctx: &mut SimCtx, shards: &mut HashMap<MatrixId, Shard>, env: Envelope
                 out.push(segs);
             }
             ctx.charge_mem(n * 8);
-            ctx.reply(&env, out, 16 + 4 * req.rows.len() as u64 + n * req.value_bytes);
+            ctx.reply(
+                &env,
+                out,
+                16 + 4 * req.rows.len() as u64 + n * req.value_bytes,
+            );
         }
         tags::PUSH_ROWS => {
             let req: &crate::protocol::PushRowsReq = env.downcast_ref();
@@ -466,7 +570,11 @@ fn handle(ctx: &mut SimCtx, shards: &mut HashMap<MatrixId, Shard>, env: Envelope
                 .collect();
             let n = (req.cols.len() * req.rows.len()) as u64;
             ctx.charge_mem(n * 16);
-            ctx.reply(&env, block, 16 + n * req.value_bytes + 4 * req.cols.len() as u64);
+            ctx.reply(
+                &env,
+                block,
+                16 + n * req.value_bytes + 4 * req.cols.len() as u64,
+            );
         }
         tags::PUSH_BLOCK => {
             let req: &PushBlockReq = env.downcast_ref();
@@ -585,13 +693,20 @@ fn handle(ctx: &mut SimCtx, shards: &mut HashMap<MatrixId, Shard>, env: Envelope
                 shards: shard_data,
                 bytes,
             });
-            let _ = ctx.call(storage, tags::STORE_PUT, StorePutReq { key, snapshot }, bytes);
+            let _ = ctx.call(
+                storage,
+                tags::STORE_PUT,
+                StorePutReq { key, snapshot },
+                bytes,
+            );
             ctx.reply(&env, (), 8);
         }
         tags::RESTORE => {
             let req: &RestoreReq = env.downcast_ref();
             let (storage, key) = (req.storage, req.key);
-            let resp: StoreGetResp = ctx.call(storage, tags::STORE_GET, StoreGetReq { key }, 16).downcast();
+            let resp: StoreGetResp = ctx
+                .call(storage, tags::STORE_GET, StoreGetReq { key }, 16)
+                .downcast();
             let restored = match resp {
                 StoreGetResp::Found(snapshot) => {
                     for (id, data) in &snapshot.shards {
@@ -604,6 +719,12 @@ fn handle(ctx: &mut SimCtx, shards: &mut HashMap<MatrixId, Shard>, env: Envelope
                 StoreGetResp::Missing => false,
             };
             ctx.reply(&env, restored, 8);
+        }
+        tags::PING => {
+            // Liveness heartbeat: answer immediately. A server stuck in a
+            // long op answers late, which the prober treats the same as any
+            // slow reply; only a dead server never answers.
+            ctx.reply(&env, (), 8);
         }
         other => panic!("ps-server: unknown tag {other}"),
     }
@@ -693,4 +814,75 @@ pub fn deploy_ps(sim: &mut SimRuntime, n: usize, disk_bytes_per_sec: f64) -> (Ve
         .collect();
     let storage = sim.spawn_daemon("ps-storage", storage_main(disk_bytes_per_sec));
     (servers, storage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Partitioning;
+    use crate::protocol::{ColsSel, PullReq, PushData, PushReq};
+    use ps2_simnet::SimBuilder;
+
+    #[test]
+    fn op_log_recognizes_duplicates() {
+        let mut log = OpLog::new();
+        let id = MatrixId(1);
+        assert!(!log.check_and_record(id, 7));
+        assert!(log.check_and_record(id, 7));
+        assert!(!log.check_and_record(MatrixId(2), 7));
+        assert!(!log.check_and_record(id, 8));
+    }
+
+    #[test]
+    fn op_log_evicts_oldest_at_capacity() {
+        let mut log = OpLog::new();
+        let id = MatrixId(1);
+        for op in 0..OP_LOG_CAP as u64 {
+            assert!(!log.check_and_record(id, op));
+        }
+        // One past capacity evicts the oldest entry (op 0)...
+        assert!(!log.check_and_record(id, OP_LOG_CAP as u64));
+        // ...so op 0 is forgotten, while the newest entry is remembered.
+        assert!(!log.check_and_record(id, 0));
+        assert!(log.check_and_record(id, OP_LOG_CAP as u64));
+    }
+
+    #[test]
+    fn duplicate_push_is_applied_once() {
+        let mut sim = SimBuilder::new().seed(3).build();
+        let server = sim.spawn_daemon("ps-server-0", ps_server_main);
+        let out = sim.spawn_collect("driver", move |ctx| {
+            let plan = Arc::new(PartitionPlan::new(8, 1, 1, Partitioning::Column));
+            let create = CreateReq {
+                id: MatrixId(1),
+                plan: Arc::clone(&plan),
+                init: InitKind::Zero,
+                slot: 0,
+            };
+            let _: () = ctx.call(server, tags::CREATE, create, 96).downcast();
+            let push = PushReq {
+                id: MatrixId(1),
+                row: 0,
+                data: PushData::DenseSeg {
+                    lo: 0,
+                    values: Arc::new(vec![1.0; 8]),
+                },
+                op_id: 77,
+            };
+            // Same op id twice — the model of a client retry racing a slow
+            // server. Both must be acknowledged; only one may be applied.
+            let _: () = ctx.call(server, tags::PUSH, push.clone(), 48).downcast();
+            let _: () = ctx.call(server, tags::PUSH, push, 48).downcast();
+            let pull = PullReq {
+                id: MatrixId(1),
+                row: 0,
+                cols: ColsSel::All,
+                value_bytes: 8,
+            };
+            let segs: Vec<Vec<f64>> = ctx.call(server, tags::PULL, pull, 48).downcast();
+            segs[0][0]
+        });
+        sim.run().unwrap();
+        assert_eq!(out.take(), 1.0);
+    }
 }

@@ -191,9 +191,7 @@ fn zip_map_folds_partials_with_combiner() {
         let sm = h.zip_map(
             ctx,
             &[0, 1],
-            Arc::new(|segs: &[&[f64]], _lo| {
-                segs[0].iter().zip(segs[1]).map(|(a, b)| a + b).sum()
-            }),
+            Arc::new(|segs: &[&[f64]], _lo| segs[0].iter().zip(segs[1]).map(|(a, b)| a + b).sum()),
             1,
             0.0,
             |a, b| a + b,
@@ -212,9 +210,12 @@ fn block_ops_serve_lda_access_pattern() {
         h.push_block(
             ctx,
             &rows,
-            &[(2, vec![1.0, 2.0, 3.0, 4.0]), (29, vec![9.0, 0.0, 0.0, 1.0])],
+            &[
+                (2, vec![1.0, 2.0, 3.0, 4.0]),
+                (29, vec![9.0, 0.0, 0.0, 1.0]),
+            ],
         );
-        
+
         h.pull_block(ctx, &rows, &[2, 5, 29])
     });
     assert_eq!(got[0], vec![1.0, 2.0, 3.0, 4.0]);
@@ -321,7 +322,7 @@ fn checkpoint_and_restore_recover_server_state() {
         let slots = m.recover_dead_servers(ctx);
         let row0 = h.pull_row(ctx, 0);
         let row1 = h.pull_row(ctx, 1);
-        (slots, row0, row1, m.recoveries)
+        (slots, row0, row1, m.recoveries())
     });
     assert_eq!(got.0, vec![1]);
     // Row contents equal the checkpointed values everywhere.
@@ -335,6 +336,22 @@ fn checkpoint_and_restore_recover_server_state() {
 }
 
 #[test]
+fn checkpointed_recovery_reports_no_silent_reinit() {
+    let got = with_ps(3, 9, |ctx, m| {
+        let h = dense(ctx, m, 90, 1);
+        h.fill(ctx, 0, 2.0);
+        m.checkpoint_all(ctx);
+        ctx.kill(h.route.resolve(1));
+        ctx.advance(SimTime::from_millis(1));
+        m.recover_dead_servers(ctx);
+        (h.pull_row(ctx, 0), m.recoveries(), m.silent_reinits())
+    });
+    assert_eq!(got.0, vec![2.0; 90]);
+    assert_eq!(got.1, 1);
+    assert_eq!(got.2, 0, "a checkpointed restore is not a re-init");
+}
+
+#[test]
 fn recovery_without_checkpoint_reinitializes() {
     let got = with_ps(2, 9, |ctx, m| {
         let h = dense(ctx, m, 20, 1);
@@ -343,11 +360,57 @@ fn recovery_without_checkpoint_reinitializes() {
         ctx.kill(victim);
         ctx.advance(SimTime::from_millis(1));
         m.recover_dead_servers(ctx);
-        h.pull_row(ctx, 0)
+        (h.pull_row(ctx, 0), m.recoveries(), m.silent_reinits())
     });
     // Slot 0's half is re-initialized to zero; slot 1's half survives.
-    assert_eq!(&got[0..10], &[0.0; 10]);
-    assert_eq!(&got[10..20], &[5.0; 10]);
+    assert_eq!(&got.0[0..10], &[0.0; 10]);
+    assert_eq!(&got.0[10..20], &[5.0; 10]);
+    // The restore found nothing in storage: that must be *visible*, not a
+    // silently discarded RestoreReq result.
+    assert_eq!((got.1, got.2), (1, 1));
+}
+
+#[test]
+fn client_request_to_a_dead_server_triggers_recovery_and_retries() {
+    // Nobody calls recover_dead_servers explicitly: the pull itself times
+    // out, runs fleet recovery through the handle, re-resolves the slot and
+    // retries against the replacement.
+    let got = with_ps(3, 9, |ctx, m| {
+        let h = dense(ctx, m, 90, 1);
+        let vals: Vec<f64> = (0..90).map(|i| i as f64).collect();
+        h.push_dense(ctx, 0, &vals);
+        m.checkpoint_all(ctx);
+        ctx.kill(h.route.resolve(1));
+        let before = ctx.now();
+        let row = h.pull_row(ctx, 0);
+        (row, vals, m.recoveries(), ctx.now() - before)
+    });
+    assert_eq!(got.0, got.1, "retried pull must return the full row");
+    assert_eq!(got.2, 1, "the client itself must have recovered the server");
+    assert!(
+        got.3 >= SimTime::from_secs_f64(10.0),
+        "recovery is reached through the attempt deadline, got {:?}",
+        got.3
+    );
+}
+
+#[test]
+fn client_push_retry_after_server_loss_is_not_double_applied() {
+    // A push whose target dies mid-operation is retried; the op-id dedup
+    // plus checkpoint restore must leave each surviving delta applied
+    // exactly once on the replacement.
+    let got = with_ps(2, 9, |ctx, m| {
+        let h = dense(ctx, m, 20, 1);
+        h.fill(ctx, 0, 1.0);
+        m.checkpoint_all(ctx);
+        ctx.kill(h.route.resolve(1));
+        // This push times out on slot 1, recovers the server (restoring the
+        // all-ones checkpoint) and resends the slot-1 segment.
+        h.push_dense(ctx, 0, &[1.0; 20]);
+        (h.pull_row(ctx, 0), m.recoveries())
+    });
+    assert_eq!(got.0, vec![2.0; 20], "exactly one application per element");
+    assert_eq!(got.1, 1);
 }
 
 #[test]

@@ -119,7 +119,13 @@ impl SimCtx {
 
     /// Synchronous call: send a request, block for the matching reply.
     /// Unrelated messages arriving meanwhile stay queued.
-    pub fn call<P: Any + Send>(&mut self, dst: ProcId, tag: u32, payload: P, bytes: u64) -> Envelope {
+    pub fn call<P: Any + Send>(
+        &mut self,
+        dst: ProcId,
+        tag: u32,
+        payload: P,
+        bytes: u64,
+    ) -> Envelope {
         let corr = self.shared.next_corr();
         self.shared
             .send_env(self.me.0, dst, tag, corr, false, Box::new(payload), bytes);
@@ -167,7 +173,51 @@ impl SimCtx {
             pending.retain(|&c| c != env.corr);
             replies[idx] = Some(env);
         }
-        replies.into_iter().map(|e| e.expect("missing reply")).collect()
+        replies
+            .into_iter()
+            .map(|e| e.expect("missing reply"))
+            .collect()
+    }
+
+    /// Deadline-aware scatter-gather: like [`SimCtx::call_many`], but gives
+    /// up waiting once the virtual clock reaches `deadline`. Slot `i` of the
+    /// result is `None` when request `i`'s reply had not arrived by then —
+    /// either the peer is dead (mail to dead processes is dropped, so the
+    /// reply will never come) or merely slow. A late reply stays queued
+    /// under its own correlation id and can never be mistaken for another
+    /// call's; receive loops using [`SimCtx::recv`] should skip stray
+    /// replies via [`Envelope::is_reply`].
+    pub fn call_many_deadline(
+        &mut self,
+        requests: Vec<(ProcId, u32, Box<dyn Any + Send>, u64)>,
+        deadline: SimTime,
+    ) -> Vec<Option<Envelope>> {
+        let n = requests.len();
+        let mut corr_order = Vec::with_capacity(n);
+        for (dst, tag, payload, bytes) in requests {
+            let corr = self.shared.next_corr();
+            corr_order.push(corr);
+            self.shared
+                .send_env(self.me.0, dst, tag, corr, false, payload, bytes);
+        }
+        let mut pending = corr_order.clone();
+        let mut replies: Vec<Option<Envelope>> = (0..n).map(|_| None).collect();
+        while !pending.is_empty() {
+            let Some(env) = self.shared.block_recv(
+                self.me.0,
+                MatchSpec::Replies(pending.clone()),
+                Some(deadline),
+            ) else {
+                break;
+            };
+            let idx = corr_order
+                .iter()
+                .position(|&c| c == env.corr)
+                .expect("unknown correlation id");
+            pending.retain(|&c| c != env.corr);
+            replies[idx] = Some(env);
+        }
+        replies
     }
 
     /// Low-level request send: like [`SimCtx::call`] but non-blocking;

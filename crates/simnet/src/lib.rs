@@ -54,6 +54,7 @@
 mod config;
 mod ctx;
 mod message;
+mod probe;
 mod report;
 mod runtime;
 mod time;
@@ -61,6 +62,7 @@ mod time;
 pub use config::{ComputeConfig, NetConfig, SimConfig};
 pub use ctx::SimCtx;
 pub use message::{Envelope, WireSize};
+pub use probe::LivenessProbe;
 pub use report::{ProcStats, SimReport, TraceEvent};
 pub use runtime::{OutputSlot, ProcId, SimBuilder, SimError, SimRuntime};
 pub use time::SimTime;

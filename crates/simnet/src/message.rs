@@ -29,6 +29,14 @@ pub struct Envelope {
 }
 
 impl Envelope {
+    /// Whether this envelope is the reply half of an RPC rather than a fresh
+    /// request. Receive-anything server loops should skip stray replies —
+    /// e.g. a reply from a slow peer arriving after the caller already timed
+    /// out, re-resolved its route, and retried elsewhere.
+    pub fn is_reply(&self) -> bool {
+        self.is_reply
+    }
+
     /// Borrow the payload as `T`, panicking with a diagnostic on mismatch.
     pub fn downcast_ref<T: 'static>(&self) -> &T {
         self.payload.downcast_ref::<T>().unwrap_or_else(|| {

@@ -1,0 +1,20 @@
+//! Pluggable liveness probing.
+//!
+//! A scheduler that times out waiting for replies cannot, on its own, tell
+//! whether its *own* workers died or some dependency they talk to (e.g. a
+//! parameter-server shard) did. Subsystems that know how to check and repair
+//! their own processes implement [`LivenessProbe`]; the scheduler runs every
+//! registered probe from its timeout branch and counts recoveries as
+//! progress. The trait lives in the simulator crate so that consumers (the
+//! dataflow scheduler) and implementors (the PS fleet) need not depend on
+//! each other.
+
+use crate::ctx::SimCtx;
+
+/// A dependency-liveness check run from a scheduler's timeout branch.
+pub trait LivenessProbe: Send + Sync {
+    /// Inspect the subsystem's processes and recover any that died.
+    /// Returns the number of recoveries performed; `0` means the subsystem
+    /// saw nothing wrong (or another process is already mid-recovery).
+    fn probe(&self, ctx: &mut SimCtx) -> u64;
+}

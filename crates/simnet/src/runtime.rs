@@ -176,7 +176,12 @@ fn describe_blocked(st: &State) -> String {
     let mut parts = Vec::new();
     for p in &st.procs {
         if let Status::Blocked { .. } = p.status {
-            parts.push(format!("'{}'@{} (mailbox {})", p.name, p.clock, p.mailbox.len()));
+            parts.push(format!(
+                "'{}'@{} (mailbox {})",
+                p.name,
+                p.clock,
+                p.mailbox.len()
+            ));
         }
     }
     if parts.is_empty() {
@@ -269,6 +274,7 @@ impl Shared {
         st.corr
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn send_env(
         &self,
         me: usize,
@@ -405,8 +411,7 @@ impl Shared {
                         self.cv.notify_all();
                     } else {
                         let live = st.live;
-                        let desc =
-                            format!("{} live non-daemons; {}", live, describe_blocked(&st));
+                        let desc = format!("{} live non-daemons; {}", live, describe_blocked(&st));
                         self.fail(&mut st, SimError::Deadlock(desc));
                     }
                     panic::panic_any(Interrupt);
@@ -443,7 +448,8 @@ impl Shared {
     ) -> ProcId {
         let mut st = self.state.lock();
         let id = st.procs.len();
-        st.procs.push(Proc::new(name.to_string(), daemon, start_clock));
+        st.procs
+            .push(Proc::new(name.to_string(), daemon, start_clock));
         st.nic_out_free.push(SimTime::ZERO);
         st.nic_in_free.push(SimTime::ZERO);
         if !daemon {

@@ -108,9 +108,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [SimTime::from_millis(2),
+        let mut v = [
+            SimTime::from_millis(2),
             SimTime::ZERO,
-            SimTime::from_micros(1)];
+            SimTime::from_micros(1),
+        ];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[2], SimTime::from_millis(2));

@@ -98,11 +98,7 @@ fn fanout_from_one_sender_serializes_on_sender_nic() {
         }
     });
     sim.run().unwrap();
-    let last = arrivals
-        .iter()
-        .map(|s| s.take())
-        .max()
-        .unwrap();
+    let last = arrivals.iter().map(|s| s.take()).max().unwrap();
     assert!(last >= SimTime::from_millis(10 * w));
 }
 

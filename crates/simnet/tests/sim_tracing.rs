@@ -23,17 +23,31 @@ fn trace_records_sends_recvs_compute_and_finishes() {
         .filter(|e| matches!(e, TraceEvent::Send { .. }))
         .collect();
     assert_eq!(sends.len(), 1);
-    if let TraceEvent::Send { src, dst, tag, bytes, .. } = sends[0] {
+    if let TraceEvent::Send {
+        src,
+        dst,
+        tag,
+        bytes,
+        ..
+    } = sends[0]
+    {
         assert_eq!((*src, *dst, *tag, *bytes), (ProcId(1), ProcId(0), 7, 64));
     }
-    assert!(report
-        .trace
-        .iter()
-        .any(|e| matches!(e, TraceEvent::Recv { proc: ProcId(0), tag: 7, .. })));
-    assert!(report
-        .trace
-        .iter()
-        .any(|e| matches!(e, TraceEvent::Compute { proc: ProcId(0), .. })));
+    assert!(report.trace.iter().any(|e| matches!(
+        e,
+        TraceEvent::Recv {
+            proc: ProcId(0),
+            tag: 7,
+            ..
+        }
+    )));
+    assert!(report.trace.iter().any(|e| matches!(
+        e,
+        TraceEvent::Compute {
+            proc: ProcId(0),
+            ..
+        }
+    )));
     let finishes = report
         .trace
         .iter()

@@ -31,10 +31,7 @@ fn main() {
         let w = ps2.dense_dcv(ctx, gen.dim, 1);
         let expected_batch = gen.rows as f64 * 0.05;
 
-        let step = |ctx: &mut ps2::SimCtx,
-                        ps2: &mut ps2::Ps2Context,
-                        t: u64|
-         -> f64 {
+        let step = |ctx: &mut ps2::SimCtx, ps2: &mut ps2::Ps2Context, t: u64| -> f64 {
             let batch = data.sample(0.05, t);
             let wd = w.clone();
             let results = ps2

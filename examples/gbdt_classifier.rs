@@ -34,7 +34,10 @@ fn main() {
         });
         println!("\n== {} ==", trace.label);
         for (i, (secs, loss)) in trace.points.iter().enumerate() {
-            println!("  tree {:>2}: logloss {loss:.4}   ({secs:.1}s simulated)", i + 1);
+            println!(
+                "  tree {:>2}: logloss {loss:.4}   ({secs:.1}s simulated)",
+                i + 1
+            );
         }
         // Use the model: classify the first few examples.
         let mut correct = 0;

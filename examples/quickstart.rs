@@ -23,10 +23,7 @@ fn main() {
         // ---- load data as an RDD (paper Figure 3, lines 1-2) ----------
         let gen = SparseDatasetGen::new(20_000, 100_000, 20, 20, 7);
         let g2 = gen.clone();
-        let data = ps2
-            .spark
-            .source(20, move |p, _w| g2.partition(p))
-            .cache();
+        let data = ps2.spark.source(20, move |p, _w| g2.partition(p)).cache();
         let n = ps2.spark.count(ctx, &data);
         println!("loaded {n} examples over 20 partitions");
 
@@ -79,7 +76,9 @@ fn main() {
             weight.zip(&[&square, &velocity, &gradient]).map_partitions(
                 ctx,
                 Arc::new(move |zs: &mut ZipSegs<'_>| {
-                    let [w, s, v, g] = &mut zs.segs[..] else { unreachable!() };
+                    let [w, s, v, g] = &mut zs.segs[..] else {
+                        unreachable!()
+                    };
                     let (bc1, bc2) = (1.0 - beta1.powi(t), 1.0 - beta2.powi(t));
                     for i in 0..w.len() {
                         s[i] = beta1 * s[i] + (1.0 - beta1) * g[i] * g[i];

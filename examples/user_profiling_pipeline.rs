@@ -118,8 +118,11 @@ fn main() {
                 )
                 .expect("training stage failed");
             // Server-side FTRL step over [w, z, n, g].
-            w.zip(&[&z, &nacc, &g])
-                .map_partitions(ctx, opt.zip_fn(1.0, t as i32), opt.flops_per_elem());
+            w.zip(&[&z, &nacc, &g]).map_partitions(
+                ctx,
+                opt.zip_fn(1.0, t as i32),
+                opt.flops_per_elem(),
+            );
             let (loss_sum, n) = results
                 .into_iter()
                 .fold((0.0, 0u64), |(l, c), (li, ci)| (l + li, c + ci));
@@ -142,9 +145,7 @@ fn main() {
                             let margin: f64 = ex
                                 .features
                                 .iter()
-                                .map(|&(j, v)| {
-                                    wv[cols.binary_search(&j).unwrap()] * v
-                                })
+                                .map(|&(j, v)| wv[cols.binary_search(&j).unwrap()] * v)
                                 .sum();
                             (margin, ex.label)
                         })
@@ -166,9 +167,7 @@ fn main() {
             println!("  iter {i:>2}: loss {loss:.4}  ({secs:.2}s simulated)");
         }
     }
-    println!(
-        "\nAUC = {auc_value:.3}; FTRL kept {model_nnz}/{dim} weights non-zero (L1 sparsity)"
-    );
+    println!("\nAUC = {auc_value:.3}; FTRL kept {model_nnz}/{dim} weights non-zero (L1 sparsity)");
     println!(
         "whole pipeline: {} simulated, {:?} wall, {:.1} MB moved",
         report.virtual_time,

@@ -223,7 +223,10 @@ fn main() {
                 ..GbdtHyper::default()
             };
             run_ps2(spec, seed, move |ctx, ps2| {
-                let cfg = GbdtConfig { dataset: gen, hyper };
+                let cfg = GbdtConfig {
+                    dataset: gen,
+                    hyper,
+                };
                 train_gbdt(ctx, ps2, &cfg, gb_backend).0
             })
         }
