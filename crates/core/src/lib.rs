@@ -53,5 +53,6 @@ pub use ps2_ps::{
     ZipMapFn, ZipMutFn, ZipSegs,
 };
 pub use ps2_simnet::{
-    ComputeConfig, NetConfig, ProcId, SimBuilder, SimConfig, SimCtx, SimReport, SimRuntime, SimTime,
+    ComputeConfig, MetricsSnapshot, NetConfig, OpRow, ProcId, RunReport, SimBuilder, SimConfig,
+    SimCtx, SimReport, SimRuntime, SimTime, VtHistogram,
 };

@@ -122,9 +122,12 @@ pub fn executor_main(ctx: &mut SimCtx) {
             tags::TASK => {
                 let spec: &Arc<TaskSpec> = env.downcast_ref();
                 let spec = Arc::clone(spec);
+                ctx.trace_mark("executor.task.start");
+                ctx.metric_add("executor.tasks", 1);
                 ctx.charge_task_overhead();
                 if spec.failure_prob > 0.0 && ctx.rng().gen::<f64>() < spec.failure_prob {
                     ctx.advance(spec.failure_waste);
+                    ctx.metric_add("executor.task_failures", 1);
                     ctx.reply(&env, TaskResult::Failed, 16);
                     continue;
                 }

@@ -326,26 +326,33 @@ impl SparkContext {
         jobs: Vec<TaskJob>,
     ) -> Result<Vec<Box<dyn Any + Send>>, JobError> {
         let n = jobs.len();
+        let job_start = ctx.now();
+        ctx.metric_add("spark.jobs", 1);
+        ctx.trace_mark("spark.job.submit");
         let mut results: Vec<Option<Box<dyn Any + Send>>> = (0..n).map(|_| None).collect();
         let mut attempts = vec![0u32; n];
-        // corr -> (partition, executor index)
-        let mut pending: HashMap<u64, (usize, usize)> = HashMap::new();
+        // corr -> (partition, executor index, dispatch time)
+        let mut pending: HashMap<u64, (usize, usize, SimTime)> = HashMap::new();
 
-        let dispatch = |sc: &mut SparkContext,
-                        ctx: &mut SimCtx,
-                        part: usize,
-                        pending: &mut HashMap<u64, (usize, usize)>| {
-            let exec_idx = part % sc.executors.len();
-            sc.ensure_alive(ctx, exec_idx);
-            let spec = Arc::new(TaskSpec {
-                job: Arc::clone(&jobs[part]),
-                partition: part,
-                failure_prob: sc.failure.task_failure_prob,
-                failure_waste: sc.failure.failure_waste,
-            });
-            let corr = ctx.send_request(sc.executors[exec_idx], tags::TASK, spec, sc.task_bytes);
-            pending.insert(corr, (part, exec_idx));
-        };
+        let dispatch =
+            |sc: &mut SparkContext,
+             ctx: &mut SimCtx,
+             part: usize,
+             pending: &mut HashMap<u64, (usize, usize, SimTime)>| {
+                let exec_idx = part % sc.executors.len();
+                sc.ensure_alive(ctx, exec_idx);
+                let spec = Arc::new(TaskSpec {
+                    job: Arc::clone(&jobs[part]),
+                    partition: part,
+                    failure_prob: sc.failure.task_failure_prob,
+                    failure_waste: sc.failure.failure_waste,
+                });
+                ctx.metric_add("spark.tasks_dispatched", 1);
+                ctx.trace_mark("spark.task.start");
+                let corr =
+                    ctx.send_request(sc.executors[exec_idx], tags::TASK, spec, sc.task_bytes);
+                pending.insert(corr, (part, exec_idx, ctx.now()));
+            };
 
         for part in 0..n {
             dispatch(self, ctx, part, &mut pending);
@@ -358,14 +365,20 @@ impl SparkContext {
             match ctx.recv_reply(&corrs, Some(deadline)) {
                 Some(env) => {
                     fruitless_polls = 0;
-                    let (part, _exec_idx) = pending
+                    let (part, _exec_idx, dispatched_at) = pending
                         .remove(&env.corr)
                         .expect("reply for unknown correlation id");
+                    ctx.metric_observe("spark.task.latency", ctx.now() - dispatched_at);
                     match env.downcast::<TaskResult>() {
-                        TaskResult::Ok(value) => results[part] = Some(value),
+                        TaskResult::Ok(value) => {
+                            ctx.trace_mark("spark.task.finish");
+                            results[part] = Some(value);
+                        }
                         TaskResult::Failed => {
                             attempts[part] += 1;
                             self.task_retries += 1;
+                            ctx.metric_add("spark.task_retries", 1);
+                            ctx.trace_mark("spark.task.retry");
                             if attempts[part] >= self.failure.max_task_attempts {
                                 return Err(JobError::TaskRetriesExhausted {
                                     partition: part,
@@ -382,18 +395,23 @@ impl SparkContext {
                     // (a worker mid-PS-request never replies to the driver),
                     // so run the registered dependency probes first — they
                     // recover what they own and report whether they did.
+                    ctx.metric_add("spark.liveness_polls", 1);
                     let mut recovered = 0u64;
                     for probe in &self.probes {
+                        ctx.metric_add("spark.probe_firings", 1);
+                        ctx.trace_mark("spark.probe.fire");
                         recovered += probe.probe(ctx);
                     }
+                    ctx.metric_add("spark.probe_recoveries", recovered);
                     // Then find tasks whose executor died and resend.
                     let stale: Vec<(u64, usize)> = pending
                         .iter()
-                        .filter(|(_, (_, e))| !ctx.is_alive(self.executors[*e]))
-                        .map(|(&corr, &(part, _))| (corr, part))
+                        .filter(|(_, (_, e, _))| !ctx.is_alive(self.executors[*e]))
+                        .map(|(&corr, &(part, _, _))| (corr, part))
                         .collect();
                     let redispatched = !stale.is_empty();
                     for (corr, part) in stale {
+                        ctx.metric_add("spark.task_redispatches", 1);
                         pending.remove(&corr);
                         dispatch(self, ctx, part, &mut pending);
                     }
@@ -414,6 +432,8 @@ impl SparkContext {
                 }
             }
         }
+        ctx.metric_observe("spark.job.latency", ctx.now() - job_start);
+        ctx.trace_mark("spark.job.finish");
         Ok(results
             .into_iter()
             .map(|r| r.expect("missing task result"))

@@ -70,6 +70,7 @@ pub fn train_lbfgs(ctx: &mut SimCtx, ps2: &mut Ps2Context, cfg: &LbfgsConfig) ->
     let start = ctx.now();
 
     for t in 1..=cfg.iterations {
+        let it0 = ctx.now();
         // Gradient phase: workers push the batch gradient into g.
         g.zero(ctx);
         let batch = if cfg.batch_fraction >= 1.0 {
@@ -154,6 +155,8 @@ pub fn train_lbfgs(ctx: &mut SimCtx, ps2: &mut Ps2Context, cfg: &LbfgsConfig) ->
         cursor = (cursor + 1) % m;
         filled = (filled + 1).min(m);
 
+        ctx.metric_add("ml.iterations", 1);
+        ctx.metric_observe("ml.iteration", ctx.now() - it0);
         trace.record(start, ctx.now(), loss_sum / n.max(1) as f64);
     }
     trace

@@ -4,7 +4,7 @@
 
 use ps2_core::{Dcv, Ps2Context, Rdd, WorkCtx};
 use ps2_data::{Example, SparseDatasetGen};
-use ps2_simnet::{SimCtx, SimTime};
+use ps2_simnet::SimCtx;
 
 use crate::hyper::LrHyper;
 use crate::metrics::{StepBreakdown, TrainingTrace};
@@ -248,6 +248,8 @@ fn train_spark_driver(
         breakdown.gradient_calc += max_compute;
         breakdown.aggregation += ((t2 - t1).as_secs_f64() - max_compute).max(0.0);
         breakdown.model_update += (t3 - t2).as_secs_f64();
+        ctx.metric_add("ml.iterations", 1);
+        ctx.metric_observe("ml.iteration", ctx.now() - t0);
         trace.record(start, ctx.now(), loss_sum / (n.max(1) as f64));
     }
     let iters = cfg.iterations.max(1) as f64;
@@ -310,6 +312,7 @@ fn train_ps_family(
 
     let start = ctx.now();
     for t in 1..=cfg.iterations {
+        let it0 = ctx.now();
         let batch = data.sample(cfg.hyper.mini_batch_fraction, t as u64);
         let wd = w.clone();
         let gd = g.clone();
@@ -444,6 +447,8 @@ fn train_ps_family(
             loss_sum += loss;
             n += cnt;
         }
+        ctx.metric_add("ml.iterations", 1);
+        ctx.metric_observe("ml.iteration", ctx.now() - it0);
         trace.record(start, ctx.now(), loss_sum / (n.max(1) as f64));
     }
     trace
@@ -488,6 +493,7 @@ pub fn train_lr_mllib_star(
     const KEY_MODEL: u64 = 0x57;
     let start = ctx.now();
     for t in 1..=cfg.iterations {
+        let it0 = ctx.now();
         let batch = data.sample(fraction, t as u64);
         let peers_c = peers.clone();
         let nw = workers as f64;
@@ -520,6 +526,8 @@ pub fn train_lr_mllib_star(
         let (loss_sum, n): (f64, u64) = results
             .into_iter()
             .fold((0.0, 0), |(l, c), (li, ci)| (l + li, c + ci));
+        ctx.metric_add("ml.iterations", 1);
+        ctx.metric_observe("ml.iteration", ctx.now() - it0);
         trace.record(start, ctx.now(), loss_sum / n.max(1) as f64);
     }
     trace
@@ -541,9 +549,4 @@ pub fn eval_loss_local(gen: &SparseDatasetGen, w: &[f64], rows: u64) -> f64 {
         loss += log_loss(ex.label * ex.dot_dense(w));
     }
     loss / n.max(1) as f64
-}
-
-/// A tiny virtual-time helper for tests.
-pub fn elapsed(start: SimTime, end: SimTime) -> f64 {
-    (end - start).as_secs_f64()
 }

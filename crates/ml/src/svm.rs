@@ -78,6 +78,7 @@ pub fn train_svm(ctx: &mut SimCtx, ps2: &mut Ps2Context, cfg: &SvmConfig) -> Tra
     let mut trace = TrainingTrace::new("PS2-SVM");
     let start = ctx.now();
     for t in 1..=cfg.iterations {
+        let it0 = ctx.now();
         let batch = data.sample(cfg.mini_batch_fraction, t as u64);
         let wd = w_dcv.clone();
         let scale = lr / expected_batch;
@@ -112,6 +113,8 @@ pub fn train_svm(ctx: &mut SimCtx, ps2: &mut Ps2Context, cfg: &SvmConfig) -> Tra
         let (loss_sum, n): (f64, u64) = results
             .into_iter()
             .fold((0.0, 0), |(l, c), (li, ci)| (l + li, c + ci));
+        ctx.metric_add("ml.iterations", 1);
+        ctx.metric_observe("ml.iteration", ctx.now() - it0);
         trace.record(start, ctx.now(), loss_sum / n.max(1) as f64);
     }
     trace

@@ -93,19 +93,41 @@ impl MatrixHandle {
     /// reply, surviving server replacement: attempts are deadline-bounded,
     /// timed-out requests re-resolve their slot through the route table and
     /// resend the identical payload. See the module docs for the protocol.
+    ///
+    /// Each call is one *op span* in the flight recorder: it records request
+    /// count, bytes (request + reply), `rows_touched`, and virtual latency
+    /// under `ps.client.op.{name}.*`, and tags every timeout/retry/
+    /// re-resolution so recovery activity is visible in the run report.
     fn ps_gather<P: Any + Send + Clone>(
         &self,
         ctx: &mut SimCtx,
         tag: u32,
         reqs: Vec<(usize, P, u64)>,
+        rows_touched: u64,
     ) -> Vec<Envelope> {
+        let op = tags::name(tag);
+        let span_start = ctx.now();
+        let mut span_bytes: u64 = 0;
         let n = reqs.len();
         let mut replies: Vec<Option<Envelope>> = (0..n).map(|_| None).collect();
         let mut epoch = self.route.epoch();
         let mut stale_attempts = 0u32;
+        let mut reqs_issued = 0u64;
         loop {
             let outstanding: Vec<usize> = (0..n).filter(|&i| replies[i].is_none()).collect();
             if outstanding.is_empty() {
+                span_bytes += replies
+                    .iter()
+                    .map(|e| e.as_ref().expect("gathered reply").bytes)
+                    .sum::<u64>();
+                ctx.metric_add(&format!("ps.client.op.{op}.count"), 1);
+                ctx.metric_add(&format!("ps.client.op.{op}.reqs"), reqs_issued);
+                ctx.metric_add(&format!("ps.client.op.{op}.bytes"), span_bytes);
+                ctx.metric_add(&format!("ps.client.op.{op}.rows"), rows_touched);
+                ctx.metric_observe(
+                    &format!("ps.client.op.{op}.latency"),
+                    ctx.now() - span_start,
+                );
                 return replies
                     .into_iter()
                     .map(|e| e.expect("gathered reply"))
@@ -123,18 +145,24 @@ impl MatrixHandle {
                     )
                 })
                 .collect();
+            reqs_issued += batch.len() as u64;
+            span_bytes += batch.iter().map(|(_, _, _, b)| *b).sum::<u64>();
             let deadline = ctx.now() + attempt_timeout();
             let got = ctx.call_many_deadline(batch, deadline);
-            let mut timed_out = false;
+            let mut missed = 0u64;
             for (&i, env) in outstanding.iter().zip(got) {
                 match env {
                     Some(e) => replies[i] = Some(e),
-                    None => timed_out = true,
+                    None => missed += 1,
                 }
             }
-            if !timed_out {
+            if missed == 0 {
                 continue;
             }
+            // Tag the recovery path: how many requests hit their attempt
+            // deadline, and that a retry round is about to resend them.
+            ctx.metric_add("ps.client.timeouts", missed);
+            ctx.metric_add("ps.client.retries", 1);
             // At least one slot missed the deadline: its server is slow,
             // dead, or already replaced. If nobody has flipped the route
             // yet, try to run recovery from right here — any handle holder
@@ -159,6 +187,7 @@ impl MatrixHandle {
                 );
             } else {
                 // Replaced: the retry targets a fresh server.
+                ctx.metric_add("ps.client.reresolutions", 1);
                 stale_attempts = 0;
                 epoch = now_epoch;
             }
@@ -173,8 +202,9 @@ impl MatrixHandle {
         tag: u32,
         payload: P,
         bytes: u64,
+        rows_touched: u64,
     ) -> Envelope {
-        self.ps_gather(ctx, tag, vec![(slot, payload, bytes)])
+        self.ps_gather(ctx, tag, vec![(slot, payload, bytes)], rows_touched)
             .pop()
             .expect("one reply for one request")
     }
@@ -201,7 +231,7 @@ impl MatrixHandle {
                         (slot, req, HDR)
                     })
                     .collect();
-                let replies = self.ps_gather(ctx, tags::PULL, reqs);
+                let replies = self.ps_gather(ctx, tags::PULL, reqs, 1);
                 let mut out = Vec::with_capacity(self.dim() as usize);
                 for env in replies {
                     let segs = env.downcast::<Vec<Vec<f64>>>();
@@ -220,7 +250,7 @@ impl MatrixHandle {
                     value_bytes: self.value_bytes,
                 };
                 let segs: Vec<Vec<f64>> = self
-                    .ps_call(ctx, self.plan.row_owner(row), tags::PULL, req, HDR)
+                    .ps_call(ctx, self.plan.row_owner(row), tags::PULL, req, HDR, 1)
                     .downcast();
                 segs.into_iter().flatten().collect()
             }
@@ -244,7 +274,7 @@ impl MatrixHandle {
             };
             let bytes = HDR + 4 * cols.len() as u64;
             return self
-                .ps_call(ctx, self.plan.row_owner(row), tags::PULL, req, bytes)
+                .ps_call(ctx, self.plan.row_owner(row), tags::PULL, req, bytes, 1)
                 .downcast();
         }
         // Split by server range; cols are sorted so each chunk is contiguous.
@@ -270,7 +300,7 @@ impl MatrixHandle {
                 spans.push((start, i));
             }
         }
-        let replies = self.ps_gather(ctx, tags::PULL, reqs);
+        let replies = self.ps_gather(ctx, tags::PULL, reqs, 1);
         let mut out = vec![0.0; cols.len()];
         for (env, (start, end)) in replies.into_iter().zip(spans) {
             let values = env.downcast::<Vec<f64>>();
@@ -294,7 +324,7 @@ impl MatrixHandle {
                 value_bytes: self.value_bytes,
             };
             return self
-                .ps_call(ctx, self.plan.row_owner(row), tags::PULL, req, HDR + 16)
+                .ps_call(ctx, self.plan.row_owner(row), tags::PULL, req, HDR + 16, 1)
                 .downcast();
         }
         let reqs = self
@@ -311,7 +341,7 @@ impl MatrixHandle {
                 (slot, req, HDR + 16)
             })
             .collect();
-        let replies = self.ps_gather(ctx, tags::PULL, reqs);
+        let replies = self.ps_gather(ctx, tags::PULL, reqs, 1);
         let mut out = Vec::with_capacity((hi - lo) as usize);
         for env in replies {
             out.extend(env.downcast::<Vec<f64>>());
@@ -346,7 +376,7 @@ impl MatrixHandle {
                         (slot, req, bytes)
                     })
                     .collect();
-                let _ = self.ps_gather(ctx, tags::PUSH, reqs);
+                let _ = self.ps_gather(ctx, tags::PUSH, reqs, 1);
             }
             PlanKind::Row { .. } => {
                 let bytes = HDR + self.value_bytes * values.len() as u64;
@@ -359,7 +389,7 @@ impl MatrixHandle {
                     },
                     op_id: ctx.alloc_reply_token(),
                 };
-                let _ = self.ps_call(ctx, self.plan.row_owner(row), tags::PUSH, req, bytes);
+                let _ = self.ps_call(ctx, self.plan.row_owner(row), tags::PUSH, req, bytes, 1);
             }
         }
     }
@@ -383,7 +413,7 @@ impl MatrixHandle {
                 },
                 op_id: ctx.alloc_reply_token(),
             };
-            let _ = self.ps_call(ctx, self.plan.row_owner(row), tags::PUSH, req, bytes);
+            let _ = self.ps_call(ctx, self.plan.row_owner(row), tags::PUSH, req, bytes, 1);
             return;
         }
         let reqs = self
@@ -405,7 +435,7 @@ impl MatrixHandle {
                 (slot, req, bytes)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::PUSH, reqs);
+        let _ = self.ps_gather(ctx, tags::PUSH, reqs, 1);
     }
 
     /// Sparse additive push (`(column, delta)` pairs, sorted by column).
@@ -423,7 +453,7 @@ impl MatrixHandle {
                 data: PushData::Sparse(Arc::new(pairs.to_vec())),
                 op_id: ctx.alloc_reply_token(),
             };
-            let _ = self.ps_call(ctx, self.plan.row_owner(row), tags::PUSH, req, bytes);
+            let _ = self.ps_call(ctx, self.plan.row_owner(row), tags::PUSH, req, bytes, 1);
             return;
         }
         let ranges = self.plan.column_ranges();
@@ -446,7 +476,7 @@ impl MatrixHandle {
                 reqs.push((slot, req, bytes));
             }
         }
-        let _ = self.ps_gather(ctx, tags::PUSH, reqs);
+        let _ = self.ps_gather(ctx, tags::PUSH, reqs, 1);
     }
 
     // ---- row access: aggregations -------------------------------------------
@@ -467,7 +497,7 @@ impl MatrixHandle {
             })
             .collect();
         let partials: Vec<f64> = self
-            .ps_gather(ctx, tags::AGG, reqs)
+            .ps_gather(ctx, tags::AGG, reqs, 1)
             .into_iter()
             .map(|env| env.downcast::<f64>())
             .collect();
@@ -506,7 +536,7 @@ impl MatrixHandle {
                 (slot, req, HDR)
             })
             .collect();
-        self.ps_gather(ctx, tags::DOT, reqs)
+        self.ps_gather(ctx, tags::DOT, reqs, 2)
             .into_iter()
             .map(|env| env.downcast::<f64>())
             .sum()
@@ -528,7 +558,7 @@ impl MatrixHandle {
                 (slot, req, HDR)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::AXPY, reqs);
+        let _ = self.ps_gather(ctx, tags::AXPY, reqs, 2);
     }
 
     /// `dst = a op b`, element-wise, server-side.
@@ -548,7 +578,7 @@ impl MatrixHandle {
                 (slot, req, HDR)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::ELEM, reqs);
+        let _ = self.ps_gather(ctx, tags::ELEM, reqs, 3);
     }
 
     /// Server-side multi-row update: on every server, `f` receives mutable
@@ -570,7 +600,7 @@ impl MatrixHandle {
                 (slot, req, bytes)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::ZIP, reqs);
+        let _ = self.ps_gather(ctx, tags::ZIP, reqs, rows.len() as u64);
     }
 
     /// Server-side read-only fold over co-located segments: returns `f`'s
@@ -599,7 +629,7 @@ impl MatrixHandle {
             })
             .collect();
         let mut acc = init;
-        for env in self.ps_gather(ctx, tags::ZIP_MAP, reqs) {
+        for env in self.ps_gather(ctx, tags::ZIP_MAP, reqs, rows.len() as u64) {
             for p in env.downcast::<Vec<f64>>() {
                 acc = combine(acc, p);
             }
@@ -636,7 +666,7 @@ impl MatrixHandle {
             })
             .collect();
         let mut best: Option<(f64, u64)> = None;
-        for env in self.ps_gather(ctx, tags::ZIP_ARGMAX, reqs) {
+        for env in self.ps_gather(ctx, tags::ZIP_ARGMAX, reqs, rows.len() as u64) {
             for (score, idx) in env.downcast::<Vec<(f64, u64)>>() {
                 best = match best {
                     Some((bs, bi)) if !(score > bs || (score == bs && idx < bi)) => Some((bs, bi)),
@@ -669,7 +699,7 @@ impl MatrixHandle {
                 (slot, req, HDR)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::FILL, reqs);
+        let _ = self.ps_gather(ctx, tags::FILL, reqs, 1);
     }
 
     pub fn zero(&self, ctx: &mut SimCtx, row: u32) {
@@ -691,7 +721,7 @@ impl MatrixHandle {
                 (slot, req, HDR)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::SCALE, reqs);
+        let _ = self.ps_gather(ctx, tags::SCALE, reqs, 1);
     }
 
     // ---- batched ops (DeepWalk's per-pair pattern, amortized) -------------------
@@ -716,7 +746,7 @@ impl MatrixHandle {
                 (slot, req, req_bytes)
             })
             .collect();
-        let replies = self.ps_gather(ctx, tags::DOT_BATCH, reqs);
+        let replies = self.ps_gather(ctx, tags::DOT_BATCH, reqs, 2 * pairs.len() as u64);
         let mut out = vec![0.0; pairs.len()];
         for env in replies {
             for (acc, p) in out.iter_mut().zip(env.downcast::<Vec<f64>>()) {
@@ -750,7 +780,7 @@ impl MatrixHandle {
                 (slot, req, req_bytes)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::ZIP_BATCH, reqs);
+        let _ = self.ps_gather(ctx, tags::ZIP_BATCH, reqs, rows_total);
     }
 
     /// Pull many full dense rows in one request per server. Result `i` is
@@ -774,7 +804,7 @@ impl MatrixHandle {
                 (slot, req, req_bytes)
             })
             .collect();
-        let replies = self.ps_gather(ctx, tags::PULL_ROWS, reqs);
+        let replies = self.ps_gather(ctx, tags::PULL_ROWS, reqs, rows.len() as u64);
         let mut out: Vec<Vec<f64>> = vec![vec![0.0; self.dim() as usize]; rows.len()];
         for (&slot, env) in slots.iter().zip(replies) {
             let per_row = env.downcast::<Vec<Vec<Vec<f64>>>>();
@@ -820,7 +850,7 @@ impl MatrixHandle {
                 (slot, req, bytes)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::PUSH_ROWS, reqs);
+        let _ = self.ps_gather(ctx, tags::PUSH_ROWS, reqs, updates.len() as u64);
     }
 
     // ---- block access (LDA's by-column pattern) --------------------------------
@@ -857,7 +887,7 @@ impl MatrixHandle {
                 spans.push((start, i));
             }
         }
-        let replies = self.ps_gather(ctx, tags::PULL_BLOCK, reqs);
+        let replies = self.ps_gather(ctx, tags::PULL_BLOCK, reqs, rows.len() as u64);
         let mut out: Vec<Vec<f64>> = vec![Vec::new(); cols.len()];
         for (env, (start, end)) in replies.into_iter().zip(spans) {
             let block = env.downcast::<Vec<Vec<f64>>>();
@@ -899,7 +929,7 @@ impl MatrixHandle {
                 reqs.push((slot, req, bytes));
             }
         }
-        let _ = self.ps_gather(ctx, tags::PUSH_BLOCK, reqs);
+        let _ = self.ps_gather(ctx, tags::PUSH_BLOCK, reqs, rows.len() as u64);
     }
 
     /// Per-key block pulls: one request per column, all concurrently in
@@ -927,7 +957,7 @@ impl MatrixHandle {
                 (self.plan.col_owner(c), req, HDR + 4 + 4 * rows.len() as u64)
             })
             .collect();
-        self.ps_gather(ctx, tags::PULL_BLOCK, reqs)
+        self.ps_gather(ctx, tags::PULL_BLOCK, reqs, rows.len() as u64)
             .into_iter()
             .map(|env| {
                 env.downcast::<Vec<Vec<f64>>>()
@@ -963,7 +993,7 @@ impl MatrixHandle {
                 (self.plan.col_owner(*c), req, bytes)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::PUSH_BLOCK, reqs);
+        let _ = self.ps_gather(ctx, tags::PUSH_BLOCK, reqs, rows.len() as u64);
     }
 
     // ---- cross-matrix ops (the Figure 4 story) -----------------------------------
@@ -1007,7 +1037,7 @@ impl MatrixHandle {
                 value_bytes: other.value_bytes,
             };
             let partial: f64 = self
-                .ps_call(ctx, slot, tags::CROSS_DOT, req, HDR + 24)
+                .ps_call(ctx, slot, tags::CROSS_DOT, req, HDR + 24, 2)
                 .downcast();
             acc += partial;
         }
@@ -1048,7 +1078,7 @@ impl MatrixHandle {
                 value_bytes: other.value_bytes,
                 op_id: ctx.alloc_reply_token(),
             };
-            let _ = self.ps_call(ctx, slot, tags::CROSS_ELEM, req, HDR + 24);
+            let _ = self.ps_call(ctx, slot, tags::CROSS_ELEM, req, HDR + 24, 2);
         }
     }
 

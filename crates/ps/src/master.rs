@@ -151,6 +151,11 @@ impl PsFleet {
                     stats.silent_reinits += 1;
                 }
             }
+            ctx.metric_add("ps.fleet.recoveries", 1);
+            if !restored {
+                ctx.metric_add("ps.fleet.silent_reinits", 1);
+            }
+            ctx.trace_mark("ps.fleet.recover");
             self.route.set(slot, fresh);
             recovered.push(slot);
         }

@@ -36,6 +36,40 @@ pub(crate) mod tags {
     pub const PING: u32 = 34;
     pub const STORE_PUT: u32 = 40;
     pub const STORE_GET: u32 = 41;
+
+    /// Stable op name for metric keys and breakdown tables.
+    pub fn name(tag: u32) -> &'static str {
+        match tag {
+            CREATE => "create",
+            FREE => "free",
+            PULL => "pull",
+            PUSH => "push",
+            AGG => "agg",
+            DOT => "dot",
+            AXPY => "axpy",
+            ELEM => "elem",
+            ZIP => "zip",
+            ZIP_MAP => "zip_map",
+            FILL => "fill",
+            SCALE => "scale",
+            PULL_BLOCK => "pull_block",
+            PUSH_BLOCK => "push_block",
+            FETCH_SEG => "fetch_seg",
+            CROSS_DOT => "cross_dot",
+            CROSS_ELEM => "cross_elem",
+            CHECKPOINT => "checkpoint",
+            RESTORE => "restore",
+            ZIP_ARGMAX => "zip_argmax",
+            DOT_BATCH => "dot_batch",
+            ZIP_BATCH => "zip_batch",
+            PULL_ROWS => "pull_rows",
+            PUSH_ROWS => "push_rows",
+            PING => "ping",
+            STORE_PUT => "store_put",
+            STORE_GET => "store_get",
+            _ => "unknown",
+        }
+    }
 }
 
 /// How to initialize a fresh matrix.

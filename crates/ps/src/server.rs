@@ -224,12 +224,21 @@ fn mutation_key(env: &Envelope) -> Option<(MatrixId, u64)> {
 }
 
 /// The PS-server loop: stores shards, executes row- and column-access ops.
+///
+/// Each request records its queue time (arrival → dequeue: how long it sat
+/// behind earlier work) and service time (dequeue → reply sent) into
+/// per-variant histograms `ps.server.{op}.queue` / `.service`.
 pub fn ps_server_main(ctx: &mut SimCtx) {
     let mut shards: HashMap<MatrixId, Shard> = HashMap::new();
     let mut oplog = OpLog::new();
     loop {
         let env = ctx.recv();
+        let op = tags::name(env.tag);
+        let t0 = ctx.now();
+        let queue = t0.saturating_sub(env.arrival);
         handle(ctx, &mut shards, &mut oplog, env);
+        ctx.metric_observe(&format!("ps.server.{op}.queue"), queue);
+        ctx.metric_observe(&format!("ps.server.{op}.service"), ctx.now() - t0);
     }
 }
 
@@ -264,6 +273,13 @@ fn handle(
         }
         tags::PULL => {
             let req: &PullReq = env.downcast_ref();
+            // Per-matrix hot-row counter (NuPS-style access-skew tracking):
+            // single-row ops only, so cardinality stays bounded by the small
+            // row counts PS2 matrices use.
+            ctx.metric_add(
+                &format!("ps.server.row_touch.m{}.r{}", req.id.0, req.row),
+                1,
+            );
             let shard = shard_of(shards, req.id);
             match &req.cols {
                 crate::protocol::ColsSel::All => {
@@ -291,6 +307,7 @@ fn handle(
             let req: &PushReq = env.downcast_ref();
             let id = req.id;
             let row = req.row;
+            ctx.metric_add(&format!("ps.server.row_touch.m{}.r{}", id.0, row), 1);
             match &req.data {
                 PushData::DenseSeg { lo, values } => {
                     let values = Arc::clone(values);

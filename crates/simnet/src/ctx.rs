@@ -285,6 +285,35 @@ impl SimCtx {
         self.reply(request, payload, bytes);
     }
 
+    // ---- flight recorder ---------------------------------------------------
+
+    /// Increment a named counter in the run's metrics registry.
+    ///
+    /// Unlike every other `SimCtx` method this is **not** a yield point: no
+    /// clock moves and no other process runs, so instrumented code keeps the
+    /// exact timing of uninstrumented code.
+    pub fn metric_add(&mut self, name: &str, delta: u64) {
+        self.shared.metric_add(name, delta);
+    }
+
+    /// Set a named gauge to an absolute value. Not a yield point.
+    pub fn metric_gauge_set(&mut self, name: &str, value: i64) {
+        self.shared.metric_gauge_set(name, value);
+    }
+
+    /// Record a virtual-time duration into a named histogram. Not a yield
+    /// point.
+    pub fn metric_observe(&mut self, name: &str, dt: SimTime) {
+        self.shared.metric_observe(name, dt);
+    }
+
+    /// Annotate the event trace with a labeled timeline mark at this
+    /// process's current clock (no-op unless tracing is enabled on the
+    /// builder). Not a yield point.
+    pub fn trace_mark(&mut self, label: &'static str) {
+        self.shared.trace_mark(self.me.0, label);
+    }
+
     // ---- topology management -------------------------------------------------
 
     /// Spawn a new non-daemon process at this process's current clock.

@@ -54,6 +54,7 @@
 mod config;
 mod ctx;
 mod message;
+pub mod metrics;
 mod probe;
 mod report;
 mod runtime;
@@ -62,6 +63,7 @@ mod time;
 pub use config::{ComputeConfig, NetConfig, SimConfig};
 pub use ctx::SimCtx;
 pub use message::{Envelope, WireSize};
+pub use metrics::{MetricsSnapshot, OpRow, RunReport, VtHistogram};
 pub use probe::LivenessProbe;
 pub use report::{ProcStats, SimReport, TraceEvent};
 pub use runtime::{OutputSlot, ProcId, SimBuilder, SimError, SimRuntime};

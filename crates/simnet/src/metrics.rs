@@ -1,0 +1,546 @@
+//! The flight recorder: a deterministic registry of counters, gauges and
+//! virtual-time histograms, plus the [`RunReport`] aggregation that turns a
+//! finished [`SimReport`](crate::SimReport) into a per-op breakdown table
+//! and a machine-readable JSON document.
+//!
+//! ## Determinism constraints
+//!
+//! Everything here must leave a run bit-for-bit reproducible:
+//!
+//! * All values are derived from **virtual** time or integer counters —
+//!   wall-clock never enters a metric.
+//! * Histograms use *fixed* logarithmic buckets (one per power of two of
+//!   nanoseconds), so the layout does not depend on the data.
+//! * Maps are `BTreeMap`s, so iteration (and therefore rendering and JSON
+//!   serialization) order is the key order, not insertion or hash order.
+//! * Recording a metric is **not** a scheduler yield point: it advances no
+//!   clock, consumes no sequence number, and wakes no process, so an
+//!   instrumented run has exactly the timing of an uninstrumented one.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::report::SimReport;
+use crate::time::SimTime;
+
+/// Number of log buckets: bucket 0 holds exact zeros, bucket `k >= 1` holds
+/// durations in `[2^(k-1), 2^k)` nanoseconds, up to `k = 64`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed-log-bucket histogram over virtual-time durations (nanoseconds).
+///
+/// Quantiles are estimated deterministically as the upper bound of the
+/// bucket containing the target rank, clamped to the observed maximum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VtHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for VtHistogram {
+    fn default() -> Self {
+        VtHistogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+#[inline]
+fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        64 - ns.leading_zeros() as usize
+    }
+}
+
+impl VtHistogram {
+    /// Record one duration.
+    pub fn observe(&mut self, dt: SimTime) {
+        let ns = dt.as_nanos();
+        self.buckets[bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total of all recorded durations, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Deterministic quantile estimate (`q` in `[0, 1]`): the upper bound of
+    /// the bucket holding the `ceil(q * count)`-th observation, clamped to
+    /// the observed maximum. Returns 0 on an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = if k == 0 {
+                    0
+                } else if k >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << k) - 1
+                };
+                return upper.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    fn merge(&mut self, other: &VtHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// The in-run registry. Lives inside the runtime's shared state; processes
+/// reach it through `SimCtx::metric_*`, and [`crate::SimRuntime::run`]
+/// snapshots it into the final report.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    hists: BTreeMap<String, VtHistogram>,
+}
+
+impl MetricsSnapshot {
+    pub(crate) fn add(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    pub(crate) fn gauge_set(&mut self, name: &str, value: i64) {
+        if let Some(v) = self.gauges.get_mut(name) {
+            *v = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    pub(crate) fn observe(&mut self, name: &str, dt: SimTime) {
+        if let Some(h) = self.hists.get_mut(name) {
+            h.observe(dt);
+        } else {
+            let mut h = VtHistogram::default();
+            h.observe(dt);
+            self.hists.insert(name.to_string(), h);
+        }
+    }
+
+    /// Counter value, 0 when never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&VtHistogram> {
+        self.hists.get(name)
+    }
+
+    /// All counters, in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges, in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms, in key order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &VtHistogram)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Sum of counters whose key starts with `prefix`.
+    pub fn counter_sum_prefixed(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Merge another snapshot into this one (counters and histograms add;
+    /// gauges take `other`'s value).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, &v) in &other.counters {
+            self.add(k, v);
+        }
+        for (k, &v) in &other.gauges {
+            self.gauge_set(k, v);
+        }
+        for (k, h) in &other.hists {
+            if let Some(mine) = self.hists.get_mut(k) {
+                mine.merge(h);
+            } else {
+                self.hists.insert(k.clone(), h.clone());
+            }
+        }
+    }
+}
+
+/// One row of the per-op breakdown: all PS-client spans of one op kind.
+#[derive(Clone, Debug)]
+pub struct OpRow {
+    /// Op kind (protocol tag name, e.g. `pull`, `push`, `zip`).
+    pub op: String,
+    /// Completed client-side spans.
+    pub count: u64,
+    /// Request + reply bytes attributed to the op.
+    pub bytes: u64,
+    /// Matrix rows touched by the op's requests.
+    pub rows: u64,
+    /// Sum of span durations (virtual nanoseconds).
+    pub sum_ns: u64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    /// This op's slice of the job's `virtual_time`, normalized so that the
+    /// shares of all ops sum to `virtual_time` (within integer rounding):
+    /// `share_ns = sum_ns / Σ sum_ns * virtual_time`.
+    pub share_ns: u64,
+}
+
+/// Key prefix under which PS-client op spans are recorded.
+const OP_SPAN_PREFIX: &str = "ps.client.op.";
+const OP_SPAN_SUFFIX: &str = ".latency";
+
+/// Aggregated, render-ready view of a finished run: where the virtual
+/// seconds went, per op kind and compute-vs-communication.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    pub virtual_time: SimTime,
+    pub total_msgs: u64,
+    pub total_bytes: u64,
+    pub dropped_msgs: u64,
+    /// Σ `ProcStats.busy` — virtual time spent in charged computation.
+    pub compute_ns: u64,
+    /// Σ per-transfer wire time — virtual time spent serializing bytes onto
+    /// the network (the `net.wire_ns` counter).
+    pub comm_ns: u64,
+    /// Per-op rows, sorted by descending `sum_ns` (ties by op name).
+    pub ops: Vec<OpRow>,
+    /// The full metric snapshot the rows were derived from.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunReport {
+    /// Aggregate a finished simulation into the breakdown report.
+    pub fn from_sim(report: &SimReport) -> RunReport {
+        let m = &report.metrics;
+        let compute_ns: u64 = report.procs.iter().map(|p| p.busy.as_nanos()).sum();
+        let comm_ns = m.counter("net.wire_ns");
+
+        let mut ops: Vec<OpRow> = Vec::new();
+        for (key, hist) in m.hists() {
+            let Some(op) = key
+                .strip_prefix(OP_SPAN_PREFIX)
+                .and_then(|k| k.strip_suffix(OP_SPAN_SUFFIX))
+            else {
+                continue;
+            };
+            ops.push(OpRow {
+                op: op.to_string(),
+                count: hist.count(),
+                bytes: m.counter(&format!("{OP_SPAN_PREFIX}{op}.bytes")),
+                rows: m.counter(&format!("{OP_SPAN_PREFIX}{op}.rows")),
+                sum_ns: hist.sum_ns(),
+                p50_ns: hist.quantile_ns(0.50),
+                p99_ns: hist.quantile_ns(0.99),
+                share_ns: 0,
+            });
+        }
+        // Normalize shares so they account for the whole job: the op spans
+        // overlap (many clients in flight at once), so raw sums are not
+        // additive wall-shares; scaled to virtual_time they are.
+        let total_span: u128 = ops.iter().map(|o| o.sum_ns as u128).sum();
+        let vt = report.virtual_time.as_nanos() as u128;
+        for o in &mut ops {
+            o.share_ns = (o.sum_ns as u128 * vt).checked_div(total_span).unwrap_or(0) as u64;
+        }
+        ops.sort_by(|a, b| b.sum_ns.cmp(&a.sum_ns).then_with(|| a.op.cmp(&b.op)));
+
+        RunReport {
+            virtual_time: report.virtual_time,
+            total_msgs: report.total_msgs,
+            total_bytes: report.total_bytes,
+            dropped_msgs: report.dropped_msgs,
+            compute_ns,
+            comm_ns,
+            ops,
+            metrics: m.clone(),
+        }
+    }
+
+    /// Fraction of `compute + comm` spent computing (0 when neither moved).
+    pub fn compute_share(&self) -> f64 {
+        let total = self.compute_ns + self.comm_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.compute_ns as f64 / total as f64
+        }
+    }
+
+    /// The human-readable breakdown table (a Spark-UI-style stage summary).
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "run breakdown — virtual time {}   {} msgs   {:.1} MB   {} dropped",
+            self.virtual_time,
+            self.total_msgs,
+            self.total_bytes as f64 / 1e6,
+            self.dropped_msgs,
+        );
+        let _ = writeln!(
+            s,
+            "compute {:.3}s ({:.1}%)   wire {:.3}s ({:.1}%)",
+            self.compute_ns as f64 / 1e9,
+            100.0 * self.compute_share(),
+            self.comm_ns as f64 / 1e9,
+            100.0 * (1.0 - self.compute_share()),
+        );
+        if self.ops.is_empty() {
+            let _ = writeln!(s, "(no PS op spans recorded)");
+            return s;
+        }
+        let _ = writeln!(
+            s,
+            "{:<12} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>7}",
+            "op", "count", "bytes", "rows", "p50", "p99", "total", "share"
+        );
+        let vt = self.virtual_time.as_nanos().max(1) as f64;
+        for o in &self.ops {
+            let _ = writeln!(
+                s,
+                "{:<12} {:>8} {:>12} {:>10} {:>9.3}m {:>9.3}m {:>9.3}s {:>6.1}%",
+                o.op,
+                o.count,
+                o.bytes,
+                o.rows,
+                o.p50_ns as f64 / 1e6,
+                o.p99_ns as f64 / 1e6,
+                o.sum_ns as f64 / 1e9,
+                100.0 * o.share_ns as f64 / vt,
+            );
+        }
+        s
+    }
+
+    /// Serialize to JSON. Hand-rolled (the workspace is dependency-free);
+    /// integer-only fields and `BTreeMap` ordering make the output
+    /// byte-identical across same-seed runs. Wall-clock values are
+    /// deliberately absent.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(
+            s,
+            "  \"virtual_time_ns\": {},",
+            self.virtual_time.as_nanos()
+        );
+        let _ = writeln!(s, "  \"total_msgs\": {},", self.total_msgs);
+        let _ = writeln!(s, "  \"total_bytes\": {},", self.total_bytes);
+        let _ = writeln!(s, "  \"dropped_msgs\": {},", self.dropped_msgs);
+        let _ = writeln!(s, "  \"compute_ns\": {},", self.compute_ns);
+        let _ = writeln!(s, "  \"comm_ns\": {},", self.comm_ns);
+        s.push_str("  \"ops\": [\n");
+        for (i, o) in self.ops.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"op\": {}, \"count\": {}, \"bytes\": {}, \"rows\": {}, \
+                 \"sum_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"share_ns\": {}}}",
+                json_str(&o.op),
+                o.count,
+                o.bytes,
+                o.rows,
+                o.sum_ns,
+                o.p50_ns,
+                o.p99_ns,
+                o.share_ns
+            );
+            s.push_str(if i + 1 < self.ops.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"counters\": {");
+        let mut first = true;
+        for (k, v) in self.metrics.counters() {
+            s.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            let _ = write!(s, "    {}: {}", json_str(k), v);
+        }
+        s.push_str(if first { "},\n" } else { "\n  },\n" });
+        s.push_str("  \"gauges\": {");
+        let mut first = true;
+        for (k, v) in self.metrics.gauges() {
+            s.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            let _ = write!(s, "    {}: {}", json_str(k), v);
+        }
+        s.push_str(if first { "},\n" } else { "\n  },\n" });
+        s.push_str("  \"hists\": {");
+        let mut first = true;
+        for (k, h) in self.metrics.hists() {
+            s.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            let _ = write!(
+                s,
+                "    {}: {{\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \
+                 \"max_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+                json_str(k),
+                h.count(),
+                h.sum_ns(),
+                h.min_ns(),
+                h.max_ns(),
+                h.quantile_ns(0.50),
+                h.quantile_ns(0.99)
+            );
+        }
+        s.push_str(if first { "}\n" } else { "\n  }\n" });
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Minimal JSON string escaping (metric keys and op names are ASCII
+/// identifiers, but stay correct for anything).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let mut h = VtHistogram::default();
+        for ns in [10u64, 20, 30, 1000] {
+            h.observe(SimTime(ns));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_ns(), 1060);
+        assert_eq!(h.min_ns(), 10);
+        assert_eq!(h.max_ns(), 1000);
+        // p50 → 2nd observation (20) → bucket [16,32) → upper bound 31.
+        assert_eq!(h.quantile_ns(0.5), 31);
+        // p99 → 4th observation (1000) → bucket [512,1024) clamped to max.
+        assert_eq!(h.quantile_ns(0.99), 1000);
+        // Empty histogram.
+        assert_eq!(VtHistogram::default().quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn registry_counters_gauges_hists() {
+        let mut m = MetricsSnapshot::default();
+        m.add("a.x", 2);
+        m.add("a.x", 3);
+        m.add("a.y", 1);
+        m.gauge_set("g", -4);
+        m.observe("h", SimTime(100));
+        assert_eq!(m.counter("a.x"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("g"), Some(-4));
+        assert_eq!(m.counter_sum_prefixed("a."), 6);
+        assert_eq!(m.hist("h").unwrap().count(), 1);
+        // Key order is sorted, not insertion order.
+        let keys: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a.x", "a.y"]);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_hists() {
+        let mut a = MetricsSnapshot::default();
+        a.add("c", 1);
+        a.observe("h", SimTime(8));
+        let mut b = MetricsSnapshot::default();
+        b.add("c", 2);
+        b.observe("h", SimTime(16));
+        b.gauge_set("g", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.hist("h").unwrap().count(), 2);
+        assert_eq!(a.gauge("g"), Some(7));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use crate::metrics::MetricsSnapshot;
 use crate::runtime::ProcId;
 use crate::time::SimTime;
 
@@ -33,6 +34,21 @@ pub enum TraceEvent {
     },
     /// `proc` finished (or was interrupted).
     Finish { at: SimTime, proc: ProcId },
+    /// `src`'s message was dropped because `dst` was dead.
+    Drop {
+        at: SimTime,
+        src: ProcId,
+        dst: ProcId,
+        tag: u32,
+        bytes: u64,
+    },
+    /// A labeled timeline annotation emitted by `proc` (e.g. scheduler
+    /// stage/task events).
+    Mark {
+        at: SimTime,
+        proc: ProcId,
+        label: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -42,7 +58,9 @@ impl TraceEvent {
             TraceEvent::Send { at, .. }
             | TraceEvent::Recv { at, .. }
             | TraceEvent::Compute { at, .. }
-            | TraceEvent::Finish { at, .. } => *at,
+            | TraceEvent::Finish { at, .. }
+            | TraceEvent::Drop { at, .. }
+            | TraceEvent::Mark { at, .. } => *at,
         }
     }
 }
@@ -60,6 +78,10 @@ pub struct ProcStats {
     pub bytes_sent: u64,
     pub msgs_recv: u64,
     pub bytes_recv: u64,
+    /// Messages this process sent that were dropped because the destination
+    /// was dead (attributed to the sender — the destination can no longer
+    /// account for anything).
+    pub msgs_dropped: u64,
 }
 
 impl ProcStats {
@@ -73,6 +95,7 @@ impl ProcStats {
             bytes_sent: 0,
             msgs_recv: 0,
             bytes_recv: 0,
+            msgs_dropped: 0,
         }
     }
 }
@@ -93,11 +116,27 @@ pub struct SimReport {
     /// Recorded events, in virtual-time order (empty unless tracing was
     /// enabled on the builder).
     pub trace: Vec<TraceEvent>,
+    /// Final snapshot of the run's metrics registry (counters, gauges,
+    /// virtual-time histograms recorded via `SimCtx::metric_*`).
+    pub metrics: MetricsSnapshot,
 }
 
 impl SimReport {
-    /// Look up a process's stats by name (first match).
+    /// Look up a process's stats by name.
+    ///
+    /// Debug-asserts the name is unique — with respawned/duplicate names use
+    /// [`SimReport::procs_named`] instead, so one process can't silently
+    /// shadow another's stats.
     pub fn proc(&self, name: &str) -> Option<&ProcStats> {
+        debug_assert!(
+            self.procs.iter().filter(|p| p.name == name).count() <= 1,
+            "SimReport::proc(\"{name}\"): name is not unique; use procs_named"
+        );
         self.procs.iter().find(|p| p.name == name)
+    }
+
+    /// All processes with this name, in spawn order.
+    pub fn procs_named(&self, name: &str) -> Vec<&ProcStats> {
+        self.procs.iter().filter(|p| p.name == name).collect()
     }
 }

@@ -19,6 +19,7 @@ use parking_lot::{Condvar, Mutex, MutexGuard};
 use crate::config::SimConfig;
 use crate::ctx::SimCtx;
 use crate::message::Envelope;
+use crate::metrics::MetricsSnapshot;
 use crate::report::{ProcStats, SimReport};
 use crate::time::SimTime;
 
@@ -158,6 +159,7 @@ pub(crate) struct State {
     handles: Vec<JoinHandle<()>>,
     tracing: bool,
     trace: Vec<crate::report::TraceEvent>,
+    metrics: MetricsSnapshot,
 }
 
 fn pick(st: &State) -> Option<usize> {
@@ -317,9 +319,27 @@ impl Shared {
         st.procs[me].stats.bytes_sent += bytes;
         st.total_msgs += 1;
         st.total_bytes += bytes;
+        if dst.0 != me {
+            // Account virtual wire time as communication cost (loopback is
+            // shared-memory, not the network).
+            st.metrics
+                .add("net.wire_ns", net.wire_time(bytes).as_nanos());
+        } else {
+            st.metrics.add("net.loopback_ns", net.loopback.as_nanos());
+        }
         let dead = st.procs[dst.0].killed || matches!(st.procs[dst.0].status, Status::Finished);
         if dead {
             st.dropped_msgs += 1;
+            st.procs[me].stats.msgs_dropped += 1;
+            if st.tracing {
+                st.trace.push(crate::report::TraceEvent::Drop {
+                    at: now,
+                    src: ProcId(me),
+                    dst,
+                    tag,
+                    bytes,
+                });
+            }
         } else {
             st.seq += 1;
             let key = (arrival.as_nanos(), st.seq);
@@ -417,6 +437,37 @@ impl Shared {
                     panic::panic_any(Interrupt);
                 }
             }
+        }
+    }
+
+    // ---- flight-recorder operations --------------------------------------
+    //
+    // These are deliberately NOT yield points: they take the lock, update
+    // the registry (or push a trace event), and return. No clock moves, no
+    // sequence/correlation number is consumed, no other process is woken —
+    // so an instrumented run is timing-identical to an uninstrumented one.
+
+    pub(crate) fn metric_add(&self, name: &str, delta: u64) {
+        self.state.lock().metrics.add(name, delta);
+    }
+
+    pub(crate) fn metric_gauge_set(&self, name: &str, value: i64) {
+        self.state.lock().metrics.gauge_set(name, value);
+    }
+
+    pub(crate) fn metric_observe(&self, name: &str, dt: SimTime) {
+        self.state.lock().metrics.observe(name, dt);
+    }
+
+    pub(crate) fn trace_mark(&self, me: usize, label: &'static str) {
+        let mut st = self.state.lock();
+        if st.tracing {
+            let at = st.procs[me].clock;
+            st.trace.push(crate::report::TraceEvent::Mark {
+                at,
+                proc: ProcId(me),
+                label,
+            });
         }
     }
 
@@ -643,6 +694,7 @@ impl SimBuilder {
                     handles: Vec::new(),
                     tracing: self.tracing,
                     trace: Vec::new(),
+                    metrics: MetricsSnapshot::default(),
                 }),
                 cv: Condvar::new(),
             }),
@@ -751,6 +803,7 @@ impl SimRuntime {
             dropped_msgs: st.dropped_msgs,
             procs: st.procs.iter().map(|p| p.stats.clone()).collect(),
             trace,
+            metrics: st.metrics.clone(),
         })
     }
 }

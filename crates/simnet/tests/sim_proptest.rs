@@ -79,6 +79,72 @@ proptest! {
         prop_assert!(a.as_nanos() >= wire_ns * n as u64);
     }
 
+    /// Trace integrity under a randomized multi-proc workload: every `Recv`
+    /// pairs with an earlier `Send` of the same `(src, tag)`, and the trace
+    /// is non-decreasing in virtual time.
+    #[test]
+    fn trace_recvs_pair_with_earlier_sends(
+        n_procs in 2usize..6,
+        msgs in prop::collection::vec((0usize..6, 0usize..6, 0u32..8, 1u64..100_000), 1..30),
+        pre_work in prop::collection::vec(0u64..2_000_000, 0..6),
+    ) {
+        // Assign each message to its sender; count how many each proc will
+        // receive. Sends are non-blocking, so every proc can send all its
+        // mail first and then drain exactly its expected count — no deadlock.
+        let mut outbox: Vec<Vec<(usize, u32, u64)>> = vec![Vec::new(); n_procs];
+        let mut expected_recv = vec![0usize; n_procs];
+        for &(src, dst, tag, bytes) in &msgs {
+            let (src, dst) = (src % n_procs, dst % n_procs);
+            outbox[src].push((dst, tag, bytes));
+            expected_recv[dst] += 1;
+        }
+
+        let mut sim = SimBuilder::new().network(quiet_net()).trace(true).build();
+        for (i, mail) in outbox.iter().enumerate() {
+            let mail = mail.clone();
+            let n_recv = expected_recv[i];
+            let warm = pre_work.get(i).copied().unwrap_or(0);
+            sim.spawn(&format!("p{i}"), move |ctx| {
+                ctx.advance(SimTime(warm));
+                for (dst, tag, bytes) in mail {
+                    ctx.send(ProcId(dst), tag, (), bytes);
+                }
+                for _ in 0..n_recv {
+                    let _ = ctx.recv();
+                }
+            });
+        }
+        let report = sim.run().unwrap();
+
+        // Non-decreasing virtual time across the whole trace.
+        let times: Vec<u64> = report.trace.iter().map(|e| e.at().as_nanos()).collect();
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+
+        // Walk in trace order: a Recv must consume a strictly-earlier Send
+        // of the same (src, dst, tag) — latency > 0 guarantees strictness.
+        let mut in_flight: std::collections::HashMap<(usize, usize, u32), Vec<SimTime>> =
+            std::collections::HashMap::new();
+        let mut recvs = 0usize;
+        for e in &report.trace {
+            match e {
+                ps2_simnet::TraceEvent::Send { at, src, dst, tag, .. } => {
+                    in_flight.entry((src.0, dst.0, *tag)).or_default().push(*at);
+                }
+                ps2_simnet::TraceEvent::Recv { at, proc, src, tag } => {
+                    recvs += 1;
+                    let q = in_flight.get_mut(&(src.0, proc.0, *tag));
+                    prop_assert!(q.is_some(), "Recv with no matching Send");
+                    let q = q.unwrap();
+                    prop_assert!(!q.is_empty(), "Recv with no matching Send in flight");
+                    let sent_at = q.remove(0);
+                    prop_assert!(sent_at < *at, "Recv at {at} not after Send at {sent_at}");
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(recvs, msgs.len());
+    }
+
     /// RPC replies always match their requests even under interleaving.
     #[test]
     fn rpc_replies_match_under_interleaving(rounds in 1usize..20, clients in 1usize..6) {

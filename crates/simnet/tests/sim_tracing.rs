@@ -61,6 +61,132 @@ fn trace_records_sends_recvs_compute_and_finishes() {
 }
 
 #[test]
+fn dropped_message_is_attributed_to_sender() {
+    let mut sim = SimBuilder::new().trace(true).build();
+    let victim = sim.spawn_daemon("victim", |ctx| loop {
+        let _ = ctx.recv();
+    });
+    sim.spawn("killer-sender", move |ctx| {
+        ctx.send(victim, 3, 1u64, 32);
+        ctx.advance(SimTime::from_millis(1));
+        ctx.kill(victim);
+        ctx.send(victim, 4, 2u64, 64);
+    });
+    let report = sim.run().unwrap();
+
+    // Global count and per-proc attribution: the sender (not the dead
+    // destination) owns the drop.
+    assert_eq!(report.dropped_msgs, 1);
+    assert_eq!(report.proc("killer-sender").unwrap().msgs_dropped, 1);
+    assert_eq!(report.proc("victim").unwrap().msgs_dropped, 0);
+
+    let drops: Vec<_> = report
+        .trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Drop { .. }))
+        .collect();
+    assert_eq!(drops.len(), 1);
+    if let TraceEvent::Drop {
+        src,
+        dst,
+        tag,
+        bytes,
+        ..
+    } = drops[0]
+    {
+        assert_eq!((*src, *dst, *tag, *bytes), (ProcId(1), victim, 4, 64));
+    }
+}
+
+#[test]
+fn trace_marks_record_labels_at_current_clock() {
+    let mut sim = SimBuilder::new().trace(true).build();
+    sim.spawn("p", |ctx| {
+        ctx.advance(SimTime::from_millis(5));
+        ctx.trace_mark("job.submit");
+    });
+    let report = sim.run().unwrap();
+    assert!(report.trace.iter().any(|e| matches!(
+        e,
+        TraceEvent::Mark {
+            at,
+            label: "job.submit",
+            ..
+        } if *at == SimTime::from_millis(5)
+    )));
+}
+
+#[test]
+fn metrics_registry_is_captured_in_report() {
+    let mut sim = SimBuilder::new().build();
+    sim.spawn("p", |ctx| {
+        ctx.metric_add("test.counter", 2);
+        ctx.metric_add("test.counter", 3);
+        ctx.metric_gauge_set("test.gauge", -7);
+        ctx.advance(SimTime::from_millis(1));
+        ctx.metric_observe("test.hist", SimTime::from_micros(50));
+    });
+    let report = sim.run().unwrap();
+    assert_eq!(report.metrics.counter("test.counter"), 5);
+    assert_eq!(report.metrics.gauge("test.gauge"), Some(-7));
+    let h = report.metrics.hist("test.hist").unwrap();
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.sum_ns(), 50_000);
+}
+
+#[test]
+fn metric_calls_do_not_perturb_timing() {
+    let run = |instrument: bool| {
+        let mut sim = SimBuilder::new().seed(5).build();
+        let server = sim.spawn_daemon("s", move |ctx| loop {
+            let env = ctx.recv();
+            if instrument {
+                ctx.metric_add("srv.reqs", 1);
+            }
+            ctx.reply(&env, (), 8);
+        });
+        sim.spawn("c", move |ctx| {
+            for i in 0..20 {
+                let t0 = ctx.now();
+                let _ = ctx.call(server, 0, (), 128);
+                if instrument {
+                    ctx.metric_observe("cli.latency", ctx.now() - t0);
+                    ctx.metric_add("cli.reqs", 1);
+                }
+                ctx.advance(SimTime::from_micros(10 + i));
+            }
+        });
+        sim.run().unwrap().virtual_time
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn procs_named_returns_all_matches() {
+    let mut sim = SimBuilder::new().build();
+    sim.spawn("worker", |ctx| ctx.advance(SimTime::from_millis(1)));
+    sim.spawn("worker", |ctx| ctx.advance(SimTime::from_millis(2)));
+    sim.spawn("solo", |ctx| ctx.advance(SimTime::from_millis(3)));
+    let report = sim.run().unwrap();
+    assert_eq!(report.procs_named("worker").len(), 2);
+    assert_eq!(report.procs_named("solo").len(), 1);
+    assert_eq!(report.procs_named("missing").len(), 0);
+    // Unique lookup still works through `proc`.
+    assert_eq!(report.proc("solo").unwrap().busy, SimTime::from_millis(3));
+}
+
+#[test]
+#[should_panic(expected = "not unique")]
+#[cfg(debug_assertions)]
+fn proc_debug_asserts_name_uniqueness() {
+    let mut sim = SimBuilder::new().build();
+    sim.spawn("dup", |ctx| ctx.advance(SimTime::from_millis(1)));
+    sim.spawn("dup", |ctx| ctx.advance(SimTime::from_millis(2)));
+    let report = sim.run().unwrap();
+    let _ = report.proc("dup");
+}
+
+#[test]
 fn tracing_is_off_by_default_and_costs_nothing() {
     let mut sim = SimBuilder::new().build();
     sim.spawn("p", |ctx| {

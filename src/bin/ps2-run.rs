@@ -13,6 +13,8 @@
 //!   --backend NAME     ps2 | ps | spark | petuum | distml | xgboost |
 //!                      glint | mllib-star      (default ps2)
 //!   --csv PATH         also write the (seconds, loss) trace as CSV
+//!   --metrics-json PATH  write the flight-recorder run report as JSON and
+//!                        print the per-op breakdown table
 //!
 //! dataset flags (lr/svm/lbfgs/fm):
 //!   --rows N --dim N --nnz N   (defaults 20000 / 100000 / 20)
@@ -47,7 +49,7 @@ use ps2::ml::lr::{train_lr, train_lr_mllib_star, LrBackend, LrConfig};
 use ps2::ml::optim::Optimizer;
 use ps2::ml::svm::{train_svm, SvmConfig};
 use ps2::ml::TrainingTrace;
-use ps2::{run_ps2, ClusterSpec};
+use ps2::{run_ps2, ClusterSpec, RunReport};
 use ps2_data::{CorpusGen, GraphGen, RandomWalks, SparseDatasetGen};
 
 struct Args {
@@ -301,6 +303,13 @@ fn main() {
             writeln!(f, "{i},{s:.6},{l:.6}").unwrap();
         }
         println!("trace written to {path}");
+    }
+    if let Some(path) = args.flags.get("metrics-json") {
+        let run = RunReport::from_sim(&report);
+        println!("\n{}", run.render_table());
+        std::fs::write(path, run.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!("metrics written to {path}");
     }
 }
 

@@ -47,6 +47,7 @@ pub use ps2_simnet as simnet;
 // The most-used names at the top level.
 pub use ps2_core::{
     deploy, run_ps2, run_ps2_with, AggKind, ClusterSpec, Dcv, Deployment, ElemOp, InitKind,
-    Partitioning, Ps2Context, PsConfig, SimBuilder, SimCtx, SimReport, SimTime, ZipSegs,
+    MetricsSnapshot, Partitioning, Ps2Context, PsConfig, RunReport, SimBuilder, SimCtx, SimReport,
+    SimTime, ZipSegs,
 };
 pub use ps2_ml::TrainingTrace;

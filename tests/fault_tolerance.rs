@@ -10,7 +10,7 @@
 
 use ps2::data::SparseDatasetGen;
 use ps2::ml::lr::{distinct_cols, grad_aligned};
-use ps2::{deploy, ClusterSpec, Ps2Context, SimBuilder, SimTime};
+use ps2::{deploy, ClusterSpec, MetricsSnapshot, Ps2Context, SimBuilder, SimTime};
 
 const SEED: u64 = 23;
 const ITERS: usize = 8;
@@ -29,6 +29,8 @@ struct RunOutcome {
     iter_done: Vec<SimTime>,
     recoveries: u64,
     silent_reinits: u64,
+    /// Flight-recorder registry captured from the final `SimReport`.
+    metrics: MetricsSnapshot,
 }
 
 /// One deterministic run of a hand-rolled mini-batch-free LR loop (full
@@ -105,7 +107,7 @@ fn run_lr(kill_at: Option<SimTime>) -> RunOutcome {
             ps2.ps.silent_reinits(),
         )
     });
-    sim.run().expect("simulation must complete (no deadlock)");
+    let report = sim.run().expect("simulation must complete (no deadlock)");
     let (losses, grad_done, iter_done, recoveries, silent_reinits) = out.take();
     RunOutcome {
         losses,
@@ -113,6 +115,7 @@ fn run_lr(kill_at: Option<SimTime>) -> RunOutcome {
         iter_done,
         recoveries,
         silent_reinits,
+        metrics: report.metrics,
     }
 }
 
@@ -181,4 +184,23 @@ fn server_killed_mid_iteration_training_completes_via_in_job_recovery() {
         faulty.iter_done[ITERS - 1] > clean.iter_done[ITERS - 1],
         "recovery must cost virtual time"
     );
+    // The flight recorder must have tagged the fault handling: the clients'
+    // retry path and the master's recovery span both leave counters behind.
+    let tagged =
+        faulty.metrics.counter("ps.client.retries") + faulty.metrics.counter("ps.fleet.recoveries");
+    assert!(
+        tagged >= 1,
+        "faulty run must record at least one tagged retry/recovery span"
+    );
+    assert_eq!(
+        faulty.metrics.counter("ps.fleet.recoveries"),
+        faulty.recoveries,
+        "registry recovery count must match the master's own count"
+    );
+    assert_eq!(
+        clean.metrics.counter("ps.client.retries"),
+        0,
+        "clean run must not record retries"
+    );
+    assert_eq!(clean.metrics.counter("ps.fleet.recoveries"), 0);
 }

@@ -3,7 +3,7 @@
 
 use ps2::ml::lr::{train_lr, LrBackend, LrConfig};
 use ps2::ml::optim::Optimizer;
-use ps2::{run_ps2, ClusterSpec, ElemOp, SimTime};
+use ps2::{run_ps2, ClusterSpec, ElemOp, RunReport, SimTime};
 use ps2_data::{presets, SparseDatasetGen};
 
 fn spec(w: usize, s: usize) -> ClusterSpec {
@@ -70,6 +70,45 @@ fn end_to_end_run_is_deterministic_across_processes_of_the_harness() {
     let b = run();
     assert_eq!(a.0, b.0, "loss curves must be bit-identical");
     assert_eq!((a.1, a.2, a.3), (b.1, b.2, b.3));
+}
+
+#[test]
+fn same_seed_runs_emit_byte_identical_metrics_json() {
+    let run = || {
+        let (_, report) = run_ps2(spec(5, 3), 7, |ctx, ps2| {
+            let gen = SparseDatasetGen::new(2_000, 5_000, 10, 5, 7);
+            let cfg = LrConfig::new(gen, Optimizer::Sgd, 10);
+            train_lr(ctx, ps2, &cfg, LrBackend::Ps2Dcv)
+        });
+        RunReport::from_sim(&report).to_json()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same-seed JSON run reports must be byte-identical");
+    assert!(
+        a.contains("\"ops\""),
+        "report must carry the per-op breakdown"
+    );
+}
+
+#[test]
+fn per_op_shares_sum_to_virtual_time() {
+    let (_, report) = run_ps2(spec(5, 3), 7, |ctx, ps2| {
+        let gen = SparseDatasetGen::new(2_000, 5_000, 10, 5, 7);
+        let cfg = LrConfig::new(gen, Optimizer::Sgd, 10);
+        train_lr(ctx, ps2, &cfg, LrBackend::Ps2Dcv)
+    });
+    let run = RunReport::from_sim(&report);
+    assert!(!run.ops.is_empty(), "an LR run must record client op spans");
+    let share_sum: u64 = run.ops.iter().map(|o| o.share_ns).sum();
+    let vt = run.virtual_time.as_nanos();
+    // Proportional allocation rounds each share down, so the sum may fall
+    // short of the job's virtual time by at most one nanosecond per op row.
+    assert!(
+        vt - share_sum <= run.ops.len() as u64,
+        "op shares must sum to the run's virtual time within rounding: \
+         shares {share_sum} vs virtual {vt}"
+    );
 }
 
 #[test]
