@@ -122,12 +122,17 @@ pub fn executor_main(ctx: &mut SimCtx) {
             tags::TASK => {
                 let spec: &Arc<TaskSpec> = env.downcast_ref();
                 let spec = Arc::clone(spec);
-                ctx.trace_mark("executor.task.start");
+                ctx.trace_mark_with("executor.task.start", spec.partition as u64);
                 ctx.metric_add("executor.tasks", 1);
+                // All compute this task charges (overhead, RDD
+                // materialization, the job body) shows up under one label in
+                // the trace's per-op compute breakdown.
+                ctx.op_label("spark.task");
                 ctx.charge_task_overhead();
                 if spec.failure_prob > 0.0 && ctx.rng().gen::<f64>() < spec.failure_prob {
                     ctx.advance(spec.failure_waste);
                     ctx.metric_add("executor.task_failures", 1);
+                    ctx.op_label_clear();
                     ctx.reply(&env, TaskResult::Failed, 16);
                     continue;
                 }
@@ -141,6 +146,7 @@ pub fn executor_main(ctx: &mut SimCtx) {
                     };
                     (spec.job)(&mut w)
                 };
+                ctx.op_label_clear();
                 ctx.reply(&env, TaskResult::Ok(value), bytes);
             }
             tags::BROADCAST => {

@@ -108,6 +108,9 @@ pub struct SparkContext {
     pub executors_replaced: u64,
     /// Count of task attempts that failed and were retried.
     pub task_retries: u64,
+    /// Jobs run so far — doubles as the job id carried on the
+    /// `spark.job.*` trace marks.
+    jobs_submitted: u64,
     respawn_counter: u64,
     /// Liveness probes consulted by the scheduler's timeout branch: each
     /// checks one non-executor dependency (e.g. the PS-server fleet) and
@@ -127,6 +130,7 @@ impl SparkContext {
             task_bytes: 2048,
             executors_replaced: 0,
             task_retries: 0,
+            jobs_submitted: 0,
             respawn_counter: 0,
             probes: Vec::new(),
         }
@@ -327,8 +331,10 @@ impl SparkContext {
     ) -> Result<Vec<Box<dyn Any + Send>>, JobError> {
         let n = jobs.len();
         let job_start = ctx.now();
+        let job_id = self.jobs_submitted;
+        self.jobs_submitted += 1;
         ctx.metric_add("spark.jobs", 1);
-        ctx.trace_mark("spark.job.submit");
+        ctx.trace_mark_with("spark.job.submit", job_id);
         let mut results: Vec<Option<Box<dyn Any + Send>>> = (0..n).map(|_| None).collect();
         let mut attempts = vec![0u32; n];
         // corr -> (partition, executor index, dispatch time)
@@ -348,7 +354,7 @@ impl SparkContext {
                     failure_waste: sc.failure.failure_waste,
                 });
                 ctx.metric_add("spark.tasks_dispatched", 1);
-                ctx.trace_mark("spark.task.start");
+                ctx.trace_mark_with("spark.task.start", part as u64);
                 let corr =
                     ctx.send_request(sc.executors[exec_idx], tags::TASK, spec, sc.task_bytes);
                 pending.insert(corr, (part, exec_idx, ctx.now()));
@@ -371,14 +377,14 @@ impl SparkContext {
                     ctx.metric_observe("spark.task.latency", ctx.now() - dispatched_at);
                     match env.downcast::<TaskResult>() {
                         TaskResult::Ok(value) => {
-                            ctx.trace_mark("spark.task.finish");
+                            ctx.trace_mark_with("spark.task.finish", part as u64);
                             results[part] = Some(value);
                         }
                         TaskResult::Failed => {
                             attempts[part] += 1;
                             self.task_retries += 1;
                             ctx.metric_add("spark.task_retries", 1);
-                            ctx.trace_mark("spark.task.retry");
+                            ctx.trace_mark_with("spark.task.retry", part as u64);
                             if attempts[part] >= self.failure.max_task_attempts {
                                 return Err(JobError::TaskRetriesExhausted {
                                     partition: part,
@@ -433,7 +439,7 @@ impl SparkContext {
             }
         }
         ctx.metric_observe("spark.job.latency", ctx.now() - job_start);
-        ctx.trace_mark("spark.job.finish");
+        ctx.trace_mark_with("spark.job.finish", job_id);
         Ok(results
             .into_iter()
             .map(|r| r.expect("missing task result"))

@@ -155,7 +155,7 @@ impl PsFleet {
             if !restored {
                 ctx.metric_add("ps.fleet.silent_reinits", 1);
             }
-            ctx.trace_mark("ps.fleet.recover");
+            ctx.trace_mark_with("ps.fleet.recover", slot as u64);
             self.route.set(slot, fresh);
             recovered.push(slot);
         }

@@ -236,7 +236,11 @@ pub fn ps_server_main(ctx: &mut SimCtx) {
         let op = tags::name(env.tag);
         let t0 = ctx.now();
         let queue = t0.saturating_sub(env.arrival);
+        // Tag the handler's compute charges with the op so trace analysis
+        // can break server busy time down by request kind.
+        ctx.op_label(op);
         handle(ctx, &mut shards, &mut oplog, env);
+        ctx.op_label_clear();
         ctx.metric_observe(&format!("ps.server.{op}.queue"), queue);
         ctx.metric_observe(&format!("ps.server.{op}.service"), ctx.now() - t0);
     }

@@ -1,0 +1,488 @@
+//! Causal analysis of a recorded event trace: critical path and category
+//! attribution.
+//!
+//! The trace recorded by [`crate::SimBuilder::trace`] forms a DAG: each
+//! process's events are totally ordered by its clock (program-order edges),
+//! and every delivered message adds an edge from its `Send` to its `Recv`,
+//! keyed by the run-unique `seq`. The **critical path** is the chain of
+//! events that bounds the run's makespan: starting from the last non-daemon
+//! process to finish, walk backwards — through local history while the
+//! process was busy, and across a message edge to the sender whenever the
+//! process was blocked waiting for that message.
+//!
+//! Every nanosecond of `[0, makespan]` is attributed to exactly one
+//! category:
+//!
+//! * **compute** — a `Compute` charge on the path (split by op label);
+//! * **network** — uncontended transit of a path message: the part of a
+//!   blocked wait the message would still have needed on idle NICs (link
+//!   latency plus one wire time; loopback latency for self-sends);
+//! * **queue** — the rest of a blocked wait: the message landed later than
+//!   its uncontended arrival because a NIC was serializing other traffic
+//!   (the paper's driver-incast effect);
+//! * **idle** — untraced gaps: receive-deadline waits (scheduler idle),
+//!   per-message send overhead, and time before a process's first event.
+//!
+//! The attribution therefore *sums exactly to the makespan*, and — because
+//! the trace and the walk are deterministic — is byte-identical across
+//! same-seed runs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::report::{SimReport, TraceEvent};
+use crate::time::SimTime;
+
+/// What a critical-path interval was spent on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum PathCategory {
+    Compute,
+    Network,
+    Queue,
+    Idle,
+}
+
+impl PathCategory {
+    pub fn name(self) -> &'static str {
+        match self {
+            PathCategory::Compute => "compute",
+            PathCategory::Network => "network",
+            PathCategory::Queue => "queue",
+            PathCategory::Idle => "idle",
+        }
+    }
+}
+
+/// One attributed interval of the critical path, on one process.
+#[derive(Clone, Debug)]
+pub struct PathSegment {
+    /// Index of the process the interval is attributed to.
+    pub proc: usize,
+    pub start: SimTime,
+    pub end: SimTime,
+    pub category: PathCategory,
+    /// Op label for `Compute` segments that carried one.
+    pub label: Option<&'static str>,
+}
+
+impl PathSegment {
+    pub fn duration_ns(&self) -> u64 {
+        self.end.as_nanos() - self.start.as_nanos()
+    }
+}
+
+/// Per-process summary: how much of the critical path ran here, and how much
+/// slack the process had.
+#[derive(Clone, Debug)]
+pub struct ProcSummary {
+    pub proc: usize,
+    pub name: String,
+    pub daemon: bool,
+    pub finished_at: SimTime,
+    pub busy: SimTime,
+    /// Time between this process finishing and the makespan — how much it
+    /// could slow down before becoming the straggler (daemons excluded from
+    /// the makespan keep their raw difference).
+    pub slack_ns: u64,
+    /// Critical-path time attributed to this process.
+    pub critical_ns: u64,
+}
+
+/// Why the analysis could not run.
+#[derive(Clone, Debug)]
+pub enum CausalError {
+    /// The report has no event trace (tracing was off, or nothing ran).
+    NoTrace,
+    /// A `Recv` referenced a `seq` with no recorded `Send`.
+    MissingSend { seq: u64 },
+}
+
+impl fmt::Display for CausalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CausalError::NoTrace => {
+                write!(f, "report has no event trace (enable SimBuilder::trace)")
+            }
+            CausalError::MissingSend { seq } => {
+                write!(
+                    f,
+                    "trace is inconsistent: Recv references unknown send seq {seq}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CausalError {}
+
+/// Result of the critical-path walk over one run's trace.
+#[derive(Clone, Debug)]
+pub struct CausalAnalysis {
+    /// The run's virtual makespan (latest non-daemon clock).
+    pub makespan: SimTime,
+    /// Critical-path intervals in forward time order, partitioning
+    /// `[0, makespan]`.
+    pub segments: Vec<PathSegment>,
+    pub compute_ns: u64,
+    pub network_ns: u64,
+    pub queue_ns: u64,
+    pub idle_ns: u64,
+    /// Critical-path compute split by op label (`"(unlabeled)"` for charges
+    /// recorded without one).
+    pub compute_by_label: BTreeMap<&'static str, u64>,
+    /// One summary per process, in process-id order.
+    pub procs: Vec<ProcSummary>,
+}
+
+/// End of an event's time interval; events other than `Compute` are points.
+fn event_end(e: &TraceEvent) -> SimTime {
+    match e {
+        TraceEvent::Compute { at, dt, .. } => *at + *dt,
+        other => other.at(),
+    }
+}
+
+fn proc_of(e: &TraceEvent) -> usize {
+    match e {
+        TraceEvent::Send { src, .. } | TraceEvent::Drop { src, .. } => src.0,
+        TraceEvent::Recv { proc, .. }
+        | TraceEvent::Compute { proc, .. }
+        | TraceEvent::Finish { proc, .. }
+        | TraceEvent::Mark { proc, .. } => proc.0,
+    }
+}
+
+impl CausalAnalysis {
+    /// Walk the trace of `report` and attribute the critical path.
+    pub fn from_report(report: &SimReport) -> Result<CausalAnalysis, CausalError> {
+        if report.trace.is_empty() {
+            return Err(CausalError::NoTrace);
+        }
+        let nprocs = report.procs.len();
+        let makespan = report.virtual_time;
+
+        // Per-process event lists in program order. The trace is stably
+        // sorted by time and per-process clocks are monotone, so filtering
+        // preserves each process's execution order.
+        let mut per_proc: Vec<Vec<usize>> = vec![Vec::new(); nprocs];
+        // seq -> (sender proc, position within sender's list).
+        let mut send_pos: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+        for (i, e) in report.trace.iter().enumerate() {
+            let p = proc_of(e);
+            if let TraceEvent::Send { seq, .. } = e {
+                send_pos.insert(*seq, (p, per_proc[p].len()));
+            }
+            per_proc[p].push(i);
+        }
+
+        // Start at the non-daemon process that finished last (the one whose
+        // clock *is* the makespan); ties break to the smallest id, matching
+        // the determinism of the rest of the simulator.
+        let start_proc = report
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.daemon)
+            .max_by(|(ia, a), (ib, b)| {
+                a.finished_at.cmp(&b.finished_at).then(ib.cmp(ia)) // prefer the smaller id on ties
+            })
+            .map(|(i, _)| i)
+            .ok_or(CausalError::NoTrace)?;
+
+        let mut segments: Vec<PathSegment> = Vec::new();
+        let mut critical_ns = vec![0u64; nprocs];
+        let push = |segments: &mut Vec<PathSegment>,
+                    critical_ns: &mut Vec<u64>,
+                    proc: usize,
+                    start: SimTime,
+                    end: SimTime,
+                    category: PathCategory,
+                    label: Option<&'static str>| {
+            debug_assert!(start <= end, "segment with negative duration");
+            if start == end {
+                return;
+            }
+            critical_ns[proc] += end.as_nanos() - start.as_nanos();
+            segments.push(PathSegment {
+                proc,
+                start,
+                end,
+                category,
+                label,
+            });
+        };
+
+        let mut p = start_proc;
+        let mut t = makespan;
+        let mut idx: isize = per_proc[p].len() as isize - 1;
+        while t > SimTime::ZERO {
+            if idx < 0 {
+                // Nothing earlier on this process: the remaining prefix is
+                // time before its first event (spawn offset / quiet start).
+                push(
+                    &mut segments,
+                    &mut critical_ns,
+                    p,
+                    SimTime::ZERO,
+                    t,
+                    PathCategory::Idle,
+                    None,
+                );
+                break;
+            }
+            let e = &report.trace[per_proc[p][idx as usize]];
+            let end = event_end(e);
+            if end > t {
+                // Event beyond the cursor (e.g. daemon activity after the
+                // makespan): not on the path.
+                idx -= 1;
+                continue;
+            }
+            if end < t {
+                // Untraced clock movement: receive-deadline waits and
+                // per-message send overhead.
+                push(
+                    &mut segments,
+                    &mut critical_ns,
+                    p,
+                    end,
+                    t,
+                    PathCategory::Idle,
+                    None,
+                );
+                t = end;
+                continue;
+            }
+            // end == t: this event's completion is on the path.
+            match e {
+                TraceEvent::Compute { at, label, .. } => {
+                    let label = label.map(|l| report.label_name(l));
+                    push(
+                        &mut segments,
+                        &mut critical_ns,
+                        p,
+                        *at,
+                        t,
+                        PathCategory::Compute,
+                        label,
+                    );
+                    t = *at;
+                    idx -= 1;
+                }
+                TraceEvent::Recv { seq, .. } => {
+                    let prev_end = if idx == 0 {
+                        SimTime::ZERO
+                    } else {
+                        event_end(&report.trace[per_proc[p][idx as usize - 1]])
+                    };
+                    if prev_end == t {
+                        // The message was already waiting when the process
+                        // got here — consuming it cost nothing.
+                        idx -= 1;
+                        continue;
+                    }
+                    let &(src, src_pos) = send_pos
+                        .get(seq)
+                        .ok_or(CausalError::MissingSend { seq: *seq })?;
+                    let TraceEvent::Send {
+                        at: sent_at,
+                        bytes,
+                        arrival,
+                        ..
+                    } = &report.trace[per_proc[src][src_pos]]
+                    else {
+                        unreachable!("send_pos points at a non-Send event");
+                    };
+                    if *arrival != t {
+                        // The process's clock had already passed the arrival
+                        // (deadline waits moved it): the gap is idle time,
+                        // not a network wait.
+                        push(
+                            &mut segments,
+                            &mut critical_ns,
+                            p,
+                            prev_end,
+                            t,
+                            PathCategory::Idle,
+                            None,
+                        );
+                        t = prev_end;
+                        idx -= 1;
+                        continue;
+                    }
+                    // Genuine blocked wait: [hop, t] where hop is when both
+                    // the sender had sent and this process was free. Had the
+                    // NICs been idle the message would have landed at
+                    // `sent_at + ideal`; every nanosecond waited beyond that
+                    // is congestion (NIC serialization), not transit.
+                    let hop = (*sent_at).max(prev_end);
+                    let raw = t.as_nanos() - hop.as_nanos();
+                    let ideal = if src == p {
+                        report.net.loopback
+                    } else {
+                        report.net.latency + report.net.wire_time(*bytes)
+                    };
+                    let ideal_arrival = *sent_at + ideal;
+                    let queue_ns = t
+                        .as_nanos()
+                        .saturating_sub(ideal_arrival.as_nanos())
+                        .min(raw);
+                    let net_ns = raw - queue_ns;
+                    let transit_start = SimTime(t.as_nanos() - net_ns);
+                    // NIC serialization (congestion) first, transit last —
+                    // the message physically lands at `t`.
+                    push(
+                        &mut segments,
+                        &mut critical_ns,
+                        p,
+                        hop,
+                        transit_start,
+                        PathCategory::Queue,
+                        None,
+                    );
+                    push(
+                        &mut segments,
+                        &mut critical_ns,
+                        p,
+                        transit_start,
+                        t,
+                        PathCategory::Network,
+                        None,
+                    );
+                    t = hop;
+                    if *sent_at >= prev_end {
+                        // The sender bound us: follow the message edge.
+                        p = src;
+                        idx = src_pos as isize;
+                    } else {
+                        // Our own earlier work bound us.
+                        idx -= 1;
+                    }
+                }
+                // Point events: Send/Drop/Mark/Finish take no time.
+                _ => idx -= 1,
+            }
+        }
+        segments.reverse();
+
+        let mut compute_ns = 0u64;
+        let mut network_ns = 0u64;
+        let mut queue_ns = 0u64;
+        let mut idle_ns = 0u64;
+        let mut compute_by_label: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for s in &segments {
+            let d = s.duration_ns();
+            match s.category {
+                PathCategory::Compute => {
+                    compute_ns += d;
+                    *compute_by_label
+                        .entry(s.label.unwrap_or("(unlabeled)"))
+                        .or_insert(0) += d;
+                }
+                PathCategory::Network => network_ns += d,
+                PathCategory::Queue => queue_ns += d,
+                PathCategory::Idle => idle_ns += d,
+            }
+        }
+        debug_assert_eq!(
+            compute_ns + network_ns + queue_ns + idle_ns,
+            makespan.as_nanos(),
+            "critical-path attribution must partition [0, makespan]"
+        );
+
+        let procs = report
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, st)| ProcSummary {
+                proc: i,
+                name: st.name.clone(),
+                daemon: st.daemon,
+                finished_at: st.finished_at,
+                busy: st.busy,
+                slack_ns: makespan
+                    .as_nanos()
+                    .saturating_sub(st.finished_at.as_nanos()),
+                critical_ns: critical_ns[i],
+            })
+            .collect();
+
+        Ok(CausalAnalysis {
+            makespan,
+            segments,
+            compute_ns,
+            network_ns,
+            queue_ns,
+            idle_ns,
+            compute_by_label,
+            procs,
+        })
+    }
+
+    /// Sum of all category attributions — always equals the makespan.
+    pub fn category_total_ns(&self) -> u64 {
+        self.compute_ns + self.network_ns + self.queue_ns + self.idle_ns
+    }
+
+    /// `(category name, attributed nanoseconds)` in fixed category order.
+    pub fn categories(&self) -> [(&'static str, u64); 4] {
+        [
+            ("compute", self.compute_ns),
+            ("network", self.network_ns),
+            ("queue", self.queue_ns),
+            ("idle", self.idle_ns),
+        ]
+    }
+
+    /// Deterministic human-readable breakdown.
+    pub fn render(&self) -> String {
+        let total = self.makespan.as_nanos().max(1);
+        let pct = |ns: u64| ns as f64 * 100.0 / total as f64;
+        let secs = |ns: u64| ns as f64 / 1e9;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "critical path: makespan {:.6}s, {} segments\n",
+            secs(self.makespan.as_nanos()),
+            self.segments.len()
+        ));
+        for (name, ns) in self.categories() {
+            out.push_str(&format!(
+                "  {:<8} {:>12.6}s  {:>5.1}%\n",
+                name,
+                secs(ns),
+                pct(ns)
+            ));
+        }
+        if !self.compute_by_label.is_empty() {
+            out.push_str("critical-path compute by op:\n");
+            let mut rows: Vec<(&&'static str, &u64)> = self.compute_by_label.iter().collect();
+            // Largest first; ties resolve alphabetically via the BTreeMap
+            // iteration order being stable under the stable sort.
+            rows.sort_by(|a, b| b.1.cmp(a.1));
+            for (label, ns) in rows {
+                out.push_str(&format!(
+                    "  {:<24} {:>12.6}s  {:>5.1}%\n",
+                    label,
+                    secs(*ns),
+                    pct(*ns)
+                ));
+            }
+        }
+        out.push_str("top processes by critical-path time:\n");
+        let mut rows: Vec<&ProcSummary> = self.procs.iter().collect();
+        rows.sort_by(|a, b| b.critical_ns.cmp(&a.critical_ns).then(a.proc.cmp(&b.proc)));
+        for ps in rows.iter().take(10) {
+            if ps.critical_ns == 0 {
+                break;
+            }
+            out.push_str(&format!(
+                "  {:<20} critical {:>10.6}s  busy {:>10.6}s  slack {:>10.6}s\n",
+                ps.name,
+                secs(ps.critical_ns),
+                secs(ps.busy.as_nanos()),
+                secs(ps.slack_ns)
+            ));
+        }
+        out
+    }
+}

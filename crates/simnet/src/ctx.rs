@@ -311,7 +311,27 @@ impl SimCtx {
     /// process's current clock (no-op unless tracing is enabled on the
     /// builder). Not a yield point.
     pub fn trace_mark(&mut self, label: &'static str) {
-        self.shared.trace_mark(self.me.0, label);
+        self.shared.trace_mark(self.me.0, label, None);
+    }
+
+    /// Like [`SimCtx::trace_mark`], with a machine-readable `u64` payload
+    /// (task id, partition, slot — whatever the label's convention is).
+    /// Not a yield point.
+    pub fn trace_mark_with(&mut self, label: &'static str, payload: u64) {
+        self.shared.trace_mark(self.me.0, label, Some(payload));
+    }
+
+    /// Label subsequent compute charges with an op name (e.g. the PS request
+    /// kind being served) until [`SimCtx::op_label_clear`]. Recorded on
+    /// `TraceEvent::Compute` so causal analysis can break compute down by
+    /// op; no-op unless tracing is enabled. Not a yield point.
+    pub fn op_label(&mut self, label: &'static str) {
+        self.shared.set_op_label(self.me.0, Some(label));
+    }
+
+    /// Clear the label set by [`SimCtx::op_label`]. Not a yield point.
+    pub fn op_label_clear(&mut self) {
+        self.shared.set_op_label(self.me.0, None);
     }
 
     // ---- topology management -------------------------------------------------

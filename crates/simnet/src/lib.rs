@@ -51,20 +51,24 @@
 //! The arithmetic itself runs for real, so losses and models are genuine —
 //! only the clock is simulated.
 
+pub mod causal;
 mod config;
 mod ctx;
 mod message;
 pub mod metrics;
+pub mod perfetto;
 mod probe;
 mod report;
 mod runtime;
 mod time;
 
+pub use causal::{CausalAnalysis, CausalError, PathCategory, PathSegment, ProcSummary};
 pub use config::{ComputeConfig, NetConfig, SimConfig};
 pub use ctx::SimCtx;
 pub use message::{Envelope, WireSize};
 pub use metrics::{MetricsSnapshot, OpRow, RunReport, VtHistogram};
+pub use perfetto::export_trace;
 pub use probe::LivenessProbe;
-pub use report::{ProcStats, SimReport, TraceEvent};
+pub use report::{LabelId, ProcStats, SimReport, TraceEvent};
 pub use runtime::{OutputSlot, ProcId, SimBuilder, SimError, SimRuntime};
 pub use time::SimTime;

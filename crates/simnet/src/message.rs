@@ -22,6 +22,10 @@ pub struct Envelope {
     pub payload: Box<dyn Any + Send>,
     /// Declared wire size in bytes.
     pub bytes: u64,
+    /// Run-unique message sequence number — the same value recorded on the
+    /// `TraceEvent::Send`/`Recv` pair, so application code can correlate a
+    /// delivered message with the trace.
+    pub seq: u64,
     /// Sender clock at send time.
     pub sent_at: SimTime,
     /// Receiver clock when the transfer completed.

@@ -253,6 +253,9 @@ pub struct OpRow {
 const OP_SPAN_PREFIX: &str = "ps.client.op.";
 const OP_SPAN_SUFFIX: &str = ".latency";
 
+/// Key prefix under which the runtime counts dropped sends per protocol tag.
+const DROP_TAG_PREFIX: &str = "net.dropped.tag.";
+
 /// Aggregated, render-ready view of a finished run: where the virtual
 /// seconds went, per op kind and compute-vs-communication.
 #[derive(Clone, Debug)]
@@ -268,6 +271,10 @@ pub struct RunReport {
     pub comm_ns: u64,
     /// Per-op rows, sorted by descending `sum_ns` (ties by op name).
     pub ops: Vec<OpRow>,
+    /// Dropped messages broken down by protocol tag (from the
+    /// `net.dropped.tag.<tag>` counters), in ascending tag-key order. Sums
+    /// to `dropped_msgs`.
+    pub drops_by_tag: Vec<(String, u64)>,
     /// The full metric snapshot the rows were derived from.
     pub metrics: MetricsSnapshot,
 }
@@ -308,6 +315,14 @@ impl RunReport {
         }
         ops.sort_by(|a, b| b.sum_ns.cmp(&a.sum_ns).then_with(|| a.op.cmp(&b.op)));
 
+        let drops_by_tag: Vec<(String, u64)> = m
+            .counters()
+            .filter_map(|(k, v)| {
+                k.strip_prefix(DROP_TAG_PREFIX)
+                    .map(|tag| (tag.to_string(), v))
+            })
+            .collect();
+
         RunReport {
             virtual_time: report.virtual_time,
             total_msgs: report.total_msgs,
@@ -316,6 +331,7 @@ impl RunReport {
             compute_ns,
             comm_ns,
             ops,
+            drops_by_tag,
             metrics: m.clone(),
         }
     }
@@ -349,6 +365,13 @@ impl RunReport {
             self.comm_ns as f64 / 1e9,
             100.0 * (1.0 - self.compute_share()),
         );
+        if !self.drops_by_tag.is_empty() {
+            let _ = write!(s, "dropped by tag:");
+            for (tag, n) in &self.drops_by_tag {
+                let _ = write!(s, "  {tag}={n}");
+            }
+            let _ = writeln!(s);
+        }
         if self.ops.is_empty() {
             let _ = writeln!(s, "(no PS op spans recorded)");
             return s;
@@ -390,6 +413,14 @@ impl RunReport {
         let _ = writeln!(s, "  \"total_msgs\": {},", self.total_msgs);
         let _ = writeln!(s, "  \"total_bytes\": {},", self.total_bytes);
         let _ = writeln!(s, "  \"dropped_msgs\": {},", self.dropped_msgs);
+        s.push_str("  \"drops_by_tag\": {");
+        let mut first = true;
+        for (tag, n) in &self.drops_by_tag {
+            s.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            let _ = write!(s, "    {}: {}", json_str(tag), n);
+        }
+        s.push_str(if first { "},\n" } else { "\n  },\n" });
         let _ = writeln!(s, "  \"compute_ns\": {},", self.compute_ns);
         let _ = writeln!(s, "  \"comm_ns\": {},", self.comm_ns);
         s.push_str("  \"ops\": [\n");
@@ -452,7 +483,7 @@ impl RunReport {
 
 /// Minimal JSON string escaping (metric keys and op names are ASCII
 /// identifiers, but stay correct for anything).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -504,6 +535,41 @@ mod tests {
         assert_eq!(h.quantile_ns(0.99), 1000);
         // Empty histogram.
         assert_eq!(VtHistogram::default().quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero_at_every_q() {
+        let h = VtHistogram::default();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), 0);
+        }
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_that_sample_at_every_q() {
+        let mut h = VtHistogram::default();
+        h.observe(SimTime(700));
+        // One observation: every quantile's target rank is 1, and the
+        // bucket upper bound (1023) clamps to the observed max.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), 700);
+        }
+    }
+
+    #[test]
+    fn quantiles_collapse_when_all_samples_share_a_bucket() {
+        // 513..=520 all land in bucket [512, 1024): every quantile reports
+        // the same upper bound, clamped to the max sample.
+        let mut h = VtHistogram::default();
+        for ns in 513u64..=520 {
+            h.observe(SimTime(ns));
+        }
+        for q in [0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(h.quantile_ns(q), 520);
+        }
+        assert_eq!(h.min_ns(), 513);
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Export a recorded trace as Chrome trace-event JSON, loadable in the
+//! Perfetto UI (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! Layout: one Perfetto "thread" per simulated process (`tid` = process id,
+//! all under `pid` 1), `X` slices for compute charges (named by op label),
+//! tiny slices plus `s`/`f` flow events for every delivered message (flow id
+//! = the message's run-unique `seq`), and `i` instant events for marks,
+//! drops and finishes. When a [`CausalAnalysis`] is supplied, an extra
+//! synthetic track (`tid` = process count) highlights the critical path,
+//! one slice per attributed segment, and the analysis itself is embedded
+//! under the top-level `"ps2"` key — trace viewers ignore unknown keys, but
+//! `ps2-trace` reads them back without re-walking the event graph.
+//!
+//! The output is built from integers and `BTreeMap` iteration only, so it is
+//! byte-identical across same-seed runs.
+
+use std::fmt::Write as _;
+
+use crate::causal::CausalAnalysis;
+use crate::metrics::json_str;
+use crate::report::{SimReport, TraceEvent};
+
+/// Nanoseconds → microsecond timestamp with three decimals, via integer
+/// math so formatting can never drift.
+fn fmt_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Render `report` (and optionally its causal analysis) as trace-event JSON.
+pub fn export_trace(report: &SimReport, analysis: Option<&CausalAnalysis>) -> String {
+    let mut s = String::new();
+    s.push_str("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
+    let mut first = true;
+    let mut push_ev = |s: &mut String, ev: String| {
+        if !first {
+            s.push_str(",\n");
+        }
+        first = false;
+        s.push_str(&ev);
+    };
+
+    push_ev(
+        &mut s,
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"ps2-sim\"}}"
+            .to_string(),
+    );
+    for (i, p) in report.procs.iter().enumerate() {
+        push_ev(
+            &mut s,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                i,
+                json_str(&p.name)
+            ),
+        );
+    }
+    if analysis.is_some() {
+        push_ev(
+            &mut s,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"critical-path\"}}}}",
+                report.procs.len()
+            ),
+        );
+    }
+
+    for e in &report.trace {
+        let ev = match e {
+            TraceEvent::Compute {
+                at,
+                proc,
+                dt,
+                label,
+            } => {
+                let name = label.map(|l| report.label_name(l)).unwrap_or("compute");
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\
+                     \"name\":{},\"cat\":\"compute\"}}",
+                    proc.0,
+                    fmt_us(at.as_nanos()),
+                    fmt_us(dt.as_nanos()),
+                    json_str(name)
+                )
+            }
+            TraceEvent::Send {
+                at,
+                src,
+                dst,
+                tag,
+                bytes,
+                seq,
+                ..
+            } => {
+                let slice = format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":0.001,\
+                     \"name\":\"send t{}\",\"cat\":\"net\",\
+                     \"args\":{{\"dst\":{},\"bytes\":{},\"seq\":{}}}}}",
+                    src.0,
+                    fmt_us(at.as_nanos()),
+                    tag,
+                    dst.0,
+                    bytes,
+                    seq
+                );
+                let flow = format!(
+                    "{{\"ph\":\"s\",\"pid\":1,\"tid\":{},\"ts\":{},\
+                     \"name\":\"msg\",\"cat\":\"flow\",\"id\":{}}}",
+                    src.0,
+                    fmt_us(at.as_nanos()),
+                    seq
+                );
+                format!("{slice},\n{flow}")
+            }
+            TraceEvent::Recv {
+                at,
+                proc,
+                src,
+                tag,
+                seq,
+            } => {
+                let slice = format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":0.001,\
+                     \"name\":\"recv t{}\",\"cat\":\"net\",\
+                     \"args\":{{\"src\":{},\"seq\":{}}}}}",
+                    proc.0,
+                    fmt_us(at.as_nanos()),
+                    tag,
+                    src.0,
+                    seq
+                );
+                let flow = format!(
+                    "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":{},\"ts\":{},\
+                     \"name\":\"msg\",\"cat\":\"flow\",\"id\":{}}}",
+                    proc.0,
+                    fmt_us(at.as_nanos()),
+                    seq
+                );
+                format!("{slice},\n{flow}")
+            }
+            TraceEvent::Mark {
+                at,
+                proc,
+                label,
+                payload,
+            } => {
+                let args = match payload {
+                    Some(v) => format!(",\"args\":{{\"payload\":{v}}}"),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\
+                     \"name\":{},\"cat\":\"mark\"{}}}",
+                    proc.0,
+                    fmt_us(at.as_nanos()),
+                    json_str(report.label_name(*label)),
+                    args
+                )
+            }
+            TraceEvent::Drop {
+                at,
+                src,
+                dst,
+                tag,
+                bytes,
+                seq,
+            } => format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\
+                 \"name\":\"drop t{}\",\"cat\":\"drop\",\
+                 \"args\":{{\"dst\":{},\"bytes\":{},\"seq\":{}}}}}",
+                src.0,
+                fmt_us(at.as_nanos()),
+                tag,
+                dst.0,
+                bytes,
+                seq
+            ),
+            TraceEvent::Finish { at, proc } => format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\
+                 \"name\":\"finish\",\"cat\":\"lifecycle\"}}",
+                proc.0,
+                fmt_us(at.as_nanos())
+            ),
+        };
+        push_ev(&mut s, ev);
+    }
+
+    if let Some(a) = analysis {
+        let tid = report.procs.len();
+        for seg in &a.segments {
+            let name = match (seg.category, seg.label) {
+                (crate::causal::PathCategory::Compute, Some(l)) => format!("compute:{l}"),
+                (c, _) => c.name().to_string(),
+            };
+            push_ev(
+                &mut s,
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\
+                     \"name\":{},\"cat\":\"critical\",\"args\":{{\"proc\":{}}}}}",
+                    tid,
+                    fmt_us(seg.start.as_nanos()),
+                    fmt_us(seg.duration_ns()),
+                    json_str(&name),
+                    seg.proc
+                ),
+            );
+        }
+    }
+    s.push_str("\n]");
+
+    if let Some(a) = analysis {
+        s.push_str(",\n\"ps2\": {\n");
+        let _ = writeln!(s, "  \"makespan_ns\": {},", a.makespan.as_nanos());
+        s.push_str("  \"categories\": {");
+        for (i, (name, ns)) in a.categories().iter().enumerate() {
+            let _ = write!(s, "{}\"{}\": {}", if i == 0 { "" } else { ", " }, name, ns);
+        }
+        s.push_str("},\n");
+        s.push_str("  \"compute_by_label\": {");
+        for (i, (label, ns)) in a.compute_by_label.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{}: {}",
+                if i == 0 { "" } else { ", " },
+                json_str(label),
+                ns
+            );
+        }
+        s.push_str("},\n");
+        let _ = writeln!(s, "  \"segments\": {},", a.segments.len());
+        s.push_str("  \"procs\": [\n");
+        for (i, p) in a.procs.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"name\": {}, \"daemon\": {}, \"finished_ns\": {}, \
+                 \"busy_ns\": {}, \"slack_ns\": {}, \"critical_ns\": {}}}",
+                json_str(&p.name),
+                p.daemon,
+                p.finished_at.as_nanos(),
+                p.busy.as_nanos(),
+                p.slack_ns,
+                p.critical_ns
+            );
+            s.push_str(if i + 1 < a.procs.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"drops_by_tag\": {");
+        let mut first_drop = true;
+        for (key, v) in report.metrics.counters() {
+            if let Some(tag) = key.strip_prefix("net.dropped.tag.") {
+                let _ = write!(
+                    s,
+                    "{}\"{}\": {}",
+                    if first_drop { "" } else { ", " },
+                    tag,
+                    v
+                );
+                first_drop = false;
+            }
+        }
+        s.push_str("}\n}");
+    }
+    s.push_str("\n}\n");
+    s
+}

@@ -2,12 +2,25 @@
 
 use std::time::Duration;
 
+use crate::config::NetConfig;
 use crate::metrics::MetricsSnapshot;
 use crate::runtime::ProcId;
 use crate::time::SimTime;
 
+/// Index into [`SimReport::labels`], identifying an interned trace label.
+///
+/// Labels are interned in first-use order while the simulation runs, so the
+/// mapping is deterministic across same-seed runs. Resolve with
+/// [`SimReport::label_name`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LabelId(pub u32);
+
 /// One recorded simulation event (when tracing is enabled via
 /// [`crate::SimBuilder::trace`]).
+///
+/// `seq` is a run-unique message sequence number: every send consumes one,
+/// and the matching `Recv` (or `Drop`) carries the same value, giving the
+/// trace explicit causal message edges instead of FIFO-inferred pairing.
 #[derive(Clone, Debug)]
 pub enum TraceEvent {
     /// `src` sent `bytes` with `tag`, arriving at `dst` at `arrival`.
@@ -18,6 +31,7 @@ pub enum TraceEvent {
         tag: u32,
         bytes: u64,
         arrival: SimTime,
+        seq: u64,
     },
     /// `proc` consumed a message sent by `src` with `tag`.
     Recv {
@@ -25,12 +39,15 @@ pub enum TraceEvent {
         proc: ProcId,
         src: ProcId,
         tag: u32,
+        seq: u64,
     },
-    /// `proc` charged `dt` of compute.
+    /// `proc` charged `dt` of compute, optionally under an op label set via
+    /// `SimCtx::op_label` (e.g. the PS request kind being served).
     Compute {
         at: SimTime,
         proc: ProcId,
         dt: SimTime,
+        label: Option<LabelId>,
     },
     /// `proc` finished (or was interrupted).
     Finish { at: SimTime, proc: ProcId },
@@ -41,13 +58,16 @@ pub enum TraceEvent {
         dst: ProcId,
         tag: u32,
         bytes: u64,
+        seq: u64,
     },
     /// A labeled timeline annotation emitted by `proc` (e.g. scheduler
-    /// stage/task events).
+    /// stage/task events), with an optional machine-readable payload
+    /// (task id, partition, slot — whatever the label's convention is).
     Mark {
         at: SimTime,
         proc: ProcId,
-        label: &'static str,
+        label: LabelId,
+        payload: Option<u64>,
     },
 }
 
@@ -119,6 +139,12 @@ pub struct SimReport {
     /// Final snapshot of the run's metrics registry (counters, gauges,
     /// virtual-time histograms recorded via `SimCtx::metric_*`).
     pub metrics: MetricsSnapshot,
+    /// Interned trace labels, indexed by [`LabelId`]. Populated in first-use
+    /// order while tracing; empty when tracing was off.
+    pub labels: Vec<&'static str>,
+    /// The network model the run used — needed by `simnet::causal` to split
+    /// observed message waits into ideal transit vs. queueing.
+    pub net: NetConfig,
 }
 
 impl SimReport {
@@ -138,5 +164,21 @@ impl SimReport {
     /// All processes with this name, in spawn order.
     pub fn procs_named(&self, name: &str) -> Vec<&ProcStats> {
         self.procs.iter().filter(|p| p.name == name).collect()
+    }
+
+    /// Resolve an interned trace label.
+    pub fn label_name(&self, id: LabelId) -> &'static str {
+        self.labels
+            .get(id.0 as usize)
+            .copied()
+            .unwrap_or("<unknown-label>")
+    }
+
+    /// Look up a label id by name, if the run ever emitted it.
+    pub fn label_id(&self, name: &str) -> Option<LabelId> {
+        self.labels
+            .iter()
+            .position(|l| *l == name)
+            .map(|i| LabelId(i as u32))
     }
 }

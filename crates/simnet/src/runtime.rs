@@ -160,6 +160,24 @@ pub(crate) struct State {
     tracing: bool,
     trace: Vec<crate::report::TraceEvent>,
     metrics: MetricsSnapshot,
+    /// Interned trace labels in first-use order (only populated while
+    /// tracing, so untraced runs pay nothing).
+    labels: Vec<&'static str>,
+    /// Per-process current op label applied to `Compute` events.
+    op_labels: Vec<Option<crate::report::LabelId>>,
+}
+
+impl State {
+    /// Intern a label, returning its stable id. First-use order, so the
+    /// table is deterministic across same-seed runs. Linear scan: the label
+    /// population is a couple dozen static strings.
+    fn intern(&mut self, label: &'static str) -> crate::report::LabelId {
+        if let Some(i) = self.labels.iter().position(|l| *l == label) {
+            return crate::report::LabelId(i as u32);
+        }
+        self.labels.push(label);
+        crate::report::LabelId((self.labels.len() - 1) as u32)
+    }
 }
 
 fn pick(st: &State) -> Option<usize> {
@@ -258,10 +276,12 @@ impl Shared {
         self.interrupt_check(&st, me);
         if st.tracing && dt > SimTime::ZERO {
             let at = st.procs[me].clock;
+            let label = st.op_labels[me];
             st.trace.push(crate::report::TraceEvent::Compute {
                 at,
                 proc: ProcId(me),
                 dt,
+                label,
             });
         }
         let p = &mut st.procs[me];
@@ -290,6 +310,10 @@ impl Shared {
         let mut st = self.state.lock();
         self.interrupt_check(&st, me);
         let net = &self.cfg.net;
+        // Every send consumes a run-unique sequence number — dropped or not —
+        // so traces carry explicit Send/Recv causal edges keyed by `seq`.
+        st.seq += 1;
+        let seq = st.seq;
         st.procs[me].clock += net.per_msg_overhead;
         let now = st.procs[me].clock;
         let arrival = if dst.0 == me {
@@ -313,6 +337,7 @@ impl Shared {
                 tag,
                 bytes,
                 arrival,
+                seq,
             });
         }
         st.procs[me].stats.msgs_sent += 1;
@@ -331,6 +356,7 @@ impl Shared {
         if dead {
             st.dropped_msgs += 1;
             st.procs[me].stats.msgs_dropped += 1;
+            st.metrics.add(&format!("net.dropped.tag.{tag}"), 1);
             if st.tracing {
                 st.trace.push(crate::report::TraceEvent::Drop {
                     at: now,
@@ -338,11 +364,11 @@ impl Shared {
                     dst,
                     tag,
                     bytes,
+                    seq,
                 });
             }
         } else {
-            st.seq += 1;
-            let key = (arrival.as_nanos(), st.seq);
+            let key = (arrival.as_nanos(), seq);
             st.procs[dst.0].mailbox.insert(
                 key,
                 Envelope {
@@ -353,6 +379,7 @@ impl Shared {
                     is_reply,
                     payload,
                     bytes,
+                    seq,
                     sent_at: now,
                     arrival,
                 },
@@ -389,6 +416,7 @@ impl Shared {
                         proc: ProcId(me),
                         src: env.src,
                         tag: env.tag,
+                        seq: env.seq,
                     });
                 }
                 self.reschedule(&mut st, me);
@@ -459,15 +487,27 @@ impl Shared {
         self.state.lock().metrics.observe(name, dt);
     }
 
-    pub(crate) fn trace_mark(&self, me: usize, label: &'static str) {
+    pub(crate) fn trace_mark(&self, me: usize, label: &'static str, payload: Option<u64>) {
         let mut st = self.state.lock();
         if st.tracing {
+            let label = st.intern(label);
             let at = st.procs[me].clock;
             st.trace.push(crate::report::TraceEvent::Mark {
                 at,
                 proc: ProcId(me),
                 label,
+                payload,
             });
+        }
+    }
+
+    /// Set (or clear) the op label attached to `me`'s subsequent `Compute`
+    /// events. Not a yield point; no-op when tracing is off.
+    pub(crate) fn set_op_label(&self, me: usize, label: Option<&'static str>) {
+        let mut st = self.state.lock();
+        if st.tracing {
+            let id = label.map(|l| st.intern(l));
+            st.op_labels[me] = id;
         }
     }
 
@@ -503,6 +543,7 @@ impl Shared {
             .push(Proc::new(name.to_string(), daemon, start_clock));
         st.nic_out_free.push(SimTime::ZERO);
         st.nic_in_free.push(SimTime::ZERO);
+        st.op_labels.push(None);
         if !daemon {
             st.live += 1;
         }
@@ -695,6 +736,8 @@ impl SimBuilder {
                     tracing: self.tracing,
                     trace: Vec::new(),
                     metrics: MetricsSnapshot::default(),
+                    labels: Vec::new(),
+                    op_labels: Vec::new(),
                 }),
                 cv: Condvar::new(),
             }),
@@ -804,6 +847,8 @@ impl SimRuntime {
             procs: st.procs.iter().map(|p| p.stats.clone()).collect(),
             trace,
             metrics: st.metrics.clone(),
+            labels: st.labels.clone(),
+            net: self.shared.cfg.net.clone(),
         })
     }
 }

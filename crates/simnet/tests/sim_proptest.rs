@@ -79,9 +79,11 @@ proptest! {
         prop_assert!(a.as_nanos() >= wire_ns * n as u64);
     }
 
-    /// Trace integrity under a randomized multi-proc workload: every `Recv`
-    /// pairs with an earlier `Send` of the same `(src, tag)`, and the trace
-    /// is non-decreasing in virtual time.
+    /// Trace integrity under a randomized multi-proc workload: message
+    /// pairing is an exact bijection on the explicit `seq` — every `Recv`
+    /// consumes a strictly-earlier `Send` with the same seq, src, dst and
+    /// tag; no seq is received twice or never sent — and the trace is
+    /// non-decreasing in virtual time.
     #[test]
     fn trace_recvs_pair_with_earlier_sends(
         n_procs in 2usize..6,
@@ -120,29 +122,34 @@ proptest! {
         let times: Vec<u64> = report.trace.iter().map(|e| e.at().as_nanos()).collect();
         prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
 
-        // Walk in trace order: a Recv must consume a strictly-earlier Send
-        // of the same (src, dst, tag) — latency > 0 guarantees strictness.
-        let mut in_flight: std::collections::HashMap<(usize, usize, u32), Vec<SimTime>> =
-            std::collections::HashMap::new();
+        // Walk in trace order: every Recv names, via `seq`, exactly one
+        // strictly-earlier Send with matching endpoints and tag (latency > 0
+        // guarantees strictness), and no seq is reused or invented.
+        let mut sent: std::collections::BTreeMap<u64, (SimTime, usize, usize, u32)> =
+            std::collections::BTreeMap::new();
+        let mut received: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
         let mut recvs = 0usize;
         for e in &report.trace {
             match e {
-                ps2_simnet::TraceEvent::Send { at, src, dst, tag, .. } => {
-                    in_flight.entry((src.0, dst.0, *tag)).or_default().push(*at);
+                ps2_simnet::TraceEvent::Send { at, src, dst, tag, seq, .. } => {
+                    let dup = sent.insert(*seq, (*at, src.0, dst.0, *tag));
+                    prop_assert!(dup.is_none(), "send seq {seq} allocated twice");
                 }
-                ps2_simnet::TraceEvent::Recv { at, proc, src, tag } => {
+                ps2_simnet::TraceEvent::Recv { at, proc, src, tag, seq } => {
                     recvs += 1;
-                    let q = in_flight.get_mut(&(src.0, proc.0, *tag));
-                    prop_assert!(q.is_some(), "Recv with no matching Send");
-                    let q = q.unwrap();
-                    prop_assert!(!q.is_empty(), "Recv with no matching Send in flight");
-                    let sent_at = q.remove(0);
+                    let s = sent.get(seq);
+                    prop_assert!(s.is_some(), "Recv seq {seq} has no earlier Send");
+                    let &(sent_at, s_src, s_dst, s_tag) = s.unwrap();
+                    prop_assert_eq!((s_src, s_dst, s_tag), (src.0, proc.0, *tag));
                     prop_assert!(sent_at < *at, "Recv at {at} not after Send at {sent_at}");
+                    prop_assert!(received.insert(*seq), "seq {seq} received twice");
                 }
                 _ => {}
             }
         }
         prop_assert_eq!(recvs, msgs.len());
+        // Exact bijection: everything sent was received (no drops here).
+        prop_assert_eq!(received.len(), sent.len());
     }
 
     /// RPC replies always match their requests even under interleaving.

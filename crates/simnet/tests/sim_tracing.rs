@@ -104,16 +104,89 @@ fn trace_marks_record_labels_at_current_clock() {
     sim.spawn("p", |ctx| {
         ctx.advance(SimTime::from_millis(5));
         ctx.trace_mark("job.submit");
+        ctx.trace_mark_with("task.start", 17);
     });
     let report = sim.run().unwrap();
+    let submit = report.label_id("job.submit").expect("label interned");
     assert!(report.trace.iter().any(|e| matches!(
         e,
         TraceEvent::Mark {
             at,
-            label: "job.submit",
+            label,
+            payload: None,
             ..
-        } if *at == SimTime::from_millis(5)
+        } if *at == SimTime::from_millis(5) && *label == submit
     )));
+    let start = report.label_id("task.start").expect("label interned");
+    assert!(report.trace.iter().any(|e| matches!(
+        e,
+        TraceEvent::Mark {
+            label,
+            payload: Some(17),
+            ..
+        } if *label == start
+    )));
+    assert_eq!(report.label_name(submit), "job.submit");
+}
+
+#[test]
+fn send_and_recv_share_a_run_unique_seq() {
+    let mut sim = SimBuilder::new().trace(true).build();
+    sim.spawn("rx", |ctx| {
+        let _ = ctx.recv();
+        let _ = ctx.recv();
+    });
+    sim.spawn("tx", move |ctx| {
+        ctx.send(ProcId(0), 1, (), 32);
+        ctx.send(ProcId(0), 2, (), 32);
+    });
+    let report = sim.run().unwrap();
+    let send_seqs: Vec<u64> = report
+        .trace
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Send { seq, .. } => Some(*seq),
+            _ => None,
+        })
+        .collect();
+    let recv_seqs: Vec<u64> = report
+        .trace
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Recv { seq, .. } => Some(*seq),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(send_seqs.len(), 2);
+    assert_ne!(send_seqs[0], send_seqs[1]);
+    let mut sorted_sends = send_seqs.clone();
+    sorted_sends.sort_unstable();
+    let mut sorted_recvs = recv_seqs.clone();
+    sorted_recvs.sort_unstable();
+    assert_eq!(sorted_sends, sorted_recvs);
+}
+
+#[test]
+fn op_labels_tag_compute_events() {
+    let mut sim = SimBuilder::new().trace(true).build();
+    sim.spawn("p", |ctx| {
+        ctx.advance(SimTime::from_millis(1));
+        ctx.op_label("pull");
+        ctx.advance(SimTime::from_millis(2));
+        ctx.op_label_clear();
+        ctx.advance(SimTime::from_millis(3));
+    });
+    let report = sim.run().unwrap();
+    let pull = report.label_id("pull").expect("label interned");
+    let labels: Vec<Option<ps2_simnet::LabelId>> = report
+        .trace
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Compute { label, .. } => Some(*label),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(labels, vec![None, Some(pull), None]);
 }
 
 #[test]
@@ -201,19 +274,32 @@ fn tracing_is_off_by_default_and_costs_nothing() {
 
 #[test]
 fn traced_and_untraced_runs_have_identical_timing() {
+    // Marks, payload marks and op labels only run when tracing is on, so
+    // this also pins down that the tracing instrumentation itself (label
+    // interning included) never moves a clock.
     let run = |trace: bool| {
         let mut sim = SimBuilder::new().seed(9).trace(trace).build();
         let server = sim.spawn_daemon("s", |ctx| loop {
             let env = ctx.recv();
+            ctx.op_label("serve");
+            ctx.advance(SimTime::from_micros(3));
+            ctx.op_label_clear();
             ctx.reply(&env, (), 8);
         });
         sim.spawn("c", move |ctx| {
-            for _ in 0..20 {
+            for i in 0..20 {
+                ctx.trace_mark_with("iter", i);
                 let _ = ctx.call(server, 0, (), 128);
                 ctx.advance(SimTime::from_micros(10));
             }
         });
-        sim.run().unwrap().virtual_time
+        let report = sim.run().unwrap();
+        let stats: Vec<(String, u64, u64)> = report
+            .procs
+            .iter()
+            .map(|p| (p.name.clone(), p.finished_at.as_nanos(), p.busy.as_nanos()))
+            .collect();
+        (report.virtual_time, stats)
     };
     assert_eq!(run(false), run(true));
 }

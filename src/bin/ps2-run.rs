@@ -15,6 +15,10 @@
 //!   --csv PATH         also write the (seconds, loss) trace as CSV
 //!   --metrics-json PATH  write the flight-recorder run report as JSON and
 //!                        print the per-op breakdown table
+//!   --trace-json PATH  record the full event trace, print the critical-path
+//!                      breakdown, and write a Perfetto/Chrome trace-event
+//!                      JSON file (open in https://ui.perfetto.dev, or feed
+//!                      to `ps2-trace` for offline analysis)
 //!
 //! dataset flags (lr/svm/lbfgs/fm):
 //!   --rows N --dim N --nnz N   (defaults 20000 / 100000 / 20)
@@ -49,7 +53,8 @@ use ps2::ml::lr::{train_lr, train_lr_mllib_star, LrBackend, LrConfig};
 use ps2::ml::optim::Optimizer;
 use ps2::ml::svm::{train_svm, SvmConfig};
 use ps2::ml::TrainingTrace;
-use ps2::{run_ps2, ClusterSpec, RunReport};
+use ps2::simnet::{export_trace, CausalAnalysis};
+use ps2::{run_ps2_with, ClusterSpec, RunReport, SimBuilder};
 use ps2_data::{CorpusGen, GraphGen, RandomWalks, SparseDatasetGen};
 
 struct Args {
@@ -118,6 +123,10 @@ fn main() {
     let seed: u64 = args.get("seed", 42u64);
     let iters: usize = args.get("iters", 30usize);
     let backend = args.get_str("backend", "ps2");
+    // Tracing is off unless a trace is actually wanted: recording is
+    // timing-neutral but costs memory proportional to event count.
+    let want_trace = args.flags.contains_key("trace-json");
+    let mk_builder = move || SimBuilder::new().seed(seed).trace(want_trace);
 
     let sparse_gen = |parts: usize| {
         SparseDatasetGen::new(
@@ -164,7 +173,7 @@ fn main() {
             let gen = sparse_gen(workers);
             let lrate: f64 = args.get("lr", 1.0f64);
             let fraction: f64 = args.get("fraction", 0.01f64);
-            run_ps2(spec, seed, move |ctx, ps2| {
+            run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
                 let mut cfg = LrConfig::new(gen, optimizer, iters);
                 cfg.hyper.learning_rate = lrate;
                 cfg.hyper.mini_batch_fraction = fraction;
@@ -183,7 +192,7 @@ fn main() {
             let vertices: u32 = args.get("vertices", 2_000u32);
             let walks_n: usize = args.get("walks", 4_000usize);
             let dim: u64 = args.get("embedding-dim", 100u64);
-            run_ps2(spec, seed, move |ctx, ps2| {
+            run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
                 let g = GraphGen {
                     vertices,
                     edges_per_vertex: 4,
@@ -224,7 +233,7 @@ fn main() {
                 histogram_bins: args.get("bins", 50usize),
                 ..GbdtHyper::default()
             };
-            run_ps2(spec, seed, move |ctx, ps2| {
+            run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
                 let cfg = GbdtConfig {
                     dataset: gen,
                     hyper,
@@ -249,7 +258,7 @@ fn main() {
                 seed,
             );
             let topics: u32 = args.get("topics", 50u32);
-            run_ps2(spec, seed, move |ctx, ps2| {
+            run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
                 let cfg = LdaConfig {
                     corpus,
                     hyper: LdaHyper {
@@ -263,7 +272,7 @@ fn main() {
         }
         "svm" => {
             let gen = sparse_gen(workers);
-            run_ps2(spec, seed, move |ctx, ps2| {
+            run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
                 let mut cfg = SvmConfig::new(gen, iters);
                 cfg.learning_rate = 1.0;
                 train_svm(ctx, ps2, &cfg)
@@ -271,14 +280,14 @@ fn main() {
         }
         "lbfgs" => {
             let gen = sparse_gen(workers);
-            run_ps2(spec, seed, move |ctx, ps2| {
+            run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
                 train_lbfgs(ctx, ps2, &LbfgsConfig::new(gen, iters))
             })
         }
         "fm" => {
             let gen = sparse_gen(workers);
             let factors: u32 = args.get("factors", 8u32);
-            run_ps2(spec, seed, move |ctx, ps2| {
+            run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
                 let mut cfg = FmConfig::new(gen, factors, iters);
                 cfg.learning_rate = 1.0;
                 train_fm(ctx, ps2, &cfg)
@@ -310,6 +319,14 @@ fn main() {
         std::fs::write(path, run.to_json())
             .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         println!("metrics written to {path}");
+    }
+    if let Some(path) = args.flags.get("trace-json") {
+        let analysis = CausalAnalysis::from_report(&report)
+            .unwrap_or_else(|e| die(&format!("critical-path analysis failed: {e}")));
+        println!("\n{}", analysis.render());
+        std::fs::write(path, export_trace(&report, Some(&analysis)))
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!("trace written to {path}  (open in ui.perfetto.dev, or: ps2-trace {path})");
     }
 }
 

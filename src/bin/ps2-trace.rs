@@ -1,0 +1,49 @@
+//! `ps2-trace` — offline analysis of traces written by
+//! `ps2-run --trace-json`.
+//!
+//! ```text
+//! ps2-trace <FILE>           print the critical-path / category breakdown
+//! ps2-trace report <FILE>    same, explicit subcommand
+//! ps2-trace diff <A> <B>     per-category critical-path deltas (A is the
+//!                            baseline; positive deltas mean B is slower)
+//! ```
+//!
+//! The input is a Chrome trace-event JSON file (loadable in
+//! <https://ui.perfetto.dev>); the analysis lives in its `"ps2"` top-level
+//! section, which Perfetto ignores.
+
+use std::process::exit;
+
+use ps2::tracefile::TraceSummary;
+
+fn die(msg: &str) -> ! {
+    eprintln!("ps2-trace: {msg}");
+    exit(2)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: ps2-trace <FILE> | ps2-trace report <FILE> | ps2-trace diff <A> <B>");
+    exit(2)
+}
+
+fn load(path: &str) -> TraceSummary {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    TraceSummary::from_json(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.as_slice() {
+        [file] if file != "report" && file != "diff" => {
+            print!("{}", load(file).render());
+        }
+        [cmd, file] if cmd == "report" => {
+            print!("{}", load(file).render());
+        }
+        [cmd, a, b] if cmd == "diff" => {
+            print!("{}", load(a).render_diff(&load(b)));
+        }
+        _ => usage(),
+    }
+}

@@ -37,6 +37,8 @@
 //! println!("simulated {} in {:?} wall", report.virtual_time, report.wall_time);
 //! ```
 
+pub mod tracefile;
+
 pub use ps2_core as core;
 pub use ps2_data as data;
 pub use ps2_dataflow as dataflow;

@@ -1,0 +1,527 @@
+//! Offline trace-file analysis for `ps2-trace`.
+//!
+//! A trace written by `ps2-run --trace-json` is a Chrome trace-event JSON
+//! document with an extra top-level `"ps2"` section holding the
+//! critical-path analysis (Perfetto ignores unknown top-level keys, so the
+//! same file serves both the UI and this module). This module re-reads that
+//! section without the original [`SimReport`](ps2_simnet::SimReport): a
+//! minimal recursive-descent JSON parser (the workspace is dependency-free
+//! by design) plus a [`TraceSummary`] extractor and text renderers for the
+//! `report` and `diff` subcommands.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value. Objects keep source order so that rendering a
+/// summary walks categories in the writer's (deterministic) order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse error with a byte offset into the input.
+#[derive(Debug)]
+pub struct ParseError {
+    pub at: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete JSON document; trailing garbage is an error.
+pub fn parse_json(input: &str) -> Result<JsonValue, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are not emitted by our writer;
+                            // map lone surrogates to U+FFFD rather than fail.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape character")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err(&format!("bad number '{text}'")))
+    }
+}
+
+/// Per-process row from the trace's analysis section.
+#[derive(Debug, Clone)]
+pub struct ProcRow {
+    pub name: String,
+    pub daemon: bool,
+    pub finished_ns: u64,
+    pub busy_ns: u64,
+    pub slack_ns: u64,
+    pub critical_ns: u64,
+}
+
+/// The `"ps2"` analysis section of a trace file, plus the event count from
+/// the `traceEvents` array.
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    pub makespan_ns: u64,
+    /// Critical-path attribution in writer order (compute, network, queue,
+    /// idle).
+    pub categories: Vec<(String, u64)>,
+    pub compute_by_label: Vec<(String, u64)>,
+    pub segments: u64,
+    pub procs: Vec<ProcRow>,
+    pub drops_by_tag: Vec<(String, u64)>,
+    pub trace_events: usize,
+}
+
+impl TraceSummary {
+    /// Parse a trace file's text. Fails with a description when the document
+    /// is not JSON or the `"ps2"` section is missing/malformed.
+    pub fn from_json(text: &str) -> Result<TraceSummary, String> {
+        let doc = parse_json(text).map_err(|e| e.to_string())?;
+        let trace_events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .map(<[JsonValue]>::len)
+            .ok_or("no traceEvents array — not a ps2 trace file")?;
+        let ps2 = doc
+            .get("ps2")
+            .ok_or("no \"ps2\" analysis section — was this written by ps2-run --trace-json?")?;
+        let u64_field = |obj: &JsonValue, key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("ps2 section: missing/invalid \"{key}\""))
+        };
+        let pairs = |key: &str| -> Result<Vec<(String, u64)>, String> {
+            match ps2.get(key) {
+                Some(JsonValue::Obj(kv)) => kv
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_u64()
+                            .map(|n| (k.clone(), n))
+                            .ok_or_else(|| format!("ps2 section: \"{key}\".\"{k}\" not a count"))
+                    })
+                    .collect(),
+                _ => Err(format!("ps2 section: missing/invalid \"{key}\"")),
+            }
+        };
+        let procs = ps2
+            .get("procs")
+            .and_then(JsonValue::as_arr)
+            .ok_or("ps2 section: missing \"procs\"")?
+            .iter()
+            .map(|p| {
+                Ok(ProcRow {
+                    name: p
+                        .get("name")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("proc row: missing \"name\"")?
+                        .to_string(),
+                    daemon: p
+                        .get("daemon")
+                        .and_then(JsonValue::as_bool)
+                        .unwrap_or(false),
+                    finished_ns: u64_field(p, "finished_ns")?,
+                    busy_ns: u64_field(p, "busy_ns")?,
+                    slack_ns: u64_field(p, "slack_ns")?,
+                    critical_ns: u64_field(p, "critical_ns")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(TraceSummary {
+            makespan_ns: u64_field(ps2, "makespan_ns")?,
+            categories: pairs("categories")?,
+            compute_by_label: pairs("compute_by_label")?,
+            segments: u64_field(ps2, "segments")?,
+            procs,
+            drops_by_tag: pairs("drops_by_tag")?,
+            trace_events,
+        })
+    }
+
+    /// Deterministic text report, mirroring
+    /// [`CausalAnalysis::render`](ps2_simnet::CausalAnalysis::render) but
+    /// built from the file alone.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let secs = |ns: u64| ns as f64 / 1e9;
+        let pct = |ns: u64| {
+            if self.makespan_ns == 0 {
+                0.0
+            } else {
+                100.0 * ns as f64 / self.makespan_ns as f64
+            }
+        };
+        out.push_str(&format!(
+            "trace: {} events, {} procs, makespan {:.6}s\n",
+            self.trace_events,
+            self.procs.len(),
+            secs(self.makespan_ns)
+        ));
+        out.push_str(&format!(
+            "critical path: {} segments, categories:\n",
+            self.segments
+        ));
+        for (name, ns) in &self.categories {
+            out.push_str(&format!(
+                "  {name:<10} {:>12.6}s {:>5.1}%\n",
+                secs(*ns),
+                pct(*ns)
+            ));
+        }
+        if !self.compute_by_label.is_empty() {
+            out.push_str("critical-path compute by op:\n");
+            let mut rows = self.compute_by_label.clone();
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            for (label, ns) in rows {
+                out.push_str(&format!(
+                    "  {label:<24} {:>12.6}s {:>5.1}%\n",
+                    secs(ns),
+                    pct(ns)
+                ));
+            }
+        }
+        if !self.drops_by_tag.is_empty() {
+            out.push_str("dropped messages by tag:\n");
+            for (tag, n) in &self.drops_by_tag {
+                out.push_str(&format!("  tag {tag:<6} {n:>8}\n"));
+            }
+        }
+        out.push_str("top processes by critical-path time:\n");
+        let mut procs: Vec<&ProcRow> = self.procs.iter().collect();
+        procs.sort_by(|a, b| {
+            b.critical_ns
+                .cmp(&a.critical_ns)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        for p in procs.iter().take(10) {
+            out.push_str(&format!(
+                "  {:<20} critical {:>10.6}s  busy {:>10.6}s  slack {:>10.6}s\n",
+                p.name,
+                secs(p.critical_ns),
+                secs(p.busy_ns),
+                secs(p.slack_ns)
+            ));
+        }
+        out
+    }
+
+    /// Compare two traces: per-category critical-path deltas, makespan delta
+    /// and per-op compute deltas (`self` is the baseline, `other` the
+    /// candidate; positive deltas mean the candidate is slower).
+    pub fn render_diff(&self, other: &TraceSummary) -> String {
+        let mut out = String::new();
+        let dsec = |a: u64, b: u64| (b as f64 - a as f64) / 1e9;
+        out.push_str(&format!(
+            "makespan  {:>12.6}s -> {:>12.6}s   delta {:+.6}s\n",
+            self.makespan_ns as f64 / 1e9,
+            other.makespan_ns as f64 / 1e9,
+            dsec(self.makespan_ns, other.makespan_ns)
+        ));
+        out.push_str("critical-path categories:\n");
+        let base: BTreeMap<&str, u64> = self
+            .categories
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        let cand: BTreeMap<&str, u64> = other
+            .categories
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        // Walk the baseline's writer order, then anything new in the
+        // candidate — keeps compute/network/queue/idle in the familiar order.
+        let mut names: Vec<&str> = self.categories.iter().map(|(k, _)| k.as_str()).collect();
+        for (k, _) in &other.categories {
+            if !base.contains_key(k.as_str()) {
+                names.push(k);
+            }
+        }
+        for name in names {
+            let a = base.get(name).copied().unwrap_or(0);
+            let b = cand.get(name).copied().unwrap_or(0);
+            out.push_str(&format!(
+                "  {name:<10} {:>12.6}s -> {:>12.6}s   delta {:+.6}s\n",
+                a as f64 / 1e9,
+                b as f64 / 1e9,
+                dsec(a, b)
+            ));
+        }
+        let base_ops: BTreeMap<&str, u64> = self
+            .compute_by_label
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        let cand_ops: BTreeMap<&str, u64> = other
+            .compute_by_label
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        let mut ops: Vec<&str> = base_ops.keys().chain(cand_ops.keys()).copied().collect();
+        ops.sort_unstable();
+        ops.dedup();
+        if !ops.is_empty() {
+            out.push_str("critical-path compute by op:\n");
+            for op in ops {
+                let a = base_ops.get(op).copied().unwrap_or(0);
+                let b = cand_ops.get(op).copied().unwrap_or(0);
+                if a == 0 && b == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  {op:<24} {:>12.6}s -> {:>12.6}s   delta {:+.6}s\n",
+                    a as f64 / 1e9,
+                    b as f64 / 1e9,
+                    dsec(a, b)
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = parse_json(r#"{"a": [1, -2.5, true, null, "x\nA"], "b": {}}"#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1], JsonValue::Num(-2.5));
+        assert_eq!(arr[2].as_bool(), Some(true));
+        assert_eq!(arr[3], JsonValue::Null);
+        assert_eq!(arr[4].as_str(), Some("x\nA"));
+        assert_eq!(v.get("b"), Some(&JsonValue::Obj(vec![])));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{} extra").is_err());
+        assert!(parse_json("tru").is_err());
+    }
+
+    #[test]
+    fn summary_requires_ps2_section() {
+        let err = TraceSummary::from_json(r#"{"traceEvents": []}"#).unwrap_err();
+        assert!(err.contains("ps2"), "unexpected error: {err}");
+    }
+}

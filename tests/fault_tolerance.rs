@@ -10,7 +10,7 @@
 
 use ps2::data::SparseDatasetGen;
 use ps2::ml::lr::{distinct_cols, grad_aligned};
-use ps2::{deploy, ClusterSpec, MetricsSnapshot, Ps2Context, SimBuilder, SimTime};
+use ps2::{deploy, ClusterSpec, MetricsSnapshot, Ps2Context, RunReport, SimBuilder, SimTime};
 
 const SEED: u64 = 23;
 const ITERS: usize = 8;
@@ -31,6 +31,8 @@ struct RunOutcome {
     silent_reinits: u64,
     /// Flight-recorder registry captured from the final `SimReport`.
     metrics: MetricsSnapshot,
+    /// Aggregated breakdown report (per-op rows, drops by tag).
+    run_report: RunReport,
 }
 
 /// One deterministic run of a hand-rolled mini-batch-free LR loop (full
@@ -109,6 +111,7 @@ fn run_lr(kill_at: Option<SimTime>) -> RunOutcome {
     });
     let report = sim.run().expect("simulation must complete (no deadlock)");
     let (losses, grad_done, iter_done, recoveries, silent_reinits) = out.take();
+    let run_report = RunReport::from_sim(&report);
     RunOutcome {
         losses,
         grad_done,
@@ -116,6 +119,7 @@ fn run_lr(kill_at: Option<SimTime>) -> RunOutcome {
         recoveries,
         silent_reinits,
         metrics: report.metrics,
+        run_report,
     }
 }
 
@@ -203,4 +207,20 @@ fn server_killed_mid_iteration_training_completes_via_in_job_recovery() {
         "clean run must not record retries"
     );
     assert_eq!(clean.metrics.counter("ps.fleet.recoveries"), 0);
+    // Messages addressed to the killed server are dropped, and the runtime
+    // attributes every drop to its protocol tag — the faulty run's breakdown
+    // table must name the tags and account for every dropped message.
+    assert!(
+        !faulty.run_report.drops_by_tag.is_empty(),
+        "faulty run must attribute its dropped messages to protocol tags"
+    );
+    let by_tag: u64 = faulty.run_report.drops_by_tag.iter().map(|(_, n)| n).sum();
+    assert_eq!(
+        by_tag, faulty.run_report.dropped_msgs,
+        "per-tag drop counts must sum to the total drop count"
+    );
+    assert!(
+        clean.run_report.drops_by_tag.is_empty(),
+        "clean run must drop nothing"
+    );
 }

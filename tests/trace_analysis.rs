@@ -1,0 +1,131 @@
+//! Acceptance tests for the causal trace pipeline on a *real* training run:
+//! critical-path category attribution partitions the virtual makespan
+//! exactly, the exported Perfetto JSON is byte-identical across same-seed
+//! runs, tracing never perturbs timing, and different seeds produce a
+//! non-trivial diff.
+
+use ps2::ml::lr::{train_lr, LrBackend, LrConfig};
+use ps2::ml::optim::Optimizer;
+use ps2::simnet::{export_trace, CausalAnalysis, SimReport};
+use ps2::tracefile::TraceSummary;
+use ps2::{run_ps2_with, ClusterSpec, SimBuilder};
+use ps2_data::SparseDatasetGen;
+
+const WORKERS: usize = 4;
+
+fn lr_run(seed: u64, trace: bool) -> SimReport {
+    let spec = ClusterSpec {
+        workers: WORKERS,
+        servers: 4,
+        ..ClusterSpec::default()
+    };
+    let gen = SparseDatasetGen::new(2_000, 10_000, 10, WORKERS, seed);
+    let (_, report) = run_ps2_with(
+        SimBuilder::new().seed(seed).trace(trace),
+        spec,
+        move |ctx, ps2| {
+            let cfg = LrConfig::new(gen, Optimizer::Sgd, 3);
+            train_lr(ctx, ps2, &cfg, LrBackend::Ps2Dcv)
+        },
+    );
+    report
+}
+
+#[test]
+fn critical_path_categories_partition_the_lr_makespan() {
+    let report = lr_run(42, true);
+    let a = CausalAnalysis::from_report(&report).unwrap();
+    assert_eq!(
+        a.makespan, report.virtual_time,
+        "critical path must span the whole run"
+    );
+    assert_eq!(
+        a.category_total_ns(),
+        report.virtual_time.as_nanos(),
+        "compute + network + queue + idle must sum to the virtual makespan"
+    );
+    assert!(a.compute_ns > 0, "an LR run computes");
+    assert!(a.network_ns > 0, "an LR run communicates");
+    // Per-op attribution covers all critical-path compute.
+    let by_label: u64 = a.compute_by_label.values().sum();
+    assert_eq!(by_label, a.compute_ns);
+    assert!(
+        a.compute_by_label.contains_key("spark.task"),
+        "executor task compute must be labeled: {:?}",
+        a.compute_by_label.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn same_seed_runs_export_byte_identical_traces() {
+    let r1 = lr_run(42, true);
+    let r2 = lr_run(42, true);
+    let a1 = CausalAnalysis::from_report(&r1).unwrap();
+    let a2 = CausalAnalysis::from_report(&r2).unwrap();
+    assert_eq!(a1.render(), a2.render());
+    let j1 = export_trace(&r1, Some(&a1));
+    let j2 = export_trace(&r2, Some(&a2));
+    assert_eq!(j1, j2, "same-seed trace exports must be byte-identical");
+    // And the offline reader agrees with the in-process analysis.
+    let summary = TraceSummary::from_json(&j1).unwrap();
+    assert_eq!(summary.makespan_ns, a1.makespan.as_nanos());
+    let cats: std::collections::BTreeMap<&str, u64> = summary
+        .categories
+        .iter()
+        .map(|(k, v)| (k.as_str(), *v))
+        .collect();
+    assert_eq!(cats["compute"], a1.compute_ns);
+    assert_eq!(cats["network"], a1.network_ns);
+    assert_eq!(cats["queue"], a1.queue_ns);
+    assert_eq!(cats["idle"], a1.idle_ns);
+}
+
+#[test]
+fn tracing_does_not_perturb_timing() {
+    let traced = lr_run(42, true);
+    let untraced = lr_run(42, false);
+    assert_eq!(traced.virtual_time, untraced.virtual_time);
+    assert_eq!(traced.total_msgs, untraced.total_msgs);
+    assert_eq!(traced.total_bytes, untraced.total_bytes);
+    let timings = |r: &SimReport| -> Vec<(String, u64, u64)> {
+        r.procs
+            .iter()
+            .map(|p| (p.name.clone(), p.finished_at.as_nanos(), p.busy.as_nanos()))
+            .collect()
+    };
+    assert_eq!(
+        timings(&traced),
+        timings(&untraced),
+        "recording a trace must not move any process's clock"
+    );
+    assert!(!traced.trace.is_empty() && untraced.trace.is_empty());
+}
+
+#[test]
+fn different_seeds_diff_with_nonzero_category_deltas() {
+    let r1 = lr_run(42, true);
+    let r2 = lr_run(43, true);
+    let a1 = CausalAnalysis::from_report(&r1).unwrap();
+    let a2 = CausalAnalysis::from_report(&r2).unwrap();
+    let s1 = TraceSummary::from_json(&export_trace(&r1, Some(&a1))).unwrap();
+    let s2 = TraceSummary::from_json(&export_trace(&r2, Some(&a2))).unwrap();
+    assert_ne!(
+        s1.makespan_ns, s2.makespan_ns,
+        "different seeds should not produce identical makespans"
+    );
+    let changed = s1
+        .categories
+        .iter()
+        .zip(&s2.categories)
+        .filter(|((ka, va), (kb, vb))| {
+            assert_eq!(ka, kb);
+            va != vb
+        })
+        .count();
+    assert!(changed > 0, "diff must show non-zero per-category deltas");
+    // The rendered diff names every category with a signed delta.
+    let text = s1.render_diff(&s2);
+    for cat in ["compute", "network", "queue", "idle"] {
+        assert!(text.contains(cat), "diff must list '{cat}':\n{text}");
+    }
+}
