@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use ps2_ps::{AggKind, ElemOp, MatrixHandle, ZipArgmaxFn, ZipMapFn, ZipMutFn};
+use ps2_ps::{AggKind, ElemOp, MatrixHandle, PsBatch, ZipArgmaxFn, ZipMapFn, ZipMutFn};
 use ps2_simnet::SimCtx;
 
 /// A distributed vector on the parameter servers (paper §4).
@@ -241,6 +241,18 @@ impl Dcv {
         self.handle.zero(ctx, self.row);
     }
 
+    /// Enqueue a [`Dcv::fill`] into `batch`: it shares the batch's one
+    /// envelope per server at [`PsBatch::flush`] instead of paying its own
+    /// round trip.
+    pub fn fill_in(&self, ctx: &mut SimCtx, batch: &mut PsBatch, value: f64) {
+        self.handle.fill_in(ctx, batch, self.row, value);
+    }
+
+    /// Enqueue a [`Dcv::zero`] into `batch`.
+    pub fn zero_in(&self, ctx: &mut SimCtx, batch: &mut PsBatch) {
+        self.handle.zero_in(ctx, batch, self.row);
+    }
+
     /// Begin a multi-DCV server-side computation (paper Figure 3, line 22:
     /// `weight.zip(velocity, square, gradient).mapPartition { ... }`).
     pub fn zip(&self, others: &[&Dcv]) -> ZipBuilder {
@@ -301,6 +313,19 @@ impl ZipBuilder {
     /// compute charge per column element.
     pub fn map_partitions(self, ctx: &mut SimCtx, f: ZipMutFn, flops_per_elem: u64) {
         self.handle.zip(ctx, &self.rows, f, flops_per_elem);
+    }
+
+    /// Enqueue this zip into `batch` instead of running it now; it executes
+    /// (coalesced with the batch's other ops) at [`PsBatch::flush`].
+    pub fn map_partitions_in(
+        self,
+        ctx: &mut SimCtx,
+        batch: &mut PsBatch,
+        f: ZipMutFn,
+        flops_per_elem: u64,
+    ) {
+        self.handle
+            .zip_in(ctx, batch, &self.rows, f, flops_per_elem);
     }
 
     /// Read-only fold: `f` maps each server's co-located segments to a

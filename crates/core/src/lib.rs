@@ -49,8 +49,8 @@ pub use harness::{run_ps2, run_ps2_with};
 // Re-export the pieces users need alongside the context.
 pub use ps2_dataflow::{Broadcast, FailureConfig, Rdd, SparkContext, WorkCtx};
 pub use ps2_ps::{
-    AggKind, ElemOp, InitKind, MatrixHandle, Partitioning, PsConfig, PsMaster, ZipArgmaxFn,
-    ZipMapFn, ZipMutFn, ZipSegs,
+    AggKind, BatchResult, ElemOp, InitKind, MatrixHandle, Partitioning, PsBatch, PsConfig,
+    PsMaster, ZipArgmaxFn, ZipMapFn, ZipMutFn, ZipSegs,
 };
 pub use ps2_simnet::{
     ComputeConfig, MetricsSnapshot, NetConfig, OpRow, ProcId, RunReport, SimBuilder, SimConfig,

@@ -1,10 +1,10 @@
 //! The driver-side scheduler: job execution, retries, executor recovery.
 
 use std::any::Any;
-use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
+use ps2_simnet::fabric::{Dispatcher, FabricPolicy};
 use ps2_simnet::{LivenessProbe, ProcId, SimCtx, SimTime, WireSize};
 
 use crate::broadcast::{Broadcast, BroadcastValue};
@@ -324,6 +324,12 @@ impl SparkContext {
     /// Scatter the erased tasks across executors (partition `p` prefers
     /// executor `p % E`), gather replies, retry failures, replace dead
     /// executors.
+    ///
+    /// Correlation bookkeeping and deadline waits live in the fabric's
+    /// streaming [`Dispatcher`] (metrics under `spark.fabric.*`); retry
+    /// *policy* — attempt budgets, liveness probing, executor replacement —
+    /// stays here, because unlike a PS request a task is re-plannable: a
+    /// failed attempt may move to a different executor.
     fn run_tasks(
         &mut self,
         ctx: &mut SimCtx,
@@ -337,14 +343,14 @@ impl SparkContext {
         ctx.trace_mark_with("spark.job.submit", job_id);
         let mut results: Vec<Option<Box<dyn Any + Send>>> = (0..n).map(|_| None).collect();
         let mut attempts = vec![0u32; n];
-        // corr -> (partition, executor index, dispatch time)
-        let mut pending: HashMap<u64, (usize, usize, SimTime)> = HashMap::new();
+        let mut net = Dispatcher::new(FabricPolicy {
+            attempt_timeout: self.failure.liveness_poll,
+            max_stale_attempts: self.failure.max_fruitless_polls,
+            scope: "spark.fabric",
+        });
 
         let dispatch =
-            |sc: &mut SparkContext,
-             ctx: &mut SimCtx,
-             part: usize,
-             pending: &mut HashMap<u64, (usize, usize, SimTime)>| {
+            |sc: &mut SparkContext, ctx: &mut SimCtx, part: usize, net: &mut Dispatcher| {
                 let exec_idx = part % sc.executors.len();
                 sc.ensure_alive(ctx, exec_idx);
                 let spec = Arc::new(TaskSpec {
@@ -355,26 +361,28 @@ impl SparkContext {
                 });
                 ctx.metric_add("spark.tasks_dispatched", 1);
                 ctx.trace_mark_with("spark.task.start", part as u64);
-                let corr =
-                    ctx.send_request(sc.executors[exec_idx], tags::TASK, spec, sc.task_bytes);
-                pending.insert(corr, (part, exec_idx, ctx.now()));
+                net.dispatch(
+                    ctx,
+                    sc.executors[exec_idx],
+                    tags::TASK,
+                    spec,
+                    sc.task_bytes,
+                    part,
+                    exec_idx,
+                );
             };
 
         for part in 0..n {
-            dispatch(self, ctx, part, &mut pending);
+            dispatch(self, ctx, part, &mut net);
         }
 
         let mut fruitless_polls = 0u32;
-        while !pending.is_empty() {
-            let corrs: Vec<u64> = pending.keys().copied().collect();
-            let deadline = ctx.now() + self.failure.liveness_poll;
-            match ctx.recv_reply(&corrs, Some(deadline)) {
-                Some(env) => {
+        while !net.is_empty() {
+            match net.await_any(ctx) {
+                Some((sent, env)) => {
                     fruitless_polls = 0;
-                    let (part, _exec_idx, dispatched_at) = pending
-                        .remove(&env.corr)
-                        .expect("reply for unknown correlation id");
-                    ctx.metric_observe("spark.task.latency", ctx.now() - dispatched_at);
+                    let part = sent.item;
+                    ctx.metric_observe("spark.task.latency", ctx.now() - sent.sent_at);
                     match env.downcast::<TaskResult>() {
                         TaskResult::Ok(value) => {
                             ctx.trace_mark_with("spark.task.finish", part as u64);
@@ -391,7 +399,7 @@ impl SparkContext {
                                     attempts: attempts[part],
                                 });
                             }
-                            dispatch(self, ctx, part, &mut pending);
+                            dispatch(self, ctx, part, &mut net);
                         }
                     }
                 }
@@ -409,17 +417,12 @@ impl SparkContext {
                         recovered += probe.probe(ctx);
                     }
                     ctx.metric_add("spark.probe_recoveries", recovered);
-                    // Then find tasks whose executor died and resend.
-                    let stale: Vec<(u64, usize)> = pending
-                        .iter()
-                        .filter(|(_, (_, e, _))| !ctx.is_alive(self.executors[*e]))
-                        .map(|(&corr, &(part, _, _))| (corr, part))
-                        .collect();
-                    let redispatched = !stale.is_empty();
-                    for (corr, part) in stale {
+                    // Then reclaim tasks whose executor died and resend.
+                    let dead = net.take_dead(|exec_idx| ctx.is_alive(self.executors[exec_idx]));
+                    let redispatched = !dead.is_empty();
+                    for sent in dead {
                         ctx.metric_add("spark.task_redispatches", 1);
-                        pending.remove(&corr);
-                        dispatch(self, ctx, part, &mut pending);
+                        dispatch(self, ctx, sent.item, &mut net);
                     }
                     // A poll that fixed nothing is fruitless; too many in a
                     // row means the stuck dependency is outside anything we
@@ -430,7 +433,7 @@ impl SparkContext {
                         fruitless_polls += 1;
                         if fruitless_polls >= self.failure.max_fruitless_polls {
                             return Err(JobError::LivenessTimeout {
-                                outstanding: pending.len(),
+                                outstanding: net.outstanding(),
                                 fruitless_polls,
                             });
                         }

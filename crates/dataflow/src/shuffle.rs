@@ -14,7 +14,8 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use ps2_simnet::{ProcId, SimCtx, SimRuntime, WireSize};
+use ps2_simnet::fabric::{self, FabricPolicy, StaticRoutes};
+use ps2_simnet::{ProcId, SimCtx, SimRuntime, SimTime, WireSize};
 
 use crate::executor::WorkCtx;
 use crate::rdd::Rdd;
@@ -30,6 +31,20 @@ mod tags {
 /// A unique id per shuffle stage.
 static NEXT_SHUFFLE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
+/// Shuffle traffic rides the shared request fabric. Services are never
+/// replaced ([`StaticRoutes`], epoch pinned at 0), so the stale-attempts
+/// bound turns a dead service into a loud panic after five 10-second
+/// attempts instead of the former unbounded wait. Puts are idempotent by
+/// map partition, so a fabric resend racing a slow service is harmless.
+fn shuffle_policy() -> FabricPolicy {
+    FabricPolicy {
+        attempt_timeout: SimTime::from_secs_f64(10.0),
+        max_stale_attempts: 5,
+        scope: "shuffle.fabric",
+    }
+}
+
+#[derive(Clone)]
 struct PutBuckets {
     shuffle: u64,
     /// Which map partition produced these buckets. Keying the store by this
@@ -42,6 +57,7 @@ struct PutBuckets {
     bucket_bytes: Vec<u64>,
 }
 
+#[derive(Clone)]
 struct FetchBucket {
     shuffle: u64,
     reduce: usize,
@@ -160,14 +176,24 @@ impl SparkContext {
                     .collect();
                 // Local write: the service shares the machine, but it is a
                 // distinct process — modelled as a cheap same-rack hop.
-                let service = services_map[w.partition % services_map.len()];
+                let slot = w.partition % services_map.len();
                 let put = PutBuckets {
                     shuffle,
                     map_part: w.partition,
                     buckets: erased,
                     bucket_bytes,
                 };
-                let _ = w.sim.call(service, tags::PUT_BUCKETS, put, 64 + total);
+                let _ = fabric::call_slot(
+                    w.sim,
+                    &StaticRoutes(services_map.clone()),
+                    &shuffle_policy(),
+                    "put_buckets",
+                    tags::PUT_BUCKETS,
+                    slot,
+                    put,
+                    64 + total,
+                    1,
+                );
             },
             |_| 8,
         )?;
@@ -177,22 +203,24 @@ impl SparkContext {
         let services_fetch: Vec<ProcId> = services.to_vec();
         let comb = combine;
         Ok(Rdd::from_source(n_reduce, move |reduce_part, w| {
-            let reqs = services_fetch
-                .iter()
-                .map(|&s| {
+            let reqs = (0..services_fetch.len())
+                .map(|slot| {
                     let fetch = FetchBucket {
                         shuffle,
                         reduce: reduce_part,
                     };
-                    (
-                        s,
-                        tags::FETCH_BUCKET,
-                        Box::new(fetch) as Box<dyn Any + Send>,
-                        64,
-                    )
+                    (slot, fetch, 64)
                 })
                 .collect();
-            let replies = w.sim.call_many(reqs);
+            let replies = fabric::call_slots(
+                w.sim,
+                &StaticRoutes(services_fetch.clone()),
+                &shuffle_policy(),
+                "fetch_bucket",
+                tags::FETCH_BUCKET,
+                reqs,
+                1,
+            );
             let mut merged: HashMap<K, V> = HashMap::new();
             let mut n = 0usize;
             for env in replies {

@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use ps2_core::{InitKind, MatrixHandle, Ps2Context, WorkCtx, ZipSegs};
+use ps2_core::{InitKind, MatrixHandle, Ps2Context, PsBatch, WorkCtx, ZipSegs};
 use ps2_data::RandomWalks;
 use ps2_ps::ZipMutFn;
 use ps2_simnet::SimCtx;
@@ -161,8 +161,13 @@ fn batch_update_dcv(
     examples: &[Sgns],
     eta: f64,
 ) -> f64 {
+    // Two flushes per batch, each one envelope per server: all dots, then
+    // — once the coefficients are known — all zip updates.
+    let mut net = PsBatch::new();
     let dot_pairs: Vec<(u32, u32)> = examples.iter().map(|&(u, v, _)| (u, v)).collect();
-    let dots = h.dot_many(wk.sim, &dot_pairs);
+    let dots = h.dot_many_in(&mut net, &dot_pairs);
+    net.flush(wk.sim);
+    let dots = dots.take();
     let mut loss = 0.0;
     let mut jobs: Vec<(Vec<u32>, ZipMutFn)> = Vec::with_capacity(examples.len());
     for (&(u, v, label), &dot) in examples.iter().zip(&dots) {
@@ -187,7 +192,8 @@ fn batch_update_dcv(
             }),
         ));
     }
-    h.zip_many(wk.sim, jobs, 4);
+    h.zip_many_in(wk.sim, &mut net, jobs, 4);
+    net.flush(wk.sim);
     loss
 }
 
@@ -201,7 +207,10 @@ fn batch_update_pullpush(
     eta: f64,
 ) -> f64 {
     let rows: Vec<u32> = examples.iter().flat_map(|&(u, v, _)| [u, v]).collect();
-    let vectors = h.pull_rows(wk.sim, &rows);
+    let mut net = PsBatch::new();
+    let vectors = h.pull_rows_in(&mut net, &rows);
+    net.flush(wk.sim);
+    let vectors = vectors.take();
     let k = h.dim() as usize;
     let mut updates: Vec<(u32, Vec<f64>)> = Vec::with_capacity(rows.len());
     let mut loss = 0.0;
@@ -222,6 +231,7 @@ fn batch_update_pullpush(
         updates.push((v, dv));
     }
     wk.sim.charge_flops(examples.len() as u64 * 8 * k as u64);
-    h.push_dense_many(wk.sim, &updates);
+    h.push_dense_many_in(wk.sim, &mut net, &updates);
+    net.flush(wk.sim);
     loss
 }

@@ -2,7 +2,7 @@
 //! against five execution backends that reproduce the communication
 //! structure of the systems compared in the paper (Figures 1, 9, 10, 13).
 
-use ps2_core::{Dcv, Ps2Context, Rdd, WorkCtx};
+use ps2_core::{Dcv, Ps2Context, PsBatch, Rdd, WorkCtx};
 use ps2_data::{Example, SparseDatasetGen};
 use ps2_simnet::SimCtx;
 
@@ -364,14 +364,20 @@ fn train_ps_family(
         if let Some(gdcv) = &g {
             match mode {
                 PsMode::Ps2 => {
-                    // Server-side zip over [w, aux.., g]; no model bytes move.
+                    // Server-side zip over [w, aux.., g]; no model bytes
+                    // move. The zip and the gradient-reset coalesce into one
+                    // envelope per server — one round trip per iteration for
+                    // the whole update phase.
                     let rows: Vec<&Dcv> = aux.iter().chain(std::iter::once(gdcv)).collect();
-                    w.zip(&rows).map_partitions(
+                    let mut update = PsBatch::new();
+                    w.zip(&rows).map_partitions_in(
                         ctx,
+                        &mut update,
                         opt.zip_fn(lr, t as i32),
                         opt.flops_per_elem(),
                     );
-                    gdcv.zero(ctx);
+                    gdcv.zero_in(ctx, &mut update);
+                    update.flush(ctx);
                 }
                 PsMode::PullPush | PsMode::Petuum | PsMode::Distml => {
                     // Without server-side computation the update runs on the

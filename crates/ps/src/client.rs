@@ -7,30 +7,42 @@
 //! paper's fix for the single-point problem — while column-access operators
 //! run server-side over co-located segments.
 //!
-//! ## Fault tolerance
+//! ## The request fabric
 //!
-//! Every request is addressed by *slot* and issued through
-//! [`MatrixHandle::ps_gather`] / [`MatrixHandle::ps_call`], which bound each
-//! attempt with a virtual-time deadline. On a timeout the client compares
-//! [`RouteTable`] recovery epochs to tell a *slow* server (epoch unchanged)
-//! from a *replaced* one (epoch advanced), re-resolves the slot, and resends
-//! the identical payload. Mutating requests carry a per-request `op_id` that
-//! servers deduplicate, so a resend racing a slow-but-alive server is
-//! applied once. A handle created by the master also carries the shared
-//! [`PsFleet`], letting the timed-out client *trigger* dead-server recovery
-//! itself instead of waiting for the driver to notice.
+//! Every op is a declarative *(plan, encode, decode)* triple: pick the
+//! slots, build one payload per slot, hand the batch to the shared
+//! [`ps2_simnet::fabric`], decode the replies. The fabric owns the whole
+//! reliability pipeline — deadline-bounded attempts, epoch-tracked route
+//! re-resolution, identical-payload resend, bounded retry — so no op in
+//! this file carries its own retry loop. [`PsRouter`] adapts the
+//! [`RouteTable`] (and, for master-issued handles, [`PsFleet`] recovery) to
+//! the fabric's `SlotRouter` trait. Mutating requests carry a per-request
+//! `op_id` that servers deduplicate, so a resend racing a slow-but-alive
+//! server is applied once.
+//!
+//! ## Envelope coalescing
+//!
+//! A [`PsBatch`] merges the sub-requests of *many* ops bound for the same
+//! server into one `EnvelopeReq` per server per flush — the generalization
+//! of the Angel-style batched psFuncs (DESIGN §4b.2). Ops enqueue with the
+//! `*_in` methods and read results from [`BatchResult`]s after
+//! [`PsBatch::flush`].
 
 use std::any::Any;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
 use std::sync::Arc;
 
+use ps2_simnet::fabric::{self, FabricPolicy, SlotRouter};
 use ps2_simnet::{Envelope, ProcId, SimCtx, SimTime};
 
 use crate::master::PsFleet;
 use crate::plan::{MatrixId, PartitionPlan, PlanKind, RouteTable};
 use crate::protocol::{
     tags, AggKind, AggReq, AxpyReq, ColsSel, CrossDotReq, CrossElemReq, DotReq, ElemOp, ElemReq,
-    FillReq, PullBlockReq, PullReq, PushBlockReq, PushData, PushReq, ScaleReq, ZipMapFn, ZipMapReq,
-    ZipMutFn, ZipReq,
+    EnvelopeReq, FillReq, PullBlockReq, PullReq, PushBlockReq, PushData, PushReq, ScaleReq, SubReq,
+    ZipMapFn, ZipMapReq, ZipMutFn, ZipReq,
 };
 
 /// A handle to one distributed `rows × dim` matrix. Cheap to clone; safe to
@@ -55,17 +67,45 @@ pub struct MatrixHandle {
 /// Request-header wire cost for PS ops.
 const HDR: u64 = 48;
 
-/// Straight timeouts tolerated without any route change before a PS op gives
-/// up. Each timed-out attempt resends (safe: servers deduplicate mutating
-/// ops), so this only trips when a server is unreachable *and* recovery
-/// cannot replace it.
-const MAX_STALE_ATTEMPTS: u32 = 5;
+/// Per-sub-request header inside an envelope (tag + length framing).
+const SUB_HDR: u64 = 8;
 
-/// Virtual-time budget for one request attempt before the client suspects
-/// the server and re-resolves the route. Generous against ordinary op
-/// latency (micro- to milliseconds) so healthy runs never pay it.
-fn attempt_timeout() -> SimTime {
-    SimTime::from_secs_f64(10.0)
+/// The PS layer's fabric tuning: a 10 s virtual-time attempt budget
+/// (generous against micro- to millisecond op latency, so healthy runs
+/// never pay it) and five straight timeouts without route movement before
+/// giving up. Metrics stay under `ps.client.*`, the names the run report
+/// and fault-tolerance tests consume.
+pub(crate) fn ps_policy() -> FabricPolicy {
+    FabricPolicy {
+        attempt_timeout: SimTime::from_secs_f64(10.0),
+        max_stale_attempts: 5,
+        scope: "ps.client",
+    }
+}
+
+/// Adapts the PS route table (+ optional fleet recovery) to the fabric's
+/// router trait: timed-out attempts trigger client-side dead-server
+/// recovery, and epoch movement tells the fabric to re-resolve.
+pub(crate) struct PsRouter<'a> {
+    pub route: &'a RouteTable,
+    pub fleet: Option<&'a PsFleet>,
+}
+
+impl SlotRouter for PsRouter<'_> {
+    fn resolve(&self, slot: usize) -> ProcId {
+        self.route.resolve(slot)
+    }
+
+    fn epoch(&self) -> u64 {
+        self.route.epoch()
+    }
+
+    fn try_recover(&self, ctx: &mut SimCtx) {
+        // Any handle holder may run recovery; the fleet single-flights it.
+        if let Some(fleet) = self.fleet {
+            fleet.recover_dead_servers(ctx);
+        }
+    }
 }
 
 impl MatrixHandle {
@@ -87,115 +127,34 @@ impl MatrixHandle {
         self.plan.colocated_with(&other.plan)
     }
 
-    // ---- fault-tolerant request layer ---------------------------------------
+    // ---- fabric entry points ------------------------------------------------
 
-    /// Scatter `reqs` (slot-addressed, one shared tag) and gather every
-    /// reply, surviving server replacement: attempts are deadline-bounded,
-    /// timed-out requests re-resolve their slot through the route table and
-    /// resend the identical payload. See the module docs for the protocol.
-    ///
-    /// Each call is one *op span* in the flight recorder: it records request
-    /// count, bytes (request + reply), `rows_touched`, and virtual latency
-    /// under `ps.client.op.{name}.*`, and tags every timeout/retry/
-    /// re-resolution so recovery activity is visible in the run report.
-    fn ps_gather<P: Any + Send + Clone>(
+    /// Scatter slot-addressed requests through the shared fabric and gather
+    /// every reply. One op span (`ps.client.op.{name}.*`) per call.
+    fn fabric_call<P: Any + Send + Clone>(
         &self,
         ctx: &mut SimCtx,
         tag: u32,
         reqs: Vec<(usize, P, u64)>,
         rows_touched: u64,
     ) -> Vec<Envelope> {
-        let op = tags::name(tag);
-        let span_start = ctx.now();
-        let mut span_bytes: u64 = 0;
-        let n = reqs.len();
-        let mut replies: Vec<Option<Envelope>> = (0..n).map(|_| None).collect();
-        let mut epoch = self.route.epoch();
-        let mut stale_attempts = 0u32;
-        let mut reqs_issued = 0u64;
-        loop {
-            let outstanding: Vec<usize> = (0..n).filter(|&i| replies[i].is_none()).collect();
-            if outstanding.is_empty() {
-                span_bytes += replies
-                    .iter()
-                    .map(|e| e.as_ref().expect("gathered reply").bytes)
-                    .sum::<u64>();
-                ctx.metric_add(&format!("ps.client.op.{op}.count"), 1);
-                ctx.metric_add(&format!("ps.client.op.{op}.reqs"), reqs_issued);
-                ctx.metric_add(&format!("ps.client.op.{op}.bytes"), span_bytes);
-                ctx.metric_add(&format!("ps.client.op.{op}.rows"), rows_touched);
-                ctx.metric_observe(
-                    &format!("ps.client.op.{op}.latency"),
-                    ctx.now() - span_start,
-                );
-                return replies
-                    .into_iter()
-                    .map(|e| e.expect("gathered reply"))
-                    .collect();
-            }
-            let batch: Vec<(ProcId, u32, Box<dyn Any + Send>, u64)> = outstanding
-                .iter()
-                .map(|&i| {
-                    let (slot, payload, bytes) = &reqs[i];
-                    (
-                        self.route.resolve(*slot),
-                        tag,
-                        Box::new(payload.clone()) as Box<dyn Any + Send>,
-                        *bytes,
-                    )
-                })
-                .collect();
-            reqs_issued += batch.len() as u64;
-            span_bytes += batch.iter().map(|(_, _, _, b)| *b).sum::<u64>();
-            let deadline = ctx.now() + attempt_timeout();
-            let got = ctx.call_many_deadline(batch, deadline);
-            let mut missed = 0u64;
-            for (&i, env) in outstanding.iter().zip(got) {
-                match env {
-                    Some(e) => replies[i] = Some(e),
-                    None => missed += 1,
-                }
-            }
-            if missed == 0 {
-                continue;
-            }
-            // Tag the recovery path: how many requests hit their attempt
-            // deadline, and that a retry round is about to resend them.
-            ctx.metric_add("ps.client.timeouts", missed);
-            ctx.metric_add("ps.client.retries", 1);
-            // At least one slot missed the deadline: its server is slow,
-            // dead, or already replaced. If nobody has flipped the route
-            // yet, try to run recovery from right here — any handle holder
-            // may; the fleet single-flights it.
-            if self.route.epoch() == epoch {
-                if let Some(fleet) = &self.fleet {
-                    fleet.recover_dead_servers(ctx);
-                }
-            }
-            let now_epoch = self.route.epoch();
-            if now_epoch == epoch {
-                // Same epoch: merely slow (resend is deduplicated
-                // server-side) — or unreachable and unrecoverable, which
-                // must fail loudly rather than spin forever.
-                stale_attempts += 1;
-                assert!(
-                    stale_attempts < MAX_STALE_ATTEMPTS,
-                    "PS op tag {tag} on matrix {:?}: {stale_attempts} straight timeouts \
-                     with no route change; a server is unreachable and recovery could \
-                     not replace it",
-                    self.id,
-                );
-            } else {
-                // Replaced: the retry targets a fresh server.
-                ctx.metric_add("ps.client.reresolutions", 1);
-                stale_attempts = 0;
-                epoch = now_epoch;
-            }
-        }
+        let router = PsRouter {
+            route: &self.route,
+            fleet: self.fleet.as_deref(),
+        };
+        fabric::call_slots(
+            ctx,
+            &router,
+            &ps_policy(),
+            tags::name(tag),
+            tag,
+            reqs,
+            rows_touched,
+        )
     }
 
-    /// Single-request form of [`MatrixHandle::ps_gather`].
-    fn ps_call<P: Any + Send + Clone>(
+    /// Single-request form of [`MatrixHandle::fabric_call`].
+    fn fabric_one<P: Any + Send + Clone>(
         &self,
         ctx: &mut SimCtx,
         slot: usize,
@@ -204,7 +163,7 @@ impl MatrixHandle {
         bytes: u64,
         rows_touched: u64,
     ) -> Envelope {
-        self.ps_gather(ctx, tag, vec![(slot, payload, bytes)], rows_touched)
+        self.fabric_call(ctx, tag, vec![(slot, payload, bytes)], rows_touched)
             .pop()
             .expect("one reply for one request")
     }
@@ -231,7 +190,7 @@ impl MatrixHandle {
                         (slot, req, HDR)
                     })
                     .collect();
-                let replies = self.ps_gather(ctx, tags::PULL, reqs, 1);
+                let replies = self.fabric_call(ctx, tags::PULL, reqs, 1);
                 let mut out = Vec::with_capacity(self.dim() as usize);
                 for env in replies {
                     let segs = env.downcast::<Vec<Vec<f64>>>();
@@ -250,7 +209,7 @@ impl MatrixHandle {
                     value_bytes: self.value_bytes,
                 };
                 let segs: Vec<Vec<f64>> = self
-                    .ps_call(ctx, self.plan.row_owner(row), tags::PULL, req, HDR, 1)
+                    .fabric_one(ctx, self.plan.row_owner(row), tags::PULL, req, HDR, 1)
                     .downcast();
                 segs.into_iter().flatten().collect()
             }
@@ -274,7 +233,7 @@ impl MatrixHandle {
             };
             let bytes = HDR + 4 * cols.len() as u64;
             return self
-                .ps_call(ctx, self.plan.row_owner(row), tags::PULL, req, bytes, 1)
+                .fabric_one(ctx, self.plan.row_owner(row), tags::PULL, req, bytes, 1)
                 .downcast();
         }
         // Split by server range; cols are sorted so each chunk is contiguous.
@@ -300,7 +259,7 @@ impl MatrixHandle {
                 spans.push((start, i));
             }
         }
-        let replies = self.ps_gather(ctx, tags::PULL, reqs, 1);
+        let replies = self.fabric_call(ctx, tags::PULL, reqs, 1);
         let mut out = vec![0.0; cols.len()];
         for (env, (start, end)) in replies.into_iter().zip(spans) {
             let values = env.downcast::<Vec<f64>>();
@@ -324,7 +283,7 @@ impl MatrixHandle {
                 value_bytes: self.value_bytes,
             };
             return self
-                .ps_call(ctx, self.plan.row_owner(row), tags::PULL, req, HDR + 16, 1)
+                .fabric_one(ctx, self.plan.row_owner(row), tags::PULL, req, HDR + 16, 1)
                 .downcast();
         }
         let reqs = self
@@ -341,7 +300,7 @@ impl MatrixHandle {
                 (slot, req, HDR + 16)
             })
             .collect();
-        let replies = self.ps_gather(ctx, tags::PULL, reqs, 1);
+        let replies = self.fabric_call(ctx, tags::PULL, reqs, 1);
         let mut out = Vec::with_capacity((hi - lo) as usize);
         for env in replies {
             out.extend(env.downcast::<Vec<f64>>());
@@ -376,7 +335,7 @@ impl MatrixHandle {
                         (slot, req, bytes)
                     })
                     .collect();
-                let _ = self.ps_gather(ctx, tags::PUSH, reqs, 1);
+                let _ = self.fabric_call(ctx, tags::PUSH, reqs, 1);
             }
             PlanKind::Row { .. } => {
                 let bytes = HDR + self.value_bytes * values.len() as u64;
@@ -389,7 +348,7 @@ impl MatrixHandle {
                     },
                     op_id: ctx.alloc_reply_token(),
                 };
-                let _ = self.ps_call(ctx, self.plan.row_owner(row), tags::PUSH, req, bytes, 1);
+                let _ = self.fabric_one(ctx, self.plan.row_owner(row), tags::PUSH, req, bytes, 1);
             }
         }
     }
@@ -413,7 +372,7 @@ impl MatrixHandle {
                 },
                 op_id: ctx.alloc_reply_token(),
             };
-            let _ = self.ps_call(ctx, self.plan.row_owner(row), tags::PUSH, req, bytes, 1);
+            let _ = self.fabric_one(ctx, self.plan.row_owner(row), tags::PUSH, req, bytes, 1);
             return;
         }
         let reqs = self
@@ -435,7 +394,7 @@ impl MatrixHandle {
                 (slot, req, bytes)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::PUSH, reqs, 1);
+        let _ = self.fabric_call(ctx, tags::PUSH, reqs, 1);
     }
 
     /// Sparse additive push (`(column, delta)` pairs, sorted by column).
@@ -453,7 +412,7 @@ impl MatrixHandle {
                 data: PushData::Sparse(Arc::new(pairs.to_vec())),
                 op_id: ctx.alloc_reply_token(),
             };
-            let _ = self.ps_call(ctx, self.plan.row_owner(row), tags::PUSH, req, bytes, 1);
+            let _ = self.fabric_one(ctx, self.plan.row_owner(row), tags::PUSH, req, bytes, 1);
             return;
         }
         let ranges = self.plan.column_ranges();
@@ -476,7 +435,7 @@ impl MatrixHandle {
                 reqs.push((slot, req, bytes));
             }
         }
-        let _ = self.ps_gather(ctx, tags::PUSH, reqs, 1);
+        let _ = self.fabric_call(ctx, tags::PUSH, reqs, 1);
     }
 
     // ---- row access: aggregations -------------------------------------------
@@ -497,7 +456,7 @@ impl MatrixHandle {
             })
             .collect();
         let partials: Vec<f64> = self
-            .ps_gather(ctx, tags::AGG, reqs, 1)
+            .fabric_call(ctx, tags::AGG, reqs, 1)
             .into_iter()
             .map(|env| env.downcast::<f64>())
             .collect();
@@ -536,7 +495,7 @@ impl MatrixHandle {
                 (slot, req, HDR)
             })
             .collect();
-        self.ps_gather(ctx, tags::DOT, reqs, 2)
+        self.fabric_call(ctx, tags::DOT, reqs, 2)
             .into_iter()
             .map(|env| env.downcast::<f64>())
             .sum()
@@ -558,7 +517,7 @@ impl MatrixHandle {
                 (slot, req, HDR)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::AXPY, reqs, 2);
+        let _ = self.fabric_call(ctx, tags::AXPY, reqs, 2);
     }
 
     /// `dst = a op b`, element-wise, server-side.
@@ -578,7 +537,7 @@ impl MatrixHandle {
                 (slot, req, HDR)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::ELEM, reqs, 3);
+        let _ = self.fabric_call(ctx, tags::ELEM, reqs, 3);
     }
 
     /// Server-side multi-row update: on every server, `f` receives mutable
@@ -600,7 +559,7 @@ impl MatrixHandle {
                 (slot, req, bytes)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::ZIP, reqs, rows.len() as u64);
+        let _ = self.fabric_call(ctx, tags::ZIP, reqs, rows.len() as u64);
     }
 
     /// Server-side read-only fold over co-located segments: returns `f`'s
@@ -629,7 +588,7 @@ impl MatrixHandle {
             })
             .collect();
         let mut acc = init;
-        for env in self.ps_gather(ctx, tags::ZIP_MAP, reqs, rows.len() as u64) {
+        for env in self.fabric_call(ctx, tags::ZIP_MAP, reqs, rows.len() as u64) {
             for p in env.downcast::<Vec<f64>>() {
                 acc = combine(acc, p);
             }
@@ -666,7 +625,7 @@ impl MatrixHandle {
             })
             .collect();
         let mut best: Option<(f64, u64)> = None;
-        for env in self.ps_gather(ctx, tags::ZIP_ARGMAX, reqs, rows.len() as u64) {
+        for env in self.fabric_call(ctx, tags::ZIP_ARGMAX, reqs, rows.len() as u64) {
             for (score, idx) in env.downcast::<Vec<(f64, u64)>>() {
                 best = match best {
                     Some((bs, bi)) if !(score > bs || (score == bs && idx < bi)) => Some((bs, bi)),
@@ -699,7 +658,7 @@ impl MatrixHandle {
                 (slot, req, HDR)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::FILL, reqs, 1);
+        let _ = self.fabric_call(ctx, tags::FILL, reqs, 1);
     }
 
     pub fn zero(&self, ctx: &mut SimCtx, row: u32) {
@@ -721,106 +680,229 @@ impl MatrixHandle {
                 (slot, req, HDR)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::SCALE, reqs, 1);
+        let _ = self.fabric_call(ctx, tags::SCALE, reqs, 1);
     }
 
-    // ---- batched ops (DeepWalk's per-pair pattern, amortized) -------------------
+    // ---- batched ops (sugar over PsBatch) ---------------------------------------
 
-    /// Many server-side dot products in **one request per server** (the
+    /// Many server-side dot products in **one envelope per server** (the
     /// Angel-style batched psFunc: DeepWalk issues one per mini-batch).
     /// Result `i` is the dot of `pairs[i]`.
     pub fn dot_many(&self, ctx: &mut SimCtx, pairs: &[(u32, u32)]) -> Vec<f64> {
-        if pairs.is_empty() {
-            return Vec::new();
-        }
-        let pairs_arc = Arc::new(pairs.to_vec());
-        let req_bytes = HDR + 8 * pairs.len() as u64;
-        let reqs = self
-            .col_op_slots(&[pairs[0].0])
-            .into_iter()
-            .map(|slot| {
-                let req = crate::protocol::DotBatchReq {
-                    id: self.id,
-                    pairs: Arc::clone(&pairs_arc),
-                };
-                (slot, req, req_bytes)
-            })
-            .collect();
-        let replies = self.ps_gather(ctx, tags::DOT_BATCH, reqs, 2 * pairs.len() as u64);
-        let mut out = vec![0.0; pairs.len()];
-        for env in replies {
-            for (acc, p) in out.iter_mut().zip(env.downcast::<Vec<f64>>()) {
-                *acc += p;
-            }
-        }
-        out
+        let mut batch = PsBatch::new();
+        let out = self.dot_many_in(&mut batch, pairs);
+        batch.flush(ctx);
+        out.take()
     }
 
-    /// Many independent server-side zips in one request per server. Each
-    /// job's closure typically captures one scalar coefficient, accounted
-    /// at 16 bytes per job on the wire.
+    /// Many independent server-side zips in one envelope per server.
     pub fn zip_many(&self, ctx: &mut SimCtx, jobs: Vec<(Vec<u32>, ZipMutFn)>, flops_per_elem: u64) {
+        let mut batch = PsBatch::new();
+        self.zip_many_in(ctx, &mut batch, jobs, flops_per_elem);
+        batch.flush(ctx);
+    }
+
+    /// Pull many full dense rows in one envelope per server. Result `i` is
+    /// `rows[i]`'s values.
+    pub fn pull_rows(&self, ctx: &mut SimCtx, rows: &[u32]) -> Vec<Vec<f64>> {
+        let mut batch = PsBatch::new();
+        let out = self.pull_rows_in(&mut batch, rows);
+        batch.flush(ctx);
+        out.take()
+    }
+
+    /// Dense additive push of many full rows in one envelope per server.
+    pub fn push_dense_many(&self, ctx: &mut SimCtx, updates: &[(u32, Vec<f64>)]) {
+        let mut batch = PsBatch::new();
+        self.push_dense_many_in(ctx, &mut batch, updates);
+        batch.flush(ctx);
+    }
+
+    // ---- batch enqueue API ------------------------------------------------------
+
+    /// Enqueue a [`MatrixHandle::zip`] into `batch` (one sub-request per
+    /// owning server). Takes effect at [`PsBatch::flush`].
+    pub fn zip_in(
+        &self,
+        ctx: &mut SimCtx,
+        batch: &mut PsBatch,
+        rows: &[u32],
+        f: ZipMutFn,
+        flops_per_elem: u64,
+    ) {
+        let req: Arc<dyn Any + Send + Sync> = Arc::new(ZipReq {
+            id: self.id,
+            rows: rows.to_vec(),
+            f,
+            flops_per_elem,
+            op_id: ctx.alloc_reply_token(),
+        });
+        let subs = self
+            .col_op_slots(rows)
+            .into_iter()
+            .map(|slot| (slot, tags::ZIP, Arc::clone(&req), 64))
+            .collect();
+        batch.enqueue(self, subs, rows.len() as u64, None);
+    }
+
+    /// Enqueue a [`MatrixHandle::fill`] into `batch`.
+    pub fn fill_in(&self, ctx: &mut SimCtx, batch: &mut PsBatch, row: u32, value: f64) {
+        let req: Arc<dyn Any + Send + Sync> = Arc::new(FillReq {
+            id: self.id,
+            row,
+            value,
+            op_id: ctx.alloc_reply_token(),
+        });
+        let subs = self
+            .row_slots(row)
+            .into_iter()
+            .map(|slot| (slot, tags::FILL, Arc::clone(&req), 0))
+            .collect();
+        batch.enqueue(self, subs, 1, None);
+    }
+
+    /// Enqueue a [`MatrixHandle::zero`] into `batch`.
+    pub fn zero_in(&self, ctx: &mut SimCtx, batch: &mut PsBatch, row: u32) {
+        self.fill_in(ctx, batch, row, 0.0);
+    }
+
+    /// Enqueue many dot products into `batch`; the result is available after
+    /// flush. Result `i` is the dot of `pairs[i]`.
+    pub fn dot_many_in(&self, batch: &mut PsBatch, pairs: &[(u32, u32)]) -> BatchResult<Vec<f64>> {
+        let result = BatchResult::empty();
+        if pairs.is_empty() {
+            result.fill(Vec::new());
+            return result;
+        }
+        let pair_reqs: Vec<Arc<dyn Any + Send + Sync>> = pairs
+            .iter()
+            .map(|&(row_a, row_b)| {
+                Arc::new(DotReq {
+                    id: self.id,
+                    row_a,
+                    row_b,
+                }) as Arc<dyn Any + Send + Sync>
+            })
+            .collect();
+        let mut subs = Vec::new();
+        for slot in self.col_op_slots(&[pairs[0].0]) {
+            for req in &pair_reqs {
+                subs.push((slot, tags::DOT, Arc::clone(req), 8));
+            }
+        }
+        let n = pairs.len();
+        let cell = result.clone();
+        batch.enqueue(
+            self,
+            subs,
+            2 * n as u64,
+            Some(Box::new(move |collected| {
+                // Slot-major order: sub k belongs to pair k % n.
+                let mut out = vec![0.0; n];
+                for (k, (_slot, reply)) in collected.into_iter().enumerate() {
+                    out[k % n] += *reply.downcast::<f64>().expect("dot partial");
+                }
+                cell.fill(out);
+            })),
+        );
+        result
+    }
+
+    /// Enqueue many independent zips into `batch`. Each job's closure
+    /// typically captures one scalar coefficient, accounted at 16 bytes per
+    /// job on the wire plus its row list.
+    pub fn zip_many_in(
+        &self,
+        ctx: &mut SimCtx,
+        batch: &mut PsBatch,
+        jobs: Vec<(Vec<u32>, ZipMutFn)>,
+        flops_per_elem: u64,
+    ) {
         if jobs.is_empty() {
             return;
         }
         let first_row = jobs[0].0[0];
         let rows_total: u64 = jobs.iter().map(|(r, _)| r.len() as u64).sum();
-        let req_bytes = HDR + 16 * jobs.len() as u64 + 4 * rows_total;
-        let jobs_arc = Arc::new(jobs);
-        let reqs = self
-            .col_op_slots(&[first_row])
+        let job_reqs: Vec<(Arc<dyn Any + Send + Sync>, u64)> = jobs
             .into_iter()
-            .map(|slot| {
-                let req = crate::protocol::ZipBatchReq {
+            .map(|(rows, f)| {
+                let body = 16 + 4 * rows.len() as u64;
+                let req: Arc<dyn Any + Send + Sync> = Arc::new(ZipReq {
                     id: self.id,
-                    jobs: Arc::clone(&jobs_arc),
+                    rows,
+                    f,
                     flops_per_elem,
                     op_id: ctx.alloc_reply_token(),
-                };
-                (slot, req, req_bytes)
+                });
+                (req, body)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::ZIP_BATCH, reqs, rows_total);
-    }
-
-    /// Pull many full dense rows in one request per server. Result `i` is
-    /// `rows[i]`'s values.
-    pub fn pull_rows(&self, ctx: &mut SimCtx, rows: &[u32]) -> Vec<Vec<f64>> {
-        if rows.is_empty() {
-            return Vec::new();
-        }
-        assert!(self.is_column(), "pull_rows requires column partitioning");
-        let slots = self.column_slots();
-        let rows_arc = Arc::new(rows.to_vec());
-        let req_bytes = HDR + 4 * rows.len() as u64;
-        let reqs = slots
-            .iter()
-            .map(|&slot| {
-                let req = crate::protocol::PullRowsReq {
-                    id: self.id,
-                    rows: Arc::clone(&rows_arc),
-                    value_bytes: self.value_bytes,
-                };
-                (slot, req, req_bytes)
-            })
-            .collect();
-        let replies = self.ps_gather(ctx, tags::PULL_ROWS, reqs, rows.len() as u64);
-        let mut out: Vec<Vec<f64>> = vec![vec![0.0; self.dim() as usize]; rows.len()];
-        for (&slot, env) in slots.iter().zip(replies) {
-            let per_row = env.downcast::<Vec<Vec<Vec<f64>>>>();
-            let slot_ranges = self.plan.ranges_of(slot);
-            for (row_out, segs) in out.iter_mut().zip(per_row) {
-                for (&(lo, hi), seg) in slot_ranges.iter().zip(segs) {
-                    row_out[lo as usize..hi as usize].copy_from_slice(&seg);
-                    debug_assert_eq!(seg.len() as u64, hi - lo);
-                }
+        let mut subs = Vec::new();
+        for slot in self.col_op_slots(&[first_row]) {
+            for (req, body) in &job_reqs {
+                subs.push((slot, tags::ZIP, Arc::clone(req), *body));
             }
         }
-        out
+        batch.enqueue(self, subs, rows_total, None);
     }
 
-    /// Dense additive push of many full rows in one request per server.
-    pub fn push_dense_many(&self, ctx: &mut SimCtx, updates: &[(u32, Vec<f64>)]) {
+    /// Enqueue pulls of many full dense rows into `batch`; results are
+    /// available after flush, `rows[i]`'s values at index `i`.
+    pub fn pull_rows_in(&self, batch: &mut PsBatch, rows: &[u32]) -> BatchResult<Vec<Vec<f64>>> {
+        let result = BatchResult::empty();
+        if rows.is_empty() {
+            result.fill(Vec::new());
+            return result;
+        }
+        assert!(self.is_column(), "pull_rows requires column partitioning");
+        let row_reqs: Vec<Arc<dyn Any + Send + Sync>> = rows
+            .iter()
+            .map(|&row| {
+                Arc::new(PullReq {
+                    id: self.id,
+                    row,
+                    cols: ColsSel::All,
+                    value_bytes: self.value_bytes,
+                }) as Arc<dyn Any + Send + Sync>
+            })
+            .collect();
+        let mut subs = Vec::new();
+        for slot in self.column_slots() {
+            for req in &row_reqs {
+                subs.push((slot, tags::PULL, Arc::clone(req), 4));
+            }
+        }
+        let n = rows.len();
+        let dim = self.dim() as usize;
+        let plan = Arc::clone(&self.plan);
+        let cell = result.clone();
+        batch.enqueue(
+            self,
+            subs,
+            n as u64,
+            Some(Box::new(move |collected| {
+                let mut out: Vec<Vec<f64>> = vec![vec![0.0; dim]; n];
+                for (k, (slot, reply)) in collected.into_iter().enumerate() {
+                    let segs = *reply.downcast::<Vec<Vec<f64>>>().expect("pulled segments");
+                    let row_out = &mut out[k % n];
+                    for (&(lo, hi), seg) in plan.ranges_of(slot).iter().zip(segs) {
+                        debug_assert_eq!(seg.len() as u64, hi - lo);
+                        row_out[lo as usize..hi as usize].copy_from_slice(&seg);
+                    }
+                }
+                cell.fill(out);
+            })),
+        );
+        result
+    }
+
+    /// Enqueue dense additive pushes of many full rows into `batch`.
+    pub fn push_dense_many_in(
+        &self,
+        ctx: &mut SimCtx,
+        batch: &mut PsBatch,
+        updates: &[(u32, Vec<f64>)],
+    ) {
         if updates.is_empty() {
             return;
         }
@@ -828,29 +910,24 @@ impl MatrixHandle {
             self.is_column(),
             "push_dense_many requires column partitioning"
         );
-        let rows_arc = Arc::new(updates.iter().map(|(r, _)| *r).collect::<Vec<u32>>());
-        let reqs = self
-            .plan
-            .column_ranges()
-            .iter()
-            .map(|&(slot, lo, hi)| {
-                let segs: Vec<Vec<f64>> = updates
-                    .iter()
-                    .map(|(_, values)| values[lo as usize..hi as usize].to_vec())
-                    .collect();
-                let cells: u64 = segs.iter().map(|s| s.len() as u64).sum();
-                let bytes = HDR + 4 * segs.len() as u64 + self.value_bytes * cells;
-                let req = crate::protocol::PushRowsReq {
+        let mut subs = Vec::new();
+        for &(slot, lo, hi) in &self.plan.column_ranges() {
+            for (row, values) in updates {
+                let seg: Vec<f64> = values[lo as usize..hi as usize].to_vec();
+                let body = 4 + self.value_bytes * seg.len() as u64;
+                let req: Arc<dyn Any + Send + Sync> = Arc::new(PushReq {
                     id: self.id,
-                    rows: Arc::clone(&rows_arc),
-                    lo,
-                    segs: Arc::new(segs),
+                    row: *row,
+                    data: PushData::DenseSeg {
+                        lo,
+                        values: Arc::new(seg),
+                    },
                     op_id: ctx.alloc_reply_token(),
-                };
-                (slot, req, bytes)
-            })
-            .collect();
-        let _ = self.ps_gather(ctx, tags::PUSH_ROWS, reqs, updates.len() as u64);
+                });
+                subs.push((slot, tags::PUSH, req, body));
+            }
+        }
+        batch.enqueue(self, subs, updates.len() as u64, None);
     }
 
     // ---- block access (LDA's by-column pattern) --------------------------------
@@ -887,7 +964,7 @@ impl MatrixHandle {
                 spans.push((start, i));
             }
         }
-        let replies = self.ps_gather(ctx, tags::PULL_BLOCK, reqs, rows.len() as u64);
+        let replies = self.fabric_call(ctx, tags::PULL_BLOCK, reqs, rows.len() as u64);
         let mut out: Vec<Vec<f64>> = vec![Vec::new(); cols.len()];
         for (env, (start, end)) in replies.into_iter().zip(spans) {
             let block = env.downcast::<Vec<Vec<f64>>>();
@@ -929,7 +1006,7 @@ impl MatrixHandle {
                 reqs.push((slot, req, bytes));
             }
         }
-        let _ = self.ps_gather(ctx, tags::PUSH_BLOCK, reqs, rows.len() as u64);
+        let _ = self.fabric_call(ctx, tags::PUSH_BLOCK, reqs, rows.len() as u64);
     }
 
     /// Per-key block pulls: one request per column, all concurrently in
@@ -957,7 +1034,7 @@ impl MatrixHandle {
                 (self.plan.col_owner(c), req, HDR + 4 + 4 * rows.len() as u64)
             })
             .collect();
-        self.ps_gather(ctx, tags::PULL_BLOCK, reqs, rows.len() as u64)
+        self.fabric_call(ctx, tags::PULL_BLOCK, reqs, rows.len() as u64)
             .into_iter()
             .map(|env| {
                 env.downcast::<Vec<Vec<f64>>>()
@@ -993,7 +1070,7 @@ impl MatrixHandle {
                 (self.plan.col_owner(*c), req, bytes)
             })
             .collect();
-        let _ = self.ps_gather(ctx, tags::PUSH_BLOCK, reqs, rows.len() as u64);
+        let _ = self.fabric_call(ctx, tags::PUSH_BLOCK, reqs, rows.len() as u64);
     }
 
     // ---- cross-matrix ops (the Figure 4 story) -----------------------------------
@@ -1037,7 +1114,7 @@ impl MatrixHandle {
                 value_bytes: other.value_bytes,
             };
             let partial: f64 = self
-                .ps_call(ctx, slot, tags::CROSS_DOT, req, HDR + 24, 2)
+                .fabric_one(ctx, slot, tags::CROSS_DOT, req, HDR + 24, 2)
                 .downcast();
             acc += partial;
         }
@@ -1078,7 +1155,7 @@ impl MatrixHandle {
                 value_bytes: other.value_bytes,
                 op_id: ctx.alloc_reply_token(),
             };
-            let _ = self.ps_call(ctx, slot, tags::CROSS_ELEM, req, HDR + 24, 2);
+            let _ = self.fabric_one(ctx, slot, tags::CROSS_ELEM, req, HDR + 24, 2);
         }
     }
 
@@ -1122,6 +1199,173 @@ impl MatrixHandle {
                      (the single-point limitation of row partitioning, paper §4.3)"
                 );
                 vec![owners[0]]
+            }
+        }
+    }
+}
+
+// ---- the coalescing batch context ------------------------------------------
+
+/// The value an enqueued batched op will produce. Readable with
+/// [`BatchResult::take`] only after the owning [`PsBatch`] has flushed.
+pub struct BatchResult<T> {
+    cell: Rc<RefCell<Option<T>>>,
+}
+
+impl<T> Clone for BatchResult<T> {
+    fn clone(&self) -> Self {
+        BatchResult {
+            cell: Rc::clone(&self.cell),
+        }
+    }
+}
+
+impl<T> BatchResult<T> {
+    fn empty() -> Self {
+        BatchResult {
+            cell: Rc::new(RefCell::new(None)),
+        }
+    }
+
+    fn fill(&self, value: T) {
+        *self.cell.borrow_mut() = Some(value);
+    }
+
+    /// The op's decoded result. Panics if the batch has not been flushed.
+    pub fn take(&self) -> T {
+        self.cell
+            .borrow_mut()
+            .take()
+            .expect("PsBatch::flush must run before BatchResult::take")
+    }
+}
+
+/// One queued sub-request: owning op, tag, payload, body bytes.
+type QueuedSub = (usize, u32, Arc<dyn Any + Send + Sync>, u64);
+
+/// Decoder of one op's sub-replies, delivered as `(slot, reply)` in
+/// slot-major enqueue order.
+type Decoder = Box<dyn FnOnce(Vec<(usize, Box<dyn Any + Send>)>)>;
+
+/// Per-destination envelope coalescing: every op enqueued between flushes
+/// contributes sub-requests, and [`PsBatch::flush`] sends **one**
+/// `EnvelopeReq` per server carrying all of them — one round trip where the
+/// bare ops would each have paid their own. Mutating sub-requests keep their
+/// individual op-ids, so a retried envelope (fabric resends the identical
+/// payload) re-applies nothing.
+///
+/// All enqueued ops must live on the same server fleet (share a route
+/// table); the batch binds to the first handle's and asserts on the rest.
+/// A batch may be reused: flush leaves it empty but bound.
+#[derive(Default)]
+pub struct PsBatch {
+    route: Option<Arc<RouteTable>>,
+    fleet: Option<Arc<PsFleet>>,
+    by_slot: BTreeMap<usize, Vec<QueuedSub>>,
+    decoders: Vec<Option<Decoder>>,
+    rows_touched: u64,
+}
+
+impl PsBatch {
+    pub fn new() -> PsBatch {
+        PsBatch::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_slot.is_empty()
+    }
+
+    fn bind(&mut self, h: &MatrixHandle) {
+        match &self.route {
+            None => {
+                self.route = Some(Arc::clone(&h.route));
+                self.fleet = h.fleet.clone();
+            }
+            Some(route) => assert!(
+                Arc::ptr_eq(route, &h.route),
+                "a PsBatch coalesces per server: every enqueued op must target \
+                 the same server fleet (shared route table)"
+            ),
+        }
+    }
+
+    /// Queue one op's sub-requests `(slot, tag, payload, body bytes)` and
+    /// its reply decoder (None for fire-and-forget mutations).
+    fn enqueue(
+        &mut self,
+        h: &MatrixHandle,
+        subs: Vec<(usize, u32, Arc<dyn Any + Send + Sync>, u64)>,
+        rows_touched: u64,
+        decoder: Option<Decoder>,
+    ) {
+        self.bind(h);
+        let op_idx = self.decoders.len();
+        for (slot, tag, payload, body) in subs {
+            self.by_slot
+                .entry(slot)
+                .or_default()
+                .push((op_idx, tag, payload, body));
+        }
+        self.rows_touched += rows_touched;
+        self.decoders.push(decoder);
+    }
+
+    /// Send one envelope per destination server through the fabric, wait for
+    /// all replies, and run every enqueued op's decoder. The batch is left
+    /// empty (but still bound) for reuse.
+    pub fn flush(&mut self, ctx: &mut SimCtx) {
+        let by_slot = std::mem::take(&mut self.by_slot);
+        let decoders = std::mem::take(&mut self.decoders);
+        let rows_touched = std::mem::replace(&mut self.rows_touched, 0);
+        if by_slot.is_empty() {
+            return;
+        }
+        let route = Arc::clone(self.route.as_ref().expect("non-empty batch is bound"));
+        let fleet = self.fleet.clone();
+        let epoch = route.epoch();
+        let slots: Vec<usize> = by_slot.keys().copied().collect();
+        let reqs: Vec<(usize, EnvelopeReq, u64)> = slots
+            .iter()
+            .map(|&slot| {
+                let subs: Vec<SubReq> = by_slot[&slot]
+                    .iter()
+                    .map(|(_, tag, payload, body)| (*tag, Arc::clone(payload), *body))
+                    .collect();
+                let bytes = HDR + subs.iter().map(|&(_, _, b)| SUB_HDR + b).sum::<u64>();
+                let env = EnvelopeReq {
+                    op_id: ctx.alloc_reply_token(),
+                    epoch,
+                    subs: Arc::new(subs),
+                };
+                (slot, env, bytes)
+            })
+            .collect();
+        let router = PsRouter {
+            route: &route,
+            fleet: fleet.as_deref(),
+        };
+        let replies = fabric::call_slots(
+            ctx,
+            &router,
+            &ps_policy(),
+            "envelope",
+            tags::ENVELOPE,
+            reqs,
+            rows_touched,
+        );
+        // Split each server's reply vector back out to the owning ops.
+        let mut per_op: Vec<Vec<(usize, Box<dyn Any + Send>)>> =
+            (0..decoders.len()).map(|_| Vec::new()).collect();
+        for (&slot, env) in slots.iter().zip(replies) {
+            let sub_replies = env.downcast::<Vec<Box<dyn Any + Send>>>();
+            debug_assert_eq!(sub_replies.len(), by_slot[&slot].len());
+            for ((op_idx, _, _, _), reply) in by_slot[&slot].iter().zip(sub_replies) {
+                per_op[*op_idx].push((slot, reply));
+            }
+        }
+        for (decoder, collected) in decoders.into_iter().zip(per_op) {
+            if let Some(d) = decoder {
+                d(collected);
             }
         }
     }

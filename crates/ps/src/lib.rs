@@ -29,7 +29,7 @@ mod plan;
 mod protocol;
 mod server;
 
-pub use client::MatrixHandle;
+pub use client::{BatchResult, MatrixHandle, PsBatch};
 pub use master::{PsConfig, PsFleet, PsMaster};
 pub use plan::{MatrixId, PartitionPlan, Partitioning, PlanKind, RouteTable};
 pub use protocol::{AggKind, ElemOp, InitKind, ZipArgmaxFn, ZipMapFn, ZipMutFn, ZipSegs};

@@ -5,9 +5,9 @@ use std::any::Any;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use ps2_simnet::{LivenessProbe, ProcId, SimCtx, SimTime};
+use ps2_simnet::{fabric, LivenessProbe, ProcId, SimCtx, SimTime};
 
-use crate::client::MatrixHandle;
+use crate::client::{ps_policy, MatrixHandle, PsRouter};
 use crate::plan::{MatrixId, PartitionPlan, Partitioning, RouteTable};
 use crate::protocol::{tags, CheckpointReq, CreateReq, FreeReq, InitKind, RestoreReq};
 use crate::server::ps_server_main;
@@ -83,6 +83,11 @@ impl PsFleet {
     /// Heartbeat every slot (protocol tag `PING`) and return the slots that
     /// did not answer within the ping timeout: dead servers, or servers
     /// stuck long enough to deserve a closer look.
+    ///
+    /// Deliberately *not* routed through the request fabric: the fabric
+    /// retries and recovers on timeout, but this ping IS the detector that
+    /// recovery consults — a single raw deadline-bounded scatter whose
+    /// misses are the answer, not a failure to mask.
     pub fn ping_all(&self, ctx: &mut SimCtx) -> Vec<usize> {
         let slots: Vec<usize> = (0..self.route.n_slots()).collect();
         let reqs: Vec<_> = slots
@@ -222,6 +227,23 @@ impl PsMaster {
         }
     }
 
+    /// Scatter a lifecycle request to every slot through the shared request
+    /// fabric — the same retry/re-resolution pipeline data ops use, so a
+    /// server dying mid-create or mid-checkpoint is recovered, not hung on.
+    fn fabric_call<P: Any + Send + Clone>(
+        &self,
+        ctx: &mut SimCtx,
+        tag: u32,
+        reqs: Vec<(usize, P, u64)>,
+    ) -> Vec<ps2_simnet::Envelope> {
+        let router = PsRouter {
+            route: &self.fleet.route,
+            fleet: Some(&self.fleet),
+        };
+        let n = reqs.len() as u64;
+        fabric::call_slots(ctx, &router, &ps_policy(), tags::name(tag), tag, reqs, n)
+    }
+
     /// Allocate a `rows × dim` matrix across the servers.
     pub fn create_matrix(
         &mut self,
@@ -235,11 +257,14 @@ impl PsMaster {
         self.next_id += 1;
         let route = self.fleet.route();
         let plan = Arc::new(PartitionPlan::new(dim, rows, route.n_slots(), partitioning));
+        // Metadata is registered *before* the scatter so a recovery racing
+        // the create replays this matrix into any replacement server; the
+        // fabric's resend of a CreateReq is idempotent server-side.
         self.fleet
             .matrices
             .lock()
             .push((id, Arc::clone(&plan), init.clone()));
-        let reqs: Vec<_> = (0..route.n_slots())
+        let reqs: Vec<(usize, CreateReq, u64)> = (0..route.n_slots())
             .map(|slot| {
                 let req = CreateReq {
                     id,
@@ -247,15 +272,10 @@ impl PsMaster {
                     init: init.clone(),
                     slot,
                 };
-                (
-                    route.resolve(slot),
-                    tags::CREATE,
-                    Box::new(req) as Box<dyn Any + Send>,
-                    96,
-                )
+                (slot, req, 96)
             })
             .collect();
-        let _ = ctx.call_many(reqs);
+        let _ = self.fabric_call(ctx, tags::CREATE, reqs);
         MatrixHandle {
             id,
             plan,
@@ -272,39 +292,26 @@ impl PsMaster {
             .lock()
             .retain(|(id, _, _)| *id != handle.id);
         let route = self.fleet.route();
-        let reqs = (0..route.n_slots())
-            .map(|slot| {
-                let req = FreeReq { id: handle.id };
-                (
-                    route.resolve(slot),
-                    tags::FREE,
-                    Box::new(req) as Box<dyn Any + Send>,
-                    32u64,
-                )
-            })
+        let reqs: Vec<(usize, FreeReq, u64)> = (0..route.n_slots())
+            .map(|slot| (slot, FreeReq { id: handle.id }, 32))
             .collect();
-        let _ = ctx.call_many(reqs);
+        let _ = self.fabric_call(ctx, tags::FREE, reqs);
     }
 
     /// Checkpoint every server's shards to the reliable external storage
     /// (paper §5.3 "periodically checkpoints the model parameters").
     pub fn checkpoint_all(&mut self, ctx: &mut SimCtx) {
         let route = self.fleet.route();
-        let reqs = (0..route.n_slots())
+        let reqs: Vec<(usize, CheckpointReq, u64)> = (0..route.n_slots())
             .map(|slot| {
                 let req = CheckpointReq {
                     storage: self.fleet.storage,
                     key: slot as u64,
                 };
-                (
-                    route.resolve(slot),
-                    tags::CHECKPOINT,
-                    Box::new(req) as Box<dyn Any + Send>,
-                    48u64,
-                )
+                (slot, req, 48)
             })
             .collect();
-        let _ = ctx.call_many(reqs);
+        let _ = self.fabric_call(ctx, tags::CHECKPOINT, reqs);
     }
 
     /// Detect dead servers and replace each with a fresh process whose state

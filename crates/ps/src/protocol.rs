@@ -28,12 +28,13 @@ pub(crate) mod tags {
     pub const CHECKPOINT: u32 = 27;
     pub const RESTORE: u32 = 28;
     pub const ZIP_ARGMAX: u32 = 29;
-    pub const DOT_BATCH: u32 = 30;
-    pub const ZIP_BATCH: u32 = 31;
-    pub const PULL_ROWS: u32 = 32;
-    pub const PUSH_ROWS: u32 = 33;
+    // 30..=33 were the ad-hoc batched psFuncs (DOT_BATCH, ZIP_BATCH,
+    // PULL_ROWS, PUSH_ROWS), superseded by the generic ENVELOPE container;
+    // the numbers stay reserved so old traces read unambiguously.
     /// Liveness heartbeat: servers answer immediately with `()`.
     pub const PING: u32 = 34;
+    /// Per-server coalescing container: many sub-requests, one message.
+    pub const ENVELOPE: u32 = 35;
     pub const STORE_PUT: u32 = 40;
     pub const STORE_GET: u32 = 41;
 
@@ -60,11 +61,8 @@ pub(crate) mod tags {
             CHECKPOINT => "checkpoint",
             RESTORE => "restore",
             ZIP_ARGMAX => "zip_argmax",
-            DOT_BATCH => "dot_batch",
-            ZIP_BATCH => "zip_batch",
-            PULL_ROWS => "pull_rows",
-            PUSH_ROWS => "push_rows",
             PING => "ping",
+            ENVELOPE => "envelope",
             STORE_PUT => "store_put",
             STORE_GET => "store_get",
             _ => "unknown",
@@ -140,6 +138,7 @@ pub type ZipArgmaxFn = Arc<dyn Fn(&[&[f64]], u64) -> (f64, u64) + Send + Sync>;
 
 // ---- request payloads -------------------------------------------------------
 
+#[derive(Clone)]
 pub(crate) struct CreateReq {
     pub id: MatrixId,
     pub plan: Arc<PartitionPlan>,
@@ -148,6 +147,7 @@ pub(crate) struct CreateReq {
     pub slot: usize,
 }
 
+#[derive(Clone)]
 pub(crate) struct FreeReq {
     pub id: MatrixId,
 }
@@ -255,42 +255,26 @@ pub(crate) struct ZipArgmaxReq {
     pub flops_per_elem: u64,
 }
 
-/// A batch of row-pair dot products in one request (the Angel-style batched
-/// psFunc: DeepWalk issues one of these per server per mini-batch).
-#[derive(Clone)]
-pub(crate) struct DotBatchReq {
-    pub id: MatrixId,
-    pub pairs: Arc<Vec<(u32, u32)>>,
-}
+/// One sub-request inside an [`EnvelopeReq`]: its would-be tag, its payload
+/// (type-erased so one container carries any mix of ops), and the wire bytes
+/// its *body* contributes to the envelope.
+pub(crate) type SubReq = (u32, Arc<dyn std::any::Any + Send + Sync>, u64);
 
-/// A batch of independent zips in one request.
+/// The per-server coalescing container (the Angel-style batched psFunc,
+/// generalized): every sub-request a flush bound for one server rides in a
+/// single message. Sub-requests execute in order; mutating subs carry their
+/// own op-ids, so a retried envelope re-applies none of them. The envelope
+/// itself is a pure container and is never deduped.
 #[derive(Clone)]
-pub(crate) struct ZipBatchReq {
-    pub id: MatrixId,
-    pub jobs: Arc<Vec<(Vec<u32>, ZipMutFn)>>,
-    pub flops_per_elem: u64,
-    /// See [`PushReq::op_id`].
+pub(crate) struct EnvelopeReq {
+    /// Identifies the flush attempt for tracing; not a dedup key.
     pub op_id: u64,
-}
-
-/// Pull many full rows (this server's segments) in one request.
-#[derive(Clone)]
-pub(crate) struct PullRowsReq {
-    pub id: MatrixId,
-    pub rows: Arc<Vec<u32>>,
-    pub value_bytes: u64,
-}
-
-/// Dense additive push of many rows' segments in one request.
-/// `segs[i]` covers `[lo, hi)` of `rows[i]` on this server.
-#[derive(Clone)]
-pub(crate) struct PushRowsReq {
-    pub id: MatrixId,
-    pub rows: Arc<Vec<u32>>,
-    pub lo: u64,
-    pub segs: Arc<Vec<Vec<f64>>>,
-    /// See [`PushReq::op_id`].
-    pub op_id: u64,
+    /// Route epoch the client resolved against when building the envelope.
+    /// Carried for wire-trace debugging (a stale-epoch envelope reaching a
+    /// replacement server is visible in captures); servers don't consult it.
+    #[allow(dead_code)]
+    pub epoch: u64,
+    pub subs: Arc<Vec<SubReq>>,
 }
 
 #[derive(Clone)]
@@ -368,12 +352,14 @@ pub(crate) struct CrossElemReq {
     pub op_id: u64,
 }
 
+#[derive(Clone)]
 pub(crate) struct CheckpointReq {
     pub storage: ProcId,
     /// Stable logical key of this server slot (survives respawns).
     pub key: u64,
 }
 
+#[derive(Clone)]
 pub(crate) struct RestoreReq {
     pub storage: ProcId,
     pub key: u64,

@@ -1,5 +1,6 @@
 //! PS-server and checkpoint-storage processes.
 
+use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -7,10 +8,10 @@ use ps2_simnet::{Envelope, ProcId, SimCtx, SimRuntime, SimTime};
 
 use crate::plan::{MatrixId, PartitionPlan, PlanKind};
 use crate::protocol::{
-    tags, AggKind, AggReq, CheckpointReq, CreateReq, CrossDotReq, CrossElemReq, DotReq, ElemReq,
-    FetchSegReq, FillReq, FreeReq, InitKind, PullBlockReq, PullReq, PushBlockReq, PushData,
-    PushReq, RestoreReq, ScaleReq, Snapshot, StoreGetReq, StoreGetResp, StorePutReq, ZipMapReq,
-    ZipReq, ZipSegs,
+    tags, AggKind, AggReq, AxpyReq, CheckpointReq, CreateReq, CrossDotReq, CrossElemReq, DotReq,
+    ElemReq, EnvelopeReq, FetchSegReq, FillReq, FreeReq, InitKind, PullBlockReq, PullReq,
+    PushBlockReq, PushData, PushReq, RestoreReq, ScaleReq, Snapshot, StoreGetReq, StoreGetResp,
+    StorePutReq, ZipMapReq, ZipReq, ZipSegs,
 };
 
 /// splitmix64: the deterministic per-element hash behind `InitKind::Uniform`,
@@ -175,48 +176,47 @@ impl OpLog {
     }
 }
 
+/// Row-touch counters are only kept for matrices this small: envelope
+/// coalescing lowers `pull_rows`/`push_dense_many` to per-row subs, and
+/// embedding tables with thousands of rows would otherwise mint a metric
+/// name per vertex.
+const ROW_TOUCH_MAX_ROWS: u32 = 64;
+
 /// The `(matrix, op_id)` dedup key of a mutating request; `None` for
-/// read-only requests, which are harmless to re-execute.
-fn mutation_key(env: &Envelope) -> Option<(MatrixId, u64)> {
-    match env.tag {
+/// read-only requests, which are harmless to re-execute. Works on the bare
+/// payload so envelope sub-requests dedup exactly like bare ones.
+fn mutation_key(tag: u32, payload: &dyn Any) -> Option<(MatrixId, u64)> {
+    match tag {
         tags::PUSH => {
-            let r: &PushReq = env.downcast_ref();
+            let r: &PushReq = cast(tag, payload);
             Some((r.id, r.op_id))
         }
         tags::AXPY => {
-            let r: &crate::protocol::AxpyReq = env.downcast_ref();
+            let r: &AxpyReq = cast(tag, payload);
             Some((r.id, r.op_id))
         }
         tags::ELEM => {
-            let r: &ElemReq = env.downcast_ref();
+            let r: &ElemReq = cast(tag, payload);
             Some((r.id, r.op_id))
         }
         tags::ZIP => {
-            let r: &ZipReq = env.downcast_ref();
-            Some((r.id, r.op_id))
-        }
-        tags::ZIP_BATCH => {
-            let r: &crate::protocol::ZipBatchReq = env.downcast_ref();
-            Some((r.id, r.op_id))
-        }
-        tags::PUSH_ROWS => {
-            let r: &crate::protocol::PushRowsReq = env.downcast_ref();
+            let r: &ZipReq = cast(tag, payload);
             Some((r.id, r.op_id))
         }
         tags::FILL => {
-            let r: &FillReq = env.downcast_ref();
+            let r: &FillReq = cast(tag, payload);
             Some((r.id, r.op_id))
         }
         tags::SCALE => {
-            let r: &ScaleReq = env.downcast_ref();
+            let r: &ScaleReq = cast(tag, payload);
             Some((r.id, r.op_id))
         }
         tags::PUSH_BLOCK => {
-            let r: &PushBlockReq = env.downcast_ref();
+            let r: &PushBlockReq = cast(tag, payload);
             Some((r.id, r.op_id))
         }
         tags::CROSS_ELEM => {
-            let r: &CrossElemReq = env.downcast_ref();
+            let r: &CrossElemReq = cast(tag, payload);
             Some((r.dst_id, r.op_id))
         }
         _ => None,
@@ -252,38 +252,94 @@ fn handle(
     oplog: &mut OpLog,
     env: Envelope,
 ) {
-    let me = ctx.id();
-    if let Some((id, op_id)) = mutation_key(&env) {
+    if env.tag == tags::ENVELOPE {
+        // The coalescing container: run each sub-request as if it had
+        // arrived bare — own op label, own dedup check — and ship all the
+        // replies back in one message.
+        let req: &EnvelopeReq = env.downcast_ref();
+        ctx.trace_mark_with("ps.server.envelope", req.op_id);
+        let subs = Arc::clone(&req.subs);
+        let mut replies: Vec<Box<dyn Any + Send>> = Vec::with_capacity(subs.len());
+        let mut bytes = 16u64;
+        for (tag, payload, _) in subs.iter() {
+            ctx.op_label(tags::name(*tag));
+            let (reply, b) = dispatch_one(ctx, shards, oplog, *tag, payload.as_ref());
+            replies.push(reply);
+            bytes += b;
+        }
+        ctx.op_label("envelope");
+        ctx.reply_boxed(&env, Box::new(replies), bytes);
+        return;
+    }
+    let (reply, bytes) = dispatch_one(ctx, shards, oplog, env.tag, env.payload.as_ref());
+    ctx.reply_boxed(&env, reply, bytes);
+}
+
+/// Dedup-then-execute for one request, bare or enveloped.
+fn dispatch_one(
+    ctx: &mut SimCtx,
+    shards: &mut HashMap<MatrixId, Shard>,
+    oplog: &mut OpLog,
+    tag: u32,
+    payload: &dyn Any,
+) -> (Box<dyn Any + Send>, u64) {
+    if let Some((id, op_id)) = mutation_key(tag, payload) {
         if oplog.check_and_record(id, op_id) {
             // Duplicate of an update this server already applied (the client
             // timed out and resent): acknowledge without re-applying.
-            ctx.reply(&env, (), 8);
-            return;
+            return (Box::new(()), 8);
         }
     }
-    match env.tag {
+    execute(ctx, shards, tag, payload)
+}
+
+fn cast<T: 'static>(tag: u32, payload: &dyn Any) -> &T {
+    payload
+        .downcast_ref::<T>()
+        .unwrap_or_else(|| panic!("ps-server: payload type mismatch for tag {tag}"))
+}
+
+/// Execute one request and return `(reply payload, reply wire bytes)`.
+/// Pure of reliability concerns: dedup happened in the caller, the reply is
+/// sent by the caller (so envelopes can collect many replies into one
+/// message).
+fn execute(
+    ctx: &mut SimCtx,
+    shards: &mut HashMap<MatrixId, Shard>,
+    tag: u32,
+    payload: &dyn Any,
+) -> (Box<dyn Any + Send>, u64) {
+    let me = ctx.id();
+    match tag {
         tags::CREATE => {
-            let req: &CreateReq = env.downcast_ref();
-            let shard = Shard::build(req.slot, Arc::clone(&req.plan), &req.init);
-            // Materializing the shard touches every owned element.
-            ctx.charge_mem(shard.owned_cols() * shard.data.len() as u64 * 8);
-            shards.insert(req.id, shard);
-            ctx.reply(&env, (), 8);
+            let req: &CreateReq = cast(tag, payload);
+            // Idempotent: fleet recovery replays creates into a replacement
+            // server, and the fabric may then re-deliver the original
+            // request — rebuilding here would wipe the restored values.
+            if let std::collections::hash_map::Entry::Vacant(e) = shards.entry(req.id) {
+                let shard = Shard::build(req.slot, Arc::clone(&req.plan), &req.init);
+                // Materializing the shard touches every owned element.
+                ctx.charge_mem(shard.owned_cols() * shard.data.len() as u64 * 8);
+                e.insert(shard);
+            }
+            (Box::new(()), 8)
         }
         tags::FREE => {
-            let req: &FreeReq = env.downcast_ref();
+            let req: &FreeReq = cast(tag, payload);
             shards.remove(&req.id);
-            ctx.reply(&env, (), 8);
+            (Box::new(()), 8)
         }
         tags::PULL => {
-            let req: &PullReq = env.downcast_ref();
-            // Per-matrix hot-row counter (NuPS-style access-skew tracking):
-            // single-row ops only, so cardinality stays bounded by the small
-            // row counts PS2 matrices use.
-            ctx.metric_add(
-                &format!("ps.server.row_touch.m{}.r{}", req.id.0, req.row),
-                1,
-            );
+            let req: &PullReq = cast(tag, payload);
+            let shard = shard_of(shards, req.id);
+            // Per-matrix hot-row counter (NuPS-style access-skew tracking),
+            // bounded-cardinality matrices only.
+            if shard.plan.rows <= ROW_TOUCH_MAX_ROWS {
+                ctx.metric_add(
+                    &format!("ps.server.row_touch.m{}.r{}", req.id.0, req.row),
+                    1,
+                );
+            }
             let shard = shard_of(shards, req.id);
             match &req.cols {
                 crate::protocol::ColsSel::All => {
@@ -291,27 +347,29 @@ fn handle(
                     let segs: Vec<Vec<f64>> = shard.data[slot].clone();
                     let n: u64 = segs.iter().map(|s| s.len() as u64).sum();
                     ctx.charge_mem(n * 8);
-                    ctx.reply(&env, segs, 16 + n * req.value_bytes);
+                    (Box::new(segs), 16 + n * req.value_bytes)
                 }
                 crate::protocol::ColsSel::Range(lo, hi) => {
                     let values: Vec<f64> = (*lo..*hi).map(|c| shard.get(req.row, c)).collect();
                     let n = values.len() as u64;
                     ctx.charge_mem(n * 8);
-                    ctx.reply(&env, values, 16 + n * req.value_bytes);
+                    (Box::new(values), 16 + n * req.value_bytes)
                 }
                 crate::protocol::ColsSel::List(cols) => {
                     let values: Vec<f64> = cols.iter().map(|&c| shard.get(req.row, c)).collect();
                     let n = values.len() as u64;
                     ctx.charge_mem(n * 16);
-                    ctx.reply(&env, values, 16 + n * req.value_bytes);
+                    (Box::new(values), 16 + n * req.value_bytes)
                 }
             }
         }
         tags::PUSH => {
-            let req: &PushReq = env.downcast_ref();
+            let req: &PushReq = cast(tag, payload);
             let id = req.id;
             let row = req.row;
-            ctx.metric_add(&format!("ps.server.row_touch.m{}.r{}", id.0, row), 1);
+            if shard_of(shards, id).plan.rows <= ROW_TOUCH_MAX_ROWS {
+                ctx.metric_add(&format!("ps.server.row_touch.m{}.r{}", id.0, row), 1);
+            }
             match &req.data {
                 PushData::DenseSeg { lo, values } => {
                     let values = Arc::clone(values);
@@ -330,10 +388,10 @@ fn handle(
                     ctx.charge_flops(2 * pairs.len() as u64);
                 }
             }
-            ctx.reply(&env, (), 8);
+            (Box::new(()), 8)
         }
         tags::AGG => {
-            let req: &AggReq = env.downcast_ref();
+            let req: &AggReq = cast(tag, payload);
             let shard = shard_of(shards, req.id);
             let slot = shard.slot(req.row);
             let mut acc = match req.kind {
@@ -353,10 +411,10 @@ fn handle(
                 }
             }
             ctx.charge_flops(n);
-            ctx.reply(&env, acc, 16);
+            (Box::new(acc), 16)
         }
         tags::DOT => {
-            let req: &DotReq = env.downcast_ref();
+            let req: &DotReq = cast(tag, payload);
             let shard = shard_of(shards, req.id);
             let sa = shard.slot(req.row_a);
             let sb = shard.slot(req.row_b);
@@ -367,18 +425,18 @@ fn handle(
                 acc += a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
             }
             ctx.charge_flops(2 * n);
-            ctx.reply(&env, acc, 16);
+            (Box::new(acc), 16)
         }
         tags::AXPY => {
-            let req: &AxpyReqLocal = cast_axpy(&env);
+            let req: &AxpyReq = cast(tag, payload);
             let (alpha, id, dst, src) = (req.alpha, req.id, req.dst_row, req.src_row);
             let shard = shard_mut(shards, id);
             let n = apply_axpy(shard, dst, src, alpha);
             ctx.charge_flops(2 * n);
-            ctx.reply(&env, (), 8);
+            (Box::new(()), 8)
         }
         tags::ELEM => {
-            let req: &ElemReq = env.downcast_ref();
+            let req: &ElemReq = cast(tag, payload);
             let (id, dst, a, b, op) = (req.id, req.dst_row, req.a_row, req.b_row, req.op);
             let shard = shard_mut(shards, id);
             let sa = shard.slot(a);
@@ -395,10 +453,10 @@ fn handle(
                 }
             }
             ctx.charge_flops(n);
-            ctx.reply(&env, (), 8);
+            (Box::new(()), 8)
         }
         tags::ZIP => {
-            let req: &ZipReq = env.downcast_ref();
+            let req: &ZipReq = cast(tag, payload);
             let f = Arc::clone(&req.f);
             let rows = req.rows.clone();
             let flops_per_elem = req.flops_per_elem;
@@ -428,10 +486,10 @@ fn handle(
                 shard.data[*s] = rowsegs;
             }
             ctx.charge_flops(flops_per_elem * n);
-            ctx.reply(&env, (), 8);
+            (Box::new(()), 8)
         }
         tags::ZIP_MAP => {
-            let req: &ZipMapReq = env.downcast_ref();
+            let req: &ZipMapReq = cast(tag, payload);
             let shard = shard_of(shards, req.id);
             let slots: Vec<usize> = req.rows.iter().map(|&r| shard.slot(r)).collect();
             let mut partials = Vec::with_capacity(shard.ranges.len());
@@ -447,10 +505,10 @@ fn handle(
             }
             ctx.charge_flops(req.flops_per_elem * n);
             let bytes = 16 + 8 * partials.len() as u64;
-            ctx.reply(&env, partials, bytes);
+            (Box::new(partials), bytes)
         }
         tags::ZIP_ARGMAX => {
-            let req: &crate::protocol::ZipArgmaxReq = env.downcast_ref();
+            let req: &crate::protocol::ZipArgmaxReq = cast(tag, payload);
             let shard = shard_of(shards, req.id);
             let slots: Vec<usize> = req.rows.iter().map(|&r| shard.slot(r)).collect();
             let mut partials = Vec::with_capacity(shard.ranges.len());
@@ -466,94 +524,10 @@ fn handle(
             }
             ctx.charge_flops(req.flops_per_elem * n);
             let bytes = 16 + 16 * partials.len() as u64;
-            ctx.reply(&env, partials, bytes);
-        }
-        tags::DOT_BATCH => {
-            let req: &crate::protocol::DotBatchReq = env.downcast_ref();
-            let shard = shard_of(shards, req.id);
-            let mut partials = Vec::with_capacity(req.pairs.len());
-            let mut n = 0u64;
-            for &(row_a, row_b) in req.pairs.iter() {
-                let sa = shard.slot(row_a);
-                let sb = shard.slot(row_b);
-                let mut acc = 0.0;
-                for (a, b) in shard.data[sa].iter().zip(&shard.data[sb]) {
-                    n += a.len() as u64;
-                    acc += a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
-                }
-                partials.push(acc);
-            }
-            ctx.charge_flops(2 * n);
-            ctx.reply(&env, partials, 16 + 8 * req.pairs.len() as u64);
-        }
-        tags::ZIP_BATCH => {
-            let req: &crate::protocol::ZipBatchReq = env.downcast_ref();
-            let jobs = Arc::clone(&req.jobs);
-            let flops_per_elem = req.flops_per_elem;
-            let id = req.id;
-            let mut n = 0u64;
-            for (rows, f) in jobs.iter() {
-                let shard = shard_mut(shards, id);
-                let slots: Vec<usize> = rows.iter().map(|&r| shard.slot(r)).collect();
-                assert_unique(&slots);
-                let mut taken: Vec<Vec<Vec<f64>>> = slots
-                    .iter()
-                    .map(|&s| std::mem::take(&mut shard.data[s]))
-                    .collect();
-                for ri in 0..shard.ranges.len() {
-                    let lo = shard.ranges[ri].0;
-                    let segs: Vec<&mut [f64]> = taken
-                        .iter_mut()
-                        .map(|rowsegs| rowsegs[ri].as_mut_slice())
-                        .collect();
-                    n += segs.first().map_or(0, |s| s.len() as u64);
-                    let mut zs = ZipSegs { segs, lo };
-                    f(&mut zs);
-                }
-                for (s, rowsegs) in slots.iter().zip(taken) {
-                    shard.data[*s] = rowsegs;
-                }
-            }
-            ctx.charge_flops(flops_per_elem * n);
-            ctx.reply(&env, (), 8);
-        }
-        tags::PULL_ROWS => {
-            let req: &crate::protocol::PullRowsReq = env.downcast_ref();
-            let shard = shard_of(shards, req.id);
-            let mut out: Vec<Vec<Vec<f64>>> = Vec::with_capacity(req.rows.len());
-            let mut n = 0u64;
-            for &row in req.rows.iter() {
-                let slot = shard.slot(row);
-                let segs = shard.data[slot].clone();
-                n += segs.iter().map(|s| s.len() as u64).sum::<u64>();
-                out.push(segs);
-            }
-            ctx.charge_mem(n * 8);
-            ctx.reply(
-                &env,
-                out,
-                16 + 4 * req.rows.len() as u64 + n * req.value_bytes,
-            );
-        }
-        tags::PUSH_ROWS => {
-            let req: &crate::protocol::PushRowsReq = env.downcast_ref();
-            let rows = Arc::clone(&req.rows);
-            let segs = Arc::clone(&req.segs);
-            let lo = req.lo;
-            let id = req.id;
-            let shard = shard_mut(shards, id);
-            let mut n = 0u64;
-            for (&row, seg) in rows.iter().zip(segs.iter()) {
-                for (i, v) in seg.iter().enumerate() {
-                    shard.add(row, lo + i as u64, *v);
-                }
-                n += seg.len() as u64;
-            }
-            ctx.charge_flops(n);
-            ctx.reply(&env, (), 8);
+            (Box::new(partials), bytes)
         }
         tags::FILL => {
-            let req: &FillReq = env.downcast_ref();
+            let req: &FillReq = cast(tag, payload);
             let (id, row, value) = (req.id, req.row, req.value);
             let shard = shard_mut(shards, id);
             let slot = shard.slot(row);
@@ -563,10 +537,10 @@ fn handle(
                 seg.fill(value);
             }
             ctx.charge_mem(n * 8);
-            ctx.reply(&env, (), 8);
+            (Box::new(()), 8)
         }
         tags::SCALE => {
-            let req: &ScaleReq = env.downcast_ref();
+            let req: &ScaleReq = cast(tag, payload);
             let (id, row, alpha) = (req.id, req.row, req.alpha);
             let shard = shard_mut(shards, id);
             let slot = shard.slot(row);
@@ -578,10 +552,10 @@ fn handle(
                 }
             }
             ctx.charge_flops(n);
-            ctx.reply(&env, (), 8);
+            (Box::new(()), 8)
         }
         tags::PULL_BLOCK => {
-            let req: &PullBlockReq = env.downcast_ref();
+            let req: &PullBlockReq = cast(tag, payload);
             let shard = shard_of(shards, req.id);
             // [col_idx][row_idx] layout.
             let block: Vec<Vec<f64>> = req
@@ -591,14 +565,13 @@ fn handle(
                 .collect();
             let n = (req.cols.len() * req.rows.len()) as u64;
             ctx.charge_mem(n * 16);
-            ctx.reply(
-                &env,
-                block,
+            (
+                Box::new(block),
                 16 + n * req.value_bytes + 4 * req.cols.len() as u64,
-            );
+            )
         }
         tags::PUSH_BLOCK => {
-            let req: &PushBlockReq = env.downcast_ref();
+            let req: &PushBlockReq = cast(tag, payload);
             let rows = Arc::clone(&req.rows);
             let updates = Arc::clone(&req.updates);
             let shard = shard_mut(shards, req.id);
@@ -610,18 +583,18 @@ fn handle(
                 }
             }
             ctx.charge_flops(2 * n);
-            ctx.reply(&env, (), 8);
+            (Box::new(()), 8)
         }
         tags::FETCH_SEG => {
-            let req: &FetchSegReq = env.downcast_ref();
+            let req: &FetchSegReq = cast(tag, payload);
             let shard = shard_of(shards, req.id);
             let values: Vec<f64> = (req.lo..req.hi).map(|c| shard.get(req.row, c)).collect();
             let n = values.len() as u64;
             ctx.charge_mem(n * 8);
-            ctx.reply(&env, values, 16 + n * req.value_bytes);
+            (Box::new(values), 16 + n * req.value_bytes)
         }
         tags::CROSS_DOT => {
-            let req: &CrossDotReq = env.downcast_ref();
+            let req: &CrossDotReq = cast(tag, payload);
             let pieces = req.pieces.clone();
             let (local_id, local_row, remote_id, remote_row, vb) = (
                 req.local_id,
@@ -654,10 +627,10 @@ fn handle(
                 ctx.charge_flops(2 * (hi - lo));
                 acc += partial;
             }
-            ctx.reply(&env, acc, 16);
+            (Box::new(acc), 16)
         }
         tags::CROSS_ELEM => {
-            let req: &CrossElemReq = env.downcast_ref();
+            let req: &CrossElemReq = cast(tag, payload);
             let pieces = req.pieces.clone();
             let (dst_id, dst_row, src_id, src_row, op, vb) = (
                 req.dst_id,
@@ -691,10 +664,10 @@ fn handle(
                 }
                 ctx.charge_flops(2 * (hi - lo));
             }
-            ctx.reply(&env, (), 8);
+            (Box::new(()), 8)
         }
         tags::CHECKPOINT => {
-            let req: &CheckpointReq = env.downcast_ref();
+            let req: &CheckpointReq = cast(tag, payload);
             let (storage, key) = (req.storage, req.key);
             let mut total = 0u64;
             let shard_data: Vec<(MatrixId, Vec<Vec<Vec<f64>>>)> = shards
@@ -720,10 +693,10 @@ fn handle(
                 StorePutReq { key, snapshot },
                 bytes,
             );
-            ctx.reply(&env, (), 8);
+            (Box::new(()), 8)
         }
         tags::RESTORE => {
-            let req: &RestoreReq = env.downcast_ref();
+            let req: &RestoreReq = cast(tag, payload);
             let (storage, key) = (req.storage, req.key);
             let resp: StoreGetResp = ctx
                 .call(storage, tags::STORE_GET, StoreGetReq { key }, 16)
@@ -739,24 +712,16 @@ fn handle(
                 }
                 StoreGetResp::Missing => false,
             };
-            ctx.reply(&env, restored, 8);
+            (Box::new(restored), 8)
         }
         tags::PING => {
             // Liveness heartbeat: answer immediately. A server stuck in a
             // long op answers late, which the prober treats the same as any
             // slow reply; only a dead server never answers.
-            ctx.reply(&env, (), 8);
+            (Box::new(()), 8)
         }
         other => panic!("ps-server: unknown tag {other}"),
     }
-}
-
-/// A trivial alias so the AXPY arm reads uniformly (the request type lives
-/// in `protocol`).
-type AxpyReqLocal = crate::protocol::AxpyReq;
-
-fn cast_axpy(env: &Envelope) -> &AxpyReqLocal {
-    env.downcast_ref()
 }
 
 fn apply_axpy(shard: &mut Shard, dst: u32, src: u32, alpha: f64) -> u64 {
@@ -894,6 +859,53 @@ mod tests {
             // server. Both must be acknowledged; only one may be applied.
             let _: () = ctx.call(server, tags::PUSH, push.clone(), 48).downcast();
             let _: () = ctx.call(server, tags::PUSH, push, 48).downcast();
+            let pull = PullReq {
+                id: MatrixId(1),
+                row: 0,
+                cols: ColsSel::All,
+                value_bytes: 8,
+            };
+            let segs: Vec<Vec<f64>> = ctx.call(server, tags::PULL, pull, 48).downcast();
+            segs[0][0]
+        });
+        sim.run().unwrap();
+        assert_eq!(out.take(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_envelope_subs_are_applied_once() {
+        let mut sim = SimBuilder::new().seed(5).build();
+        let server = sim.spawn_daemon("ps-server-0", ps_server_main);
+        let out = sim.spawn_collect("driver", move |ctx| {
+            let plan = Arc::new(PartitionPlan::new(8, 1, 1, Partitioning::Column));
+            let create = CreateReq {
+                id: MatrixId(1),
+                plan: Arc::clone(&plan),
+                init: InitKind::Zero,
+                slot: 0,
+            };
+            let _: () = ctx.call(server, tags::CREATE, create, 96).downcast();
+            let push = PushReq {
+                id: MatrixId(1),
+                row: 0,
+                data: PushData::DenseSeg {
+                    lo: 0,
+                    values: Arc::new(vec![1.0; 8]),
+                },
+                op_id: 91,
+            };
+            let env = EnvelopeReq {
+                op_id: 1,
+                epoch: 0,
+                subs: Arc::new(vec![(
+                    tags::PUSH,
+                    Arc::new(push) as Arc<dyn Any + Send + Sync>,
+                    48,
+                )]),
+            };
+            // An enveloped mutation retried whole must dedup per sub.
+            let _ = ctx.call(server, tags::ENVELOPE, env.clone(), 64);
+            let _ = ctx.call(server, tags::ENVELOPE, env, 64);
             let pull = PullReq {
                 id: MatrixId(1),
                 row: 0,

@@ -279,6 +279,22 @@ impl SimCtx {
         );
     }
 
+    /// Reply with an already type-erased payload. The fabric's envelope
+    /// handler executes sub-requests generically and collects their replies
+    /// as `Box<dyn Any>`; this avoids wrapping each in a second box.
+    pub fn reply_boxed(&mut self, request: &Envelope, payload: Box<dyn Any + Send>, bytes: u64) {
+        assert_ne!(request.corr, 0, "reply target was not sent with call()");
+        self.shared.send_env(
+            self.me.0,
+            request.src,
+            request.tag,
+            request.corr,
+            true,
+            payload,
+            bytes,
+        );
+    }
+
     /// Typed reply with automatic wire sizing.
     pub fn reply_t<P: Any + Send + WireSize>(&mut self, request: &Envelope, payload: P) {
         let bytes = payload.wire_size();

@@ -1,0 +1,305 @@
+//! # The request fabric — one reliable-RPC pipeline for the whole stack
+//!
+//! Every layer of the system that talks to a remote process needs the same
+//! machinery: resolve a logical destination to a live process, scatter a
+//! batch of requests with a deadline, gather replies, and on timeout decide
+//! whether the peer is *slow* (resend as-is) or *replaced* (re-resolve and
+//! resend). Before this module existed that pipeline was hand-rolled once
+//! per `MatrixHandle` op in the PS client and again in the dataflow
+//! scheduler and shuffle reader. It now lives here, exactly once.
+//!
+//! Two shapes are provided:
+//!
+//! * [`call_slots`] — the blocking scatter/gather used by PS ops and
+//!   shuffle fetches: send every request, wait out the attempt deadline,
+//!   resend only the holes, consult the router about route changes, and
+//!   give up (panic) after a bounded number of attempts with no route
+//!   progress. Payloads must be `Clone` because a retry resends the
+//!   *identical* payload — dedup at the receiver relies on that.
+//! * [`Dispatcher`] — the streaming form used by the task scheduler: callers
+//!   dispatch requests one at a time, harvest replies as they arrive, and
+//!   use [`Dispatcher::take_dead`] to reclaim requests whose destination
+//!   died so they can be re-dispatched elsewhere. The caller owns the
+//!   what-to-do-on-timeout policy; the dispatcher owns correlation
+//!   bookkeeping and deadline waits.
+//!
+//! Metric names are parameterized by [`FabricPolicy::scope`] so each layer
+//! keeps its historical names (`ps.client.*`, `spark.fabric.*`, ...): per-op
+//! spans `{scope}.op.{op}.{count,reqs,bytes,rows,latency}`, recovery
+//! counters `{scope}.{timeouts,retries,reresolutions}`, and a flat
+//! `{scope}.envelopes` counter of request messages put on the wire — the
+//! number that per-server coalescing exists to shrink.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use crate::ctx::SimCtx;
+use crate::message::Envelope;
+use crate::runtime::ProcId;
+use crate::time::SimTime;
+
+/// Maps logical slots to live processes, with an epoch that advances
+/// whenever any mapping changes. The fabric uses the epoch to distinguish a
+/// *slow* destination (resend to the same process) from a *replaced* one
+/// (re-resolve and resend), and calls [`SlotRouter::try_recover`] when a
+/// deadline passes without any route movement.
+pub trait SlotRouter {
+    /// Current process serving `slot`.
+    fn resolve(&self, slot: usize) -> ProcId;
+
+    /// Route-table version; bump on any remapping. Static topologies keep 0.
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    /// Called after a timed-out attempt whose epoch saw no movement: the
+    /// router may actively replace dead destinations (the PS fleet respawns
+    /// servers from checkpoint here). Default: nothing to do.
+    fn try_recover(&self, _ctx: &mut SimCtx) {}
+}
+
+/// A fixed slot→process mapping for services that are never replaced
+/// (shuffle services, storage). Epoch stays 0; recovery is a no-op.
+pub struct StaticRoutes(pub Vec<ProcId>);
+
+impl SlotRouter for StaticRoutes {
+    fn resolve(&self, slot: usize) -> ProcId {
+        self.0[slot]
+    }
+}
+
+/// Per-layer tuning of the shared pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct FabricPolicy {
+    /// How long one scatter attempt may wait before the holes are resent.
+    pub attempt_timeout: SimTime,
+    /// Consecutive timed-out attempts tolerated with no route-epoch
+    /// movement before the fabric declares the destination unrecoverable.
+    pub max_stale_attempts: u32,
+    /// Metric-name prefix; also names the layer in panic diagnostics.
+    pub scope: &'static str,
+}
+
+/// Scatter `reqs` (a `(slot, payload, wire_bytes)` triple per destination),
+/// gather one reply per request, and return the replies in request order.
+///
+/// The full reliability pipeline runs inside: deadline-bounded
+/// `call_many_deadline` attempts, identical-payload resend of only the
+/// missing replies, router-driven recovery and route re-resolution between
+/// attempts, and a bounded-stale-attempts assert so an unreachable,
+/// unreplaceable destination fails loudly instead of hanging the sim.
+///
+/// `op` labels the span metrics; `items` is an op-defined work measure
+/// (rows touched for PS ops) recorded alongside bytes.
+pub fn call_slots<P: Any + Send + Clone>(
+    ctx: &mut SimCtx,
+    router: &dyn SlotRouter,
+    policy: &FabricPolicy,
+    op: &str,
+    tag: u32,
+    reqs: Vec<(usize, P, u64)>,
+    items: u64,
+) -> Vec<Envelope> {
+    let scope = policy.scope;
+    let span_start = ctx.now();
+    let mut span_bytes = 0u64;
+    let n = reqs.len();
+    let mut replies: Vec<Option<Envelope>> = (0..n).map(|_| None).collect();
+    let mut epoch = router.epoch();
+    let mut stale_attempts = 0u32;
+    let mut reqs_issued = 0u64;
+    loop {
+        let outstanding: Vec<usize> = (0..n).filter(|&i| replies[i].is_none()).collect();
+        if outstanding.is_empty() {
+            span_bytes += replies
+                .iter()
+                .map(|e| e.as_ref().expect("gathered reply").bytes)
+                .sum::<u64>();
+            ctx.metric_add(&format!("{scope}.op.{op}.count"), 1);
+            ctx.metric_add(&format!("{scope}.op.{op}.reqs"), reqs_issued);
+            ctx.metric_add(&format!("{scope}.op.{op}.bytes"), span_bytes);
+            ctx.metric_add(&format!("{scope}.op.{op}.rows"), items);
+            ctx.metric_observe(&format!("{scope}.op.{op}.latency"), ctx.now() - span_start);
+            return replies
+                .into_iter()
+                .map(|e| e.expect("gathered reply"))
+                .collect();
+        }
+        // Resend exactly the identical payload: receivers dedup retried
+        // mutations by op-id, which only works if attempt k+1 is
+        // byte-for-byte attempt k.
+        let batch: Vec<(ProcId, u32, Box<dyn Any + Send>, u64)> = outstanding
+            .iter()
+            .map(|&i| {
+                let (slot, payload, bytes) = &reqs[i];
+                (
+                    router.resolve(*slot),
+                    tag,
+                    Box::new(payload.clone()) as Box<dyn Any + Send>,
+                    *bytes,
+                )
+            })
+            .collect();
+        reqs_issued += batch.len() as u64;
+        span_bytes += batch.iter().map(|(_, _, _, b)| *b).sum::<u64>();
+        ctx.metric_add(&format!("{scope}.envelopes"), batch.len() as u64);
+        let deadline = ctx.now() + policy.attempt_timeout;
+        let got = ctx.call_many_deadline(batch, deadline);
+        let mut missed = 0u64;
+        for (&i, env) in outstanding.iter().zip(got) {
+            match env {
+                Some(e) => replies[i] = Some(e),
+                None => missed += 1,
+            }
+        }
+        if missed == 0 {
+            continue;
+        }
+        ctx.metric_add(&format!("{scope}.timeouts"), missed);
+        ctx.metric_add(&format!("{scope}.retries"), 1);
+        // No route movement since we sent: the destination may be dead, not
+        // merely slow. Give the router a chance to replace it.
+        if router.epoch() == epoch {
+            router.try_recover(ctx);
+        }
+        let now_epoch = router.epoch();
+        if now_epoch == epoch {
+            stale_attempts += 1;
+            assert!(
+                stale_attempts < policy.max_stale_attempts,
+                "{scope} op {op} (tag {tag}): {stale_attempts} straight timeouts \
+                 with no route change; a destination is unreachable and recovery \
+                 could not replace it"
+            );
+        } else {
+            ctx.metric_add(&format!("{scope}.reresolutions"), 1);
+            stale_attempts = 0;
+            epoch = now_epoch;
+        }
+    }
+}
+
+/// Convenience single-destination form of [`call_slots`].
+#[allow(clippy::too_many_arguments)]
+pub fn call_slot<P: Any + Send + Clone>(
+    ctx: &mut SimCtx,
+    router: &dyn SlotRouter,
+    policy: &FabricPolicy,
+    op: &str,
+    tag: u32,
+    slot: usize,
+    payload: P,
+    bytes: u64,
+    items: u64,
+) -> Envelope {
+    call_slots(
+        ctx,
+        router,
+        policy,
+        op,
+        tag,
+        vec![(slot, payload, bytes)],
+        items,
+    )
+    .pop()
+    .expect("one reply for one request")
+}
+
+/// Bookkeeping the streaming dispatcher keeps per in-flight request.
+#[derive(Clone, Copy, Debug)]
+pub struct Pending {
+    /// Caller-defined work item this request carries (task partition).
+    pub item: usize,
+    /// Caller-defined destination slot (executor index).
+    pub slot: usize,
+    /// When the request went on the wire — latency = reply time − this.
+    pub sent_at: SimTime,
+}
+
+/// Streaming request dispatcher for callers that interleave dispatch and
+/// harvest (the task scheduler): replies arrive in any order, timeouts
+/// surface as `None` so the caller can probe liveness, and requests whose
+/// destination died are reclaimed with [`Dispatcher::take_dead`] for
+/// re-dispatch. Correlation-token bookkeeping and deadline waits live here;
+/// retry *policy* stays with the caller.
+pub struct Dispatcher {
+    policy: FabricPolicy,
+    pending: HashMap<u64, Pending>,
+}
+
+impl Dispatcher {
+    pub fn new(policy: FabricPolicy) -> Self {
+        Dispatcher {
+            policy,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Put one request on the wire and start tracking it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dispatch<P: Any + Send>(
+        &mut self,
+        ctx: &mut SimCtx,
+        dst: ProcId,
+        tag: u32,
+        payload: P,
+        bytes: u64,
+        item: usize,
+        slot: usize,
+    ) {
+        ctx.metric_add(&format!("{}.envelopes", self.policy.scope), 1);
+        let corr = ctx.send_request(dst, tag, payload, bytes);
+        self.pending.insert(
+            corr,
+            Pending {
+                item,
+                slot,
+                sent_at: ctx.now(),
+            },
+        );
+    }
+
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Wait up to one attempt-timeout for any tracked reply. `None` means
+    /// the deadline passed with nothing arriving — time for the caller to
+    /// probe liveness.
+    pub fn await_any(&mut self, ctx: &mut SimCtx) -> Option<(Pending, Envelope)> {
+        let corrs: Vec<u64> = self.pending.keys().copied().collect();
+        let deadline = ctx.now() + self.policy.attempt_timeout;
+        match ctx.recv_reply(&corrs, Some(deadline)) {
+            Some(env) => {
+                let entry = self
+                    .pending
+                    .remove(&env.corr)
+                    .expect("reply matched a correlation token we stopped tracking");
+                Some((entry, env))
+            }
+            None => {
+                ctx.metric_add(&format!("{}.timeouts", self.policy.scope), 1);
+                None
+            }
+        }
+    }
+
+    /// Remove and return every in-flight request whose destination slot
+    /// fails the `alive` predicate, so the caller can re-dispatch them.
+    pub fn take_dead(&mut self, mut alive: impl FnMut(usize) -> bool) -> Vec<Pending> {
+        let dead_corrs: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| !alive(p.slot))
+            .map(|(&c, _)| c)
+            .collect();
+        dead_corrs
+            .into_iter()
+            .map(|c| self.pending.remove(&c).unwrap())
+            .collect()
+    }
+}

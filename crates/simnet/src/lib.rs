@@ -54,6 +54,7 @@
 pub mod causal;
 mod config;
 mod ctx;
+pub mod fabric;
 mod message;
 pub mod metrics;
 pub mod perfetto;
@@ -65,6 +66,7 @@ mod time;
 pub use causal::{CausalAnalysis, CausalError, PathCategory, PathSegment, ProcSummary};
 pub use config::{ComputeConfig, NetConfig, SimConfig};
 pub use ctx::SimCtx;
+pub use fabric::{FabricPolicy, SlotRouter, StaticRoutes};
 pub use message::{Envelope, WireSize};
 pub use metrics::{MetricsSnapshot, OpRow, RunReport, VtHistogram};
 pub use perfetto::export_trace;
