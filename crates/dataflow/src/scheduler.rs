@@ -375,6 +375,9 @@ impl SparkContext {
         for part in 0..n {
             dispatch(self, ctx, part, &mut net);
         }
+        // In-flight depth, sampled per scheduler step: the windowed
+        // telemetry turns this into a per-window task-backlog series.
+        ctx.metric_gauge_set("spark.tasks_inflight", net.outstanding() as i64);
 
         let mut fruitless_polls = 0u32;
         while !net.is_empty() {
@@ -386,6 +389,7 @@ impl SparkContext {
                     match env.downcast::<TaskResult>() {
                         TaskResult::Ok(value) => {
                             ctx.trace_mark_with("spark.task.finish", part as u64);
+                            ctx.metric_gauge_set("spark.tasks_inflight", net.outstanding() as i64);
                             results[part] = Some(value);
                         }
                         TaskResult::Failed => {

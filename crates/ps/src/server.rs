@@ -241,6 +241,9 @@ pub fn ps_server_main(ctx: &mut SimCtx) {
         ctx.op_label(op);
         handle(ctx, &mut shards, &mut oplog, env);
         ctx.op_label_clear();
+        // Per-server load counter: the windowed deltas of these feed the
+        // watchdog's Gini skew detector across the server fleet.
+        ctx.metric_add(&format!("ps.server.p{}.served", ctx.id().0), 1);
         ctx.metric_observe(&format!("ps.server.{op}.queue"), queue);
         ctx.metric_observe(&format!("ps.server.{op}.service"), ctx.now() - t0);
     }

@@ -309,18 +309,18 @@ impl SimCtx {
     /// clock moves and no other process runs, so instrumented code keeps the
     /// exact timing of uninstrumented code.
     pub fn metric_add(&mut self, name: &str, delta: u64) {
-        self.shared.metric_add(name, delta);
+        self.shared.metric_add(self.me.0, name, delta);
     }
 
     /// Set a named gauge to an absolute value. Not a yield point.
     pub fn metric_gauge_set(&mut self, name: &str, value: i64) {
-        self.shared.metric_gauge_set(name, value);
+        self.shared.metric_gauge_set(self.me.0, name, value);
     }
 
     /// Record a virtual-time duration into a named histogram. Not a yield
     /// point.
     pub fn metric_observe(&mut self, name: &str, dt: SimTime) {
-        self.shared.metric_observe(name, dt);
+        self.shared.metric_observe(self.me.0, name, dt);
     }
 
     /// Annotate the event trace with a labeled timeline mark at this

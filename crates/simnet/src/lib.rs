@@ -62,6 +62,8 @@ mod probe;
 mod report;
 mod runtime;
 mod time;
+pub mod timeseries;
+pub mod watchdog;
 
 pub use causal::{CausalAnalysis, CausalError, PathCategory, PathSegment, ProcSummary};
 pub use config::{ComputeConfig, NetConfig, SimConfig};
@@ -69,8 +71,10 @@ pub use ctx::SimCtx;
 pub use fabric::{FabricPolicy, SlotRouter, StaticRoutes};
 pub use message::{Envelope, WireSize};
 pub use metrics::{MetricsSnapshot, OpRow, RunReport, VtHistogram};
-pub use perfetto::export_trace;
+pub use perfetto::{export_trace, export_trace_with};
 pub use probe::LivenessProbe;
 pub use report::{LabelId, ProcStats, SimReport, TraceEvent};
 pub use runtime::{OutputSlot, ProcId, SimBuilder, SimError, SimRuntime};
 pub use time::SimTime;
+pub use timeseries::{HistDelta, ProcSample, TimeSeries, TsWindow, DEFAULT_CAPACITY};
+pub use watchdog::{alerts_json, Alert, AlertKind, Watchdog, WatchdogConfig};

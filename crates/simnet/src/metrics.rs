@@ -132,7 +132,7 @@ impl VtHistogram {
 /// The in-run registry. Lives inside the runtime's shared state; processes
 /// reach it through `SimCtx::metric_*`, and [`crate::SimRuntime::run`]
 /// snapshots it into the final report.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, i64>,

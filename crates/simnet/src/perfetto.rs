@@ -19,6 +19,7 @@ use std::fmt::Write as _;
 use crate::causal::CausalAnalysis;
 use crate::metrics::json_str;
 use crate::report::{SimReport, TraceEvent};
+use crate::watchdog::{alerts_json, Alert};
 
 /// Nanoseconds → microsecond timestamp with three decimals, via integer
 /// math so formatting can never drift.
@@ -28,6 +29,18 @@ fn fmt_us(ns: u64) -> String {
 
 /// Render `report` (and optionally its causal analysis) as trace-event JSON.
 pub fn export_trace(report: &SimReport, analysis: Option<&CausalAnalysis>) -> String {
+    export_trace_with(report, analysis, &[])
+}
+
+/// [`export_trace`] plus watchdog alerts: the alert list is embedded as an
+/// `"alerts"` array inside the `"ps2"` section (alerts already annotated as
+/// `Mark` events also appear on the timeline; this array carries the
+/// machine-readable form `ps2-trace` diffs).
+pub fn export_trace_with(
+    report: &SimReport,
+    analysis: Option<&CausalAnalysis>,
+    alerts: &[Alert],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
     let mut first = true;
@@ -260,7 +273,11 @@ pub fn export_trace(report: &SimReport, analysis: Option<&CausalAnalysis>) -> St
                 first_drop = false;
             }
         }
-        s.push_str("}\n}");
+        s.push_str("},\n");
+        let _ = write!(s, "  \"alerts\": {}\n}}", alerts_json(alerts));
+    } else if !alerts.is_empty() {
+        s.push_str(",\n\"ps2\": {\n");
+        let _ = write!(s, "  \"alerts\": {}\n}}", alerts_json(alerts));
     }
     s.push_str("\n}\n");
     s

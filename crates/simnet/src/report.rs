@@ -21,7 +21,7 @@ pub struct LabelId(pub u32);
 /// `seq` is a run-unique message sequence number: every send consumes one,
 /// and the matching `Recv` (or `Drop`) carries the same value, giving the
 /// trace explicit causal message edges instead of FIFO-inferred pairing.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// `src` sent `bytes` with `tag`, arriving at `dst` at `arrival`.
     Send {
@@ -86,7 +86,7 @@ impl TraceEvent {
 }
 
 /// Per-process counters, collected into the final [`SimReport`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProcStats {
     pub name: String,
     pub daemon: bool,
@@ -145,6 +145,9 @@ pub struct SimReport {
     /// The network model the run used — needed by `simnet::causal` to split
     /// observed message waits into ideal transit vs. queueing.
     pub net: NetConfig,
+    /// Windowed metric time-series (None unless enabled via
+    /// [`crate::SimBuilder::timeseries`]).
+    pub timeseries: Option<crate::timeseries::TimeSeries>,
 }
 
 impl SimReport {

@@ -22,6 +22,7 @@ use crate::message::Envelope;
 use crate::metrics::MetricsSnapshot;
 use crate::report::{ProcStats, SimReport};
 use crate::time::SimTime;
+use crate::timeseries::TsRecorder;
 
 /// Identifier of a logical process (one process == one machine/NIC).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -165,9 +166,30 @@ pub(crate) struct State {
     labels: Vec<&'static str>,
     /// Per-process current op label applied to `Compute` events.
     op_labels: Vec<Option<crate::report::LabelId>>,
+    /// Windowed-telemetry scraper (None unless enabled on the builder).
+    ts: Option<TsRecorder>,
 }
 
 impl State {
+    /// Advance the windowed-telemetry scraper to virtual time `t`, emitting
+    /// any window boundaries crossed since the last mutation. Called
+    /// immediately *before* each registry/clock mutation so that "registry
+    /// state at a boundary" is exactly the state left by the prior
+    /// mutation. Not a yield point: no clock moves, no process wakes —
+    /// scraped runs keep the exact timing of unscraped ones.
+    fn ts_roll(&mut self, t: SimTime) {
+        let Some(ts) = &mut self.ts else { return };
+        if !ts.due(t) {
+            return;
+        }
+        let procs: Vec<(u64, u64)> = self
+            .procs
+            .iter()
+            .map(|p| (p.stats.busy.as_nanos(), p.mailbox.len() as u64))
+            .collect();
+        ts.roll(t, &self.metrics, &procs);
+    }
+
     /// Intern a label, returning its stable id. First-use order, so the
     /// table is deterministic across same-seed runs. Linear scan: the label
     /// population is a couple dozen static strings.
@@ -274,6 +296,8 @@ impl Shared {
     pub(crate) fn advance(&self, me: usize, dt: SimTime) {
         let mut st = self.state.lock();
         self.interrupt_check(&st, me);
+        let pre = st.procs[me].clock;
+        st.ts_roll(pre);
         if st.tracing && dt > SimTime::ZERO {
             let at = st.procs[me].clock;
             let label = st.op_labels[me];
@@ -309,6 +333,8 @@ impl Shared {
     ) {
         let mut st = self.state.lock();
         self.interrupt_check(&st, me);
+        let pre = st.procs[me].clock;
+        st.ts_roll(pre);
         let net = &self.cfg.net;
         // Every send consumes a run-unique sequence number — dropped or not —
         // so traces carry explicit Send/Recv causal edges keyed by `seq`.
@@ -403,6 +429,8 @@ impl Shared {
                 .find(|(_, env)| spec.matches(env))
                 .map(|(k, _)| *k);
             if let Some(key) = found {
+                let eff = st.procs[me].clock.max(st.procs[me].mailbox[&key].arrival);
+                st.ts_roll(eff);
                 let env = st.procs[me].mailbox.remove(&key).expect("mail vanished");
                 let p = &mut st.procs[me];
                 p.clock = p.clock.max(env.arrival);
@@ -438,6 +466,8 @@ impl Shared {
                     // Ready by deadline only (matching mail would have been
                     // consumed above).
                     let d = deadline.expect("self-ready without mail or deadline");
+                    let eff = st.procs[me].clock.max(d);
+                    st.ts_roll(eff);
                     let p = &mut st.procs[me];
                     p.clock = p.clock.max(d);
                     p.status = Status::Runnable;
@@ -475,16 +505,25 @@ impl Shared {
     // sequence/correlation number is consumed, no other process is woken —
     // so an instrumented run is timing-identical to an uninstrumented one.
 
-    pub(crate) fn metric_add(&self, name: &str, delta: u64) {
-        self.state.lock().metrics.add(name, delta);
+    pub(crate) fn metric_add(&self, me: usize, name: &str, delta: u64) {
+        let mut st = self.state.lock();
+        let t = st.procs[me].clock;
+        st.ts_roll(t);
+        st.metrics.add(name, delta);
     }
 
-    pub(crate) fn metric_gauge_set(&self, name: &str, value: i64) {
-        self.state.lock().metrics.gauge_set(name, value);
+    pub(crate) fn metric_gauge_set(&self, me: usize, name: &str, value: i64) {
+        let mut st = self.state.lock();
+        let t = st.procs[me].clock;
+        st.ts_roll(t);
+        st.metrics.gauge_set(name, value);
     }
 
-    pub(crate) fn metric_observe(&self, name: &str, dt: SimTime) {
-        self.state.lock().metrics.observe(name, dt);
+    pub(crate) fn metric_observe(&self, me: usize, name: &str, dt: SimTime) {
+        let mut st = self.state.lock();
+        let t = st.procs[me].clock;
+        st.ts_roll(t);
+        st.metrics.observe(name, dt);
     }
 
     pub(crate) fn trace_mark(&self, me: usize, label: &'static str, payload: Option<u64>) {
@@ -679,6 +718,7 @@ impl<T> OutputSlot<T> {
 pub struct SimBuilder {
     cfg: SimConfig,
     tracing: bool,
+    ts: Option<(SimTime, usize)>,
 }
 
 impl SimBuilder {
@@ -714,6 +754,22 @@ impl SimBuilder {
         self
     }
 
+    /// Scrape the metrics registry into windowed time-series every `window`
+    /// of virtual time (ring capacity [`crate::timeseries::DEFAULT_CAPACITY`]
+    /// windows). Scraping is non-yielding: a scraped run is byte-identical
+    /// to an unscraped same-seed run.
+    pub fn timeseries(self, window: SimTime) -> SimBuilder {
+        self.timeseries_capacity(window, crate::timeseries::DEFAULT_CAPACITY)
+    }
+
+    /// [`SimBuilder::timeseries`] with an explicit ring capacity: once more
+    /// than `capacity` windows complete, the oldest are evicted (counted in
+    /// [`crate::timeseries::TimeSeries::dropped_windows`]).
+    pub fn timeseries_capacity(mut self, window: SimTime, capacity: usize) -> SimBuilder {
+        self.ts = Some((window, capacity));
+        self
+    }
+
     pub fn build(self) -> SimRuntime {
         install_quiet_hook();
         SimRuntime {
@@ -738,6 +794,7 @@ impl SimBuilder {
                     metrics: MetricsSnapshot::default(),
                     labels: Vec::new(),
                     op_labels: Vec::new(),
+                    ts: self.ts.map(|(w, c)| TsRecorder::new(w, c)),
                 }),
                 cv: Condvar::new(),
             }),
@@ -825,7 +882,7 @@ impl SimRuntime {
                 let _ = h.join();
             }
         }
-        let st = self.shared.state.lock();
+        let mut st = self.shared.state.lock();
         if let Some(err) = st.error.clone() {
             return Err(err);
         }
@@ -836,6 +893,14 @@ impl SimRuntime {
             .map(|p| p.clock)
             .max()
             .unwrap_or(SimTime::ZERO);
+        let timeseries = st.ts.take().map(|ts| {
+            let procs: Vec<(u64, u64)> = st
+                .procs
+                .iter()
+                .map(|p| (p.stats.busy.as_nanos(), p.mailbox.len() as u64))
+                .collect();
+            ts.finish(virtual_time, &st.metrics, &procs)
+        });
         let mut trace = st.trace.clone();
         trace.sort_by_key(|e| e.at());
         Ok(SimReport {
@@ -849,6 +914,7 @@ impl SimRuntime {
             metrics: st.metrics.clone(),
             labels: st.labels.clone(),
             net: self.shared.cfg.net.clone(),
+            timeseries,
         })
     }
 }

@@ -1,0 +1,604 @@
+//! Declarative per-window detectors over a run's [`TimeSeries`]: stragglers,
+//! parameter-access skew, queue growth, and convergence stalls.
+//!
+//! The watchdog is a pure post-processing pass: it reads the windowed
+//! telemetry (`SimReport::timeseries`) and the final registry, never the live
+//! simulation, so it cannot perturb determinism. Evaluating window-by-window
+//! in index order is equivalent to evaluating online (each window is closed
+//! before the next opens), which is why alerts carry *exact* virtual
+//! timestamps — the window-end boundary at which the condition held.
+//!
+//! [`Watchdog::annotate`] re-injects the alerts as tagged `Mark` events into
+//! the causal trace, so they show up on the Perfetto timeline and in
+//! `ps2-trace` output next to the events that caused them.
+
+use crate::report::{LabelId, SimReport, TraceEvent};
+use crate::runtime::ProcId;
+use crate::time::SimTime;
+use crate::timeseries::TsWindow;
+
+/// What a detector saw.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertKind {
+    /// One process's per-window busy share is a z-score outlier vs. the
+    /// fleet (idle while others work, or working while others idle —
+    /// both ends of a recovery stall look like this).
+    Straggler,
+    /// A mailbox depth grew for K consecutive windows past a floor.
+    QueueGrowth,
+    /// One row of one matrix concentrates more than a share threshold of
+    /// that matrix's row touches within the window.
+    HotRow,
+    /// Gini coefficient over per-PS-server request load exceeds threshold
+    /// (non-uniform parameter access defeating the partitioning).
+    ServerSkew,
+    /// Training iterations ran but the loss moved less than epsilon for K
+    /// consecutive active windows.
+    ConvergenceStall,
+}
+
+impl AlertKind {
+    /// The interned trace label under which [`Watchdog::annotate`] emits
+    /// this alert's `Mark`.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertKind::Straggler => "watchdog.straggler",
+            AlertKind::QueueGrowth => "watchdog.queue_growth",
+            AlertKind::HotRow => "watchdog.hot_row",
+            AlertKind::ServerSkew => "watchdog.server_skew",
+            AlertKind::ConvergenceStall => "watchdog.stall",
+        }
+    }
+}
+
+/// One fired detector, pinned to a window boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Alert {
+    pub kind: AlertKind,
+    /// Virtual time of the alert: the end of the window it fired in.
+    pub at: SimTime,
+    /// Index of the window it fired in.
+    pub window: u64,
+    /// Offending process (index into `SimReport::procs`), when the detector
+    /// is per-process.
+    pub proc: Option<usize>,
+    /// What the alert is about: a process name, `m{id}.r{row}`, a metric.
+    pub subject: String,
+    /// Integerized measure — z-score and shares ×1000 (milli), queue depth
+    /// in messages, loss delta in micros. Integer so alert lists serialize
+    /// byte-identically.
+    pub value_milli: i64,
+}
+
+/// Detector thresholds. All integers; the f64 intermediates inside the
+/// detectors are deterministic functions of integer inputs.
+#[derive(Clone, Debug)]
+pub struct WatchdogConfig {
+    /// |z| threshold ×1000 for the straggler detector.
+    pub straggler_z_milli: u64,
+    /// Minimum fleet size for a z-score to mean anything.
+    pub straggler_min_procs: usize,
+    /// Consecutive growth windows before queue-growth fires.
+    pub queue_windows: usize,
+    /// Mailbox depth floor for queue-growth.
+    pub queue_min_depth: u64,
+    /// Top-row share threshold ×1000 for hot-row.
+    pub hot_row_share_milli: u64,
+    /// Minimum row touches in the window for hot-row.
+    pub hot_row_min_touches: u64,
+    /// Gini threshold ×1000 for server skew.
+    pub skew_gini_milli: u64,
+    /// Minimum total served requests in the window for server skew.
+    pub skew_min_total: u64,
+    /// Consecutive flat active windows before a stall fires.
+    pub stall_windows: usize,
+    /// Loss-delta epsilon in micros (gauge `ml.loss_micro`).
+    pub stall_eps_micro: i64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            straggler_z_milli: 1800,
+            straggler_min_procs: 4,
+            queue_windows: 3,
+            queue_min_depth: 8,
+            hot_row_share_milli: 500,
+            hot_row_min_touches: 64,
+            skew_gini_milli: 600,
+            skew_min_total: 64,
+            stall_windows: 3,
+            stall_eps_micro: 100,
+        }
+    }
+}
+
+/// Evaluates the configured detectors over a finished run.
+#[derive(Clone, Debug, Default)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+}
+
+impl Watchdog {
+    pub fn new(cfg: WatchdogConfig) -> Watchdog {
+        Watchdog { cfg }
+    }
+
+    /// Run every detector over `report.timeseries`, in window order (empty
+    /// when the run was not scraped). Within a window, detector order is
+    /// fixed: straggler, queue-growth, hot-row, server-skew, stall — so the
+    /// alert list is deterministic.
+    pub fn evaluate(&self, report: &SimReport) -> Vec<Alert> {
+        let Some(ts) = &report.timeseries else {
+            return Vec::new();
+        };
+        // Enumerate the per-server load counters from the *final* registry:
+        // zero-delta counters are omitted from windows, and a Gini over only
+        // the servers that moved would understate the skew.
+        let served_keys: Vec<String> = report
+            .metrics
+            .counters()
+            .filter(|(k, _)| k.starts_with("ps.server.p") && k.ends_with(".served"))
+            .map(|(k, _)| k.to_string())
+            .collect();
+
+        let mut alerts = Vec::new();
+        let mut queue_prev: Vec<u64> = Vec::new();
+        let mut queue_streak: Vec<usize> = Vec::new();
+        let mut stall_streak = 0usize;
+        let mut prev_loss: Option<i64> = None;
+
+        for w in &ts.windows {
+            self.straggler(w, report, &mut alerts);
+            self.queue_growth(w, report, &mut queue_prev, &mut queue_streak, &mut alerts);
+            self.hot_row(w, &mut alerts);
+            self.server_skew(w, &served_keys, &mut alerts);
+            self.stall(w, &mut stall_streak, &mut prev_loss, &mut alerts);
+        }
+        alerts
+    }
+
+    fn straggler(&self, w: &TsWindow, report: &SimReport, alerts: &mut Vec<Alert>) {
+        let n = w.procs.len();
+        if n < self.cfg.straggler_min_procs {
+            return;
+        }
+        let total: u64 = w.procs.iter().map(|p| p.busy_ns).sum();
+        if total == 0 {
+            return;
+        }
+        let mean = total as f64 / n as f64;
+        let var = w
+            .procs
+            .iter()
+            .map(|p| {
+                let d = p.busy_ns as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        let std = var.sqrt();
+        if std <= 0.0 {
+            return;
+        }
+        // Single worst offender per window, ties to the lowest proc id.
+        let mut worst: Option<(usize, f64)> = None;
+        for (i, p) in w.procs.iter().enumerate() {
+            let z = (p.busy_ns as f64 - mean) / std;
+            if worst.is_none_or(|(_, wz)| z.abs() > wz.abs()) {
+                worst = Some((i, z));
+            }
+        }
+        let (i, z) = worst.expect("nonempty fleet");
+        let z_milli = (z * 1000.0).round() as i64;
+        if z_milli.unsigned_abs() >= self.cfg.straggler_z_milli {
+            alerts.push(Alert {
+                kind: AlertKind::Straggler,
+                at: SimTime(w.end_ns),
+                window: w.index,
+                proc: Some(i),
+                subject: report
+                    .procs
+                    .get(i)
+                    .map(|p| p.name.clone())
+                    .unwrap_or_else(|| format!("proc#{i}")),
+                value_milli: z_milli,
+            });
+        }
+    }
+
+    fn queue_growth(
+        &self,
+        w: &TsWindow,
+        report: &SimReport,
+        prev: &mut Vec<u64>,
+        streak: &mut Vec<usize>,
+        alerts: &mut Vec<Alert>,
+    ) {
+        if w.procs.len() > prev.len() {
+            prev.resize(w.procs.len(), 0);
+            streak.resize(w.procs.len(), 0);
+        }
+        // Single worst offender per window: deepest mailbox whose streak
+        // just reached the threshold.
+        let mut worst: Option<(usize, u64)> = None;
+        for (i, p) in w.procs.iter().enumerate() {
+            if p.mailbox > prev[i] {
+                streak[i] += 1;
+            } else {
+                streak[i] = 0;
+            }
+            prev[i] = p.mailbox;
+            if streak[i] >= self.cfg.queue_windows && p.mailbox >= self.cfg.queue_min_depth {
+                streak[i] = 0; // re-arm only after the growth run restarts
+                if worst.is_none_or(|(_, d)| p.mailbox > d) {
+                    worst = Some((i, p.mailbox));
+                }
+            }
+        }
+        if let Some((i, depth)) = worst {
+            alerts.push(Alert {
+                kind: AlertKind::QueueGrowth,
+                at: SimTime(w.end_ns),
+                window: w.index,
+                proc: Some(i),
+                subject: report
+                    .procs
+                    .get(i)
+                    .map(|p| p.name.clone())
+                    .unwrap_or_else(|| format!("proc#{i}")),
+                value_milli: depth as i64,
+            });
+        }
+    }
+
+    fn hot_row(&self, w: &TsWindow, alerts: &mut Vec<Alert>) {
+        // Counters look like `ps.server.row_touch.m{id}.r{row}`; group by
+        // matrix, find each matrix's hottest row this window.
+        let mut per_matrix: std::collections::BTreeMap<&str, (u64, &str, u64)> =
+            std::collections::BTreeMap::new();
+        for (key, &delta) in w
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("ps.server.row_touch."))
+        {
+            let rest = &key["ps.server.row_touch.".len()..];
+            let Some(dot) = rest.find(".r") else { continue };
+            let matrix = &rest[..dot];
+            let e = per_matrix.entry(matrix).or_insert((0, rest, 0));
+            e.0 += delta;
+            if delta > e.2 {
+                e.1 = rest;
+                e.2 = delta;
+            }
+        }
+        for (_, (total, top_key, top)) in per_matrix {
+            if total >= self.cfg.hot_row_min_touches
+                && top * 1000 >= self.cfg.hot_row_share_milli * total
+            {
+                alerts.push(Alert {
+                    kind: AlertKind::HotRow,
+                    at: SimTime(w.end_ns),
+                    window: w.index,
+                    proc: None,
+                    subject: top_key.to_string(),
+                    value_milli: (top * 1000 / total) as i64,
+                });
+            }
+        }
+    }
+
+    fn server_skew(&self, w: &TsWindow, served_keys: &[String], alerts: &mut Vec<Alert>) {
+        if served_keys.len() < 2 {
+            return;
+        }
+        let loads: Vec<u64> = served_keys.iter().map(|k| w.counter(k)).collect();
+        let total: u64 = loads.iter().sum();
+        if total < self.cfg.skew_min_total {
+            return;
+        }
+        // Gini = Σᵢ Σⱼ |xᵢ − xⱼ| / (2 n Σ x); 0 = uniform, →1 = one server
+        // takes everything.
+        let n = loads.len() as u64;
+        let mut abs_diff_sum: u64 = 0;
+        for (i, &a) in loads.iter().enumerate() {
+            for &b in &loads[i + 1..] {
+                abs_diff_sum += a.abs_diff(b);
+            }
+        }
+        let gini_milli = (2 * abs_diff_sum * 1000) / (2 * n * total);
+        if gini_milli >= self.cfg.skew_gini_milli {
+            alerts.push(Alert {
+                kind: AlertKind::ServerSkew,
+                at: SimTime(w.end_ns),
+                window: w.index,
+                proc: None,
+                subject: "ps.server".to_string(),
+                value_milli: gini_milli as i64,
+            });
+        }
+    }
+
+    fn stall(
+        &self,
+        w: &TsWindow,
+        streak: &mut usize,
+        prev_loss: &mut Option<i64>,
+        alerts: &mut Vec<Alert>,
+    ) {
+        // Only windows in which training actually iterated count; idle or
+        // setup windows neither advance nor reset the streak.
+        if w.counter("ml.iterations") == 0 {
+            return;
+        }
+        let Some(loss) = w.gauge("ml.loss_micro") else {
+            return;
+        };
+        if let Some(pl) = *prev_loss {
+            let delta = (loss - pl).abs();
+            if delta <= self.cfg.stall_eps_micro {
+                *streak += 1;
+                if *streak >= self.cfg.stall_windows {
+                    *streak = 0;
+                    alerts.push(Alert {
+                        kind: AlertKind::ConvergenceStall,
+                        at: SimTime(w.end_ns),
+                        window: w.index,
+                        proc: None,
+                        subject: "ml.loss_micro".to_string(),
+                        value_milli: delta,
+                    });
+                }
+            } else {
+                *streak = 0;
+            }
+        }
+        *prev_loss = Some(loss);
+    }
+
+    /// Inject `alerts` into `report.trace` as tagged `Mark` events (label =
+    /// [`AlertKind::label`], payload = window index) at their exact virtual
+    /// timestamps, then restore the trace's time order. The marks ride the
+    /// normal trace pipeline from here: Perfetto export shows them as
+    /// instants and `ps2-trace` counts them like any other mark.
+    pub fn annotate(report: &mut SimReport, alerts: &[Alert]) {
+        if alerts.is_empty() {
+            return;
+        }
+        for a in alerts {
+            let label = intern(&mut report.labels, a.kind.label());
+            report.trace.push(TraceEvent::Mark {
+                at: a.at,
+                proc: ProcId(a.proc.unwrap_or(0)),
+                label,
+                payload: Some(a.window),
+            });
+        }
+        report.trace.sort_by_key(|e| e.at());
+    }
+}
+
+fn intern(labels: &mut Vec<&'static str>, label: &'static str) -> LabelId {
+    if let Some(i) = labels.iter().position(|l| *l == label) {
+        return LabelId(i as u32);
+    }
+    labels.push(label);
+    LabelId((labels.len() - 1) as u32)
+}
+
+/// Render an alert list as a JSON array in the workspace's hand-rolled
+/// style (integers and fixed key order only). `proc` is `-1` when the alert
+/// is not tied to one process.
+pub fn alerts_json(alerts: &[Alert]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("[");
+    for (i, a) in alerts.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\n    {{\"kind\": {}, \"at_ns\": {}, \"window\": {}, \"proc\": {}, \
+             \"subject\": {}, \"value_milli\": {}}}",
+            if i == 0 { "" } else { "," },
+            crate::metrics::json_str(a.kind.label()),
+            a.at.as_nanos(),
+            a.window,
+            a.proc.map(|p| p as i64).unwrap_or(-1),
+            crate::metrics::json_str(&a.subject),
+            a.value_milli
+        );
+    }
+    if !alerts.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::{ProcSample, TimeSeries, TsWindow};
+    use std::collections::BTreeMap;
+
+    fn window(index: u64, end_ns: u64) -> TsWindow {
+        TsWindow {
+            index,
+            end_ns,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            procs: Vec::new(),
+        }
+    }
+
+    fn report_with(windows: Vec<TsWindow>) -> SimReport {
+        SimReport {
+            virtual_time: SimTime(windows.last().map(|w| w.end_ns).unwrap_or(0)),
+            wall_time: std::time::Duration::ZERO,
+            total_msgs: 0,
+            total_bytes: 0,
+            dropped_msgs: 0,
+            procs: Vec::new(),
+            trace: Vec::new(),
+            metrics: crate::metrics::MetricsSnapshot::default(),
+            labels: Vec::new(),
+            net: crate::config::NetConfig::default(),
+            timeseries: Some(TimeSeries {
+                window_ns: 1_000_000,
+                windows,
+                dropped_windows: 0,
+            }),
+        }
+    }
+
+    fn busy(procs: &[u64]) -> Vec<ProcSample> {
+        procs
+            .iter()
+            .map(|&b| ProcSample {
+                busy_ns: b,
+                mailbox: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn straggler_fires_on_busy_outlier() {
+        let mut w = window(0, 1_000_000);
+        w.procs = busy(&[100, 100, 100, 100, 100, 100, 100, 0]);
+        let report = report_with(vec![w]);
+        let alerts = Watchdog::default().evaluate(&report);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::Straggler);
+        assert_eq!(alerts[0].proc, Some(7));
+        assert_eq!(alerts[0].at, SimTime(1_000_000));
+        assert!(alerts[0].value_milli < 0, "idle straggler has negative z");
+    }
+
+    #[test]
+    fn straggler_quiet_on_uniform_fleet() {
+        let mut w = window(0, 1_000_000);
+        w.procs = busy(&[100, 101, 99, 100, 100, 100]);
+        let report = report_with(vec![w]);
+        assert!(Watchdog::default().evaluate(&report).is_empty());
+    }
+
+    #[test]
+    fn queue_growth_needs_consecutive_windows_past_floor() {
+        let mut windows = Vec::new();
+        for (i, depth) in [2u64, 5, 9, 14, 3].iter().enumerate() {
+            let mut w = window(i as u64, (i as u64 + 1) * 1_000_000);
+            w.procs = vec![ProcSample {
+                busy_ns: 0,
+                mailbox: *depth,
+            }];
+            windows.push(w);
+        }
+        let report = report_with(windows);
+        let alerts = Watchdog::default().evaluate(&report);
+        // Depth grows in windows 0,1,2 (from the empty-mailbox baseline) →
+        // streak hits 3 at window 2 with depth 9 ≥ floor 8; the detector
+        // re-arms, window 3 alone can't reach the streak, window 4 shrinks.
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::QueueGrowth);
+        assert_eq!(alerts[0].window, 2);
+        assert_eq!(alerts[0].value_milli, 9);
+    }
+
+    #[test]
+    fn hot_row_fires_per_matrix_on_concentration() {
+        let mut w = window(0, 1_000_000);
+        w.counters
+            .insert("ps.server.row_touch.m1.r7".to_string(), 90);
+        w.counters
+            .insert("ps.server.row_touch.m1.r3".to_string(), 10);
+        // Uniform matrix stays quiet.
+        w.counters
+            .insert("ps.server.row_touch.m2.r1".to_string(), 30);
+        w.counters
+            .insert("ps.server.row_touch.m2.r2".to_string(), 30);
+        w.counters
+            .insert("ps.server.row_touch.m2.r3".to_string(), 30);
+        let report = report_with(vec![w]);
+        let alerts = Watchdog::default().evaluate(&report);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::HotRow);
+        assert_eq!(alerts[0].subject, "m1.r7");
+        assert_eq!(alerts[0].value_milli, 900);
+    }
+
+    #[test]
+    fn server_skew_uses_final_registry_for_the_server_set() {
+        let mut w = window(0, 1_000_000);
+        // Only one server moved this window; the other two are silent and
+        // therefore absent from the window's delta map.
+        w.counters.insert("ps.server.p0.served".to_string(), 120);
+        let mut report = report_with(vec![w]);
+        report.metrics.add("ps.server.p0.served", 120);
+        report.metrics.add("ps.server.p1.served", 1);
+        report.metrics.add("ps.server.p2.served", 1);
+        let alerts = Watchdog::default().evaluate(&report);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::ServerSkew);
+        assert!(alerts[0].value_milli >= 600, "{}", alerts[0].value_milli);
+    }
+
+    #[test]
+    fn stall_needs_flat_loss_across_active_windows() {
+        let mut windows = Vec::new();
+        for (i, loss) in [500_000i64, 499_990, 499_985, 499_980, 400_000]
+            .iter()
+            .enumerate()
+        {
+            let mut w = window(i as u64, (i as u64 + 1) * 1_000_000);
+            w.counters.insert("ml.iterations".to_string(), 2);
+            w.gauges.insert("ml.loss_micro".to_string(), *loss);
+            windows.push(w);
+        }
+        let report = report_with(windows);
+        let alerts = Watchdog::default().evaluate(&report);
+        // Deltas 10, 5, 5 are all ≤ eps 100 → streak hits 3 at window 3;
+        // window 4's big drop resets.
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::ConvergenceStall);
+        assert_eq!(alerts[0].window, 3);
+    }
+
+    #[test]
+    fn annotate_injects_sorted_marks_with_interned_labels() {
+        let mut w = window(0, 1_000_000);
+        w.procs = busy(&[100, 100, 100, 100, 100, 100, 100, 0]);
+        let mut report = report_with(vec![w]);
+        report.trace.push(TraceEvent::Finish {
+            at: SimTime(2_000_000),
+            proc: ProcId(0),
+        });
+        let alerts = Watchdog::default().evaluate(&report);
+        Watchdog::annotate(&mut report, &alerts);
+        assert_eq!(report.trace.len(), 2);
+        let TraceEvent::Mark {
+            at, label, payload, ..
+        } = &report.trace[0]
+        else {
+            panic!("mark must sort before the later finish");
+        };
+        assert_eq!(*at, SimTime(1_000_000));
+        assert_eq!(report.label_name(*label), "watchdog.straggler");
+        assert_eq!(*payload, Some(0));
+    }
+
+    #[test]
+    fn alerts_render_as_integer_json() {
+        let alerts = vec![Alert {
+            kind: AlertKind::HotRow,
+            at: SimTime(5_000_000),
+            window: 4,
+            proc: None,
+            subject: "m1.r7".to_string(),
+            value_milli: 900,
+        }];
+        let j = alerts_json(&alerts);
+        assert!(j.contains("\"kind\": \"watchdog.hot_row\""));
+        assert!(j.contains("\"at_ns\": 5000000"));
+        assert!(j.contains("\"proc\": -1"));
+        assert_eq!(alerts_json(&[]), "[]");
+    }
+}

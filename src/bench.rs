@@ -1,0 +1,495 @@
+//! `ps2-bench` — a deterministic sweep harness with a regression gate.
+//!
+//! A *sweep* runs {preset × algorithm × seed} simulations, splits each run
+//! into a setup and a training phase, aggregates min/median/max across
+//! seeds, and serializes the result as JSON (hand-rolled, integers only, so
+//! the file is byte-identical across runs and platforms — the same property
+//! the flight-recorder report relies on). The *gate* compares a fresh sweep
+//! (or a second file) against a committed baseline such as `BENCH_pr5.json`
+//! and reports every median that regressed beyond a relative tolerance; CI
+//! turns a non-empty report into a failing job.
+//!
+//! All times are virtual nanoseconds from the simulator, so the gate is
+//! immune to host speed: a regression means the *modeled* cost changed, not
+//! that the runner was busy.
+
+use std::fmt::Write as _;
+
+use crate::data::presets;
+use crate::ml::lbfgs::{train_lbfgs, LbfgsConfig};
+use crate::ml::lr::{train_lr, LrBackend, LrConfig};
+use crate::ml::optim::Optimizer;
+use crate::ml::svm::{train_svm, SvmConfig};
+use crate::tracefile::{parse_json, render_json_string, JsonValue};
+use crate::{run_ps2_with, ClusterSpec, SimBuilder};
+
+/// One cell of the sweep grid: a dataset preset trained by one algorithm.
+#[derive(Clone, Debug)]
+pub struct BenchCase {
+    /// Stable identifier, e.g. `kddb-lr` — the gate joins baseline and
+    /// candidate on this.
+    pub name: String,
+    pub preset: String,
+    pub algorithm: String,
+    pub workers: usize,
+    pub servers: usize,
+    pub iters: usize,
+}
+
+/// Seeds every case is run under by default.
+pub const DEFAULT_SEEDS: &[u64] = &[1, 2, 3];
+
+/// The small grid CI sweeps: two sparse presets × three algorithms, sized
+/// to finish in seconds per run. (CTR is deliberately absent — its 5.6M-nnz
+/// generator is an interactive-scale dataset, not a gate-scale one.)
+pub fn small_cases(workers: usize, servers: usize, iters: usize) -> Vec<BenchCase> {
+    let case = |preset: &str, algorithm: &str| BenchCase {
+        name: format!("{preset}-{algorithm}"),
+        preset: preset.to_string(),
+        algorithm: algorithm.to_string(),
+        workers,
+        servers,
+        iters,
+    };
+    vec![
+        case("kddb", "lr"),
+        case("kddb", "svm"),
+        case("kdd12", "lr"),
+        case("kdd12", "lbfgs"),
+    ]
+}
+
+/// Measurements from a single seeded run of a case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CaseRun {
+    pub seed: u64,
+    /// Makespan of the whole simulation.
+    pub virtual_ns: u64,
+    /// Makespan minus the summed training-iteration spans: data generation,
+    /// caching, DCV creation, and scheduling tails.
+    pub setup_ns: u64,
+    /// Sum of the `ml.iteration` histogram — time inside training
+    /// iterations.
+    pub train_ns: u64,
+    pub iterations: u64,
+    pub total_msgs: u64,
+    pub total_bytes: u64,
+}
+
+/// Run one case under one seed and split its phases.
+pub fn run_case(case: &BenchCase, seed: u64) -> Result<CaseRun, String> {
+    let spec = ClusterSpec {
+        workers: case.workers,
+        servers: case.servers,
+        ..ClusterSpec::default()
+    };
+    let workers = case.workers;
+    let iters = case.iters;
+    let gen = match case.preset.as_str() {
+        "kddb" => presets::kddb(workers, seed).gen,
+        "kdd12" => presets::kdd12(workers, seed).gen,
+        "ctr" => presets::ctr(workers, seed).gen,
+        other => return Err(format!("unknown bench preset '{other}'")),
+    };
+    let builder = SimBuilder::new().seed(seed);
+    let (_, report) = match case.algorithm.as_str() {
+        "lr" => run_ps2_with(builder, spec, move |ctx, ps2| {
+            train_lr(
+                ctx,
+                ps2,
+                &LrConfig::new(gen, Optimizer::Sgd, iters),
+                LrBackend::Ps2Dcv,
+            );
+        }),
+        "svm" => run_ps2_with(builder, spec, move |ctx, ps2| {
+            train_svm(ctx, ps2, &SvmConfig::new(gen, iters));
+        }),
+        "lbfgs" => run_ps2_with(builder, spec, move |ctx, ps2| {
+            let mut cfg = LbfgsConfig::new(gen, iters);
+            // Full-batch gradients would dominate the sweep's wall time;
+            // a fixed fraction keeps the case cheap and still exercises
+            // the server-side two-loop recursion.
+            cfg.batch_fraction = 0.25;
+            train_lbfgs(ctx, ps2, &cfg);
+        }),
+        other => return Err(format!("unknown bench algorithm '{other}'")),
+    };
+    let virtual_ns = report.virtual_time.as_nanos();
+    let train_ns = report
+        .metrics
+        .hist("ml.iteration")
+        .map(|h| h.sum_ns())
+        .unwrap_or(0);
+    Ok(CaseRun {
+        seed,
+        virtual_ns,
+        setup_ns: virtual_ns.saturating_sub(train_ns),
+        train_ns,
+        iterations: report.metrics.counter("ml.iterations"),
+        total_msgs: report.total_msgs,
+        total_bytes: report.total_bytes,
+    })
+}
+
+/// min/median/max of one measurement across seeds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stat {
+    pub min: u64,
+    pub median: u64,
+    pub max: u64,
+}
+
+impl Stat {
+    /// Aggregate a non-empty sample; an even count takes the mean of the
+    /// two central values (integer division — stays deterministic).
+    pub fn of(mut vals: Vec<u64>) -> Stat {
+        assert!(!vals.is_empty(), "Stat::of needs at least one sample");
+        vals.sort_unstable();
+        let n = vals.len();
+        let median = if n % 2 == 1 {
+            vals[n / 2]
+        } else {
+            (vals[n / 2 - 1] + vals[n / 2]) / 2
+        };
+        Stat {
+            min: vals[0],
+            median,
+            max: vals[n - 1],
+        }
+    }
+}
+
+/// A case plus its per-seed runs and cross-seed aggregates.
+#[derive(Clone, Debug)]
+pub struct CaseSummary {
+    pub case: BenchCase,
+    pub runs: Vec<CaseRun>,
+    pub virtual_ns: Stat,
+    pub setup_ns: Stat,
+    pub train_ns: Stat,
+    pub total_msgs: Stat,
+    pub total_bytes: Stat,
+}
+
+impl CaseSummary {
+    fn of(case: BenchCase, runs: Vec<CaseRun>) -> CaseSummary {
+        let pick = |f: fn(&CaseRun) -> u64| Stat::of(runs.iter().map(f).collect());
+        CaseSummary {
+            virtual_ns: pick(|r| r.virtual_ns),
+            setup_ns: pick(|r| r.setup_ns),
+            train_ns: pick(|r| r.train_ns),
+            total_msgs: pick(|r| r.total_msgs),
+            total_bytes: pick(|r| r.total_bytes),
+            case,
+            runs,
+        }
+    }
+}
+
+/// A full sweep result — what `BENCH_pr5.json` holds.
+#[derive(Clone, Debug, Default)]
+pub struct BenchReport {
+    pub cases: Vec<CaseSummary>,
+}
+
+/// Run every case under every seed. Fails fast on an unknown preset or
+/// algorithm so a typo cannot silently shrink coverage.
+pub fn sweep(cases: &[BenchCase], seeds: &[u64]) -> Result<BenchReport, String> {
+    let mut out = BenchReport::default();
+    for case in cases {
+        let mut runs = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            runs.push(run_case(case, seed)?);
+        }
+        out.cases.push(CaseSummary::of(case.clone(), runs));
+    }
+    Ok(out)
+}
+
+impl BenchReport {
+    /// Serialize deterministically: cases in sweep order, integers only.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"ps2-bench-v1\",\n  \"cases\": [");
+        for (i, c) in self.cases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n      \"name\": ");
+            render_json_string(&c.case.name, &mut out);
+            out.push_str(", \"preset\": ");
+            render_json_string(&c.case.preset, &mut out);
+            out.push_str(", \"algorithm\": ");
+            render_json_string(&c.case.algorithm, &mut out);
+            let _ = write!(
+                out,
+                ",\n      \"workers\": {}, \"servers\": {}, \"iters\": {},\n      \"runs\": [",
+                c.case.workers, c.case.servers, c.case.iters
+            );
+            for (j, r) in c.runs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n        {{\"seed\": {}, \"virtual_ns\": {}, \"setup_ns\": {}, \
+                     \"train_ns\": {}, \"iterations\": {}, \"total_msgs\": {}, \
+                     \"total_bytes\": {}}}",
+                    r.seed,
+                    r.virtual_ns,
+                    r.setup_ns,
+                    r.train_ns,
+                    r.iterations,
+                    r.total_msgs,
+                    r.total_bytes
+                );
+            }
+            out.push_str("\n      ],\n      \"summary\": {");
+            let stat = |out: &mut String, name: &str, s: Stat, last: bool| {
+                let _ = write!(
+                    out,
+                    "\n        \"{name}\": {{\"min\": {}, \"median\": {}, \"max\": {}}}{}",
+                    s.min,
+                    s.median,
+                    s.max,
+                    if last { "" } else { "," }
+                );
+            };
+            stat(&mut out, "virtual_ns", c.virtual_ns, false);
+            stat(&mut out, "setup_ns", c.setup_ns, false);
+            stat(&mut out, "train_ns", c.train_ns, false);
+            stat(&mut out, "total_msgs", c.total_msgs, false);
+            stat(&mut out, "total_bytes", c.total_bytes, true);
+            out.push_str("\n      }\n    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parse a report written by [`BenchReport::to_json`] (via the same
+    /// dependency-free parser `ps2-trace` uses).
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let doc = parse_json(text).map_err(|e| e.to_string())?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some("ps2-bench-v1") => {}
+            other => return Err(format!("unsupported bench schema {other:?}")),
+        }
+        let u64_field = |obj: &JsonValue, key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("bench report: missing/invalid \"{key}\""))
+        };
+        let str_field = |obj: &JsonValue, key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("bench report: missing/invalid \"{key}\""))
+        };
+        let mut out = BenchReport::default();
+        for c in doc
+            .get("cases")
+            .and_then(JsonValue::as_arr)
+            .ok_or("bench report: missing \"cases\"")?
+        {
+            let case = BenchCase {
+                name: str_field(c, "name")?,
+                preset: str_field(c, "preset")?,
+                algorithm: str_field(c, "algorithm")?,
+                workers: u64_field(c, "workers")? as usize,
+                servers: u64_field(c, "servers")? as usize,
+                iters: u64_field(c, "iters")? as usize,
+            };
+            let runs = c
+                .get("runs")
+                .and_then(JsonValue::as_arr)
+                .ok_or("bench report: case missing \"runs\"")?
+                .iter()
+                .map(|r| {
+                    Ok(CaseRun {
+                        seed: u64_field(r, "seed")?,
+                        virtual_ns: u64_field(r, "virtual_ns")?,
+                        setup_ns: u64_field(r, "setup_ns")?,
+                        train_ns: u64_field(r, "train_ns")?,
+                        iterations: u64_field(r, "iterations")?,
+                        total_msgs: u64_field(r, "total_msgs")?,
+                        total_bytes: u64_field(r, "total_bytes")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            if runs.is_empty() {
+                return Err(format!("bench report: case {} has no runs", case.name));
+            }
+            // Aggregates are recomputed, not trusted: a hand-edited summary
+            // cannot loosen the gate.
+            out.cases.push(CaseSummary::of(case, runs));
+        }
+        Ok(out)
+    }
+
+    /// Human-readable sweep table (virtual seconds, median [min..max]).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let secs = |ns: u64| ns as f64 / 1e9;
+        out.push_str(
+            "case            virtual median [min..max]        setup      train       msgs\n",
+        );
+        for c in &self.cases {
+            let _ = writeln!(
+                out,
+                "{:<15} {:>9.4}s [{:.4}..{:.4}] {:>9.4}s {:>9.4}s {:>10}",
+                c.case.name,
+                secs(c.virtual_ns.median),
+                secs(c.virtual_ns.min),
+                secs(c.virtual_ns.max),
+                secs(c.setup_ns.median),
+                secs(c.train_ns.median),
+                c.total_msgs.median
+            );
+        }
+        out
+    }
+}
+
+/// True when `cand` exceeds `base` by more than `tolerance_milli`
+/// parts-per-thousand (integer arithmetic; a zero baseline tolerates
+/// nothing).
+fn exceeds(base: u64, cand: u64, tolerance_milli: u64) -> bool {
+    let limit = base + base / 1000 * tolerance_milli + base % 1000 * tolerance_milli / 1000;
+    cand > limit
+}
+
+/// The regression gate: compare a candidate sweep against a baseline. A
+/// violation is (a) a baseline case missing from the candidate — coverage
+/// must not silently shrink — or (b) a median metric that grew beyond
+/// `tolerance_milli` parts-per-thousand (50 = 5%). Returns one line per
+/// violation; empty means the gate passes. Improvements never fail the
+/// gate (regenerate the baseline to bank them).
+pub fn compare(base: &BenchReport, cand: &BenchReport, tolerance_milli: u64) -> Vec<String> {
+    let mut out = Vec::new();
+    for b in &base.cases {
+        let Some(c) = cand.cases.iter().find(|c| c.case.name == b.case.name) else {
+            out.push(format!("case {} missing from candidate", b.case.name));
+            continue;
+        };
+        let mut check = |metric: &str, a: Stat, v: Stat| {
+            if exceeds(a.median, v.median, tolerance_milli) {
+                let pct = if a.median == 0 {
+                    f64::INFINITY
+                } else {
+                    100.0 * (v.median as f64 - a.median as f64) / a.median as f64
+                };
+                out.push(format!(
+                    "{} {metric}: median {} -> {} (+{pct:.1}%, tolerance {:.1}%)",
+                    b.case.name,
+                    a.median,
+                    v.median,
+                    tolerance_milli as f64 / 10.0
+                ));
+            }
+        };
+        check("virtual_ns", b.virtual_ns, c.virtual_ns);
+        check("setup_ns", b.setup_ns, c.setup_ns);
+        check("train_ns", b.train_ns, c.train_ns);
+        check("total_msgs", b.total_msgs, c.total_msgs);
+        check("total_bytes", b.total_bytes, c.total_bytes);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(name: &str, virtual_ns: u64) -> CaseSummary {
+        let case = BenchCase {
+            name: name.to_string(),
+            preset: "kddb".to_string(),
+            algorithm: "lr".to_string(),
+            workers: 4,
+            servers: 4,
+            iters: 4,
+        };
+        let runs = vec![CaseRun {
+            seed: 1,
+            virtual_ns,
+            setup_ns: virtual_ns / 4,
+            train_ns: virtual_ns - virtual_ns / 4,
+            iterations: 4,
+            total_msgs: 100,
+            total_bytes: 1_000,
+        }];
+        CaseSummary::of(case, runs)
+    }
+
+    #[test]
+    fn stat_median_odd_and_even() {
+        assert_eq!(
+            Stat::of(vec![3, 1, 2]),
+            Stat {
+                min: 1,
+                median: 2,
+                max: 3
+            }
+        );
+        assert_eq!(
+            Stat::of(vec![4, 1, 2, 3]),
+            Stat {
+                min: 1,
+                median: 2,
+                max: 4
+            }
+        );
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let base = BenchReport {
+            cases: vec![summary("kddb-lr", 1_000_000)],
+        };
+        let ok = BenchReport {
+            cases: vec![summary("kddb-lr", 1_049_000)],
+        };
+        let bad = BenchReport {
+            cases: vec![summary("kddb-lr", 1_051_000)],
+        };
+        assert!(compare(&base, &ok, 50).is_empty());
+        let v = compare(&base, &bad, 50);
+        assert!(!v.is_empty(), "5.1% over a 5% gate must fail");
+        assert!(v[0].contains("virtual_ns"), "got: {}", v[0]);
+    }
+
+    #[test]
+    fn gate_flags_missing_cases_but_not_improvements() {
+        let base = BenchReport {
+            cases: vec![summary("kddb-lr", 1_000_000), summary("kdd12-lr", 500_000)],
+        };
+        let cand = BenchReport {
+            cases: vec![summary("kddb-lr", 900_000)],
+        };
+        let v = compare(&base, &cand, 50);
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert!(v[0].contains("kdd12-lr missing"), "got: {}", v[0]);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_runs_and_aggregates() {
+        let report = BenchReport {
+            cases: vec![summary("kddb-lr", 1_000_000), summary("kdd12-lbfgs", 123)],
+        };
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.cases.len(), 2);
+        for (a, b) in report.cases.iter().zip(&parsed.cases) {
+            assert_eq!(a.case.name, b.case.name);
+            assert_eq!(a.runs, b.runs);
+            assert_eq!(a.virtual_ns, b.virtual_ns);
+            assert_eq!(a.total_bytes, b.total_bytes);
+        }
+        // Serialization itself is stable.
+        assert_eq!(report.to_json(), parsed.to_json());
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema() {
+        assert!(BenchReport::from_json(r#"{"schema": "nope", "cases": []}"#).is_err());
+        assert!(BenchReport::from_json("[]").is_err());
+    }
+}

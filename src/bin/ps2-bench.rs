@@ -1,0 +1,198 @@
+//! `ps2-bench` — sweep the {preset × algorithm × seed} grid and gate CI on
+//! regressions against a committed baseline.
+//!
+//! ```text
+//! ps2-bench sweep [--out PATH] [--seeds a,b,c] [--workers N] [--servers N]
+//!                 [--iters N]
+//!     run the small case grid, print the summary table, optionally write
+//!     the JSON report (this is how BENCH_pr5.json is generated)
+//!
+//! ps2-bench diff <BASE> <CAND> [--tolerance FRAC] [--gate]
+//!     compare two report files; with --gate, exit 1 when any median
+//!     regressed beyond FRAC (default 0.05 = 5%)
+//!
+//! ps2-bench --gate <BASE> [--tolerance FRAC] [--out PATH] [flags as sweep]
+//!     sweep fresh, compare against the committed baseline, exit 1 on
+//!     regression — the CI entry point
+//! ```
+//!
+//! All numbers are virtual-time integers from the simulator, so reports are
+//! byte-identical across runs and hosts; the gate detects modeled-cost
+//! changes, never host noise.
+
+use std::process::exit;
+
+use ps2::bench::{compare, small_cases, sweep, BenchReport, DEFAULT_SEEDS};
+
+fn die(msg: &str) -> ! {
+    eprintln!("ps2-bench: {msg}");
+    exit(2)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ps2-bench sweep [--out PATH] [--seeds a,b,c] [--workers N] [--servers N] [--iters N]\n\
+        \x20      ps2-bench diff <BASE> <CAND> [--tolerance FRAC] [--gate]\n\
+        \x20      ps2-bench --gate <BASE> [--tolerance FRAC] [--out PATH] [sweep flags]"
+    );
+    exit(2)
+}
+
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(argv: &[String]) -> Flags {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let Some(name) = argv[i].strip_prefix("--") else {
+                die(&format!("unexpected argument '{}'", argv[i]));
+            };
+            if name == "gate" {
+                // Bare flag in diff mode.
+                out.push((name.to_string(), String::new()));
+                i += 1;
+                continue;
+            }
+            let value = argv
+                .get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| die(&format!("flag --{name} needs a value")));
+            out.push((name.to_string(), value));
+            i += 2;
+        }
+        Flags(out)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| die(&format!("bad value for --{name}: '{v}'"))),
+        }
+    }
+}
+
+fn tolerance_milli(flags: &Flags) -> u64 {
+    let frac: f64 = flags.get_num("tolerance", 0.05f64);
+    if !(frac.is_finite() && frac >= 0.0) {
+        die("--tolerance must be a non-negative fraction, e.g. 0.05");
+    }
+    (frac * 1000.0).round() as u64
+}
+
+fn load(path: &str) -> BenchReport {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    BenchReport::from_json(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+}
+
+fn run_sweep(flags: &Flags) -> BenchReport {
+    let workers = flags.get_num("workers", 4usize);
+    let servers = flags.get_num("servers", 4usize);
+    let iters = flags.get_num("iters", 4usize);
+    let seeds: Vec<u64> = match flags.get("seeds") {
+        None => DEFAULT_SEEDS.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("bad seed '{s}' in --seeds")))
+            })
+            .collect(),
+    };
+    if seeds.is_empty() {
+        die("--seeds needs at least one seed");
+    }
+    let cases = small_cases(workers, servers, iters);
+    eprintln!(
+        "sweeping {} cases x {} seeds ({} workers, {} servers, {} iters)...",
+        cases.len(),
+        seeds.len(),
+        workers,
+        servers,
+        iters
+    );
+    sweep(&cases, &seeds).unwrap_or_else(|e| die(&e))
+}
+
+fn gate(base: &BenchReport, cand: &BenchReport, tol_milli: u64) -> ! {
+    let violations = compare(base, cand, tol_milli);
+    if violations.is_empty() {
+        println!("gate passed ({:.1}% tolerance)", tol_milli as f64 / 10.0);
+        exit(0);
+    }
+    for v in &violations {
+        eprintln!("REGRESSION {v}");
+    }
+    exit(1)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        usage();
+    };
+    match cmd.as_str() {
+        "sweep" => {
+            let flags = Flags::parse(rest);
+            let report = run_sweep(&flags);
+            print!("{}", report.render());
+            if let Some(path) = flags.get("out") {
+                std::fs::write(path, report.to_json())
+                    .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                println!("report written to {path}");
+            }
+        }
+        "diff" => {
+            let Some((base_path, rest)) = rest.split_first() else {
+                usage();
+            };
+            let Some((cand_path, rest)) = rest.split_first() else {
+                usage();
+            };
+            let flags = Flags::parse(rest);
+            let base = load(base_path);
+            let cand = load(cand_path);
+            let tol = tolerance_milli(&flags);
+            let violations = compare(&base, &cand, tol);
+            println!("baseline:  {base_path}\ncandidate: {cand_path}");
+            print!("{}", cand.render());
+            if violations.is_empty() {
+                println!("within tolerance ({:.1}%)", tol as f64 / 10.0);
+            } else {
+                for v in &violations {
+                    eprintln!("REGRESSION {v}");
+                }
+                if flags.get("gate").is_some() {
+                    exit(1);
+                }
+            }
+        }
+        "--gate" => {
+            let Some((base_path, rest)) = rest.split_first() else {
+                usage();
+            };
+            let flags = Flags::parse(rest);
+            let base = load(base_path);
+            let cand = run_sweep(&flags);
+            print!("{}", cand.render());
+            if let Some(path) = flags.get("out") {
+                std::fs::write(path, cand.to_json())
+                    .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                println!("fresh report written to {path}");
+            }
+            gate(&base, &cand, tolerance_milli(&flags));
+        }
+        _ => usage(),
+    }
+}

@@ -12,13 +12,20 @@
 //!   --iters N          training iterations (default 30)
 //!   --backend NAME     ps2 | ps | spark | petuum | distml | xgboost |
 //!                      glint | mllib-star      (default ps2)
+//!   --preset NAME      named dataset preset: kddb|kdd12|ctr|gender (sparse),
+//!                      pubmed|app (lda), graph1|graph2 (deepwalk)
 //!   --csv PATH         also write the (seconds, loss) trace as CSV
 //!   --metrics-json PATH  write the flight-recorder run report as JSON and
 //!                        print the per-op breakdown table
 //!   --trace-json PATH  record the full event trace, print the critical-path
 //!                      breakdown, and write a Perfetto/Chrome trace-event
 //!                      JSON file (open in https://ui.perfetto.dev, or feed
-//!                      to `ps2-trace` for offline analysis)
+//!                      to `ps2-trace` for offline analysis); watchdog alerts
+//!                      show up as instant events on the offending proc
+//!   --timeseries-json PATH  scrape the metrics registry every --window-ms of
+//!                           virtual time and write the windowed series plus
+//!                           watchdog alerts; scraping never perturbs the run
+//!   --window-ms N      time-series window width in virtual ms (default 100)
 //!
 //! dataset flags (lr/svm/lbfgs/fm):
 //!   --rows N --dim N --nnz N   (defaults 20000 / 100000 / 20)
@@ -53,9 +60,9 @@ use ps2::ml::lr::{train_lr, train_lr_mllib_star, LrBackend, LrConfig};
 use ps2::ml::optim::Optimizer;
 use ps2::ml::svm::{train_svm, SvmConfig};
 use ps2::ml::TrainingTrace;
-use ps2::simnet::{export_trace, CausalAnalysis};
+use ps2::simnet::{export_trace_with, CausalAnalysis, SimTime, Watchdog};
 use ps2::{run_ps2_with, ClusterSpec, RunReport, SimBuilder};
-use ps2_data::{CorpusGen, GraphGen, RandomWalks, SparseDatasetGen};
+use ps2_data::{presets, CorpusGen, GraphGen, RandomWalks, SparseDatasetGen};
 
 struct Args {
     flags: HashMap<String, String>,
@@ -103,8 +110,49 @@ fn die(msg: &str) -> ! {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: ps2-run <lr|deepwalk|gbdt|lda|svm|lbfgs|fm> [flags]");
-    eprintln!("see the crate docs (src/bin/ps2-run.rs) for the flag list");
+    eprintln!(
+        "\
+usage: ps2-run <lr|deepwalk|gbdt|lda|svm|lbfgs|fm> [flags]
+
+common flags:
+  --workers N            executors (default 20)
+  --servers N            PS-servers (default 20)
+  --seed N               simulation seed (default 42)
+  --iters N              training iterations (default 30)
+  --backend NAME         ps2|ps|spark|petuum|distml|xgboost|glint|mllib-star (default ps2)
+  --preset NAME          named dataset preset (overrides the shape flags below):
+                           lr/svm/lbfgs/fm: kddb|kdd12|ctr|gender
+                           lda:             pubmed|app
+                           deepwalk:        graph1|graph2
+
+outputs:
+  --csv PATH             write the (seconds, loss) trace as CSV
+  --metrics-json PATH    write the flight-recorder run report as JSON and
+                         print the per-op breakdown table
+  --trace-json PATH      record the full event trace, print the critical-path
+                         breakdown, and write a Perfetto/Chrome trace-event
+                         JSON (open in ui.perfetto.dev or feed to ps2-trace);
+                         watchdog alerts appear as instant events
+  --timeseries-json PATH scrape the metrics registry every --window-ms of
+                         virtual time, run the skew/straggler watchdog over
+                         the windows, and write the windowed series as JSON
+  --window-ms N          time-series window width in virtual ms (default 100)
+
+dataset shape flags (lr/svm/lbfgs/fm):
+  --rows N --dim N --nnz N   (defaults 20000 / 100000 / 20)
+lr flags:
+  --optimizer NAME       sgd|adam|adagrad|rmsprop|ftrl (default sgd)
+  --lr X                 learning rate (default 1.0)
+  --fraction X           mini-batch fraction (default 0.01)
+deepwalk flags:
+  --vertices N --walks N --embedding-dim N
+gbdt flags:
+  --trees N --depth N --bins N
+lda flags:
+  --docs N --vocab N --topics N
+fm flags:
+  --factors N            latent factors (default 8)"
+    );
     exit(2)
 }
 
@@ -126,20 +174,40 @@ fn main() {
     // Tracing is off unless a trace is actually wanted: recording is
     // timing-neutral but costs memory proportional to event count.
     let want_trace = args.flags.contains_key("trace-json");
-    let mk_builder = move || SimBuilder::new().seed(seed).trace(want_trace);
+    // Time-series scraping is likewise opt-in; it is non-yielding, so the
+    // run itself is unaffected either way.
+    let ts_window = args
+        .flags
+        .contains_key("timeseries-json")
+        .then(|| SimTime::from_millis(args.get("window-ms", 100u64)));
+    let mk_builder = move || {
+        let b = SimBuilder::new().seed(seed).trace(want_trace);
+        match ts_window {
+            Some(w) => b.timeseries(w),
+            None => b,
+        }
+    };
 
-    let sparse_gen = |parts: usize| {
-        SparseDatasetGen::new(
+    let preset = args.flags.get("preset").cloned();
+    let sparse_gen = |parts: usize| match preset.as_deref() {
+        None => SparseDatasetGen::new(
             args.get("rows", 20_000u64),
             args.get("dim", 100_000u64),
             args.get("nnz", 20u32),
             parts,
             seed,
-        )
+        ),
+        Some("kddb") => presets::kddb(parts, seed).gen,
+        Some("kdd12") => presets::kdd12(parts, seed).gen,
+        Some("ctr") => presets::ctr(parts, seed).gen,
+        Some("gender") => presets::gender(parts, seed).gen,
+        Some(other) => die(&format!(
+            "unknown sparse preset '{other}' (want kddb|kdd12|ctr|gender)"
+        )),
     };
 
     let workers = spec.workers;
-    let (trace, report) = match workload.as_str() {
+    let (trace, mut report) = match workload.as_str() {
         "lr" => {
             let optimizer = match args.get_str("optimizer", "sgd").as_str() {
                 "sgd" => Optimizer::Sgd,
@@ -189,19 +257,34 @@ fn main() {
                 "ps" => DeepWalkBackend::PsPullPush,
                 other => die(&format!("unknown DeepWalk backend '{other}'")),
             };
-            let vertices: u32 = args.get("vertices", 2_000u32);
-            let walks_n: usize = args.get("walks", 4_000usize);
+            let (graph_gen, walks_n, walk_len) = match preset.as_deref() {
+                None => (
+                    GraphGen {
+                        vertices: args.get("vertices", 2_000u32),
+                        edges_per_vertex: 4,
+                        seed,
+                    },
+                    args.get("walks", 4_000usize),
+                    8usize,
+                ),
+                Some("graph1") => {
+                    let p = presets::graph1(seed);
+                    (p.gen, p.num_walks, p.walk_len)
+                }
+                Some("graph2") => {
+                    let p = presets::graph2(seed);
+                    (p.gen, p.num_walks, p.walk_len)
+                }
+                Some(other) => die(&format!(
+                    "unknown graph preset '{other}' (want graph1|graph2)"
+                )),
+            };
             let dim: u64 = args.get("embedding-dim", 100u64);
             run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
-                let g = GraphGen {
-                    vertices,
-                    edges_per_vertex: 4,
-                    seed,
-                }
-                .generate();
-                let walks = RandomWalks::sample(&g, walks_n, 8, seed ^ 1);
+                let g = graph_gen.generate();
+                let walks = RandomWalks::sample(&g, walks_n, walk_len, seed ^ 1);
                 let cfg = DeepWalkConfig {
-                    vertices,
+                    vertices: graph_gen.vertices,
                     hyper: DeepWalkHyper {
                         embedding_dim: dim,
                         ..DeepWalkHyper::default()
@@ -249,14 +332,21 @@ fn main() {
                 "spark" => LdaBackend::SparkDriver,
                 other => die(&format!("unknown LDA backend '{other}'")),
             };
-            let corpus = CorpusGen::new(
-                args.get("docs", 4_000u64),
-                args.get("vocab", 8_000u32),
-                16,
-                60,
-                workers,
-                seed,
-            );
+            let corpus = match preset.as_deref() {
+                None => CorpusGen::new(
+                    args.get("docs", 4_000u64),
+                    args.get("vocab", 8_000u32),
+                    16,
+                    60,
+                    workers,
+                    seed,
+                ),
+                Some("pubmed") => presets::pubmed(workers, seed).gen,
+                Some("app") => presets::app(workers, seed).gen,
+                Some(other) => die(&format!(
+                    "unknown corpus preset '{other}' (want pubmed|app)"
+                )),
+            };
             let topics: u32 = args.get("topics", 50u32);
             run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
                 let cfg = LdaConfig {
@@ -296,6 +386,18 @@ fn main() {
         other => die(&format!("unknown workload '{other}'")),
     };
 
+    // The watchdog is a pure pass over the windowed series; alerts land in
+    // the event trace (as instant marks) and in the console summary below.
+    let alerts = if report.timeseries.is_some() {
+        let alerts = Watchdog::default().evaluate(&report);
+        if want_trace {
+            Watchdog::annotate(&mut report, &alerts);
+        }
+        alerts
+    } else {
+        Vec::new()
+    };
+
     print_trace(&trace);
     println!(
         "\ncluster time {}   wall {:?}   {} msgs   {:.1} MB",
@@ -324,9 +426,37 @@ fn main() {
         let analysis = CausalAnalysis::from_report(&report)
             .unwrap_or_else(|e| die(&format!("critical-path analysis failed: {e}")));
         println!("\n{}", analysis.render());
-        std::fs::write(path, export_trace(&report, Some(&analysis)))
+        std::fs::write(path, export_trace_with(&report, Some(&analysis), &alerts))
             .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         println!("trace written to {path}  (open in ui.perfetto.dev, or: ps2-trace {path})");
+    }
+    if let Some(path) = args.flags.get("timeseries-json") {
+        let ts = report.timeseries.as_ref().expect("timeseries was enabled");
+        std::fs::write(path, ts.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!(
+            "\ntime series written to {path}  ({} windows of {}, {} evicted)",
+            ts.windows.len(),
+            SimTime(ts.window_ns),
+            ts.dropped_windows
+        );
+        if alerts.is_empty() {
+            println!("watchdog: no alerts");
+        } else {
+            for a in &alerts {
+                let proc = a.proc.map(|p| format!(" proc {p}")).unwrap_or_default();
+                println!(
+                    "watchdog: {} at {} (window {}{}, {}, value {}.{:03})",
+                    a.kind.label(),
+                    a.at,
+                    a.window,
+                    proc,
+                    a.subject,
+                    a.value_milli / 1000,
+                    (a.value_milli % 1000).unsigned_abs(),
+                );
+            }
+        }
     }
 }
 

@@ -4,8 +4,12 @@
 //! ```text
 //! ps2-trace <FILE>           print the critical-path / category breakdown
 //! ps2-trace report <FILE>    same, explicit subcommand
-//! ps2-trace diff <A> <B>     per-category critical-path deltas (A is the
-//!                            baseline; positive deltas mean B is slower)
+//! ps2-trace diff <A> <B> [--tolerance FRAC]
+//!                            per-category critical-path deltas (A is the
+//!                            baseline; positive deltas mean B is slower).
+//!                            With --tolerance, exit 1 when the makespan or
+//!                            any category regressed by more than FRAC
+//!                            (e.g. 0.05 = 5%) — the CI gate mode.
 //! ```
 //!
 //! The input is a Chrome trace-event JSON file (loadable in
@@ -22,7 +26,10 @@ fn die(msg: &str) -> ! {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: ps2-trace <FILE> | ps2-trace report <FILE> | ps2-trace diff <A> <B>");
+    eprintln!(
+        "usage: ps2-trace <FILE> | ps2-trace report <FILE> | \
+         ps2-trace diff <A> <B> [--tolerance FRAC]"
+    );
     exit(2)
 }
 
@@ -43,6 +50,24 @@ fn main() {
         }
         [cmd, a, b] if cmd == "diff" => {
             print!("{}", load(a).render_diff(&load(b)));
+        }
+        [cmd, a, b, flag, frac] if cmd == "diff" && flag == "--tolerance" => {
+            let frac: f64 = frac
+                .parse()
+                .ok()
+                .filter(|f: &f64| *f >= 0.0 && f.is_finite())
+                .unwrap_or_else(|| die(&format!("bad --tolerance '{frac}' (want e.g. 0.05)")));
+            let base = load(a);
+            let cand = load(b);
+            print!("{}", base.render_diff(&cand));
+            let violations = base.regressions(&cand, (frac * 1000.0).round() as u64);
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!("REGRESSION {v}");
+                }
+                exit(1);
+            }
+            println!("within tolerance ({:.1}%)", frac * 100.0);
         }
         _ => usage(),
     }

@@ -37,6 +37,7 @@
 //! println!("simulated {} in {:?} wall", report.virtual_time, report.wall_time);
 //! ```
 
+pub mod bench;
 pub mod tracefile;
 
 pub use ps2_core as core;

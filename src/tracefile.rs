@@ -59,6 +59,84 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Num(n) if n.fract() == 0.0 && n.abs() <= 9.0e15 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Serialize back to compact JSON text. Deterministic: objects keep
+    /// their stored order; integral numbers render without a fraction, the
+    /// rest use Rust's shortest round-tripping `f64` form. Together with
+    /// [`parse_json`] this gives `parse(render(v)) == v` for any value this
+    /// module can produce (see the round-trip property tests).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                if n.fract() == 0.0 && n.abs() <= 9.0e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            JsonValue::Str(s) => render_json_string(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_json_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Escape and quote a string for JSON output.
+pub fn render_json_string(s: &str, out: &mut String) {
+    use std::fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parse error with a byte offset into the input.
@@ -417,6 +495,42 @@ impl TraceSummary {
                 secs(p.busy_ns),
                 secs(p.slack_ns)
             ));
+        }
+        out
+    }
+
+    /// Regression check for CI gates: a violation is a relative increase
+    /// beyond `tolerance_milli` parts-per-thousand (50 = 5%) in the makespan
+    /// or any critical-path category, with `self` as the baseline. Returns
+    /// one human-readable line per violation; empty means the candidate is
+    /// within tolerance.
+    pub fn regressions(&self, other: &TraceSummary, tolerance_milli: u64) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut check = |name: &str, a: u64, b: u64| {
+            // Integer arithmetic keeps the gate deterministic; a zero
+            // baseline tolerates nothing.
+            let limit = a + a / 1000 * tolerance_milli + a % 1000 * tolerance_milli / 1000;
+            if b > limit {
+                let pct = if a == 0 {
+                    f64::INFINITY
+                } else {
+                    100.0 * (b as f64 - a as f64) / a as f64
+                };
+                out.push(format!(
+                    "{name}: {a} ns -> {b} ns (+{pct:.1}%, tolerance {:.1}%)",
+                    tolerance_milli as f64 / 10.0
+                ));
+            }
+        };
+        check("makespan", self.makespan_ns, other.makespan_ns);
+        let cand: BTreeMap<&str, u64> = other
+            .categories
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        for (name, a) in &self.categories {
+            let b = cand.get(name.as_str()).copied().unwrap_or(0);
+            check(&format!("category {name}"), *a, b);
         }
         out
     }

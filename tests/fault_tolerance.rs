@@ -10,6 +10,7 @@
 
 use ps2::data::SparseDatasetGen;
 use ps2::ml::lr::{distinct_cols, grad_aligned};
+use ps2::simnet::{Alert, AlertKind, TimeSeries, Watchdog};
 use ps2::{deploy, ClusterSpec, MetricsSnapshot, Ps2Context, RunReport, SimBuilder, SimTime};
 
 const SEED: u64 = 23;
@@ -20,6 +21,10 @@ const LEARNING_RATE: f64 = 20.0;
 /// The model is checkpointed at the end of this (1-based) iteration and the
 /// kill lands inside the following iteration's gradient phase.
 const CHECKPOINT_AFTER: usize = 4;
+/// Telemetry scrape interval. The clean run fits in a couple of windows;
+/// the faulty run's recovery stall (attempt timeouts are tens of virtual
+/// seconds) spans many, which is what the watchdog needs to see.
+const SCRAPE_WINDOW_MS: u64 = 500;
 
 struct RunOutcome {
     losses: Vec<f64>,
@@ -33,6 +38,10 @@ struct RunOutcome {
     metrics: MetricsSnapshot,
     /// Aggregated breakdown report (per-op rows, drops by tag).
     run_report: RunReport,
+    /// Windowed telemetry scraped every [`SCRAPE_WINDOW_MS`].
+    timeseries: TimeSeries,
+    /// Watchdog verdict over the windows.
+    alerts: Vec<Alert>,
 }
 
 /// One deterministic run of a hand-rolled mini-batch-free LR loop (full
@@ -46,7 +55,10 @@ fn run_lr(kill_at: Option<SimTime>) -> RunOutcome {
         servers: 4,
         ..ClusterSpec::default()
     };
-    let mut sim = SimBuilder::new().seed(SEED).build();
+    let mut sim = SimBuilder::new()
+        .seed(SEED)
+        .timeseries(SimTime::from_millis(SCRAPE_WINDOW_MS))
+        .build();
     let deployment = deploy(&mut sim, &spec);
     let victim = deployment.servers[1];
     sim.spawn("chaos", move |ctx| {
@@ -112,12 +124,15 @@ fn run_lr(kill_at: Option<SimTime>) -> RunOutcome {
     let report = sim.run().expect("simulation must complete (no deadlock)");
     let (losses, grad_done, iter_done, recoveries, silent_reinits) = out.take();
     let run_report = RunReport::from_sim(&report);
+    let alerts = Watchdog::default().evaluate(&report);
     RunOutcome {
         losses,
         grad_done,
         iter_done,
         recoveries,
         silent_reinits,
+        timeseries: report.timeseries.clone().expect("scraper was enabled"),
+        alerts,
         metrics: report.metrics,
         run_report,
     }
@@ -222,5 +237,48 @@ fn server_killed_mid_iteration_training_completes_via_in_job_recovery() {
     assert!(
         clean.run_report.drops_by_tag.is_empty(),
         "clean run must drop nothing"
+    );
+    // The watchdog must flag the recovery window. While the fleet stalls on
+    // the dead server, the only busy processes per window are the retrying
+    // clients and (eventually) the recovery master — exactly the shape the
+    // straggler (busy z-score) and queue-growth detectors look for.
+    let recovery_hi = faulty.grad_done[CHECKPOINT_AFTER];
+    let fired: Vec<&Alert> = faulty
+        .alerts
+        .iter()
+        .filter(|a| matches!(a.kind, AlertKind::Straggler | AlertKind::QueueGrowth))
+        .filter(|a| a.at > kill_at && a.at <= recovery_hi)
+        .collect();
+    assert!(
+        !fired.is_empty(),
+        "a straggler or queue-growth alert must fire between the kill ({kill_at}) \
+         and the end of the recovered iteration ({recovery_hi}); alerts: {:?}",
+        faulty.alerts
+    );
+    // Each alert carries the exact virtual timestamp of its window's end —
+    // that is what makes it findable in the Perfetto trace.
+    for a in &fired {
+        let idx = (a.window - faulty.timeseries.dropped_windows) as usize;
+        let w = &faulty.timeseries.windows[idx];
+        assert_eq!(w.index, a.window, "alert window must be retained");
+        assert_eq!(
+            a.at.as_nanos(),
+            w.end_ns,
+            "alert timestamp must be its window's end"
+        );
+        assert!(
+            w.end_ns <= (a.window + 1) * faulty.timeseries.window_ns,
+            "window end must not pass its boundary"
+        );
+    }
+    // The clean run never starves a window, so the same detectors stay
+    // quiet there.
+    assert!(
+        !clean
+            .alerts
+            .iter()
+            .any(|a| matches!(a.kind, AlertKind::Straggler | AlertKind::QueueGrowth)),
+        "clean run must not trip the recovery detectors: {:?}",
+        clean.alerts
     );
 }

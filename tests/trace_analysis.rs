@@ -129,3 +129,51 @@ fn different_seeds_diff_with_nonzero_category_deltas() {
         assert!(text.contains(cat), "diff must list '{cat}':\n{text}");
     }
 }
+
+#[test]
+fn regression_gate_fires_on_synthetic_slowdown() {
+    let r = lr_run(42, true);
+    let a = CausalAnalysis::from_report(&r).unwrap();
+    let s = TraceSummary::from_json(&export_trace(&r, Some(&a))).unwrap();
+    // A trace never regresses against itself, even at zero tolerance.
+    assert!(s.regressions(&s, 0).is_empty());
+    // Synthetic regression: +10% makespan and compute.
+    let mut slow = s.clone();
+    slow.makespan_ns += s.makespan_ns / 10;
+    for (name, ns) in slow.categories.iter_mut() {
+        if name == "compute" {
+            *ns += *ns / 10;
+        }
+    }
+    let v = s.regressions(&slow, 50);
+    assert!(
+        v.iter().any(|l| l.contains("makespan")),
+        "10% over a 5% gate must flag the makespan: {v:?}"
+    );
+    assert!(
+        v.iter().any(|l| l.contains("category compute")),
+        "the regressed category must be named: {v:?}"
+    );
+    // A 20% tolerance swallows the same delta, and improvements never fire.
+    assert!(s.regressions(&slow, 200).is_empty());
+    assert!(slow.regressions(&s, 0).is_empty());
+}
+
+#[test]
+fn alerts_in_the_export_do_not_break_the_offline_reader() {
+    use ps2::simnet::{Alert, AlertKind, SimTime};
+    let r = lr_run(42, true);
+    let a = CausalAnalysis::from_report(&r).unwrap();
+    let alerts = vec![Alert {
+        kind: AlertKind::Straggler,
+        at: SimTime::from_millis(100),
+        window: 0,
+        proc: Some(3),
+        subject: "executor-2".to_string(),
+        value_milli: 2_500,
+    }];
+    let json = ps2::simnet::export_trace_with(&r, Some(&a), &alerts);
+    let s = TraceSummary::from_json(&json).unwrap();
+    assert_eq!(s.makespan_ns, a.makespan.as_nanos());
+    assert!(json.contains("watchdog.straggler"));
+}
