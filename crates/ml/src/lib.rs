@@ -28,6 +28,7 @@ pub mod lbfgs;
 pub mod lda;
 pub mod lr;
 mod metrics;
+pub mod modes;
 pub mod optim;
 pub mod ssp;
 pub mod svm;

@@ -7,23 +7,20 @@
 //! long as the slowest worker is at least at `t − s` (staleness bound `s`);
 //! `s = 0` degenerates to BSP, `s = ∞` to fully asynchronous.
 //!
-//! This mode bypasses the dataflow engine entirely: workers are standalone
-//! simulated processes looping pull → gradient → push against the PS, with
-//! a tiny *clock daemon* enforcing the staleness bound. That is exactly how
-//! Petuum runs (no Spark), making this the natural home of straggler
-//! experiments.
+//! Historically this module carried its own clock daemon and worker loop;
+//! both have been promoted into first-class machinery — the clock service
+//! lives in `ps2_ps::consistency`, the mode-gated worker loop in
+//! [`crate::modes`] — and this module keeps the original experiment-facing
+//! surface ([`SspConfig`], [`run_lr_ssp`]) as a thin wrapper over
+//! `ConsistencyMode::Ssp`.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
-use ps2_core::{InitKind, MatrixHandle, Partitioning, PsConfig, PsMaster};
+use ps2_core::SimReport;
 use ps2_data::SparseDatasetGen;
-use ps2_ps::deploy_ps;
-use ps2_simnet::{Envelope, ProcId, SimBuilder, SimCtx, SimReport, SimTime};
+use ps2_ps::ConsistencyMode;
+use ps2_simnet::SimTime;
 
-use crate::lr::{distinct_cols, grad_aligned};
 use crate::metrics::TrainingTrace;
-use crate::sort_merge_pairs;
+use crate::modes::{run_mode, ModeAlgo, ModeConfig};
 
 /// SSP experiment configuration.
 #[derive(Clone, Debug)]
@@ -58,170 +55,28 @@ impl SspConfig {
     }
 }
 
-mod tags {
-    /// Worker reports having *finished* iteration `t`.
-    pub const REPORT: u32 = 60;
-    /// Worker asks permission to *start* iteration `t`; the daemon replies
-    /// once `min_clock >= t - s`.
-    pub const WAIT: u32 = 61;
-}
-
-struct WaitReq {
-    start_iter: u32,
-}
-
-/// The SSP clock daemon: tracks per-worker clocks and defers permission
-/// replies until the staleness bound allows each requester to proceed.
-fn clock_daemon(workers: usize, staleness: u32) -> impl FnOnce(&mut SimCtx) {
-    move |ctx: &mut SimCtx| {
-        let mut clocks = vec![0u32; workers]; // iterations completed
-        let mut pending: Vec<(Envelope, u32)> = Vec::new();
-        loop {
-            let env = ctx.recv();
-            match env.tag {
-                tags::REPORT => {
-                    let (worker, done): (usize, u32) = *env.downcast_ref::<(usize, u32)>();
-                    clocks[worker] = clocks[worker].max(done);
-                    ctx.reply(&env, (), 8);
-                    // Wake any waiter the new min clock unblocks.
-                    let min = *clocks.iter().min().expect("workers > 0");
-                    let mut still_pending = Vec::new();
-                    for (wenv, start_iter) in pending.drain(..) {
-                        if start_iter <= min + staleness + 1 {
-                            ctx.reply(&wenv, (), 8);
-                        } else {
-                            still_pending.push((wenv, start_iter));
-                        }
-                    }
-                    pending = still_pending;
-                }
-                tags::WAIT => {
-                    let req: &WaitReq = env.downcast_ref();
-                    let start_iter = req.start_iter;
-                    let min = *clocks.iter().min().expect("workers > 0");
-                    // A worker may start iteration t when min >= t - s - 1,
-                    // i.e. the slowest worker is within the bound.
-                    if start_iter <= min + staleness + 1 {
-                        ctx.reply(&env, (), 8);
-                    } else {
-                        pending.push((env, start_iter));
-                    }
-                }
-                other => panic!("clock daemon: unknown tag {other}"),
-            }
-        }
-    }
-}
-
 /// Run SSP LR training on a dedicated (Spark-free) topology. Returns the
-/// merged loss trace (mean loss per iteration index, stamped with the last
-/// One `(worker, iter, virtual secs, loss)` measurement.
-type LossSample = (usize, u32, f64, f64);
-
-/// worker's arrival at that iteration) and the simulation report.
+/// merged loss trace — per iteration index, the mean loss and the *mean*
+/// completion time across workers (under BSP everyone is straggler-paced,
+/// so the mean equals the max; under SSP the fast workers pull it down) —
+/// and the simulation report.
 pub fn run_lr_ssp(cfg: &SspConfig) -> (TrainingTrace, SimReport) {
-    let mut sim = SimBuilder::new().seed(cfg.seed).build();
-    let (servers, storage) = deploy_ps(&mut sim, cfg.servers, 500e6);
-    let clock = sim.spawn_daemon("ssp-clock", clock_daemon(cfg.workers, cfg.staleness));
-
-    // Shared collection of (worker, iter, virtual secs, loss) samples.
-    let samples: Arc<Mutex<Vec<LossSample>>> = Arc::new(Mutex::new(Vec::new()));
-
-    // The coordinator allocates the model, then hands the handle to the
-    // workers. Spawn order fixes the ids: servers (0..S), storage (S),
-    // clock (S+1), coordinator (S+2), then the workers.
-    let worker_ids: Vec<ProcId> = (0..cfg.workers)
-        .map(|w| ProcId(cfg.servers + 3 + w))
-        .collect();
-    {
-        let cfg = cfg.clone();
-        let worker_ids = worker_ids.clone();
-        sim.spawn("ssp-coordinator", move |ctx| {
-            let mut master = PsMaster::new(servers, storage, PsConfig::default());
-            let h = master.create_matrix(
-                ctx,
-                cfg.dataset.dim,
-                1,
-                Partitioning::Column,
-                InitKind::Zero,
-            );
-            for &w in &worker_ids {
-                ctx.send(w, 7, h.clone(), 64);
-            }
-        });
-    }
-
-    for w in 0..cfg.workers {
-        let cfg = cfg.clone();
-        let samples = Arc::clone(&samples);
-        sim.spawn(&format!("ssp-worker-{w}"), move |ctx| {
-            let h: MatrixHandle = ctx.recv().downcast::<MatrixHandle>();
-            let gen = cfg.dataset.clone();
-            let rows = gen.partition_rows_range(w, cfg.workers);
-            let start = ctx.now();
-            for t in 1..=cfg.iterations {
-                // SSP gate: may we start iteration t?
-                let _ = ctx.call(clock, tags::WAIT, WaitReq { start_iter: t }, 24);
-                // Mini-batch from this worker's shard.
-                let lo = rows.0 + ((t as u64 * 131) % (rows.1 - rows.0).max(1));
-                let batch: Vec<ps2_data::Example> = (0..cfg.mini_batch as u64)
-                    .map(|i| gen.example(rows.0 + (lo + i) % (rows.1 - rows.0).max(1)))
-                    .collect();
-                let cols = distinct_cols(&batch);
-                let wv = h.pull_cols(ctx, 0, &cols);
-                let (grad, loss) = grad_aligned(&batch, &cols, &wv);
-                let nnz: u64 = batch.iter().map(|e| e.features.len() as u64).sum();
-                ctx.charge_flops(6 * nnz);
-                if w == 0 {
-                    // The straggler pays extra compute every iteration.
-                    ctx.advance(cfg.straggler_slowdown);
-                }
-                let scale = cfg.learning_rate / cfg.mini_batch as f64;
-                let pairs: Vec<(u64, f64)> = sort_merge_pairs(
-                    cols.iter()
-                        .zip(&grad)
-                        .map(|(&j, &g)| (j, -scale * g))
-                        .collect(),
-                );
-                h.push_sparse(ctx, 0, &pairs);
-                let _ = ctx.call(clock, tags::REPORT, (w, t), 24);
-                samples.lock().push((
-                    w,
-                    t,
-                    (ctx.now() - start).as_secs_f64(),
-                    loss / cfg.mini_batch as f64,
-                ));
-            }
-        });
-    }
-
-    let report = sim.run().expect("SSP simulation failed");
-    // Merge per-worker samples: per iteration, mean loss and max time.
-    let samples = samples.lock();
-    let mut trace = TrainingTrace::new(format!("SSP(s={})", cfg.staleness));
-    for t in 1..=cfg.iterations {
-        let iter: Vec<&LossSample> = samples.iter().filter(|s| s.1 == t).collect();
-        if iter.is_empty() {
-            continue;
-        }
-        // Mean completion time across workers: under BSP everyone is
-        // straggler-paced; under SSP the fast workers pull the mean down.
-        let time = iter.iter().map(|s| s.2).sum::<f64>() / iter.len() as f64;
-        let loss = iter.iter().map(|s| s.3).sum::<f64>() / iter.len() as f64;
-        trace.points.push((time, loss));
-    }
+    let mode = ConsistencyMode::Ssp {
+        bound: cfg.staleness,
+    };
+    let mode_cfg = ModeConfig {
+        dataset: cfg.dataset.clone(),
+        workers: cfg.workers,
+        servers: cfg.servers,
+        mode,
+        iterations: cfg.iterations,
+        learning_rate: cfg.learning_rate,
+        mini_batch: cfg.mini_batch,
+        straggler_slowdown: cfg.straggler_slowdown,
+        seed: cfg.seed,
+    };
+    let (mut trace, report) = run_mode(&mode_cfg, ModeAlgo::Lr);
+    // Keep the label this experiment has always published.
+    trace.label = format!("SSP(s={})", cfg.staleness);
     (trace, report)
-}
-
-/// Convenience extension: a worker's `[lo, hi)` row shard.
-trait ShardExt {
-    fn partition_rows_range(&self, worker: usize, workers: usize) -> (u64, u64);
-}
-
-impl ShardExt for SparseDatasetGen {
-    fn partition_rows_range(&self, worker: usize, workers: usize) -> (u64, u64) {
-        let w = worker as u64;
-        let n = workers as u64;
-        (w * self.rows / n, (w + 1) * self.rows / n)
-    }
 }

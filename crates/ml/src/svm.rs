@@ -33,7 +33,7 @@ impl SvmConfig {
 }
 
 /// Hinge-loss subgradient over a batch, aligned with `cols`.
-fn hinge_grad(batch: &[Example], cols: &[u64], w: &[f64]) -> (Vec<f64>, f64) {
+pub(crate) fn hinge_grad(batch: &[Example], cols: &[u64], w: &[f64]) -> (Vec<f64>, f64) {
     let mut grad = vec![0.0; cols.len()];
     let mut loss = 0.0;
     for ex in batch {

@@ -37,6 +37,7 @@ use std::sync::Arc;
 use ps2_simnet::fabric::{self, FabricPolicy, SlotRouter};
 use ps2_simnet::{Envelope, ProcId, SimCtx, SimTime};
 
+use crate::consistency::ConsistencyMode;
 use crate::master::PsFleet;
 use crate::plan::{MatrixId, PartitionPlan, PlanKind, RouteTable};
 use crate::protocol::{
@@ -397,11 +398,15 @@ impl MatrixHandle {
         let _ = self.fabric_call(ctx, tags::PUSH, reqs, 1);
     }
 
-    /// Sparse additive push (`(column, delta)` pairs, sorted by column).
-    pub fn push_sparse(&self, ctx: &mut SimCtx, row: u32, pairs: &[(u64, f64)]) {
-        if pairs.is_empty() {
-            return;
-        }
+    /// Build the per-server requests of a sparse push — shared between the
+    /// blocking [`MatrixHandle::push_sparse`] and the split-phase
+    /// [`MatrixHandle::push_sparse_begin`].
+    fn sparse_push_reqs(
+        &self,
+        ctx: &mut SimCtx,
+        row: u32,
+        pairs: &[(u64, f64)],
+    ) -> Vec<(usize, PushReq, u64)> {
         debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
         let per_pair = 4 + self.value_bytes;
         if !self.is_column() {
@@ -412,8 +417,7 @@ impl MatrixHandle {
                 data: PushData::Sparse(Arc::new(pairs.to_vec())),
                 op_id: ctx.alloc_reply_token(),
             };
-            let _ = self.fabric_one(ctx, self.plan.row_owner(row), tags::PUSH, req, bytes, 1);
-            return;
+            return vec![(self.plan.row_owner(row), req, bytes)];
         }
         let ranges = self.plan.column_ranges();
         let mut reqs = Vec::new();
@@ -435,7 +439,101 @@ impl MatrixHandle {
                 reqs.push((slot, req, bytes));
             }
         }
+        reqs
+    }
+
+    /// Sparse additive push (`(column, delta)` pairs, sorted by column).
+    pub fn push_sparse(&self, ctx: &mut SimCtx, row: u32, pairs: &[(u64, f64)]) {
+        if pairs.is_empty() {
+            return;
+        }
+        let reqs = self.sparse_push_reqs(ctx, row, pairs);
         let _ = self.fabric_call(ctx, tags::PUSH, reqs, 1);
+    }
+
+    // ---- row access: split-phase (pipelined) push -----------------------------
+
+    /// Start a sparse push without waiting for the acknowledgements, so the
+    /// caller can overlap the next iteration's compute with the transfer —
+    /// the pipelining that SSP/async training modes exploit. The returned
+    /// [`PendingPush`] retains the exact payloads; [`MatrixHandle::push_wait`]
+    /// settles it with the same hole-resend + dedup guarantees as the
+    /// blocking path (servers dedup by `op_id`, so a resend racing a slow
+    /// server applies once).
+    pub fn push_sparse_begin(
+        &self,
+        ctx: &mut SimCtx,
+        row: u32,
+        pairs: &[(u64, f64)],
+    ) -> PendingPush {
+        let reqs = self.sparse_push_reqs(ctx, row, pairs);
+        let scope = ps_policy().scope;
+        ctx.metric_add(&format!("{scope}.envelopes"), reqs.len() as u64);
+        let mut sent_bytes = 0u64;
+        let corrs = reqs
+            .iter()
+            .map(|(slot, req, bytes)| {
+                sent_bytes += bytes;
+                ctx.send_request(self.route.resolve(*slot), tags::PUSH, req.clone(), *bytes)
+            })
+            .collect();
+        PendingPush {
+            reqs,
+            corrs,
+            sent_bytes,
+            started: ctx.now(),
+        }
+    }
+
+    /// Gather the acknowledgements of a [`MatrixHandle::push_sparse_begin`].
+    /// Replies that fail to arrive within one attempt timeout are treated as
+    /// holes and resent (identical payloads) through the shared fabric,
+    /// which owns recovery and bounded retry from there.
+    pub fn push_wait(&self, ctx: &mut SimCtx, pending: PendingPush) {
+        let PendingPush {
+            reqs,
+            corrs,
+            mut sent_bytes,
+            started,
+        } = pending;
+        if reqs.is_empty() {
+            return;
+        }
+        let policy = ps_policy();
+        let scope = policy.scope;
+        let deadline = ctx.now() + policy.attempt_timeout;
+        let mut outstanding: Vec<(u64, usize)> = corrs.iter().copied().zip(0..reqs.len()).collect();
+        while !outstanding.is_empty() {
+            let waiting: Vec<u64> = outstanding.iter().map(|&(c, _)| c).collect();
+            let Some(env) = ctx.recv_reply(&waiting, Some(deadline)) else {
+                break;
+            };
+            sent_bytes += env.bytes;
+            outstanding.retain(|&(c, _)| c != env.corr);
+        }
+        if !outstanding.is_empty() {
+            // Holes: hand the identical payloads to the fabric, which runs
+            // the full timeout/recovery/re-resolution pipeline (op-id dedup
+            // makes the duplicate delivery harmless).
+            ctx.metric_add(&format!("{scope}.timeouts"), outstanding.len() as u64);
+            let router = PsRouter {
+                route: &self.route,
+                fleet: self.fleet.as_deref(),
+            };
+            let holes: Vec<(usize, PushReq, u64)> =
+                outstanding.iter().map(|&(_, i)| reqs[i].clone()).collect();
+            let _ = fabric::call_slots(ctx, &router, &policy, "push", tags::PUSH, holes, 1);
+        }
+        // The split-phase push records its own op span: latency measured
+        // from the *begin*, which is what the pipeline actually hides.
+        ctx.metric_add(&format!("{scope}.op.push_async.count"), 1);
+        ctx.metric_add(&format!("{scope}.op.push_async.reqs"), reqs.len() as u64);
+        ctx.metric_add(&format!("{scope}.op.push_async.bytes"), sent_bytes);
+        ctx.metric_add(&format!("{scope}.op.push_async.rows"), 1);
+        ctx.metric_observe(
+            &format!("{scope}.op.push_async.latency"),
+            ctx.now() - started,
+        );
     }
 
     // ---- row access: aggregations -------------------------------------------
@@ -1200,6 +1298,196 @@ impl MatrixHandle {
                 );
                 vec![owners[0]]
             }
+        }
+    }
+}
+
+// ---- split-phase push bookkeeping -------------------------------------------
+
+/// An unacknowledged sparse push started with
+/// [`MatrixHandle::push_sparse_begin`]. Retains the exact per-server
+/// payloads so a hole can be resent byte-for-byte (the receiver dedups by
+/// op-id). Settle with [`MatrixHandle::push_wait`]; dropping it without
+/// waiting leaks nothing but forfeits the delivery guarantee.
+#[must_use = "settle a pending push with MatrixHandle::push_wait"]
+pub struct PendingPush {
+    reqs: Vec<(usize, PushReq, u64)>,
+    corrs: Vec<u64>,
+    sent_bytes: u64,
+    started: SimTime,
+}
+
+impl PendingPush {
+    /// Number of per-server requests in flight.
+    pub fn in_flight(&self) -> usize {
+        self.reqs.len()
+    }
+}
+
+// ---- the client-side parameter cache ----------------------------------------
+
+/// A worker-local parameter cache, the client half of the consistency
+/// modes: `pull_cols`/`pull_rows` are served from local copies while the
+/// entries are within the mode's staleness ttl, and only the misses travel.
+///
+/// Coherence rules (documented in DESIGN.md §consistency modes):
+///
+/// * An entry fetched at worker clock `f` may be served at clock `t` while
+///   `t − f ≤ ttl`, where ttl is [`ConsistencyMode::cache_ttl`] — 0 under
+///   BSP (an entry never survives its own iteration), the bound under SSP,
+///   a fixed small ttl under async.
+/// * The worker's own pushes are applied write-through via
+///   [`ParamCache::note_push`], so a worker always reads its own writes
+///   even when the push is still in flight.
+/// * Any movement of the handle's route epoch (a server was replaced and
+///   restored from checkpoint) invalidates the whole cache: restored state
+///   may predate cached entries, and the bound must be re-established from
+///   fresh pulls.
+pub struct ParamCache {
+    mode: ConsistencyMode,
+    /// The owner's current iteration clock (set by [`ParamCache::advance_clock`]).
+    clock: u32,
+    /// Route epoch the entries were fetched under.
+    epoch_seen: u64,
+    /// Sparse entries: `(row, col) → (value, fetched_at_clock)`.
+    cols: BTreeMap<(u32, u64), (f64, u32)>,
+    /// Dense whole-row entries: `row → (values, fetched_at_clock)`.
+    rows: BTreeMap<u32, (Vec<f64>, u32)>,
+}
+
+impl ParamCache {
+    pub fn new(mode: ConsistencyMode) -> ParamCache {
+        ParamCache {
+            mode,
+            clock: 0,
+            epoch_seen: 0,
+            cols: BTreeMap::new(),
+            rows: BTreeMap::new(),
+        }
+    }
+
+    pub fn mode(&self) -> ConsistencyMode {
+        self.mode
+    }
+
+    /// Move the owner's clock to iteration `t` and evict every entry that
+    /// can no longer be served under the ttl.
+    pub fn advance_clock(&mut self, t: u32) {
+        self.clock = t;
+        let ttl = self.mode.cache_ttl();
+        self.cols.retain(|_, &mut (_, f)| t - f.min(t) <= ttl);
+        self.rows.retain(|_, &mut (_, f)| t - f.min(t) <= ttl);
+    }
+
+    /// Drop everything (used on route-epoch movement, available to tests).
+    pub fn invalidate(&mut self) {
+        self.cols.clear();
+        self.rows.clear();
+    }
+
+    /// Cached entries currently held (both kinds).
+    pub fn len(&self) -> usize {
+        self.cols.len() + self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty() && self.rows.is_empty()
+    }
+
+    fn fresh(&self, fetched_at: u32) -> bool {
+        self.clock - fetched_at.min(self.clock) <= self.mode.cache_ttl()
+    }
+
+    /// Invalidate on route-epoch movement: a replaced server was restored
+    /// from checkpoint, so cached values may be newer than the server's.
+    fn validate_epoch(&mut self, handle: &MatrixHandle) {
+        let epoch = handle.route.epoch();
+        if epoch != self.epoch_seen {
+            self.invalidate();
+            self.epoch_seen = epoch;
+        }
+    }
+
+    /// [`MatrixHandle::pull_cols`] through the cache: hits are served
+    /// locally (no messages, no virtual time), misses travel in one sparse
+    /// pull, and the merged result comes back in `cols` order. Counters
+    /// `ps.cache.hit` / `ps.cache.miss` record the split.
+    pub fn pull_cols(
+        &mut self,
+        ctx: &mut SimCtx,
+        handle: &MatrixHandle,
+        row: u32,
+        cols: &[u64],
+    ) -> Vec<f64> {
+        self.validate_epoch(handle);
+        let mut missing: Vec<u64> = Vec::new();
+        for &c in cols {
+            match self.cols.get(&(row, c)) {
+                Some(&(_, f)) if self.fresh(f) => {}
+                _ => missing.push(c),
+            }
+        }
+        ctx.metric_add("ps.cache.hit", (cols.len() - missing.len()) as u64);
+        ctx.metric_add("ps.cache.miss", missing.len() as u64);
+        if !missing.is_empty() {
+            let fetched = handle.pull_cols(ctx, row, &missing);
+            for (&c, &v) in missing.iter().zip(&fetched) {
+                self.cols.insert((row, c), (v, self.clock));
+            }
+        }
+        cols.iter()
+            .map(|&c| self.cols.get(&(row, c)).expect("filled above").0)
+            .collect()
+    }
+
+    /// [`MatrixHandle::pull_rows`] through the cache: whole dense rows are
+    /// cached as units; only the rows not fresh enough travel.
+    pub fn pull_rows(
+        &mut self,
+        ctx: &mut SimCtx,
+        handle: &MatrixHandle,
+        rows: &[u32],
+    ) -> Vec<Vec<f64>> {
+        self.validate_epoch(handle);
+        let missing: Vec<u32> = rows
+            .iter()
+            .copied()
+            .filter(|r| match self.rows.get(r) {
+                Some(&(_, f)) => !self.fresh(f),
+                None => true,
+            })
+            .collect();
+        ctx.metric_add("ps.cache.hit", (rows.len() - missing.len()) as u64);
+        ctx.metric_add("ps.cache.miss", missing.len() as u64);
+        if !missing.is_empty() {
+            let fetched = handle.pull_rows(ctx, &missing);
+            for (&r, v) in missing.iter().zip(fetched) {
+                self.rows.insert(r, (v, self.clock));
+            }
+        }
+        rows.iter()
+            .map(|r| self.rows.get(r).expect("filled above").0.clone())
+            .collect()
+    }
+
+    /// Apply the worker's own sparse push to the cached copies
+    /// (read-my-writes): existing entries absorb the delta and count as
+    /// refreshed at the current clock — the server's value is at least this
+    /// new once the push lands. Columns not cached are left alone.
+    pub fn note_push(&mut self, row: u32, pairs: &[(u64, f64)]) {
+        for &(c, d) in pairs {
+            if let Some(e) = self.cols.get_mut(&(row, c)) {
+                e.0 += d;
+                e.1 = self.clock;
+            }
+        }
+        if let Some((values, f)) = self.rows.get_mut(&row) {
+            for &(c, d) in pairs {
+                if let Some(v) = values.get_mut(c as usize) {
+                    *v += d;
+                }
+            }
+            *f = self.clock;
         }
     }
 }

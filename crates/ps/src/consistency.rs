@@ -1,0 +1,344 @@
+//! Consistency modes and the generalized clock service.
+//!
+//! The paper evaluates BSP only — every iteration ends with a global
+//! barrier. This module promotes the SSP prototype that used to live inside
+//! `ps2-ml` into a first-class property of the PS client: a training run
+//! picks a [`ConsistencyMode`] and the same worker loop executes under a
+//! barrier (BSP), a bounded-staleness gate (SSP), or no gate at all
+//! (async).
+//!
+//! ## The clock protocol
+//!
+//! A single *clock daemon* tracks one logical clock per worker (iterations
+//! completed). Workers speak two request kinds, both routed through the
+//! shared request fabric rather than bare `ctx.call` so retries, timeouts
+//! and metrics come for free:
+//!
+//! * **REPORT** `(worker, done)` — idempotent: the daemon takes the max of
+//!   the stored and reported clock, so a fabric resend cannot move a clock
+//!   backwards.
+//! * **WAIT** `(worker, start_iter, bound, op_id)` — permission to start
+//!   iteration `t`. The daemon replies once `min_clock ≥ t − bound − 1`,
+//!   i.e. the slowest worker is within the bound. The *request* carries the
+//!   bound, which keeps the daemon mode-agnostic: BSP is `bound = 0`,
+//!   SSP(s) is `bound = s`, and async workers simply never send WAIT.
+//!
+//! A WAIT may legitimately block far longer than one fabric attempt (it
+//! waits on the slowest worker), so a resend of a still-pending WAIT must
+//! not double-register: the daemon keys pending waits by worker and
+//! replaces the stored envelope with the retry's (the fabric only listens
+//! for the newest correlation id). Grants are remembered per worker by
+//! `op_id` so a retry that races its own grant is re-answered immediately
+//! instead of hanging the fabric.
+//!
+//! The grant reply carries the minimum clock observed at grant time —
+//! that is the witness the staleness-invariant property tests check:
+//! `min + bound + 1 ≥ start_iter` at every grant.
+
+use ps2_simnet::fabric::{self, FabricPolicy, StaticRoutes};
+use ps2_simnet::{Envelope, ProcId, SimCtx, SimTime};
+
+/// How a training run synchronizes its workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConsistencyMode {
+    /// Bulk-synchronous: a global barrier after every iteration.
+    Bsp,
+    /// Stale-synchronous: a worker at iteration `t` may proceed while the
+    /// slowest worker is at least at `t − bound − 1`. `bound = 0` is
+    /// barrier-equivalent.
+    Ssp { bound: u32 },
+    /// No synchronization at all: workers free-run and gradients apply in
+    /// arrival order.
+    Async,
+}
+
+/// How many extra iterations an async worker may serve parameters from its
+/// local cache before re-pulling. Async has no staleness bound, so the
+/// cache needs its own (documented) refresh policy to keep learning sane.
+pub const ASYNC_CACHE_TTL: u32 = 2;
+
+impl ConsistencyMode {
+    /// Compact label used in bench case names, metric names and traces:
+    /// `bsp`, `ssp<bound>`, `async`.
+    pub fn label(&self) -> String {
+        match self {
+            ConsistencyMode::Bsp => "bsp".to_string(),
+            ConsistencyMode::Ssp { bound } => format!("ssp{bound}"),
+            ConsistencyMode::Async => "async".to_string(),
+        }
+    }
+
+    /// Parse the CLI spelling: `bsp`, `async`, `ssp:<bound>` (bare `ssp`
+    /// means `ssp:1`).
+    pub fn parse(s: &str) -> Result<ConsistencyMode, String> {
+        match s {
+            "bsp" => Ok(ConsistencyMode::Bsp),
+            "async" => Ok(ConsistencyMode::Async),
+            "ssp" => Ok(ConsistencyMode::Ssp { bound: 1 }),
+            other => match other.strip_prefix("ssp:") {
+                Some(b) => b
+                    .parse()
+                    .map(|bound| ConsistencyMode::Ssp { bound })
+                    .map_err(|_| format!("bad staleness bound in '{other}'")),
+                None => Err(format!(
+                    "unknown consistency mode '{other}' (want bsp|ssp:<s>|async)"
+                )),
+            },
+        }
+    }
+
+    /// The staleness bound the clock gate enforces; `None` means no gate.
+    pub fn bound(&self) -> Option<u32> {
+        match self {
+            ConsistencyMode::Bsp => Some(0),
+            ConsistencyMode::Ssp { bound } => Some(*bound),
+            ConsistencyMode::Async => None,
+        }
+    }
+
+    /// Iterations a cached parameter may be served without a re-pull. Under
+    /// BSP the cache is effectively disabled (an entry only survives within
+    /// its own iteration), under SSP the bound is the ttl, and async uses
+    /// [`ASYNC_CACHE_TTL`].
+    pub fn cache_ttl(&self) -> u32 {
+        match self {
+            ConsistencyMode::Bsp => 0,
+            ConsistencyMode::Ssp { bound } => *bound,
+            ConsistencyMode::Async => ASYNC_CACHE_TTL,
+        }
+    }
+
+    /// Whether push(t) may overlap compute(t+1). Only modes that tolerate
+    /// staleness can leave an unacknowledged push in flight across the
+    /// iteration boundary.
+    pub fn pipelined(&self) -> bool {
+        match self {
+            ConsistencyMode::Bsp => false,
+            ConsistencyMode::Ssp { bound } => *bound > 0,
+            ConsistencyMode::Async => true,
+        }
+    }
+}
+
+/// Clock-service message tags. They live above the PS op tag space
+/// (10..=41); the numbers are the ones the SSP prototype used, kept stable
+/// so old traces read the same.
+pub mod clock_tags {
+    /// Worker reports having *finished* iteration `t`.
+    pub const REPORT: u32 = 60;
+    /// Worker asks permission to *start* iteration `t`.
+    pub const WAIT: u32 = 61;
+}
+
+/// WAIT request: may `worker` start `start_iter` under `bound`?
+#[derive(Clone, Copy, Debug)]
+pub struct ClockWaitReq {
+    pub worker: usize,
+    pub start_iter: u32,
+    pub bound: u32,
+    /// Dedup key for fabric resends of a still-blocked or already-granted
+    /// wait.
+    pub op_id: u64,
+}
+
+/// REPORT request: `worker` has completed `done` iterations.
+#[derive(Clone, Copy, Debug)]
+pub struct ClockReportReq {
+    pub worker: usize,
+    pub done: u32,
+}
+
+/// WAIT reply: the minimum worker clock at the moment the grant was issued
+/// — the witness of the staleness invariant.
+#[derive(Clone, Copy, Debug)]
+pub struct ClockGrant {
+    pub min_clock: u32,
+}
+
+/// Fabric tuning for clock traffic. A WAIT blocks until the slowest worker
+/// catches up, which can dwarf any per-message latency, so the attempt
+/// timeout is generous (one virtual minute) and many stale attempts are
+/// tolerated before declaring the daemon unreachable — together they cover
+/// hours of legitimate blocking while keeping the retry machinery (and its
+/// `ps.clock.*` metrics) live.
+pub fn clock_policy() -> FabricPolicy {
+    FabricPolicy {
+        attempt_timeout: SimTime::from_secs_f64(60.0),
+        max_stale_attempts: 120,
+        scope: "ps.clock",
+    }
+}
+
+/// The clock daemon body: spawn with `sim.spawn_daemon("clock", clock_main(n))`.
+pub fn clock_main(workers: usize) -> impl FnOnce(&mut SimCtx) {
+    move |ctx: &mut SimCtx| {
+        assert!(workers > 0, "clock daemon needs at least one worker");
+        // Iterations completed, per worker.
+        let mut clocks = vec![0u32; workers];
+        // At most one blocked WAIT per worker; a resend replaces the stored
+        // envelope so the reply goes to the correlation id the fabric is
+        // actually listening on.
+        let mut pending: Vec<Option<(Envelope, ClockWaitReq)>> =
+            (0..workers).map(|_| None).collect();
+        // Last grant per worker, keyed by op_id: a retry racing its own
+        // grant is re-answered with the recorded witness.
+        let mut granted: Vec<Option<(u64, u32)>> = vec![None; workers];
+
+        let grantable = |clocks: &[u32], req: &ClockWaitReq| {
+            let min = *clocks.iter().min().expect("workers > 0");
+            // A worker may start iteration t when min >= t - bound - 1.
+            (req.start_iter <= min + req.bound + 1).then_some(min)
+        };
+
+        loop {
+            let env = ctx.recv();
+            if env.is_reply() {
+                continue; // stray late reply, not for us
+            }
+            match env.tag {
+                clock_tags::REPORT => {
+                    let req: ClockReportReq = *env.downcast_ref();
+                    // Max, not assignment: resends must not move time backwards.
+                    clocks[req.worker] = clocks[req.worker].max(req.done);
+                    ctx.reply(&env, (), 8);
+                    // Wake every waiter the new minimum unblocks.
+                    for w in 0..workers {
+                        let Some((_, wreq)) = pending[w].as_ref() else {
+                            continue;
+                        };
+                        if let Some(min) = grantable(&clocks, wreq) {
+                            let (wenv, wreq) = pending[w].take().expect("checked above");
+                            granted[w] = Some((wreq.op_id, min));
+                            ctx.reply(&wenv, ClockGrant { min_clock: min }, 8);
+                        }
+                    }
+                }
+                clock_tags::WAIT => {
+                    let req: ClockWaitReq = *env.downcast_ref();
+                    if let Some((op_id, min)) = granted[req.worker] {
+                        if op_id == req.op_id {
+                            // Retry of an already-granted wait.
+                            ctx.reply(&env, ClockGrant { min_clock: min }, 8);
+                            continue;
+                        }
+                    }
+                    match grantable(&clocks, &req) {
+                        Some(min) => {
+                            granted[req.worker] = Some((req.op_id, min));
+                            ctx.reply(&env, ClockGrant { min_clock: min }, 8);
+                        }
+                        // Fresh wait or resend of a blocked one: (re)store.
+                        None => pending[req.worker] = Some((env, req)),
+                    }
+                }
+                other => panic!("clock daemon: unknown tag {other}"),
+            }
+        }
+    }
+}
+
+/// A worker's handle on the clock daemon. All traffic goes through the
+/// request fabric under [`clock_policy`], so timeouts, identical-payload
+/// resends and `ps.clock.*` metrics follow the same rules as PS ops.
+#[derive(Clone, Copy, Debug)]
+pub struct ClockClient {
+    pub proc: ProcId,
+    pub worker: usize,
+}
+
+impl ClockClient {
+    pub fn new(proc: ProcId, worker: usize) -> ClockClient {
+        ClockClient { proc, worker }
+    }
+
+    /// Block until this worker may start `start_iter` under `bound`.
+    /// Returns the minimum worker clock at grant time; the staleness
+    /// invariant `min + bound + 1 >= start_iter` holds on every return.
+    pub fn wait(&self, ctx: &mut SimCtx, start_iter: u32, bound: u32) -> u32 {
+        let req = ClockWaitReq {
+            worker: self.worker,
+            start_iter,
+            bound,
+            op_id: ctx.alloc_reply_token(),
+        };
+        let routes = StaticRoutes(vec![self.proc]);
+        let grant: ClockGrant = fabric::call_slot(
+            ctx,
+            &routes,
+            &clock_policy(),
+            "wait",
+            clock_tags::WAIT,
+            0,
+            req,
+            24,
+            1,
+        )
+        .downcast();
+        debug_assert!(
+            grant.min_clock + bound + 1 >= start_iter,
+            "clock grant violates the staleness bound: min {} bound {bound} start {start_iter}",
+            grant.min_clock
+        );
+        grant.min_clock
+    }
+
+    /// Report this worker's clock as at least `done` iterations.
+    pub fn report(&self, ctx: &mut SimCtx, done: u32) {
+        let req = ClockReportReq {
+            worker: self.worker,
+            done,
+        };
+        let routes = StaticRoutes(vec![self.proc]);
+        let _ = fabric::call_slot(
+            ctx,
+            &routes,
+            &clock_policy(),
+            "report",
+            clock_tags::REPORT,
+            0,
+            req,
+            16,
+            1,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_labels_and_parse_round_trip() {
+        for (s, m) in [
+            ("bsp", ConsistencyMode::Bsp),
+            ("ssp:0", ConsistencyMode::Ssp { bound: 0 }),
+            ("ssp:3", ConsistencyMode::Ssp { bound: 3 }),
+            ("async", ConsistencyMode::Async),
+        ] {
+            assert_eq!(ConsistencyMode::parse(s).unwrap(), m);
+        }
+        assert_eq!(
+            ConsistencyMode::parse("ssp").unwrap(),
+            ConsistencyMode::Ssp { bound: 1 }
+        );
+        assert_eq!(ConsistencyMode::Bsp.label(), "bsp");
+        assert_eq!(ConsistencyMode::Ssp { bound: 2 }.label(), "ssp2");
+        assert_eq!(ConsistencyMode::Async.label(), "async");
+        assert!(ConsistencyMode::parse("ssp:x").is_err());
+        assert!(ConsistencyMode::parse("eventual").is_err());
+    }
+
+    #[test]
+    fn mode_policy_table() {
+        assert_eq!(ConsistencyMode::Bsp.bound(), Some(0));
+        assert_eq!(ConsistencyMode::Ssp { bound: 4 }.bound(), Some(4));
+        assert_eq!(ConsistencyMode::Async.bound(), None);
+        assert_eq!(ConsistencyMode::Bsp.cache_ttl(), 0);
+        assert_eq!(ConsistencyMode::Ssp { bound: 4 }.cache_ttl(), 4);
+        assert_eq!(ConsistencyMode::Async.cache_ttl(), ASYNC_CACHE_TTL);
+        assert!(!ConsistencyMode::Bsp.pipelined());
+        assert!(!ConsistencyMode::Ssp { bound: 0 }.pipelined());
+        assert!(ConsistencyMode::Ssp { bound: 1 }.pipelined());
+        assert!(ConsistencyMode::Async.pipelined());
+    }
+}

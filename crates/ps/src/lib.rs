@@ -24,12 +24,17 @@
 //! segments, with only scalars crossing the network.
 
 mod client;
+mod consistency;
 mod master;
 mod plan;
 mod protocol;
 mod server;
 
-pub use client::{BatchResult, MatrixHandle, PsBatch};
+pub use client::{BatchResult, MatrixHandle, ParamCache, PendingPush, PsBatch};
+pub use consistency::{
+    clock_main, clock_policy, clock_tags, ClockClient, ClockGrant, ClockReportReq, ClockWaitReq,
+    ConsistencyMode, ASYNC_CACHE_TTL,
+};
 pub use master::{PsConfig, PsFleet, PsMaster};
 pub use plan::{MatrixId, PartitionPlan, Partitioning, PlanKind, RouteTable};
 pub use protocol::{AggKind, ElemOp, InitKind, ZipArgmaxFn, ZipMapFn, ZipMutFn, ZipSegs};

@@ -37,6 +37,8 @@ pub(crate) mod tags {
     pub const ENVELOPE: u32 = 35;
     pub const STORE_PUT: u32 = 40;
     pub const STORE_GET: u32 = 41;
+    // 60..=61 are the consistency clock service (REPORT/WAIT); see
+    // `crate::consistency::clock_tags`.
 
     /// Stable op name for metric keys and breakdown tables.
     pub fn name(tag: u32) -> &'static str {

@@ -92,7 +92,8 @@ pub struct WatchdogConfig {
     pub skew_min_total: u64,
     /// Consecutive flat active windows before a stall fires.
     pub stall_windows: usize,
-    /// Loss-delta epsilon in micros (gauge `ml.loss_micro`).
+    /// Loss-delta epsilon in micros, applied independently to each loss
+    /// gauge (`ml.loss_micro` and the per-mode `ml.loss_micro.<mode>`).
     pub stall_eps_micro: i64,
 }
 
@@ -145,15 +146,15 @@ impl Watchdog {
         let mut alerts = Vec::new();
         let mut queue_prev: Vec<u64> = Vec::new();
         let mut queue_streak: Vec<usize> = Vec::new();
-        let mut stall_streak = 0usize;
-        let mut prev_loss: Option<i64> = None;
+        let mut stall_state: std::collections::BTreeMap<String, (usize, Option<i64>)> =
+            std::collections::BTreeMap::new();
 
         for w in &ts.windows {
             self.straggler(w, report, &mut alerts);
             self.queue_growth(w, report, &mut queue_prev, &mut queue_streak, &mut alerts);
             self.hot_row(w, &mut alerts);
             self.server_skew(w, &served_keys, &mut alerts);
-            self.stall(w, &mut stall_streak, &mut prev_loss, &mut alerts);
+            self.stall(w, &mut stall_state, &mut alerts);
         }
         alerts
     }
@@ -322,38 +323,46 @@ impl Watchdog {
     fn stall(
         &self,
         w: &TsWindow,
-        streak: &mut usize,
-        prev_loss: &mut Option<i64>,
+        state: &mut std::collections::BTreeMap<String, (usize, Option<i64>)>,
         alerts: &mut Vec<Alert>,
     ) {
         // Only windows in which training actually iterated count; idle or
-        // setup windows neither advance nor reset the streak.
+        // setup windows neither advance nor reset the streaks.
         if w.counter("ml.iterations") == 0 {
             return;
         }
-        let Some(loss) = w.gauge("ml.loss_micro") else {
-            return;
-        };
-        if let Some(pl) = *prev_loss {
-            let delta = (loss - pl).abs();
-            if delta <= self.cfg.stall_eps_micro {
-                *streak += 1;
-                if *streak >= self.cfg.stall_windows {
+        // One independent (streak, previous-loss) track per loss gauge: the
+        // classic dataflow path publishes `ml.loss_micro`, the consistency
+        // modes publish `ml.loss_micro.<mode>` (e.g. `ml.loss_micro.ssp2`),
+        // and concurrent runs of different modes must not mask each other's
+        // stalls. BTreeMap order keeps the alert list deterministic.
+        for (key, &loss) in w
+            .gauges
+            .iter()
+            .filter(|(k, _)| k.as_str() == "ml.loss_micro" || k.starts_with("ml.loss_micro."))
+        {
+            let (streak, prev_loss) = state.entry(key.clone()).or_insert((0, None));
+            if let Some(pl) = *prev_loss {
+                let delta = (loss - pl).abs();
+                if delta <= self.cfg.stall_eps_micro {
+                    *streak += 1;
+                    if *streak >= self.cfg.stall_windows {
+                        *streak = 0;
+                        alerts.push(Alert {
+                            kind: AlertKind::ConvergenceStall,
+                            at: SimTime(w.end_ns),
+                            window: w.index,
+                            proc: None,
+                            subject: key.clone(),
+                            value_milli: delta,
+                        });
+                    }
+                } else {
                     *streak = 0;
-                    alerts.push(Alert {
-                        kind: AlertKind::ConvergenceStall,
-                        at: SimTime(w.end_ns),
-                        window: w.index,
-                        proc: None,
-                        subject: "ml.loss_micro".to_string(),
-                        value_milli: delta,
-                    });
                 }
-            } else {
-                *streak = 0;
             }
+            *prev_loss = Some(loss);
         }
-        *prev_loss = Some(loss);
     }
 
     /// Inject `alerts` into `report.trace` as tagged `Mark` events (label =
@@ -559,6 +568,34 @@ mod tests {
         // window 4's big drop resets.
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].kind, AlertKind::ConvergenceStall);
+        assert_eq!(alerts[0].window, 3);
+    }
+
+    #[test]
+    fn stall_tracks_per_mode_loss_gauges_independently() {
+        let mut windows = Vec::new();
+        for (i, (ssp, bsp)) in [
+            (500_000i64, 900_000i64),
+            (499_990, 800_000),
+            (499_985, 700_000),
+            (499_980, 600_000),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut w = window(i as u64, (i as u64 + 1) * 1_000_000);
+            w.counters.insert("ml.iterations".to_string(), 4);
+            // The SSP run is flat, the concurrently-scraped BSP run is
+            // converging fast: only the SSP gauge may stall.
+            w.gauges.insert("ml.loss_micro.ssp2".to_string(), *ssp);
+            w.gauges.insert("ml.loss_micro.bsp".to_string(), *bsp);
+            windows.push(w);
+        }
+        let report = report_with(windows);
+        let alerts = Watchdog::default().evaluate(&report);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::ConvergenceStall);
+        assert_eq!(alerts[0].subject, "ml.loss_micro.ssp2");
         assert_eq!(alerts[0].window, 3);
     }
 

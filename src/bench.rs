@@ -18,10 +18,12 @@ use std::fmt::Write as _;
 use crate::data::presets;
 use crate::ml::lbfgs::{train_lbfgs, LbfgsConfig};
 use crate::ml::lr::{train_lr, LrBackend, LrConfig};
+use crate::ml::modes::{run_mode, ModeAlgo, ModeConfig};
 use crate::ml::optim::Optimizer;
 use crate::ml::svm::{train_svm, SvmConfig};
+use crate::ps::ConsistencyMode;
 use crate::tracefile::{parse_json, render_json_string, JsonValue};
-use crate::{run_ps2_with, ClusterSpec, SimBuilder};
+use crate::{run_ps2_with, ClusterSpec, SimBuilder, SimTime};
 
 /// One cell of the sweep grid: a dataset preset trained by one algorithm.
 #[derive(Clone, Debug)]
@@ -395,6 +397,357 @@ pub fn compare(base: &BenchReport, cand: &BenchReport, tolerance_milli: u64) -> 
     out
 }
 
+// ---- the consistency-mode sweep ---------------------------------------------
+
+/// One cell of the consistency-mode grid: preset × algorithm × mode. Unlike
+/// [`BenchCase`] this sweep measures *convergence vs. virtual time*, not
+/// makespan: every run carries its full loss curve.
+#[derive(Clone, Debug)]
+pub struct ModeCase {
+    /// Stable identifier, e.g. `kddb-lr-ssp2`.
+    pub name: String,
+    pub preset: String,
+    pub algorithm: String,
+    /// CLI spelling of the mode (`bsp`, `ssp:2`, `async`), parsed at run
+    /// time.
+    pub mode: String,
+    pub workers: usize,
+    pub servers: usize,
+    pub iters: u32,
+}
+
+/// Seeds for the mode sweep. Two, not three: each cell already runs 3 modes
+/// × 2 algorithms × 2 presets, and the runs are deterministic anyway — the
+/// seeds exist to keep one lucky dataset from hiding a regression.
+pub const MODE_SEEDS: &[u64] = &[1, 2];
+
+/// The grid CI sweeps: {kddb, kdd12} × {lr, svm} × {bsp, ssp:2, async}.
+pub fn mode_cases(workers: usize, servers: usize, iters: u32) -> Vec<ModeCase> {
+    let mut out = Vec::new();
+    for preset in ["kddb", "kdd12"] {
+        for algorithm in ["lr", "svm"] {
+            for mode in ["bsp", "ssp:2", "async"] {
+                let label = ConsistencyMode::parse(mode).expect("static mode").label();
+                out.push(ModeCase {
+                    name: format!("{preset}-{algorithm}-{label}"),
+                    preset: preset.to_string(),
+                    algorithm: algorithm.to_string(),
+                    mode: mode.to_string(),
+                    workers,
+                    servers,
+                    iters,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Measurements from a single seeded run of a mode case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModeRun {
+    pub seed: u64,
+    pub virtual_ns: u64,
+    /// Mean batch loss of the last iteration, in micros.
+    pub final_loss_micro: i64,
+    pub iterations: u64,
+    pub total_msgs: u64,
+    pub total_bytes: u64,
+    /// The convergence curve: `(virtual ns, mean batch loss in micros)`
+    /// per iteration, in iteration order.
+    pub curve: Vec<(u64, i64)>,
+}
+
+/// Run one mode case under one seed.
+pub fn run_mode_case(case: &ModeCase, seed: u64) -> Result<ModeRun, String> {
+    let gen = match case.preset.as_str() {
+        "kddb" => presets::kddb(case.workers, seed).gen,
+        "kdd12" => presets::kdd12(case.workers, seed).gen,
+        "ctr" => presets::ctr(case.workers, seed).gen,
+        other => return Err(format!("unknown bench preset '{other}'")),
+    };
+    let mode = ConsistencyMode::parse(&case.mode)?;
+    let algo = ModeAlgo::parse(&case.algorithm)?;
+    let mut cfg = ModeConfig::new(gen, case.workers, case.servers, mode);
+    cfg.iterations = case.iters;
+    cfg.learning_rate = 1.0;
+    cfg.seed = seed;
+    // A mild fixed straggler, so the three modes actually differ in pacing
+    // and the curves show the tradeoff the sweep exists to watch.
+    cfg.straggler_slowdown = SimTime::from_millis(20);
+    let (trace, report) = run_mode(&cfg, algo);
+    let curve: Vec<(u64, i64)> = trace
+        .points
+        .iter()
+        .map(|&(s, l)| ((s * 1e9).round() as u64, (l * 1e6).round() as i64))
+        .collect();
+    Ok(ModeRun {
+        seed,
+        virtual_ns: report.virtual_time.as_nanos(),
+        final_loss_micro: curve.last().map(|&(_, l)| l).unwrap_or(0),
+        iterations: report.metrics.counter("ml.iterations"),
+        total_msgs: report.total_msgs,
+        total_bytes: report.total_bytes,
+        curve,
+    })
+}
+
+/// A mode case plus its per-seed runs and cross-seed aggregates.
+#[derive(Clone, Debug)]
+pub struct ModeCaseSummary {
+    pub case: ModeCase,
+    pub runs: Vec<ModeRun>,
+    pub virtual_ns: Stat,
+    /// Aggregated after clamping at zero — log/hinge losses are never
+    /// negative, and `Stat` is unsigned.
+    pub final_loss_micro: Stat,
+    pub total_msgs: Stat,
+    pub total_bytes: Stat,
+}
+
+impl ModeCaseSummary {
+    fn of(case: ModeCase, runs: Vec<ModeRun>) -> ModeCaseSummary {
+        let pick = |f: fn(&ModeRun) -> u64| Stat::of(runs.iter().map(f).collect());
+        ModeCaseSummary {
+            virtual_ns: pick(|r| r.virtual_ns),
+            final_loss_micro: pick(|r| r.final_loss_micro.max(0) as u64),
+            total_msgs: pick(|r| r.total_msgs),
+            total_bytes: pick(|r| r.total_bytes),
+            case,
+            runs,
+        }
+    }
+}
+
+/// A full mode-sweep result — what `BENCH_pr6.json` holds.
+#[derive(Clone, Debug, Default)]
+pub struct ModeBenchReport {
+    pub cases: Vec<ModeCaseSummary>,
+}
+
+/// Run every mode case under every seed.
+pub fn mode_sweep(cases: &[ModeCase], seeds: &[u64]) -> Result<ModeBenchReport, String> {
+    let mut out = ModeBenchReport::default();
+    for case in cases {
+        let mut runs = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            runs.push(run_mode_case(case, seed)?);
+        }
+        out.cases.push(ModeCaseSummary::of(case.clone(), runs));
+    }
+    Ok(out)
+}
+
+impl ModeBenchReport {
+    /// Serialize deterministically: cases in sweep order, integers only,
+    /// curves as `[ns, loss_micro]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"ps2-bench-modes-v1\",\n  \"cases\": [");
+        for (i, c) in self.cases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n      \"name\": ");
+            render_json_string(&c.case.name, &mut out);
+            out.push_str(", \"preset\": ");
+            render_json_string(&c.case.preset, &mut out);
+            out.push_str(", \"algorithm\": ");
+            render_json_string(&c.case.algorithm, &mut out);
+            out.push_str(", \"mode\": ");
+            render_json_string(&c.case.mode, &mut out);
+            let _ = write!(
+                out,
+                ",\n      \"workers\": {}, \"servers\": {}, \"iters\": {},\n      \"runs\": [",
+                c.case.workers, c.case.servers, c.case.iters
+            );
+            for (j, r) in c.runs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n        {{\"seed\": {}, \"virtual_ns\": {}, \"final_loss_micro\": {}, \
+                     \"iterations\": {}, \"total_msgs\": {}, \"total_bytes\": {},\n         \
+                     \"curve\": [",
+                    r.seed,
+                    r.virtual_ns,
+                    r.final_loss_micro,
+                    r.iterations,
+                    r.total_msgs,
+                    r.total_bytes
+                );
+                for (k, &(ns, loss)) in r.curve.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "[{ns}, {loss}]");
+                }
+                out.push_str("]}");
+            }
+            out.push_str("\n      ],\n      \"summary\": {");
+            let stat = |out: &mut String, name: &str, s: Stat, last: bool| {
+                let _ = write!(
+                    out,
+                    "\n        \"{name}\": {{\"min\": {}, \"median\": {}, \"max\": {}}}{}",
+                    s.min,
+                    s.median,
+                    s.max,
+                    if last { "" } else { "," }
+                );
+            };
+            stat(&mut out, "virtual_ns", c.virtual_ns, false);
+            stat(&mut out, "final_loss_micro", c.final_loss_micro, false);
+            stat(&mut out, "total_msgs", c.total_msgs, false);
+            stat(&mut out, "total_bytes", c.total_bytes, true);
+            out.push_str("\n      }\n    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parse a report written by [`ModeBenchReport::to_json`].
+    pub fn from_json(text: &str) -> Result<ModeBenchReport, String> {
+        let doc = parse_json(text).map_err(|e| e.to_string())?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some("ps2-bench-modes-v1") => {}
+            other => return Err(format!("unsupported mode-bench schema {other:?}")),
+        }
+        let u64_field = |obj: &JsonValue, key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("mode bench report: missing/invalid \"{key}\""))
+        };
+        let str_field = |obj: &JsonValue, key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("mode bench report: missing/invalid \"{key}\""))
+        };
+        let mut out = ModeBenchReport::default();
+        for c in doc
+            .get("cases")
+            .and_then(JsonValue::as_arr)
+            .ok_or("mode bench report: missing \"cases\"")?
+        {
+            let case = ModeCase {
+                name: str_field(c, "name")?,
+                preset: str_field(c, "preset")?,
+                algorithm: str_field(c, "algorithm")?,
+                mode: str_field(c, "mode")?,
+                workers: u64_field(c, "workers")? as usize,
+                servers: u64_field(c, "servers")? as usize,
+                iters: u64_field(c, "iters")? as u32,
+            };
+            let runs = c
+                .get("runs")
+                .and_then(JsonValue::as_arr)
+                .ok_or("mode bench report: case missing \"runs\"")?
+                .iter()
+                .map(|r| {
+                    let curve = r
+                        .get("curve")
+                        .and_then(JsonValue::as_arr)
+                        .ok_or("mode bench report: run missing \"curve\"")?
+                        .iter()
+                        .map(|p| {
+                            let pair = p
+                                .as_arr()
+                                .filter(|a| a.len() == 2)
+                                .ok_or("mode bench report: curve point is not a pair")?;
+                            Ok((
+                                pair[0]
+                                    .as_u64()
+                                    .ok_or("mode bench report: bad curve time")?,
+                                pair[1]
+                                    .as_i64()
+                                    .ok_or("mode bench report: bad curve loss")?,
+                            ))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?;
+                    Ok(ModeRun {
+                        seed: u64_field(r, "seed")?,
+                        virtual_ns: u64_field(r, "virtual_ns")?,
+                        final_loss_micro: r
+                            .get("final_loss_micro")
+                            .and_then(JsonValue::as_i64)
+                            .ok_or("mode bench report: missing \"final_loss_micro\"")?,
+                        iterations: u64_field(r, "iterations")?,
+                        total_msgs: u64_field(r, "total_msgs")?,
+                        total_bytes: u64_field(r, "total_bytes")?,
+                        curve,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            if runs.is_empty() {
+                return Err(format!("mode bench report: case {} has no runs", case.name));
+            }
+            // Aggregates are recomputed, not trusted.
+            out.cases.push(ModeCaseSummary::of(case, runs));
+        }
+        Ok(out)
+    }
+
+    /// Human-readable sweep table: per case, the median makespan and final
+    /// loss — the convergence-vs-virtual-time tradeoff at a glance.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let secs = |ns: u64| ns as f64 / 1e9;
+        out.push_str("case                 virtual median [min..max]   final loss       msgs\n");
+        for c in &self.cases {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>9.4}s [{:.4}..{:.4}] {:>12} {:>10}",
+                c.case.name,
+                secs(c.virtual_ns.median),
+                secs(c.virtual_ns.min),
+                secs(c.virtual_ns.max),
+                c.final_loss_micro.median,
+                c.total_msgs.median
+            );
+        }
+        out
+    }
+}
+
+/// The mode-sweep regression gate: like [`compare`], plus a convergence
+/// check — a candidate whose median *final loss* grew beyond tolerance is a
+/// regression even if it got faster, because trading convergence for speed
+/// is exactly the failure mode a staleness bug produces.
+pub fn compare_modes(
+    base: &ModeBenchReport,
+    cand: &ModeBenchReport,
+    tolerance_milli: u64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for b in &base.cases {
+        let Some(c) = cand.cases.iter().find(|c| c.case.name == b.case.name) else {
+            out.push(format!("mode case {} missing from candidate", b.case.name));
+            continue;
+        };
+        let mut check = |metric: &str, a: Stat, v: Stat| {
+            if exceeds(a.median, v.median, tolerance_milli) {
+                let pct = if a.median == 0 {
+                    f64::INFINITY
+                } else {
+                    100.0 * (v.median as f64 - a.median as f64) / a.median as f64
+                };
+                out.push(format!(
+                    "{} {metric}: median {} -> {} (+{pct:.1}%, tolerance {:.1}%)",
+                    b.case.name,
+                    a.median,
+                    v.median,
+                    tolerance_milli as f64 / 10.0
+                ));
+            }
+        };
+        check("virtual_ns", b.virtual_ns, c.virtual_ns);
+        check("final_loss_micro", b.final_loss_micro, c.final_loss_micro);
+        check("total_msgs", b.total_msgs, c.total_msgs);
+        check("total_bytes", b.total_bytes, c.total_bytes);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -491,5 +844,84 @@ mod tests {
     fn from_json_rejects_wrong_schema() {
         assert!(BenchReport::from_json(r#"{"schema": "nope", "cases": []}"#).is_err());
         assert!(BenchReport::from_json("[]").is_err());
+    }
+
+    fn mode_summary(name: &str, mode: &str, virtual_ns: u64, loss: i64) -> ModeCaseSummary {
+        let case = ModeCase {
+            name: name.to_string(),
+            preset: "kddb".to_string(),
+            algorithm: "lr".to_string(),
+            mode: mode.to_string(),
+            workers: 4,
+            servers: 3,
+            iters: 6,
+        };
+        let runs = vec![ModeRun {
+            seed: 1,
+            virtual_ns,
+            final_loss_micro: loss,
+            iterations: 24,
+            total_msgs: 200,
+            total_bytes: 4_000,
+            curve: vec![(virtual_ns / 2, loss * 2), (virtual_ns, loss)],
+        }];
+        ModeCaseSummary::of(case, runs)
+    }
+
+    #[test]
+    fn mode_grid_covers_presets_algorithms_and_modes() {
+        let cases = mode_cases(4, 3, 6);
+        assert_eq!(cases.len(), 12);
+        let names: Vec<&str> = cases.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"kddb-lr-bsp"));
+        assert!(names.contains(&"kddb-svm-ssp2"));
+        assert!(names.contains(&"kdd12-svm-async"));
+        // Every spelled mode parses.
+        for c in &cases {
+            ConsistencyMode::parse(&c.mode).unwrap();
+        }
+    }
+
+    #[test]
+    fn mode_json_round_trip_preserves_curves() {
+        let report = ModeBenchReport {
+            cases: vec![
+                mode_summary("kddb-lr-bsp", "bsp", 1_000_000, 650_000),
+                mode_summary("kddb-lr-ssp2", "ssp:2", 700_000, 655_000),
+            ],
+        };
+        let parsed = ModeBenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.cases.len(), 2);
+        for (a, b) in report.cases.iter().zip(&parsed.cases) {
+            assert_eq!(a.case.name, b.case.name);
+            assert_eq!(a.case.mode, b.case.mode);
+            assert_eq!(a.runs, b.runs);
+            assert_eq!(a.virtual_ns, b.virtual_ns);
+            assert_eq!(a.final_loss_micro, b.final_loss_micro);
+        }
+        assert_eq!(report.to_json(), parsed.to_json());
+    }
+
+    #[test]
+    fn mode_gate_flags_convergence_regressions() {
+        let base = ModeBenchReport {
+            cases: vec![mode_summary("kddb-lr-async", "async", 1_000_000, 600_000)],
+        };
+        // Faster but converging visibly worse: still a violation.
+        let worse_loss = ModeBenchReport {
+            cases: vec![mode_summary("kddb-lr-async", "async", 800_000, 700_000)],
+        };
+        let v = compare_modes(&base, &worse_loss, 50);
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert!(v[0].contains("final_loss_micro"), "got: {}", v[0]);
+        // Within tolerance on every axis: clean.
+        let ok = ModeBenchReport {
+            cases: vec![mode_summary("kddb-lr-async", "async", 1_020_000, 610_000)],
+        };
+        assert!(compare_modes(&base, &ok, 50).is_empty());
+        // Missing case: coverage must not shrink.
+        let v = compare_modes(&base, &ModeBenchReport::default(), 50);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing"));
     }
 }

@@ -14,6 +14,13 @@
 //! ps2-bench --gate <BASE> [--tolerance FRAC] [--out PATH] [flags as sweep]
 //!     sweep fresh, compare against the committed baseline, exit 1 on
 //!     regression — the CI entry point
+//!
+//! ps2-bench modes [--out PATH] [--seeds a,b] [--workers N] [--servers N]
+//!                 [--iters N] [--gate BASE] [--tolerance FRAC]
+//!     run the consistency-mode grid ({kddb,kdd12} × {lr,svm} ×
+//!     {bsp,ssp:2,async}) emitting convergence-vs-virtual-time curves
+//!     (this is how BENCH_pr6.json is generated); with --gate, compare
+//!     against the committed baseline and exit 1 on regression
 //! ```
 //!
 //! All numbers are virtual-time integers from the simulator, so reports are
@@ -22,7 +29,10 @@
 
 use std::process::exit;
 
-use ps2::bench::{compare, small_cases, sweep, BenchReport, DEFAULT_SEEDS};
+use ps2::bench::{
+    compare, compare_modes, mode_cases, mode_sweep, small_cases, sweep, BenchReport,
+    ModeBenchReport, DEFAULT_SEEDS, MODE_SEEDS,
+};
 
 fn die(msg: &str) -> ! {
     eprintln!("ps2-bench: {msg}");
@@ -33,7 +43,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: ps2-bench sweep [--out PATH] [--seeds a,b,c] [--workers N] [--servers N] [--iters N]\n\
         \x20      ps2-bench diff <BASE> <CAND> [--tolerance FRAC] [--gate]\n\
-        \x20      ps2-bench --gate <BASE> [--tolerance FRAC] [--out PATH] [sweep flags]"
+        \x20      ps2-bench --gate <BASE> [--tolerance FRAC] [--out PATH] [sweep flags]\n\
+        \x20      ps2-bench modes [--out PATH] [--seeds a,b] [--workers N] [--servers N] [--iters N] [--gate BASE] [--tolerance FRAC]"
     );
     exit(2)
 }
@@ -49,9 +60,18 @@ impl Flags {
                 die(&format!("unexpected argument '{}'", argv[i]));
             };
             if name == "gate" {
-                // Bare flag in diff mode.
-                out.push((name.to_string(), String::new()));
-                i += 1;
+                // Bare flag in diff mode; carries a baseline path in modes
+                // mode. Disambiguate by whether the next token is a flag.
+                match argv.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    Some(v) => {
+                        out.push((name.to_string(), v.clone()));
+                        i += 2;
+                    }
+                    None => {
+                        out.push((name.to_string(), String::new()));
+                        i += 1;
+                    }
+                }
                 continue;
             }
             let value = argv
@@ -174,6 +194,58 @@ fn main() {
                     eprintln!("REGRESSION {v}");
                 }
                 if flags.get("gate").is_some() {
+                    exit(1);
+                }
+            }
+        }
+        "modes" => {
+            let flags = Flags::parse(rest);
+            let workers = flags.get_num("workers", 4usize);
+            let servers = flags.get_num("servers", 3usize);
+            let iters = flags.get_num("iters", 6u32);
+            let seeds: Vec<u64> = match flags.get("seeds") {
+                None => MODE_SEEDS.to_vec(),
+                Some(list) => list
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| die(&format!("bad seed '{s}' in --seeds")))
+                    })
+                    .collect(),
+            };
+            if seeds.is_empty() {
+                die("--seeds needs at least one seed");
+            }
+            let cases = mode_cases(workers, servers, iters);
+            eprintln!(
+                "sweeping {} mode cases x {} seeds ({} workers, {} servers, {} iters)...",
+                cases.len(),
+                seeds.len(),
+                workers,
+                servers,
+                iters
+            );
+            let cand = mode_sweep(&cases, &seeds).unwrap_or_else(|e| die(&e));
+            print!("{}", cand.render());
+            if let Some(path) = flags.get("out") {
+                std::fs::write(path, cand.to_json())
+                    .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                println!("report written to {path}");
+            }
+            if let Some(base_path) = flags.get("gate").filter(|p| !p.is_empty()) {
+                let text = std::fs::read_to_string(base_path)
+                    .unwrap_or_else(|e| die(&format!("cannot read {base_path}: {e}")));
+                let base = ModeBenchReport::from_json(&text)
+                    .unwrap_or_else(|e| die(&format!("{base_path}: {e}")));
+                let tol = tolerance_milli(&flags);
+                let violations = compare_modes(&base, &cand, tol);
+                if violations.is_empty() {
+                    println!("mode gate passed ({:.1}% tolerance)", tol as f64 / 10.0);
+                } else {
+                    for v in &violations {
+                        eprintln!("REGRESSION {v}");
+                    }
                     exit(1);
                 }
             }

@@ -14,6 +14,9 @@
 //!                      glint | mllib-star      (default ps2)
 //!   --preset NAME      named dataset preset: kddb|kdd12|ctr|gender (sparse),
 //!                      pubmed|app (lda), graph1|graph2 (deepwalk)
+//!   --mode NAME        consistency mode for lr/svm: bsp | ssp:<s> | async
+//!                      (mode-gated Spark-free loop instead of the dataflow
+//!                      backend; see also --mini-batch, --straggler-ms)
 //!   --csv PATH         also write the (seconds, loss) trace as CSV
 //!   --metrics-json PATH  write the flight-recorder run report as JSON and
 //!                        print the per-op breakdown table
@@ -57,9 +60,11 @@ use ps2::ml::hyper::{DeepWalkHyper, GbdtHyper, LdaHyper};
 use ps2::ml::lbfgs::{train_lbfgs, LbfgsConfig};
 use ps2::ml::lda::{train_lda, LdaBackend, LdaConfig};
 use ps2::ml::lr::{train_lr, train_lr_mllib_star, LrBackend, LrConfig};
+use ps2::ml::modes::{run_mode_with, ModeAlgo, ModeConfig};
 use ps2::ml::optim::Optimizer;
 use ps2::ml::svm::{train_svm, SvmConfig};
 use ps2::ml::TrainingTrace;
+use ps2::ps::ConsistencyMode;
 use ps2::simnet::{export_trace_with, CausalAnalysis, SimTime, Watchdog};
 use ps2::{run_ps2_with, ClusterSpec, RunReport, SimBuilder};
 use ps2_data::{presets, CorpusGen, GraphGen, RandomWalks, SparseDatasetGen};
@@ -124,6 +129,11 @@ common flags:
                            lr/svm/lbfgs/fm: kddb|kdd12|ctr|gender
                            lda:             pubmed|app
                            deepwalk:        graph1|graph2
+  --mode NAME            consistency mode for lr/svm: bsp|ssp:<s>|async;
+                         runs the Spark-free mode-gated worker loop instead
+                         of the dataflow backend
+  --mini-batch N         mode-path mini-batch rows per worker (default 64)
+  --straggler-ms N       mode-path straggler slowdown for worker 0 (default 0)
 
 outputs:
   --csv PATH             write the (seconds, loss) trace as CSV
@@ -207,183 +217,202 @@ fn main() {
     };
 
     let workers = spec.workers;
-    let (trace, mut report) = match workload.as_str() {
-        "lr" => {
-            let optimizer = match args.get_str("optimizer", "sgd").as_str() {
-                "sgd" => Optimizer::Sgd,
-                "adam" => Optimizer::Adam {
-                    beta1: 0.9,
-                    beta2: 0.999,
-                    epsilon: 1e-8,
-                },
-                "adagrad" => Optimizer::Adagrad { epsilon: 1e-8 },
-                "rmsprop" => Optimizer::RmsProp {
-                    decay: 0.9,
-                    epsilon: 1e-8,
-                },
-                "ftrl" => Optimizer::Ftrl {
-                    alpha: 0.3,
-                    beta: 1.0,
-                    l1: 1e-3,
-                    l2: 1e-4,
-                },
-                other => die(&format!("unknown optimizer '{other}'")),
-            };
-            let lr_backend = match backend.as_str() {
-                "ps2" => Some(LrBackend::Ps2Dcv),
-                "ps" => Some(LrBackend::PsPullPush),
-                "spark" => Some(LrBackend::SparkDriver),
-                "petuum" => Some(LrBackend::PetuumStyle),
-                "distml" => Some(LrBackend::DistmlStyle),
-                "mllib-star" => None,
-                other => die(&format!("unknown LR backend '{other}'")),
-            };
-            let gen = sparse_gen(workers);
-            let lrate: f64 = args.get("lr", 1.0f64);
-            let fraction: f64 = args.get("fraction", 0.01f64);
-            run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
-                let mut cfg = LrConfig::new(gen, optimizer, iters);
-                cfg.hyper.learning_rate = lrate;
-                cfg.hyper.mini_batch_fraction = fraction;
-                match lr_backend {
-                    Some(b) => train_lr(ctx, ps2, &cfg, b),
-                    None => train_lr_mllib_star(ctx, ps2, &cfg),
-                }
-            })
-        }
-        "deepwalk" => {
-            let dw_backend = match backend.as_str() {
-                "ps2" => DeepWalkBackend::Ps2Dcv,
-                "ps" => DeepWalkBackend::PsPullPush,
-                other => die(&format!("unknown DeepWalk backend '{other}'")),
-            };
-            let (graph_gen, walks_n, walk_len) = match preset.as_deref() {
-                None => (
-                    GraphGen {
-                        vertices: args.get("vertices", 2_000u32),
-                        edges_per_vertex: 4,
+    // The consistency-mode path bypasses the dataflow engine entirely: a
+    // Spark-free pull → gradient → push topology gated by the chosen mode
+    // (BSP barrier, SSP staleness bound, or free-running async).
+    let (trace, mut report) = if let Some(spelling) = args.flags.get("mode").cloned() {
+        let mode = ConsistencyMode::parse(&spelling).unwrap_or_else(|e| die(&e));
+        let algo = match workload.as_str() {
+            "lr" => ModeAlgo::Lr,
+            "svm" => ModeAlgo::Svm,
+            other => die(&format!("--mode supports lr|svm, not '{other}'")),
+        };
+        let mut cfg = ModeConfig::new(sparse_gen(workers), spec.workers, spec.servers, mode);
+        cfg.iterations = iters as u32;
+        cfg.learning_rate = args.get("lr", 1.0f64);
+        cfg.mini_batch = args.get("mini-batch", 64usize);
+        cfg.straggler_slowdown = SimTime::from_millis(args.get("straggler-ms", 0u64));
+        cfg.seed = seed;
+        run_mode_with(mk_builder(), &cfg, algo)
+    } else {
+        match workload.as_str() {
+            "lr" => {
+                let optimizer = match args.get_str("optimizer", "sgd").as_str() {
+                    "sgd" => Optimizer::Sgd,
+                    "adam" => Optimizer::Adam {
+                        beta1: 0.9,
+                        beta2: 0.999,
+                        epsilon: 1e-8,
+                    },
+                    "adagrad" => Optimizer::Adagrad { epsilon: 1e-8 },
+                    "rmsprop" => Optimizer::RmsProp {
+                        decay: 0.9,
+                        epsilon: 1e-8,
+                    },
+                    "ftrl" => Optimizer::Ftrl {
+                        alpha: 0.3,
+                        beta: 1.0,
+                        l1: 1e-3,
+                        l2: 1e-4,
+                    },
+                    other => die(&format!("unknown optimizer '{other}'")),
+                };
+                let lr_backend = match backend.as_str() {
+                    "ps2" => Some(LrBackend::Ps2Dcv),
+                    "ps" => Some(LrBackend::PsPullPush),
+                    "spark" => Some(LrBackend::SparkDriver),
+                    "petuum" => Some(LrBackend::PetuumStyle),
+                    "distml" => Some(LrBackend::DistmlStyle),
+                    "mllib-star" => None,
+                    other => die(&format!("unknown LR backend '{other}'")),
+                };
+                let gen = sparse_gen(workers);
+                let lrate: f64 = args.get("lr", 1.0f64);
+                let fraction: f64 = args.get("fraction", 0.01f64);
+                run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
+                    let mut cfg = LrConfig::new(gen, optimizer, iters);
+                    cfg.hyper.learning_rate = lrate;
+                    cfg.hyper.mini_batch_fraction = fraction;
+                    match lr_backend {
+                        Some(b) => train_lr(ctx, ps2, &cfg, b),
+                        None => train_lr_mllib_star(ctx, ps2, &cfg),
+                    }
+                })
+            }
+            "deepwalk" => {
+                let dw_backend = match backend.as_str() {
+                    "ps2" => DeepWalkBackend::Ps2Dcv,
+                    "ps" => DeepWalkBackend::PsPullPush,
+                    other => die(&format!("unknown DeepWalk backend '{other}'")),
+                };
+                let (graph_gen, walks_n, walk_len) = match preset.as_deref() {
+                    None => (
+                        GraphGen {
+                            vertices: args.get("vertices", 2_000u32),
+                            edges_per_vertex: 4,
+                            seed,
+                        },
+                        args.get("walks", 4_000usize),
+                        8usize,
+                    ),
+                    Some("graph1") => {
+                        let p = presets::graph1(seed);
+                        (p.gen, p.num_walks, p.walk_len)
+                    }
+                    Some("graph2") => {
+                        let p = presets::graph2(seed);
+                        (p.gen, p.num_walks, p.walk_len)
+                    }
+                    Some(other) => die(&format!(
+                        "unknown graph preset '{other}' (want graph1|graph2)"
+                    )),
+                };
+                let dim: u64 = args.get("embedding-dim", 100u64);
+                run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
+                    let g = graph_gen.generate();
+                    let walks = RandomWalks::sample(&g, walks_n, walk_len, seed ^ 1);
+                    let cfg = DeepWalkConfig {
+                        vertices: graph_gen.vertices,
+                        hyper: DeepWalkHyper {
+                            embedding_dim: dim,
+                            ..DeepWalkHyper::default()
+                        },
+                        batch_per_worker: 128,
+                        iterations: iters,
                         seed,
-                    },
-                    args.get("walks", 4_000usize),
-                    8usize,
-                ),
-                Some("graph1") => {
-                    let p = presets::graph1(seed);
-                    (p.gen, p.num_walks, p.walk_len)
-                }
-                Some("graph2") => {
-                    let p = presets::graph2(seed);
-                    (p.gen, p.num_walks, p.walk_len)
-                }
-                Some(other) => die(&format!(
-                    "unknown graph preset '{other}' (want graph1|graph2)"
-                )),
-            };
-            let dim: u64 = args.get("embedding-dim", 100u64);
-            run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
-                let g = graph_gen.generate();
-                let walks = RandomWalks::sample(&g, walks_n, walk_len, seed ^ 1);
-                let cfg = DeepWalkConfig {
-                    vertices: graph_gen.vertices,
-                    hyper: DeepWalkHyper {
-                        embedding_dim: dim,
-                        ..DeepWalkHyper::default()
-                    },
-                    batch_per_worker: 128,
-                    iterations: iters,
-                    seed,
+                    };
+                    train_deepwalk(ctx, ps2, &cfg, &walks, dw_backend)
+                })
+            }
+            "gbdt" => {
+                let gb_backend = match backend.as_str() {
+                    "ps2" => GbdtBackend::Ps2Dcv,
+                    "xgboost" => GbdtBackend::XgboostStyle,
+                    other => die(&format!("unknown GBDT backend '{other}'")),
                 };
-                train_deepwalk(ctx, ps2, &cfg, &walks, dw_backend)
-            })
-        }
-        "gbdt" => {
-            let gb_backend = match backend.as_str() {
-                "ps2" => GbdtBackend::Ps2Dcv,
-                "xgboost" => GbdtBackend::XgboostStyle,
-                other => die(&format!("unknown GBDT backend '{other}'")),
-            };
-            let gen = SparseDatasetGen::new(
-                args.get("rows", 10_000u64),
-                args.get("dim", 500u64),
-                args.get("nnz", 20u32),
-                workers,
-                seed,
-            )
-            .continuous();
-            let hyper = GbdtHyper {
-                num_trees: args.get("trees", 10usize),
-                max_depth: args.get("depth", 5usize),
-                histogram_bins: args.get("bins", 50usize),
-                ..GbdtHyper::default()
-            };
-            run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
-                let cfg = GbdtConfig {
-                    dataset: gen,
-                    hyper,
-                };
-                train_gbdt(ctx, ps2, &cfg, gb_backend).0
-            })
-        }
-        "lda" => {
-            let lda_backend = match backend.as_str() {
-                "ps2" => LdaBackend::Ps2Dcv,
-                "petuum" => LdaBackend::PetuumStyle,
-                "glint" => LdaBackend::GlintStyle,
-                "spark" => LdaBackend::SparkDriver,
-                other => die(&format!("unknown LDA backend '{other}'")),
-            };
-            let corpus = match preset.as_deref() {
-                None => CorpusGen::new(
-                    args.get("docs", 4_000u64),
-                    args.get("vocab", 8_000u32),
-                    16,
-                    60,
+                let gen = SparseDatasetGen::new(
+                    args.get("rows", 10_000u64),
+                    args.get("dim", 500u64),
+                    args.get("nnz", 20u32),
                     workers,
                     seed,
-                ),
-                Some("pubmed") => presets::pubmed(workers, seed).gen,
-                Some("app") => presets::app(workers, seed).gen,
-                Some(other) => die(&format!(
-                    "unknown corpus preset '{other}' (want pubmed|app)"
-                )),
-            };
-            let topics: u32 = args.get("topics", 50u32);
-            run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
-                let cfg = LdaConfig {
-                    corpus,
-                    hyper: LdaHyper {
-                        topics,
-                        ..LdaHyper::default()
-                    },
-                    iterations: iters,
+                )
+                .continuous();
+                let hyper = GbdtHyper {
+                    num_trees: args.get("trees", 10usize),
+                    max_depth: args.get("depth", 5usize),
+                    histogram_bins: args.get("bins", 50usize),
+                    ..GbdtHyper::default()
                 };
-                train_lda(ctx, ps2, &cfg, lda_backend)
-            })
+                run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
+                    let cfg = GbdtConfig {
+                        dataset: gen,
+                        hyper,
+                    };
+                    train_gbdt(ctx, ps2, &cfg, gb_backend).0
+                })
+            }
+            "lda" => {
+                let lda_backend = match backend.as_str() {
+                    "ps2" => LdaBackend::Ps2Dcv,
+                    "petuum" => LdaBackend::PetuumStyle,
+                    "glint" => LdaBackend::GlintStyle,
+                    "spark" => LdaBackend::SparkDriver,
+                    other => die(&format!("unknown LDA backend '{other}'")),
+                };
+                let corpus = match preset.as_deref() {
+                    None => CorpusGen::new(
+                        args.get("docs", 4_000u64),
+                        args.get("vocab", 8_000u32),
+                        16,
+                        60,
+                        workers,
+                        seed,
+                    ),
+                    Some("pubmed") => presets::pubmed(workers, seed).gen,
+                    Some("app") => presets::app(workers, seed).gen,
+                    Some(other) => die(&format!(
+                        "unknown corpus preset '{other}' (want pubmed|app)"
+                    )),
+                };
+                let topics: u32 = args.get("topics", 50u32);
+                run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
+                    let cfg = LdaConfig {
+                        corpus,
+                        hyper: LdaHyper {
+                            topics,
+                            ..LdaHyper::default()
+                        },
+                        iterations: iters,
+                    };
+                    train_lda(ctx, ps2, &cfg, lda_backend)
+                })
+            }
+            "svm" => {
+                let gen = sparse_gen(workers);
+                run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
+                    let mut cfg = SvmConfig::new(gen, iters);
+                    cfg.learning_rate = 1.0;
+                    train_svm(ctx, ps2, &cfg)
+                })
+            }
+            "lbfgs" => {
+                let gen = sparse_gen(workers);
+                run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
+                    train_lbfgs(ctx, ps2, &LbfgsConfig::new(gen, iters))
+                })
+            }
+            "fm" => {
+                let gen = sparse_gen(workers);
+                let factors: u32 = args.get("factors", 8u32);
+                run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
+                    let mut cfg = FmConfig::new(gen, factors, iters);
+                    cfg.learning_rate = 1.0;
+                    train_fm(ctx, ps2, &cfg)
+                })
+            }
+            other => die(&format!("unknown workload '{other}'")),
         }
-        "svm" => {
-            let gen = sparse_gen(workers);
-            run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
-                let mut cfg = SvmConfig::new(gen, iters);
-                cfg.learning_rate = 1.0;
-                train_svm(ctx, ps2, &cfg)
-            })
-        }
-        "lbfgs" => {
-            let gen = sparse_gen(workers);
-            run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
-                train_lbfgs(ctx, ps2, &LbfgsConfig::new(gen, iters))
-            })
-        }
-        "fm" => {
-            let gen = sparse_gen(workers);
-            let factors: u32 = args.get("factors", 8u32);
-            run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
-                let mut cfg = FmConfig::new(gen, factors, iters);
-                cfg.learning_rate = 1.0;
-                train_fm(ctx, ps2, &cfg)
-            })
-        }
-        other => die(&format!("unknown workload '{other}'")),
     };
 
     // The watchdog is a pure pass over the windowed series; alerts land in
@@ -409,9 +438,11 @@ fn main() {
     if let Some(path) = args.flags.get("csv") {
         let mut f = std::fs::File::create(path)
             .unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
-        writeln!(f, "iteration,seconds,loss").unwrap();
+        writeln!(f, "iteration,seconds,loss")
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         for (i, (s, l)) in trace.points.iter().enumerate() {
-            writeln!(f, "{i},{s:.6},{l:.6}").unwrap();
+            writeln!(f, "{i},{s:.6},{l:.6}")
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         }
         println!("trace written to {path}");
     }
