@@ -5,6 +5,7 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 
 use ps2_simnet::fabric::{Dispatcher, FabricPolicy};
+use ps2_simnet::hostprof::{self, Scope as ProfScope};
 use ps2_simnet::{LivenessProbe, ProcId, SimCtx, SimTime, WireSize};
 
 use crate::broadcast::{Broadcast, BroadcastValue};
@@ -273,7 +274,10 @@ impl SparkContext {
         ctx: &mut SimCtx,
         value: T,
     ) -> Broadcast<T> {
-        let bytes = value.wire_size();
+        let bytes = {
+            let _prof = hostprof::scope(ProfScope::CodecEncode);
+            value.wire_size()
+        };
         self.broadcast(ctx, value, bytes)
     }
 
@@ -482,7 +486,10 @@ impl SparkContext {
                 ctx,
                 rdd,
                 |data, _w| data.to_vec(),
-                |r: &Vec<T>| r.wire_size(),
+                |r: &Vec<T>| {
+                    let _prof = hostprof::scope(ProfScope::CodecEncode);
+                    r.wire_size()
+                },
             )
             .expect("collect failed");
         parts.into_iter().flatten().collect()
@@ -514,7 +521,10 @@ impl SparkContext {
         R: Send + WireSize + 'static,
     {
         let parts = self
-            .run_job(ctx, rdd, map, |r: &R| r.wire_size())
+            .run_job(ctx, rdd, map, |r: &R| {
+                let _prof = hostprof::scope(ProfScope::CodecEncode);
+                r.wire_size()
+            })
             .expect("reduce failed");
         parts.into_iter().reduce(combine)
     }

@@ -15,6 +15,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use ps2_simnet::fabric::{self, FabricPolicy, StaticRoutes};
+use ps2_simnet::hostprof::{self, Scope as ProfScope};
 use ps2_simnet::{ProcId, SimCtx, SimRuntime, SimTime, WireSize};
 
 use crate::executor::WorkCtx;
@@ -160,15 +161,18 @@ impl SparkContext {
                 for (k, v) in local {
                     buckets[hash_key(&k, n_reduce)].push((k, v));
                 }
-                let bucket_bytes: Vec<u64> = buckets
-                    .iter()
-                    .map(|b| {
-                        8 + b
-                            .iter()
-                            .map(|(k, v)| k.wire_size() + v.wire_size())
-                            .sum::<u64>()
-                    })
-                    .collect();
+                let bucket_bytes: Vec<u64> = {
+                    let _prof = hostprof::scope(ProfScope::CodecEncode);
+                    buckets
+                        .iter()
+                        .map(|b| {
+                            8 + b
+                                .iter()
+                                .map(|(k, v)| k.wire_size() + v.wire_size())
+                                .sum::<u64>()
+                        })
+                        .collect()
+                };
                 let total: u64 = bucket_bytes.iter().sum();
                 let erased: Vec<Arc<dyn Any + Send + Sync>> = buckets
                     .into_iter()

@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::SimConfig;
+use crate::hostprof::{self, Scope as ProfScope};
 use crate::message::{Envelope, WireSize};
 use crate::runtime::{MatchSpec, ProcId, Shared};
 use crate::time::SimTime;
@@ -91,7 +92,10 @@ impl SimCtx {
 
     /// Send a one-way message whose wire size is computed from the payload.
     pub fn send_t<P: Any + Send + WireSize>(&mut self, dst: ProcId, tag: u32, payload: P) {
-        let bytes = payload.wire_size();
+        let bytes = {
+            let _prof = hostprof::scope(ProfScope::CodecEncode);
+            payload.wire_size()
+        };
         self.send(dst, tag, payload, bytes);
     }
 
@@ -140,7 +144,10 @@ impl SimCtx {
         Req: Any + Send + WireSize,
         Resp: 'static,
     {
-        let bytes = req.wire_size();
+        let bytes = {
+            let _prof = hostprof::scope(ProfScope::CodecEncode);
+            req.wire_size()
+        };
         self.call(dst, tag, req, bytes).downcast::<Resp>()
     }
 
@@ -297,7 +304,10 @@ impl SimCtx {
 
     /// Typed reply with automatic wire sizing.
     pub fn reply_t<P: Any + Send + WireSize>(&mut self, request: &Envelope, payload: P) {
-        let bytes = payload.wire_size();
+        let bytes = {
+            let _prof = hostprof::scope(ProfScope::CodecEncode);
+            payload.wire_size()
+        };
         self.reply(request, payload, bytes);
     }
 

@@ -34,6 +34,7 @@ use std::any::Any;
 use std::collections::HashMap;
 
 use crate::ctx::SimCtx;
+use crate::hostprof::{self, Scope as ProfScope};
 use crate::message::Envelope;
 use crate::runtime::ProcId;
 use crate::time::SimTime;
@@ -100,6 +101,11 @@ pub fn call_slots<P: Any + Send + Clone>(
     reqs: Vec<(usize, P, u64)>,
     items: u64,
 ) -> Vec<Envelope> {
+    // Covers the whole scatter/gather pipeline; sends, receives, metric
+    // updates, and parked time all attribute to nested scopes, so this
+    // scope's self time is the fabric's own bookkeeping (payload clones,
+    // reply ordering, retry state).
+    let _prof = hostprof::scope(ProfScope::FabricCall);
     let scope = policy.scope;
     let span_start = ctx.now();
     let mut span_bytes = 0u64;
@@ -127,19 +133,23 @@ pub fn call_slots<P: Any + Send + Clone>(
         }
         // Resend exactly the identical payload: receivers dedup retried
         // mutations by op-id, which only works if attempt k+1 is
-        // byte-for-byte attempt k.
-        let batch: Vec<(ProcId, u32, Box<dyn Any + Send>, u64)> = outstanding
-            .iter()
-            .map(|&i| {
-                let (slot, payload, bytes) = &reqs[i];
-                (
-                    router.resolve(*slot),
-                    tag,
-                    Box::new(payload.clone()) as Box<dyn Any + Send>,
-                    *bytes,
-                )
-            })
-            .collect();
+        // byte-for-byte attempt k. Cloning the payload into its envelope is
+        // this simulator's stand-in for serialization, hence the codec scope.
+        let batch: Vec<(ProcId, u32, Box<dyn Any + Send>, u64)> = {
+            let _prof = hostprof::scope(ProfScope::CodecEncode);
+            outstanding
+                .iter()
+                .map(|&i| {
+                    let (slot, payload, bytes) = &reqs[i];
+                    (
+                        router.resolve(*slot),
+                        tag,
+                        Box::new(payload.clone()) as Box<dyn Any + Send>,
+                        *bytes,
+                    )
+                })
+                .collect()
+        };
         reqs_issued += batch.len() as u64;
         span_bytes += batch.iter().map(|(_, _, _, b)| *b).sum::<u64>();
         ctx.metric_add(&format!("{scope}.envelopes"), batch.len() as u64);
@@ -247,6 +257,7 @@ impl Dispatcher {
         item: usize,
         slot: usize,
     ) {
+        let _prof = hostprof::scope(ProfScope::FabricCall);
         ctx.metric_add(&format!("{}.envelopes", self.policy.scope), 1);
         let corr = ctx.send_request(dst, tag, payload, bytes);
         self.pending.insert(
@@ -271,6 +282,7 @@ impl Dispatcher {
     /// the deadline passed with nothing arriving — time for the caller to
     /// probe liveness.
     pub fn await_any(&mut self, ctx: &mut SimCtx) -> Option<(Pending, Envelope)> {
+        let _prof = hostprof::scope(ProfScope::FabricCall);
         let corrs: Vec<u64> = self.pending.keys().copied().collect();
         let deadline = ctx.now() + self.policy.attempt_timeout;
         match ctx.recv_reply(&corrs, Some(deadline)) {

@@ -55,6 +55,7 @@ pub mod causal;
 mod config;
 mod ctx;
 pub mod fabric;
+pub mod hostprof;
 mod message;
 pub mod metrics;
 pub mod perfetto;
@@ -69,6 +70,7 @@ pub use causal::{CausalAnalysis, CausalError, PathCategory, PathSegment, ProcSum
 pub use config::{ComputeConfig, NetConfig, SimConfig};
 pub use ctx::SimCtx;
 pub use fabric::{FabricPolicy, SlotRouter, StaticRoutes};
+pub use hostprof::{HostProfile, ScopeStat};
 pub use message::{Envelope, WireSize};
 pub use metrics::{MetricsSnapshot, OpRow, RunReport, VtHistogram};
 pub use perfetto::{export_trace, export_trace_with};
@@ -78,3 +80,10 @@ pub use runtime::{OutputSlot, ProcId, SimBuilder, SimError, SimRuntime};
 pub use time::SimTime;
 pub use timeseries::{HistDelta, ProcSample, TimeSeries, TsWindow, DEFAULT_CAPACITY};
 pub use watchdog::{alerts_json, Alert, AlertKind, Watchdog, WatchdogConfig};
+
+/// The counting allocator is installed unconditionally (it is a single
+/// relaxed atomic load in front of `System` until
+/// [`hostprof::set_alloc_counting`] turns counting on), so every binary that
+/// links simnet can attribute allocation pressure without a rebuild.
+#[global_allocator]
+static GLOBAL_ALLOC: hostprof::CountingAlloc = hostprof::CountingAlloc;

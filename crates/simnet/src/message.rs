@@ -2,6 +2,7 @@
 
 use std::any::Any;
 
+use crate::hostprof::{self, Scope as ProfScope};
 use crate::runtime::ProcId;
 use crate::time::SimTime;
 
@@ -43,6 +44,7 @@ impl Envelope {
 
     /// Borrow the payload as `T`, panicking with a diagnostic on mismatch.
     pub fn downcast_ref<T: 'static>(&self) -> &T {
+        let _prof = hostprof::scope(ProfScope::CodecDecode);
         self.payload.downcast_ref::<T>().unwrap_or_else(|| {
             panic!(
                 "envelope tag {} from {:?}: payload is not a {}",
@@ -55,6 +57,7 @@ impl Envelope {
 
     /// Take the payload as `T`, panicking with a diagnostic on mismatch.
     pub fn downcast<T: 'static>(self) -> T {
+        let _prof = hostprof::scope(ProfScope::CodecDecode);
         match self.payload.downcast::<T>() {
             Ok(b) => *b,
             Err(_) => panic!(

@@ -261,6 +261,9 @@ const DROP_TAG_PREFIX: &str = "net.dropped.tag.";
 #[derive(Clone, Debug)]
 pub struct RunReport {
     pub virtual_time: SimTime,
+    /// Real time the simulation took to execute on the host. The one
+    /// wall-clock value in the report — everything else is virtual.
+    pub wall: std::time::Duration,
     pub total_msgs: u64,
     pub total_bytes: u64,
     pub dropped_msgs: u64,
@@ -325,6 +328,7 @@ impl RunReport {
 
         RunReport {
             virtual_time: report.virtual_time,
+            wall: report.wall_time,
             total_msgs: report.total_msgs,
             total_bytes: report.total_bytes,
             dropped_msgs: report.dropped_msgs,
@@ -401,8 +405,9 @@ impl RunReport {
 
     /// Serialize to JSON. Hand-rolled (the workspace is dependency-free);
     /// integer-only fields and `BTreeMap` ordering make the output
-    /// byte-identical across same-seed runs. Wall-clock values are
-    /// deliberately absent.
+    /// byte-identical across same-seed runs — except `wall_ms`, the one
+    /// deliberate wall-clock field (host speed, machine-readable for the
+    /// hostprof tooling). Byte-level comparisons must strip `wall_ms` first.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
         let _ = writeln!(
@@ -410,6 +415,7 @@ impl RunReport {
             "  \"virtual_time_ns\": {},",
             self.virtual_time.as_nanos()
         );
+        let _ = writeln!(s, "  \"wall_ms\": {:.3},", self.wall.as_secs_f64() * 1e3);
         let _ = writeln!(s, "  \"total_msgs\": {},", self.total_msgs);
         let _ = writeln!(s, "  \"total_bytes\": {},", self.total_bytes);
         let _ = writeln!(s, "  \"dropped_msgs\": {},", self.dropped_msgs);

@@ -41,6 +41,7 @@ pub fn export_trace_with(
     analysis: Option<&CausalAnalysis>,
     alerts: &[Alert],
 ) -> String {
+    let _prof = crate::hostprof::scope(crate::hostprof::Scope::TraceExport);
     let mut s = String::new();
     s.push_str("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
     let mut first = true;

@@ -148,6 +148,11 @@ pub struct SimReport {
     /// Windowed metric time-series (None unless enabled via
     /// [`crate::SimBuilder::timeseries`]).
     pub timeseries: Option<crate::timeseries::TimeSeries>,
+    /// Host-side self-profile: real wall-clock and allocation cost of the
+    /// simulator itself, attributed to subsystem scopes (None unless
+    /// [`crate::hostprof::set_enabled`] was on). Host data only — nothing in
+    /// here affects, or is derived from, the virtual clock.
+    pub host: Option<crate::hostprof::HostProfile>,
 }
 
 impl SimReport {

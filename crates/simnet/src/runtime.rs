@@ -18,6 +18,7 @@ use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::config::SimConfig;
 use crate::ctx::SimCtx;
+use crate::hostprof::{self, Scope as ProfScope};
 use crate::message::Envelope;
 use crate::metrics::MetricsSnapshot;
 use crate::report::{ProcStats, SimReport};
@@ -182,6 +183,7 @@ impl State {
         if !ts.due(t) {
             return;
         }
+        let _prof = hostprof::scope(ProfScope::ScrapeRoll);
         let procs: Vec<(u64, u64)> = self
             .procs
             .iter()
@@ -248,6 +250,11 @@ impl Shared {
 
     /// Park until it is `me`'s turn (or shutdown/kill unwinds us).
     fn wait_for_turn(&self, st: &mut MutexGuard<'_, State>, me: usize) {
+        // Parked wall time is the time *other* procs spend running; giving
+        // it a dedicated hostprof scope keeps it out of every enclosing
+        // scope's self time (the guard also records during Interrupt
+        // unwinds, so killed procs account their final park).
+        let _prof = hostprof::scope(ProfScope::SchedPark);
         loop {
             if st.shutdown || st.procs[me].killed {
                 panic::panic_any(Interrupt);
@@ -262,19 +269,22 @@ impl Shared {
     /// After any operation that may have advanced `me`'s clock: hand off to
     /// the globally minimal-clock ready process (possibly still `me`).
     fn reschedule(&self, st: &mut MutexGuard<'_, State>, me: usize) {
-        let next = match pick(st) {
-            Some(n) => n,
-            None => {
-                // `me` is running, hence ready — pick can only fail if we
-                // just blocked, which this path never does.
-                unreachable!("reschedule with no ready process")
+        {
+            let _prof = hostprof::scope(ProfScope::SchedDispatch);
+            let next = match pick(st) {
+                Some(n) => n,
+                None => {
+                    // `me` is running, hence ready — pick can only fail if we
+                    // just blocked, which this path never does.
+                    unreachable!("reschedule with no ready process")
+                }
+            };
+            if next == me {
+                return;
             }
-        };
-        if next == me {
-            return;
+            st.running = Some(next);
+            self.cv.notify_all();
         }
-        st.running = Some(next);
-        self.cv.notify_all();
         self.wait_for_turn(st, me);
     }
 
@@ -331,6 +341,7 @@ impl Shared {
         payload: Box<dyn Any + Send>,
         bytes: u64,
     ) {
+        let _prof = hostprof::scope(ProfScope::SchedSend);
         let mut st = self.state.lock();
         self.interrupt_check(&st, me);
         let pre = st.procs[me].clock;
@@ -420,6 +431,7 @@ impl Shared {
         spec: MatchSpec,
         deadline: Option<SimTime>,
     ) -> Option<Envelope> {
+        let _prof = hostprof::scope(ProfScope::SchedRecv);
         let mut st = self.state.lock();
         loop {
             self.interrupt_check(&st, me);
@@ -506,6 +518,7 @@ impl Shared {
     // so an instrumented run is timing-identical to an uninstrumented one.
 
     pub(crate) fn metric_add(&self, me: usize, name: &str, delta: u64) {
+        let _prof = hostprof::scope(ProfScope::MetricsRecord);
         let mut st = self.state.lock();
         let t = st.procs[me].clock;
         st.ts_roll(t);
@@ -513,6 +526,7 @@ impl Shared {
     }
 
     pub(crate) fn metric_gauge_set(&self, me: usize, name: &str, value: i64) {
+        let _prof = hostprof::scope(ProfScope::MetricsRecord);
         let mut st = self.state.lock();
         let t = st.procs[me].clock;
         st.ts_roll(t);
@@ -520,6 +534,7 @@ impl Shared {
     }
 
     pub(crate) fn metric_observe(&self, me: usize, name: &str, dt: SimTime) {
+        let _prof = hostprof::scope(ProfScope::MetricsRecord);
         let mut st = self.state.lock();
         let t = st.procs[me].clock;
         st.ts_roll(t);
@@ -847,6 +862,12 @@ impl SimRuntime {
     /// Run the simulation to completion.
     pub fn run(self) -> Result<SimReport, SimError> {
         let wall_start = Instant::now();
+        let profiling = hostprof::enabled();
+        if profiling {
+            // Drop leftovers from earlier runs (e.g. a previous run's
+            // post-run export scopes) so this report is self-contained.
+            hostprof::reset();
+        }
         {
             let mut st = self.shared.state.lock();
             match pick(&st) {
@@ -901,11 +922,26 @@ impl SimRuntime {
                 .collect();
             ts.finish(virtual_time, &st.metrics, &procs)
         });
-        let mut trace = st.trace.clone();
-        trace.sort_by_key(|e| e.at());
+        let trace = {
+            let _prof = hostprof::scope(ProfScope::TraceExport);
+            // The state is being discarded, so take the trace instead of
+            // cloning it — the clone was a whole-trace copy on every run.
+            let mut trace = std::mem::take(&mut st.trace);
+            trace.sort_by_key(|e| e.at());
+            trace
+        };
+        let wall_time = wall_start.elapsed();
+        let host = if profiling {
+            // Sim-proc threads merged their totals on exit (TLS drop); fold
+            // in this thread's share before draining the global table.
+            hostprof::flush_thread();
+            Some(hostprof::take_profile(wall_time.as_nanos() as u64))
+        } else {
+            None
+        };
         Ok(SimReport {
             virtual_time,
-            wall_time: wall_start.elapsed(),
+            wall_time,
             total_msgs: st.total_msgs,
             total_bytes: st.total_bytes,
             dropped_msgs: st.dropped_msgs,
@@ -915,6 +951,7 @@ impl SimRuntime {
             labels: st.labels.clone(),
             net: self.shared.cfg.net.clone(),
             timeseries,
+            host,
         })
     }
 }

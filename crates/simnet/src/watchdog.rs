@@ -456,6 +456,7 @@ mod tests {
                 windows,
                 dropped_windows: 0,
             }),
+            host: None,
         }
     }
 

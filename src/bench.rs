@@ -22,6 +22,7 @@ use crate::ml::modes::{run_mode, ModeAlgo, ModeConfig};
 use crate::ml::optim::Optimizer;
 use crate::ml::svm::{train_svm, SvmConfig};
 use crate::ps::ConsistencyMode;
+use crate::simnet::hostprof::{self, HostProfile};
 use crate::tracefile::{parse_json, render_json_string, JsonValue};
 use crate::{run_ps2_with, ClusterSpec, SimBuilder, SimTime};
 
@@ -80,6 +81,20 @@ pub struct CaseRun {
 
 /// Run one case under one seed and split its phases.
 pub fn run_case(case: &BenchCase, seed: u64) -> Result<CaseRun, String> {
+    run_case_profiled(case, seed, false).map(|(run, _)| run)
+}
+
+/// [`run_case`] with an optional host-profile capture. With `host` true the
+/// builder also enables windowed telemetry (proven non-perturbing) so the
+/// `scrape.roll` scope is represented, and the run's [`HostProfile`] is
+/// returned alongside the virtual measurements. The caller owns the global
+/// [`hostprof::set_enabled`] switch (see [`sweep_with_host`]); the *virtual*
+/// numbers are identical either way — that is the profiler's contract.
+pub fn run_case_profiled(
+    case: &BenchCase,
+    seed: u64,
+    host: bool,
+) -> Result<(CaseRun, Option<HostProfile>), String> {
     let spec = ClusterSpec {
         workers: case.workers,
         servers: case.servers,
@@ -94,6 +109,16 @@ pub fn run_case(case: &BenchCase, seed: u64) -> Result<CaseRun, String> {
         other => return Err(format!("unknown bench preset '{other}'")),
     };
     let builder = SimBuilder::new().seed(seed);
+    // Profiled runs also scrape 1 ms telemetry windows, so the `scrape.roll`
+    // scope is represented in the host sidecar. Scraping is non-yielding
+    // (proven by the timeseries determinism tests), so the virtual-time
+    // numbers stay identical to the unprofiled sweep's. The cases finish in
+    // a few virtual ms, hence the small window.
+    let builder = if host {
+        builder.timeseries(SimTime::from_millis(1))
+    } else {
+        builder
+    };
     let (_, report) = match case.algorithm.as_str() {
         "lr" => run_ps2_with(builder, spec, move |ctx, ps2| {
             train_lr(
@@ -122,15 +147,18 @@ pub fn run_case(case: &BenchCase, seed: u64) -> Result<CaseRun, String> {
         .hist("ml.iteration")
         .map(|h| h.sum_ns())
         .unwrap_or(0);
-    Ok(CaseRun {
-        seed,
-        virtual_ns,
-        setup_ns: virtual_ns.saturating_sub(train_ns),
-        train_ns,
-        iterations: report.metrics.counter("ml.iterations"),
-        total_msgs: report.total_msgs,
-        total_bytes: report.total_bytes,
-    })
+    Ok((
+        CaseRun {
+            seed,
+            virtual_ns,
+            setup_ns: virtual_ns.saturating_sub(train_ns),
+            train_ns,
+            iterations: report.metrics.counter("ml.iterations"),
+            total_msgs: report.total_msgs,
+            total_bytes: report.total_bytes,
+        },
+        report.host,
+    ))
 }
 
 /// min/median/max of one measurement across seeds.
@@ -748,6 +776,328 @@ pub fn compare_modes(
     out
 }
 
+// ---- the host-side (wall-clock) sidecar -------------------------------------
+//
+// Everything above is virtual-time and byte-identical across hosts; this
+// section is the deliberate exception. `sweep_with_host` runs the same
+// cases with the hostprof timers (and counting allocator) on and collects
+// real wall-seconds plus the per-scope cost table into a *sidecar* report
+// (`HOST_pr7.json`) — sidecar, because wall time is host noise and must
+// never contaminate the byte-compared BENCH files. Its gate
+// (`compare_host`) is correspondingly soft: median wall only, generous
+// multiplicative tolerance.
+
+/// One scope row of a host report. Mirrors [`hostprof::ScopeStat`] but owns
+/// its name, since parsed sidecar files outlive the static name table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostScopeRow {
+    pub scope: String,
+    pub calls: u64,
+    pub total_ns: u64,
+    pub self_ns: u64,
+    pub allocs: u64,
+    pub alloc_bytes: u64,
+}
+
+/// Per-case host cost: wall stats across seeds, scope table summed across
+/// seeds (sorted by `self_ns` descending, name as tiebreak).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HostCase {
+    pub name: String,
+    pub wall_ns: Stat,
+    pub scopes: Vec<HostScopeRow>,
+}
+
+impl HostCase {
+    /// Aggregate one case's per-seed profiles.
+    pub fn of(name: String, profiles: &[HostProfile]) -> HostCase {
+        assert!(!profiles.is_empty(), "HostCase::of needs at least one run");
+        let wall_ns = Stat::of(profiles.iter().map(|p| p.wall_ns).collect());
+        let mut scopes: Vec<HostScopeRow> = Vec::new();
+        for p in profiles {
+            for s in &p.scopes {
+                match scopes.iter_mut().find(|r| r.scope == s.name) {
+                    Some(r) => {
+                        r.calls += s.calls;
+                        r.total_ns += s.total_ns;
+                        r.self_ns += s.self_ns;
+                        r.allocs += s.allocs;
+                        r.alloc_bytes += s.alloc_bytes;
+                    }
+                    None => scopes.push(HostScopeRow {
+                        scope: s.name.to_string(),
+                        calls: s.calls,
+                        total_ns: s.total_ns,
+                        self_ns: s.self_ns,
+                        allocs: s.allocs,
+                        alloc_bytes: s.alloc_bytes,
+                    }),
+                }
+            }
+        }
+        scopes.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.scope.cmp(&b.scope)));
+        HostCase {
+            name,
+            wall_ns,
+            scopes,
+        }
+    }
+
+    /// Median wall time in seconds — the headline number per case.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_ns.median as f64 / 1e9
+    }
+}
+
+/// A host-cost sidecar report — what `HOST_pr7.json` holds.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HostReport {
+    /// Whether the counting allocator was on (alloc columns meaningful).
+    pub alloc_counted: bool,
+    pub cases: Vec<HostCase>,
+}
+
+/// How many scope rows the sidecar keeps per case. There are only
+/// [`crate::simnet::hostprof::SCOPE_COUNT`] scopes today, so nothing is
+/// dropped; the cap documents intent for a future richer taxonomy.
+pub const HOST_TOP_N: usize = 16;
+
+/// [`sweep`], but with the host profiler (timers + counting allocator) on:
+/// returns the usual virtual-time report **plus** the host sidecar. The
+/// virtual report is byte-identical to an unprofiled sweep's — CI compares
+/// exactly that.
+pub fn sweep_with_host(
+    cases: &[BenchCase],
+    seeds: &[u64],
+) -> Result<(BenchReport, HostReport), String> {
+    hostprof::set_enabled(true);
+    hostprof::set_alloc_counting(true);
+    let result = (|| {
+        let mut bench = BenchReport::default();
+        let mut host = HostReport {
+            alloc_counted: true,
+            cases: Vec::new(),
+        };
+        for case in cases {
+            let mut runs = Vec::with_capacity(seeds.len());
+            let mut profiles = Vec::with_capacity(seeds.len());
+            for &seed in seeds {
+                let (run, profile) = run_case_profiled(case, seed, true)?;
+                runs.push(run);
+                profiles.push(profile.ok_or_else(|| {
+                    format!(
+                        "case {} seed {seed}: profiled run returned no host profile",
+                        case.name
+                    )
+                })?);
+            }
+            bench.cases.push(CaseSummary::of(case.clone(), runs));
+            let mut hc = HostCase::of(case.name.clone(), &profiles);
+            hc.scopes.truncate(HOST_TOP_N);
+            host.cases.push(hc);
+        }
+        Ok((bench, host))
+    })();
+    hostprof::set_alloc_counting(false);
+    hostprof::set_enabled(false);
+    result
+}
+
+impl HostReport {
+    /// Wrap a single run's profile as a one-case report, so `ps2-run
+    /// --host-prof-json` output and the bench sidecar share one schema (and
+    /// one `ps2-trace host` reader).
+    pub fn single(name: &str, profile: &HostProfile) -> HostReport {
+        HostReport {
+            alloc_counted: profile.alloc_counted,
+            cases: vec![HostCase::of(
+                name.to_string(),
+                std::slice::from_ref(profile),
+            )],
+        }
+    }
+
+    /// Serialize. Deterministic *given the measurements* (fixed key order,
+    /// fixed float formatting) — but the measurements are wall-clock, so
+    /// two runs produce different bytes. Never byte-compare HOST files;
+    /// that is what [`compare_host`]'s tolerance is for.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"ps2-hostprof-v1\",\n");
+        let _ = write!(
+            out,
+            "  \"alloc_counted\": {},\n  \"cases\": [",
+            self.alloc_counted
+        );
+        for (i, c) in self.cases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n      \"name\": ");
+            render_json_string(&c.name, &mut out);
+            let _ = write!(
+                out,
+                ",\n      \"wall_seconds\": {:.6},\n      \"wall_ns\": {{\"min\": {}, \"median\": {}, \"max\": {}}},\n      \"scopes\": [",
+                c.wall_seconds(),
+                c.wall_ns.min,
+                c.wall_ns.median,
+                c.wall_ns.max
+            );
+            for (j, s) in c.scopes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        {\"scope\": ");
+                render_json_string(&s.scope, &mut out);
+                let _ = write!(
+                    out,
+                    ", \"calls\": {}, \"total_ns\": {}, \"self_ns\": {}, \"allocs\": {}, \"alloc_bytes\": {}}}",
+                    s.calls, s.total_ns, s.self_ns, s.allocs, s.alloc_bytes
+                );
+            }
+            out.push_str("\n      ]\n    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parse a report written by [`HostReport::to_json`]. `wall_seconds` is
+    /// derived from the median on render, so it is not read back.
+    pub fn from_json(text: &str) -> Result<HostReport, String> {
+        let doc = parse_json(text).map_err(|e| e.to_string())?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some("ps2-hostprof-v1") => {}
+            other => return Err(format!("unsupported hostprof schema {other:?}")),
+        }
+        let u64_field = |obj: &JsonValue, key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("host report: missing/invalid \"{key}\""))
+        };
+        let mut out = HostReport {
+            alloc_counted: doc
+                .get("alloc_counted")
+                .and_then(JsonValue::as_bool)
+                .ok_or("host report: missing \"alloc_counted\"")?,
+            cases: Vec::new(),
+        };
+        for c in doc
+            .get("cases")
+            .and_then(JsonValue::as_arr)
+            .ok_or("host report: missing \"cases\"")?
+        {
+            let name = c
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("host report: case missing \"name\"")?
+                .to_string();
+            let wall = c
+                .get("wall_ns")
+                .ok_or("host report: case missing \"wall_ns\"")?;
+            let wall_ns = Stat {
+                min: u64_field(wall, "min")?,
+                median: u64_field(wall, "median")?,
+                max: u64_field(wall, "max")?,
+            };
+            let scopes = c
+                .get("scopes")
+                .and_then(JsonValue::as_arr)
+                .ok_or("host report: case missing \"scopes\"")?
+                .iter()
+                .map(|s| {
+                    Ok(HostScopeRow {
+                        scope: s
+                            .get("scope")
+                            .and_then(JsonValue::as_str)
+                            .ok_or("host report: scope row missing \"scope\"")?
+                            .to_string(),
+                        calls: u64_field(s, "calls")?,
+                        total_ns: u64_field(s, "total_ns")?,
+                        self_ns: u64_field(s, "self_ns")?,
+                        allocs: u64_field(s, "allocs")?,
+                        alloc_bytes: u64_field(s, "alloc_bytes")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            out.cases.push(HostCase {
+                name,
+                wall_ns,
+                scopes,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Human-readable report: per case, wall seconds and the top-cost
+    /// scope table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "host cost (wall-clock; alloc counting {})",
+            if self.alloc_counted { "on" } else { "off" }
+        );
+        for c in &self.cases {
+            let _ = writeln!(
+                out,
+                "{}: wall {:.3}s median [{:.3}..{:.3}]",
+                c.name,
+                c.wall_seconds(),
+                c.wall_ns.min as f64 / 1e9,
+                c.wall_ns.max as f64 / 1e9
+            );
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>10} {:>12} {:>12} {:>12} {:>14}",
+                "scope", "calls", "total_ms", "self_ms", "allocs", "alloc_bytes"
+            );
+            for s in &c.scopes {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>10} {:>12.3} {:>12.3} {:>12} {:>14}",
+                    s.scope,
+                    s.calls,
+                    s.total_ns as f64 / 1e6,
+                    s.self_ns as f64 / 1e6,
+                    s.allocs,
+                    s.alloc_bytes
+                );
+            }
+        }
+        out
+    }
+}
+
+/// The simulator-speed soft gate: flag a baseline case that is missing from
+/// the candidate, or whose median wall time grew beyond `tolerance_milli`
+/// parts-per-thousand (1000 = +100%, i.e. 2× — deliberately generous,
+/// because CI wall time is noisy). Scope rows are reported by [`HostReport::render`]
+/// but never gated: only the headline wall regression fails a build.
+pub fn compare_host(base: &HostReport, cand: &HostReport, tolerance_milli: u64) -> Vec<String> {
+    let mut out = Vec::new();
+    for b in &base.cases {
+        let Some(c) = cand.cases.iter().find(|c| c.name == b.name) else {
+            out.push(format!("host case {} missing from candidate", b.name));
+            continue;
+        };
+        if exceeds(b.wall_ns.median, c.wall_ns.median, tolerance_milli) {
+            let pct = if b.wall_ns.median == 0 {
+                f64::INFINITY
+            } else {
+                100.0 * (c.wall_ns.median as f64 - b.wall_ns.median as f64)
+                    / b.wall_ns.median as f64
+            };
+            out.push(format!(
+                "{} wall_ns: median {} -> {} (+{pct:.1}%, tolerance {:.1}%)",
+                b.name,
+                b.wall_ns.median,
+                c.wall_ns.median,
+                tolerance_milli as f64 / 10.0
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -921,6 +1271,141 @@ mod tests {
         assert!(compare_modes(&base, &ok, 50).is_empty());
         // Missing case: coverage must not shrink.
         let v = compare_modes(&base, &ModeBenchReport::default(), 50);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing"));
+    }
+
+    fn host_case(name: &str, wall_median: u64) -> HostCase {
+        HostCase {
+            name: name.to_string(),
+            wall_ns: Stat {
+                min: wall_median / 2,
+                median: wall_median,
+                max: wall_median * 2,
+            },
+            scopes: vec![
+                HostScopeRow {
+                    scope: "sched.dispatch".to_string(),
+                    calls: 100,
+                    total_ns: 9_000_000,
+                    self_ns: 4_000_000,
+                    allocs: 12,
+                    alloc_bytes: 4096,
+                },
+                HostScopeRow {
+                    scope: "codec.encode".to_string(),
+                    calls: 50,
+                    total_ns: 2_000_000,
+                    self_ns: 2_000_000,
+                    allocs: 0,
+                    alloc_bytes: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn host_json_round_trip_preserves_scope_tables() {
+        let report = HostReport {
+            alloc_counted: true,
+            cases: vec![
+                host_case("lr-sgd \"quoted\"", 42_000_000),
+                host_case("svm", 7),
+            ],
+        };
+        let text = report.to_json();
+        assert!(text.contains("\"schema\": \"ps2-hostprof-v1\""));
+        // wall_seconds is the derived headline: median/1e9 at 6 decimals.
+        assert!(text.contains("\"wall_seconds\": 0.042000"), "{text}");
+        let parsed = HostReport::from_json(&text).unwrap();
+        assert_eq!(parsed, report);
+        // Render → parse → render is a fixed point.
+        assert_eq!(parsed.to_json(), text);
+    }
+
+    #[test]
+    fn host_case_aggregates_profiles_across_seeds() {
+        use crate::simnet::ScopeStat;
+        let p1 = HostProfile {
+            wall_ns: 10,
+            alloc_counted: true,
+            scopes: vec![ScopeStat {
+                name: "codec.encode",
+                calls: 1,
+                total_ns: 5,
+                self_ns: 5,
+                allocs: 2,
+                alloc_bytes: 64,
+            }],
+        };
+        let p2 = HostProfile {
+            wall_ns: 30,
+            alloc_counted: true,
+            scopes: vec![
+                ScopeStat {
+                    name: "codec.encode",
+                    calls: 3,
+                    total_ns: 10,
+                    self_ns: 7,
+                    allocs: 1,
+                    alloc_bytes: 32,
+                },
+                ScopeStat {
+                    name: "sched.dispatch",
+                    calls: 9,
+                    total_ns: 100,
+                    self_ns: 90,
+                    allocs: 0,
+                    alloc_bytes: 0,
+                },
+            ],
+        };
+        let c = HostCase::of("x".to_string(), &[p1, p2]);
+        assert_eq!(
+            c.wall_ns,
+            Stat {
+                min: 10,
+                median: 20,
+                max: 30
+            }
+        );
+        // Rows summed by scope name, sorted by self_ns descending.
+        assert_eq!(c.scopes.len(), 2);
+        assert_eq!(c.scopes[0].scope, "sched.dispatch");
+        assert_eq!(c.scopes[1].scope, "codec.encode");
+        assert_eq!(c.scopes[1].calls, 4);
+        assert_eq!(c.scopes[1].total_ns, 15);
+        assert_eq!(c.scopes[1].self_ns, 12);
+        assert_eq!(c.scopes[1].allocs, 3);
+        assert_eq!(c.scopes[1].alloc_bytes, 96);
+    }
+
+    #[test]
+    fn host_gate_flags_wall_slowdowns_only() {
+        let base = HostReport {
+            alloc_counted: true,
+            cases: vec![host_case("lr", 100_000_000)],
+        };
+        // 2x wall at 300% tolerance (the CI default): fine.
+        let double = HostReport {
+            alloc_counted: true,
+            cases: vec![host_case("lr", 200_000_000)],
+        };
+        assert!(compare_host(&base, &double, 3000).is_empty());
+        // 5x wall: flagged.
+        let blowup = HostReport {
+            alloc_counted: true,
+            cases: vec![host_case("lr", 500_000_000)],
+        };
+        let v = compare_host(&base, &blowup, 3000);
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert!(v[0].contains("wall_ns"), "got: {}", v[0]);
+        // Scope-table drift alone never gates.
+        let mut shuffled = base.clone();
+        shuffled.cases[0].scopes[0].self_ns *= 100;
+        assert!(compare_host(&base, &shuffled, 3000).is_empty());
+        // Missing case: coverage must not shrink.
+        let v = compare_host(&base, &HostReport::default(), 3000);
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("missing"));
     }

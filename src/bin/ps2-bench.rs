@@ -2,10 +2,13 @@
 //! regressions against a committed baseline.
 //!
 //! ```text
-//! ps2-bench sweep [--out PATH] [--seeds a,b,c] [--workers N] [--servers N]
-//!                 [--iters N]
+//! ps2-bench sweep [--out PATH] [--host-out PATH] [--seeds a,b,c]
+//!                 [--workers N] [--servers N] [--iters N]
 //!     run the small case grid, print the summary table, optionally write
-//!     the JSON report (this is how BENCH_pr5.json is generated)
+//!     the JSON report (this is how BENCH_pr5.json is generated);
+//!     --host-out additionally runs with the host profiler on and writes a
+//!     wall-clock sidecar (this is how HOST_pr7.json is generated — the
+//!     virtual-time report stays byte-identical either way)
 //!
 //! ps2-bench diff <BASE> <CAND> [--tolerance FRAC] [--gate]
 //!     compare two report files; with --gate, exit 1 when any median
@@ -23,15 +26,17 @@
 //!     against the committed baseline and exit 1 on regression
 //! ```
 //!
-//! All numbers are virtual-time integers from the simulator, so reports are
-//! byte-identical across runs and hosts; the gate detects modeled-cost
-//! changes, never host noise.
+//! All numbers in the main reports are virtual-time integers from the
+//! simulator, so they are byte-identical across runs and hosts; the gate
+//! detects modeled-cost changes, never host noise. Wall-clock lives only in
+//! the `--host-out` sidecar, which gets its own soft gate (`ps2-trace host
+//! diff`) with a deliberately loose tolerance.
 
 use std::process::exit;
 
 use ps2::bench::{
-    compare, compare_modes, mode_cases, mode_sweep, small_cases, sweep, BenchReport,
-    ModeBenchReport, DEFAULT_SEEDS, MODE_SEEDS,
+    compare, compare_modes, mode_cases, mode_sweep, small_cases, sweep, sweep_with_host,
+    BenchReport, HostReport, ModeBenchReport, DEFAULT_SEEDS, MODE_SEEDS,
 };
 
 fn die(msg: &str) -> ! {
@@ -41,9 +46,9 @@ fn die(msg: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ps2-bench sweep [--out PATH] [--seeds a,b,c] [--workers N] [--servers N] [--iters N]\n\
+        "usage: ps2-bench sweep [--out PATH] [--host-out PATH] [--seeds a,b,c] [--workers N] [--servers N] [--iters N]\n\
         \x20      ps2-bench diff <BASE> <CAND> [--tolerance FRAC] [--gate]\n\
-        \x20      ps2-bench --gate <BASE> [--tolerance FRAC] [--out PATH] [sweep flags]\n\
+        \x20      ps2-bench --gate <BASE> [--tolerance FRAC] [--out PATH] [--host-out PATH] [sweep flags]\n\
         \x20      ps2-bench modes [--out PATH] [--seeds a,b] [--workers N] [--servers N] [--iters N] [--gate BASE] [--tolerance FRAC]"
     );
     exit(2)
@@ -115,7 +120,11 @@ fn load(path: &str) -> BenchReport {
     BenchReport::from_json(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
 }
 
-fn run_sweep(flags: &Flags) -> BenchReport {
+/// Run the small-case grid. When `--host-out` is present the sweep runs
+/// with the host profiler (and counting allocator) enabled and returns the
+/// wall-clock sidecar too — the virtual-time `BenchReport` is byte-identical
+/// either way, which CI verifies by `cmp`-ing it against the baseline.
+fn run_sweep(flags: &Flags) -> (BenchReport, Option<HostReport>) {
     let workers = flags.get_num("workers", 4usize);
     let servers = flags.get_num("servers", 4usize);
     let iters = flags.get_num("iters", 4usize);
@@ -142,7 +151,23 @@ fn run_sweep(flags: &Flags) -> BenchReport {
         servers,
         iters
     );
-    sweep(&cases, &seeds).unwrap_or_else(|e| die(&e))
+    if flags.get("host-out").is_some() {
+        let (report, host) = sweep_with_host(&cases, &seeds).unwrap_or_else(|e| die(&e));
+        (report, Some(host))
+    } else {
+        (sweep(&cases, &seeds).unwrap_or_else(|e| die(&e)), None)
+    }
+}
+
+/// Write and echo the `--host-out` sidecar, if one was collected.
+fn write_host_out(flags: &Flags, host: &Option<HostReport>) {
+    let (Some(path), Some(host)) = (flags.get("host-out"), host.as_ref()) else {
+        return;
+    };
+    std::fs::write(path, host.to_json())
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    print!("{}", host.render());
+    println!("host sidecar written to {path}");
 }
 
 fn gate(base: &BenchReport, cand: &BenchReport, tol_milli: u64) -> ! {
@@ -165,13 +190,14 @@ fn main() {
     match cmd.as_str() {
         "sweep" => {
             let flags = Flags::parse(rest);
-            let report = run_sweep(&flags);
+            let (report, host) = run_sweep(&flags);
             print!("{}", report.render());
             if let Some(path) = flags.get("out") {
                 std::fs::write(path, report.to_json())
                     .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
                 println!("report written to {path}");
             }
+            write_host_out(&flags, &host);
         }
         "diff" => {
             let Some((base_path, rest)) = rest.split_first() else {
@@ -256,13 +282,14 @@ fn main() {
             };
             let flags = Flags::parse(rest);
             let base = load(base_path);
-            let cand = run_sweep(&flags);
+            let (cand, host) = run_sweep(&flags);
             print!("{}", cand.render());
             if let Some(path) = flags.get("out") {
                 std::fs::write(path, cand.to_json())
                     .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
                 println!("fresh report written to {path}");
             }
+            write_host_out(&flags, &host);
             gate(&base, &cand, tolerance_milli(&flags));
         }
         _ => usage(),

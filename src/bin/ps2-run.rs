@@ -29,6 +29,13 @@
 //!                           virtual time and write the windowed series plus
 //!                           watchdog alerts; scraping never perturbs the run
 //!   --window-ms N      time-series window width in virtual ms (default 100)
+//!   --host-prof-json PATH  turn on the host-side self-profiler (wall-clock
+//!                          timers + counting allocator), print the per-scope
+//!                          cost table, and write it as a hostprof sidecar
+//!                          (readable with `ps2-trace host`); the simulated
+//!                          run itself is bit-identical with or without this
+//!                          flag. `PS2_HOSTPROF=1|time|alloc` enables the
+//!                          profiler without writing a file.
 //!
 //! dataset flags (lr/svm/lbfgs/fm):
 //!   --rows N --dim N --nnz N   (defaults 20000 / 100000 / 20)
@@ -53,6 +60,7 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::process::exit;
 
+use ps2::bench::HostReport;
 use ps2::ml::deepwalk::{train_deepwalk, DeepWalkBackend, DeepWalkConfig};
 use ps2::ml::fm::{train_fm, FmConfig};
 use ps2::ml::gbdt::{train_gbdt, GbdtBackend, GbdtConfig};
@@ -65,7 +73,7 @@ use ps2::ml::optim::Optimizer;
 use ps2::ml::svm::{train_svm, SvmConfig};
 use ps2::ml::TrainingTrace;
 use ps2::ps::ConsistencyMode;
-use ps2::simnet::{export_trace_with, CausalAnalysis, SimTime, Watchdog};
+use ps2::simnet::{export_trace_with, hostprof, CausalAnalysis, SimTime, Watchdog};
 use ps2::{run_ps2_with, ClusterSpec, RunReport, SimBuilder};
 use ps2_data::{presets, CorpusGen, GraphGen, RandomWalks, SparseDatasetGen};
 
@@ -147,6 +155,9 @@ outputs:
                          virtual time, run the skew/straggler watchdog over
                          the windows, and write the windowed series as JSON
   --window-ms N          time-series window width in virtual ms (default 100)
+  --host-prof-json PATH  profile the host cost (wall-clock + allocations) of
+                         running the simulator itself and write the sidecar
+                         (never changes the simulated run; see ps2-trace host)
 
 dataset shape flags (lr/svm/lbfgs/fm):
   --rows N --dim N --nnz N   (defaults 20000 / 100000 / 20)
@@ -172,6 +183,16 @@ fn main() {
         usage();
     };
     let args = Args::parse(rest);
+
+    // Host profiling must be armed before the sim is built so the run's
+    // reset/collect cycle sees it. The flag implies full profiling (timers +
+    // allocator); PS2_HOSTPROF alone can also arm it for ad-hoc use.
+    hostprof::init_from_env();
+    let host_path = args.flags.get("host-prof-json").cloned();
+    if host_path.is_some() {
+        hostprof::set_enabled(true);
+        hostprof::set_alloc_counting(true);
+    }
 
     let spec = ClusterSpec {
         workers: args.get("workers", 20usize),
@@ -428,10 +449,13 @@ fn main() {
     };
 
     print_trace(&trace);
+    // Wall time in fixed human units (ms, one decimal) — `{:?}` on a
+    // Duration flips between ns/µs/ms/s with the magnitude, which makes
+    // console output diff-unstable across hosts.
     println!(
-        "\ncluster time {}   wall {:?}   {} msgs   {:.1} MB",
+        "\ncluster time {}   wall {:.1} ms   {} msgs   {:.1} MB",
         report.virtual_time,
-        report.wall_time,
+        report.wall_time.as_secs_f64() * 1e3,
         report.total_msgs,
         report.total_bytes as f64 / 1e6
     );
@@ -487,6 +511,20 @@ fn main() {
                     (a.value_milli % 1000).unsigned_abs(),
                 );
             }
+        }
+    }
+    // Last, after every export above, so post-run work done on this thread
+    // (perfetto rendering, metrics serialization) is folded into the profile
+    // rather than lost between run-end and process exit.
+    if let Some(mut profile) = report.host.take() {
+        hostprof::flush_thread();
+        profile.merge(&hostprof::take_profile(0));
+        println!("\n{}", profile.render());
+        if let Some(path) = host_path {
+            let sidecar = HostReport::single(workload, &profile);
+            std::fs::write(&path, sidecar.to_json())
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            println!("host profile written to {path}  (inspect with: ps2-trace host {path})");
         }
     }
 }

@@ -10,14 +10,27 @@
 //!                            With --tolerance, exit 1 when the makespan or
 //!                            any category regressed by more than FRAC
 //!                            (e.g. 0.05 = 5%) — the CI gate mode.
+//! ps2-trace host <FILE>      print a hostprof sidecar (written by
+//!                            `ps2-bench sweep --host-out` or
+//!                            `ps2-run --host-prof-json`): wall seconds and
+//!                            the per-scope cost table per case
+//! ps2-trace host diff <BASE> <CAND> [--tolerance FRAC]
+//!                            compare two hostprof sidecars; exit 1 when any
+//!                            case's median wall time grew beyond FRAC
+//!                            (default 3.0 = +300%) — the CI *speed* gate.
+//!                            Wall time is host noise, hence the deliberately
+//!                            loose default; this catches order-of-magnitude
+//!                            slowdowns of the simulator itself, not jitter.
 //! ```
 //!
-//! The input is a Chrome trace-event JSON file (loadable in
+//! Trace input is a Chrome trace-event JSON file (loadable in
 //! <https://ui.perfetto.dev>); the analysis lives in its `"ps2"` top-level
-//! section, which Perfetto ignores.
+//! section, which Perfetto ignores. Host input is the `ps2-hostprof-v1`
+//! sidecar schema.
 
 use std::process::exit;
 
+use ps2::bench::{compare_host, HostReport};
 use ps2::tracefile::TraceSummary;
 
 fn die(msg: &str) -> ! {
@@ -28,7 +41,9 @@ fn die(msg: &str) -> ! {
 fn usage() -> ! {
     eprintln!(
         "usage: ps2-trace <FILE> | ps2-trace report <FILE> | \
-         ps2-trace diff <A> <B> [--tolerance FRAC]"
+         ps2-trace diff <A> <B> [--tolerance FRAC] | \
+         ps2-trace host <FILE> | \
+         ps2-trace host diff <BASE> <CAND> [--tolerance FRAC]"
     );
     exit(2)
 }
@@ -39,11 +54,58 @@ fn load(path: &str) -> TraceSummary {
     TraceSummary::from_json(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
 }
 
+fn load_host(path: &str) -> HostReport {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    HostReport::from_json(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+}
+
+fn parse_tolerance(frac: &str) -> u64 {
+    let frac: f64 = frac
+        .parse()
+        .ok()
+        .filter(|f: &f64| *f >= 0.0 && f.is_finite())
+        .unwrap_or_else(|| die(&format!("bad --tolerance '{frac}' (want e.g. 0.05)")));
+    (frac * 1000.0).round() as u64
+}
+
+/// The wall-clock soft gate: compare two hostprof sidecars and exit nonzero
+/// if any case's median wall time regressed past the tolerance.
+fn host_diff(base_path: &str, cand_path: &str, tol_milli: u64) -> ! {
+    let base = load_host(base_path);
+    let cand = load_host(cand_path);
+    println!("baseline:  {base_path}\ncandidate: {cand_path}");
+    print!("{}", cand.render());
+    let violations = compare_host(&base, &cand, tol_milli);
+    if violations.is_empty() {
+        println!(
+            "host gate passed ({:.1}% tolerance)",
+            tol_milli as f64 / 10.0
+        );
+        exit(0);
+    }
+    for v in &violations {
+        eprintln!("SLOWDOWN {v}");
+    }
+    exit(1)
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.as_slice() {
-        [file] if file != "report" && file != "diff" => {
+        [file] if file != "report" && file != "diff" && file != "host" => {
             print!("{}", load(file).render());
+        }
+        [cmd, file] if cmd == "host" && file != "diff" => {
+            print!("{}", load_host(file).render());
+        }
+        [cmd, sub, a, b] if cmd == "host" && sub == "diff" => {
+            // Default tolerance 3.0 (+300%): loose on purpose — CI wall time
+            // is noisy and only order-of-magnitude slowdowns should gate.
+            host_diff(a, b, 3000);
+        }
+        [cmd, sub, a, b, flag, frac] if cmd == "host" && sub == "diff" && flag == "--tolerance" => {
+            host_diff(a, b, parse_tolerance(frac));
         }
         [cmd, file] if cmd == "report" => {
             print!("{}", load(file).render());
@@ -52,22 +114,18 @@ fn main() {
             print!("{}", load(a).render_diff(&load(b)));
         }
         [cmd, a, b, flag, frac] if cmd == "diff" && flag == "--tolerance" => {
-            let frac: f64 = frac
-                .parse()
-                .ok()
-                .filter(|f: &f64| *f >= 0.0 && f.is_finite())
-                .unwrap_or_else(|| die(&format!("bad --tolerance '{frac}' (want e.g. 0.05)")));
+            let tol_milli = parse_tolerance(frac);
             let base = load(a);
             let cand = load(b);
             print!("{}", base.render_diff(&cand));
-            let violations = base.regressions(&cand, (frac * 1000.0).round() as u64);
+            let violations = base.regressions(&cand, tol_milli);
             if !violations.is_empty() {
                 for v in &violations {
                     eprintln!("REGRESSION {v}");
                 }
                 exit(1);
             }
-            println!("within tolerance ({:.1}%)", frac * 100.0);
+            println!("within tolerance ({:.1}%)", tol_milli as f64 / 10.0);
         }
         _ => usage(),
     }
