@@ -18,6 +18,18 @@ pub(crate) mod tags {
     pub const CLEAR_CACHE: u32 = 3;
     pub const DROP_BROADCAST: u32 = 4;
     pub const BROADCAST_RELAY: u32 = 5;
+
+    /// Symbolic name for a tag, for diagnostics.
+    pub fn name(tag: u32) -> &'static str {
+        match tag {
+            TASK => "TASK",
+            BROADCAST => "BROADCAST",
+            CLEAR_CACHE => "CLEAR_CACHE",
+            DROP_BROADCAST => "DROP_BROADCAST",
+            BROADCAST_RELAY => "BROADCAST_RELAY",
+            _ => "?",
+        }
+    }
 }
 
 /// Type-erased task body: runs on an executor, returns the boxed result and
@@ -182,7 +194,17 @@ pub fn executor_main(ctx: &mut SimCtx) {
                 user_state.clear();
                 ctx.reply(&env, (), 4);
             }
-            other => panic!("executor: unknown tag {other}"),
+            other => panic!(
+                "{} (proc {}): unknown tag {} ({}) from proc {} — \
+                 executors speak TASK/BROADCAST/CLEAR_CACHE/DROP_BROADCAST/\
+                 BROADCAST_RELAY only; a message was misrouted or a tag \
+                 constant diverged",
+                ctx.proc_name(),
+                ctx.id().0,
+                other,
+                tags::name(other),
+                env.src.0
+            ),
         }
     }
 }

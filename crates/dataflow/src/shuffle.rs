@@ -27,6 +27,16 @@ mod tags {
     pub const PUT_BUCKETS: u32 = 20;
     pub const FETCH_BUCKET: u32 = 21;
     pub const CLEAR: u32 = 22;
+
+    /// Symbolic name for a tag, for diagnostics.
+    pub fn name(tag: u32) -> &'static str {
+        match tag {
+            PUT_BUCKETS => "PUT_BUCKETS",
+            FETCH_BUCKET => "FETCH_BUCKET",
+            CLEAR => "CLEAR",
+            _ => "?",
+        }
+    }
 }
 
 /// A unique id per shuffle stage.
@@ -99,7 +109,16 @@ pub fn shuffle_service_main(ctx: &mut SimCtx) {
                 store.retain(|(s, _), _| s != shuffle);
                 ctx.reply(&env, (), 8);
             }
-            other => panic!("shuffle service: unknown tag {other}"),
+            other => panic!(
+                "{} (proc {}): unknown tag {} ({}) from proc {} — \
+                 shuffle services speak PUT_BUCKETS/FETCH_BUCKET/CLEAR only; \
+                 a message was misrouted or a tag constant diverged",
+                ctx.proc_name(),
+                ctx.id().0,
+                other,
+                tags::name(other),
+                env.src.0
+            ),
         }
     }
 }

@@ -1431,9 +1431,15 @@ impl ParamCache {
         ctx.metric_add("ps.cache.miss", missing.len() as u64);
         if !missing.is_empty() {
             let fetched = handle.pull_cols(ctx, row, &missing);
+            let t0 = ctx.now();
             for (&c, &v) in missing.iter().zip(&fetched) {
                 self.cols.insert((row, c), (v, self.clock));
             }
+            // Attribute the local merge to the pulls that fetched it (the
+            // cache-fill stage of the request trace) and seal their records.
+            // The merge is free under the current cost model, so this is
+            // measured, not assumed.
+            ctx.req_cache_fill(ctx.now() - t0);
         }
         cols.iter()
             .map(|&c| self.cols.get(&(row, c)).expect("filled above").0)
@@ -1461,9 +1467,11 @@ impl ParamCache {
         ctx.metric_add("ps.cache.miss", missing.len() as u64);
         if !missing.is_empty() {
             let fetched = handle.pull_rows(ctx, &missing);
+            let t0 = ctx.now();
             for (&r, v) in missing.iter().zip(fetched) {
                 self.rows.insert(r, (v, self.clock));
             }
+            ctx.req_cache_fill(ctx.now() - t0);
         }
         rows.iter()
             .map(|r| self.rows.get(r).expect("filled above").0.clone())

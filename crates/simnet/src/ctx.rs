@@ -9,8 +9,13 @@ use rand::SeedableRng;
 use crate::config::SimConfig;
 use crate::hostprof::{self, Scope as ProfScope};
 use crate::message::{Envelope, WireSize};
+use crate::reqtrace::ReqToken;
 use crate::runtime::{MatchSpec, ProcId, Shared};
 use crate::time::SimTime;
+
+/// One outbound request of a traced scatter-gather batch:
+/// `(dst, tag, payload, wire bytes, request-trace token)`.
+pub type TracedRequest = (ProcId, u32, Box<dyn Any + Send>, u64, Option<ReqToken>);
 
 /// Per-process simulator handle: messaging, virtual time, RNG, spawning.
 ///
@@ -40,6 +45,13 @@ impl SimCtx {
     /// This process's id.
     pub fn id(&self) -> ProcId {
         self.me
+    }
+
+    /// This process's spawn-time name (e.g. `"server-2"`). Meant for
+    /// diagnostics — panic messages that name the offending proc. Not a
+    /// yield point.
+    pub fn proc_name(&self) -> String {
+        self.shared.proc_name(self.me.0)
     }
 
     /// Current virtual time of this process.
@@ -86,8 +98,16 @@ impl SimCtx {
 
     /// Send a one-way message of declared wire size `bytes`.
     pub fn send<P: Any + Send>(&mut self, dst: ProcId, tag: u32, payload: P, bytes: u64) {
-        self.shared
-            .send_env(self.me.0, dst, tag, 0, false, Box::new(payload), bytes);
+        self.shared.send_env(
+            self.me.0,
+            dst,
+            tag,
+            0,
+            false,
+            Box::new(payload),
+            bytes,
+            None,
+        );
     }
 
     /// Send a one-way message whose wire size is computed from the payload.
@@ -131,8 +151,16 @@ impl SimCtx {
         bytes: u64,
     ) -> Envelope {
         let corr = self.shared.next_corr();
-        self.shared
-            .send_env(self.me.0, dst, tag, corr, false, Box::new(payload), bytes);
+        self.shared.send_env(
+            self.me.0,
+            dst,
+            tag,
+            corr,
+            false,
+            Box::new(payload),
+            bytes,
+            None,
+        );
         self.shared
             .block_recv(self.me.0, MatchSpec::Replies(vec![corr]), None)
             .expect("reply wait returned None")
@@ -164,7 +192,7 @@ impl SimCtx {
             let corr = self.shared.next_corr();
             corr_order.push(corr);
             self.shared
-                .send_env(self.me.0, dst, tag, corr, false, payload, bytes);
+                .send_env(self.me.0, dst, tag, corr, false, payload, bytes, None);
         }
         let mut pending = corr_order.clone();
         let mut replies: Vec<Option<Envelope>> = (0..n).map(|_| None).collect();
@@ -199,13 +227,28 @@ impl SimCtx {
         requests: Vec<(ProcId, u32, Box<dyn Any + Send>, u64)>,
         deadline: SimTime,
     ) -> Vec<Option<Envelope>> {
+        let traced = requests
+            .into_iter()
+            .map(|(dst, tag, payload, bytes)| (dst, tag, payload, bytes, None))
+            .collect();
+        self.call_many_deadline_traced(traced, deadline)
+    }
+
+    /// [`SimCtx::call_many_deadline`] with an optional request-trace token
+    /// per request (attached by the fabric when request tracing is enabled;
+    /// replies carry the token back automatically).
+    pub fn call_many_deadline_traced(
+        &mut self,
+        requests: Vec<TracedRequest>,
+        deadline: SimTime,
+    ) -> Vec<Option<Envelope>> {
         let n = requests.len();
         let mut corr_order = Vec::with_capacity(n);
-        for (dst, tag, payload, bytes) in requests {
+        for (dst, tag, payload, bytes, req) in requests {
             let corr = self.shared.next_corr();
             corr_order.push(corr);
             self.shared
-                .send_env(self.me.0, dst, tag, corr, false, payload, bytes);
+                .send_env(self.me.0, dst, tag, corr, false, payload, bytes, req);
         }
         let mut pending = corr_order.clone();
         let mut replies: Vec<Option<Envelope>> = (0..n).map(|_| None).collect();
@@ -237,8 +280,16 @@ impl SimCtx {
         bytes: u64,
     ) -> u64 {
         let corr = self.shared.next_corr();
-        self.shared
-            .send_env(self.me.0, dst, tag, corr, false, Box::new(payload), bytes);
+        self.shared.send_env(
+            self.me.0,
+            dst,
+            tag,
+            corr,
+            false,
+            Box::new(payload),
+            bytes,
+            None,
+        );
         corr
     }
 
@@ -268,8 +319,16 @@ impl SimCtx {
         payload: P,
         bytes: u64,
     ) {
-        self.shared
-            .send_env(self.me.0, dst, tag, token, true, Box::new(payload), bytes);
+        self.shared.send_env(
+            self.me.0,
+            dst,
+            tag,
+            token,
+            true,
+            Box::new(payload),
+            bytes,
+            None,
+        );
     }
 
     /// Reply to a request received via [`SimCtx::recv`].
@@ -283,6 +342,7 @@ impl SimCtx {
             true,
             Box::new(payload),
             bytes,
+            request.req,
         );
     }
 
@@ -299,6 +359,7 @@ impl SimCtx {
             true,
             payload,
             bytes,
+            request.req,
         );
     }
 
@@ -345,6 +406,25 @@ impl SimCtx {
     /// Not a yield point.
     pub fn trace_mark_with(&mut self, label: &'static str, payload: u64) {
         self.shared.trace_mark(self.me.0, label, Some(payload));
+    }
+
+    /// Mint request-trace tokens for one fabric op issued by this process:
+    /// one token per request in the batch, to be attached via
+    /// [`SimCtx::call_many_deadline_traced`]. Returns an empty vec when
+    /// request tracing is off ([`crate::SimBuilder::reqtrace`]). Minting
+    /// seals this process's previous batch (closing its cache-fill window).
+    /// Not a yield point — ids come from the trace recorder's own counter,
+    /// so traced runs keep the exact timing of untraced ones.
+    pub fn req_begin_batch(&mut self, op: &str, n: usize) -> Vec<ReqToken> {
+        self.shared.req_begin_batch(self.me.0, op, n)
+    }
+
+    /// Attribute `dt` of post-gather client work (e.g. parameter-cache
+    /// fill) to this process's most recently completed request batch, and
+    /// seal the batch. No-op when request tracing is off. Not a yield
+    /// point.
+    pub fn req_cache_fill(&mut self, dt: SimTime) {
+        self.shared.req_cache_fill(self.me.0, dt);
     }
 
     /// Label subsequent compute charges with an op name (e.g. the PS request

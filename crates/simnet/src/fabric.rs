@@ -33,9 +33,10 @@
 use std::any::Any;
 use std::collections::HashMap;
 
-use crate::ctx::SimCtx;
+use crate::ctx::{SimCtx, TracedRequest};
 use crate::hostprof::{self, Scope as ProfScope};
 use crate::message::Envelope;
+use crate::reqtrace::ReqToken;
 use crate::runtime::ProcId;
 use crate::time::SimTime;
 
@@ -110,6 +111,10 @@ pub fn call_slots<P: Any + Send + Clone>(
     let span_start = ctx.now();
     let mut span_bytes = 0u64;
     let n = reqs.len();
+    // One trace token per logical request, kept across retries (empty when
+    // request tracing is off). Replies carry the token back, so the runtime
+    // can stitch together the full stage breakdown.
+    let tokens: Vec<ReqToken> = ctx.req_begin_batch(op, n);
     let mut replies: Vec<Option<Envelope>> = (0..n).map(|_| None).collect();
     let mut epoch = router.epoch();
     let mut stale_attempts = 0u32;
@@ -135,7 +140,7 @@ pub fn call_slots<P: Any + Send + Clone>(
         // mutations by op-id, which only works if attempt k+1 is
         // byte-for-byte attempt k. Cloning the payload into its envelope is
         // this simulator's stand-in for serialization, hence the codec scope.
-        let batch: Vec<(ProcId, u32, Box<dyn Any + Send>, u64)> = {
+        let batch: Vec<TracedRequest> = {
             let _prof = hostprof::scope(ProfScope::CodecEncode);
             outstanding
                 .iter()
@@ -146,15 +151,16 @@ pub fn call_slots<P: Any + Send + Clone>(
                         tag,
                         Box::new(payload.clone()) as Box<dyn Any + Send>,
                         *bytes,
+                        tokens.get(i).copied(),
                     )
                 })
                 .collect()
         };
         reqs_issued += batch.len() as u64;
-        span_bytes += batch.iter().map(|(_, _, _, b)| *b).sum::<u64>();
+        span_bytes += batch.iter().map(|(_, _, _, b, _)| *b).sum::<u64>();
         ctx.metric_add(&format!("{scope}.envelopes"), batch.len() as u64);
         let deadline = ctx.now() + policy.attempt_timeout;
-        let got = ctx.call_many_deadline(batch, deadline);
+        let got = ctx.call_many_deadline_traced(batch, deadline);
         let mut missed = 0u64;
         for (&i, env) in outstanding.iter().zip(got) {
             match env {

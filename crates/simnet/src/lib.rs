@@ -61,6 +61,7 @@ pub mod metrics;
 pub mod perfetto;
 mod probe;
 mod report;
+pub mod reqtrace;
 mod runtime;
 mod time;
 pub mod timeseries;
@@ -73,13 +74,16 @@ pub use fabric::{FabricPolicy, SlotRouter, StaticRoutes};
 pub use hostprof::{HostProfile, ScopeStat};
 pub use message::{Envelope, WireSize};
 pub use metrics::{MetricsSnapshot, OpRow, RunReport, VtHistogram};
-pub use perfetto::{export_trace, export_trace_with};
+pub use perfetto::{export_trace, export_trace_full, export_trace_with};
 pub use probe::LivenessProbe;
 pub use report::{LabelId, ProcStats, SimReport, TraceEvent};
+pub use reqtrace::{slo_json, OpReqStats, ReqRecord, ReqSummary, ReqToken, EXEMPLAR_K};
 pub use runtime::{OutputSlot, ProcId, SimBuilder, SimError, SimRuntime};
 pub use time::SimTime;
 pub use timeseries::{HistDelta, ProcSample, TimeSeries, TsWindow, DEFAULT_CAPACITY};
-pub use watchdog::{alerts_json, Alert, AlertKind, Watchdog, WatchdogConfig};
+pub use watchdog::{
+    alerts_json, Alert, AlertKind, SloKind, SloObjective, Watchdog, WatchdogConfig,
+};
 
 /// The counting allocator is installed unconditionally (it is a single
 /// relaxed atomic load in front of `System` until

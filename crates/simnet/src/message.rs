@@ -3,6 +3,7 @@
 use std::any::Any;
 
 use crate::hostprof::{self, Scope as ProfScope};
+use crate::reqtrace::ReqToken;
 use crate::runtime::ProcId;
 use crate::time::SimTime;
 
@@ -31,6 +32,10 @@ pub struct Envelope {
     pub sent_at: SimTime,
     /// Receiver clock when the transfer completed.
     pub arrival: SimTime,
+    /// Request-trace token (None unless request tracing is enabled and the
+    /// fabric issued this envelope). `SimCtx::reply*` copies it onto the
+    /// reply, carrying the trace context end to end.
+    pub(crate) req: Option<ReqToken>,
 }
 
 impl Envelope {

@@ -9,8 +9,10 @@
 //!
 //! * All values are derived from **virtual** time or integer counters —
 //!   wall-clock never enters a metric.
-//! * Histograms use *fixed* logarithmic buckets (one per power of two of
-//!   nanoseconds), so the layout does not depend on the data.
+//! * Histograms use *fixed* log-linear (HDR-style) buckets — every power of
+//!   two of nanoseconds is split into `2^SUB_BITS` equal linear sub-buckets —
+//!   so the layout does not depend on the data and the relative quantile
+//!   error is bounded by `2^-SUB_BITS` (3.125%), tight enough for p999.
 //! * Maps are `BTreeMap`s, so iteration (and therefore rendering and JSON
 //!   serialization) order is the key order, not insertion or hash order.
 //! * Recording a metric is **not** a scheduler yield point: it advances no
@@ -23,52 +25,104 @@ use std::fmt::Write as _;
 use crate::report::SimReport;
 use crate::time::SimTime;
 
-/// Number of log buckets: bucket 0 holds exact zeros, bucket `k >= 1` holds
-/// durations in `[2^(k-1), 2^k)` nanoseconds, up to `k = 64`.
-pub const HIST_BUCKETS: usize = 65;
+/// Sub-bucket resolution: each power-of-two range of nanoseconds is split
+/// into `2^SUB_BITS` equal linear sub-buckets, bounding the relative
+/// quantile error at `2^-SUB_BITS` = 3.125%.
+pub const SUB_BITS: u32 = 5;
 
-/// A fixed-log-bucket histogram over virtual-time durations (nanoseconds).
+/// Linear sub-buckets per power-of-two range.
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// Total bucket count of the log-linear layout: values below `2^SUB_BITS`
+/// get one exact bucket each; every higher power-of-two range contributes
+/// `2^SUB_BITS` sub-buckets, up to the top bit of a `u64`.
+pub const HIST_BUCKETS: usize = (SUB_COUNT + (64 - SUB_BITS as u64) * SUB_COUNT) as usize;
+
+/// A fixed log-linear (HDR-style) histogram over virtual-time durations
+/// (nanoseconds).
 ///
 /// Quantiles are estimated deterministically as the upper bound of the
 /// bucket containing the target rank, clamped to the observed maximum.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Values below `2^SUB_BITS` are exact; larger values have a relative
+/// error of at most `2^-SUB_BITS` (3.125%).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct VtHistogram {
-    buckets: [u64; HIST_BUCKETS],
+    /// Bucket counts, lazily grown to the highest touched index + 1 so a
+    /// histogram only pays for the value range it actually observed.
+    buckets: Vec<u64>,
     count: u64,
     sum_ns: u64,
+    /// Meaningless (0) while empty; the first observation overwrites it.
     min_ns: u64,
     max_ns: u64,
 }
 
-impl Default for VtHistogram {
-    fn default() -> Self {
-        VtHistogram {
-            buckets: [0; HIST_BUCKETS],
-            count: 0,
-            sum_ns: 0,
-            min_ns: u64::MAX,
-            max_ns: 0,
-        }
+/// Log-linear bucket index of a duration: exact below `2^SUB_BITS`, then
+/// `(value >> (msb - SUB_BITS))` selects the linear sub-bucket inside the
+/// value's power-of-two range.
+#[inline]
+pub fn bucket_of(ns: u64) -> usize {
+    if ns < SUB_COUNT {
+        ns as usize
+    } else {
+        let msb = 63 - ns.leading_zeros();
+        let decade = (msb - SUB_BITS) as u64;
+        let sub = (ns >> decade) - SUB_COUNT;
+        (SUB_COUNT + decade * SUB_COUNT + sub) as usize
     }
 }
 
+/// Largest duration that lands in bucket `k` — what quantile estimation
+/// reports for ranks inside that bucket.
 #[inline]
-fn bucket_of(ns: u64) -> usize {
-    if ns == 0 {
-        0
+pub fn bucket_upper_bound(k: usize) -> u64 {
+    let k = k as u64;
+    if k < SUB_COUNT {
+        k
     } else {
-        64 - ns.leading_zeros() as usize
+        let decade = (k - SUB_COUNT) / SUB_COUNT;
+        let sub = (k - SUB_COUNT) % SUB_COUNT;
+        let lower = (SUB_COUNT + sub) << decade;
+        lower + ((1u64 << decade) - 1)
     }
+}
+
+/// Deterministic quantile over a sparse `(bucket, count)` list (ascending
+/// bucket order) with `count` total observations — the shared kernel for
+/// [`VtHistogram::quantile_ns`] and the per-window deltas the timeseries
+/// scraper keeps. Returns 0 when empty; no max clamp (callers that track an
+/// observed max clamp themselves).
+pub fn sparse_quantile_ns(buckets: &[(u32, u64)], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for &(k, c) in buckets {
+        seen += c;
+        if seen >= target {
+            return bucket_upper_bound(k as usize);
+        }
+    }
+    bucket_upper_bound(buckets.last().map(|&(k, _)| k as usize).unwrap_or(0))
 }
 
 impl VtHistogram {
     /// Record one duration.
     pub fn observe(&mut self, dt: SimTime) {
         let ns = dt.as_nanos();
-        self.buckets[bucket_of(ns)] += 1;
+        let k = bucket_of(ns);
+        if self.buckets.len() <= k {
+            self.buckets.resize(k + 1, 0);
+        }
+        self.buckets[k] += 1;
         self.count += 1;
         self.sum_ns += ns;
-        self.min_ns = self.min_ns.min(ns);
+        self.min_ns = if self.count == 1 {
+            ns
+        } else {
+            self.min_ns.min(ns)
+        };
         self.max_ns = self.max_ns.max(ns);
     }
 
@@ -95,7 +149,7 @@ impl VtHistogram {
 
     /// Deterministic quantile estimate (`q` in `[0, 1]`): the upper bound of
     /// the bucket holding the `ceil(q * count)`-th observation, clamped to
-    /// the observed maximum. Returns 0 on an empty histogram.
+    /// the observed minimum and maximum. Returns 0 on an empty histogram.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -105,26 +159,98 @@ impl VtHistogram {
         for (k, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                let upper = if k == 0 {
-                    0
-                } else if k >= 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << k) - 1
-                };
-                return upper.min(self.max_ns);
+                return bucket_upper_bound(k).clamp(self.min_ns, self.max_ns);
             }
         }
         self.max_ns
     }
 
-    fn merge(&mut self, other: &VtHistogram) {
+    /// The non-empty buckets as ascending `(index, count)` pairs — the
+    /// mergeable wire form used by the SLO sidecar and the timeseries
+    /// scraper's per-window deltas.
+    pub fn sparse_buckets(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(k, &c)| (k as u32, c))
+            .collect()
+    }
+
+    /// Rebuild a histogram from its serialized parts (the inverse of
+    /// [`VtHistogram::to_json`]). `count` is derived from the bucket counts;
+    /// inputs with out-of-range bucket indices are rejected.
+    pub fn from_parts(
+        sum_ns: u64,
+        min_ns: u64,
+        max_ns: u64,
+        sparse: &[(u32, u64)],
+    ) -> Result<VtHistogram, String> {
+        let mut h = VtHistogram {
+            sum_ns,
+            max_ns,
+            ..VtHistogram::default()
+        };
+        for &(k, c) in sparse {
+            if k as usize >= HIST_BUCKETS {
+                return Err(format!("histogram bucket index {k} out of range"));
+            }
+            if h.buckets.len() <= k as usize {
+                h.buckets.resize(k as usize + 1, 0);
+            }
+            h.buckets[k as usize] += c;
+            h.count += c;
+        }
+        h.min_ns = if h.count == 0 { 0 } else { min_ns };
+        Ok(h)
+    }
+
+    /// Serialize the full histogram — summary fields plus the sparse
+    /// log-linear buckets — as one deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"buckets\": [",
+            self.count(),
+            self.sum_ns(),
+            self.min_ns(),
+            self.max_ns(),
+            self.quantile_ns(0.50),
+            self.quantile_ns(0.99),
+            self.quantile_ns(0.999)
+        );
+        for (i, (k, c)) in self.sparse_buckets().into_iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "[{k}, {c}]");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Fold another histogram into this one. Bucket counts add; `min`/`max`
+    /// combine emptiness-aware, so merging preserves every quantile's
+    /// bucket-level bounds (a merged quantile never leaves the interval
+    /// spanned by the inputs' same-`q` quantiles).
+    pub fn merge(&mut self, other: &VtHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
+        // min_ns is a sentinel-free field now: pick by emptiness, not by
+        // raw comparison, so merging into an empty histogram stays correct.
+        self.min_ns = match (self.count, other.count) {
+            (0, _) => other.min_ns,
+            (_, 0) => self.min_ns,
+            _ => self.min_ns.min(other.min_ns),
+        };
         self.count += other.count;
         self.sum_ns += other.sum_ns;
-        self.min_ns = self.min_ns.min(other.min_ns);
         self.max_ns = self.max_ns.max(other.max_ns);
     }
 }
@@ -243,6 +369,7 @@ pub struct OpRow {
     pub sum_ns: u64,
     pub p50_ns: u64,
     pub p99_ns: u64,
+    pub p999_ns: u64,
     /// This op's slice of the job's `virtual_time`, normalized so that the
     /// shares of all ops sum to `virtual_time` (within integer rounding):
     /// `share_ns = sum_ns / Σ sum_ns * virtual_time`.
@@ -305,6 +432,7 @@ impl RunReport {
                 sum_ns: hist.sum_ns(),
                 p50_ns: hist.quantile_ns(0.50),
                 p99_ns: hist.quantile_ns(0.99),
+                p999_ns: hist.quantile_ns(0.999),
                 share_ns: 0,
             });
         }
@@ -382,20 +510,21 @@ impl RunReport {
         }
         let _ = writeln!(
             s,
-            "{:<12} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>7}",
-            "op", "count", "bytes", "rows", "p50", "p99", "total", "share"
+            "{:<12} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7}",
+            "op", "count", "bytes", "rows", "p50", "p99", "p999", "total", "share"
         );
         let vt = self.virtual_time.as_nanos().max(1) as f64;
         for o in &self.ops {
             let _ = writeln!(
                 s,
-                "{:<12} {:>8} {:>12} {:>10} {:>9.3}m {:>9.3}m {:>9.3}s {:>6.1}%",
+                "{:<12} {:>8} {:>12} {:>10} {:>9.3}m {:>9.3}m {:>9.3}m {:>9.3}s {:>6.1}%",
                 o.op,
                 o.count,
                 o.bytes,
                 o.rows,
                 o.p50_ns as f64 / 1e6,
                 o.p99_ns as f64 / 1e6,
+                o.p999_ns as f64 / 1e6,
                 o.sum_ns as f64 / 1e9,
                 100.0 * o.share_ns as f64 / vt,
             );
@@ -434,7 +563,8 @@ impl RunReport {
             let _ = write!(
                 s,
                 "    {{\"op\": {}, \"count\": {}, \"bytes\": {}, \"rows\": {}, \
-                 \"sum_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"share_ns\": {}}}",
+                 \"sum_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
+                 \"share_ns\": {}}}",
                 json_str(&o.op),
                 o.count,
                 o.bytes,
@@ -442,6 +572,7 @@ impl RunReport {
                 o.sum_ns,
                 o.p50_ns,
                 o.p99_ns,
+                o.p999_ns,
                 o.share_ns
             );
             s.push_str(if i + 1 < self.ops.len() { ",\n" } else { "\n" });
@@ -471,14 +602,15 @@ impl RunReport {
             let _ = write!(
                 s,
                 "    {}: {{\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \
-                 \"max_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+                 \"max_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}",
                 json_str(k),
                 h.count(),
                 h.sum_ns(),
                 h.min_ns(),
                 h.max_ns(),
                 h.quantile_ns(0.50),
-                h.quantile_ns(0.99)
+                h.quantile_ns(0.99),
+                h.quantile_ns(0.999)
             );
         }
         s.push_str(if first { "}\n" } else { "\n  }\n" });
@@ -514,15 +646,30 @@ mod tests {
     use super::*;
 
     #[test]
-    fn buckets_are_powers_of_two() {
+    fn buckets_are_log_linear() {
+        // Values below 2^SUB_BITS are exact.
         assert_eq!(bucket_of(0), 0);
         assert_eq!(bucket_of(1), 1);
-        assert_eq!(bucket_of(2), 2);
-        assert_eq!(bucket_of(3), 2);
-        assert_eq!(bucket_of(4), 3);
-        assert_eq!(bucket_of(1023), 10);
-        assert_eq!(bucket_of(1024), 11);
-        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_of(31), 31);
+        // First log decade: [32, 64) in 32 one-wide sub-buckets.
+        assert_eq!(bucket_of(32), 32);
+        assert_eq!(bucket_of(63), 63);
+        // [64, 128) in 32 two-wide sub-buckets.
+        assert_eq!(bucket_of(64), 64);
+        assert_eq!(bucket_of(65), 64);
+        assert_eq!(bucket_of(66), 65);
+        assert_eq!(bucket_of(127), 95);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        // Upper bounds invert bucket_of: every value sits at or below its
+        // bucket's upper bound, and within the relative-error envelope.
+        for ns in [0u64, 1, 31, 32, 63, 64, 1000, 1023, 1024, 1 << 40, u64::MAX] {
+            let k = bucket_of(ns);
+            let upper = bucket_upper_bound(k);
+            assert!(upper >= ns, "upper {upper} < value {ns}");
+            assert_eq!(bucket_of(upper), k, "upper bound must stay in bucket");
+            // Relative error bound: upper < ns * (1 + 2^-SUB_BITS).
+            assert!(upper - ns <= ns / (1 << SUB_BITS) + 1, "value {ns}");
+        }
     }
 
     #[test]
@@ -535,12 +682,45 @@ mod tests {
         assert_eq!(h.sum_ns(), 1060);
         assert_eq!(h.min_ns(), 10);
         assert_eq!(h.max_ns(), 1000);
-        // p50 → 2nd observation (20) → bucket [16,32) → upper bound 31.
-        assert_eq!(h.quantile_ns(0.5), 31);
-        // p99 → 4th observation (1000) → bucket [512,1024) clamped to max.
+        // Small values are exact under the log-linear layout.
+        assert_eq!(h.quantile_ns(0.5), 20);
+        // p99 → 4th observation (1000) → bucket [992,1024) clamped to max.
         assert_eq!(h.quantile_ns(0.99), 1000);
         // Empty histogram.
         assert_eq!(VtHistogram::default().quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn p999_tracks_the_tail_within_a_few_percent() {
+        // 999 fast requests and one 100 ms straggler: p999 must see the
+        // straggler, and the log-linear estimate stays within 3.125%.
+        let mut h = VtHistogram::default();
+        for _ in 0..999 {
+            h.observe(SimTime(1_000_000)); // 1 ms
+        }
+        h.observe(SimTime(100_000_000)); // 100 ms
+        let p999 = h.quantile_ns(0.999);
+        assert!(p999 >= 1_000_000, "p999 {p999} below the bulk");
+        let p9995 = h.quantile_ns(0.9995);
+        assert!(
+            (100_000_000..=103_125_001).contains(&p9995),
+            "tail estimate {p9995} outside the error envelope"
+        );
+    }
+
+    #[test]
+    fn histogram_json_round_trips_through_from_parts() {
+        let mut h = VtHistogram::default();
+        for ns in [0u64, 5, 33, 1000, 123_456_789] {
+            h.observe(SimTime(ns));
+        }
+        let rebuilt =
+            VtHistogram::from_parts(h.sum_ns(), h.min_ns(), h.max_ns(), &h.sparse_buckets())
+                .unwrap();
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.to_json(), h.to_json());
+        // Out-of-range bucket indices are rejected.
+        assert!(VtHistogram::from_parts(0, 0, 0, &[(HIST_BUCKETS as u32, 1)]).is_err());
     }
 
     #[test]

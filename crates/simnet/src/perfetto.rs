@@ -29,7 +29,7 @@ fn fmt_us(ns: u64) -> String {
 
 /// Render `report` (and optionally its causal analysis) as trace-event JSON.
 pub fn export_trace(report: &SimReport, analysis: Option<&CausalAnalysis>) -> String {
-    export_trace_with(report, analysis, &[])
+    export_trace_full(report, analysis, &[], None)
 }
 
 /// [`export_trace`] plus watchdog alerts: the alert list is embedded as an
@@ -40,6 +40,19 @@ pub fn export_trace_with(
     report: &SimReport,
     analysis: Option<&CausalAnalysis>,
     alerts: &[Alert],
+) -> String {
+    export_trace_full(report, analysis, alerts, None)
+}
+
+/// [`export_trace_with`] plus an SLO sidecar: `slo` is a pre-rendered
+/// `ps2-slo-v1` JSON object (see [`crate::reqtrace::slo_json`]) embedded
+/// verbatim under `"ps2"."slo"`, so `ps2-trace slo` can read per-op request
+/// summaries and exemplars straight out of the trace file.
+pub fn export_trace_full(
+    report: &SimReport,
+    analysis: Option<&CausalAnalysis>,
+    alerts: &[Alert],
+    slo: Option<&str>,
 ) -> String {
     let _prof = crate::hostprof::scope(crate::hostprof::Scope::TraceExport);
     let mut s = String::new();
@@ -275,10 +288,18 @@ pub fn export_trace_with(
             }
         }
         s.push_str("},\n");
-        let _ = write!(s, "  \"alerts\": {}\n}}", alerts_json(alerts));
-    } else if !alerts.is_empty() {
+        let _ = write!(s, "  \"alerts\": {}", alerts_json(alerts));
+        if let Some(sidecar) = slo {
+            let _ = write!(s, ",\n  \"slo\": {sidecar}");
+        }
+        s.push_str("\n}");
+    } else if !alerts.is_empty() || slo.is_some() {
         s.push_str(",\n\"ps2\": {\n");
-        let _ = write!(s, "  \"alerts\": {}\n}}", alerts_json(alerts));
+        let _ = write!(s, "  \"alerts\": {}", alerts_json(alerts));
+        if let Some(sidecar) = slo {
+            let _ = write!(s, ",\n  \"slo\": {sidecar}");
+        }
+        s.push_str("\n}");
     }
     s.push_str("\n}\n");
     s

@@ -148,6 +148,10 @@ pub struct SimReport {
     /// Windowed metric time-series (None unless enabled via
     /// [`crate::SimBuilder::timeseries`]).
     pub timeseries: Option<crate::timeseries::TimeSeries>,
+    /// Request-scoped trace summary: per-op request-latency histograms and
+    /// slowest-request stage-breakdown exemplars (None unless enabled via
+    /// [`crate::SimBuilder::reqtrace`]).
+    pub reqs: Option<crate::reqtrace::ReqSummary>,
     /// Host-side self-profile: real wall-clock and allocation cost of the
     /// simulator itself, attributed to subsystem scopes (None unless
     /// [`crate::hostprof::set_enabled`] was on). Host data only — nothing in

@@ -1,0 +1,536 @@
+//! Request-scoped tracing: per-request stage latencies and tail exemplars.
+//!
+//! The flight recorder ([`crate::metrics`]) aggregates per-op totals and the
+//! causal analyzer attributes the *makespan*; neither can answer "why was
+//! *this* request slow?". This module gives every fabric request a run-unique
+//! token that rides its envelope end to end (copied onto the reply), so the
+//! runtime can decompose each request into stage latencies:
+//!
+//! * `client_issue` — from the op starting to the request going on the wire
+//!   (batch building, payload cloning, earlier slots' sends),
+//! * `net_request` — wire + NIC-queue time of the (last) request attempt,
+//! * `server_queue` — arrival at the server until the server dequeues it,
+//! * `service` — dequeue until the reply send,
+//! * `net_reply` — wire + NIC-queue time of the reply,
+//! * `client_recv` — reply arrival until the client consumes it,
+//! * `cache_fill` — post-gather client work attributed to the whole batch
+//!   (see [`ReqRecorder::cache_fill`]).
+//!
+//! ## Determinism (same discipline as metrics / timeseries / hostprof)
+//!
+//! Recording is **not** a yield point: every hook runs inside the runtime's
+//! existing lock, moves no clock, consumes no sequence or correlation
+//! number, and wakes no process. Request ids come from the recorder's own
+//! counter, which exists only when tracing is enabled — so a traced run is
+//! byte-identical (report, metrics, trace virtual times) to an untraced
+//! same-seed run. `tests/slo_tracing.rs` asserts this.
+//!
+//! ## Tail exemplars
+//!
+//! Per op, the recorder keeps the [`EXEMPLAR_K`] slowest completed requests
+//! with their full stage breakdowns — a deterministic top-K (ordered by
+//! total latency descending, ties broken by the smaller request id, which is
+//! itself deterministic). Exemplars are exported in the SLO sidecar
+//! (`ps2-run --slo-json`), embedded in the Perfetto trace's `"ps2"."slo"`
+//! section, and rendered by `ps2-trace slo`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{json_str, VtHistogram};
+use crate::time::SimTime;
+
+/// How many slowest-request exemplars are retained per op.
+pub const EXEMPLAR_K: usize = 5;
+
+/// Trace token carried by a fabric request envelope (and copied onto its
+/// reply). Opaque outside the crate: minted by the recorder, attached by the
+/// fabric, interpreted by the runtime's send/dequeue hooks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReqToken {
+    pub(crate) id: u64,
+}
+
+/// Stage breakdown of one completed request, all in virtual nanoseconds.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ReqRecord {
+    /// Run-unique request id (mint order — deterministic).
+    pub id: u64,
+    /// Client clock when the op issued this request.
+    pub issued_at_ns: u64,
+    /// Issue → the client consuming the reply.
+    pub total_ns: u64,
+    /// Send attempts (1 = no retry).
+    pub attempts: u32,
+    pub client_issue_ns: u64,
+    pub net_request_ns: u64,
+    pub server_queue_ns: u64,
+    pub service_ns: u64,
+    pub net_reply_ns: u64,
+    pub client_recv_ns: u64,
+    pub cache_fill_ns: u64,
+}
+
+impl ReqRecord {
+    fn json(&self) -> String {
+        format!(
+            "{{\"id\": {}, \"issued_at_ns\": {}, \"total_ns\": {}, \"attempts\": {}, \
+             \"stages\": {{\"client_issue_ns\": {}, \"net_request_ns\": {}, \
+             \"server_queue_ns\": {}, \"service_ns\": {}, \"net_reply_ns\": {}, \
+             \"client_recv_ns\": {}, \"cache_fill_ns\": {}}}}}",
+            self.id,
+            self.issued_at_ns,
+            self.total_ns,
+            self.attempts,
+            self.client_issue_ns,
+            self.net_request_ns,
+            self.server_queue_ns,
+            self.service_ns,
+            self.net_reply_ns,
+            self.client_recv_ns,
+            self.cache_fill_ns,
+        )
+    }
+}
+
+/// In-flight request state. Stage timestamps are absolute virtual clocks;
+/// the record derives the deltas at completion. A retried request keeps one
+/// `LiveReq` across attempts — the stage clocks of the winning (last
+/// dequeued) attempt overwrite the timed-out one's.
+#[derive(Clone, Debug)]
+struct LiveReq {
+    op: u16,
+    proc: usize,
+    issued_at: u64,
+    attempts: u32,
+    first_send: u64,
+    last_sent: u64,
+    req_arrival: u64,
+    dequeued: u64,
+    service_end: u64,
+    reply_arrival: u64,
+}
+
+/// Per-op aggregate of completed requests, with exemplars.
+#[derive(Clone, Debug, Default)]
+pub struct OpReqStats {
+    pub op: String,
+    /// High-resolution histogram of total request latency.
+    pub hist: VtHistogram,
+    pub completed: u64,
+    /// Requests still live when the run ended (client died, or the run
+    /// finished mid-flight).
+    pub abandoned: u64,
+    /// Total send attempts across completed requests.
+    pub attempts: u64,
+    /// The [`EXEMPLAR_K`] slowest requests, slowest first.
+    pub exemplars: Vec<ReqRecord>,
+}
+
+/// Request-level summary of a finished run, carried on
+/// [`SimReport::reqs`](crate::SimReport::reqs).
+#[derive(Clone, Debug, Default)]
+pub struct ReqSummary {
+    /// Per-op stats, ordered by op name.
+    pub ops: Vec<OpReqStats>,
+}
+
+impl ReqSummary {
+    pub fn op(&self, name: &str) -> Option<&OpReqStats> {
+        self.ops.iter().find(|o| o.op == name)
+    }
+
+    pub fn completed(&self) -> u64 {
+        self.ops.iter().map(|o| o.completed).sum()
+    }
+
+    /// Render as a JSON array (one object per op) in the workspace's
+    /// hand-rolled style: integers and fixed key order only, byte-identical
+    /// across same-seed runs.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("[");
+        for (i, o) in self.ops.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n    {{\"op\": {}, \"completed\": {}, \"abandoned\": {}, \
+                 \"attempts\": {}, \"hist\": {}, \"exemplars\": [",
+                if i == 0 { "" } else { "," },
+                json_str(&o.op),
+                o.completed,
+                o.abandoned,
+                o.attempts,
+                o.hist.to_json(),
+            );
+            for (j, e) in o.exemplars.iter().enumerate() {
+                let _ = write!(s, "{}\n      {}", if j == 0 { "" } else { "," }, e.json());
+            }
+            if !o.exemplars.is_empty() {
+                s.push_str("\n    ");
+            }
+            s.push_str("]}");
+        }
+        if !self.ops.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push(']');
+        s
+    }
+}
+
+/// The in-run recorder. Lives inside the runtime's shared state (like the
+/// timeseries scraper); exists only when request tracing was enabled on the
+/// builder, so disabled runs pay a single `Option` check per hook site.
+#[derive(Debug, Default)]
+pub(crate) struct ReqRecorder {
+    next_id: u64,
+    op_ids: BTreeMap<String, u16>,
+    stats: Vec<OpReqStats>,
+    live: BTreeMap<u64, LiveReq>,
+    /// Completed-but-unsealed records per proc: a batch stays open until the
+    /// client attributes cache-fill time to it (or starts its next batch),
+    /// so exemplars can carry the post-gather stage.
+    open: BTreeMap<usize, Vec<(u16, ReqRecord)>>,
+}
+
+impl ReqRecorder {
+    pub(crate) fn new() -> ReqRecorder {
+        ReqRecorder::default()
+    }
+
+    fn op_id(&mut self, op: &str) -> u16 {
+        if let Some(&id) = self.op_ids.get(op) {
+            return id;
+        }
+        let id = self.stats.len() as u16;
+        self.op_ids.insert(op.to_string(), id);
+        self.stats.push(OpReqStats {
+            op: op.to_string(),
+            ..OpReqStats::default()
+        });
+        id
+    }
+
+    /// Mint `n` tokens for one fabric op issued by `proc` at clock `now`.
+    /// Seals `proc`'s previously open batch first: cache-fill attribution
+    /// closes no later than the next op.
+    pub(crate) fn begin_batch(
+        &mut self,
+        proc: usize,
+        op: &str,
+        n: usize,
+        now: SimTime,
+    ) -> Vec<ReqToken> {
+        self.seal(proc);
+        let op = self.op_id(op);
+        (0..n)
+            .map(|_| {
+                self.next_id += 1;
+                let id = self.next_id;
+                self.live.insert(
+                    id,
+                    LiveReq {
+                        op,
+                        proc,
+                        issued_at: now.as_nanos(),
+                        attempts: 0,
+                        first_send: 0,
+                        last_sent: 0,
+                        req_arrival: 0,
+                        dequeued: 0,
+                        service_end: 0,
+                        reply_arrival: 0,
+                    },
+                );
+                ReqToken { id }
+            })
+            .collect()
+    }
+
+    /// An envelope carrying `tok` went on the wire. Requests bump the
+    /// attempt count; replies close the service stage. Sends for tokens
+    /// already completed (a slow server answering a request the client
+    /// retried and finished elsewhere) are ignored.
+    pub(crate) fn on_send(
+        &mut self,
+        tok: ReqToken,
+        now: SimTime,
+        arrival: SimTime,
+        is_reply: bool,
+    ) {
+        let Some(req) = self.live.get_mut(&tok.id) else {
+            return;
+        };
+        if is_reply {
+            req.service_end = now.as_nanos();
+            req.reply_arrival = arrival.as_nanos();
+        } else {
+            req.attempts += 1;
+            if req.attempts == 1 {
+                req.first_send = now.as_nanos();
+            }
+            req.last_sent = now.as_nanos();
+            req.req_arrival = arrival.as_nanos();
+        }
+    }
+
+    /// An envelope carrying `tok` was consumed from a mailbox at `clock`
+    /// (the consumer's clock after syncing to the arrival). A request
+    /// dequeue closes the server-queue stage; a reply dequeue completes the
+    /// request. Late dequeues of already-completed tokens are ignored.
+    pub(crate) fn on_dequeue(&mut self, tok: ReqToken, clock: SimTime, is_reply: bool) {
+        if !is_reply {
+            if let Some(req) = self.live.get_mut(&tok.id) {
+                req.dequeued = clock.as_nanos();
+            }
+            return;
+        }
+        let Some(req) = self.live.remove(&tok.id) else {
+            return;
+        };
+        let done = clock.as_nanos();
+        let rec = ReqRecord {
+            id: tok.id,
+            issued_at_ns: req.issued_at,
+            total_ns: done.saturating_sub(req.issued_at),
+            attempts: req.attempts,
+            client_issue_ns: req.first_send.saturating_sub(req.issued_at),
+            net_request_ns: req.req_arrival.saturating_sub(req.last_sent),
+            server_queue_ns: req.dequeued.saturating_sub(req.req_arrival),
+            service_ns: req.service_end.saturating_sub(req.dequeued),
+            net_reply_ns: req.reply_arrival.saturating_sub(req.service_end),
+            client_recv_ns: done.saturating_sub(req.reply_arrival),
+            cache_fill_ns: 0,
+        };
+        let st = &mut self.stats[req.op as usize];
+        st.completed += 1;
+        st.attempts += req.attempts as u64;
+        st.hist.observe(SimTime(rec.total_ns));
+        self.open.entry(req.proc).or_default().push((req.op, rec));
+    }
+
+    /// Attribute `dt` of post-gather client work (cache fill) to `proc`'s
+    /// open batch, split evenly across its requests (the remainder goes to
+    /// the first — integer math keeps it deterministic), then seal it.
+    pub(crate) fn cache_fill(&mut self, proc: usize, dt: SimTime) {
+        let Some(batch) = self.open.get_mut(&proc) else {
+            return;
+        };
+        let n = batch.len() as u64;
+        if let (Some(each), Some(rem)) =
+            (dt.as_nanos().checked_div(n), dt.as_nanos().checked_rem(n))
+        {
+            for (i, (_, rec)) in batch.iter_mut().enumerate() {
+                rec.cache_fill_ns += each + if i == 0 { rem } else { 0 };
+            }
+        }
+        self.seal(proc);
+    }
+
+    /// Move `proc`'s open records into the per-op exemplar top-K.
+    fn seal(&mut self, proc: usize) {
+        let Some(batch) = self.open.remove(&proc) else {
+            return;
+        };
+        for (op, rec) in batch {
+            let ex = &mut self.stats[op as usize].exemplars;
+            ex.push(rec);
+            ex.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.id.cmp(&b.id)));
+            ex.truncate(EXEMPLAR_K);
+        }
+    }
+
+    /// Run-end flush: seal every open batch, count still-live requests as
+    /// abandoned, and hand out the per-op summary (ops sorted by name).
+    pub(crate) fn finish(mut self) -> ReqSummary {
+        let procs: Vec<usize> = self.open.keys().copied().collect();
+        for p in procs {
+            self.seal(p);
+        }
+        for (_, req) in std::mem::take(&mut self.live) {
+            self.stats[req.op as usize].abandoned += 1;
+        }
+        let mut ops = self.stats;
+        ops.sort_by(|a, b| a.op.cmp(&b.op));
+        ReqSummary { ops }
+    }
+}
+
+/// Render the full SLO sidecar (schema `ps2-slo-v1`): per-op request stats
+/// with exemplars, the declared objectives, and the SLO burn alerts the
+/// watchdog fired. The same object is embedded under `"ps2"."slo"` in the
+/// Perfetto export; `ps2-trace slo` reads either form.
+pub fn slo_json(
+    reqs: &ReqSummary,
+    objectives: &[crate::watchdog::SloObjective],
+    alerts: &[crate::watchdog::Alert],
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema\": \"ps2-slo-v1\",\n");
+    let _ = writeln!(s, "  \"ops\": {},", reqs.to_json());
+    s.push_str("  \"objectives\": [");
+    for (i, o) in objectives.iter().enumerate() {
+        let _ = write!(s, "{}\n    {}", if i == 0 { "" } else { "," }, o.to_json());
+    }
+    if !objectives.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+    let burn: Vec<crate::watchdog::Alert> = alerts
+        .iter()
+        .filter(|a| a.kind == crate::watchdog::AlertKind::SloBurn)
+        .cloned()
+        .collect();
+    let _ = write!(
+        s,
+        "  \"alerts\": {}\n}}\n",
+        crate::watchdog::alerts_json(&burn)
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete_one(rec: &mut ReqRecorder, proc: usize, op: &str, base: u64, dur: u64) -> u64 {
+        let toks = rec.begin_batch(proc, op, 1, SimTime(base));
+        let t = toks[0];
+        rec.on_send(t, SimTime(base + 10), SimTime(base + 20), false);
+        rec.on_dequeue(t, SimTime(base + 30), false);
+        rec.on_send(t, SimTime(base + 40), SimTime(base + dur), true);
+        rec.on_dequeue(t, SimTime(base + dur), true);
+        t.id
+    }
+
+    #[test]
+    fn stages_partition_the_total() {
+        let mut rec = ReqRecorder::new();
+        let toks = rec.begin_batch(0, "pull", 1, SimTime(100));
+        let t = toks[0];
+        rec.on_send(t, SimTime(110), SimTime(150), false); // issue 10, net_req 40
+        rec.on_dequeue(t, SimTime(155), false); // queue 5
+        rec.on_send(t, SimTime(175), SimTime(200), true); // service 20, net_reply 25
+        rec.on_dequeue(t, SimTime(208), true); // client_recv 8
+        rec.cache_fill(0, SimTime(17));
+        let sum = rec.finish();
+        let op = sum.op("pull").expect("op recorded");
+        assert_eq!(op.completed, 1);
+        let e = &op.exemplars[0];
+        assert_eq!(e.total_ns, 108);
+        assert_eq!(e.client_issue_ns, 10);
+        assert_eq!(e.net_request_ns, 40);
+        assert_eq!(e.server_queue_ns, 5);
+        assert_eq!(e.service_ns, 20);
+        assert_eq!(e.net_reply_ns, 25);
+        assert_eq!(e.client_recv_ns, 8);
+        assert_eq!(e.cache_fill_ns, 17);
+        assert_eq!(
+            e.total_ns,
+            e.client_issue_ns
+                + e.net_request_ns
+                + e.server_queue_ns
+                + e.service_ns
+                + e.net_reply_ns
+                + e.client_recv_ns
+        );
+    }
+
+    #[test]
+    fn top_k_keeps_the_slowest_with_deterministic_ties() {
+        let mut rec = ReqRecorder::new();
+        for i in 0..(EXEMPLAR_K as u64 + 4) {
+            // Durations 100, 200, ... then two ties at the top.
+            let dur = if i < EXEMPLAR_K as u64 + 2 {
+                100 * (i + 1)
+            } else {
+                100 * (EXEMPLAR_K as u64 + 2)
+            };
+            complete_one(&mut rec, 0, "push", i * 10_000, dur);
+        }
+        let sum = rec.finish();
+        let op = sum.op("push").expect("op recorded");
+        assert_eq!(op.exemplars.len(), EXEMPLAR_K);
+        // Slowest first; the tied slowest keep mint order (smaller id first).
+        let totals: Vec<u64> = op.exemplars.iter().map(|e| e.total_ns).collect();
+        let mut sorted = totals.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(totals, sorted);
+        let ids: Vec<u64> = op
+            .exemplars
+            .iter()
+            .filter(|e| e.total_ns == totals[0])
+            .map(|e| e.id)
+            .collect();
+        let mut ids_sorted = ids.clone();
+        ids_sorted.sort();
+        assert_eq!(ids, ids_sorted, "ties break toward the smaller id");
+    }
+
+    #[test]
+    fn retry_counts_attempts_and_keeps_the_winning_stage_clocks() {
+        let mut rec = ReqRecorder::new();
+        let t = rec.begin_batch(2, "pull", 1, SimTime(0))[0];
+        rec.on_send(t, SimTime(5), SimTime(50), false);
+        // Attempt 1 times out; attempt 2 lands.
+        rec.on_send(t, SimTime(1_000), SimTime(1_040), false);
+        rec.on_dequeue(t, SimTime(1_050), false);
+        rec.on_send(t, SimTime(1_060), SimTime(1_100), true);
+        rec.on_dequeue(t, SimTime(1_100), true);
+        let sum = rec.finish();
+        let e = &sum.op("pull").expect("op").exemplars[0];
+        assert_eq!(e.attempts, 2);
+        assert_eq!(e.client_issue_ns, 5, "issue stage keeps the first send");
+        assert_eq!(
+            e.net_request_ns, 40,
+            "network stage keeps the winning attempt"
+        );
+        assert_eq!(e.total_ns, 1_100);
+    }
+
+    #[test]
+    fn abandoned_requests_are_counted_not_recorded() {
+        let mut rec = ReqRecorder::new();
+        complete_one(&mut rec, 0, "pull", 0, 500);
+        let t = rec.begin_batch(0, "pull", 1, SimTime(10_000))[0];
+        rec.on_send(t, SimTime(10_005), SimTime(10_050), false);
+        let sum = rec.finish();
+        let op = sum.op("pull").expect("op");
+        assert_eq!(op.completed, 1);
+        assert_eq!(op.abandoned, 1);
+        assert_eq!(op.exemplars.len(), 1);
+    }
+
+    #[test]
+    fn cache_fill_splits_evenly_with_remainder_to_the_first() {
+        let mut rec = ReqRecorder::new();
+        let toks = rec.begin_batch(0, "pull", 3, SimTime(0));
+        for (i, &t) in toks.iter().enumerate() {
+            let b = i as u64 * 100;
+            rec.on_send(t, SimTime(b + 1), SimTime(b + 2), false);
+            rec.on_dequeue(t, SimTime(b + 3), false);
+            rec.on_send(t, SimTime(b + 4), SimTime(b + 5), true);
+            rec.on_dequeue(t, SimTime(b + 5), true);
+        }
+        rec.cache_fill(0, SimTime(10));
+        let sum = rec.finish();
+        let op = sum.op("pull").expect("op");
+        let fills: Vec<u64> = op.exemplars.iter().map(|e| e.cache_fill_ns).collect();
+        assert_eq!(fills.iter().sum::<u64>(), 10);
+        assert!(fills.contains(&4) && fills.iter().filter(|&&f| f == 3).count() == 2);
+    }
+
+    #[test]
+    fn summary_json_is_integer_only_and_nests_exemplars() {
+        let mut rec = ReqRecorder::new();
+        complete_one(&mut rec, 0, "pull", 0, 750);
+        let sum = rec.finish();
+        let j = sum.to_json();
+        assert!(j.contains("\"op\": \"pull\""));
+        assert!(j.contains("\"total_ns\": 750"));
+        assert!(j.contains("\"server_queue_ns\""));
+        assert!(
+            j.contains("\"p999_ns\""),
+            "op hist carries tail quantiles: {j}"
+        );
+    }
+}

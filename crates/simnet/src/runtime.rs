@@ -22,6 +22,7 @@ use crate::hostprof::{self, Scope as ProfScope};
 use crate::message::Envelope;
 use crate::metrics::MetricsSnapshot;
 use crate::report::{ProcStats, SimReport};
+use crate::reqtrace::{ReqRecorder, ReqToken};
 use crate::time::SimTime;
 use crate::timeseries::TsRecorder;
 
@@ -169,6 +170,10 @@ pub(crate) struct State {
     op_labels: Vec<Option<crate::report::LabelId>>,
     /// Windowed-telemetry scraper (None unless enabled on the builder).
     ts: Option<TsRecorder>,
+    /// Request-scoped trace recorder (None unless enabled on the builder).
+    /// All its hooks run inside this lock and are non-yielding, so traced
+    /// runs stay byte-identical to untraced same-seed runs.
+    req: Option<ReqRecorder>,
 }
 
 impl State {
@@ -340,6 +345,7 @@ impl Shared {
         is_reply: bool,
         payload: Box<dyn Any + Send>,
         bytes: u64,
+        req: Option<ReqToken>,
     ) {
         let _prof = hostprof::scope(ProfScope::SchedSend);
         let mut st = self.state.lock();
@@ -376,6 +382,9 @@ impl Shared {
                 arrival,
                 seq,
             });
+        }
+        if let (Some(tok), Some(rec)) = (req, &mut st.req) {
+            rec.on_send(tok, now, arrival, is_reply);
         }
         st.procs[me].stats.msgs_sent += 1;
         st.procs[me].stats.bytes_sent += bytes;
@@ -419,6 +428,7 @@ impl Shared {
                     seq,
                     sent_at: now,
                     arrival,
+                    req,
                 },
             );
         }
@@ -458,6 +468,12 @@ impl Shared {
                         tag: env.tag,
                         seq: env.seq,
                     });
+                }
+                if let Some(tok) = env.req {
+                    let clock = st.procs[me].clock;
+                    if let Some(rec) = &mut st.req {
+                        rec.on_dequeue(tok, clock, env.is_reply);
+                    }
                 }
                 self.reschedule(&mut st, me);
                 return Some(env);
@@ -517,6 +533,12 @@ impl Shared {
     // sequence/correlation number is consumed, no other process is woken —
     // so an instrumented run is timing-identical to an uninstrumented one.
 
+    /// The spawn-time name of a process — for diagnostics (panic messages,
+    /// logs). Not a yield point.
+    pub(crate) fn proc_name(&self, me: usize) -> String {
+        self.state.lock().procs[me].name.clone()
+    }
+
     pub(crate) fn metric_add(&self, me: usize, name: &str, delta: u64) {
         let _prof = hostprof::scope(ProfScope::MetricsRecord);
         let mut st = self.state.lock();
@@ -539,6 +561,29 @@ impl Shared {
         let t = st.procs[me].clock;
         st.ts_roll(t);
         st.metrics.observe(name, dt);
+    }
+
+    /// Mint request-trace tokens for one fabric op (empty when request
+    /// tracing is off). Ids come from the recorder's own counter — no
+    /// sequence or correlation number is consumed. Not a yield point.
+    pub(crate) fn req_begin_batch(&self, me: usize, op: &str, n: usize) -> Vec<ReqToken> {
+        let _prof = hostprof::scope(ProfScope::MetricsRecord);
+        let mut st = self.state.lock();
+        let now = st.procs[me].clock;
+        match &mut st.req {
+            Some(rec) => rec.begin_batch(me, op, n, now),
+            None => Vec::new(),
+        }
+    }
+
+    /// Attribute `dt` of post-gather client work to `me`'s open request
+    /// batch and seal it. Not a yield point.
+    pub(crate) fn req_cache_fill(&self, me: usize, dt: SimTime) {
+        let _prof = hostprof::scope(ProfScope::MetricsRecord);
+        let mut st = self.state.lock();
+        if let Some(rec) = &mut st.req {
+            rec.cache_fill(me, dt);
+        }
     }
 
     pub(crate) fn trace_mark(&self, me: usize, label: &'static str, payload: Option<u64>) {
@@ -734,6 +779,7 @@ pub struct SimBuilder {
     cfg: SimConfig,
     tracing: bool,
     ts: Option<(SimTime, usize)>,
+    reqtrace: bool,
 }
 
 impl SimBuilder {
@@ -785,6 +831,17 @@ impl SimBuilder {
         self
     }
 
+    /// Record request-scoped traces: per-request stage latencies
+    /// (issue/network/queue/service/reply/cache-fill) and deterministic
+    /// slowest-request exemplars per op, exported on
+    /// [`SimReport::reqs`](crate::SimReport::reqs). Recording is
+    /// non-yielding: a traced run is byte-identical to an untraced
+    /// same-seed run.
+    pub fn reqtrace(mut self, on: bool) -> SimBuilder {
+        self.reqtrace = on;
+        self
+    }
+
     pub fn build(self) -> SimRuntime {
         install_quiet_hook();
         SimRuntime {
@@ -810,6 +867,7 @@ impl SimBuilder {
                     labels: Vec::new(),
                     op_labels: Vec::new(),
                     ts: self.ts.map(|(w, c)| TsRecorder::new(w, c)),
+                    req: self.reqtrace.then(ReqRecorder::new),
                 }),
                 cv: Condvar::new(),
             }),
@@ -914,6 +972,7 @@ impl SimRuntime {
             .map(|p| p.clock)
             .max()
             .unwrap_or(SimTime::ZERO);
+        let reqs = st.req.take().map(ReqRecorder::finish);
         let timeseries = st.ts.take().map(|ts| {
             let procs: Vec<(u64, u64)> = st
                 .procs
@@ -951,6 +1010,7 @@ impl SimRuntime {
             labels: st.labels.clone(),
             net: self.shared.cfg.net.clone(),
             timeseries,
+            reqs,
             host,
         })
     }

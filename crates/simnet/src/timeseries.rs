@@ -43,12 +43,59 @@ use crate::time::SimTime;
 pub const DEFAULT_CAPACITY: usize = 4096;
 
 /// Per-window delta of one histogram.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct HistDelta {
     /// Observations recorded within the window.
     pub count: u64,
     /// Sum of the durations recorded within the window, in nanoseconds.
     pub sum_ns: u64,
+    /// Sparse log-linear bucket deltas `(bucket index, count)` in index
+    /// order — the window's own sample distribution, so per-window tail
+    /// quantiles (p99/p999) are computable, which is what the watchdog's
+    /// SLO burn-rate detector consumes.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistDelta {
+    /// Quantile upper bound over this window's samples (log-linear bucket
+    /// resolution: within `2^-SUB_BITS` ≈ 3.1% of the true value). Zero for
+    /// an empty window.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        crate::metrics::sparse_quantile_ns(&self.buckets, self.count, q)
+    }
+
+    /// Samples in this window strictly above `target_ns`'s bucket — the
+    /// "bad event" count of a latency SLO. Boundary samples inside the
+    /// target's own bucket count as good (one-bucket blur, ≤ 3.1%).
+    pub fn over_target(&self, target_ns: u64) -> u64 {
+        let cut = crate::metrics::bucket_of(target_ns) as u32;
+        self.buckets
+            .iter()
+            .filter(|&&(k, _)| k > cut)
+            .map(|&(_, c)| c)
+            .sum()
+    }
+}
+
+/// Delta between two sparse bucket lists (both in index order; `cur` has
+/// grown monotonically from `prev`).
+fn sparse_delta(cur: &[(u32, u64)], prev: &[(u32, u64)]) -> Vec<(u32, u64)> {
+    let mut out = Vec::new();
+    let mut pi = 0usize;
+    for &(k, c) in cur {
+        while pi < prev.len() && prev[pi].0 < k {
+            pi += 1;
+        }
+        let p = if pi < prev.len() && prev[pi].0 == k {
+            prev[pi].1
+        } else {
+            0
+        };
+        if c > p {
+            out.push((k, c - p));
+        }
+    }
+    out
 }
 
 /// One process's sample inside a window.
@@ -154,12 +201,16 @@ impl TimeSeries {
             for (j, (k, h)) in w.hists.iter().enumerate() {
                 let _ = write!(
                     s,
-                    "{}{}: {{\"count\": {}, \"sum_ns\": {}}}",
+                    "{}{}: {{\"count\": {}, \"sum_ns\": {}, \"buckets\": [",
                     if j == 0 { "" } else { ", " },
                     json_str(k),
                     h.count,
                     h.sum_ns
                 );
+                for (bi, &(bk, bc)) in h.buckets.iter().enumerate() {
+                    let _ = write!(s, "{}[{}, {}]", if bi == 0 { "" } else { ", " }, bk, bc);
+                }
+                s.push_str("]}");
             }
             s.push_str("}, \"procs\": [");
             for (j, p) in w.procs.iter().enumerate() {
@@ -252,18 +303,17 @@ impl TsRecorder {
             metrics.gauges().map(|(k, v)| (k.to_string(), v)).collect();
         let mut hists = BTreeMap::new();
         for (k, h) in metrics.hists() {
-            let (lc, ls) = self
-                .last
-                .hist(k)
-                .map(|p| (p.count(), p.sum_ns()))
-                .unwrap_or((0, 0));
+            let prev = self.last.hist(k);
+            let (lc, ls) = prev.map(|p| (p.count(), p.sum_ns())).unwrap_or((0, 0));
             let count = h.count() - lc;
             if count > 0 {
+                let prev_buckets = prev.map(|p| p.sparse_buckets()).unwrap_or_default();
                 hists.insert(
                     k.to_string(),
                     HistDelta {
                         count,
                         sum_ns: h.sum_ns() - ls,
+                        buckets: sparse_delta(&h.sparse_buckets(), &prev_buckets),
                     },
                 );
             }
@@ -413,7 +463,11 @@ mod tests {
             ts.windows[0].hists["h"],
             HistDelta {
                 count: 2,
-                sum_ns: 300
+                sum_ns: 300,
+                buckets: vec![
+                    (crate::metrics::bucket_of(100) as u32, 1),
+                    (crate::metrics::bucket_of(200) as u32, 1),
+                ],
             }
         );
         assert_eq!(ts.windows[1].gauge("g"), Some(-2));
@@ -421,9 +475,15 @@ mod tests {
             ts.windows[1].hists["h"],
             HistDelta {
                 count: 1,
-                sum_ns: 50
+                sum_ns: 50,
+                buckets: vec![(crate::metrics::bucket_of(50) as u32, 1)],
             }
         );
+        // The second window's delta buckets see only its own sample, so the
+        // per-window p999 tracks the window, not the run.
+        assert_eq!(ts.windows[1].hists["h"].quantile_ns(0.999), 50);
+        assert_eq!(ts.windows[0].hists["h"].over_target(150), 1);
+        assert_eq!(ts.windows[0].hists["h"].over_target(500), 0);
     }
 
     #[test]

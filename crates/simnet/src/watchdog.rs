@@ -35,6 +35,12 @@ pub enum AlertKind {
     /// Training iterations ran but the loss moved less than epsilon for K
     /// consecutive active windows.
     ConvergenceStall,
+    /// An SLO's error budget is burning too fast: the bad-event rate
+    /// exceeded `burn × budget` over both the fast and the slow trailing
+    /// window spans (multi-window burn-rate alerting — a short spike alone
+    /// does not page, nor does a slow leak that the fast window has already
+    /// recovered from).
+    SloBurn,
 }
 
 impl AlertKind {
@@ -47,6 +53,97 @@ impl AlertKind {
             AlertKind::HotRow => "watchdog.hot_row",
             AlertKind::ServerSkew => "watchdog.server_skew",
             AlertKind::ConvergenceStall => "watchdog.stall",
+            AlertKind::SloBurn => "watchdog.slo_burn",
+        }
+    }
+}
+
+/// What an SLO objective measures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SloKind {
+    /// Per-window latency objective over a registry histogram: a request
+    /// slower than `target_ns` is a bad event; `budget_milli`/1000 is the
+    /// tolerated bad-event fraction (1 = p99.9, 10 = p99).
+    Latency {
+        /// Histogram metric name, e.g. `ps.client.op.pull_rows.latency`.
+        hist: String,
+        target_ns: u64,
+        budget_milli: u64,
+    },
+    /// Error-rate objective over two counters: `errors`-per-`total` must
+    /// stay under `budget_milli`/1000.
+    ErrorRate {
+        errors: String,
+        total: String,
+        budget_milli: u64,
+    },
+}
+
+/// One declared service-level objective, evaluated over timeseries windows
+/// by [`Watchdog::evaluate_slo`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SloObjective {
+    /// Human-readable name, e.g. `pull_rows.p999`. Becomes the alert
+    /// subject.
+    pub name: String,
+    pub kind: SloKind,
+}
+
+impl SloObjective {
+    /// p999 latency objective: fewer than 0.1% of `hist`'s requests per
+    /// window span may exceed `target`.
+    pub fn latency_p999(name: &str, hist: &str, target: SimTime) -> SloObjective {
+        SloObjective {
+            name: name.to_string(),
+            kind: SloKind::Latency {
+                hist: hist.to_string(),
+                target_ns: target.as_nanos(),
+                budget_milli: 1,
+            },
+        }
+    }
+
+    /// Error-rate objective: `errors`/`total` must stay under
+    /// `budget_milli`/1000.
+    pub fn error_rate(name: &str, errors: &str, total: &str, budget_milli: u64) -> SloObjective {
+        SloObjective {
+            name: name.to_string(),
+            kind: SloKind::ErrorRate {
+                errors: errors.to_string(),
+                total: total.to_string(),
+                budget_milli,
+            },
+        }
+    }
+
+    /// Render in the workspace's hand-rolled JSON style (fixed key order,
+    /// integers and strings only).
+    pub fn to_json(&self) -> String {
+        match &self.kind {
+            SloKind::Latency {
+                hist,
+                target_ns,
+                budget_milli,
+            } => format!(
+                "{{\"name\": {}, \"kind\": \"latency\", \"hist\": {}, \
+                 \"target_ns\": {}, \"budget_milli\": {}}}",
+                crate::metrics::json_str(&self.name),
+                crate::metrics::json_str(hist),
+                target_ns,
+                budget_milli
+            ),
+            SloKind::ErrorRate {
+                errors,
+                total,
+                budget_milli,
+            } => format!(
+                "{{\"name\": {}, \"kind\": \"error_rate\", \"errors\": {}, \
+                 \"total\": {}, \"budget_milli\": {}}}",
+                crate::metrics::json_str(&self.name),
+                crate::metrics::json_str(errors),
+                crate::metrics::json_str(total),
+                budget_milli
+            ),
         }
     }
 }
@@ -95,6 +192,15 @@ pub struct WatchdogConfig {
     /// Loss-delta epsilon in micros, applied independently to each loss
     /// gauge (`ml.loss_micro` and the per-mode `ml.loss_micro.<mode>`).
     pub stall_eps_micro: i64,
+    /// Trailing windows of the fast SLO burn span (catches the spike).
+    pub slo_fast_windows: usize,
+    /// Trailing windows of the slow SLO burn span (confirms it is
+    /// sustained).
+    pub slo_slow_windows: usize,
+    /// Burn-rate threshold ×1000: both spans' bad-event rate must exceed
+    /// `slo_burn_milli/1000 ×` the objective's budget. 10000 = burning the
+    /// budget 10× too fast.
+    pub slo_burn_milli: u64,
 }
 
 impl Default for WatchdogConfig {
@@ -110,6 +216,9 @@ impl Default for WatchdogConfig {
             skew_min_total: 64,
             stall_windows: 3,
             stall_eps_micro: 100,
+            slo_fast_windows: 3,
+            slo_slow_windows: 12,
+            slo_burn_milli: 10_000,
         }
     }
 }
@@ -156,6 +265,94 @@ impl Watchdog {
             self.server_skew(w, &served_keys, &mut alerts);
             self.stall(w, &mut stall_state, &mut alerts);
         }
+        alerts
+    }
+
+    /// Evaluate declared SLO objectives over `report.timeseries` with
+    /// multi-window burn-rate alerting. Per window and objective the
+    /// bad-event fraction is computed over the trailing
+    /// [`WatchdogConfig::slo_fast_windows`] and
+    /// [`WatchdogConfig::slo_slow_windows`] spans; an alert fires — at the
+    /// exact window-end virtual timestamp — only when **both** spans burn
+    /// the objective's error budget faster than
+    /// [`WatchdogConfig::slo_burn_milli`]/1000×. After firing, the spans
+    /// reset so one sustained violation raises one alert per episode, not
+    /// one per window. `value_milli` is the fast span's burn rate ×1000.
+    pub fn evaluate_slo(&self, report: &SimReport, objectives: &[SloObjective]) -> Vec<Alert> {
+        let Some(ts) = &report.timeseries else {
+            return Vec::new();
+        };
+        let mut alerts = Vec::new();
+        // Short runs shrink the slow span to the whole run instead of
+        // never accumulating enough evidence to alert at all.
+        let slow_span = self
+            .cfg
+            .slo_slow_windows
+            .max(1)
+            .min(ts.windows.len().max(1));
+        for obj in objectives {
+            let budget_milli = match &obj.kind {
+                SloKind::Latency { budget_milli, .. } => (*budget_milli).max(1),
+                SloKind::ErrorRate { budget_milli, .. } => (*budget_milli).max(1),
+            };
+            // Trailing (bad, total) pairs, newest last, slow-span length.
+            let mut ring: std::collections::VecDeque<(u64, u64)> =
+                std::collections::VecDeque::new();
+            for w in &ts.windows {
+                let (bad, total) = match &obj.kind {
+                    SloKind::Latency {
+                        hist, target_ns, ..
+                    } => w
+                        .hists
+                        .get(hist)
+                        .map(|h| (h.over_target(*target_ns), h.count))
+                        .unwrap_or((0, 0)),
+                    SloKind::ErrorRate { errors, total, .. } => {
+                        (w.counter(errors), w.counter(total))
+                    }
+                };
+                ring.push_back((bad, total));
+                if ring.len() > slow_span {
+                    ring.pop_front();
+                }
+                if ring.len() < slow_span {
+                    // Not enough trailing evidence yet — either the run just
+                    // started or an alert fired and reset the spans. This is
+                    // the episode-suppression mechanism: a sustained
+                    // violation must refill the slow span before it can
+                    // page again.
+                    continue;
+                }
+                let span_burn = |span: usize| -> Option<u64> {
+                    let (b, t) = ring
+                        .iter()
+                        .rev()
+                        .take(span.max(1))
+                        .fold((0u64, 0u64), |(b, t), &(wb, wt)| (b + wb, t + wt));
+                    // burn ×1000 = (bad/total) / (budget_milli/1000) × 1000
+                    (t > 0).then(|| b.saturating_mul(1_000_000) / (t * budget_milli))
+                };
+                let fast = span_burn(self.cfg.slo_fast_windows);
+                let slow = span_burn(slow_span);
+                if let (Some(f), Some(s)) = (fast, slow) {
+                    if f >= self.cfg.slo_burn_milli && s >= self.cfg.slo_burn_milli {
+                        alerts.push(Alert {
+                            kind: AlertKind::SloBurn,
+                            at: SimTime(w.end_ns),
+                            window: w.index,
+                            proc: None,
+                            subject: obj.name.clone(),
+                            value_milli: f.min(i64::MAX as u64) as i64,
+                        });
+                        ring.clear();
+                    }
+                }
+            }
+        }
+        // Objectives are evaluated one at a time; restore global window
+        // order (ties by subject) so the list is deterministic and reads
+        // like a timeline.
+        alerts.sort_by(|a, b| a.at.cmp(&b.at).then_with(|| a.subject.cmp(&b.subject)));
         alerts
     }
 
@@ -425,7 +622,7 @@ pub fn alerts_json(alerts: &[Alert]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::timeseries::{ProcSample, TimeSeries, TsWindow};
+    use crate::timeseries::{HistDelta, ProcSample, TimeSeries, TsWindow};
     use std::collections::BTreeMap;
 
     fn window(index: u64, end_ns: u64) -> TsWindow {
@@ -456,6 +653,7 @@ mod tests {
                 windows,
                 dropped_windows: 0,
             }),
+            reqs: None,
             host: None,
         }
     }
@@ -598,6 +796,91 @@ mod tests {
         assert_eq!(alerts[0].kind, AlertKind::ConvergenceStall);
         assert_eq!(alerts[0].subject, "ml.loss_micro.ssp2");
         assert_eq!(alerts[0].window, 3);
+    }
+
+    /// A window of the `pull.latency` histogram with `good` fast samples
+    /// (~100 ns) and `bad` slow ones (~1 ms) against a 1 µs target.
+    fn slo_window(index: u64, bad: u64, good: u64) -> TsWindow {
+        let mut w = window(index, (index + 1) * 1_000_000);
+        let mut buckets = Vec::new();
+        if good > 0 {
+            buckets.push((crate::metrics::bucket_of(100) as u32, good));
+        }
+        if bad > 0 {
+            buckets.push((crate::metrics::bucket_of(1_000_000) as u32, bad));
+        }
+        w.hists.insert(
+            "pull.latency".to_string(),
+            HistDelta {
+                count: bad + good,
+                sum_ns: 0,
+                buckets,
+            },
+        );
+        w
+    }
+
+    fn p999_objective() -> SloObjective {
+        SloObjective::latency_p999("pull.p999", "pull.latency", SimTime(1_000))
+    }
+
+    #[test]
+    fn slo_burn_needs_both_fast_and_slow_spans() {
+        // Eleven clean windows, one brief spike, then a sustained burn.
+        let mut windows: Vec<TsWindow> = (0..11).map(|i| slo_window(i, 0, 100)).collect();
+        windows.push(slo_window(11, 1, 99)); // spike: fast span stays under
+        windows.push(slo_window(12, 10, 90));
+        windows.push(slo_window(13, 10, 90));
+        windows.push(slo_window(14, 10, 90));
+        let report = report_with(windows);
+        let alerts = Watchdog::default().evaluate_slo(&report, &[p999_objective()]);
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        let a = &alerts[0];
+        assert_eq!(a.kind, AlertKind::SloBurn);
+        assert_eq!(a.subject, "pull.p999");
+        // Window 13 is where the slow span finally confirms the burn the
+        // fast span saw at 12 — and the timestamp is window-aligned.
+        assert_eq!(a.window, 13);
+        assert_eq!(a.at, SimTime(14 * 1_000_000));
+        assert_eq!(a.at.as_nanos() % 1_000_000, 0);
+        assert!(a.value_milli >= 10_000, "{}", a.value_milli);
+    }
+
+    #[test]
+    fn slo_quiet_when_tail_is_within_budget() {
+        // 0.05% of requests are slow — half the p999 budget.
+        let windows: Vec<TsWindow> = (0..20).map(|i| slo_window(i, 1, 1999)).collect();
+        let report = report_with(windows);
+        let alerts = Watchdog::default().evaluate_slo(&report, &[p999_objective()]);
+        assert!(alerts.is_empty(), "{alerts:?}");
+    }
+
+    #[test]
+    fn slo_error_rate_objective_counts_counters() {
+        let obj = SloObjective::error_rate("pull.errors", "timeouts", "reqs", 10);
+        let mut windows = Vec::new();
+        for i in 0..4u64 {
+            let mut w = window(i, (i + 1) * 1_000_000);
+            w.counters.insert("reqs".to_string(), 100);
+            // 20% timeout rate vs a 1% budget: burn 20×.
+            w.counters.insert("timeouts".to_string(), 20);
+            windows.push(w);
+        }
+        let report = report_with(windows);
+        let alerts = Watchdog::default().evaluate_slo(&report, &[obj]);
+        assert!(!alerts.is_empty());
+        assert_eq!(alerts[0].kind, AlertKind::SloBurn);
+        assert_eq!(alerts[0].subject, "pull.errors");
+    }
+
+    #[test]
+    fn slo_objective_json_has_fixed_keys() {
+        let j = p999_objective().to_json();
+        assert!(j.contains("\"kind\": \"latency\""));
+        assert!(j.contains("\"target_ns\": 1000"));
+        assert!(j.contains("\"budget_milli\": 1"));
+        let j = SloObjective::error_rate("e", "a", "b", 5).to_json();
+        assert!(j.contains("\"kind\": \"error_rate\""));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the simulator's invariants.
 
 use proptest::prelude::*;
-use ps2_simnet::{NetConfig, ProcId, SimBuilder, SimTime};
+use ps2_simnet::{NetConfig, ProcId, SimBuilder, SimTime, VtHistogram};
 
 fn quiet_net() -> NetConfig {
     NetConfig {
@@ -177,6 +177,100 @@ proptest! {
         sim.run().unwrap();
         for s in slots {
             prop_assert!(s.take());
+        }
+    }
+}
+
+fn hist_of(values: &[u64]) -> VtHistogram {
+    let mut h = VtHistogram::default();
+    for &v in values {
+        h.observe(SimTime(v));
+    }
+    h
+}
+
+// Properties of the mergeable log-linear latency histogram: the quantile
+// estimator is monotone in `q`, and merging two histograms (the wire form
+// used by per-window timeseries deltas and cross-proc op summaries) never
+// produces a quantile outside the interval spanned by the inputs' own
+// quantiles at the same `q`.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `quantile_ns` is monotone non-decreasing in `q` and pinned to the
+    /// observed extremes at the ends: q=1 returns `max_ns` exactly, and q=0
+    /// lands in the minimum's own bucket (within the log-linear relative
+    /// error of 1/2^SUB_BITS).
+    #[test]
+    fn hist_quantile_monotone_in_q(
+        values in prop::collection::vec(0u64..(1u64 << 44), 1..200),
+        qs_milli in prop::collection::vec(0u64..=1000, 2..8),
+    ) {
+        let h = hist_of(&values);
+        let mut qs: Vec<f64> = qs_milli.iter().map(|&m| m as f64 / 1000.0).collect();
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let estimates: Vec<u64> = qs.iter().map(|&q| h.quantile_ns(q)).collect();
+        prop_assert!(
+            estimates.windows(2).all(|w| w[0] <= w[1]),
+            "quantiles not monotone: {qs:?} -> {estimates:?}"
+        );
+        let q0 = h.quantile_ns(0.0);
+        prop_assert!(
+            h.min_ns() <= q0 && q0 <= h.min_ns() + h.min_ns() / 32 + 1,
+            "q=0 estimate {q0} outside min's bucket (min {})", h.min_ns()
+        );
+        prop_assert_eq!(h.quantile_ns(1.0), h.max_ns());
+    }
+
+    /// A merged histogram is exact on count/sum/min/max, and its quantile at
+    /// any `q` stays within the interval spanned by the inputs' quantiles at
+    /// the same `q` — merging shards can coarsen a tail estimate but never
+    /// invent one outside what the shards saw.
+    #[test]
+    fn hist_merge_bounds_input_quantiles(
+        a in prop::collection::vec(0u64..(1u64 << 44), 1..120),
+        b in prop::collection::vec(0u64..(1u64 << 44), 1..120),
+        qs_milli in prop::collection::vec(0u64..=1000, 1..6),
+    ) {
+        let qs: Vec<f64> = qs_milli.iter().map(|&m| m as f64 / 1000.0).collect();
+        let ha = hist_of(&a);
+        let hb = hist_of(&b);
+        let mut hm = ha.clone();
+        hm.merge(&hb);
+
+        prop_assert_eq!(hm.count(), ha.count() + hb.count());
+        prop_assert_eq!(hm.sum_ns(), ha.sum_ns() + hb.sum_ns());
+        prop_assert_eq!(hm.min_ns(), ha.min_ns().min(hb.min_ns()));
+        prop_assert_eq!(hm.max_ns(), ha.max_ns().max(hb.max_ns()));
+
+        for &q in &qs {
+            let (qa, qb, qm) = (ha.quantile_ns(q), hb.quantile_ns(q), hm.quantile_ns(q));
+            prop_assert!(
+                qa.min(qb) <= qm && qm <= qa.max(qb),
+                "q={q}: merged {qm} outside [{}, {}]", qa.min(qb), qa.max(qb)
+            );
+        }
+    }
+
+    /// Merging is order-insensitive on everything the SLO report consumes:
+    /// a⊕b and b⊕a agree on count, sum, extremes, buckets, and quantiles.
+    #[test]
+    fn hist_merge_is_commutative(
+        a in prop::collection::vec(0u64..(1u64 << 44), 0..80),
+        b in prop::collection::vec(0u64..(1u64 << 44), 0..80),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.sum_ns(), ba.sum_ns());
+        prop_assert_eq!(ab.min_ns(), ba.min_ns());
+        prop_assert_eq!(ab.max_ns(), ba.max_ns());
+        prop_assert_eq!(ab.sparse_buckets(), ba.sparse_buckets());
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(ab.quantile_ns(q), ba.quantile_ns(q));
         }
     }
 }

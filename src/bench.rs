@@ -23,6 +23,7 @@ use crate::ml::optim::Optimizer;
 use crate::ml::svm::{train_svm, SvmConfig};
 use crate::ps::ConsistencyMode;
 use crate::simnet::hostprof::{self, HostProfile};
+use crate::simnet::{slo_json, SloObjective, Watchdog};
 use crate::tracefile::{parse_json, render_json_string, JsonValue};
 use crate::{run_ps2_with, ClusterSpec, SimBuilder, SimTime};
 
@@ -62,6 +63,46 @@ pub fn small_cases(workers: usize, servers: usize, iters: usize) -> Vec<BenchCas
     ]
 }
 
+/// The service-level objectives a preset's PS traffic is held to, evaluated
+/// by [`Watchdog::evaluate_slo`](crate::simnet::Watchdog::evaluate_slo) over
+/// the run's telemetry windows.
+///
+/// Latency targets are calibrated from healthy seed-42 runs of each preset
+/// at gate scale (4 workers / 4 servers): the target sits ~2× above the
+/// observed p999, so a healthy run never burns budget while a straggling
+/// server or a saturated NIC trips the multi-window burn alert. Unknown
+/// presets (including ad-hoc `--rows/--dim` shapes) get the generic tier.
+pub fn preset_slos(preset: Option<&str>) -> Vec<SloObjective> {
+    // (pull p999 target, push p999 target), nanoseconds of virtual time.
+    // Healthy p999s observed: kddb lr/svm 226–318 µs, kdd12 lr 214 µs.
+    let (pull_ns, push_ns) = match preset {
+        Some("kddb") => (1_000_000, 1_000_000),
+        Some("kdd12") => (1_000_000, 1_000_000),
+        // ctr / gender are interactive-scale presets; keep a roomy bound.
+        Some("ctr") | Some("gender") => (2_000_000, 2_000_000),
+        _ => (2_000_000, 2_000_000),
+    };
+    vec![
+        SloObjective::latency_p999(
+            "ps.pull.p999",
+            "ps.client.op.pull.latency",
+            SimTime(pull_ns),
+        ),
+        SloObjective::latency_p999(
+            "ps.push.p999",
+            "ps.client.op.push.latency",
+            SimTime(push_ns),
+        ),
+        // At most 1% of fabric envelopes may time out.
+        SloObjective::error_rate(
+            "ps.timeouts",
+            "ps.client.timeouts",
+            "ps.client.envelopes",
+            10,
+        ),
+    ]
+}
+
 /// Measurements from a single seeded run of a case.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CaseRun {
@@ -95,6 +136,46 @@ pub fn run_case_profiled(
     seed: u64,
     host: bool,
 ) -> Result<(CaseRun, Option<HostProfile>), String> {
+    let builder = SimBuilder::new().seed(seed);
+    // Profiled runs also scrape 1 ms telemetry windows, so the `scrape.roll`
+    // scope is represented in the host sidecar. Scraping is non-yielding
+    // (proven by the timeseries determinism tests), so the virtual-time
+    // numbers stay identical to the unprofiled sweep's. The cases finish in
+    // a few virtual ms, hence the small window.
+    let builder = if host {
+        builder.timeseries(SimTime::from_millis(1))
+    } else {
+        builder
+    };
+    let report = run_case_report(case, seed, builder)?;
+    let virtual_ns = report.virtual_time.as_nanos();
+    let train_ns = report
+        .metrics
+        .hist("ml.iteration")
+        .map(|h| h.sum_ns())
+        .unwrap_or(0);
+    Ok((
+        CaseRun {
+            seed,
+            virtual_ns,
+            setup_ns: virtual_ns.saturating_sub(train_ns),
+            train_ns,
+            iterations: report.metrics.counter("ml.iterations"),
+            total_msgs: report.total_msgs,
+            total_bytes: report.total_bytes,
+        },
+        report.host,
+    ))
+}
+
+/// Run one case under one seed on the given builder and return the full
+/// [`SimReport`] — the shared core of [`run_case_profiled`] and
+/// [`run_case_slo`].
+fn run_case_report(
+    case: &BenchCase,
+    seed: u64,
+    builder: SimBuilder,
+) -> Result<crate::SimReport, String> {
     let spec = ClusterSpec {
         workers: case.workers,
         servers: case.servers,
@@ -107,17 +188,6 @@ pub fn run_case_profiled(
         "kdd12" => presets::kdd12(workers, seed).gen,
         "ctr" => presets::ctr(workers, seed).gen,
         other => return Err(format!("unknown bench preset '{other}'")),
-    };
-    let builder = SimBuilder::new().seed(seed);
-    // Profiled runs also scrape 1 ms telemetry windows, so the `scrape.roll`
-    // scope is represented in the host sidecar. Scraping is non-yielding
-    // (proven by the timeseries determinism tests), so the virtual-time
-    // numbers stay identical to the unprofiled sweep's. The cases finish in
-    // a few virtual ms, hence the small window.
-    let builder = if host {
-        builder.timeseries(SimTime::from_millis(1))
-    } else {
-        builder
     };
     let (_, report) = match case.algorithm.as_str() {
         "lr" => run_ps2_with(builder, spec, move |ctx, ps2| {
@@ -141,24 +211,71 @@ pub fn run_case_profiled(
         }),
         other => return Err(format!("unknown bench algorithm '{other}'")),
     };
-    let virtual_ns = report.virtual_time.as_nanos();
-    let train_ns = report
-        .metrics
-        .hist("ml.iteration")
-        .map(|h| h.sum_ns())
-        .unwrap_or(0);
-    Ok((
-        CaseRun {
-            seed,
-            virtual_ns,
-            setup_ns: virtual_ns.saturating_sub(train_ns),
-            train_ns,
-            iterations: report.metrics.counter("ml.iterations"),
-            total_msgs: report.total_msgs,
-            total_bytes: report.total_bytes,
-        },
-        report.host,
-    ))
+    Ok(report)
+}
+
+/// Headline numbers from one SLO-traced run of a case.
+#[derive(Clone, Debug)]
+pub struct SloCaseRun {
+    pub name: String,
+    pub seed: u64,
+    /// `(op, p999_ns)` per PS op, in op order.
+    pub p999_by_op: Vec<(String, u64)>,
+    /// SLO burn alerts the run fired.
+    pub burn_alerts: usize,
+    /// The full `ps2-slo-v1` sidecar for this run.
+    pub sidecar: String,
+}
+
+/// Run one case with request tracing and 1 ms telemetry windows and hold it
+/// to [`preset_slos`]. Request tracing is non-yielding, so the virtual-time
+/// numbers match the plain sweep's exactly.
+pub fn run_case_slo(case: &BenchCase, seed: u64) -> Result<SloCaseRun, String> {
+    let builder = SimBuilder::new()
+        .seed(seed)
+        .reqtrace(true)
+        .timeseries(SimTime::from_millis(1));
+    let report = run_case_report(case, seed, builder)?;
+    let objectives = preset_slos(Some(case.preset.as_str()));
+    let alerts = Watchdog::default().evaluate_slo(&report, &objectives);
+    let reqs = report.reqs.as_ref().expect("request tracing was enabled");
+    Ok(SloCaseRun {
+        name: case.name.clone(),
+        seed,
+        p999_by_op: reqs
+            .ops
+            .iter()
+            .filter(|o| o.completed > 0)
+            .map(|o| (o.op.clone(), o.hist.quantile_ns(0.999)))
+            .collect(),
+        burn_alerts: alerts.len(),
+        sidecar: slo_json(reqs, &objectives, &alerts),
+    })
+}
+
+/// Run every case's SLO pass (first seed only — the tail profile is
+/// seed-stable enough for surfacing) and render the combined
+/// `ps2-slo-sweep-v1` document: `{"schema", "cases": [{"name", "seed",
+/// "slo": <ps2-slo-v1>}]}`. Each embedded sidecar is the same document
+/// `ps2-trace slo` reads.
+pub fn slo_sweep(cases: &[BenchCase], seed: u64) -> Result<(Vec<SloCaseRun>, String), String> {
+    let runs: Vec<SloCaseRun> = cases
+        .iter()
+        .map(|c| run_case_slo(c, seed))
+        .collect::<Result<_, _>>()?;
+    let mut s = String::from("{\n  \"schema\": \"ps2-slo-sweep-v1\",\n  \"cases\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\n    {{\"name\": \"{}\", \"seed\": {}, \"slo\": {}}}",
+            if i == 0 { "" } else { "," },
+            r.name,
+            r.seed,
+            r.sidecar.trim_end()
+        );
+    }
+    s.push_str("\n  ]\n}\n");
+    Ok((runs, s))
 }
 
 /// min/median/max of one measurement across seeds.

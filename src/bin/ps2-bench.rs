@@ -2,13 +2,16 @@
 //! regressions against a committed baseline.
 //!
 //! ```text
-//! ps2-bench sweep [--out PATH] [--host-out PATH] [--seeds a,b,c]
-//!                 [--workers N] [--servers N] [--iters N]
+//! ps2-bench sweep [--out PATH] [--host-out PATH] [--slo-out PATH]
+//!                 [--seeds a,b,c] [--workers N] [--servers N] [--iters N]
 //!     run the small case grid, print the summary table, optionally write
 //!     the JSON report (this is how BENCH_pr5.json is generated);
 //!     --host-out additionally runs with the host profiler on and writes a
 //!     wall-clock sidecar (this is how HOST_pr7.json is generated — the
-//!     virtual-time report stays byte-identical either way)
+//!     virtual-time report stays byte-identical either way);
+//!     --slo-out re-runs each case with request tracing on (non-yielding,
+//!     same virtual times), prints per-op p999 + burn-alert headlines, and
+//!     writes the combined ps2-slo-sweep-v1 sidecar
 //!
 //! ps2-bench diff <BASE> <CAND> [--tolerance FRAC] [--gate]
 //!     compare two report files; with --gate, exit 1 when any median
@@ -35,7 +38,7 @@
 use std::process::exit;
 
 use ps2::bench::{
-    compare, compare_modes, mode_cases, mode_sweep, small_cases, sweep, sweep_with_host,
+    compare, compare_modes, mode_cases, mode_sweep, slo_sweep, small_cases, sweep, sweep_with_host,
     BenchReport, HostReport, ModeBenchReport, DEFAULT_SEEDS, MODE_SEEDS,
 };
 
@@ -46,7 +49,7 @@ fn die(msg: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ps2-bench sweep [--out PATH] [--host-out PATH] [--seeds a,b,c] [--workers N] [--servers N] [--iters N]\n\
+        "usage: ps2-bench sweep [--out PATH] [--host-out PATH] [--slo-out PATH] [--seeds a,b,c] [--workers N] [--servers N] [--iters N]\n\
         \x20      ps2-bench diff <BASE> <CAND> [--tolerance FRAC] [--gate]\n\
         \x20      ps2-bench --gate <BASE> [--tolerance FRAC] [--out PATH] [--host-out PATH] [sweep flags]\n\
         \x20      ps2-bench modes [--out PATH] [--seeds a,b] [--workers N] [--servers N] [--iters N] [--gate BASE] [--tolerance FRAC]"
@@ -170,6 +173,46 @@ fn write_host_out(flags: &Flags, host: &Option<HostReport>) {
     println!("host sidecar written to {path}");
 }
 
+/// With `--slo-out PATH`: re-run every case under the first seed with
+/// request tracing on, print each case's per-op p999 headline, and write the
+/// combined `ps2-slo-sweep-v1` document. Request tracing is non-yielding, so
+/// these runs reproduce the sweep's virtual times exactly.
+fn write_slo_out(flags: &Flags, workers: usize, servers: usize, iters: usize, seed: u64) {
+    let Some(path) = flags.get("slo-out") else {
+        return;
+    };
+    let cases = small_cases(workers, servers, iters);
+    let (runs, doc) = slo_sweep(&cases, seed).unwrap_or_else(|e| die(&e));
+    for r in &runs {
+        let ops: Vec<String> = r
+            .p999_by_op
+            .iter()
+            .map(|(op, ns)| format!("{op} p999 {}.{:03}us", ns / 1_000, ns % 1_000))
+            .collect();
+        println!(
+            "slo {} seed {}: {}  burn alerts {}",
+            r.name,
+            r.seed,
+            ops.join("  "),
+            r.burn_alerts
+        );
+    }
+    std::fs::write(path, doc).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    println!("slo sidecar written to {path}");
+}
+
+/// The first `--seeds` entry, or the default grid's first seed.
+fn first_seed(flags: &Flags) -> u64 {
+    match flags.get("seeds") {
+        None => DEFAULT_SEEDS[0],
+        Some(list) => list
+            .split(',')
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or_else(|| die("bad --seeds list")),
+    }
+}
+
 fn gate(base: &BenchReport, cand: &BenchReport, tol_milli: u64) -> ! {
     let violations = compare(base, cand, tol_milli);
     if violations.is_empty() {
@@ -198,6 +241,13 @@ fn main() {
                 println!("report written to {path}");
             }
             write_host_out(&flags, &host);
+            write_slo_out(
+                &flags,
+                flags.get_num("workers", 4usize),
+                flags.get_num("servers", 4usize),
+                flags.get_num("iters", 4usize),
+                first_seed(&flags),
+            );
         }
         "diff" => {
             let Some((base_path, rest)) = rest.split_first() else {
@@ -290,6 +340,13 @@ fn main() {
                 println!("fresh report written to {path}");
             }
             write_host_out(&flags, &host);
+            write_slo_out(
+                &flags,
+                flags.get_num("workers", 4usize),
+                flags.get_num("servers", 4usize),
+                flags.get_num("iters", 4usize),
+                first_seed(&flags),
+            );
             gate(&base, &cand, tolerance_milli(&flags));
         }
         _ => usage(),

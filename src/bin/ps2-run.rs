@@ -29,6 +29,13 @@
 //!                           virtual time and write the windowed series plus
 //!                           watchdog alerts; scraping never perturbs the run
 //!   --window-ms N      time-series window width in virtual ms (default 100)
+//!   --slo-json PATH    trace every PS request end to end (issue → retries →
+//!                      server queue → service → reply → cache fill), hold the
+//!                      run to the preset's SLOs with multi-window burn-rate
+//!                      alerting, and write the `ps2-slo-v1` sidecar (per-op
+//!                      p999 + the K slowest requests with stage breakdowns;
+//!                      inspect with `ps2-trace slo`). Request tracing is
+//!                      non-yielding: the run is bit-identical either way.
 //!   --host-prof-json PATH  turn on the host-side self-profiler (wall-clock
 //!                          timers + counting allocator), print the per-scope
 //!                          cost table, and write it as a hostprof sidecar
@@ -60,7 +67,7 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::process::exit;
 
-use ps2::bench::HostReport;
+use ps2::bench::{preset_slos, HostReport};
 use ps2::ml::deepwalk::{train_deepwalk, DeepWalkBackend, DeepWalkConfig};
 use ps2::ml::fm::{train_fm, FmConfig};
 use ps2::ml::gbdt::{train_gbdt, GbdtBackend, GbdtConfig};
@@ -73,7 +80,9 @@ use ps2::ml::optim::Optimizer;
 use ps2::ml::svm::{train_svm, SvmConfig};
 use ps2::ml::TrainingTrace;
 use ps2::ps::ConsistencyMode;
-use ps2::simnet::{export_trace_with, hostprof, CausalAnalysis, SimTime, Watchdog};
+use ps2::simnet::{
+    export_trace_full, hostprof, slo_json, AlertKind, CausalAnalysis, SimTime, Watchdog,
+};
 use ps2::{run_ps2_with, ClusterSpec, RunReport, SimBuilder};
 use ps2_data::{presets, CorpusGen, GraphGen, RandomWalks, SparseDatasetGen};
 
@@ -155,6 +164,10 @@ outputs:
                          virtual time, run the skew/straggler watchdog over
                          the windows, and write the windowed series as JSON
   --window-ms N          time-series window width in virtual ms (default 100)
+  --slo-json PATH        trace every PS request end to end, evaluate the
+                         preset's SLOs with burn-rate alerting, and write the
+                         ps2-slo-v1 sidecar (see ps2-trace slo); the traced
+                         run is bit-identical to an untraced one
   --host-prof-json PATH  profile the host cost (wall-clock + allocations) of
                          running the simulator itself and write the sidecar
                          (never changes the simulated run; see ps2-trace host)
@@ -205,14 +218,26 @@ fn main() {
     // Tracing is off unless a trace is actually wanted: recording is
     // timing-neutral but costs memory proportional to event count.
     let want_trace = args.flags.contains_key("trace-json");
+    let want_slo = args.flags.contains_key("slo-json");
+    // Request tracing rides along with either sink that can show it; like
+    // event tracing it is non-yielding, so enabling it never moves a clock.
+    let want_reqtrace = want_trace || want_slo;
     // Time-series scraping is likewise opt-in; it is non-yielding, so the
-    // run itself is unaffected either way.
-    let ts_window = args
-        .flags
-        .contains_key("timeseries-json")
-        .then(|| SimTime::from_millis(args.get("window-ms", 100u64)));
+    // run itself is unaffected either way. SLO burn rates are evaluated
+    // over telemetry windows, so --slo-json without an explicit window
+    // still scrapes — at 1 ms, matching the gate presets' scale.
+    let ts_window = if args.flags.contains_key("timeseries-json") {
+        Some(SimTime::from_millis(args.get("window-ms", 100u64)))
+    } else if want_slo {
+        Some(SimTime::from_millis(args.get("window-ms", 1u64)))
+    } else {
+        None
+    };
     let mk_builder = move || {
-        let b = SimBuilder::new().seed(seed).trace(want_trace);
+        let b = SimBuilder::new()
+            .seed(seed)
+            .trace(want_trace)
+            .reqtrace(want_reqtrace);
         match ts_window {
             Some(w) => b.timeseries(w),
             None => b,
@@ -438,8 +463,17 @@ fn main() {
 
     // The watchdog is a pure pass over the windowed series; alerts land in
     // the event trace (as instant marks) and in the console summary below.
+    // SLO objectives are evaluated in the same pass when --slo-json asked
+    // for them.
+    let objectives = if want_slo {
+        preset_slos(preset.as_deref())
+    } else {
+        Vec::new()
+    };
     let alerts = if report.timeseries.is_some() {
-        let alerts = Watchdog::default().evaluate(&report);
+        let wd = Watchdog::default();
+        let mut alerts = wd.evaluate(&report);
+        alerts.extend(wd.evaluate_slo(&report, &objectives));
         if want_trace {
             Watchdog::annotate(&mut report, &alerts);
         }
@@ -447,6 +481,13 @@ fn main() {
     } else {
         Vec::new()
     };
+    // The machine-readable SLO sidecar: per-op request summaries with
+    // exemplars, the objectives, and any burn alerts. Also embedded in the
+    // event trace so one file carries everything.
+    let slo_sidecar = report
+        .reqs
+        .as_ref()
+        .map(|r| slo_json(r, &objectives, &alerts));
 
     print_trace(&trace);
     // Wall time in fixed human units (ms, one decimal) — `{:?}` on a
@@ -481,8 +522,12 @@ fn main() {
         let analysis = CausalAnalysis::from_report(&report)
             .unwrap_or_else(|e| die(&format!("critical-path analysis failed: {e}")));
         println!("\n{}", analysis.render());
-        std::fs::write(path, export_trace_with(&report, Some(&analysis), &alerts))
-            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        let slo = slo_sidecar.as_deref().map(str::trim_end);
+        std::fs::write(
+            path,
+            export_trace_full(&report, Some(&analysis), &alerts, slo),
+        )
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         println!("trace written to {path}  (open in ui.perfetto.dev, or: ps2-trace {path})");
     }
     if let Some(path) = args.flags.get("timeseries-json") {
@@ -512,6 +557,46 @@ fn main() {
                 );
             }
         }
+    }
+    if let Some(path) = args.flags.get("slo-json") {
+        let reqs = report.reqs.as_ref().expect("request tracing was enabled");
+        println!();
+        for o in &reqs.ops {
+            if o.completed == 0 {
+                continue;
+            }
+            // Request latencies live at µs scale; SimTime's second-based
+            // Display would flatten them all to 0.000s.
+            let us = |ns: u64| format!("{}.{:03}us", ns / 1_000, ns % 1_000);
+            println!(
+                "slo: op {:<12} n={:<8} p99 {}  p999 {}  max {}",
+                o.op,
+                o.completed,
+                us(o.hist.quantile_ns(0.99)),
+                us(o.hist.quantile_ns(0.999)),
+                us(o.hist.max_ns()),
+            );
+        }
+        let burns: Vec<_> = alerts
+            .iter()
+            .filter(|a| a.kind == AlertKind::SloBurn)
+            .collect();
+        if burns.is_empty() {
+            println!("slo: all {} objectives within budget", objectives.len());
+        } else {
+            for a in &burns {
+                println!(
+                    "slo: BURN {} at {} (window {}, {}x budget)",
+                    a.subject,
+                    a.at,
+                    a.window,
+                    a.value_milli / 1000,
+                );
+            }
+        }
+        std::fs::write(path, slo_sidecar.as_deref().expect("reqtrace was enabled"))
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!("slo report written to {path}  (inspect with: ps2-trace slo {path})");
     }
     // Last, after every export above, so post-run work done on this thread
     // (perfetto rendering, metrics serialization) is folded into the profile

@@ -21,6 +21,16 @@
 //!                            Wall time is host noise, hence the deliberately
 //!                            loose default; this catches order-of-magnitude
 //!                            slowdowns of the simulator itself, not jitter.
+//! ps2-trace slo <FILE>       print the request-tail report from a ps2-slo-v1
+//!                            sidecar (`ps2-run --slo-json`) or a trace file
+//!                            embedding one: per-op p50/p99/p999/max, the K
+//!                            slowest requests with their stage breakdowns,
+//!                            the declared objectives, and any burn alerts
+//! ps2-trace slo diff <BASE> <CAND> [--tolerance FRAC]
+//!                            compare two SLO sidecars; exit 1 when any op's
+//!                            p999 regressed beyond FRAC (default 0.25) or
+//!                            the candidate has burn alerts the baseline
+//!                            didn't — the CI tail-latency gate
 //! ```
 //!
 //! Trace input is a Chrome trace-event JSON file (loadable in
@@ -31,7 +41,7 @@
 use std::process::exit;
 
 use ps2::bench::{compare_host, HostReport};
-use ps2::tracefile::TraceSummary;
+use ps2::tracefile::{SloSummary, TraceSummary};
 
 fn die(msg: &str) -> ! {
     eprintln!("ps2-trace: {msg}");
@@ -43,7 +53,9 @@ fn usage() -> ! {
         "usage: ps2-trace <FILE> | ps2-trace report <FILE> | \
          ps2-trace diff <A> <B> [--tolerance FRAC] | \
          ps2-trace host <FILE> | \
-         ps2-trace host diff <BASE> <CAND> [--tolerance FRAC]"
+         ps2-trace host diff <BASE> <CAND> [--tolerance FRAC] | \
+         ps2-trace slo <FILE> | \
+         ps2-trace slo diff <BASE> <CAND> [--tolerance FRAC]"
     );
     exit(2)
 }
@@ -58,6 +70,33 @@ fn load_host(path: &str) -> HostReport {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     HostReport::from_json(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+}
+
+fn load_slo(path: &str) -> SloSummary {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    SloSummary::from_json(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+}
+
+/// The tail-latency gate: compare two SLO sidecars, exit nonzero on a p999
+/// regression past the tolerance or a burn alert the baseline didn't have.
+fn slo_diff(base_path: &str, cand_path: &str, tol_milli: u64) -> ! {
+    let base = load_slo(base_path);
+    let cand = load_slo(cand_path);
+    println!("baseline:  {base_path}\ncandidate: {cand_path}");
+    print!("{}", base.render_diff(&cand));
+    let violations = base.regressions(&cand, tol_milli);
+    if violations.is_empty() {
+        println!(
+            "slo gate passed ({:.1}% tolerance)",
+            tol_milli as f64 / 10.0
+        );
+        exit(0);
+    }
+    for v in &violations {
+        eprintln!("REGRESSION {v}");
+    }
+    exit(1)
 }
 
 fn parse_tolerance(frac: &str) -> u64 {
@@ -93,11 +132,22 @@ fn host_diff(base_path: &str, cand_path: &str, tol_milli: u64) -> ! {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.as_slice() {
-        [file] if file != "report" && file != "diff" && file != "host" => {
+        [file] if file != "report" && file != "diff" && file != "host" && file != "slo" => {
             print!("{}", load(file).render());
         }
         [cmd, file] if cmd == "host" && file != "diff" => {
             print!("{}", load_host(file).render());
+        }
+        [cmd, file] if cmd == "slo" && file != "diff" => {
+            print!("{}", load_slo(file).render());
+        }
+        [cmd, sub, a, b] if cmd == "slo" && sub == "diff" => {
+            // Default tolerance 0.25 (+25%): the p999 of a small run rides
+            // single-bucket granularity, so a tight default would flap.
+            slo_diff(a, b, 250);
+        }
+        [cmd, sub, a, b, flag, frac] if cmd == "slo" && sub == "diff" && flag == "--tolerance" => {
+            slo_diff(a, b, parse_tolerance(frac));
         }
         [cmd, sub, a, b] if cmd == "host" && sub == "diff" => {
             // Default tolerance 3.0 (+300%): loose on purpose — CI wall time

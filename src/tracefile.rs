@@ -609,6 +609,306 @@ impl TraceSummary {
     }
 }
 
+// ---- the SLO / request-trace sidecar ----------------------------------------
+
+/// One exemplar request from the sidecar: a run-unique id plus its full
+/// stage breakdown in writer order.
+#[derive(Debug, Clone)]
+pub struct SloExemplar {
+    pub id: u64,
+    pub issued_at_ns: u64,
+    pub total_ns: u64,
+    pub attempts: u64,
+    /// `(stage name, ns)` pairs, e.g. `("server_queue_ns", 1200)`.
+    pub stages: Vec<(String, u64)>,
+}
+
+/// Per-op request aggregate from the sidecar.
+#[derive(Debug, Clone)]
+pub struct SloOpRow {
+    pub op: String,
+    pub completed: u64,
+    pub abandoned: u64,
+    pub attempts: u64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+    pub max_ns: u64,
+    /// The K slowest requests, slowest first.
+    pub exemplars: Vec<SloExemplar>,
+}
+
+/// A burn alert from the sidecar.
+#[derive(Debug, Clone)]
+pub struct SloAlertRow {
+    pub at_ns: u64,
+    pub window: u64,
+    pub subject: String,
+    pub value_milli: i64,
+}
+
+/// The `ps2-slo-v1` document written by `ps2-run --slo-json` — either as a
+/// standalone sidecar or embedded in a trace file under `"ps2"."slo"`.
+#[derive(Debug, Clone)]
+pub struct SloSummary {
+    pub ops: Vec<SloOpRow>,
+    /// Declared objectives, rendered one line each (name, description).
+    pub objectives: Vec<(String, String)>,
+    pub alerts: Vec<SloAlertRow>,
+}
+
+impl SloSummary {
+    /// Parse either form: a standalone `ps2-slo-v1` sidecar, or a full
+    /// trace file whose `"ps2"` section embeds one.
+    pub fn from_json(text: &str) -> Result<SloSummary, String> {
+        let doc = parse_json(text).map_err(|e| e.to_string())?;
+        let slo = if doc.get("schema").and_then(JsonValue::as_str) == Some("ps2-slo-v1") {
+            &doc
+        } else {
+            doc.get("ps2").and_then(|p| p.get("slo")).ok_or(
+                "no \"ps2\".\"slo\" section and not a ps2-slo-v1 sidecar — \
+                 was this written by ps2-run --slo-json (or --trace-json with SLOs)?",
+            )?
+        };
+        let u64_field = |obj: &JsonValue, key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("slo section: missing/invalid \"{key}\""))
+        };
+        let str_field = |obj: &JsonValue, key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("slo section: missing/invalid \"{key}\""))
+        };
+        let mut ops = Vec::new();
+        for o in slo
+            .get("ops")
+            .and_then(JsonValue::as_arr)
+            .ok_or("slo section: missing \"ops\"")?
+        {
+            let hist = o.get("hist").ok_or("slo op: missing \"hist\"")?;
+            let mut exemplars = Vec::new();
+            for e in o
+                .get("exemplars")
+                .and_then(JsonValue::as_arr)
+                .unwrap_or(&[])
+            {
+                let stages = match e.get("stages") {
+                    Some(JsonValue::Obj(kv)) => kv
+                        .iter()
+                        .map(|(k, v)| {
+                            v.as_u64()
+                                .map(|n| (k.clone(), n))
+                                .ok_or_else(|| format!("exemplar stage \"{k}\" not a count"))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                    _ => return Err("exemplar: missing \"stages\"".to_string()),
+                };
+                exemplars.push(SloExemplar {
+                    id: u64_field(e, "id")?,
+                    issued_at_ns: u64_field(e, "issued_at_ns")?,
+                    total_ns: u64_field(e, "total_ns")?,
+                    attempts: u64_field(e, "attempts")?,
+                    stages,
+                });
+            }
+            ops.push(SloOpRow {
+                op: str_field(o, "op")?,
+                completed: u64_field(o, "completed")?,
+                abandoned: u64_field(o, "abandoned")?,
+                attempts: u64_field(o, "attempts")?,
+                p50_ns: u64_field(hist, "p50_ns")?,
+                p99_ns: u64_field(hist, "p99_ns")?,
+                p999_ns: u64_field(hist, "p999_ns")?,
+                max_ns: u64_field(hist, "max_ns")?,
+                exemplars,
+            });
+        }
+        let mut objectives = Vec::new();
+        for o in slo
+            .get("objectives")
+            .and_then(JsonValue::as_arr)
+            .unwrap_or(&[])
+        {
+            let name = str_field(o, "name")?;
+            let desc = match o.get("kind").and_then(JsonValue::as_str) {
+                Some("latency") => format!(
+                    "latency({}) p999 < {} ns, budget {}/1000",
+                    o.get("hist").and_then(JsonValue::as_str).unwrap_or("?"),
+                    u64_field(o, "target_ns")?,
+                    u64_field(o, "budget_milli")?,
+                ),
+                Some("error_rate") => format!(
+                    "errors({}) / total({}) < {}/1000",
+                    o.get("errors").and_then(JsonValue::as_str).unwrap_or("?"),
+                    o.get("total").and_then(JsonValue::as_str).unwrap_or("?"),
+                    u64_field(o, "budget_milli")?,
+                ),
+                other => format!("unknown objective kind {other:?}"),
+            };
+            objectives.push((name, desc));
+        }
+        let mut alerts = Vec::new();
+        for a in slo.get("alerts").and_then(JsonValue::as_arr).unwrap_or(&[]) {
+            alerts.push(SloAlertRow {
+                at_ns: u64_field(a, "at_ns")?,
+                window: u64_field(a, "window")?,
+                subject: str_field(a, "subject")?,
+                value_milli: a
+                    .get("value_milli")
+                    .and_then(JsonValue::as_i64)
+                    .ok_or("alert: missing \"value_milli\"")?,
+            });
+        }
+        Ok(SloSummary {
+            ops,
+            objectives,
+            alerts,
+        })
+    }
+
+    /// Deterministic text report: the per-op tail-latency table, each op's
+    /// exemplar requests with their stage breakdowns, the declared
+    /// objectives, and any burn alerts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let us = |ns: u64| format!("{}.{:03}us", ns / 1_000, ns % 1_000);
+        out.push_str(&format!(
+            "{:<14} {:>9} {:>6} {:>7} {:>13} {:>13} {:>13} {:>13}\n",
+            "op", "completed", "aband", "retries", "p50", "p99", "p999", "max"
+        ));
+        for o in &self.ops {
+            out.push_str(&format!(
+                "{:<14} {:>9} {:>6} {:>7} {:>13} {:>13} {:>13} {:>13}\n",
+                o.op,
+                o.completed,
+                o.abandoned,
+                o.attempts.saturating_sub(o.completed),
+                us(o.p50_ns),
+                us(o.p99_ns),
+                us(o.p999_ns),
+                us(o.max_ns),
+            ));
+        }
+        for o in &self.ops {
+            if o.exemplars.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("slowest {} requests:\n", o.op));
+            for e in &o.exemplars {
+                let stages: Vec<String> = e
+                    .stages
+                    .iter()
+                    .filter(|(_, ns)| *ns > 0)
+                    .map(|(k, ns)| format!("{} {}", k.trim_end_matches("_ns"), us(*ns)))
+                    .collect();
+                out.push_str(&format!(
+                    "  #{:<6} total {:>13}  attempts {}  issued at {}  [{}]\n",
+                    e.id,
+                    us(e.total_ns),
+                    e.attempts,
+                    us(e.issued_at_ns),
+                    stages.join(", "),
+                ));
+            }
+        }
+        if !self.objectives.is_empty() {
+            out.push_str("objectives:\n");
+            for (name, desc) in &self.objectives {
+                out.push_str(&format!("  {name:<16} {desc}\n"));
+            }
+        }
+        if self.alerts.is_empty() {
+            out.push_str("burn alerts: none\n");
+        } else {
+            out.push_str("burn alerts:\n");
+            for a in &self.alerts {
+                out.push_str(&format!(
+                    "  {} at {}  (window {}, {}.{:03}x budget)\n",
+                    a.subject,
+                    us(a.at_ns),
+                    a.window,
+                    a.value_milli / 1000,
+                    (a.value_milli % 1000).unsigned_abs(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Regression gate on the request tail: a violation is a relative
+    /// increase beyond `tolerance_milli` parts-per-thousand in any op's
+    /// p999, a new burn alert the baseline didn't have, or an op losing all
+    /// completions. `self` is the baseline.
+    pub fn regressions(&self, other: &SloSummary, tolerance_milli: u64) -> Vec<String> {
+        let mut out = Vec::new();
+        let cand: BTreeMap<&str, &SloOpRow> =
+            other.ops.iter().map(|o| (o.op.as_str(), o)).collect();
+        for base in &self.ops {
+            let Some(c) = cand.get(base.op.as_str()) else {
+                if base.completed > 0 {
+                    out.push(format!("op {}: vanished from candidate", base.op));
+                }
+                continue;
+            };
+            let a = base.p999_ns;
+            let b = c.p999_ns;
+            let limit = a + a / 1000 * tolerance_milli + a % 1000 * tolerance_milli / 1000;
+            if b > limit {
+                let pct = if a == 0 {
+                    f64::INFINITY
+                } else {
+                    100.0 * (b as f64 - a as f64) / a as f64
+                };
+                out.push(format!(
+                    "op {} p999: {a} ns -> {b} ns (+{pct:.1}%, tolerance {:.1}%)",
+                    base.op,
+                    tolerance_milli as f64 / 10.0
+                ));
+            }
+        }
+        if self.alerts.is_empty() && !other.alerts.is_empty() {
+            for a in &other.alerts {
+                out.push(format!(
+                    "new burn alert: {} at {} ns (window {})",
+                    a.subject, a.at_ns, a.window
+                ));
+            }
+        }
+        out
+    }
+
+    /// Compare two sidecars op by op (`self` is the baseline; positive
+    /// deltas mean the candidate's tail is slower).
+    pub fn render_diff(&self, other: &SloSummary) -> String {
+        let mut out = String::new();
+        let cand: BTreeMap<&str, &SloOpRow> =
+            other.ops.iter().map(|o| (o.op.as_str(), o)).collect();
+        let base: BTreeMap<&str, &SloOpRow> = self.ops.iter().map(|o| (o.op.as_str(), o)).collect();
+        let mut names: Vec<&str> = base.keys().chain(cand.keys()).copied().collect();
+        names.sort_unstable();
+        names.dedup();
+        out.push_str("per-op p999:\n");
+        for name in names {
+            let a = base.get(name).map(|o| o.p999_ns).unwrap_or(0);
+            let b = cand.get(name).map(|o| o.p999_ns).unwrap_or(0);
+            out.push_str(&format!(
+                "  {name:<14} {:>12} ns -> {:>12} ns   delta {:+} ns\n",
+                a,
+                b,
+                b as i64 - a as i64
+            ));
+        }
+        out.push_str(&format!(
+            "burn alerts: {} -> {}\n",
+            self.alerts.len(),
+            other.alerts.len()
+        ));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -637,5 +937,66 @@ mod tests {
     fn summary_requires_ps2_section() {
         let err = TraceSummary::from_json(r#"{"traceEvents": []}"#).unwrap_err();
         assert!(err.contains("ps2"), "unexpected error: {err}");
+    }
+
+    const SLO_DOC: &str = r#"{
+      "schema": "ps2-slo-v1",
+      "ops": [
+        {"op": "pull", "completed": 10, "abandoned": 1, "attempts": 12,
+         "hist": {"count": 10, "sum_ns": 1000, "min_ns": 50, "max_ns": 400,
+                  "p50_ns": 100, "p99_ns": 300, "p999_ns": 400, "buckets": [[10, 10]]},
+         "exemplars": [
+           {"id": 7, "issued_at_ns": 5, "total_ns": 400, "attempts": 2,
+            "stages": {"client_issue_ns": 10, "net_request_ns": 90,
+                       "server_queue_ns": 200, "service_ns": 50,
+                       "net_reply_ns": 40, "client_recv_ns": 10, "cache_fill_ns": 0}}
+         ]}
+      ],
+      "objectives": [
+        {"name": "ps.pull.p999", "kind": "latency", "hist": "ps.client.op.pull.latency",
+         "target_ns": 1000, "budget_milli": 1}
+      ],
+      "alerts": [
+        {"kind": "watchdog.slo_burn", "at_ns": 2000000, "window": 1, "proc": -1,
+         "subject": "ps.pull.p999", "value_milli": 25000}
+      ]
+    }"#;
+
+    #[test]
+    fn slo_summary_reads_sidecar_and_embedded_forms() {
+        let s = SloSummary::from_json(SLO_DOC).unwrap();
+        assert_eq!(s.ops.len(), 1);
+        assert_eq!(s.ops[0].p999_ns, 400);
+        assert_eq!(s.ops[0].exemplars.len(), 1);
+        let e = &s.ops[0].exemplars[0];
+        assert_eq!(e.id, 7);
+        assert_eq!(e.stages.iter().map(|(_, n)| n).sum::<u64>(), e.total_ns);
+        assert_eq!(s.objectives.len(), 1);
+        assert_eq!(s.alerts.len(), 1);
+        assert_eq!(s.alerts[0].at_ns, 2_000_000);
+
+        // The same document embedded in a trace file parses identically.
+        let embedded = format!(r#"{{"traceEvents": [], "ps2": {{"slo": {SLO_DOC}}}}}"#);
+        let s2 = SloSummary::from_json(&embedded).unwrap();
+        assert_eq!(s2.ops[0].p999_ns, s.ops[0].p999_ns);
+        assert_eq!(s2.alerts.len(), 1);
+    }
+
+    #[test]
+    fn slo_regressions_gate_p999_and_new_alerts() {
+        let base = SloSummary::from_json(SLO_DOC).unwrap();
+        let mut cand = base.clone();
+        assert!(base.regressions(&cand, 50).is_empty());
+        cand.ops[0].p999_ns = 500; // +25% > 5% tolerance
+        let v = base.regressions(&cand, 50);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("p999"), "{v:?}");
+
+        // A new alert in the candidate is a violation even when p999 holds.
+        let mut no_alert = base.clone();
+        no_alert.alerts.clear();
+        let v = no_alert.regressions(&base, 50);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("burn alert"), "{v:?}");
     }
 }

@@ -103,6 +103,52 @@ proptest! {
         );
         prop_assert_eq!(parse_json(&text).unwrap(), v);
     }
+
+    /// The log-linear latency histogram round-trips through its JSON wire
+    /// form: `VtHistogram::to_json` → `parse_json` → `from_parts` rebuilds a
+    /// histogram that agrees on count, sum, extremes, buckets, and every
+    /// quantile — the contract the SLO sidecar and `ps2-trace slo` rely on.
+    #[test]
+    fn histogram_round_trips_through_json(
+        values in prop::collection::vec(0u64..(1u64 << 44), 0..150)
+    ) {
+        let mut h = ps2::simnet::VtHistogram::default();
+        for &v in &values {
+            h.observe(ps2::simnet::SimTime(v));
+        }
+
+        let doc = parse_json(&h.to_json()).unwrap();
+        let field = |k: &str| doc.get(k).and_then(JsonValue::as_u64).unwrap();
+        let sparse: Vec<(u32, u64)> = doc
+            .get("buckets")
+            .and_then(JsonValue::as_arr)
+            .unwrap()
+            .iter()
+            .map(|pair| {
+                let kv = pair.as_arr().unwrap();
+                (kv[0].as_u64().unwrap() as u32, kv[1].as_u64().unwrap())
+            })
+            .collect();
+
+        let back = ps2::simnet::VtHistogram::from_parts(
+            field("sum_ns"),
+            field("min_ns"),
+            field("max_ns"),
+            &sparse,
+        )
+        .unwrap();
+
+        prop_assert_eq!(back.count(), h.count());
+        prop_assert_eq!(back.sum_ns(), h.sum_ns());
+        prop_assert_eq!(back.min_ns(), h.min_ns());
+        prop_assert_eq!(back.max_ns(), h.max_ns());
+        prop_assert_eq!(back.sparse_buckets(), h.sparse_buckets());
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(back.quantile_ns(q), h.quantile_ns(q));
+        }
+        // And the re-serialized form is byte-identical (fixpoint).
+        prop_assert_eq!(back.to_json(), h.to_json());
+    }
 }
 
 #[test]
