@@ -30,6 +30,7 @@ pub mod lr;
 mod metrics;
 pub mod modes;
 pub mod optim;
+pub mod serve;
 pub mod ssp;
 pub mod svm;
 

@@ -132,7 +132,7 @@ impl MatrixHandle {
 
     /// Scatter slot-addressed requests through the shared fabric and gather
     /// every reply. One op span (`ps.client.op.{name}.*`) per call.
-    fn fabric_call<P: Any + Send + Clone>(
+    fn fabric_call<P: Any + Send + Sync>(
         &self,
         ctx: &mut SimCtx,
         tag: u32,
@@ -155,7 +155,7 @@ impl MatrixHandle {
     }
 
     /// Single-request form of [`MatrixHandle::fabric_call`].
-    fn fabric_one<P: Any + Send + Clone>(
+    fn fabric_one<P: Any + Send + Sync>(
         &self,
         ctx: &mut SimCtx,
         slot: usize,

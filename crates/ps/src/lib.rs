@@ -28,6 +28,7 @@ mod consistency;
 mod master;
 mod plan;
 mod protocol;
+mod serve;
 mod server;
 
 pub use client::{BatchResult, MatrixHandle, ParamCache, PendingPush, PsBatch};
@@ -38,4 +39,5 @@ pub use consistency::{
 pub use master::{PsConfig, PsFleet, PsMaster};
 pub use plan::{MatrixId, PartitionPlan, Partitioning, PlanKind, RouteTable};
 pub use protocol::{AggKind, ElemOp, InitKind, ZipArgmaxFn, ZipMapFn, ZipMutFn, ZipSegs};
-pub use server::{deploy_ps, ps_server_main, storage_main};
+pub use serve::{create_serve_table, ServeClientAgent, ServeClientConfig};
+pub use server::{deploy_ps, ps_server_main, storage_main, PsServerAgent};

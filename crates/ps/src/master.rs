@@ -230,7 +230,7 @@ impl PsMaster {
     /// Scatter a lifecycle request to every slot through the shared request
     /// fabric — the same retry/re-resolution pipeline data ops use, so a
     /// server dying mid-create or mid-checkpoint is recovered, not hung on.
-    fn fabric_call<P: Any + Send + Clone>(
+    fn fabric_call<P: Any + Send + Sync>(
         &self,
         ctx: &mut SimCtx,
         tag: u32,

@@ -4,7 +4,7 @@ use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use ps2_simnet::{Envelope, ProcId, SimCtx, SimRuntime, SimTime};
+use ps2_simnet::{Envelope, Proc, ProcId, SimCtx, SimRuntime, SimTime, StepCtx};
 
 use crate::plan::{MatrixId, PartitionPlan, PlanKind};
 use crate::protocol::{
@@ -228,6 +228,135 @@ fn mutation_key(tag: u32, payload: &dyn Any) -> Option<(MatrixId, u64)> {
 /// Each request records its queue time (arrival → dequeue: how long it sat
 /// behind earlier work) and service time (dequeue → reply sent) into
 /// per-variant histograms `ps.server.{op}.queue` / `.service`.
+/// The slice of a simulation context the request handlers need, so one
+/// `execute` serves both server flavors: the classic thread server
+/// ([`ps_server_main`], blocking `recv` loop on a [`SimCtx`]) and the
+/// steppable [`PsServerAgent`] (stepped inline on a [`StepCtx`], no OS
+/// thread — the flavor serving scenarios use to stand up large fleets).
+pub(crate) trait ServerCtx {
+    fn id(&self) -> ProcId;
+    fn charge_flops(&mut self, flops: u64);
+    fn charge_mem(&mut self, bytes: u64);
+    fn metric_add(&mut self, name: &str, delta: u64);
+    fn trace_mark_with(&mut self, label: &'static str, payload: u64);
+    fn op_label(&mut self, label: &'static str);
+    fn reply_boxed(&mut self, request: &Envelope, payload: Box<dyn Any + Send>, bytes: u64);
+    /// Blocking mid-request RPC (cross-matrix segment fetches, checkpoint
+    /// storage I/O). Only the thread server supports it; the steppable
+    /// server panics, which is fine for serving fleets that only see
+    /// CREATE/PULL-family traffic.
+    fn call<P: Any + Send>(&mut self, dst: ProcId, tag: u32, payload: P, bytes: u64) -> Envelope;
+}
+
+impl ServerCtx for SimCtx {
+    fn id(&self) -> ProcId {
+        SimCtx::id(self)
+    }
+    fn charge_flops(&mut self, flops: u64) {
+        SimCtx::charge_flops(self, flops)
+    }
+    fn charge_mem(&mut self, bytes: u64) {
+        SimCtx::charge_mem(self, bytes)
+    }
+    fn metric_add(&mut self, name: &str, delta: u64) {
+        SimCtx::metric_add(self, name, delta)
+    }
+    fn trace_mark_with(&mut self, label: &'static str, payload: u64) {
+        SimCtx::trace_mark_with(self, label, payload)
+    }
+    fn op_label(&mut self, label: &'static str) {
+        SimCtx::op_label(self, label)
+    }
+    fn reply_boxed(&mut self, request: &Envelope, payload: Box<dyn Any + Send>, bytes: u64) {
+        SimCtx::reply_boxed(self, request, payload, bytes)
+    }
+    fn call<P: Any + Send>(&mut self, dst: ProcId, tag: u32, payload: P, bytes: u64) -> Envelope {
+        SimCtx::call(self, dst, tag, payload, bytes)
+    }
+}
+
+impl ServerCtx for StepCtx<'_> {
+    fn id(&self) -> ProcId {
+        StepCtx::id(self)
+    }
+    fn charge_flops(&mut self, flops: u64) {
+        StepCtx::charge_flops(self, flops)
+    }
+    fn charge_mem(&mut self, bytes: u64) {
+        StepCtx::charge_mem(self, bytes)
+    }
+    fn metric_add(&mut self, name: &str, delta: u64) {
+        StepCtx::metric_add(self, name, delta)
+    }
+    fn trace_mark_with(&mut self, label: &'static str, payload: u64) {
+        StepCtx::trace_mark_with(self, label, payload)
+    }
+    fn op_label(&mut self, label: &'static str) {
+        StepCtx::op_label(self, label)
+    }
+    fn reply_boxed(&mut self, request: &Envelope, payload: Box<dyn Any + Send>, bytes: u64) {
+        StepCtx::reply_boxed(self, request, payload, bytes)
+    }
+    fn call<P: Any + Send>(
+        &mut self,
+        _dst: ProcId,
+        tag: u32,
+        _payload: P,
+        _bytes: u64,
+    ) -> Envelope {
+        panic!(
+            "ps-server (steppable): op tag {} ({}) needs a blocking mid-request \
+             RPC, which only the thread server (ps_server_main) supports",
+            tag,
+            tags::name(tag)
+        );
+    }
+}
+
+/// Steppable PS server: the same handler chain as [`ps_server_main`], run as
+/// an event-driven agent with no OS thread. Spawn one per server with
+/// [`ps2_simnet::SimRuntime::spawn_agent_daemon`]; it serves every
+/// non-blocking op (CREATE, PULL/PUSH and friends, coalesced ENVELOPEs) and
+/// panics on the few ops that need mid-request RPCs (CROSS_*, CHECKPOINT,
+/// RESTORE).
+pub struct PsServerAgent {
+    shards: HashMap<MatrixId, Shard>,
+    oplog: OpLog,
+}
+
+impl Default for PsServerAgent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PsServerAgent {
+    pub fn new() -> PsServerAgent {
+        PsServerAgent {
+            shards: HashMap::new(),
+            oplog: OpLog::new(),
+        }
+    }
+}
+
+impl Proc for PsServerAgent {
+    fn on_message(&mut self, ctx: &mut StepCtx<'_>, env: Envelope) {
+        if env.is_reply() {
+            // Stray reply from a peer this server never calls; ignore.
+            return;
+        }
+        let op = tags::name(env.tag);
+        let t0 = ctx.now();
+        let queue = t0.saturating_sub(env.arrival);
+        ctx.op_label(op);
+        handle(ctx, &mut self.shards, &mut self.oplog, env);
+        ctx.op_label_clear();
+        ctx.metric_add(&format!("ps.server.p{}.served", StepCtx::id(ctx).0), 1);
+        ctx.metric_observe(&format!("ps.server.{op}.queue"), queue);
+        ctx.metric_observe(&format!("ps.server.{op}.service"), ctx.now() - t0);
+    }
+}
+
 pub fn ps_server_main(ctx: &mut SimCtx) {
     let mut shards: HashMap<MatrixId, Shard> = HashMap::new();
     let mut oplog = OpLog::new();
@@ -249,8 +378,8 @@ pub fn ps_server_main(ctx: &mut SimCtx) {
     }
 }
 
-fn handle(
-    ctx: &mut SimCtx,
+fn handle<C: ServerCtx>(
+    ctx: &mut C,
     shards: &mut HashMap<MatrixId, Shard>,
     oplog: &mut OpLog,
     env: Envelope,
@@ -279,8 +408,8 @@ fn handle(
 }
 
 /// Dedup-then-execute for one request, bare or enveloped.
-fn dispatch_one(
-    ctx: &mut SimCtx,
+fn dispatch_one<C: ServerCtx>(
+    ctx: &mut C,
     shards: &mut HashMap<MatrixId, Shard>,
     oplog: &mut OpLog,
     tag: u32,
@@ -297,8 +426,11 @@ fn dispatch_one(
 }
 
 fn cast<T: 'static>(tag: u32, payload: &dyn Any) -> &T {
+    // Arc-transparent, mirroring `Envelope::downcast_ref`: the fabric ships
+    // request payloads as `Arc<T>` so retries resend without deep-cloning.
     payload
         .downcast_ref::<T>()
+        .or_else(|| payload.downcast_ref::<std::sync::Arc<T>>().map(|a| &**a))
         .unwrap_or_else(|| panic!("ps-server: payload type mismatch for tag {tag}"))
 }
 
@@ -306,8 +438,8 @@ fn cast<T: 'static>(tag: u32, payload: &dyn Any) -> &T {
 /// Pure of reliability concerns: dedup happened in the caller, the reply is
 /// sent by the caller (so envelopes can collect many replies into one
 /// message).
-fn execute(
-    ctx: &mut SimCtx,
+fn execute<C: ServerCtx>(
+    ctx: &mut C,
     shards: &mut HashMap<MatrixId, Shard>,
     tag: u32,
     payload: &dyn Any,

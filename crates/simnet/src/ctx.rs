@@ -460,6 +460,22 @@ impl SimCtx {
         self.shared.spawn_impl(name, true, now, Box::new(f))
     }
 
+    /// Spawn a non-daemon steppable agent at this process's current clock
+    /// (see [`crate::Proc`]). The agent holds no OS thread; the scheduler
+    /// steps it inline on message delivery and timer expiry.
+    pub fn spawn_agent<A: crate::Proc + 'static>(&mut self, name: &str, agent: A) -> ProcId {
+        let now = self.now();
+        self.shared
+            .spawn_agent_impl(name, false, now, Box::new(agent))
+    }
+
+    /// Spawn a daemon steppable agent at this process's current clock.
+    pub fn spawn_agent_daemon<A: crate::Proc + 'static>(&mut self, name: &str, agent: A) -> ProcId {
+        let now = self.now();
+        self.shared
+            .spawn_agent_impl(name, true, now, Box::new(agent))
+    }
+
     /// Forcibly terminate another process (models machine failure). The
     /// victim unwinds at its next scheduling point; in-flight mail to it is
     /// dropped.

@@ -14,8 +14,14 @@
 //!   shuffle fetches: send every request, wait out the attempt deadline,
 //!   resend only the holes, consult the router about route changes, and
 //!   give up (panic) after a bounded number of attempts with no route
-//!   progress. Payloads must be `Clone` because a retry resends the
-//!   *identical* payload — dedup at the receiver relies on that.
+//!   progress. Each payload is wrapped in an `Arc` once at entry and every
+//!   attempt ships a clone of the *handle*, so a retry resends the
+//!   *identical* payload (receiver-side dedup relies on that) and the
+//!   per-attempt deep clone that used to charge the `codec.encode` host
+//!   scope is gone — `PS2_HOSTPROF=1` shows its self-time and allocation
+//!   count drop on the gate sweep, and retried attempts no longer copy
+//!   payload buffers at all. [`Envelope::downcast_ref`] sees through the
+//!   `Arc`, so receivers are none the wiser.
 //! * [`Dispatcher`] — the streaming form used by the task scheduler: callers
 //!   dispatch requests one at a time, harvest replies as they arrive, and
 //!   use [`Dispatcher::take_dead`] to reclaim requests whose destination
@@ -93,7 +99,7 @@ pub struct FabricPolicy {
 ///
 /// `op` labels the span metrics; `items` is an op-defined work measure
 /// (rows touched for PS ops) recorded alongside bytes.
-pub fn call_slots<P: Any + Send + Clone>(
+pub fn call_slots<P: Any + Send + Sync>(
     ctx: &mut SimCtx,
     router: &dyn SlotRouter,
     policy: &FabricPolicy,
@@ -115,6 +121,15 @@ pub fn call_slots<P: Any + Send + Clone>(
     // request tracing is off). Replies carry the token back, so the runtime
     // can stitch together the full stage breakdown.
     let tokens: Vec<ReqToken> = ctx.req_begin_batch(op, n);
+    // Wrap each payload in an Arc exactly once; attempts below clone the
+    // handle, not the data. This is the simulator's stand-in for
+    // serialize-once/resend-bytes, hence the codec scope.
+    let reqs: Vec<(usize, std::sync::Arc<P>, u64)> = {
+        let _prof = hostprof::scope(ProfScope::CodecEncode);
+        reqs.into_iter()
+            .map(|(slot, payload, bytes)| (slot, std::sync::Arc::new(payload), bytes))
+            .collect()
+    };
     let mut replies: Vec<Option<Envelope>> = (0..n).map(|_| None).collect();
     let mut epoch = router.epoch();
     let mut stale_attempts = 0u32;
@@ -137,25 +152,21 @@ pub fn call_slots<P: Any + Send + Clone>(
                 .collect();
         }
         // Resend exactly the identical payload: receivers dedup retried
-        // mutations by op-id, which only works if attempt k+1 is
-        // byte-for-byte attempt k. Cloning the payload into its envelope is
-        // this simulator's stand-in for serialization, hence the codec scope.
-        let batch: Vec<TracedRequest> = {
-            let _prof = hostprof::scope(ProfScope::CodecEncode);
-            outstanding
-                .iter()
-                .map(|&i| {
-                    let (slot, payload, bytes) = &reqs[i];
-                    (
-                        router.resolve(*slot),
-                        tag,
-                        Box::new(payload.clone()) as Box<dyn Any + Send>,
-                        *bytes,
-                        tokens.get(i).copied(),
-                    )
-                })
-                .collect()
-        };
+        // mutations by op-id, which trivially holds here — every attempt
+        // ships another handle to the one Arc'd payload.
+        let batch: Vec<TracedRequest> = outstanding
+            .iter()
+            .map(|&i| {
+                let (slot, payload, bytes) = &reqs[i];
+                (
+                    router.resolve(*slot),
+                    tag,
+                    Box::new(std::sync::Arc::clone(payload)) as Box<dyn Any + Send>,
+                    *bytes,
+                    tokens.get(i).copied(),
+                )
+            })
+            .collect();
         reqs_issued += batch.len() as u64;
         span_bytes += batch.iter().map(|(_, _, _, b, _)| *b).sum::<u64>();
         ctx.metric_add(&format!("{scope}.envelopes"), batch.len() as u64);
@@ -197,7 +208,7 @@ pub fn call_slots<P: Any + Send + Clone>(
 
 /// Convenience single-destination form of [`call_slots`].
 #[allow(clippy::too_many_arguments)]
-pub fn call_slot<P: Any + Send + Clone>(
+pub fn call_slot<P: Any + Send + Sync>(
     ctx: &mut SimCtx,
     router: &dyn SlotRouter,
     policy: &FabricPolicy,

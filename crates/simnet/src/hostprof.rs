@@ -67,9 +67,12 @@ pub enum Scope {
     ScrapeRoll,
     /// End-of-run trace sort and Perfetto/JSON export.
     TraceExport,
+    /// Inline stepping of event-driven agents (`Proc` callbacks plus the
+    /// per-step event selection and bookkeeping around them).
+    SchedStep,
 }
 
-pub const SCOPE_COUNT: usize = 10;
+pub const SCOPE_COUNT: usize = 11;
 
 impl Scope {
     pub const ALL: [Scope; SCOPE_COUNT] = [
@@ -83,6 +86,7 @@ impl Scope {
         Scope::MetricsRecord,
         Scope::ScrapeRoll,
         Scope::TraceExport,
+        Scope::SchedStep,
     ];
 
     pub fn name(self) -> &'static str {
@@ -97,6 +101,7 @@ impl Scope {
             Scope::MetricsRecord => "metrics.record",
             Scope::ScrapeRoll => "scrape.roll",
             Scope::TraceExport => "trace.export",
+            Scope::SchedStep => "sched.step",
         }
     }
 

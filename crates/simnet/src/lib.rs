@@ -7,15 +7,24 @@
 //!
 //! ## Execution model
 //!
-//! Every logical process is an OS thread, but **exactly one process runs at a
-//! time**. At each simulator call (`send`, `recv`, `charge`, …) the running
-//! process yields and the scheduler resumes the *ready process with the
-//! smallest virtual clock* (ties broken by process id). Sends therefore occur
-//! in non-decreasing virtual time, which keeps NIC-queue accounting causal
-//! and makes every simulation **bit-for-bit deterministic** — the property
-//! that lets the benchmark harness regenerate the paper's figures exactly.
+//! Logical processes come in two flavors sharing one virtual clock and one
+//! scheduling rule — the scheduler always resumes the *ready process with the
+//! smallest virtual clock* (ties broken by process id), so sends occur in
+//! non-decreasing virtual time, NIC-queue accounting stays causal, and every
+//! simulation is **bit-for-bit deterministic** — the property that lets the
+//! benchmark harness regenerate the paper's figures exactly.
 //!
-//! Processes are written in direct style (plain loops), not as event
+//! * **Thread procs** ([`SimRuntime::spawn`]) hold one OS thread each and are
+//!   written in direct style (plain loops, blocking `recv`/`call`). At each
+//!   simulator call the running process yields and the scheduler picks next.
+//!   Right for at most hundreds of procs with complex sequential logic.
+//! * **Steppable agents** ([`SimRuntime::spawn_agent`], the [`Proc`] trait)
+//!   hold **no thread**: the scheduler steps them inline on message delivery
+//!   and timer expiry, and each step runs atomically via a non-blocking
+//!   [`StepCtx`]. Right for very large populations (the serving scenarios
+//!   step tens of thousands of simulated endpoints this way).
+//!
+//! Thread procs are written in direct style (plain loops), not as event
 //! handlers:
 //!
 //! ```
@@ -78,7 +87,7 @@ pub use perfetto::{export_trace, export_trace_full, export_trace_with};
 pub use probe::LivenessProbe;
 pub use report::{LabelId, ProcStats, SimReport, TraceEvent};
 pub use reqtrace::{slo_json, OpReqStats, ReqRecord, ReqSummary, ReqToken, EXEMPLAR_K};
-pub use runtime::{OutputSlot, ProcId, SimBuilder, SimError, SimRuntime};
+pub use runtime::{OutputSlot, Proc, ProcId, SimBuilder, SimError, SimRuntime, StepCtx};
 pub use time::SimTime;
 pub use timeseries::{HistDelta, ProcSample, TimeSeries, TsWindow, DEFAULT_CAPACITY};
 pub use watchdog::{

@@ -48,16 +48,27 @@ impl Envelope {
     }
 
     /// Borrow the payload as `T`, panicking with a diagnostic on mismatch.
+    ///
+    /// Transparent to `Arc`: a payload sent as `Arc<T>` (the fabric wraps
+    /// request payloads in an `Arc` once so retries resend without a deep
+    /// clone) is borrowed through the `Arc` — the receiver never notices.
     pub fn downcast_ref<T: 'static>(&self) -> &T {
         let _prof = hostprof::scope(ProfScope::CodecDecode);
-        self.payload.downcast_ref::<T>().unwrap_or_else(|| {
-            panic!(
-                "envelope tag {} from {:?}: payload is not a {}",
-                self.tag,
-                self.src,
-                std::any::type_name::<T>()
-            )
-        })
+        self.payload
+            .downcast_ref::<T>()
+            .or_else(|| {
+                self.payload
+                    .downcast_ref::<std::sync::Arc<T>>()
+                    .map(|a| &**a)
+            })
+            .unwrap_or_else(|| {
+                panic!(
+                    "envelope tag {} from {:?}: payload is not a {}",
+                    self.tag,
+                    self.src,
+                    std::any::type_name::<T>()
+                )
+            })
     }
 
     /// Take the payload as `T`, panicking with a diagnostic on mismatch.

@@ -1,10 +1,22 @@
 //! The sequential deterministic scheduler.
 //!
-//! Every logical process is an OS thread, but only one runs at a time. At
-//! each simulator call the running process re-evaluates which process is
-//! *ready* with the smallest virtual clock and hands execution over. A
-//! blocked process is ready when matching mail is in its mailbox (at the
-//! mail's arrival time) or its receive deadline has passed.
+//! Two kinds of logical process share one virtual clock and one scheduler:
+//!
+//! * **Thread procs** — the original direct-style closures. Each owns an OS
+//!   thread; only one runs at a time, handing over via condvar at every
+//!   simulator call. Natural for code that blocks mid-request.
+//! * **Steppable agents** — explicit state machines implementing [`Proc`].
+//!   They own *no* thread: whichever OS thread currently drives the
+//!   scheduler steps them inline (one message delivery or timer expiry per
+//!   step) while holding the state lock. Thousands of agents cost a few
+//!   hundred bytes each, which is what makes many-client serving scenarios
+//!   representable at all.
+//!
+//! Either way the scheduler always runs the *ready* process with the
+//! smallest virtual clock (ties broken by process id), so a mixed run is
+//! exactly as deterministic as a thread-only one. A blocked process is ready
+//! when matching mail is in its mailbox (at the mail's arrival time), its
+//! receive deadline has passed, or — agents only — a timer is due.
 
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -15,6 +27,8 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::config::SimConfig;
 use crate::ctx::SimCtx;
@@ -89,28 +103,78 @@ enum Status {
     Finished,
 }
 
-struct Proc {
+/// An event-driven steppable process.
+///
+/// Unlike the closure passed to [`SimRuntime::spawn`], a `Proc` owns no OS
+/// thread: the scheduler calls one of these hooks per scheduling turn, on
+/// whatever thread currently drives the scheduler, while holding the global
+/// state lock. The hooks therefore must not block — everything on
+/// [`StepCtx`] is non-blocking — and should do bounded work per step.
+/// Ordering between agents and thread procs still comes from the single
+/// smallest-clock pick, so mixed runs stay bit-for-bit deterministic.
+pub trait Proc: Send {
+    /// Called once, at the agent's spawn clock, before any message or timer.
+    fn on_start(&mut self, _ctx: &mut StepCtx<'_>) {}
+
+    /// Called with each delivered message (requests and replies alike).
+    fn on_message(&mut self, ctx: &mut StepCtx<'_>, env: Envelope);
+
+    /// Called when a timer set via [`StepCtx::set_timer`] fires; `timer` is
+    /// the token `set_timer` returned.
+    fn on_timer(&mut self, _ctx: &mut StepCtx<'_>, _timer: u64) {}
+}
+
+/// Runtime state of a steppable agent (boxed to keep thread procs lean).
+struct AgentState {
+    /// Taken out while a step is in flight, so callbacks can borrow the
+    /// scheduler state mutably through [`StepCtx`].
+    agent: Option<Box<dyn Proc>>,
+    started: bool,
+    /// Pending timers ordered by (fire ns, token).
+    timers: BTreeMap<(u64, u64), ()>,
+    next_timer: u64,
+    /// Same per-proc seeding discipline as `SimCtx`.
+    rng: StdRng,
+    /// Set by [`StepCtx::finish`]; the scheduler retires the agent after the
+    /// current step returns.
+    finish: bool,
+}
+
+enum Engine {
+    /// Direct-style closure on its own OS thread.
+    Thread,
+    /// Steppable agent driven inline by the scheduler.
+    Agent(Box<AgentState>),
+}
+
+struct ProcState {
     name: String,
     daemon: bool,
     killed: bool,
     clock: SimTime,
     status: Status,
+    engine: Engine,
     /// Pending mail ordered by (arrival ns, global sequence).
     mailbox: BTreeMap<(u64, u64), Envelope>,
     stats: ProcStats,
 }
 
-impl Proc {
-    fn new(name: String, daemon: bool, clock: SimTime) -> Proc {
-        Proc {
+impl ProcState {
+    fn new(name: String, daemon: bool, clock: SimTime) -> ProcState {
+        ProcState {
             stats: ProcStats::new(name.clone(), daemon),
             name,
             daemon,
             killed: false,
             clock,
             status: Status::Runnable,
+            engine: Engine::Thread,
             mailbox: BTreeMap::new(),
         }
+    }
+
+    fn is_agent(&self) -> bool {
+        matches!(self.engine, Engine::Agent(_))
     }
 
     /// Virtual time at which this process could next run, or `None` if it
@@ -122,6 +186,29 @@ impl Proc {
         if self.killed {
             // Schedulable so it gets a turn in which to unwind.
             return Some(self.clock);
+        }
+        if let Engine::Agent(ag) = &self.engine {
+            // Agents consume any mail and additionally wake on timers; an
+            // unstarted agent is ready for its `on_start` turn immediately.
+            if !ag.started {
+                return Some(self.clock);
+            }
+            let mail = self
+                .mailbox
+                .keys()
+                .next()
+                .map(|(arrival, _)| self.clock.max(SimTime(*arrival)));
+            let timer = ag
+                .timers
+                .keys()
+                .next()
+                .map(|(fire, _)| self.clock.max(SimTime(*fire)));
+            return match (mail, timer) {
+                (Some(m), Some(t)) => Some(m.min(t)),
+                (Some(m), None) => Some(m),
+                (None, Some(t)) => Some(t),
+                (None, None) => None,
+            };
         }
         match &self.status {
             Status::Runnable => Some(self.clock),
@@ -146,7 +233,7 @@ impl Proc {
 }
 
 pub(crate) struct State {
-    procs: Vec<Proc>,
+    procs: Vec<ProcState>,
     nic_out_free: Vec<SimTime>,
     nic_in_free: Vec<SimTime>,
     running: Option<usize>,
@@ -206,6 +293,106 @@ impl State {
         }
         self.labels.push(label);
         crate::report::LabelId((self.labels.len() - 1) as u32)
+    }
+
+    /// The send core shared by thread procs (`Shared::send_env`) and agent
+    /// steps (`StepCtx`): NIC accounting, trace/reqtrace hooks, mailbox
+    /// insert. Does not reschedule — the caller owns the handoff.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &mut self,
+        cfg: &SimConfig,
+        me: usize,
+        dst: ProcId,
+        tag: u32,
+        corr: u64,
+        is_reply: bool,
+        payload: Box<dyn Any + Send>,
+        bytes: u64,
+        req: Option<ReqToken>,
+    ) {
+        let pre = self.procs[me].clock;
+        self.ts_roll(pre);
+        let net = &cfg.net;
+        // Every send consumes a run-unique sequence number — dropped or not —
+        // so traces carry explicit Send/Recv causal edges keyed by `seq`.
+        self.seq += 1;
+        let seq = self.seq;
+        self.procs[me].clock += net.per_msg_overhead;
+        let now = self.procs[me].clock;
+        let arrival = if dst.0 == me {
+            now + net.loopback
+        } else {
+            // Pipelined store-and-forward: receiving can begin once the first
+            // bytes have crossed the link and the in-NIC is free.
+            let wire = net.wire_time(bytes);
+            let out_start = now.max(self.nic_out_free[me]);
+            self.nic_out_free[me] = out_start + wire;
+            let in_start = (out_start + net.latency).max(self.nic_in_free[dst.0]);
+            let in_done = in_start + wire;
+            self.nic_in_free[dst.0] = in_done;
+            in_done
+        };
+        if self.tracing {
+            self.trace.push(crate::report::TraceEvent::Send {
+                at: now,
+                src: ProcId(me),
+                dst,
+                tag,
+                bytes,
+                arrival,
+                seq,
+            });
+        }
+        if let (Some(tok), Some(rec)) = (req, &mut self.req) {
+            rec.on_send(tok, now, arrival, is_reply);
+        }
+        self.procs[me].stats.msgs_sent += 1;
+        self.procs[me].stats.bytes_sent += bytes;
+        self.total_msgs += 1;
+        self.total_bytes += bytes;
+        if dst.0 != me {
+            // Account virtual wire time as communication cost (loopback is
+            // shared-memory, not the network).
+            self.metrics
+                .add("net.wire_ns", net.wire_time(bytes).as_nanos());
+        } else {
+            self.metrics.add("net.loopback_ns", net.loopback.as_nanos());
+        }
+        let dead = self.procs[dst.0].killed || matches!(self.procs[dst.0].status, Status::Finished);
+        if dead {
+            self.dropped_msgs += 1;
+            self.procs[me].stats.msgs_dropped += 1;
+            self.metrics.add(&format!("net.dropped.tag.{tag}"), 1);
+            if self.tracing {
+                self.trace.push(crate::report::TraceEvent::Drop {
+                    at: now,
+                    src: ProcId(me),
+                    dst,
+                    tag,
+                    bytes,
+                    seq,
+                });
+            }
+        } else {
+            let key = (arrival.as_nanos(), seq);
+            self.procs[dst.0].mailbox.insert(
+                key,
+                Envelope {
+                    src: ProcId(me),
+                    dst,
+                    tag,
+                    corr,
+                    is_reply,
+                    payload,
+                    bytes,
+                    seq,
+                    sent_at: now,
+                    arrival,
+                    req,
+                },
+            );
+        }
     }
 }
 
@@ -273,22 +460,34 @@ impl Shared {
 
     /// After any operation that may have advanced `me`'s clock: hand off to
     /// the globally minimal-clock ready process (possibly still `me`).
+    /// Ready *agents* ahead of the next thread proc are stepped inline right
+    /// here — `me`'s OS thread is the scheduler while it holds the lock.
     fn reschedule(&self, st: &mut MutexGuard<'_, State>, me: usize) {
         {
             let _prof = hostprof::scope(ProfScope::SchedDispatch);
-            let next = match pick(st) {
-                Some(n) => n,
-                None => {
-                    // `me` is running, hence ready — pick can only fail if we
-                    // just blocked, which this path never does.
-                    unreachable!("reschedule with no ready process")
+            loop {
+                let next = match pick(st) {
+                    Some(n) => n,
+                    None => {
+                        // `me` is running, hence ready — pick can only fail if
+                        // we just blocked, which this path never does.
+                        unreachable!("reschedule with no ready process")
+                    }
+                };
+                if next == me {
+                    return;
                 }
-            };
-            if next == me {
-                return;
+                if st.procs[next].is_agent() {
+                    self.step_agent(st, next);
+                    // A step can finish the last non-daemon (shutdown) — the
+                    // usual interrupt discipline applies to `me`.
+                    self.interrupt_check(st, me);
+                    continue;
+                }
+                st.running = Some(next);
+                self.cv.notify_all();
+                break;
             }
-            st.running = Some(next);
-            self.cv.notify_all();
         }
         self.wait_for_turn(st, me);
     }
@@ -350,88 +549,7 @@ impl Shared {
         let _prof = hostprof::scope(ProfScope::SchedSend);
         let mut st = self.state.lock();
         self.interrupt_check(&st, me);
-        let pre = st.procs[me].clock;
-        st.ts_roll(pre);
-        let net = &self.cfg.net;
-        // Every send consumes a run-unique sequence number — dropped or not —
-        // so traces carry explicit Send/Recv causal edges keyed by `seq`.
-        st.seq += 1;
-        let seq = st.seq;
-        st.procs[me].clock += net.per_msg_overhead;
-        let now = st.procs[me].clock;
-        let arrival = if dst.0 == me {
-            now + net.loopback
-        } else {
-            // Pipelined store-and-forward: receiving can begin once the first
-            // bytes have crossed the link and the in-NIC is free.
-            let wire = net.wire_time(bytes);
-            let out_start = now.max(st.nic_out_free[me]);
-            st.nic_out_free[me] = out_start + wire;
-            let in_start = (out_start + net.latency).max(st.nic_in_free[dst.0]);
-            let in_done = in_start + wire;
-            st.nic_in_free[dst.0] = in_done;
-            in_done
-        };
-        if st.tracing {
-            st.trace.push(crate::report::TraceEvent::Send {
-                at: now,
-                src: ProcId(me),
-                dst,
-                tag,
-                bytes,
-                arrival,
-                seq,
-            });
-        }
-        if let (Some(tok), Some(rec)) = (req, &mut st.req) {
-            rec.on_send(tok, now, arrival, is_reply);
-        }
-        st.procs[me].stats.msgs_sent += 1;
-        st.procs[me].stats.bytes_sent += bytes;
-        st.total_msgs += 1;
-        st.total_bytes += bytes;
-        if dst.0 != me {
-            // Account virtual wire time as communication cost (loopback is
-            // shared-memory, not the network).
-            st.metrics
-                .add("net.wire_ns", net.wire_time(bytes).as_nanos());
-        } else {
-            st.metrics.add("net.loopback_ns", net.loopback.as_nanos());
-        }
-        let dead = st.procs[dst.0].killed || matches!(st.procs[dst.0].status, Status::Finished);
-        if dead {
-            st.dropped_msgs += 1;
-            st.procs[me].stats.msgs_dropped += 1;
-            st.metrics.add(&format!("net.dropped.tag.{tag}"), 1);
-            if st.tracing {
-                st.trace.push(crate::report::TraceEvent::Drop {
-                    at: now,
-                    src: ProcId(me),
-                    dst,
-                    tag,
-                    bytes,
-                    seq,
-                });
-            }
-        } else {
-            let key = (arrival.as_nanos(), seq);
-            st.procs[dst.0].mailbox.insert(
-                key,
-                Envelope {
-                    src: ProcId(me),
-                    dst,
-                    tag,
-                    corr,
-                    is_reply,
-                    payload,
-                    bytes,
-                    seq,
-                    sent_at: now,
-                    arrival,
-                    req,
-                },
-            );
-        }
+        st.deliver(&self.cfg, me, dst, tag, corr, is_reply, payload, bytes, req);
         self.reschedule(&mut st, me);
     }
 
@@ -501,6 +619,11 @@ impl Shared {
                     p.status = Status::Runnable;
                     self.reschedule(&mut st, me);
                     return None;
+                }
+                Some(next) if st.procs[next].is_agent() => {
+                    // Step the agent on this thread and re-check the mailbox:
+                    // the step may have mailed `me`.
+                    self.step_agent(&mut st, next);
                 }
                 Some(next) => {
                     st.running = Some(next);
@@ -629,6 +752,200 @@ impl Shared {
         !p.killed && !matches!(p.status, Status::Finished)
     }
 
+    // ---- steppable agents -------------------------------------------------
+
+    /// Run one scheduling turn of agent `idx`: deliver its earliest event
+    /// (start, mail, or timer — whichever has the smallest effective time,
+    /// mail winning ties) into the corresponding [`Proc`] hook. Runs on the
+    /// calling thread while the lock is held; the callback sees the
+    /// scheduler state through [`StepCtx`] and cannot block.
+    fn step_agent(&self, st: &mut MutexGuard<'_, State>, idx: usize) {
+        let _prof = hostprof::scope(ProfScope::SchedStep);
+        if st.procs[idx].killed {
+            // Kills retire an agent at its next turn, mirroring the unwind
+            // a thread proc performs.
+            self.finish_agent(st, idx);
+            return;
+        }
+        enum Ev {
+            Start,
+            Mail,
+            Timer(u64),
+        }
+        let ev = {
+            let p = &st.procs[idx];
+            let Engine::Agent(ag) = &p.engine else {
+                unreachable!("step_agent on a thread proc")
+            };
+            if !ag.started {
+                Ev::Start
+            } else {
+                let mail = p
+                    .mailbox
+                    .keys()
+                    .next()
+                    .map(|(arrival, _)| p.clock.max(SimTime(*arrival)));
+                let timer = ag.timers.keys().next().copied();
+                match (mail, timer) {
+                    (Some(m), Some((fire, tok))) => {
+                        if m <= p.clock.max(SimTime(fire)) {
+                            Ev::Mail
+                        } else {
+                            Ev::Timer(tok)
+                        }
+                    }
+                    (Some(_), None) => Ev::Mail,
+                    (None, Some((_, tok))) => Ev::Timer(tok),
+                    (None, None) => unreachable!("agent picked with no pending event"),
+                }
+            }
+        };
+        // Event bookkeeping mirrors the thread paths exactly: roll the
+        // telemetry window at the effective time, advance the clock, record
+        // stats/trace/reqtrace.
+        let mut env = None;
+        match &ev {
+            Ev::Start => {}
+            Ev::Mail => {
+                let key = *st.procs[idx].mailbox.keys().next().expect("mail vanished");
+                let eff = st.procs[idx].clock.max(SimTime(key.0));
+                st.ts_roll(eff);
+                let e = st.procs[idx].mailbox.remove(&key).expect("mail vanished");
+                let p = &mut st.procs[idx];
+                p.clock = p.clock.max(e.arrival);
+                p.stats.msgs_recv += 1;
+                p.stats.bytes_recv += e.bytes;
+                if st.tracing {
+                    let at = st.procs[idx].clock;
+                    st.trace.push(crate::report::TraceEvent::Recv {
+                        at,
+                        proc: ProcId(idx),
+                        src: e.src,
+                        tag: e.tag,
+                        seq: e.seq,
+                    });
+                }
+                if let Some(tok) = e.req {
+                    let clock = st.procs[idx].clock;
+                    if let Some(rec) = &mut st.req {
+                        rec.on_dequeue(tok, clock, e.is_reply);
+                    }
+                }
+                env = Some(e);
+            }
+            Ev::Timer(tok) => {
+                let Engine::Agent(ag) = &mut st.procs[idx].engine else {
+                    unreachable!()
+                };
+                let (fire, _) = *ag.timers.keys().next().expect("timer vanished");
+                ag.timers.remove(&(fire, *tok));
+                let eff = st.procs[idx].clock.max(SimTime(fire));
+                st.ts_roll(eff);
+                st.procs[idx].clock = eff;
+            }
+        }
+        let mut agent = {
+            let Engine::Agent(ag) = &mut st.procs[idx].engine else {
+                unreachable!()
+            };
+            if let Ev::Start = ev {
+                ag.started = true;
+            }
+            ag.agent.take().expect("agent stepped reentrantly")
+        };
+        {
+            let mut ctx = StepCtx {
+                cfg: &self.cfg,
+                st,
+                me: idx,
+            };
+            match ev {
+                Ev::Start => agent.on_start(&mut ctx),
+                Ev::Mail => agent.on_message(&mut ctx, env.expect("mail event without mail")),
+                Ev::Timer(tok) => agent.on_timer(&mut ctx, tok),
+            }
+        }
+        let finish = {
+            let Engine::Agent(ag) = &mut st.procs[idx].engine else {
+                unreachable!()
+            };
+            ag.agent = Some(agent);
+            ag.finish || st.procs[idx].killed
+        };
+        if finish {
+            self.finish_agent(st, idx);
+        } else {
+            // Parked between events; `ready_key` watches mail and timers.
+            st.procs[idx].status = Status::Blocked {
+                spec: MatchSpec::Any,
+                deadline: None,
+            };
+        }
+    }
+
+    /// Retire an agent: the no-thread analogue of `on_proc_exit`.
+    fn finish_agent(&self, st: &mut MutexGuard<'_, State>, idx: usize) {
+        let p = &mut st.procs[idx];
+        let daemon = p.daemon;
+        let already_finished = matches!(p.status, Status::Finished);
+        p.status = Status::Finished;
+        p.stats.finished_at = p.clock;
+        if let Engine::Agent(ag) = &mut p.engine {
+            // Drop user state and pending timers now; the slot itself stays
+            // (ids are stable).
+            ag.agent = None;
+            ag.timers.clear();
+        }
+        if st.tracing && !already_finished {
+            let at = st.procs[idx].clock;
+            st.trace.push(crate::report::TraceEvent::Finish {
+                at,
+                proc: ProcId(idx),
+            });
+        }
+        if !daemon && !already_finished {
+            st.live -= 1;
+        }
+        if st.live == 0 {
+            st.shutdown = true;
+            st.running = None;
+            self.cv.notify_all();
+        }
+    }
+
+    pub(crate) fn spawn_agent_impl(
+        &self,
+        name: &str,
+        daemon: bool,
+        start_clock: SimTime,
+        agent: Box<dyn Proc>,
+    ) -> ProcId {
+        let mut st = self.state.lock();
+        let id = st.procs.len();
+        let seed = self
+            .cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(id as u64 + 1);
+        let mut p = ProcState::new(name.to_string(), daemon, start_clock);
+        p.engine = Engine::Agent(Box::new(AgentState {
+            agent: Some(agent),
+            started: false,
+            timers: BTreeMap::new(),
+            next_timer: 0,
+            rng: StdRng::seed_from_u64(seed),
+            finish: false,
+        }));
+        st.procs.push(p);
+        st.nic_out_free.push(SimTime::ZERO);
+        st.nic_in_free.push(SimTime::ZERO);
+        st.op_labels.push(None);
+        if !daemon {
+            st.live += 1;
+        }
+        ProcId(id)
+    }
+
     pub(crate) fn spawn_impl(
         self: &Arc<Self>,
         name: &str,
@@ -639,7 +956,7 @@ impl Shared {
         let mut st = self.state.lock();
         let id = st.procs.len();
         st.procs
-            .push(Proc::new(name.to_string(), daemon, start_clock));
+            .push(ProcState::new(name.to_string(), daemon, start_clock));
         st.nic_out_free.push(SimTime::ZERO);
         st.nic_in_free.push(SimTime::ZERO);
         st.op_labels.push(None);
@@ -692,16 +1009,279 @@ impl Shared {
             return;
         }
         if st.running == Some(me) {
-            match pick(&st) {
-                Some(next) => {
-                    st.running = Some(next);
+            loop {
+                if st.shutdown {
+                    st.running = None;
                     self.cv.notify_all();
+                    break;
                 }
-                None => {
-                    let desc = describe_blocked(&st);
-                    self.fail(&mut st, SimError::Deadlock(desc));
+                match pick(&st) {
+                    Some(next) if st.procs[next].is_agent() => {
+                        // The exiting thread keeps driving the schedule while
+                        // agents are next in line.
+                        self.step_agent(&mut st, next);
+                    }
+                    Some(next) => {
+                        st.running = Some(next);
+                        self.cv.notify_all();
+                        break;
+                    }
+                    None => {
+                        let desc = describe_blocked(&st);
+                        self.fail(&mut st, SimError::Deadlock(desc));
+                        break;
+                    }
                 }
             }
+        }
+    }
+}
+
+/// The handle a [`Proc`] hook sees during a step.
+///
+/// Everything here is **non-blocking**: sends enqueue mail, timers arm, the
+/// clock only moves forward via [`StepCtx::advance`]. There is deliberately
+/// no `recv`/`call` — an agent that needs a reply sends the request with
+/// [`StepCtx::send_request`] and matches the reply's correlation id in
+/// `on_message`. A whole step is atomic with respect to other processes:
+/// no one else runs between two statements of a hook.
+pub struct StepCtx<'a> {
+    cfg: &'a SimConfig,
+    st: &'a mut State,
+    me: usize,
+}
+
+impl StepCtx<'_> {
+    /// This agent's id.
+    pub fn id(&self) -> ProcId {
+        ProcId(self.me)
+    }
+
+    /// This agent's spawn-time name, for diagnostics.
+    pub fn proc_name(&self) -> String {
+        self.st.procs[self.me].name.clone()
+    }
+
+    /// Current virtual time of this agent.
+    pub fn now(&self) -> SimTime {
+        self.st.procs[self.me].clock
+    }
+
+    /// The simulation configuration (network and compute cost models).
+    pub fn config(&self) -> &SimConfig {
+        self.cfg
+    }
+
+    /// Deterministic per-agent random number generator (same seeding
+    /// discipline as [`SimCtx::rng`](crate::SimCtx::rng)).
+    pub fn rng(&mut self) -> &mut StdRng {
+        let Engine::Agent(ag) = &mut self.st.procs[self.me].engine else {
+            unreachable!("StepCtx on a thread proc")
+        };
+        &mut ag.rng
+    }
+
+    /// Advance this agent's clock by `dt` of busy (compute) time. Unlike
+    /// [`SimCtx::advance`](crate::SimCtx::advance) this does not yield — the
+    /// step stays atomic — so hooks should charge bounded work per step.
+    pub fn advance(&mut self, dt: SimTime) {
+        let pre = self.st.procs[self.me].clock;
+        self.st.ts_roll(pre);
+        if self.st.tracing && dt > SimTime::ZERO {
+            let label = self.st.op_labels[self.me];
+            self.st.trace.push(crate::report::TraceEvent::Compute {
+                at: pre,
+                proc: ProcId(self.me),
+                dt,
+                label,
+            });
+        }
+        let p = &mut self.st.procs[self.me];
+        p.clock += dt;
+        p.stats.busy += dt;
+    }
+
+    /// Charge `flops` floating-point operations of compute time.
+    pub fn charge_flops(&mut self, flops: u64) {
+        let dt = self.cfg.compute.flops_time(flops);
+        self.advance(dt);
+    }
+
+    /// Charge a memory-bound scan over `bytes` bytes.
+    pub fn charge_mem(&mut self, bytes: u64) {
+        let dt = self.cfg.compute.mem_time(bytes);
+        self.advance(dt);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_inner(
+        &mut self,
+        dst: ProcId,
+        tag: u32,
+        corr: u64,
+        is_reply: bool,
+        payload: Box<dyn Any + Send>,
+        bytes: u64,
+        req: Option<ReqToken>,
+    ) {
+        let _prof = hostprof::scope(ProfScope::SchedSend);
+        self.st.deliver(
+            self.cfg, self.me, dst, tag, corr, is_reply, payload, bytes, req,
+        );
+    }
+
+    /// Send a one-way message of declared wire size `bytes`.
+    pub fn send<P: Any + Send>(&mut self, dst: ProcId, tag: u32, payload: P, bytes: u64) {
+        self.send_inner(dst, tag, 0, false, Box::new(payload), bytes, None);
+    }
+
+    /// Send a request and return its correlation id; the reply arrives in a
+    /// later `on_message` with [`Envelope::corr`] equal to the returned id.
+    pub fn send_request<P: Any + Send>(
+        &mut self,
+        dst: ProcId,
+        tag: u32,
+        payload: P,
+        bytes: u64,
+    ) -> u64 {
+        self.send_request_traced(dst, tag, payload, bytes, None)
+    }
+
+    /// [`StepCtx::send_request`] with an optional request-trace token (mint
+    /// with [`StepCtx::req_begin_batch`]; the reply carries it back).
+    pub fn send_request_traced<P: Any + Send>(
+        &mut self,
+        dst: ProcId,
+        tag: u32,
+        payload: P,
+        bytes: u64,
+        req: Option<ReqToken>,
+    ) -> u64 {
+        self.st.corr += 1;
+        let corr = self.st.corr;
+        self.send_inner(dst, tag, corr, false, Box::new(payload), bytes, req);
+        corr
+    }
+
+    /// Reply to a request received via `on_message`.
+    pub fn reply<P: Any + Send>(&mut self, request: &Envelope, payload: P, bytes: u64) {
+        self.reply_boxed(request, Box::new(payload), bytes);
+    }
+
+    /// Reply with an already type-erased payload.
+    pub fn reply_boxed(&mut self, request: &Envelope, payload: Box<dyn Any + Send>, bytes: u64) {
+        assert_ne!(request.corr, 0, "reply target was not sent with call()");
+        self.send_inner(
+            request.src,
+            request.tag,
+            request.corr,
+            true,
+            payload,
+            bytes,
+            request.req,
+        );
+    }
+
+    /// Arm a timer `dt` from now; `on_timer` fires with the returned token.
+    pub fn set_timer(&mut self, dt: SimTime) -> u64 {
+        let fire = (self.st.procs[self.me].clock + dt).as_nanos();
+        let Engine::Agent(ag) = &mut self.st.procs[self.me].engine else {
+            unreachable!("StepCtx on a thread proc")
+        };
+        let tok = ag.next_timer;
+        ag.next_timer += 1;
+        ag.timers.insert((fire, tok), ());
+        tok
+    }
+
+    /// Retire this agent after the current hook returns. Non-daemon agents
+    /// must eventually call this (or be killed) for the simulation to end.
+    pub fn finish(&mut self) {
+        let Engine::Agent(ag) = &mut self.st.procs[self.me].engine else {
+            unreachable!("StepCtx on a thread proc")
+        };
+        ag.finish = true;
+    }
+
+    /// Whether `target` has neither finished nor been killed.
+    pub fn is_alive(&self, target: ProcId) -> bool {
+        let p = &self.st.procs[target.0];
+        !p.killed && !matches!(p.status, Status::Finished)
+    }
+
+    // ---- flight recorder (same non-yielding discipline as SimCtx) --------
+
+    /// Increment a named counter in the run's metrics registry.
+    pub fn metric_add(&mut self, name: &str, delta: u64) {
+        let _prof = hostprof::scope(ProfScope::MetricsRecord);
+        let t = self.st.procs[self.me].clock;
+        self.st.ts_roll(t);
+        self.st.metrics.add(name, delta);
+    }
+
+    /// Set a named gauge to an absolute value.
+    pub fn metric_gauge_set(&mut self, name: &str, value: i64) {
+        let _prof = hostprof::scope(ProfScope::MetricsRecord);
+        let t = self.st.procs[self.me].clock;
+        self.st.ts_roll(t);
+        self.st.metrics.gauge_set(name, value);
+    }
+
+    /// Record a virtual-time duration into a named histogram.
+    pub fn metric_observe(&mut self, name: &str, dt: SimTime) {
+        let _prof = hostprof::scope(ProfScope::MetricsRecord);
+        let t = self.st.procs[self.me].clock;
+        self.st.ts_roll(t);
+        self.st.metrics.observe(name, dt);
+    }
+
+    /// Mint request-trace tokens for one op issued by this agent (empty when
+    /// request tracing is off). See
+    /// [`SimCtx::req_begin_batch`](crate::SimCtx::req_begin_batch).
+    pub fn req_begin_batch(&mut self, op: &str, n: usize) -> Vec<ReqToken> {
+        let _prof = hostprof::scope(ProfScope::MetricsRecord);
+        let now = self.st.procs[self.me].clock;
+        match &mut self.st.req {
+            Some(rec) => rec.begin_batch(self.me, op, n, now),
+            None => Vec::new(),
+        }
+    }
+
+    /// Timeline mark at this agent's clock (no-op unless tracing).
+    pub fn trace_mark(&mut self, label: &'static str) {
+        self.trace_mark_impl(label, None);
+    }
+
+    /// [`StepCtx::trace_mark`] with a `u64` payload.
+    pub fn trace_mark_with(&mut self, label: &'static str, payload: u64) {
+        self.trace_mark_impl(label, Some(payload));
+    }
+
+    fn trace_mark_impl(&mut self, label: &'static str, payload: Option<u64>) {
+        if self.st.tracing {
+            let label = self.st.intern(label);
+            let at = self.st.procs[self.me].clock;
+            self.st.trace.push(crate::report::TraceEvent::Mark {
+                at,
+                proc: ProcId(self.me),
+                label,
+                payload,
+            });
+        }
+    }
+
+    /// Label subsequent compute charges with an op name (trace-only).
+    pub fn op_label(&mut self, label: &'static str) {
+        if self.st.tracing {
+            let id = self.st.intern(label);
+            self.st.op_labels[self.me] = Some(id);
+        }
+    }
+
+    /// Clear the label set by [`StepCtx::op_label`].
+    pub fn op_label_clear(&mut self) {
+        if self.st.tracing {
+            self.st.op_labels[self.me] = None;
         }
     }
 }
@@ -901,6 +1481,22 @@ impl SimRuntime {
             .spawn_impl(name, true, SimTime::ZERO, Box::new(f))
     }
 
+    /// Spawn a non-daemon steppable agent (no OS thread — stepped inline by
+    /// the scheduler on message delivery and timer expiry). The simulation
+    /// ends when all non-daemon processes finish; a non-daemon agent finishes
+    /// by calling [`StepCtx::finish`].
+    pub fn spawn_agent<A: Proc + 'static>(&mut self, name: &str, agent: A) -> ProcId {
+        self.shared
+            .spawn_agent_impl(name, false, SimTime::ZERO, Box::new(agent))
+    }
+
+    /// Spawn a daemon steppable agent (e.g. a server). Daemon agents are
+    /// retired when every non-daemon process has finished.
+    pub fn spawn_agent_daemon<A: Proc + 'static>(&mut self, name: &str, agent: A) -> ProcId {
+        self.shared
+            .spawn_agent_impl(name, true, SimTime::ZERO, Box::new(agent))
+    }
+
     /// Spawn a non-daemon process whose return value is captured in an
     /// [`OutputSlot`], readable after [`SimRuntime::run`].
     pub fn spawn_collect<T, F>(&mut self, name: &str, f: F) -> OutputSlot<T>
@@ -928,18 +1524,30 @@ impl SimRuntime {
         }
         {
             let mut st = self.shared.state.lock();
-            match pick(&st) {
-                Some(next) => {
-                    st.running = Some(next);
-                    self.shared.cv.notify_all();
+            // The run() thread drives the schedule until a thread proc takes
+            // over (or the whole sim is agents and completes right here).
+            loop {
+                if st.shutdown {
+                    break;
                 }
-                None => {
-                    if st.live > 0 {
-                        let desc = describe_blocked(&st);
-                        st.error = Some(SimError::Deadlock(desc));
+                match pick(&st) {
+                    Some(next) if st.procs[next].is_agent() => {
+                        self.shared.step_agent(&mut st, next);
                     }
-                    st.shutdown = true;
-                    self.shared.cv.notify_all();
+                    Some(next) => {
+                        st.running = Some(next);
+                        self.shared.cv.notify_all();
+                        break;
+                    }
+                    None => {
+                        if st.live > 0 {
+                            let desc = describe_blocked(&st);
+                            st.error = Some(SimError::Deadlock(desc));
+                        }
+                        st.shutdown = true;
+                        self.shared.cv.notify_all();
+                        break;
+                    }
                 }
             }
             while !st.shutdown {
@@ -964,6 +1572,24 @@ impl SimRuntime {
         let mut st = self.shared.state.lock();
         if let Some(err) = st.error.clone() {
             return Err(err);
+        }
+        // Daemon agents have no thread to unwind at shutdown; stamp their
+        // end the way `on_proc_exit` does for thread daemons.
+        let mut finish_events = Vec::new();
+        for (i, p) in st.procs.iter_mut().enumerate() {
+            if p.is_agent() && !matches!(p.status, Status::Finished) {
+                p.status = Status::Finished;
+                p.stats.finished_at = p.clock;
+                finish_events.push((p.clock, i));
+            }
+        }
+        if st.tracing {
+            for (at, i) in finish_events {
+                st.trace.push(crate::report::TraceEvent::Finish {
+                    at,
+                    proc: ProcId(i),
+                });
+            }
         }
         let virtual_time = st
             .procs

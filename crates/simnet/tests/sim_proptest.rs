@@ -1,7 +1,7 @@
 //! Property-based tests for the simulator's invariants.
 
 use proptest::prelude::*;
-use ps2_simnet::{NetConfig, ProcId, SimBuilder, SimTime, VtHistogram};
+use ps2_simnet::{Envelope, NetConfig, Proc, ProcId, SimBuilder, SimTime, StepCtx, VtHistogram};
 
 fn quiet_net() -> NetConfig {
     NetConfig {
@@ -152,6 +152,73 @@ proptest! {
         prop_assert_eq!(received.len(), sent.len());
     }
 
+    /// A mixed run — steppable agents (request/reply echo servers plus a
+    /// timer-driven ticker) interleaved with legacy thread procs — is
+    /// byte-identical across repeated same-seed executions: identical
+    /// virtual time, identical full trace, identical metrics registry.
+    #[test]
+    fn mixed_agent_and_thread_runs_are_byte_identical(
+        clients in 1usize..4,
+        rounds in 1usize..8,
+        charge in 0u64..500_000,
+        tick_period in 1u64..2_000_000,
+        ticks in 1u32..8,
+        seed in 0u64..1000,
+    ) {
+        let run = || {
+            let mut sim = SimBuilder::new()
+                .seed(seed)
+                .network(quiet_net())
+                .trace(true)
+                .build();
+            let echo_a = sim.spawn_agent_daemon("echo-a", EchoAgent { charge });
+            let echo_b = sim.spawn_agent_daemon("echo-b", EchoAgent { charge });
+            let sink = sim.spawn(
+                "tick-sink",
+                {
+                    let n = ticks as usize;
+                    move |ctx| {
+                        for _ in 0..n {
+                            let _ = ctx.recv();
+                        }
+                    }
+                },
+            );
+            sim.spawn_agent(
+                "ticker",
+                TickerAgent { period: tick_period, left: ticks, dst: sink },
+            );
+            for c in 0..clients {
+                sim.spawn(&format!("client-{c}"), move |ctx| {
+                    for r in 0..rounds {
+                        let dst = if (c + r) % 2 == 0 { echo_a } else { echo_b };
+                        let x = (c * 100 + r) as u64;
+                        let y: u64 = ctx.call(dst, 3, x, 16).downcast();
+                        assert_eq!(y, x + 1);
+                    }
+                });
+            }
+            let report = sim.run().unwrap();
+            let counters: Vec<String> = report
+                .metrics
+                .counters()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let hists: Vec<String> = report
+                .metrics
+                .hists()
+                .map(|(k, h)| format!("{k}:{}", h.to_json()))
+                .collect();
+            format!(
+                "{:?}|{:?}|{:?}|{counters:?}|{hists:?}",
+                report.virtual_time, report.trace, report.procs,
+            )
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b);
+    }
+
     /// RPC replies always match their requests even under interleaving.
     #[test]
     fn rpc_replies_match_under_interleaving(rounds in 1usize..20, clients in 1usize..6) {
@@ -177,6 +244,48 @@ proptest! {
         sim.run().unwrap();
         for s in slots {
             prop_assert!(s.take());
+        }
+    }
+}
+
+/// Steppable echo server: charges fixed compute, replies `x + 1`.
+struct EchoAgent {
+    charge: u64,
+}
+
+impl Proc for EchoAgent {
+    fn on_message(&mut self, ctx: &mut StepCtx<'_>, env: Envelope) {
+        if env.is_reply() {
+            return;
+        }
+        ctx.advance(SimTime(self.charge));
+        let x: u64 = *env.downcast_ref::<u64>();
+        ctx.reply(&env, x + 1, 8);
+    }
+}
+
+/// Timer-driven agent: every `period` ns it sends one message to a thread
+/// sink, then finishes after `left` ticks.
+struct TickerAgent {
+    period: u64,
+    left: u32,
+    dst: ProcId,
+}
+
+impl Proc for TickerAgent {
+    fn on_start(&mut self, ctx: &mut StepCtx<'_>) {
+        ctx.set_timer(SimTime(self.period));
+    }
+
+    fn on_message(&mut self, _ctx: &mut StepCtx<'_>, _env: Envelope) {}
+
+    fn on_timer(&mut self, ctx: &mut StepCtx<'_>, _timer: u64) {
+        ctx.send(self.dst, 7, self.left as u64, 24);
+        self.left -= 1;
+        if self.left == 0 {
+            ctx.finish();
+        } else {
+            ctx.set_timer(SimTime(self.period));
         }
     }
 }

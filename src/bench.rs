@@ -20,6 +20,7 @@ use crate::ml::lbfgs::{train_lbfgs, LbfgsConfig};
 use crate::ml::lr::{train_lr, LrBackend, LrConfig};
 use crate::ml::modes::{run_mode, ModeAlgo, ModeConfig};
 use crate::ml::optim::Optimizer;
+use crate::ml::serve::{run_serve, serve_spec, SERVE_PRESETS};
 use crate::ml::svm::{train_svm, SvmConfig};
 use crate::ps::ConsistencyMode;
 use crate::simnet::hostprof::{self, HostProfile};
@@ -73,6 +74,30 @@ pub fn small_cases(workers: usize, servers: usize, iters: usize) -> Vec<BenchCas
 /// server or a saturated NIC trips the multi-window burn alert. Unknown
 /// presets (including ad-hoc `--rows/--dim` shapes) get the generic tier.
 pub fn preset_slos(preset: Option<&str>) -> Vec<SloObjective> {
+    // Serving presets gate the pull path only (serving issues no pushes) and
+    // carry the preset name in the objective, so a watchdog burn alert says
+    // *which* serving SLO is burning, not just "some pull somewhere".
+    if let Some(p @ ("serve-kddb" | "serve-kdd12")) = preset {
+        // ~2× above the healthy seed-1/2 pull p999 of each serve preset
+        // (observed: serve-kddb 213 µs, serve-kdd12 221 µs).
+        let pull_ns = match p {
+            "serve-kddb" => 450_000,
+            _ => 500_000,
+        };
+        return vec![
+            SloObjective::latency_p999(
+                &format!("{p}.pull.p999"),
+                "ps.client.op.pull.latency",
+                SimTime(pull_ns),
+            ),
+            SloObjective::error_rate(
+                &format!("{p}.timeouts"),
+                "ps.client.timeouts",
+                "ps.client.envelopes",
+                10,
+            ),
+        ];
+    }
     // (pull p999 target, push p999 target), nanoseconds of virtual time.
     // Healthy p999s observed: kddb lr/svm 226–318 µs, kdd12 lr 214 µs.
     let (pull_ns, push_ns) = match preset {
@@ -118,6 +143,10 @@ pub struct CaseRun {
     pub iterations: u64,
     pub total_msgs: u64,
     pub total_bytes: u64,
+    /// Host wall-clock nanoseconds the run took. Unlike every other field
+    /// this is *not* deterministic; it is serialized on its own strippable
+    /// line and gated only against order-of-magnitude blowups.
+    pub wall_ns: u64,
 }
 
 /// Run one case under one seed and split its phases.
@@ -147,7 +176,9 @@ pub fn run_case_profiled(
     } else {
         builder
     };
+    let t0 = std::time::Instant::now();
     let report = run_case_report(case, seed, builder)?;
+    let wall_ns = t0.elapsed().as_nanos() as u64;
     let virtual_ns = report.virtual_time.as_nanos();
     let train_ns = report
         .metrics
@@ -163,6 +194,7 @@ pub fn run_case_profiled(
             iterations: report.metrics.counter("ml.iterations"),
             total_msgs: report.total_msgs,
             total_bytes: report.total_bytes,
+            wall_ns,
         },
         report.host,
     ))
@@ -306,6 +338,41 @@ impl Stat {
     }
 }
 
+/// Append the strippable per-case wall-time line: `"wall_seconds": [..],`
+/// on its own full line (one value per run, seconds at µs precision), so
+/// `grep -v '"wall_seconds"'` restores the deterministic document byte for
+/// byte. Shared by the training and serving sweep serializers.
+fn push_wall_seconds_line(out: &mut String, walls: impl Iterator<Item = u64>) {
+    out.push_str("\n      \"wall_seconds\": [");
+    for (j, w) in walls.enumerate() {
+        let _ = write!(
+            out,
+            "{}{:.6}",
+            if j > 0 { ", " } else { "" },
+            w as f64 / 1e9
+        );
+    }
+    out.push_str("],");
+}
+
+/// Read a case's optional `wall_seconds` array back into per-run
+/// nanoseconds. Reports written before the field existed (or hand-stripped
+/// ones) parse as empty — callers default each run's wall to 0, which
+/// disables the wall gate for that case.
+fn parse_wall_seconds(case: &JsonValue) -> Vec<u64> {
+    case.get("wall_seconds")
+        .and_then(JsonValue::as_arr)
+        .map(|a| {
+            a.iter()
+                .map(|v| match v {
+                    JsonValue::Num(n) => (n * 1e9).round() as u64,
+                    _ => 0,
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
 /// A case plus its per-seed runs and cross-seed aggregates.
 #[derive(Clone, Debug)]
 pub struct CaseSummary {
@@ -316,6 +383,9 @@ pub struct CaseSummary {
     pub train_ns: Stat,
     pub total_msgs: Stat,
     pub total_bytes: Stat,
+    /// Host wall time across seeds — noise, kept out of the summary block
+    /// in the JSON and out of the hard gate.
+    pub wall_ns: Stat,
 }
 
 impl CaseSummary {
@@ -327,6 +397,7 @@ impl CaseSummary {
             train_ns: pick(|r| r.train_ns),
             total_msgs: pick(|r| r.total_msgs),
             total_bytes: pick(|r| r.total_bytes),
+            wall_ns: pick(|r| r.wall_ns),
             case,
             runs,
         }
@@ -369,9 +440,15 @@ impl BenchReport {
             render_json_string(&c.case.algorithm, &mut out);
             let _ = write!(
                 out,
-                ",\n      \"workers\": {}, \"servers\": {}, \"iters\": {},\n      \"runs\": [",
+                ",\n      \"workers\": {}, \"servers\": {}, \"iters\": {},",
                 c.case.workers, c.case.servers, c.case.iters
             );
+            // Wall time is host noise, so it lives alone on one full line:
+            // `grep -v '"wall_seconds"'` recovers the byte-exact deterministic
+            // document (that is how CI diffs a fresh sweep against a baseline
+            // written before this field existed).
+            push_wall_seconds_line(&mut out, c.runs.iter().map(|r| r.wall_ns));
+            out.push_str("\n      \"runs\": [");
             for (j, r) in c.runs.iter().enumerate() {
                 if j > 0 {
                     out.push(',');
@@ -445,12 +522,14 @@ impl BenchReport {
                 servers: u64_field(c, "servers")? as usize,
                 iters: u64_field(c, "iters")? as usize,
             };
+            let walls = parse_wall_seconds(c);
             let runs = c
                 .get("runs")
                 .and_then(JsonValue::as_arr)
                 .ok_or("bench report: case missing \"runs\"")?
                 .iter()
-                .map(|r| {
+                .enumerate()
+                .map(|(i, r)| {
                     Ok(CaseRun {
                         seed: u64_field(r, "seed")?,
                         virtual_ns: u64_field(r, "virtual_ns")?,
@@ -459,6 +538,7 @@ impl BenchReport {
                         iterations: u64_field(r, "iterations")?,
                         total_msgs: u64_field(r, "total_msgs")?,
                         total_bytes: u64_field(r, "total_bytes")?,
+                        wall_ns: walls.get(i).copied().unwrap_or(0),
                     })
                 })
                 .collect::<Result<Vec<_>, String>>()?;
@@ -538,6 +618,311 @@ pub fn compare(base: &BenchReport, cand: &BenchReport, tolerance_milli: u64) -> 
         check("train_ns", b.train_ns, c.train_ns);
         check("total_msgs", b.total_msgs, c.total_msgs);
         check("total_bytes", b.total_bytes, c.total_bytes);
+        check_wall(&mut out, &b.case.name, b.wall_ns, c.wall_ns);
+    }
+    out
+}
+
+/// The *soft* wall-clock gate shared by the training and serving sweeps:
+/// wall time is host noise (different runners, caches, thermal state), so
+/// only a >4× median blowup — the signature of an accidentally quadratic
+/// host-side path, not of a busy machine — is a violation. A zero baseline
+/// median (a report written before `wall_seconds` existed, or a stripped
+/// one) disables the check for that case.
+fn check_wall(out: &mut Vec<String>, name: &str, base: Stat, cand: Stat) {
+    if base.median > 0 && cand.median > base.median.saturating_mul(4) {
+        out.push(format!(
+            "{name} wall_ns: median {} -> {} (more than 4x; host-side blowup)",
+            base.median, cand.median
+        ));
+    }
+}
+
+// ---- the serving sweep ------------------------------------------------------
+
+/// Seeds for the serve sweep. Two: each serve case is already 10k–20k
+/// endpoints and a few hundred thousand pulls, and the runs are
+/// deterministic — the second seed exists so one lucky arrival interleaving
+/// cannot hide a tail regression.
+pub const SERVE_SEEDS: &[u64] = &[1, 2];
+
+/// Measurements from a single seeded run of a serving scenario. Everything
+/// but `wall_ns` is virtual and deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeCaseRun {
+    pub seed: u64,
+    /// Makespan: model load + generation window + reply drain.
+    pub virtual_ns: u64,
+    /// Pulls completed (replies gathered) — the open-loop schedule fixes
+    /// issues, so this equals issues in any healthy run.
+    pub pulls: u64,
+    /// Pull-latency tail, virtual nanoseconds.
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+    pub total_msgs: u64,
+    pub total_bytes: u64,
+    /// Host wall-clock nanoseconds — noise; strippable line, soft gate.
+    pub wall_ns: u64,
+}
+
+/// Run one serving preset under one seed.
+pub fn run_serve_case(preset: &str, seed: u64) -> Result<ServeCaseRun, String> {
+    let spec = serve_spec(preset).ok_or_else(|| {
+        format!(
+            "unknown serve preset '{preset}' (want {})",
+            SERVE_PRESETS.join("|")
+        )
+    })?;
+    let t0 = std::time::Instant::now();
+    let (summary, report) = run_serve(SimBuilder::new().seed(seed), &spec);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    if summary.completed != summary.issued {
+        return Err(format!(
+            "serve case {preset} seed {seed}: {} of {} pulls unanswered",
+            summary.issued - summary.completed,
+            summary.issued
+        ));
+    }
+    Ok(ServeCaseRun {
+        seed,
+        virtual_ns: summary.virtual_ns,
+        pulls: summary.completed,
+        p99_ns: summary.p99_ns,
+        p999_ns: summary.p999_ns,
+        total_msgs: report.total_msgs,
+        total_bytes: report.total_bytes,
+        wall_ns,
+    })
+}
+
+/// A serving preset plus its per-seed runs and cross-seed aggregates.
+#[derive(Clone, Debug)]
+pub struct ServeCaseSummary {
+    pub preset: String,
+    pub endpoints: u64,
+    pub runs: Vec<ServeCaseRun>,
+    pub virtual_ns: Stat,
+    pub pulls: Stat,
+    pub p99_ns: Stat,
+    pub p999_ns: Stat,
+    pub total_msgs: Stat,
+    pub total_bytes: Stat,
+    pub wall_ns: Stat,
+}
+
+impl ServeCaseSummary {
+    fn of(preset: String, endpoints: u64, runs: Vec<ServeCaseRun>) -> ServeCaseSummary {
+        let pick = |f: fn(&ServeCaseRun) -> u64| Stat::of(runs.iter().map(f).collect());
+        ServeCaseSummary {
+            virtual_ns: pick(|r| r.virtual_ns),
+            pulls: pick(|r| r.pulls),
+            p99_ns: pick(|r| r.p99_ns),
+            p999_ns: pick(|r| r.p999_ns),
+            total_msgs: pick(|r| r.total_msgs),
+            total_bytes: pick(|r| r.total_bytes),
+            wall_ns: pick(|r| r.wall_ns),
+            preset,
+            endpoints,
+            runs,
+        }
+    }
+}
+
+/// A full serving sweep — what `BENCH_pr9.json` holds.
+#[derive(Clone, Debug, Default)]
+pub struct ServeBenchReport {
+    pub cases: Vec<ServeCaseSummary>,
+}
+
+/// Run every serving preset under every seed; fails fast on a typo'd preset
+/// or an unhealthy run (unanswered pulls).
+pub fn serve_sweep(presets: &[&str], seeds: &[u64]) -> Result<ServeBenchReport, String> {
+    let mut out = ServeBenchReport::default();
+    for &preset in presets {
+        let endpoints = serve_spec(preset)
+            .ok_or_else(|| format!("unknown serve preset '{preset}'"))?
+            .endpoints();
+        let mut runs = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            runs.push(run_serve_case(preset, seed)?);
+        }
+        out.cases
+            .push(ServeCaseSummary::of(preset.to_string(), endpoints, runs));
+    }
+    Ok(out)
+}
+
+impl ServeBenchReport {
+    /// Serialize deterministically, mirroring [`BenchReport::to_json`]:
+    /// integers only, except the strippable per-case `wall_seconds` line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"ps2-bench-serve-v1\",\n  \"cases\": [");
+        for (i, c) in self.cases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n      \"preset\": ");
+            render_json_string(&c.preset, &mut out);
+            let _ = write!(out, ",\n      \"endpoints\": {},", c.endpoints);
+            push_wall_seconds_line(&mut out, c.runs.iter().map(|r| r.wall_ns));
+            out.push_str("\n      \"runs\": [");
+            for (j, r) in c.runs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n        {{\"seed\": {}, \"virtual_ns\": {}, \"pulls\": {}, \
+                     \"p99_ns\": {}, \"p999_ns\": {}, \"total_msgs\": {}, \
+                     \"total_bytes\": {}}}",
+                    r.seed, r.virtual_ns, r.pulls, r.p99_ns, r.p999_ns, r.total_msgs, r.total_bytes
+                );
+            }
+            out.push_str("\n      ],\n      \"summary\": {");
+            let stat = |out: &mut String, name: &str, s: Stat, last: bool| {
+                let _ = write!(
+                    out,
+                    "\n        \"{name}\": {{\"min\": {}, \"median\": {}, \"max\": {}}}{}",
+                    s.min,
+                    s.median,
+                    s.max,
+                    if last { "" } else { "," }
+                );
+            };
+            stat(&mut out, "virtual_ns", c.virtual_ns, false);
+            stat(&mut out, "pulls", c.pulls, false);
+            stat(&mut out, "p99_ns", c.p99_ns, false);
+            stat(&mut out, "p999_ns", c.p999_ns, false);
+            stat(&mut out, "total_msgs", c.total_msgs, false);
+            stat(&mut out, "total_bytes", c.total_bytes, true);
+            out.push_str("\n      }\n    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parse a report written by [`ServeBenchReport::to_json`]; aggregates
+    /// are recomputed, not trusted.
+    pub fn from_json(text: &str) -> Result<ServeBenchReport, String> {
+        let doc = parse_json(text).map_err(|e| e.to_string())?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some("ps2-bench-serve-v1") => {}
+            other => return Err(format!("unsupported serve bench schema {other:?}")),
+        }
+        let u64_field = |obj: &JsonValue, key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("serve bench report: missing/invalid \"{key}\""))
+        };
+        let mut out = ServeBenchReport::default();
+        for c in doc
+            .get("cases")
+            .and_then(JsonValue::as_arr)
+            .ok_or("serve bench report: missing \"cases\"")?
+        {
+            let preset = c
+                .get("preset")
+                .and_then(JsonValue::as_str)
+                .ok_or("serve bench report: case missing \"preset\"")?
+                .to_string();
+            let endpoints = u64_field(c, "endpoints")?;
+            let walls = parse_wall_seconds(c);
+            let runs = c
+                .get("runs")
+                .and_then(JsonValue::as_arr)
+                .ok_or("serve bench report: case missing \"runs\"")?
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    Ok(ServeCaseRun {
+                        seed: u64_field(r, "seed")?,
+                        virtual_ns: u64_field(r, "virtual_ns")?,
+                        pulls: u64_field(r, "pulls")?,
+                        p99_ns: u64_field(r, "p99_ns")?,
+                        p999_ns: u64_field(r, "p999_ns")?,
+                        total_msgs: u64_field(r, "total_msgs")?,
+                        total_bytes: u64_field(r, "total_bytes")?,
+                        wall_ns: walls.get(i).copied().unwrap_or(0),
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            if runs.is_empty() {
+                return Err(format!("serve bench report: case {preset} has no runs"));
+            }
+            out.cases
+                .push(ServeCaseSummary::of(preset, endpoints, runs));
+        }
+        Ok(out)
+    }
+
+    /// Human-readable sweep table: tail latency in virtual microseconds.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "case          endpoints     pulls   p99 median [min..max] µs     p999 µs    virtual\n",
+        );
+        for c in &self.cases {
+            let us = |ns: u64| ns as f64 / 1e3;
+            let _ = writeln!(
+                out,
+                "{:<13} {:>9} {:>9} {:>9.1} [{:.1}..{:.1}] {:>12.1} {:>9.4}s",
+                c.preset,
+                c.endpoints,
+                c.pulls.median,
+                us(c.p99_ns.median),
+                us(c.p99_ns.min),
+                us(c.p99_ns.max),
+                us(c.p999_ns.median),
+                c.virtual_ns.median as f64 / 1e9
+            );
+        }
+        out
+    }
+}
+
+/// The serving regression gate, mirroring [`compare`]: missing cases and
+/// median growth beyond tolerance fail; `pulls` additionally fails on *any*
+/// change (the open-loop schedule fixes the count — a different number means
+/// the generator itself changed); wall time gets the soft 4× gate.
+pub fn compare_serve(
+    base: &ServeBenchReport,
+    cand: &ServeBenchReport,
+    tolerance_milli: u64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for b in &base.cases {
+        let Some(c) = cand.cases.iter().find(|c| c.preset == b.preset) else {
+            out.push(format!("serve case {} missing from candidate", b.preset));
+            continue;
+        };
+        if c.pulls != b.pulls {
+            out.push(format!(
+                "{} pulls: {} -> {} (open-loop count must not change)",
+                b.preset, b.pulls.median, c.pulls.median
+            ));
+        }
+        let mut check = |metric: &str, a: Stat, v: Stat| {
+            if exceeds(a.median, v.median, tolerance_milli) {
+                let pct = if a.median == 0 {
+                    f64::INFINITY
+                } else {
+                    100.0 * (v.median as f64 - a.median as f64) / a.median as f64
+                };
+                out.push(format!(
+                    "{} {metric}: median {} -> {} (+{pct:.1}%, tolerance {:.1}%)",
+                    b.preset,
+                    a.median,
+                    v.median,
+                    tolerance_milli as f64 / 10.0
+                ));
+            }
+        };
+        check("virtual_ns", b.virtual_ns, c.virtual_ns);
+        check("p99_ns", b.p99_ns, c.p99_ns);
+        check("p999_ns", b.p999_ns, c.p999_ns);
+        check("total_msgs", b.total_msgs, c.total_msgs);
+        check("total_bytes", b.total_bytes, c.total_bytes);
+        check_wall(&mut out, &b.preset, b.wall_ns, c.wall_ns);
     }
     out
 }
@@ -1236,6 +1621,8 @@ mod tests {
             iterations: 4,
             total_msgs: 100,
             total_bytes: 1_000,
+            // Whole microseconds, so the %.6f wall_seconds line round-trips.
+            wall_ns: 42_000_000,
         }];
         CaseSummary::of(case, runs)
     }
@@ -1311,6 +1698,115 @@ mod tests {
     fn from_json_rejects_wrong_schema() {
         assert!(BenchReport::from_json(r#"{"schema": "nope", "cases": []}"#).is_err());
         assert!(BenchReport::from_json("[]").is_err());
+    }
+
+    #[test]
+    fn wall_seconds_lives_on_its_own_strippable_line() {
+        let report = BenchReport {
+            cases: vec![summary("kddb-lr", 1_000_000)],
+        };
+        let text = report.to_json();
+        let wall_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"wall_seconds\""))
+            .collect();
+        assert_eq!(wall_lines, ["      \"wall_seconds\": [0.042000],"]);
+        // Stripping the line leaves valid JSON — the pre-wall document.
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.contains("\"wall_seconds\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let parsed = BenchReport::from_json(&stripped).unwrap();
+        assert_eq!(parsed.cases[0].runs[0].wall_ns, 0, "stripped wall reads 0");
+        assert_eq!(parsed.cases[0].virtual_ns, report.cases[0].virtual_ns);
+    }
+
+    #[test]
+    fn wall_gate_is_soft_until_4x() {
+        let base = BenchReport {
+            cases: vec![summary("kddb-lr", 1_000_000)],
+        };
+        let mut slow = base.clone();
+        // 3.9x the baseline wall: host noise, not a violation.
+        slow.cases[0].wall_ns.median = base.cases[0].wall_ns.median * 39 / 10;
+        assert!(compare(&base, &slow, 50).is_empty());
+        slow.cases[0].wall_ns.median = base.cases[0].wall_ns.median * 5;
+        let v = compare(&base, &slow, 50);
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert!(v[0].contains("wall_ns"), "got: {}", v[0]);
+    }
+
+    fn serve_summary(preset: &str, p99: u64, pulls: u64) -> ServeCaseSummary {
+        let runs = vec![ServeCaseRun {
+            seed: 1,
+            virtual_ns: 400_000_000,
+            pulls,
+            p99_ns: p99,
+            p999_ns: p99 * 2,
+            total_msgs: 2 * pulls,
+            total_bytes: 600 * pulls,
+            wall_ns: 1_500_000_000,
+        }];
+        ServeCaseSummary::of(preset.to_string(), 10_000, runs)
+    }
+
+    #[test]
+    fn serve_json_round_trip_preserves_runs() {
+        let report = ServeBenchReport {
+            cases: vec![
+                serve_summary("serve-kddb", 210_000, 200_000),
+                serve_summary("serve-kdd12", 220_000, 320_000),
+            ],
+        };
+        let parsed = ServeBenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.cases.len(), 2);
+        for (a, b) in report.cases.iter().zip(&parsed.cases) {
+            assert_eq!(a.preset, b.preset);
+            assert_eq!(a.endpoints, b.endpoints);
+            assert_eq!(a.runs, b.runs);
+            assert_eq!(a.p99_ns, b.p99_ns);
+        }
+        assert_eq!(report.to_json(), parsed.to_json());
+    }
+
+    #[test]
+    fn serve_gate_flags_tail_regressions_and_pull_count_changes() {
+        let base = ServeBenchReport {
+            cases: vec![serve_summary("serve-kddb", 210_000, 200_000)],
+        };
+        // Within tolerance: clean.
+        let ok = ServeBenchReport {
+            cases: vec![serve_summary("serve-kddb", 215_000, 200_000)],
+        };
+        assert!(compare_serve(&base, &ok, 50).is_empty());
+        // p999 regression past tolerance: flagged.
+        let slow = ServeBenchReport {
+            cases: vec![serve_summary("serve-kddb", 260_000, 200_000)],
+        };
+        let v = compare_serve(&base, &slow, 50);
+        assert!(v.iter().any(|l| l.contains("p99")), "got: {v:?}");
+        // Any change in the open-loop pull count: flagged even if "better".
+        let fewer = ServeBenchReport {
+            cases: vec![serve_summary("serve-kddb", 210_000, 199_999)],
+        };
+        let v = compare_serve(&base, &fewer, 50);
+        assert!(v.iter().any(|l| l.contains("pulls")), "got: {v:?}");
+        // Missing case: coverage must not shrink.
+        let v = compare_serve(&base, &ServeBenchReport::default(), 50);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing"));
+    }
+
+    #[test]
+    fn serve_presets_have_named_slos() {
+        for preset in SERVE_PRESETS {
+            let objectives = preset_slos(Some(preset));
+            assert!(
+                objectives.iter().any(|o| o.name.contains(preset)),
+                "{preset}: objectives must carry the preset name"
+            );
+        }
     }
 
     fn mode_summary(name: &str, mode: &str, virtual_ns: u64, loss: i64) -> ModeCaseSummary {

@@ -27,6 +27,14 @@
 //!     {bsp,ssp:2,async}) emitting convergence-vs-virtual-time curves
 //!     (this is how BENCH_pr6.json is generated); with --gate, compare
 //!     against the committed baseline and exit 1 on regression
+//!
+//! ps2-bench serve [--out PATH] [--seeds a,b] [--presets p,q]
+//!                 [--gate BASE] [--tolerance FRAC]
+//!     run the serving sweep (serve-kddb, serve-kdd12: steppable PS fleets
+//!     under open-loop pull traffic from 10k–20k endpoints) emitting pull
+//!     p99/p999 tail latency per case (this is how BENCH_pr9.json is
+//!     generated); with --gate, compare against the committed baseline and
+//!     exit 1 on regression
 //! ```
 //!
 //! All numbers in the main reports are virtual-time integers from the
@@ -38,9 +46,11 @@
 use std::process::exit;
 
 use ps2::bench::{
-    compare, compare_modes, mode_cases, mode_sweep, slo_sweep, small_cases, sweep, sweep_with_host,
-    BenchReport, HostReport, ModeBenchReport, DEFAULT_SEEDS, MODE_SEEDS,
+    compare, compare_modes, compare_serve, mode_cases, mode_sweep, serve_sweep, slo_sweep,
+    small_cases, sweep, sweep_with_host, BenchReport, HostReport, ModeBenchReport,
+    ServeBenchReport, DEFAULT_SEEDS, MODE_SEEDS, SERVE_SEEDS,
 };
+use ps2::ml::serve::SERVE_PRESETS;
 
 fn die(msg: &str) -> ! {
     eprintln!("ps2-bench: {msg}");
@@ -52,7 +62,8 @@ fn usage() -> ! {
         "usage: ps2-bench sweep [--out PATH] [--host-out PATH] [--slo-out PATH] [--seeds a,b,c] [--workers N] [--servers N] [--iters N]\n\
         \x20      ps2-bench diff <BASE> <CAND> [--tolerance FRAC] [--gate]\n\
         \x20      ps2-bench --gate <BASE> [--tolerance FRAC] [--out PATH] [--host-out PATH] [sweep flags]\n\
-        \x20      ps2-bench modes [--out PATH] [--seeds a,b] [--workers N] [--servers N] [--iters N] [--gate BASE] [--tolerance FRAC]"
+        \x20      ps2-bench modes [--out PATH] [--seeds a,b] [--workers N] [--servers N] [--iters N] [--gate BASE] [--tolerance FRAC]\n\
+        \x20      ps2-bench serve [--out PATH] [--seeds a,b] [--presets p,q] [--gate BASE] [--tolerance FRAC]"
     );
     exit(2)
 }
@@ -318,6 +329,56 @@ fn main() {
                 let violations = compare_modes(&base, &cand, tol);
                 if violations.is_empty() {
                     println!("mode gate passed ({:.1}% tolerance)", tol as f64 / 10.0);
+                } else {
+                    for v in &violations {
+                        eprintln!("REGRESSION {v}");
+                    }
+                    exit(1);
+                }
+            }
+        }
+        "serve" => {
+            let flags = Flags::parse(rest);
+            let seeds: Vec<u64> = match flags.get("seeds") {
+                None => SERVE_SEEDS.to_vec(),
+                Some(list) => list
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| die(&format!("bad seed '{s}' in --seeds")))
+                    })
+                    .collect(),
+            };
+            if seeds.is_empty() {
+                die("--seeds needs at least one seed");
+            }
+            let presets: Vec<String> = match flags.get("presets") {
+                None => SERVE_PRESETS.iter().map(|p| p.to_string()).collect(),
+                Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
+            };
+            let preset_refs: Vec<&str> = presets.iter().map(String::as_str).collect();
+            eprintln!(
+                "sweeping {} serve cases x {} seeds...",
+                preset_refs.len(),
+                seeds.len()
+            );
+            let cand = serve_sweep(&preset_refs, &seeds).unwrap_or_else(|e| die(&e));
+            print!("{}", cand.render());
+            if let Some(path) = flags.get("out") {
+                std::fs::write(path, cand.to_json())
+                    .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                println!("report written to {path}");
+            }
+            if let Some(base_path) = flags.get("gate").filter(|p| !p.is_empty()) {
+                let text = std::fs::read_to_string(base_path)
+                    .unwrap_or_else(|e| die(&format!("cannot read {base_path}: {e}")));
+                let base = ServeBenchReport::from_json(&text)
+                    .unwrap_or_else(|e| die(&format!("{base_path}: {e}")));
+                let tol = tolerance_milli(&flags);
+                let violations = compare_serve(&base, &cand, tol);
+                if violations.is_empty() {
+                    println!("serve gate passed ({:.1}% tolerance)", tol as f64 / 10.0);
                 } else {
                     for v in &violations {
                         eprintln!("REGRESSION {v}");

@@ -3,7 +3,13 @@
 //! ```text
 //! ps2-run <workload> [flags]
 //!
-//! workloads: lr | deepwalk | gbdt | lda | svm | lbfgs | fm
+//! workloads: lr | deepwalk | gbdt | lda | svm | lbfgs | fm | serve
+//!
+//! `serve` is the serving scenario: a trained model table on a fleet of
+//! steppable PS-server agents absorbing open-loop pull traffic from tens of
+//! thousands of endpoints (aggregate client agents, Zipf row skew). A
+//! `--preset serve-*` implies it, so `ps2-run --preset serve-kddb` works
+//! without the workload word.
 //!
 //! common flags:
 //!   --workers N        executors (default 20)
@@ -13,7 +19,8 @@
 //!   --backend NAME     ps2 | ps | spark | petuum | distml | xgboost |
 //!                      glint | mllib-star      (default ps2)
 //!   --preset NAME      named dataset preset: kddb|kdd12|ctr|gender (sparse),
-//!                      pubmed|app (lda), graph1|graph2 (deepwalk)
+//!                      pubmed|app (lda), graph1|graph2 (deepwalk),
+//!                      serve-kddb|serve-kdd12 (serving)
 //!   --mode NAME        consistency mode for lr/svm: bsp | ssp:<s> | async
 //!                      (mode-gated Spark-free loop instead of the dataflow
 //!                      backend; see also --mini-batch, --straggler-ms)
@@ -56,6 +63,8 @@
 //!   --trees N --depth N --bins N
 //! lda flags:
 //!   --docs N --vocab N --topics N
+//! serving flags (serve):
+//!   --agents N --users-per-agent N --duration-ms N
 //! ```
 //!
 //! Example:
@@ -77,6 +86,7 @@ use ps2::ml::lda::{train_lda, LdaBackend, LdaConfig};
 use ps2::ml::lr::{train_lr, train_lr_mllib_star, LrBackend, LrConfig};
 use ps2::ml::modes::{run_mode_with, ModeAlgo, ModeConfig};
 use ps2::ml::optim::Optimizer;
+use ps2::ml::serve::{run_serve, serve_spec, SERVE_PRESETS};
 use ps2::ml::svm::{train_svm, SvmConfig};
 use ps2::ml::TrainingTrace;
 use ps2::ps::ConsistencyMode;
@@ -134,7 +144,7 @@ fn die(msg: &str) -> ! {
 fn usage() -> ! {
     eprintln!(
         "\
-usage: ps2-run <lr|deepwalk|gbdt|lda|svm|lbfgs|fm> [flags]
+usage: ps2-run <lr|deepwalk|gbdt|lda|svm|lbfgs|fm|serve> [flags]
 
 common flags:
   --workers N            executors (default 20)
@@ -146,6 +156,9 @@ common flags:
                            lr/svm/lbfgs/fm: kddb|kdd12|ctr|gender
                            lda:             pubmed|app
                            deepwalk:        graph1|graph2
+                           serve:           serve-kddb|serve-kdd12
+                                            (a serve-* preset implies the serve
+                                            workload, so the word is optional)
   --mode NAME            consistency mode for lr/svm: bsp|ssp:<s>|async;
                          runs the Spark-free mode-gated worker loop instead
                          of the dataflow backend
@@ -185,15 +198,28 @@ gbdt flags:
 lda flags:
   --docs N --vocab N --topics N
 fm flags:
-  --factors N            latent factors (default 8)"
+  --factors N            latent factors (default 8)
+serving flags (serve; defaults come from the preset):
+  --agents N             aggregate client agents (each models thousands of users)
+  --users-per-agent N    simulated users per agent
+  --duration-ms N        open-loop generation window, virtual ms
+  --servers N            PS-server fleet size"
     );
     exit(2)
 }
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Some((workload, rest)) = argv.split_first() else {
+    if argv.is_empty() {
         usage();
+    }
+    // `ps2-run --preset serve-kddb …` works without a workload word: when
+    // the first token is already a flag, serving is the implied workload
+    // (the only one whose preset names are self-identifying).
+    let (workload, rest): (String, &[String]) = if argv[0].starts_with("--") {
+        ("serve".to_string(), &argv[..])
+    } else {
+        (argv[0].clone(), &argv[1..])
     };
     let args = Args::parse(rest);
 
@@ -258,7 +284,9 @@ fn main() {
         Some("ctr") => presets::ctr(parts, seed).gen,
         Some("gender") => presets::gender(parts, seed).gen,
         Some(other) => die(&format!(
-            "unknown sparse preset '{other}' (want kddb|kdd12|ctr|gender)"
+            "unknown sparse preset '{other}' (want kddb|kdd12|ctr|gender; \
+             serving presets: {})",
+            SERVE_PRESETS.join("|")
         )),
     };
 
@@ -266,200 +294,240 @@ fn main() {
     // The consistency-mode path bypasses the dataflow engine entirely: a
     // Spark-free pull → gradient → push topology gated by the chosen mode
     // (BSP barrier, SSP staleness bound, or free-running async).
-    let (trace, mut report) = if let Some(spelling) = args.flags.get("mode").cloned() {
-        let mode = ConsistencyMode::parse(&spelling).unwrap_or_else(|e| die(&e));
-        let algo = match workload.as_str() {
-            "lr" => ModeAlgo::Lr,
-            "svm" => ModeAlgo::Svm,
-            other => die(&format!("--mode supports lr|svm, not '{other}'")),
-        };
-        let mut cfg = ModeConfig::new(sparse_gen(workers), spec.workers, spec.servers, mode);
-        cfg.iterations = iters as u32;
-        cfg.learning_rate = args.get("lr", 1.0f64);
-        cfg.mini_batch = args.get("mini-batch", 64usize);
-        cfg.straggler_slowdown = SimTime::from_millis(args.get("straggler-ms", 0u64));
-        cfg.seed = seed;
-        run_mode_with(mk_builder(), &cfg, algo)
-    } else {
-        match workload.as_str() {
-            "lr" => {
-                let optimizer = match args.get_str("optimizer", "sgd").as_str() {
-                    "sgd" => Optimizer::Sgd,
-                    "adam" => Optimizer::Adam {
-                        beta1: 0.9,
-                        beta2: 0.999,
-                        epsilon: 1e-8,
-                    },
-                    "adagrad" => Optimizer::Adagrad { epsilon: 1e-8 },
-                    "rmsprop" => Optimizer::RmsProp {
-                        decay: 0.9,
-                        epsilon: 1e-8,
-                    },
-                    "ftrl" => Optimizer::Ftrl {
-                        alpha: 0.3,
-                        beta: 1.0,
-                        l1: 1e-3,
-                        l2: 1e-4,
-                    },
-                    other => die(&format!("unknown optimizer '{other}'")),
-                };
-                let lr_backend = match backend.as_str() {
-                    "ps2" => Some(LrBackend::Ps2Dcv),
-                    "ps" => Some(LrBackend::PsPullPush),
-                    "spark" => Some(LrBackend::SparkDriver),
-                    "petuum" => Some(LrBackend::PetuumStyle),
-                    "distml" => Some(LrBackend::DistmlStyle),
-                    "mllib-star" => None,
-                    other => die(&format!("unknown LR backend '{other}'")),
-                };
-                let gen = sparse_gen(workers);
-                let lrate: f64 = args.get("lr", 1.0f64);
-                let fraction: f64 = args.get("fraction", 0.01f64);
-                run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
-                    let mut cfg = LrConfig::new(gen, optimizer, iters);
-                    cfg.hyper.learning_rate = lrate;
-                    cfg.hyper.mini_batch_fraction = fraction;
-                    match lr_backend {
-                        Some(b) => train_lr(ctx, ps2, &cfg, b),
-                        None => train_lr_mllib_star(ctx, ps2, &cfg),
-                    }
-                })
+    let (trace, mut report) =
+        if workload == "serve" || preset.as_deref().is_some_and(|p| p.starts_with("serve-")) {
+            // The serving scenario: geometry comes from the serve preset, with
+            // load-shape flags as overrides. The training-trace slot carries
+            // only a label — serving has no loss curve.
+            let pname = preset.clone().unwrap_or_else(|| {
+                die(&format!(
+                    "serving needs --preset ({})",
+                    SERVE_PRESETS.join("|")
+                ))
+            });
+            let mut sspec = serve_spec(&pname).unwrap_or_else(|| {
+                die(&format!(
+                    "unknown serve preset '{pname}' (want {})",
+                    SERVE_PRESETS.join("|")
+                ))
+            });
+            sspec.servers = args.get("servers", sspec.servers);
+            sspec.agents = args.get("agents", sspec.agents);
+            sspec.users_per_agent = args.get("users-per-agent", sspec.users_per_agent);
+            if args.flags.contains_key("duration-ms") {
+                sspec.duration = SimTime::from_millis(args.get("duration-ms", 0u64));
             }
-            "deepwalk" => {
-                let dw_backend = match backend.as_str() {
-                    "ps2" => DeepWalkBackend::Ps2Dcv,
-                    "ps" => DeepWalkBackend::PsPullPush,
-                    other => die(&format!("unknown DeepWalk backend '{other}'")),
-                };
-                let (graph_gen, walks_n, walk_len) = match preset.as_deref() {
-                    None => (
-                        GraphGen {
-                            vertices: args.get("vertices", 2_000u32),
-                            edges_per_vertex: 4,
+            let (summary, report) = run_serve(mk_builder(), &sspec);
+            let us = |ns: u64| format!("{}.{:03}us", ns / 1_000, ns % 1_000);
+            println!(
+                "serving {}: {} endpoints on {} servers — {} pulls completed of {} issued\n\
+             pull latency p99 {}  p999 {}",
+                sspec.name,
+                summary.endpoints,
+                sspec.servers,
+                summary.completed,
+                summary.issued,
+                us(summary.p99_ns),
+                us(summary.p999_ns),
+            );
+            (
+                TrainingTrace::new(format!("{} serving", sspec.name)),
+                report,
+            )
+        } else if let Some(spelling) = args.flags.get("mode").cloned() {
+            let mode = ConsistencyMode::parse(&spelling).unwrap_or_else(|e| die(&e));
+            let algo = match workload.as_str() {
+                "lr" => ModeAlgo::Lr,
+                "svm" => ModeAlgo::Svm,
+                other => die(&format!("--mode supports lr|svm, not '{other}'")),
+            };
+            let mut cfg = ModeConfig::new(sparse_gen(workers), spec.workers, spec.servers, mode);
+            cfg.iterations = iters as u32;
+            cfg.learning_rate = args.get("lr", 1.0f64);
+            cfg.mini_batch = args.get("mini-batch", 64usize);
+            cfg.straggler_slowdown = SimTime::from_millis(args.get("straggler-ms", 0u64));
+            cfg.seed = seed;
+            run_mode_with(mk_builder(), &cfg, algo)
+        } else {
+            match workload.as_str() {
+                "lr" => {
+                    let optimizer = match args.get_str("optimizer", "sgd").as_str() {
+                        "sgd" => Optimizer::Sgd,
+                        "adam" => Optimizer::Adam {
+                            beta1: 0.9,
+                            beta2: 0.999,
+                            epsilon: 1e-8,
+                        },
+                        "adagrad" => Optimizer::Adagrad { epsilon: 1e-8 },
+                        "rmsprop" => Optimizer::RmsProp {
+                            decay: 0.9,
+                            epsilon: 1e-8,
+                        },
+                        "ftrl" => Optimizer::Ftrl {
+                            alpha: 0.3,
+                            beta: 1.0,
+                            l1: 1e-3,
+                            l2: 1e-4,
+                        },
+                        other => die(&format!("unknown optimizer '{other}'")),
+                    };
+                    let lr_backend = match backend.as_str() {
+                        "ps2" => Some(LrBackend::Ps2Dcv),
+                        "ps" => Some(LrBackend::PsPullPush),
+                        "spark" => Some(LrBackend::SparkDriver),
+                        "petuum" => Some(LrBackend::PetuumStyle),
+                        "distml" => Some(LrBackend::DistmlStyle),
+                        "mllib-star" => None,
+                        other => die(&format!("unknown LR backend '{other}'")),
+                    };
+                    let gen = sparse_gen(workers);
+                    let lrate: f64 = args.get("lr", 1.0f64);
+                    let fraction: f64 = args.get("fraction", 0.01f64);
+                    run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
+                        let mut cfg = LrConfig::new(gen, optimizer, iters);
+                        cfg.hyper.learning_rate = lrate;
+                        cfg.hyper.mini_batch_fraction = fraction;
+                        match lr_backend {
+                            Some(b) => train_lr(ctx, ps2, &cfg, b),
+                            None => train_lr_mllib_star(ctx, ps2, &cfg),
+                        }
+                    })
+                }
+                "deepwalk" => {
+                    let dw_backend = match backend.as_str() {
+                        "ps2" => DeepWalkBackend::Ps2Dcv,
+                        "ps" => DeepWalkBackend::PsPullPush,
+                        other => die(&format!("unknown DeepWalk backend '{other}'")),
+                    };
+                    let (graph_gen, walks_n, walk_len) = match preset.as_deref() {
+                        None => (
+                            GraphGen {
+                                vertices: args.get("vertices", 2_000u32),
+                                edges_per_vertex: 4,
+                                seed,
+                            },
+                            args.get("walks", 4_000usize),
+                            8usize,
+                        ),
+                        Some("graph1") => {
+                            let p = presets::graph1(seed);
+                            (p.gen, p.num_walks, p.walk_len)
+                        }
+                        Some("graph2") => {
+                            let p = presets::graph2(seed);
+                            (p.gen, p.num_walks, p.walk_len)
+                        }
+                        Some(other) => die(&format!(
+                            "unknown graph preset '{other}' (want graph1|graph2)"
+                        )),
+                    };
+                    let dim: u64 = args.get("embedding-dim", 100u64);
+                    run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
+                        let g = graph_gen.generate();
+                        let walks = RandomWalks::sample(&g, walks_n, walk_len, seed ^ 1);
+                        let cfg = DeepWalkConfig {
+                            vertices: graph_gen.vertices,
+                            hyper: DeepWalkHyper {
+                                embedding_dim: dim,
+                                ..DeepWalkHyper::default()
+                            },
+                            batch_per_worker: 128,
+                            iterations: iters,
                             seed,
-                        },
-                        args.get("walks", 4_000usize),
-                        8usize,
-                    ),
-                    Some("graph1") => {
-                        let p = presets::graph1(seed);
-                        (p.gen, p.num_walks, p.walk_len)
-                    }
-                    Some("graph2") => {
-                        let p = presets::graph2(seed);
-                        (p.gen, p.num_walks, p.walk_len)
-                    }
-                    Some(other) => die(&format!(
-                        "unknown graph preset '{other}' (want graph1|graph2)"
-                    )),
-                };
-                let dim: u64 = args.get("embedding-dim", 100u64);
-                run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
-                    let g = graph_gen.generate();
-                    let walks = RandomWalks::sample(&g, walks_n, walk_len, seed ^ 1);
-                    let cfg = DeepWalkConfig {
-                        vertices: graph_gen.vertices,
-                        hyper: DeepWalkHyper {
-                            embedding_dim: dim,
-                            ..DeepWalkHyper::default()
-                        },
-                        batch_per_worker: 128,
-                        iterations: iters,
-                        seed,
+                        };
+                        train_deepwalk(ctx, ps2, &cfg, &walks, dw_backend)
+                    })
+                }
+                "gbdt" => {
+                    let gb_backend = match backend.as_str() {
+                        "ps2" => GbdtBackend::Ps2Dcv,
+                        "xgboost" => GbdtBackend::XgboostStyle,
+                        other => die(&format!("unknown GBDT backend '{other}'")),
                     };
-                    train_deepwalk(ctx, ps2, &cfg, &walks, dw_backend)
-                })
-            }
-            "gbdt" => {
-                let gb_backend = match backend.as_str() {
-                    "ps2" => GbdtBackend::Ps2Dcv,
-                    "xgboost" => GbdtBackend::XgboostStyle,
-                    other => die(&format!("unknown GBDT backend '{other}'")),
-                };
-                let gen = SparseDatasetGen::new(
-                    args.get("rows", 10_000u64),
-                    args.get("dim", 500u64),
-                    args.get("nnz", 20u32),
-                    workers,
-                    seed,
-                )
-                .continuous();
-                let hyper = GbdtHyper {
-                    num_trees: args.get("trees", 10usize),
-                    max_depth: args.get("depth", 5usize),
-                    histogram_bins: args.get("bins", 50usize),
-                    ..GbdtHyper::default()
-                };
-                run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
-                    let cfg = GbdtConfig {
-                        dataset: gen,
-                        hyper,
-                    };
-                    train_gbdt(ctx, ps2, &cfg, gb_backend).0
-                })
-            }
-            "lda" => {
-                let lda_backend = match backend.as_str() {
-                    "ps2" => LdaBackend::Ps2Dcv,
-                    "petuum" => LdaBackend::PetuumStyle,
-                    "glint" => LdaBackend::GlintStyle,
-                    "spark" => LdaBackend::SparkDriver,
-                    other => die(&format!("unknown LDA backend '{other}'")),
-                };
-                let corpus = match preset.as_deref() {
-                    None => CorpusGen::new(
-                        args.get("docs", 4_000u64),
-                        args.get("vocab", 8_000u32),
-                        16,
-                        60,
+                    let gen = SparseDatasetGen::new(
+                        args.get("rows", 10_000u64),
+                        args.get("dim", 500u64),
+                        args.get("nnz", 20u32),
                         workers,
                         seed,
-                    ),
-                    Some("pubmed") => presets::pubmed(workers, seed).gen,
-                    Some("app") => presets::app(workers, seed).gen,
-                    Some(other) => die(&format!(
-                        "unknown corpus preset '{other}' (want pubmed|app)"
-                    )),
-                };
-                let topics: u32 = args.get("topics", 50u32);
-                run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
-                    let cfg = LdaConfig {
-                        corpus,
-                        hyper: LdaHyper {
-                            topics,
-                            ..LdaHyper::default()
-                        },
-                        iterations: iters,
+                    )
+                    .continuous();
+                    let hyper = GbdtHyper {
+                        num_trees: args.get("trees", 10usize),
+                        max_depth: args.get("depth", 5usize),
+                        histogram_bins: args.get("bins", 50usize),
+                        ..GbdtHyper::default()
                     };
-                    train_lda(ctx, ps2, &cfg, lda_backend)
-                })
+                    run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
+                        let cfg = GbdtConfig {
+                            dataset: gen,
+                            hyper,
+                        };
+                        train_gbdt(ctx, ps2, &cfg, gb_backend).0
+                    })
+                }
+                "lda" => {
+                    let lda_backend = match backend.as_str() {
+                        "ps2" => LdaBackend::Ps2Dcv,
+                        "petuum" => LdaBackend::PetuumStyle,
+                        "glint" => LdaBackend::GlintStyle,
+                        "spark" => LdaBackend::SparkDriver,
+                        other => die(&format!("unknown LDA backend '{other}'")),
+                    };
+                    let corpus = match preset.as_deref() {
+                        None => CorpusGen::new(
+                            args.get("docs", 4_000u64),
+                            args.get("vocab", 8_000u32),
+                            16,
+                            60,
+                            workers,
+                            seed,
+                        ),
+                        Some("pubmed") => presets::pubmed(workers, seed).gen,
+                        Some("app") => presets::app(workers, seed).gen,
+                        Some(other) => die(&format!(
+                            "unknown corpus preset '{other}' (want pubmed|app)"
+                        )),
+                    };
+                    let topics: u32 = args.get("topics", 50u32);
+                    run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
+                        let cfg = LdaConfig {
+                            corpus,
+                            hyper: LdaHyper {
+                                topics,
+                                ..LdaHyper::default()
+                            },
+                            iterations: iters,
+                        };
+                        train_lda(ctx, ps2, &cfg, lda_backend)
+                    })
+                }
+                "svm" => {
+                    let gen = sparse_gen(workers);
+                    run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
+                        let mut cfg = SvmConfig::new(gen, iters);
+                        cfg.learning_rate = 1.0;
+                        train_svm(ctx, ps2, &cfg)
+                    })
+                }
+                "lbfgs" => {
+                    let gen = sparse_gen(workers);
+                    run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
+                        train_lbfgs(ctx, ps2, &LbfgsConfig::new(gen, iters))
+                    })
+                }
+                "fm" => {
+                    let gen = sparse_gen(workers);
+                    let factors: u32 = args.get("factors", 8u32);
+                    run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
+                        let mut cfg = FmConfig::new(gen, factors, iters);
+                        cfg.learning_rate = 1.0;
+                        train_fm(ctx, ps2, &cfg)
+                    })
+                }
+                other => die(&format!("unknown workload '{other}'")),
             }
-            "svm" => {
-                let gen = sparse_gen(workers);
-                run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
-                    let mut cfg = SvmConfig::new(gen, iters);
-                    cfg.learning_rate = 1.0;
-                    train_svm(ctx, ps2, &cfg)
-                })
-            }
-            "lbfgs" => {
-                let gen = sparse_gen(workers);
-                run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
-                    train_lbfgs(ctx, ps2, &LbfgsConfig::new(gen, iters))
-                })
-            }
-            "fm" => {
-                let gen = sparse_gen(workers);
-                let factors: u32 = args.get("factors", 8u32);
-                run_ps2_with(mk_builder(), spec, move |ctx, ps2| {
-                    let mut cfg = FmConfig::new(gen, factors, iters);
-                    cfg.learning_rate = 1.0;
-                    train_fm(ctx, ps2, &cfg)
-                })
-            }
-            other => die(&format!("unknown workload '{other}'")),
-        }
-    };
+        };
 
     // The watchdog is a pure pass over the windowed series; alerts land in
     // the event trace (as instant marks) and in the console summary below.
@@ -606,7 +674,7 @@ fn main() {
         profile.merge(&hostprof::take_profile(0));
         println!("\n{}", profile.render());
         if let Some(path) = host_path {
-            let sidecar = HostReport::single(workload, &profile);
+            let sidecar = HostReport::single(&workload, &profile);
             std::fs::write(&path, sidecar.to_json())
                 .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
             println!("host profile written to {path}  (inspect with: ps2-trace host {path})");
