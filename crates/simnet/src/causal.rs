@@ -1,14 +1,23 @@
-//! Causal analysis of a recorded event trace: critical path and category
-//! attribution.
+//! Causal analysis of a recorded event trace: the retained event DAG,
+//! critical-path extraction, and category attribution.
 //!
 //! The trace recorded by [`crate::SimBuilder::trace`] forms a DAG: each
 //! process's events are totally ordered by its clock (program-order edges),
 //! and every delivered message adds an edge from its `Send` to its `Recv`,
-//! keyed by the run-unique `seq`. The **critical path** is the chain of
-//! events that bounds the run's makespan: starting from the last non-daemon
-//! process to finish, walk backwards — through local history while the
-//! process was busy, and across a message edge to the sender whenever the
-//! process was blocked waiting for that message.
+//! keyed by the run-unique `seq`. [`CausalDag`] **retains** that graph —
+//! per-process event lists plus the send index — so it can be walked more
+//! than once: the critical-path extractor below consumes it, and
+//! [`crate::whatif`] replays it under counterfactual edits ("what if the
+//! network were 2× faster?"). The DAG is also exportable as an integer-only
+//! JSON section (see [`CausalDag::to_json`]) so `ps2-trace whatif` can
+//! rebuild it from a trace file without the original
+//! [`SimReport`](crate::SimReport).
+//!
+//! The **critical path** is the chain of events that bounds the run's
+//! makespan: starting from the last non-daemon process to finish, walk
+//! backwards — through local history while the process was busy, and across
+//! a message edge to the sender whenever the process was blocked waiting for
+//! that message.
 //!
 //! Every nanosecond of `[0, makespan]` is attributed to exactly one
 //! category:
@@ -29,7 +38,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
+use crate::metrics::json_str;
 use crate::report::{SimReport, TraceEvent};
 use crate::time::SimTime;
 
@@ -61,8 +72,9 @@ pub struct PathSegment {
     pub start: SimTime,
     pub end: SimTime,
     pub category: PathCategory,
-    /// Op label for `Compute` segments that carried one.
-    pub label: Option<&'static str>,
+    /// Op label for `Compute` segments that carried one. Owned, because a
+    /// DAG rebuilt from a trace file has no static label table.
+    pub label: Option<String>,
 }
 
 impl PathSegment {
@@ -115,76 +127,314 @@ impl fmt::Display for CausalError {
 
 impl std::error::Error for CausalError {}
 
-/// Result of the critical-path walk over one run's trace.
+/// One event of the retained DAG, in nanoseconds of virtual time. A distilled
+/// [`TraceEvent`]: just what the walks need, fully integer so the DAG
+/// round-trips through JSON exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DagEvent {
+    /// A compute charge: occupies `[at, at + dt]`, optionally op-labeled
+    /// (index into [`CausalDag::labels`]).
+    Compute {
+        at: u64,
+        dt: u64,
+        label: Option<u32>,
+    },
+    /// A message send (a point in time on the sender). `arrival` is when the
+    /// message landed at `dst`; `ideal_ns` is the uncontended transit the
+    /// network model would have charged on idle NICs (loopback latency for
+    /// self-sends, link latency + one wire time otherwise) — precomputed
+    /// here so the DAG needs no float network config to replay.
+    Send {
+        at: u64,
+        dst: usize,
+        arrival: u64,
+        seq: u64,
+        ideal_ns: u64,
+    },
+    /// A message consumption (a point in time on the receiver).
+    Recv { at: u64, src: usize, seq: u64 },
+    /// Any other point event (finish, mark, drop): moves no time, but keeps
+    /// program order — and therefore the walks — faithful to the raw trace.
+    Point { at: u64 },
+}
+
+impl DagEvent {
+    /// End of the event's time interval; everything but `Compute` is a point.
+    pub fn end_ns(&self) -> u64 {
+        match self {
+            DagEvent::Compute { at, dt, .. } => at + dt,
+            DagEvent::Send { at, .. } | DagEvent::Recv { at, .. } | DagEvent::Point { at } => *at,
+        }
+    }
+}
+
+/// One process's retained history, in program order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DagProc {
+    pub name: String,
+    pub daemon: bool,
+    /// Virtual clock when the process finished (or was interrupted).
+    pub finished_ns: u64,
+    /// Total compute charged, from the run's per-proc stats.
+    pub busy_ns: u64,
+    pub events: Vec<DagEvent>,
+}
+
+/// The full causal event DAG of one run: per-process program-order event
+/// lists plus the message-edge index. Built from a live [`SimReport`]
+/// ([`CausalDag::from_report`]) or rebuilt from a trace file's `"ps2"."dag"`
+/// section (`ps2::tracefile`). Everything downstream — the critical path,
+/// what-if replay — derives from this structure alone.
 #[derive(Clone, Debug)]
-pub struct CausalAnalysis {
-    /// The run's virtual makespan (latest non-daemon clock).
-    pub makespan: SimTime,
-    /// Critical-path intervals in forward time order, partitioning
-    /// `[0, makespan]`.
-    pub segments: Vec<PathSegment>,
-    pub compute_ns: u64,
-    pub network_ns: u64,
-    pub queue_ns: u64,
-    pub idle_ns: u64,
-    /// Critical-path compute split by op label (`"(unlabeled)"` for charges
-    /// recorded without one).
-    pub compute_by_label: BTreeMap<&'static str, u64>,
-    /// One summary per process, in process-id order.
-    pub procs: Vec<ProcSummary>,
+pub struct CausalDag {
+    /// The run's virtual makespan in nanoseconds (latest non-daemon clock).
+    pub makespan_ns: u64,
+    /// Interned trace labels, indexed by `DagEvent::Compute::label`.
+    pub labels: Vec<String>,
+    pub procs: Vec<DagProc>,
+    /// seq → (sender proc, position within the sender's event list).
+    send_pos: BTreeMap<u64, (usize, usize)>,
 }
 
-/// End of an event's time interval; events other than `Compute` are points.
-fn event_end(e: &TraceEvent) -> SimTime {
-    match e {
-        TraceEvent::Compute { at, dt, .. } => *at + *dt,
-        other => other.at(),
+impl CausalDag {
+    /// Assemble a DAG from parts (used by the trace-file reader); the send
+    /// index is derived.
+    pub fn new(makespan_ns: u64, labels: Vec<String>, procs: Vec<DagProc>) -> CausalDag {
+        let mut send_pos = BTreeMap::new();
+        for (p, dp) in procs.iter().enumerate() {
+            for (i, e) in dp.events.iter().enumerate() {
+                if let DagEvent::Send { seq, .. } = e {
+                    send_pos.insert(*seq, (p, i));
+                }
+            }
+        }
+        CausalDag {
+            makespan_ns,
+            labels,
+            procs,
+            send_pos,
+        }
     }
-}
 
-fn proc_of(e: &TraceEvent) -> usize {
-    match e {
-        TraceEvent::Send { src, .. } | TraceEvent::Drop { src, .. } => src.0,
-        TraceEvent::Recv { proc, .. }
-        | TraceEvent::Compute { proc, .. }
-        | TraceEvent::Finish { proc, .. }
-        | TraceEvent::Mark { proc, .. } => proc.0,
-    }
-}
-
-impl CausalAnalysis {
-    /// Walk the trace of `report` and attribute the critical path.
-    pub fn from_report(report: &SimReport) -> Result<CausalAnalysis, CausalError> {
+    /// Retain the causal DAG of `report`'s trace. The trace is stably sorted
+    /// by time and per-process clocks are monotone, so partitioning by
+    /// process preserves each process's execution order.
+    pub fn from_report(report: &SimReport) -> Result<CausalDag, CausalError> {
         if report.trace.is_empty() {
             return Err(CausalError::NoTrace);
         }
-        let nprocs = report.procs.len();
-        let makespan = report.virtual_time;
-
-        // Per-process event lists in program order. The trace is stably
-        // sorted by time and per-process clocks are monotone, so filtering
-        // preserves each process's execution order.
-        let mut per_proc: Vec<Vec<usize>> = vec![Vec::new(); nprocs];
-        // seq -> (sender proc, position within sender's list).
-        let mut send_pos: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
-        for (i, e) in report.trace.iter().enumerate() {
+        let mut procs: Vec<DagProc> = report
+            .procs
+            .iter()
+            .map(|st| DagProc {
+                name: st.name.clone(),
+                daemon: st.daemon,
+                finished_ns: st.finished_at.as_nanos(),
+                busy_ns: st.busy.as_nanos(),
+                events: Vec::new(),
+            })
+            .collect();
+        for e in &report.trace {
             let p = proc_of(e);
-            if let TraceEvent::Send { seq, .. } = e {
-                send_pos.insert(*seq, (p, per_proc[p].len()));
-            }
-            per_proc[p].push(i);
+            let ev = match e {
+                TraceEvent::Compute { at, dt, label, .. } => DagEvent::Compute {
+                    at: at.as_nanos(),
+                    dt: dt.as_nanos(),
+                    label: label.map(|l| l.0),
+                },
+                TraceEvent::Send {
+                    at,
+                    src,
+                    dst,
+                    bytes,
+                    arrival,
+                    seq,
+                    ..
+                } => {
+                    let ideal = if src == dst {
+                        report.net.loopback
+                    } else {
+                        report.net.latency + report.net.wire_time(*bytes)
+                    };
+                    DagEvent::Send {
+                        at: at.as_nanos(),
+                        dst: dst.0,
+                        arrival: arrival.as_nanos(),
+                        seq: *seq,
+                        ideal_ns: ideal.as_nanos(),
+                    }
+                }
+                TraceEvent::Recv { at, src, seq, .. } => DagEvent::Recv {
+                    at: at.as_nanos(),
+                    src: src.0,
+                    seq: *seq,
+                },
+                TraceEvent::Finish { at, .. }
+                | TraceEvent::Drop { at, .. }
+                | TraceEvent::Mark { at, .. } => DagEvent::Point { at: at.as_nanos() },
+            };
+            procs[p].events.push(ev);
         }
+        Ok(CausalDag::new(
+            report.virtual_time.as_nanos(),
+            report.labels.iter().map(|l| l.to_string()).collect(),
+            procs,
+        ))
+    }
+
+    /// Resolve a compute label index.
+    pub fn label_name(&self, id: u32) -> &str {
+        self.labels
+            .get(id as usize)
+            .map(String::as_str)
+            .unwrap_or("<unknown-label>")
+    }
+
+    /// Look up the sender position of a message edge.
+    pub(crate) fn send_of(&self, seq: u64) -> Option<(usize, usize)> {
+        self.send_pos.get(&seq).copied()
+    }
+
+    /// Total compute charged per process across the whole DAG (not just the
+    /// critical path) — what the what-if battery ranks "speed up this
+    /// process" candidates by.
+    pub fn compute_ns_by_proc(&self) -> Vec<u64> {
+        self.procs
+            .iter()
+            .map(|p| {
+                p.events
+                    .iter()
+                    .map(|e| match e {
+                        DagEvent::Compute { dt, .. } => *dt,
+                        _ => 0,
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Total compute per op label across the whole DAG (unlabeled charges
+    /// excluded — there is no edit that can name them).
+    pub fn compute_ns_by_label(&self) -> BTreeMap<String, u64> {
+        let mut out: BTreeMap<String, u64> = BTreeMap::new();
+        for p in &self.procs {
+            for e in &p.events {
+                if let DagEvent::Compute {
+                    dt, label: Some(l), ..
+                } = e
+                {
+                    *out.entry(self.label_name(*l).to_string()).or_insert(0) += dt;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-destination queueing: for each process, the total time messages
+    /// sent to it spent beyond their uncontended transit (NIC serialization
+    /// on its in-NIC, mostly) — what the battery ranks "serve this server's
+    /// traffic locally" candidates by.
+    pub fn inbound_queue_ns(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.procs.len()];
+        for p in &self.procs {
+            for e in &p.events {
+                if let DagEvent::Send {
+                    at,
+                    dst,
+                    arrival,
+                    ideal_ns,
+                    ..
+                } = e
+                {
+                    if let Some(slot) = out.get_mut(*dst) {
+                        *slot += (arrival - at).saturating_sub(*ideal_ns);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as the integer-only `"ps2"."dag"` JSON section (schema
+    /// `ps2-dag-v1`). Events are compact arrays keyed by a leading
+    /// discriminant: `[0, at, dt, label|-1]` compute, `[1, at, dst, arrival,
+    /// seq, ideal_ns]` send, `[2, at, src, seq]` recv, `[3, at]` point.
+    /// Byte-identical across same-seed runs.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n    \"schema\": \"ps2-dag-v1\",\n");
+        let _ = writeln!(s, "    \"makespan_ns\": {},", self.makespan_ns);
+        s.push_str("    \"labels\": [");
+        for (i, l) in self.labels.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_str(l));
+        }
+        s.push_str("],\n    \"procs\": [\n");
+        for (i, p) in self.procs.iter().enumerate() {
+            let _ = write!(
+                s,
+                "      {{\"name\": {}, \"daemon\": {}, \"finished_ns\": {}, \
+                 \"busy_ns\": {}, \"events\": [",
+                json_str(&p.name),
+                p.daemon,
+                p.finished_ns,
+                p.busy_ns
+            );
+            for (j, e) in p.events.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                match e {
+                    DagEvent::Compute { at, dt, label } => {
+                        let _ =
+                            write!(s, "[0,{at},{dt},{}]", label.map(|l| l as i64).unwrap_or(-1));
+                    }
+                    DagEvent::Send {
+                        at,
+                        dst,
+                        arrival,
+                        seq,
+                        ideal_ns,
+                    } => {
+                        let _ = write!(s, "[1,{at},{dst},{arrival},{seq},{ideal_ns}]");
+                    }
+                    DagEvent::Recv { at, src, seq } => {
+                        let _ = write!(s, "[2,{at},{src},{seq}]");
+                    }
+                    DagEvent::Point { at } => {
+                        let _ = write!(s, "[3,{at}]");
+                    }
+                }
+            }
+            s.push_str("]}");
+            s.push_str(if i + 1 < self.procs.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("    ]\n  }");
+        s
+    }
+
+    /// Walk the DAG backwards from the makespan and attribute the critical
+    /// path. This is the one-path distillation of the retained graph; the
+    /// graph itself stays available for replay.
+    pub fn critical_path(&self) -> Result<CausalAnalysis, CausalError> {
+        let nprocs = self.procs.len();
+        let makespan = SimTime(self.makespan_ns);
 
         // Start at the non-daemon process that finished last (the one whose
         // clock *is* the makespan); ties break to the smallest id, matching
         // the determinism of the rest of the simulator.
-        let start_proc = report
+        let start_proc = self
             .procs
             .iter()
             .enumerate()
             .filter(|(_, p)| !p.daemon)
             .max_by(|(ia, a), (ib, b)| {
-                a.finished_at.cmp(&b.finished_at).then(ib.cmp(ia)) // prefer the smaller id on ties
+                a.finished_ns.cmp(&b.finished_ns).then(ib.cmp(ia)) // prefer the smaller id on ties
             })
             .map(|(i, _)| i)
             .ok_or(CausalError::NoTrace)?;
@@ -194,28 +444,28 @@ impl CausalAnalysis {
         let push = |segments: &mut Vec<PathSegment>,
                     critical_ns: &mut Vec<u64>,
                     proc: usize,
-                    start: SimTime,
-                    end: SimTime,
+                    start: u64,
+                    end: u64,
                     category: PathCategory,
-                    label: Option<&'static str>| {
+                    label: Option<String>| {
             debug_assert!(start <= end, "segment with negative duration");
             if start == end {
                 return;
             }
-            critical_ns[proc] += end.as_nanos() - start.as_nanos();
+            critical_ns[proc] += end - start;
             segments.push(PathSegment {
                 proc,
-                start,
-                end,
+                start: SimTime(start),
+                end: SimTime(end),
                 category,
                 label,
             });
         };
 
         let mut p = start_proc;
-        let mut t = makespan;
-        let mut idx: isize = per_proc[p].len() as isize - 1;
-        while t > SimTime::ZERO {
+        let mut t = self.makespan_ns;
+        let mut idx: isize = self.procs[p].events.len() as isize - 1;
+        while t > 0 {
             if idx < 0 {
                 // Nothing earlier on this process: the remaining prefix is
                 // time before its first event (spawn offset / quiet start).
@@ -223,15 +473,15 @@ impl CausalAnalysis {
                     &mut segments,
                     &mut critical_ns,
                     p,
-                    SimTime::ZERO,
+                    0,
                     t,
                     PathCategory::Idle,
                     None,
                 );
                 break;
             }
-            let e = &report.trace[per_proc[p][idx as usize]];
-            let end = event_end(e);
+            let e = &self.procs[p].events[idx as usize];
+            let end = e.end_ns();
             if end > t {
                 // Event beyond the cursor (e.g. daemon activity after the
                 // makespan): not on the path.
@@ -255,8 +505,8 @@ impl CausalAnalysis {
             }
             // end == t: this event's completion is on the path.
             match e {
-                TraceEvent::Compute { at, label, .. } => {
-                    let label = label.map(|l| report.label_name(l));
+                DagEvent::Compute { at, label, .. } => {
+                    let label = label.map(|l| self.label_name(l).to_string());
                     push(
                         &mut segments,
                         &mut critical_ns,
@@ -269,11 +519,11 @@ impl CausalAnalysis {
                     t = *at;
                     idx -= 1;
                 }
-                TraceEvent::Recv { seq, .. } => {
+                DagEvent::Recv { seq, .. } => {
                     let prev_end = if idx == 0 {
-                        SimTime::ZERO
+                        0
                     } else {
-                        event_end(&report.trace[per_proc[p][idx as usize - 1]])
+                        self.procs[p].events[idx as usize - 1].end_ns()
                     };
                     if prev_end == t {
                         // The message was already waiting when the process
@@ -281,15 +531,15 @@ impl CausalAnalysis {
                         idx -= 1;
                         continue;
                     }
-                    let &(src, src_pos) = send_pos
-                        .get(seq)
+                    let (src, src_pos) = self
+                        .send_of(*seq)
                         .ok_or(CausalError::MissingSend { seq: *seq })?;
-                    let TraceEvent::Send {
+                    let DagEvent::Send {
                         at: sent_at,
-                        bytes,
                         arrival,
+                        ideal_ns,
                         ..
-                    } = &report.trace[per_proc[src][src_pos]]
+                    } = &self.procs[src].events[src_pos]
                     else {
                         unreachable!("send_pos points at a non-Send event");
                     };
@@ -316,19 +566,11 @@ impl CausalAnalysis {
                     // `sent_at + ideal`; every nanosecond waited beyond that
                     // is congestion (NIC serialization), not transit.
                     let hop = (*sent_at).max(prev_end);
-                    let raw = t.as_nanos() - hop.as_nanos();
-                    let ideal = if src == p {
-                        report.net.loopback
-                    } else {
-                        report.net.latency + report.net.wire_time(*bytes)
-                    };
-                    let ideal_arrival = *sent_at + ideal;
-                    let queue_ns = t
-                        .as_nanos()
-                        .saturating_sub(ideal_arrival.as_nanos())
-                        .min(raw);
+                    let raw = t - hop;
+                    let ideal_arrival = sent_at + ideal_ns;
+                    let queue_ns = t.saturating_sub(ideal_arrival).min(raw);
                     let net_ns = raw - queue_ns;
-                    let transit_start = SimTime(t.as_nanos() - net_ns);
+                    let transit_start = t - net_ns;
                     // NIC serialization (congestion) first, transit last —
                     // the message physically lands at `t`.
                     push(
@@ -369,14 +611,14 @@ impl CausalAnalysis {
         let mut network_ns = 0u64;
         let mut queue_ns = 0u64;
         let mut idle_ns = 0u64;
-        let mut compute_by_label: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut compute_by_label: BTreeMap<String, u64> = BTreeMap::new();
         for s in &segments {
             let d = s.duration_ns();
             match s.category {
                 PathCategory::Compute => {
                     compute_ns += d;
                     *compute_by_label
-                        .entry(s.label.unwrap_or("(unlabeled)"))
+                        .entry(s.label.clone().unwrap_or_else(|| "(unlabeled)".to_string()))
                         .or_insert(0) += d;
                 }
                 PathCategory::Network => network_ns += d,
@@ -390,7 +632,7 @@ impl CausalAnalysis {
             "critical-path attribution must partition [0, makespan]"
         );
 
-        let procs = report
+        let procs = self
             .procs
             .iter()
             .enumerate()
@@ -398,11 +640,9 @@ impl CausalAnalysis {
                 proc: i,
                 name: st.name.clone(),
                 daemon: st.daemon,
-                finished_at: st.finished_at,
-                busy: st.busy,
-                slack_ns: makespan
-                    .as_nanos()
-                    .saturating_sub(st.finished_at.as_nanos()),
+                finished_at: SimTime(st.finished_ns),
+                busy: SimTime(st.busy_ns),
+                slack_ns: self.makespan_ns.saturating_sub(st.finished_ns),
                 critical_ns: critical_ns[i],
             })
             .collect();
@@ -417,6 +657,43 @@ impl CausalAnalysis {
             compute_by_label,
             procs,
         })
+    }
+}
+
+/// Result of the critical-path walk over one run's trace.
+#[derive(Clone, Debug)]
+pub struct CausalAnalysis {
+    /// The run's virtual makespan (latest non-daemon clock).
+    pub makespan: SimTime,
+    /// Critical-path intervals in forward time order, partitioning
+    /// `[0, makespan]`.
+    pub segments: Vec<PathSegment>,
+    pub compute_ns: u64,
+    pub network_ns: u64,
+    pub queue_ns: u64,
+    pub idle_ns: u64,
+    /// Critical-path compute split by op label (`"(unlabeled)"` for charges
+    /// recorded without one).
+    pub compute_by_label: BTreeMap<String, u64>,
+    /// One summary per process, in process-id order.
+    pub procs: Vec<ProcSummary>,
+}
+
+fn proc_of(e: &TraceEvent) -> usize {
+    match e {
+        TraceEvent::Send { src, .. } | TraceEvent::Drop { src, .. } => src.0,
+        TraceEvent::Recv { proc, .. }
+        | TraceEvent::Compute { proc, .. }
+        | TraceEvent::Finish { proc, .. }
+        | TraceEvent::Mark { proc, .. } => proc.0,
+    }
+}
+
+impl CausalAnalysis {
+    /// Retain the trace's DAG and extract the critical path in one step —
+    /// the historical entry point, now a thin composition.
+    pub fn from_report(report: &SimReport) -> Result<CausalAnalysis, CausalError> {
+        CausalDag::from_report(report)?.critical_path()
     }
 
     /// Sum of all category attributions — always equals the makespan.
@@ -455,7 +732,7 @@ impl CausalAnalysis {
         }
         if !self.compute_by_label.is_empty() {
             out.push_str("critical-path compute by op:\n");
-            let mut rows: Vec<(&&'static str, &u64)> = self.compute_by_label.iter().collect();
+            let mut rows: Vec<(&String, &u64)> = self.compute_by_label.iter().collect();
             // Largest first; ties resolve alphabetically via the BTreeMap
             // iteration order being stable under the stable sort.
             rows.sort_by(|a, b| b.1.cmp(a.1));

@@ -75,8 +75,12 @@ mod runtime;
 mod time;
 pub mod timeseries;
 pub mod watchdog;
+pub mod whatif;
 
-pub use causal::{CausalAnalysis, CausalError, PathCategory, PathSegment, ProcSummary};
+pub use causal::{
+    CausalAnalysis, CausalDag, CausalError, DagEvent, DagProc, PathCategory, PathSegment,
+    ProcSummary,
+};
 pub use config::{ComputeConfig, NetConfig, SimConfig};
 pub use ctx::SimCtx;
 pub use fabric::{FabricPolicy, SlotRouter, StaticRoutes};
@@ -92,6 +96,10 @@ pub use time::SimTime;
 pub use timeseries::{HistDelta, ProcSample, TimeSeries, TsWindow, DEFAULT_CAPACITY};
 pub use watchdog::{
     alerts_json, Alert, AlertKind, SloKind, SloObjective, Watchdog, WatchdogConfig,
+};
+pub use whatif::{
+    parse_spec, replay, run_battery, standard_battery, Edit, ExperimentResult, OpTails, Replay,
+    TailEst, WhatifReport,
 };
 
 /// The counting allocator is installed unconditionally (it is a single

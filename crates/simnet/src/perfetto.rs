@@ -16,7 +16,7 @@
 
 use std::fmt::Write as _;
 
-use crate::causal::CausalAnalysis;
+use crate::causal::{CausalAnalysis, CausalDag};
 use crate::metrics::json_str;
 use crate::report::{SimReport, TraceEvent};
 use crate::watchdog::{alerts_json, Alert};
@@ -29,7 +29,7 @@ fn fmt_us(ns: u64) -> String {
 
 /// Render `report` (and optionally its causal analysis) as trace-event JSON.
 pub fn export_trace(report: &SimReport, analysis: Option<&CausalAnalysis>) -> String {
-    export_trace_full(report, analysis, &[], None)
+    export_trace_full(report, analysis, &[], None, None)
 }
 
 /// [`export_trace`] plus watchdog alerts: the alert list is embedded as an
@@ -41,18 +41,24 @@ pub fn export_trace_with(
     analysis: Option<&CausalAnalysis>,
     alerts: &[Alert],
 ) -> String {
-    export_trace_full(report, analysis, alerts, None)
+    export_trace_full(report, analysis, alerts, None, None)
 }
 
-/// [`export_trace_with`] plus an SLO sidecar: `slo` is a pre-rendered
-/// `ps2-slo-v1` JSON object (see [`crate::reqtrace::slo_json`]) embedded
-/// verbatim under `"ps2"."slo"`, so `ps2-trace slo` can read per-op request
-/// summaries and exemplars straight out of the trace file.
+/// [`export_trace_with`] plus an SLO sidecar and the retained causal DAG:
+/// `slo` is a pre-rendered `ps2-slo-v1` JSON object (see
+/// [`crate::reqtrace::slo_json`]) embedded verbatim under `"ps2"."slo"`, so
+/// `ps2-trace slo` can read per-op request summaries and exemplars straight
+/// out of the trace file; `dag` is embedded as `"ps2"."dag"` (schema
+/// `ps2-dag-v1`, see [`CausalDag::to_json`]) so `ps2-trace whatif` can
+/// replay counterfactuals without the original report. Pass the DAG built
+/// *before* watchdog annotation: injected `Mark` events would otherwise be
+/// replayed as fixed program-order points.
 pub fn export_trace_full(
     report: &SimReport,
     analysis: Option<&CausalAnalysis>,
     alerts: &[Alert],
     slo: Option<&str>,
+    dag: Option<&CausalDag>,
 ) -> String {
     let _prof = crate::hostprof::scope(crate::hostprof::Scope::TraceExport);
     let mut s = String::new();
@@ -217,7 +223,7 @@ pub fn export_trace_full(
     if let Some(a) = analysis {
         let tid = report.procs.len();
         for seg in &a.segments {
-            let name = match (seg.category, seg.label) {
+            let name = match (seg.category, seg.label.as_deref()) {
                 (crate::causal::PathCategory::Compute, Some(l)) => format!("compute:{l}"),
                 (c, _) => c.name().to_string(),
             };
@@ -292,12 +298,18 @@ pub fn export_trace_full(
         if let Some(sidecar) = slo {
             let _ = write!(s, ",\n  \"slo\": {sidecar}");
         }
+        if let Some(d) = dag {
+            let _ = write!(s, ",\n  \"dag\": {}", d.to_json());
+        }
         s.push_str("\n}");
-    } else if !alerts.is_empty() || slo.is_some() {
+    } else if !alerts.is_empty() || slo.is_some() || dag.is_some() {
         s.push_str(",\n\"ps2\": {\n");
         let _ = write!(s, "  \"alerts\": {}", alerts_json(alerts));
         if let Some(sidecar) = slo {
             let _ = write!(s, ",\n  \"slo\": {sidecar}");
+        }
+        if let Some(d) = dag {
+            let _ = write!(s, ",\n  \"dag\": {}", d.to_json());
         }
         s.push_str("\n}");
     }

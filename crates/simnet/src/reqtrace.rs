@@ -72,6 +72,19 @@ pub struct ReqRecord {
 }
 
 impl ReqRecord {
+    /// Collapse the stage decomposition into the causal analyzer's three
+    /// active categories, `(compute, network, queue)`: client think time and
+    /// server service are compute, the two wire stages are network, and the
+    /// server mailbox wait is queue. `crate::whatif` aggregates this over an
+    /// op's exemplars to estimate how a counterfactual edit moves its tails.
+    pub fn category_split_ns(&self) -> (u64, u64, u64) {
+        (
+            self.client_issue_ns + self.service_ns + self.client_recv_ns + self.cache_fill_ns,
+            self.net_request_ns + self.net_reply_ns,
+            self.server_queue_ns,
+        )
+    }
+
     fn json(&self) -> String {
         format!(
             "{{\"id\": {}, \"issued_at_ns\": {}, \"total_ns\": {}, \"attempts\": {}, \

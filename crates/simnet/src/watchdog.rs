@@ -167,6 +167,25 @@ pub struct Alert {
     pub value_milli: i64,
 }
 
+impl Alert {
+    /// The what-if experiment SPEC (see [`crate::whatif`]) that estimates
+    /// what acting on this alert is worth: a straggler maps to "make that
+    /// process 2× faster", queue growth to "serve that process's inbound
+    /// traffic locally", hot rows / server skew to "spread the load so no
+    /// fabric message queues". Returns `None` when no single edit models the
+    /// fix (a convergence stall is an algorithmic problem; an SLO burn's
+    /// best lever is whatever the ranked report puts first).
+    pub fn whatif_spec(&self, proc_names: &[String]) -> Option<String> {
+        let name = self.proc.and_then(|p| proc_names.get(p));
+        match self.kind {
+            AlertKind::Straggler => name.map(|n| format!("compute@proc:{n}=0.5")),
+            AlertKind::QueueGrowth => name.map(|n| format!("queue@dst:{n}=0")),
+            AlertKind::HotRow | AlertKind::ServerSkew => Some("queue=0".to_string()),
+            AlertKind::ConvergenceStall | AlertKind::SloBurn => None,
+        }
+    }
+}
+
 /// Detector thresholds. All integers; the f64 intermediates inside the
 /// detectors are deterministic functions of integer inputs.
 #[derive(Clone, Debug)]

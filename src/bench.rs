@@ -12,6 +12,20 @@
 //! All times are virtual nanoseconds from the simulator, so the gate is
 //! immune to host speed: a regression means the *modeled* cost changed, not
 //! that the runner was busy.
+//!
+//! Committed baselines and the CI job that consumes each (the README's
+//! "Committed baselines" table is the user-facing copy of this list):
+//!
+//! * `BENCH_pr4.json` — one `ps2-run lr --optimizer adam` report; the
+//!   `metrics-smoke` job byte-compares it and checks envelope coalescing.
+//! * `BENCH_pr5.json` — `sweep --out`; the `bench-gate` job runs the median
+//!   regression gate plus byte-identity (`wall_seconds` stripped).
+//! * `BENCH_pr6.json` — `modes --out`; `bench-gate` gates the consistency-
+//!   mode sweep including final loss, plus byte-identity.
+//! * `HOST_pr7.json` — `sweep --host-out`; `bench-gate` applies the
+//!   wall-seconds soft gate via `ps2-trace host diff` (default +300%).
+//! * `BENCH_pr9.json` — `serve --out`; the `serve-smoke` job gates the
+//!   serving sweep plus byte-identity (`wall_seconds` stripped).
 
 use std::fmt::Write as _;
 

@@ -43,6 +43,14 @@
 //!                      p999 + the K slowest requests with stage breakdowns;
 //!                      inspect with `ps2-trace slo`). Request tracing is
 //!                      non-yielding: the run is bit-identical either way.
+//!   --whatif-json PATH run the what-if sensitivity battery over the run's
+//!                      retained causal DAG: replay counterfactual speedups
+//!                      (network 2× faster, a server's queueing zeroed, the
+//!                      hottest op halved, …), rank them by estimated
+//!                      makespan/p999 improvement, annotate any watchdog
+//!                      alerts with the matching experiment's payoff, and
+//!                      write the `ps2-whatif-v1` sidecar (offline variant:
+//!                      `ps2-trace whatif <trace>`)
 //!   --host-prof-json PATH  turn on the host-side self-profiler (wall-clock
 //!                          timers + counting allocator), print the per-scope
 //!                          cost table, and write it as a hostprof sidecar
@@ -91,7 +99,8 @@ use ps2::ml::svm::{train_svm, SvmConfig};
 use ps2::ml::TrainingTrace;
 use ps2::ps::ConsistencyMode;
 use ps2::simnet::{
-    export_trace_full, hostprof, slo_json, AlertKind, CausalAnalysis, SimTime, Watchdog,
+    export_trace_full, hostprof, run_battery, slo_json, standard_battery, AlertKind,
+    CausalAnalysis, CausalDag, OpTails, SimTime, Watchdog,
 };
 use ps2::{run_ps2_with, ClusterSpec, RunReport, SimBuilder};
 use ps2_data::{presets, CorpusGen, GraphGen, RandomWalks, SparseDatasetGen};
@@ -181,6 +190,10 @@ outputs:
                          preset's SLOs with burn-rate alerting, and write the
                          ps2-slo-v1 sidecar (see ps2-trace slo); the traced
                          run is bit-identical to an untraced one
+  --whatif-json PATH     replay the run's causal DAG under counterfactual
+                         speedups, print experiments ranked by estimated
+                         makespan/p999 improvement (with alert payoffs), and
+                         write the ps2-whatif-v1 sidecar
   --host-prof-json PATH  profile the host cost (wall-clock + allocations) of
                          running the simulator itself and write the sidecar
                          (never changes the simulated run; see ps2-trace host)
@@ -242,11 +255,14 @@ fn main() {
     let iters: usize = args.get("iters", 30usize);
     let backend = args.get_str("backend", "ps2");
     // Tracing is off unless a trace is actually wanted: recording is
-    // timing-neutral but costs memory proportional to event count.
-    let want_trace = args.flags.contains_key("trace-json");
+    // timing-neutral but costs memory proportional to event count. What-if
+    // replay needs the recorded event DAG, so --whatif-json implies it.
+    let want_whatif = args.flags.contains_key("whatif-json");
+    let want_trace = args.flags.contains_key("trace-json") || want_whatif;
     let want_slo = args.flags.contains_key("slo-json");
-    // Request tracing rides along with either sink that can show it; like
+    // Request tracing rides along with any sink that can show it; like
     // event tracing it is non-yielding, so enabling it never moves a clock.
+    // What-if tail estimates come from the reqtrace stage decomposition.
     let want_reqtrace = want_trace || want_slo;
     // Time-series scraping is likewise opt-in; it is non-yielding, so the
     // run itself is unaffected either way. SLO burn rates are evaluated
@@ -529,6 +545,20 @@ fn main() {
             }
         };
 
+    // Retain the causal DAG *before* watchdog annotation: the alert marks
+    // injected into the trace below are presentation, and must not enter
+    // counterfactual replay as fixed program-order points. Retained for
+    // every traced run so the exported trace file carries the "ps2"."dag"
+    // section ps2-trace whatif replays offline.
+    let whatif_dag = if want_trace {
+        Some(
+            CausalDag::from_report(&report)
+                .unwrap_or_else(|e| die(&format!("causal DAG retention failed: {e}"))),
+        )
+    } else {
+        None
+    };
+
     // The watchdog is a pure pass over the windowed series; alerts land in
     // the event trace (as instant marks) and in the console summary below.
     // SLO objectives are evaluated in the same pass when --slo-json asked
@@ -593,7 +623,7 @@ fn main() {
         let slo = slo_sidecar.as_deref().map(str::trim_end);
         std::fs::write(
             path,
-            export_trace_full(&report, Some(&analysis), &alerts, slo),
+            export_trace_full(&report, Some(&analysis), &alerts, slo, whatif_dag.as_ref()),
         )
         .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         println!("trace written to {path}  (open in ui.perfetto.dev, or: ps2-trace {path})");
@@ -665,6 +695,52 @@ fn main() {
         std::fs::write(path, slo_sidecar.as_deref().expect("reqtrace was enabled"))
             .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         println!("slo report written to {path}  (inspect with: ps2-trace slo {path})");
+    }
+    if let Some(path) = args.flags.get("whatif-json") {
+        let dag = whatif_dag.as_ref().expect("tracing was enabled");
+        let tails = report
+            .reqs
+            .as_ref()
+            .map(OpTails::from_reqs)
+            .unwrap_or_default();
+        let mut specs = standard_battery(dag);
+        // Fold the alerts' matching counterfactuals into the battery so each
+        // payoff annotation below cites a measured replay, not a guess.
+        let proc_names: Vec<String> = report.procs.iter().map(|p| p.name.clone()).collect();
+        for a in &alerts {
+            if let Some(spec) = a.whatif_spec(&proc_names) {
+                if !specs.iter().any(|(_, s)| *s == spec) {
+                    specs.push((format!("fix-{}", a.subject), spec));
+                }
+            }
+        }
+        let wr = run_battery(dag, &tails, &specs)
+            .unwrap_or_else(|e| die(&format!("what-if replay failed: {e}")));
+        println!("\n{}", wr.render());
+        for a in &alerts {
+            let exp = match a.whatif_spec(&proc_names) {
+                Some(spec) => wr.experiments.iter().find(|e| e.spec == spec),
+                // An SLO burn has no single counterfactual; cite the best one.
+                None if a.kind == AlertKind::SloBurn => wr.experiments.first(),
+                None => None,
+            };
+            if let Some(e) = exp {
+                println!(
+                    "whatif: alert {} ({}) -> {} would save {:.6}s ({}.{}%)",
+                    a.kind.label(),
+                    a.subject,
+                    e.name,
+                    e.delta_ns as f64 / 1e9,
+                    e.improvement_milli / 10,
+                    (e.improvement_milli % 10).abs(),
+                );
+            }
+        }
+        std::fs::write(path, wr.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!(
+            "what-if report written to {path}  (replay offline with: ps2-trace whatif <trace>)"
+        );
     }
     // Last, after every export above, so post-run work done on this thread
     // (perfetto rendering, metrics serialization) is folded into the profile

@@ -31,17 +31,38 @@
 //!                            p999 regressed beyond FRAC (default 0.25) or
 //!                            the candidate has burn alerts the baseline
 //!                            didn't — the CI tail-latency gate
+//! ps2-trace whatif <FILE> [--experiment SPEC] [--json OUT]
+//!                            replay the trace's retained causal DAG under
+//!                            counterfactual edits. Without --experiment,
+//!                            run the standard battery and print experiments
+//!                            ranked by estimated makespan/p999 improvement;
+//!                            with it, replay just SPEC (grammar:
+//!                            CATEGORY[@FILTER]=FACTOR, comma-separated —
+//!                            e.g. network=0.5 or compute@proc:server-3=0.8).
+//!                            --json writes the ps2-whatif-v1 sidecar.
+//! ps2-trace --help | -h      print this usage text
 //! ```
 //!
 //! Trace input is a Chrome trace-event JSON file (loadable in
 //! <https://ui.perfetto.dev>); the analysis lives in its `"ps2"` top-level
 //! section, which Perfetto ignores. Host input is the `ps2-hostprof-v1`
-//! sidecar schema.
+//! sidecar schema. What-if input additionally needs the `"ps2"."dag"`
+//! section (schema `ps2-dag-v1`).
 
 use std::process::exit;
 
 use ps2::bench::{compare_host, HostReport};
-use ps2::tracefile::{SloSummary, TraceSummary};
+use ps2::simnet::{parse_spec, run_battery, standard_battery};
+use ps2::tracefile::{whatif_input, SloSummary, TraceSummary};
+
+const USAGE: &str = "usage: ps2-trace <FILE> | ps2-trace report <FILE> | \
+     ps2-trace diff <A> <B> [--tolerance FRAC] | \
+     ps2-trace host <FILE> | \
+     ps2-trace host diff <BASE> <CAND> [--tolerance FRAC] | \
+     ps2-trace slo <FILE> | \
+     ps2-trace slo diff <BASE> <CAND> [--tolerance FRAC] | \
+     ps2-trace whatif <FILE> [--experiment SPEC] [--json OUT] | \
+     ps2-trace --help";
 
 fn die(msg: &str) -> ! {
     eprintln!("ps2-trace: {msg}");
@@ -49,40 +70,23 @@ fn die(msg: &str) -> ! {
 }
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: ps2-trace <FILE> | ps2-trace report <FILE> | \
-         ps2-trace diff <A> <B> [--tolerance FRAC] | \
-         ps2-trace host <FILE> | \
-         ps2-trace host diff <BASE> <CAND> [--tolerance FRAC] | \
-         ps2-trace slo <FILE> | \
-         ps2-trace slo diff <BASE> <CAND> [--tolerance FRAC]"
-    );
+    eprintln!("{USAGE}");
     exit(2)
 }
 
-fn load(path: &str) -> TraceSummary {
+/// Read `path` and run it through `parse`, dying with a uniform message on
+/// either failure — one loader for every sidecar schema this tool reads.
+fn load<T>(path: &str, parse: impl FnOnce(&str) -> Result<T, String>) -> T {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
-    TraceSummary::from_json(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
-}
-
-fn load_host(path: &str) -> HostReport {
-    let text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
-    HostReport::from_json(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
-}
-
-fn load_slo(path: &str) -> SloSummary {
-    let text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
-    SloSummary::from_json(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+    parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
 }
 
 /// The tail-latency gate: compare two SLO sidecars, exit nonzero on a p999
 /// regression past the tolerance or a burn alert the baseline didn't have.
 fn slo_diff(base_path: &str, cand_path: &str, tol_milli: u64) -> ! {
-    let base = load_slo(base_path);
-    let cand = load_slo(cand_path);
+    let base = load(base_path, SloSummary::from_json);
+    let cand = load(cand_path, SloSummary::from_json);
     println!("baseline:  {base_path}\ncandidate: {cand_path}");
     print!("{}", base.render_diff(&cand));
     let violations = base.regressions(&cand, tol_milli);
@@ -111,8 +115,8 @@ fn parse_tolerance(frac: &str) -> u64 {
 /// The wall-clock soft gate: compare two hostprof sidecars and exit nonzero
 /// if any case's median wall time regressed past the tolerance.
 fn host_diff(base_path: &str, cand_path: &str, tol_milli: u64) -> ! {
-    let base = load_host(base_path);
-    let cand = load_host(cand_path);
+    let base = load(base_path, HostReport::from_json);
+    let cand = load(cand_path, HostReport::from_json);
     println!("baseline:  {base_path}\ncandidate: {cand_path}");
     print!("{}", cand.render());
     let violations = compare_host(&base, &cand, tol_milli);
@@ -129,17 +133,83 @@ fn host_diff(base_path: &str, cand_path: &str, tol_milli: u64) -> ! {
     exit(1)
 }
 
+/// `whatif <FILE> [--experiment SPEC] [--json OUT]`: rebuild the retained
+/// DAG from the trace file and replay counterfactuals. `run_battery`
+/// verifies the unmodified-replay fixed point against the recorded makespan
+/// before reporting, so a stale or corrupted DAG section fails loudly.
+fn whatif_cmd(args: &[String]) -> ! {
+    let mut file: Option<&str> = None;
+    let mut spec: Option<&str> = None;
+    let mut json_out: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--experiment" => {
+                spec = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--experiment needs a SPEC argument")),
+                );
+            }
+            "--json" => {
+                json_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--json needs an output path")),
+                );
+            }
+            f if f.starts_with("--") => die(&format!("unknown whatif flag {f}")),
+            f => {
+                if file.replace(f).is_some() {
+                    die("whatif takes exactly one trace file");
+                }
+            }
+        }
+    }
+    let Some(file) = file else {
+        die("whatif needs a trace file");
+    };
+    let (dag, tails) = load(file, whatif_input);
+    let specs: Vec<(String, String)> = match spec {
+        Some(s) => {
+            // Validate eagerly for a spec-shaped error before replaying.
+            parse_spec(&dag, s).unwrap_or_else(|e| die(&e));
+            vec![("experiment".to_string(), s.to_string())]
+        }
+        None => standard_battery(&dag),
+    };
+    let report = run_battery(&dag, &tails, &specs).unwrap_or_else(|e| die(&format!("{file}: {e}")));
+    print!("{}", report.render());
+    if let Some(out) = json_out {
+        std::fs::write(out, report.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+        println!("what-if report written to {out}");
+    }
+    exit(0)
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.as_slice() {
-        [file] if file != "report" && file != "diff" && file != "host" && file != "slo" => {
-            print!("{}", load(file).render());
+        [flag] if flag == "--help" || flag == "-h" => {
+            println!("{USAGE}");
+            exit(0);
+        }
+        [file]
+            if file != "report"
+                && file != "diff"
+                && file != "host"
+                && file != "slo"
+                && file != "whatif" =>
+        {
+            print!("{}", load(file, TraceSummary::from_json).render());
+        }
+        [cmd, rest @ ..] if cmd == "whatif" => {
+            whatif_cmd(rest);
         }
         [cmd, file] if cmd == "host" && file != "diff" => {
-            print!("{}", load_host(file).render());
+            print!("{}", load(file, HostReport::from_json).render());
         }
         [cmd, file] if cmd == "slo" && file != "diff" => {
-            print!("{}", load_slo(file).render());
+            print!("{}", load(file, SloSummary::from_json).render());
         }
         [cmd, sub, a, b] if cmd == "slo" && sub == "diff" => {
             // Default tolerance 0.25 (+25%): the p999 of a small run rides
@@ -158,15 +228,18 @@ fn main() {
             host_diff(a, b, parse_tolerance(frac));
         }
         [cmd, file] if cmd == "report" => {
-            print!("{}", load(file).render());
+            print!("{}", load(file, TraceSummary::from_json).render());
         }
         [cmd, a, b] if cmd == "diff" => {
-            print!("{}", load(a).render_diff(&load(b)));
+            print!(
+                "{}",
+                load(a, TraceSummary::from_json).render_diff(&load(b, TraceSummary::from_json))
+            );
         }
         [cmd, a, b, flag, frac] if cmd == "diff" && flag == "--tolerance" => {
             let tol_milli = parse_tolerance(frac);
-            let base = load(a);
-            let cand = load(b);
+            let base = load(a, TraceSummary::from_json);
+            let cand = load(b, TraceSummary::from_json);
             print!("{}", base.render_diff(&cand));
             let violations = base.regressions(&cand, tol_milli);
             if !violations.is_empty() {

@@ -12,6 +12,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use ps2_simnet::{CausalDag, DagEvent, DagProc, OpTails};
+
 /// A parsed JSON value. Objects keep source order so that rendering a
 /// summary walks categories in the writer's (deterministic) order.
 #[derive(Debug, Clone, PartialEq)]
@@ -907,6 +909,153 @@ impl SloSummary {
         ));
         out
     }
+}
+
+// ---- the retained causal DAG (what-if input) --------------------------------
+
+/// Rebuild the retained causal DAG and per-op tail mixes from a trace file —
+/// the input `ps2-trace whatif` replays. The DAG comes from the
+/// `"ps2"."dag"` section (schema `ps2-dag-v1`, integer-only, so the f64
+/// JSON parser loses nothing); the tails come from the embedded
+/// `"ps2"."slo"` section when present (an SLO-less trace still supports
+/// makespan experiments, just without tail estimates).
+pub fn whatif_input(text: &str) -> Result<(CausalDag, Vec<OpTails>), String> {
+    let doc = parse_json(text).map_err(|e| e.to_string())?;
+    let dag = doc.get("ps2").and_then(|p| p.get("dag")).ok_or(
+        "no \"ps2\".\"dag\" section — was this trace written by a ps2-run \
+         that embeds the causal DAG (--trace-json)?",
+    )?;
+    match dag.get("schema").and_then(JsonValue::as_str) {
+        Some("ps2-dag-v1") => {}
+        other => return Err(format!("\"ps2\".\"dag\": unsupported schema {other:?}")),
+    }
+    let makespan_ns = dag
+        .get("makespan_ns")
+        .and_then(JsonValue::as_u64)
+        .ok_or("\"ps2\".\"dag\": missing \"makespan_ns\"")?;
+    let labels = dag
+        .get("labels")
+        .and_then(JsonValue::as_arr)
+        .ok_or("\"ps2\".\"dag\": missing \"labels\"")?
+        .iter()
+        .map(|l| {
+            l.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "\"ps2\".\"dag\": non-string label".to_string())
+        })
+        .collect::<Result<Vec<String>, String>>()?;
+    let mut procs = Vec::new();
+    for p in dag
+        .get("procs")
+        .and_then(JsonValue::as_arr)
+        .ok_or("\"ps2\".\"dag\": missing \"procs\"")?
+    {
+        let name = p
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("dag proc: missing \"name\"")?
+            .to_string();
+        let field = |key: &str| -> Result<u64, String> {
+            p.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("dag proc {name:?}: missing/invalid \"{key}\""))
+        };
+        let daemon = p
+            .get("daemon")
+            .and_then(JsonValue::as_bool)
+            .ok_or_else(|| format!("dag proc {name:?}: missing \"daemon\""))?;
+        let finished_ns = field("finished_ns")?;
+        let busy_ns = field("busy_ns")?;
+        let mut events = Vec::new();
+        for row in p
+            .get("events")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| format!("dag proc {name:?}: missing \"events\""))?
+        {
+            let row = row
+                .as_arr()
+                .ok_or_else(|| format!("dag proc {name:?}: event is not an array"))?;
+            let n = |i: usize| -> Result<u64, String> {
+                row.get(i)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("dag proc {name:?}: event field {i} missing/invalid"))
+            };
+            let ev = match n(0)? {
+                0 => DagEvent::Compute {
+                    at: n(1)?,
+                    dt: n(2)?,
+                    label: match row.get(3).and_then(JsonValue::as_i64) {
+                        Some(l) if l >= 0 => Some(l as u32),
+                        Some(_) => None,
+                        None => {
+                            return Err(format!(
+                                "dag proc {name:?}: compute event missing label field"
+                            ))
+                        }
+                    },
+                },
+                1 => DagEvent::Send {
+                    at: n(1)?,
+                    dst: n(2)? as usize,
+                    arrival: n(3)?,
+                    seq: n(4)?,
+                    ideal_ns: n(5)?,
+                },
+                2 => DagEvent::Recv {
+                    at: n(1)?,
+                    src: n(2)? as usize,
+                    seq: n(3)?,
+                },
+                3 => DagEvent::Point { at: n(1)? },
+                d => return Err(format!("dag proc {name:?}: unknown event kind {d}")),
+            };
+            events.push(ev);
+        }
+        procs.push(DagProc {
+            name,
+            daemon,
+            finished_ns,
+            busy_ns,
+            events,
+        });
+    }
+
+    // Tails are optional: reuse the SLO reader and fold exemplar stages into
+    // the replay categories.
+    let tails = match SloSummary::from_json(text) {
+        Ok(slo) => slo
+            .ops
+            .iter()
+            .map(|o| {
+                let stage = |e: &SloExemplar, key: &str| -> u64 {
+                    e.stages
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .map(|&(_, n)| n)
+                        .unwrap_or(0)
+                };
+                let (mut c, mut n, mut q) = (0u64, 0u64, 0u64);
+                for e in &o.exemplars {
+                    c += stage(e, "client_issue_ns")
+                        + stage(e, "service_ns")
+                        + stage(e, "client_recv_ns")
+                        + stage(e, "cache_fill_ns");
+                    n += stage(e, "net_request_ns") + stage(e, "net_reply_ns");
+                    q += stage(e, "server_queue_ns");
+                }
+                OpTails {
+                    op: o.op.clone(),
+                    p99_ns: o.p99_ns,
+                    p999_ns: o.p999_ns,
+                    compute_ns: c,
+                    network_ns: n,
+                    queue_ns: q,
+                }
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    Ok((CausalDag::new(makespan_ns, labels, procs), tails))
 }
 
 #[cfg(test)]
